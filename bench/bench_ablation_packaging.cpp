@@ -1,0 +1,77 @@
+// Ablation — packaging strategy and the "softness of the h parameter"
+// (Section 4.2). Sweeps the target duration and compares the paper's
+// floor-split against the balanced and count-minimising alternatives the
+// paper mentions as sub-goals.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "packaging/packager.hpp"
+#include "util/duration.hpp"
+
+int main() {
+  using namespace hcmd;
+  const core::Workload w = bench::standard_workload();
+
+  util::Table sweep("Target-duration sweep (paper floor strategy)");
+  sweep.header({"h (hours)", "workunits", "mean", "small WUs",
+                "small share"});
+  std::uint64_t count_at_10 = 0, count_at_4 = 0;
+  for (double h : {1.0, 2.0, 4.0, 6.0, 10.0, 16.0, 24.0}) {
+    packaging::PackagingConfig cfg;
+    cfg.target_hours = h;
+    const auto stats = packaging::compute_stats(w.benchmark, *w.mct, cfg);
+    sweep.row({util::Table::cell(h, 0),
+               util::Table::cell(stats.workunit_count),
+               util::format_compact(stats.mean_reference_seconds),
+               util::Table::cell(stats.small_workunits),
+               util::Table::cell(
+                   static_cast<double>(stats.small_workunits) /
+                       static_cast<double>(stats.workunit_count),
+                   4)});
+    if (h == 10.0) count_at_10 = stats.workunit_count;
+    if (h == 4.0) count_at_4 = stats.workunit_count;
+  }
+  std::printf("%s\n", sweep.render().c_str());
+
+  util::Table strategies("Strategy ablation at h = 10");
+  strategies.header({"strategy", "workunits", "small WUs", "min WU",
+                     "max WU"});
+  std::uint64_t floor_small = 0, balanced_small = 0;
+  std::uint64_t floor_count = 0, minimize_count = 0;
+  for (auto [name, strategy] :
+       {std::pair{"paper floor", packaging::SplitStrategy::kPaperFloor},
+        std::pair{"balanced", packaging::SplitStrategy::kBalanced},
+        std::pair{"minimize count",
+                  packaging::SplitStrategy::kMinimizeCount}}) {
+    packaging::PackagingConfig cfg;
+    cfg.target_hours = 10.0;
+    cfg.strategy = strategy;
+    const auto stats = packaging::compute_stats(w.benchmark, *w.mct, cfg);
+    strategies.row({name, util::Table::cell(stats.workunit_count),
+                    util::Table::cell(stats.small_workunits),
+                    util::format_compact(stats.min_reference_seconds),
+                    util::format_compact(stats.max_reference_seconds)});
+    if (strategy == packaging::SplitStrategy::kPaperFloor) {
+      floor_small = stats.small_workunits;
+      floor_count = stats.workunit_count;
+    }
+    if (strategy == packaging::SplitStrategy::kBalanced)
+      balanced_small = stats.small_workunits;
+    if (strategy == packaging::SplitStrategy::kMinimizeCount)
+      minimize_count = stats.workunit_count;
+  }
+  std::printf("%s", strategies.render().c_str());
+
+  bench::ShapeCheck check;
+  check.expect(count_at_4 > 2 * count_at_10,
+               "4 h packaging produces >2x the workunits of 10 h "
+               "(paper: 3,599,937 vs 1,364,476)");
+  check.expect(balanced_small <= floor_small,
+               "balanced split reduces small workunits (the paper's "
+               "'decrease the number of small workunits' sub-goal)");
+  check.expect(minimize_count <= floor_count,
+               "ceil split minimises the workunit count (the paper's "
+               "'minimize the number of workunits' sub-goal)");
+  check.print_summary();
+  return check.exit_code();
+}

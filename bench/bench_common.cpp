@@ -1,0 +1,57 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hcmd::bench {
+
+void ShapeCheck::expect(bool condition, const std::string& description) {
+  checks_.emplace_back(condition, description);
+}
+
+void ShapeCheck::expect_near(double measured, double paper, double rel_tol,
+                             const std::string& description) {
+  const bool ok =
+      paper != 0.0 && std::abs(measured - paper) <= rel_tol * std::abs(paper);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s (paper %.4g, measured %.4g, tol %.0f%%)",
+                description.c_str(), paper, measured, rel_tol * 100.0);
+  checks_.emplace_back(ok, buf);
+}
+
+int ShapeCheck::exit_code() const {
+  for (const auto& [ok, desc] : checks_)
+    if (!ok) return 1;
+  return 0;
+}
+
+void ShapeCheck::print_summary() const {
+  std::printf("\nShape checks:\n");
+  for (const auto& [ok, desc] : checks_)
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", desc.c_str());
+}
+
+std::vector<std::string> compare_row(const std::string& label, double paper,
+                                     double measured, int precision) {
+  char p[48], m[48], d[32];
+  std::snprintf(p, sizeof(p), "%.*f", precision, paper);
+  std::snprintf(m, sizeof(m), "%.*f", precision, measured);
+  if (paper != 0.0) {
+    std::snprintf(d, sizeof(d), "%+.1f%%", 100.0 * (measured - paper) / paper);
+  } else {
+    std::snprintf(d, sizeof(d), "n/a");
+  }
+  return {label, p, m, d};
+}
+
+core::CampaignReport standard_campaign() {
+  core::CampaignConfig config;
+  config.scale = 0.02;
+  return core::run_campaign(config);
+}
+
+core::Workload standard_workload() {
+  return core::build_workload(core::CampaignConfig{});
+}
+
+}  // namespace hcmd::bench

@@ -1,0 +1,42 @@
+// Shared helpers for the reproduction bench binaries.
+//
+// Every bench prints a "paper vs measured" table and runs shape checks: the
+// qualitative claims the reproduction must preserve (who wins, orderings,
+// distribution skew). A failed shape check flips the process exit code so
+// CI catches regressions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "util/table.hpp"
+
+namespace hcmd::bench {
+
+/// Collects shape-check outcomes; exit_code() is 0 iff all passed.
+class ShapeCheck {
+ public:
+  void expect(bool condition, const std::string& description);
+  /// Convenience: measured within +-rel_tol of the paper value.
+  void expect_near(double measured, double paper, double rel_tol,
+                   const std::string& description);
+  int exit_code() const;
+  void print_summary() const;
+
+ private:
+  std::vector<std::pair<bool, std::string>> checks_;
+};
+
+/// Formats a paper-vs-measured row with relative deviation.
+std::vector<std::string> compare_row(const std::string& label, double paper,
+                                     double measured, int precision = 0);
+
+/// The default Phase I campaign at the benches' standard 1/50 scale.
+/// Deterministic; takes well under a second.
+core::CampaignReport standard_campaign();
+
+/// Standard workload pieces (benchmark set + calibrated Mct).
+core::Workload standard_workload();
+
+}  // namespace hcmd::bench

@@ -1,0 +1,95 @@
+// Figure 1 — "virtual full-time processors of World Community Grid".
+//
+// Reproduces the VFTP curve from the grid's launch (2004-11-16) to December
+// 2007: overall growth, weekend dips, Christmas 2005/2006 dips and the
+// summer 2006 slump, plus the anchor points quoted in the text (54,947
+// average over the HCMD period; 74,825 in the week the paper was written).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/calendar.hpp"
+#include "volunteer/population.hpp"
+
+int main() {
+  using namespace hcmd;
+  const volunteer::WcgPopulationModel model;
+
+  const util::CivilDate from = util::kWcgLaunch;
+  const util::CivilDate to{2007, 12, 15};
+  const auto daily = model.daily_series(from, to);
+
+  std::printf("Figure 1: WCG virtual full-time processors, %s .. %s\n\n",
+              util::format_date(from).c_str(), util::format_date(to).c_str());
+  std::printf("%s\n", util::line_chart(daily, 78, 16).c_str());
+
+  // Weekly means, printed quarterly to keep the log compact.
+  util::Table table("Quarterly VFTP levels");
+  table.header({"date", "VFTP (weekly mean)"});
+  for (std::size_t d = 0; d + 7 < daily.size(); d += 91) {
+    double week = 0.0;
+    for (std::size_t i = d; i < d + 7; ++i) week += daily[i];
+    const auto date =
+        util::civil_from_days(util::days_from_civil(from) +
+                              static_cast<std::int64_t>(d));
+    table.row({util::format_date(date),
+               util::Table::cell(std::uint64_t(week / 7.0))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  util::Table anchors("Paper anchor points");
+  anchors.header({"quantity", "paper", "measured", "dev"});
+  const double hcmd_avg =
+      model.mean_vftp(util::kHcmdStart, util::kHcmdEnd);
+  anchors.row(bench::compare_row("avg VFTP during HCMD project", 54'947,
+                                 hcmd_avg));
+  const double dec07 = model.mean_vftp({2007, 12, 3}, {2007, 12, 10});
+  anchors.row(bench::compare_row("VFTP, week of 2007-12-03", 74'825, dec07));
+  const double members =
+      model.members_on_day(util::days_from_civil({2007, 12, 10}));
+  anchors.row(bench::compare_row("subscribed members (12/2007)", 344'000,
+                                 members));
+  const double devices =
+      model.devices_on_day(util::days_from_civil({2007, 12, 10}));
+  anchors.row(bench::compare_row("declared devices (12/2007)", 836'000,
+                                 devices));
+  std::printf("%s", anchors.render().c_str());
+
+  bench::ShapeCheck check;
+  check.expect_near(hcmd_avg, 54'947.0, 0.05, "HCMD-period average VFTP");
+  check.expect_near(dec07, 74'825.0, 0.07, "December 2007 VFTP");
+
+  // Growth: the curve rises strongly over the grid's life.
+  const double early = model.mean_vftp({2005, 3, 1}, {2005, 4, 1});
+  const double late = model.mean_vftp({2007, 10, 1}, {2007, 11, 1});
+  check.expect(late > 5.0 * early,
+               "VFTP grows by more than 5x from early 2005 to late 2007");
+
+  // Weekend dip: Saturdays below the preceding Fridays on average.
+  double fri = 0.0, sat = 0.0;
+  int weeks = 0;
+  for (std::int64_t day = util::days_from_civil({2006, 1, 6});
+       day < util::days_from_civil({2007, 1, 1}); day += 7, ++weeks) {
+    fri += model.vftp_on_day(day);
+    sat += model.vftp_on_day(day + 1);
+  }
+  check.expect(sat < fri, "weekend capacity below weekday capacity");
+
+  // Christmas 2005 and 2006 dips against the preceding fortnight.
+  for (int year : {2005, 2006}) {
+    const double before = model.mean_vftp({year, 12, 1}, {year, 12, 15});
+    const double holiday = model.mean_vftp({year, 12, 21},
+                                           {year + 1, 1, 4});
+    check.expect(holiday < before,
+                 "Christmas " + std::to_string(year) + " dip visible");
+  }
+
+  // Summer 2006 slump against the adjacent months of the growth curve.
+  const double june06 = model.mean_vftp({2006, 6, 1}, {2006, 7, 1});
+  const double summer = model.mean_vftp({2006, 7, 15}, {2006, 8, 15});
+  check.expect(summer < 1.02 * june06,
+               "summer 2006 slump interrupts the growth trend");
+
+  check.print_summary();
+  return check.exit_code();
+}

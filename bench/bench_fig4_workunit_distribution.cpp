@@ -1,0 +1,74 @@
+// Figure 4 — workunit distributions produced by the Section 4.2 packaging.
+//
+// (a) target 10 h  -> 1,364,476 workunits;
+// (b) target  4 h  -> 3,599,937 workunits;
+// and the count rises as the wanted execution time shrinks.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "packaging/packager.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/duration.hpp"
+
+int main() {
+  using namespace hcmd;
+  const core::Workload w = bench::standard_workload();
+
+  bench::ShapeCheck check;
+  std::uint64_t previous = ~0ull;
+  struct Case {
+    double hours;
+    double paper_count;  // 0 when the paper gives no number
+  };
+  for (const Case c : {Case{10.0, 1'364'476.0}, Case{4.0, 3'599'937.0},
+                       Case{16.0, 0.0}, Case{2.0, 0.0}}) {
+    packaging::PackagingConfig cfg;
+    cfg.target_hours = c.hours;
+    const packaging::PackagingStats stats = packaging::compute_stats(
+        w.benchmark, *w.mct, cfg, 36, 1.5 * c.hours);
+
+    std::printf(
+        "WantedWuExecTime = %.0f h: Nb wu = %s (mean %s, min %s, max %s, "
+        "small %s)\n",
+        c.hours, util::with_commas(stats.workunit_count).c_str(),
+        util::format_compact(stats.mean_reference_seconds).c_str(),
+        util::format_compact(stats.min_reference_seconds).c_str(),
+        util::format_compact(stats.max_reference_seconds).c_str(),
+        util::with_commas(stats.small_workunits).c_str());
+    if (c.hours == 10.0 || c.hours == 4.0) {
+      std::printf("%s\n",
+                  util::histogram_chart(stats.duration_hours, 56,
+                                        "workunits").c_str());
+    }
+    if (c.paper_count > 0.0) {
+      check.expect_near(static_cast<double>(stats.workunit_count),
+                        c.paper_count, 0.06,
+                        "workunit count at h = " +
+                            std::to_string(static_cast<int>(c.hours)));
+    }
+    if (previous != ~0ull) {
+      check.expect(stats.workunit_count > previous ||
+                       c.hours > 4.0,  // the 16 h case resets the ladder
+                   "count grows as the target shrinks");
+    }
+    previous = stats.workunit_count;
+  }
+
+  // Invariant: the packaged total equals formula (1) regardless of h.
+  packaging::PackagingConfig cfg10, cfg4;
+  cfg10.target_hours = 10.0;
+  cfg4.target_hours = 4.0;
+  const double t10 =
+      packaging::compute_stats(w.benchmark, *w.mct, cfg10)
+          .total_reference_seconds;
+  const double t4 = packaging::compute_stats(w.benchmark, *w.mct, cfg4)
+                        .total_reference_seconds;
+  std::printf("Packaged total at h=10: %s; at h=4: %s (must match)\n",
+              util::format_ydhms(t10).c_str(),
+              util::format_ydhms(t4).c_str());
+  check.expect(std::abs(t10 - t4) < 1e-6 * t10,
+               "packaging conserves total work");
+
+  check.print_summary();
+  return check.exit_code();
+}

@@ -1,0 +1,79 @@
+// Figure 7 — HCMD project progression snapshots.
+//
+// Proteins on the X axis (launch order: cheapest receptor first), cumulative
+// completion on the Y axis, at the paper's four dates. Headline: on
+// 2007-05-02, "85% of the proteins were docked, but this represents only
+// 47% of the total computation".
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hcmd;
+  const core::CampaignReport r = bench::standard_campaign();
+
+  std::printf("Figure 7: HCMD project progression\n\n");
+  util::Table table("Snapshots");
+  table.header({"date", "proteins docked", "paper", "computation done",
+                "paper"});
+  const double paper_proteins[4] = {-1, -1, 0.85, 1.0};
+  const double paper_comp[4] = {-1, -1, 0.47, 1.0};
+  for (std::size_t i = 0; i < r.snapshots.size(); ++i) {
+    const auto& s = r.snapshots[i];
+    auto pct = [](double v) { return util::Table::cell(100.0 * v, 1) + "%"; };
+    table.row({s.label, pct(s.proteins_done_fraction),
+               paper_proteins[i] < 0 ? "-" : pct(paper_proteins[i]),
+               pct(s.computation_done_fraction),
+               paper_comp[i] < 0 ? "-" : pct(paper_comp[i])});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Per-protein completion bars for the 05-02 snapshot (the paper's most
+  // quoted panel), bucketed over the launch order.
+  if (r.snapshots.size() >= 3) {
+    const auto& snap = r.snapshots[2];
+    std::printf("2007-05-02 per-protein completion (launch order, 24 "
+                "buckets of 7):\n");
+    const std::size_t bucket = (snap.per_protein_fraction.size() + 23) / 24;
+    for (std::size_t b = 0; b < snap.per_protein_fraction.size();
+         b += bucket) {
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (std::size_t i = b;
+           i < std::min(b + bucket, snap.per_protein_fraction.size());
+           ++i, ++n)
+        sum += snap.per_protein_fraction[i];
+      const int bars = static_cast<int>(40.0 * sum / static_cast<double>(n));
+      std::printf("  %3zu..%3zu |%-40.*s| %3.0f%%\n", b,
+                  b + n - 1, bars,
+                  "########################################",
+                  100.0 * sum / static_cast<double>(n));
+    }
+  }
+
+  bench::ShapeCheck check;
+  check.expect(r.snapshots.size() == 4, "four snapshot dates captured");
+  for (std::size_t i = 1; i < r.snapshots.size(); ++i) {
+    check.expect(r.snapshots[i].computation_done_fraction >=
+                     r.snapshots[i - 1].computation_done_fraction,
+                 "progress is monotone (" + r.snapshots[i].label + ")");
+  }
+  if (r.snapshots.size() >= 3) {
+    const auto& snap = r.snapshots[2];
+    check.expect_near(snap.proteins_done_fraction, 0.85, 0.12,
+                      "05-02: fraction of proteins docked");
+    check.expect(snap.computation_done_fraction <
+                     snap.proteins_done_fraction - 0.10,
+                 "05-02: computation fraction lags protein fraction "
+                 "(cost skew)");
+    check.expect_near(snap.computation_done_fraction, 0.47, 0.45,
+                      "05-02: computation fraction near the paper's 47%");
+  }
+  if (r.snapshots.size() == 4) {
+    check.expect(r.snapshots[3].computation_done_fraction > 0.95,
+                 "06-11: project essentially complete");
+  }
+  check.print_summary();
+  return check.exit_code();
+}

@@ -1,0 +1,91 @@
+// Section 8 — observing the desktop-hardware trend through credit.
+//
+// The paper expects the points system to "allow us to observe the trend
+// toward more powerful processors in desktop computers". The device model
+// improves cohorts at 10 %/year; this bench checks the credit-based
+// estimator recovers that rate two ways:
+//   * between campaigns: the Phase I fleet (Dec 2006) vs the same campaign
+//     started 18 months later — a two-point estimate;
+//   * within a long campaign: the weekly credit/runtime ratio drifts up as
+//     churn replaces old devices with newer ones.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/trend.hpp"
+#include "bench_common.hpp"
+#include "util/calendar.hpp"
+#include "util/duration.hpp"
+
+int main() {
+  using namespace hcmd;
+
+  // --- two campaigns, 18 months apart ---
+  core::CampaignConfig phase1;
+  phase1.scale = 0.02;
+  const core::CampaignReport early = core::run_campaign(phase1);
+
+  core::CampaignConfig later = phase1;
+  later.start_date = util::CivilDate{2008, 6, 19};
+  // Same snapshots shifted is unnecessary; drop them.
+  later.snapshots.clear();
+  const core::CampaignReport late = core::run_campaign(later);
+
+  auto fleet_score = [](const core::CampaignReport& r) {
+    double runtime = 0.0;
+    for (double v : r.hcmd_vftp_weekly) runtime += v * util::kSecondsPerWeek;
+    return analysis::mean_benchmark_score(r.total_credit, runtime);
+  };
+  const double score_early = fleet_score(early);
+  const double score_late = fleet_score(late);
+  const double years_apart =
+      static_cast<double>(util::days_between(phase1.start_date,
+                                             later.start_date)) /
+      365.0;
+  const double two_point =
+      analysis::annualized_improvement(score_early, score_late, years_apart);
+
+  std::printf("Fleet mean benchmark score (credit / runtime):\n");
+  std::printf("  campaign starting %s : %.4f\n",
+              util::format_date(phase1.start_date).c_str(), score_early);
+  std::printf("  campaign starting %s : %.4f\n",
+              util::format_date(later.start_date).c_str(), score_late);
+  std::printf("  two-point annualised improvement: %.1f%%  (device model: "
+              "10%%/year)\n\n",
+              100.0 * two_point);
+
+  // --- within-campaign drift (full-power plateau only: the campaign's
+  // first and last weeks carry metering boundary artefacts — runtime is
+  // metered as it is crunched, credit when the result is reported) ---
+  std::vector<double> runtime_weekly, credit_weekly;
+  const std::size_t first = 9;
+  const std::size_t last =
+      std::min<std::size_t>(early.hcmd_vftp_weekly.size(), 20);
+  for (std::size_t i = first; i < last; ++i) {
+    runtime_weekly.push_back(early.hcmd_vftp_weekly[i] *
+                             util::kSecondsPerWeek);
+    credit_weekly.push_back(early.credit_weekly[i]);
+  }
+  const analysis::HardwareTrend within =
+      analysis::estimate_trend(credit_weekly, runtime_weekly);
+  std::printf("Within-campaign weekly score fit (weeks %zu-%zu): r = %.3f, "
+              "annualised drift %.1f%%\n",
+              first, last - 1, within.log_fit.r,
+              100.0 * within.annual_improvement);
+  std::printf("(Within a single 26-week campaign the cohort trend is below "
+              "the noise floor —\n only ~40%% of the fleet churns, each "
+              "replacement barely newer. That is exactly\n why Section 8 "
+              "proposes points for long-horizon observation: the cross-"
+              "campaign\n estimate above carries the signal.)\n");
+
+  bench::ShapeCheck check;
+  check.expect(score_late > score_early,
+               "later fleets crunch faster (the trend exists)");
+  check.expect_near(two_point, 0.10, 0.45,
+                    "two-point estimate recovers the 10%/year cohort rate");
+  check.expect(std::abs(within.annual_improvement) < 0.10,
+               "within-campaign drift stays below the cohort rate (a single "
+               "campaign is too short to resolve the trend)");
+  check.print_summary();
+  return check.exit_code();
+}

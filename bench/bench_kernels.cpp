@@ -1,0 +1,145 @@
+// google-benchmark microbenchmarks for the hot kernels: interaction energy,
+// minimiser steps, the event queue, the scheduler RPC path and the
+// packaging stream.
+#include <benchmark/benchmark.h>
+
+#include "docking/cell_list.hpp"
+#include "docking/maxdo.hpp"
+#include "packaging/packager.hpp"
+#include "proteins/generator.hpp"
+#include "server/server.hpp"
+#include "sim/simulation.hpp"
+#include "timing/mct_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hcmd;
+
+void BM_InteractionEnergy(benchmark::State& state) {
+  const auto receptor = proteins::generate_protein(
+      1, static_cast<std::uint32_t>(state.range(0)), 1.0, 11);
+  const auto ligand = proteins::generate_protein(
+      2, static_cast<std::uint32_t>(state.range(0)), 1.0, 12);
+  proteins::Dof6 pose;
+  pose.x = receptor.bounding_radius() + ligand.bounding_radius() + 2.0;
+  const docking::EnergyParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(docking::interaction_energy(
+        receptor, ligand, pose.to_transform(), params));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(receptor.size()) *
+                          static_cast<std::int64_t>(ligand.size()));
+}
+BENCHMARK(BM_InteractionEnergy)->Arg(50)->Arg(150)->Arg(400)->Arg(1200);
+
+void BM_InteractionEnergyCellList(benchmark::State& state) {
+  const auto receptor = proteins::generate_protein(
+      1, static_cast<std::uint32_t>(state.range(0)), 1.0, 11);
+  const auto ligand = proteins::generate_protein(
+      2, static_cast<std::uint32_t>(state.range(0)), 1.0, 12);
+  proteins::Dof6 pose;
+  pose.x = receptor.bounding_radius() + ligand.bounding_radius() + 2.0;
+  const docking::EnergyParams params;
+  const docking::ReceptorCellGrid grid(receptor, params.cutoff);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid.interaction_energy(ligand, pose.to_transform(), params));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(receptor.size()) *
+                          static_cast<std::int64_t>(ligand.size()));
+}
+BENCHMARK(BM_InteractionEnergyCellList)->Arg(50)->Arg(150)->Arg(400)->Arg(1200);
+
+void BM_Minimize(benchmark::State& state) {
+  const auto receptor = proteins::generate_protein(1, 80, 1.0, 13);
+  const auto ligand = proteins::generate_protein(2, 60, 1.1, 14);
+  proteins::Dof6 start;
+  start.x = receptor.bounding_radius() + ligand.bounding_radius() + 4.0;
+  const docking::EnergyParams energy;
+  docking::MinimizerParams params;
+  params.max_iterations = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        docking::minimize(receptor, ligand, start, energy, params));
+  }
+}
+BENCHMARK(BM_Minimize)->Arg(5)->Arg(20)->Arg(40);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    util::Rng rng(7);
+    for (std::size_t i = 0; i < n; ++i)
+      sim.schedule_at(rng.uniform(0.0, 1e6), [] {});
+    sim.run_until();
+    benchmark::DoNotOptimize(sim.processed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_SchedulerRpc(benchmark::State& state) {
+  std::vector<packaging::Workunit> catalog(100'000);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    catalog[i].id = i;
+    catalog[i].receptor = static_cast<std::uint32_t>(i % 168);
+    catalog[i].isep_begin = 0;
+    catalog[i].isep_end = 10;
+    catalog[i].reference_seconds = 3600.0;
+  }
+  server::ServerConfig cfg;
+  cfg.validation.quorum2_until = 0.0;
+  cfg.validation.spot_check_fraction = 0.0;
+  server::ProjectServer server(std::move(catalog), cfg);
+  double now = 0.0;
+  std::uint64_t served = 0;
+  for (auto _ : state) {
+    auto a = server.request_work(1, now);
+    if (!a.has_value()) {
+      state.SkipWithError("catalogue exhausted; raise the catalogue size");
+      break;
+    }
+    server::ResultReport report;
+    report.reported_runtime = 100.0;
+    report.reference_seconds = 3600.0;
+    server.report_result(a->result_id, now + 1.0, report);
+    now += 2.0;
+    ++served;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+BENCHMARK(BM_SchedulerRpc)->Iterations(50'000);
+
+void BM_PackagingStream(benchmark::State& state) {
+  proteins::BenchmarkSpec spec;
+  spec.count = 32;
+  spec.target_total_nsep = 0;
+  spec.outlier_nsep_target = 0;
+  const auto bench_set = proteins::generate_benchmark(spec);
+  const auto model = timing::CostModel::calibrated(bench_set, 671.0);
+  const auto mct = timing::MctMatrix::from_model(bench_set, model);
+  packaging::PackagingConfig cfg;
+  cfg.target_hours = 4.0;
+  for (auto _ : state) {
+    std::uint64_t count = packaging::for_each_workunit(
+        bench_set, mct, cfg, [](const packaging::Workunit&) {});
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_PackagingStream);
+
+void BM_MctMatrixBuild(benchmark::State& state) {
+  const auto bench_set = proteins::generate_benchmark({});
+  const auto model = timing::CostModel::calibrated(bench_set, 671.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        timing::MctMatrix::from_model(bench_set, model));
+  }
+}
+BENCHMARK(BM_MctMatrixBuild);
+
+}  // namespace

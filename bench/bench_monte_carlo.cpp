@@ -1,0 +1,67 @@
+// Monte-Carlo confidence intervals for the headline reproduction numbers.
+//
+// Every other bench quotes the default seed; this one runs the campaign
+// under 16 independent seeds (in parallel) and reports mean +- 95 % CI, so
+// the paper comparison is a statement about the model, not about one draw.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/replication.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hcmd;
+
+  core::CampaignConfig config;
+  config.scale = 0.01;
+  const std::size_t replicas = 16;
+  const core::ReplicationResult r =
+      core::replicate_campaign(config, replicas, 1000);
+
+  struct PaperRef {
+    const char* metric;
+    double paper;
+  };
+  const PaperRef refs[] = {
+      {"completion_weeks", 26.0},
+      {"redundancy_factor", 1.37},
+      {"useful_fraction", 0.73},
+      {"gross_speeddown", 5.43},
+      {"net_speeddown", 3.96},
+      {"avg_hcmd_vftp_whole", 16'450.0},
+      {"avg_hcmd_vftp_fullpower", 26'248.0},
+      {"avg_wcg_vftp_whole", 54'947.0},
+      {"results_received", 5'418'010.0},
+      {"mean_runtime_hours", 13.0},
+  };
+
+  util::Table table("Headline metrics over " + std::to_string(replicas) +
+                    " seeds (1/100 scale)");
+  table.header({"metric", "paper", "mean", "95% CI", "min", "max"});
+  for (const auto& ref : refs) {
+    const core::MetricSummary& m = r.metric(ref.metric);
+    table.row({ref.metric, util::Table::cell(ref.paper, 2),
+               util::Table::cell(m.mean, 2),
+               "+-" + util::Table::cell(m.ci95, 2),
+               util::Table::cell(m.min, 2), util::Table::cell(m.max, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::ShapeCheck check;
+  // The paper value must sit within mean +- max(3 CI, 15% of mean) for the
+  // ratio metrics — i.e. the single-seed agreement is not a fluke.
+  for (const auto& ref :
+       {refs[1], refs[3], refs[4]}) {  // redundancy, gross, net
+    const core::MetricSummary& m = r.metric(ref.metric);
+    const double band = std::max(3.0 * m.ci95, 0.15 * m.mean);
+    check.expect(std::abs(m.mean - ref.paper) <= band,
+                 std::string(ref.metric) + " reproduces within its band");
+  }
+  const core::MetricSummary& weeks = r.metric("completion_weeks");
+  check.expect(weeks.stddev < 2.5,
+               "completion time is stable across seeds");
+  for (const auto& report : r.reports)
+    check.expect(report.completed, "every replica completes");
+  check.print_summary();
+  return check.exit_code();
+}

@@ -1,0 +1,66 @@
+// Table 1 — statistics of the computation time matrix Mct, measured by
+// replaying the Grid'5000 calibration campaign (Section 4.1): one job per
+// ordered couple (168^2 = 28,224 jobs) on the 640-processor slice.
+//
+// Paper values: average 671 s, standard deviation 968, min 6, max 46,347,
+// median 384; total cross-docking time 1,488:237:19:45:54 (y:d:h:m:s); and
+// "10 proteins represent 30% of the total processing time".
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dedicated/calibration.hpp"
+#include "util/duration.hpp"
+
+int main() {
+  using namespace hcmd;
+  const core::Workload w = bench::standard_workload();
+
+  const auto outcome = dedicated::run_calibration(
+      w.benchmark, *w.cost_model, dedicated::grid5000_calibration_slice(),
+      dedicated::ListPolicy::kLongestProcessingTime);
+  const util::Summary s = outcome.matrix.summary();
+
+  std::printf("Table 1: statistics of the computation time matrix (seconds)\n\n");
+  util::Table table("Mct statistics, %d jobs");
+  table.header({"statistic", "paper", "measured", "dev"});
+  table.row(bench::compare_row("average", 671.0, s.mean));
+  table.row(bench::compare_row("standard deviation", 968.04, s.stddev));
+  table.row(bench::compare_row("min", 6.0, s.min, 1));
+  table.row(bench::compare_row("max", 46'347.0, s.max));
+  table.row(bench::compare_row("median", 384.0, s.median));
+  std::printf("%s\n", table.render().c_str());
+
+  const double total = outcome.matrix.total_reference_seconds(w.benchmark);
+  std::printf("Formula (1) total: %s  (paper 1488:237:19:45:54)\n",
+              util::format_ydhms(total).c_str());
+  const double top10 = outcome.matrix.top_k_receptor_share(w.benchmark, 10);
+  std::printf("Top-10 receptor share of total time: %.1f%% (paper ~30%%)\n\n",
+              100.0 * top10);
+
+  std::printf("Calibration campaign on Grid'5000 (%u processors):\n",
+              outcome.batch.processors);
+  std::printf("  jobs      : %.0f  (paper 28,224)\n", outcome.jobs);
+  std::printf("  makespan  : %s  (paper ~1 day)\n",
+              util::format_compact(outcome.batch.makespan).c_str());
+  std::printf("  cpu time  : %s  (paper \"more than 73 days\")\n",
+              util::format_compact(outcome.batch.cpu_seconds).c_str());
+  std::printf("  utilization: %.1f%%\n", 100.0 * outcome.batch.utilization);
+
+  bench::ShapeCheck check;
+  check.expect_near(s.mean, 671.0, 0.02, "Table 1 average");
+  check.expect_near(s.stddev, 968.0, 0.25, "Table 1 standard deviation");
+  check.expect_near(s.median, 384.0, 0.25, "Table 1 median");
+  check.expect(s.min < 30.0, "Table 1 min is a few seconds");
+  check.expect(s.max > 15'000.0, "Table 1 max is tens of thousands");
+  check.expect(s.mean > s.median, "distribution is right-skewed");
+  check.expect_near(total, util::parse_ydhms("1488:237:19:45:54"), 0.10,
+                    "formula (1) total near 1,488 years");
+  check.expect(top10 > 0.25 && top10 < 0.55,
+               "a handful of proteins dominates total cost");
+  check.expect(outcome.batch.makespan < 2.0 * util::kSecondsPerDay,
+               "calibration fits in ~a day on 640 processors");
+  check.expect(outcome.batch.cpu_seconds > 73.0 * util::kSecondsPerDay,
+               "calibration consumes more than 73 CPU-days");
+  check.print_summary();
+  return check.exit_code();
+}

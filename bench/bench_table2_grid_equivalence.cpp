@@ -1,0 +1,94 @@
+// Table 2 — equivalence between WCG virtual full-time processors and
+// dedicated-grid processors, plus the Section 6 speed-down analysis.
+//
+// Paper: whole period 16,450 VFTP <-> 3,029 dedicated processors; full
+// power 26,248 <-> 4,833. Total CPU consumed 8,082:275:17:15:44 = 5.43x the
+// reference estimate; 3.96x once the 1.37 redundancy factor is removed.
+#include <cstdio>
+
+#include "analysis/speeddown.hpp"
+#include "bench_common.hpp"
+#include "dedicated/grid.hpp"
+#include "util/duration.hpp"
+
+int main() {
+  using namespace hcmd;
+  const core::CampaignReport r = bench::standard_campaign();
+
+  const double gross = r.speeddown.gross_speeddown();
+  const double net = r.speeddown.net_speeddown();
+
+  // Dedicated equivalents: VFTP divided by the measured gross speed-down,
+  // which is how the paper builds Table 2.
+  const double dedicated_whole = r.avg_hcmd_vftp_whole / gross;
+  const double dedicated_full = r.avg_hcmd_vftp_fullpower / gross;
+
+  std::printf("Table 2: WCG virtual full-time processors vs dedicated-grid "
+              "processors\n\n");
+  util::Table table("Equivalence");
+  table.header({"grid", "whole period", "paper", "full power", "paper"});
+  table.row({"World Community Grid",
+             util::Table::cell(std::uint64_t(r.avg_hcmd_vftp_whole)),
+             "16,450",
+             util::Table::cell(std::uint64_t(r.avg_hcmd_vftp_fullpower)),
+             "26,248"});
+  table.row({"Dedicated grid",
+             util::Table::cell(std::uint64_t(dedicated_whole)), "3,029",
+             util::Table::cell(std::uint64_t(dedicated_full)), "4,833"});
+  std::printf("%s\n", table.render().c_str());
+
+  const double consumed = r.speeddown.reported_runtime_seconds / r.scale;
+  std::printf("Total CPU consumed: %s (paper 8082:275:17:15:44)\n",
+              util::format_ydhms(consumed).c_str());
+  std::printf("Reference estimate: %s (paper 1488:237:19:45:54)\n\n",
+              util::format_ydhms(r.total_reference_seconds).c_str());
+
+  util::Table factors("Speed-down analysis");
+  factors.header({"quantity", "paper", "measured", "dev"});
+  factors.row(bench::compare_row("gross speed-down (incl. redundancy)", 5.43,
+                                 gross, 2));
+  factors.row(bench::compare_row("redundancy factor", 1.37,
+                                 r.redundancy_factor, 3));
+  factors.row(bench::compare_row("net speed-down", 3.96, net, 2));
+  std::printf("%s\n", factors.render().c_str());
+
+  const analysis::SpeeddownDecomposition d =
+      analysis::decompose(volunteer::DeviceParams{}, 2.1);
+  std::printf("Decomposition of the net speed-down (fleet parameters):\n");
+  std::printf("  CPU throttle (UD default 60%%)      : %.3f\n",
+              d.throttle_factor);
+  std::printf("  lowest-priority starvation          : %.3f\n",
+              d.contention_factor);
+  std::printf("  screensaver overhead                : %.3f\n",
+              d.screensaver_factor);
+  std::printf("  device speed vs Opteron 2 GHz       : %.3f\n",
+              d.device_speed_factor);
+  std::printf("  closed-form net speed-down          : %.2f\n",
+              d.predicted_net_speeddown());
+  std::printf("  (checkpoint/interruption losses supply the remainder "
+              "to %.2f)\n",
+              net);
+
+  // Section 6's forward estimate: 74,825 VFTP / 3.96 ~ 18,895 dedicated.
+  const double dec07_equiv = 74'825.0 / net;
+  std::printf("\n74,825 VFTP (Dec 2007) / measured net speed-down = %.0f "
+              "dedicated processors (paper: 18,895)\n",
+              dec07_equiv);
+
+  bench::ShapeCheck check;
+  check.expect_near(gross, 5.43, 0.12, "gross speed-down");
+  check.expect_near(net, 3.96, 0.12, "net speed-down");
+  check.expect_near(dedicated_whole, 3'029.0, 0.25,
+                    "dedicated equivalent, whole period");
+  check.expect_near(dedicated_full, 4'833.0, 0.25,
+                    "dedicated equivalent, full power");
+  check.expect(gross > net && net > 1.0,
+               "volunteer processors strictly slower than dedicated");
+  check.expect_near(dec07_equiv, 18'895.0, 0.15,
+                    "December 2007 dedicated-equivalent estimate");
+  check.expect(d.predicted_net_speeddown() < net + 1.0 &&
+                   d.predicted_net_speeddown() > 0.6 * net,
+               "closed-form decomposition explains most of the factor");
+  check.print_summary();
+  return check.exit_code();
+}

@@ -1,0 +1,72 @@
+// A miniature Phase I, end to end: generate a protein set, calibrate the
+// cost model, package workunits, run the volunteer-grid discrete-event
+// simulation, and print the campaign report. This is the whole pipeline the
+// reproduction benches use, at a size that runs in well under a second.
+//
+// Usage: campaign_small [proteins] [scale_denominator] [target_hours]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/campaign.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/duration.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcmd;
+
+  core::CampaignConfig config;
+  config.benchmark.count =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 40;
+  // Keep the miniature set's totals proportional to the full problem.
+  config.benchmark.target_total_nsep =
+      294'533ull * config.benchmark.count / 168u;
+  const int denom = argc > 2 ? std::atoi(argv[2]) : 200;
+  config.scale = 1.0 / static_cast<double>(denom);
+  config.packaging.target_hours =
+      argc > 3 ? std::atof(argv[3]) : 4.0;
+
+  std::printf("Mini Phase I: %u proteins, 1/%d scale, %.0f h workunits\n\n",
+              config.benchmark.count, denom, config.packaging.target_hours);
+
+  const core::CampaignReport r = core::run_campaign(config);
+
+  std::printf("Workload:\n");
+  std::printf("  total reference CPU : %s\n",
+              util::format_ydhms(r.total_reference_seconds).c_str());
+  std::printf("  workunits (full)    : %s (mean %s)\n",
+              util::with_commas(r.full_workunit_count).c_str(),
+              util::format_compact(r.nominal_wu_mean_seconds).c_str());
+  std::printf("  devices simulated   : %zu\n\n", r.devices_simulated);
+
+  std::printf("Outcome:\n");
+  std::printf("  completed           : %s in %.1f weeks\n",
+              r.completed ? "yes" : "no", r.completion_weeks);
+  std::printf("  results received    : %s (%.1f%% useful)\n",
+              util::with_commas(r.counters.results_received).c_str(),
+              100.0 * r.useful_fraction);
+  std::printf("  redundancy factor   : %.2f\n", r.redundancy_factor);
+  if (r.counters.useful_reference_seconds > 0.0) {
+    std::printf("  gross speed-down    : %.2f\n",
+                r.speeddown.gross_speeddown());
+    std::printf("  net speed-down      : %.2f\n",
+                r.speeddown.net_speeddown());
+  }
+  std::printf("  mean WU run time    : %s (packaged for %s)\n\n",
+              util::format_compact(r.runtime_summary.mean).c_str(),
+              util::format_compact(r.nominal_wu_mean_seconds).c_str());
+
+  std::printf("Weekly HCMD virtual full-time processors (rescaled):\n%s\n",
+              util::line_chart(r.hcmd_vftp_weekly, 70, 10).c_str());
+
+  util::Table snaps("Progression snapshots");
+  snaps.header({"date", "proteins docked", "computation done"});
+  for (const auto& s : r.snapshots) {
+    snaps.row({s.label,
+               util::Table::cell(100.0 * s.proteins_done_fraction, 1) + "%",
+               util::Table::cell(100.0 * s.computation_done_fraction, 1) +
+                   "%"});
+  }
+  std::printf("%s", snaps.render().c_str());
+  return 0;
+}

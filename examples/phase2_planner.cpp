@@ -1,0 +1,59 @@
+// Phase II capacity planner (the Section 7 analysis as a CLI tool).
+//
+// Given a future protein count, a docking-point reduction factor and a
+// target completion horizon, answers the paper's planning questions: how
+// much work, how long at the Phase I rate, how many virtual full-time
+// processors, and how many volunteers that implies.
+//
+// Usage: phase2_planner [proteins] [reduction] [target_weeks] [grid_share]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/projection.hpp"
+#include "util/duration.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcmd;
+
+  analysis::ProjectionInput input;
+  if (argc > 1)
+    input.phase2_proteins = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  if (argc > 2) input.docking_point_reduction = std::atof(argv[2]);
+  if (argc > 3) input.phase2_target_weeks = std::atof(argv[3]);
+  if (argc > 4) input.hcmd_grid_share = std::atof(argv[4]);
+
+  const analysis::ProjectionResult r = analysis::project_phase2(input);
+
+  std::printf("HCMD Phase II planner\n");
+  std::printf("  proteins              : %u (phase I: %u)\n",
+              input.phase2_proteins, input.phase1_proteins);
+  std::printf("  docking-point cut     : %.0fx\n",
+              input.docking_point_reduction);
+  std::printf("  target horizon        : %.0f weeks\n",
+              input.phase2_target_weeks);
+  std::printf("  HCMD share of the grid: %.0f%%\n\n",
+              100.0 * input.hcmd_grid_share);
+
+  util::Table table("Projection");
+  table.header({"quantity", "value"});
+  table.row({"work vs phase I", util::Table::cell(r.work_ratio, 2) + "x"});
+  table.row({"CPU time needed",
+             util::format_ydhms(r.phase2_cpu_seconds) + " (y:d:h:m:s)"});
+  table.row({"duration at phase-I rate",
+             util::Table::cell(r.weeks_at_phase1_rate, 1) + " weeks"});
+  table.row({"VFTP for the target horizon",
+             util::with_commas(std::uint64_t(r.vftp_needed))});
+  table.row({"participating members needed",
+             util::with_commas(std::uint64_t(r.members_needed_project))});
+  table.row({"total WCG members needed",
+             util::with_commas(std::uint64_t(r.members_needed_grid))});
+  table.row({"new volunteers to recruit",
+             util::with_commas(std::uint64_t(r.new_volunteers_needed))});
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\n(The paper's defaults reproduce Table 3: 5.66x the work, "
+              "90 weeks at the phase-I rate,\n 59,730 VFTP for 40 weeks, "
+              "and ~1.3 million members at a 25%% grid share.)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "analysis/concentration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hcmd::analysis {
+
+namespace {
+std::vector<double> sorted_ascending(std::span<const double> weights) {
+  std::vector<double> w(weights.begin(), weights.end());
+  for (double x : w)
+    HCMD_ASSERT_MSG(x >= 0.0, "concentration weights must be >= 0");
+  std::sort(w.begin(), w.end());
+  return w;
+}
+}  // namespace
+
+std::vector<double> lorenz_curve(std::span<const double> weights) {
+  if (weights.empty()) return {};
+  std::vector<double> w = sorted_ascending(weights);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  std::vector<double> curve(w.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    running += w[i];
+    curve[i] = total > 0.0 ? running / total : 0.0;
+  }
+  if (total > 0.0) curve.back() = 1.0;  // absorb rounding
+  return curve;
+}
+
+double gini(std::span<const double> weights) {
+  if (weights.size() < 2) return 0.0;
+  const std::vector<double> w = sorted_ascending(weights);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  // G = (2 * sum_i i*w_i) / (n * total) - (n + 1) / n with 1-based ranks
+  // over the ascending sort.
+  const double n = static_cast<double>(w.size());
+  double weighted_ranks = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    weighted_ranks += static_cast<double>(i + 1) * w[i];
+  return 2.0 * weighted_ranks / (n * total) - (n + 1.0) / n;
+}
+
+double top_k_share(std::span<const double> weights, std::size_t k) {
+  if (weights.empty() || k == 0) return 0.0;
+  std::vector<double> w = sorted_ascending(weights);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  k = std::min(k, w.size());
+  const double top = std::accumulate(w.end() - static_cast<std::ptrdiff_t>(k),
+                                     w.end(), 0.0);
+  return top / total;
+}
+
+double cheapest_fraction_share(std::span<const double> weights, double p) {
+  HCMD_ASSERT(p >= 0.0 && p <= 1.0);
+  if (weights.empty()) return 0.0;
+  const std::vector<double> curve = lorenz_curve(weights);
+  const auto idx = static_cast<std::size_t>(
+      std::floor(p * static_cast<double>(curve.size())));
+  if (idx == 0) return 0.0;
+  return curve[idx - 1];
+}
+
+}  // namespace hcmd::analysis

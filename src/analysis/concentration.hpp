@@ -1,0 +1,33 @@
+// Cost-concentration analysis.
+//
+// The paper's skew observations — "there are 10 proteins which represent
+// 30% of the total processing time" (Section 4.1) and Fig. 7's protein-vs-
+// computation lag — are statements about how unevenly the cross-docking
+// cost distributes over proteins. This module provides the standard
+// machinery: the Lorenz curve and the Gini coefficient, plus the paper's
+// top-k share in its general form.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hcmd::analysis {
+
+/// Lorenz curve of a non-negative weight vector: point i is the cumulative
+/// share of total weight held by the smallest (i+1)/n fraction of items.
+/// Returned vector has n points, last == 1. Empty input yields {}.
+std::vector<double> lorenz_curve(std::span<const double> weights);
+
+/// Gini coefficient in [0, 1): 0 = perfectly even, ->1 = one item holds
+/// everything. Computed from the exact Lorenz polygon.
+double gini(std::span<const double> weights);
+
+/// Share of total weight held by the largest k items.
+double top_k_share(std::span<const double> weights, std::size_t k);
+
+/// The Fig. 7 headline in general form: with fraction `p` of the items
+/// complete (cheapest first), what fraction of total weight is done?
+double cheapest_fraction_share(std::span<const double> weights, double p);
+
+}  // namespace hcmd::analysis

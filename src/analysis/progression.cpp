@@ -1,0 +1,35 @@
+#include "analysis/progression.hpp"
+
+#include "util/error.hpp"
+
+namespace hcmd::analysis {
+
+ProgressionSnapshot make_snapshot(std::string label, double time_seconds,
+                                  const std::vector<double>& completed,
+                                  const std::vector<double>& total,
+                                  double done_threshold) {
+  HCMD_ASSERT(completed.size() == total.size());
+  HCMD_ASSERT(!total.empty());
+  ProgressionSnapshot snap;
+  snap.label = std::move(label);
+  snap.time_seconds = time_seconds;
+  snap.per_protein_fraction.reserve(total.size());
+
+  double done_proteins = 0.0;
+  double sum_completed = 0.0;
+  double sum_total = 0.0;
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    HCMD_ASSERT(total[i] > 0.0);
+    const double frac = std::min(1.0, completed[i] / total[i]);
+    snap.per_protein_fraction.push_back(frac);
+    if (frac >= done_threshold) done_proteins += 1.0;
+    sum_completed += completed[i];
+    sum_total += total[i];
+  }
+  snap.proteins_done_fraction =
+      done_proteins / static_cast<double>(total.size());
+  snap.computation_done_fraction = std::min(1.0, sum_completed / sum_total);
+  return snap;
+}
+
+}  // namespace hcmd::analysis

@@ -1,0 +1,36 @@
+// Project progression (Fig. 7).
+//
+// The paper's progression graphic sorts the proteins along the X axis and
+// plots the cumulative percentage of computation; its headline observation
+// is that on 2007-05-02, "85 % of the proteins were docked, but this
+// represents only 47 % of the total computation" — protein cost is heavily
+// skewed. This module turns per-receptor completed-position counts into
+// those quantities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcmd::analysis {
+
+struct ProgressionSnapshot {
+  std::string label;               ///< e.g. "2007-05-02"
+  double time_seconds = 0.0;       ///< campaign time of the snapshot
+  /// Per-receptor completed fraction of its positions * ligands, in launch
+  /// order (ascending receptor cost).
+  std::vector<double> per_protein_fraction;
+  /// Fraction of proteins whose docking is fully complete.
+  double proteins_done_fraction = 0.0;
+  /// Fraction of the total reference computation completed.
+  double computation_done_fraction = 0.0;
+};
+
+/// Builds a snapshot from completed and total reference seconds per
+/// receptor. `completed` and `total` are parallel (one entry per receptor).
+ProgressionSnapshot make_snapshot(std::string label, double time_seconds,
+                                  const std::vector<double>& completed,
+                                  const std::vector<double>& total,
+                                  double done_threshold = 0.999);
+
+}  // namespace hcmd::analysis

@@ -1,0 +1,42 @@
+#include "analysis/projection.hpp"
+
+#include <algorithm>
+
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::analysis {
+
+ProjectionResult project_phase2(const ProjectionInput& input) {
+  if (input.phase1_cpu_seconds <= 0.0 || input.phase1_weeks <= 0.0 ||
+      input.phase1_vftp <= 0.0)
+    throw ConfigError("project_phase2: Phase I measurements must be > 0");
+  if (input.phase1_proteins == 0 || input.phase2_proteins == 0 ||
+      input.docking_point_reduction <= 0.0)
+    throw ConfigError("project_phase2: invalid Phase II scope");
+  if (input.phase2_target_weeks <= 0.0 || input.hcmd_grid_share <= 0.0 ||
+      input.hcmd_grid_share > 1.0)
+    throw ConfigError("project_phase2: invalid target parameters");
+
+  ProjectionResult r;
+  const double n1 = static_cast<double>(input.phase1_proteins);
+  const double n2 = static_cast<double>(input.phase2_proteins);
+  r.work_ratio = (n2 * n2) / (n1 * n1 * input.docking_point_reduction);
+  r.phase2_cpu_seconds = input.phase1_cpu_seconds * r.work_ratio;
+
+  // At the Phase I full-power rate (phase1_vftp processors' worth of run
+  // time per unit time):
+  const double phase1_rate = input.phase1_vftp * util::kSecondsPerWeek;
+  r.weeks_at_phase1_rate = r.phase2_cpu_seconds / phase1_rate;
+
+  r.vftp_needed = r.phase2_cpu_seconds /
+                  (input.phase2_target_weeks * util::kSecondsPerWeek);
+  r.members_needed_project = r.vftp_needed * input.members_per_vftp_project;
+  r.members_needed_grid = (r.vftp_needed / input.hcmd_grid_share) *
+                          input.members_per_vftp_grid;
+  r.new_volunteers_needed =
+      std::max(0.0, r.members_needed_grid - input.current_members);
+  return r;
+}
+
+}  // namespace hcmd::analysis

@@ -1,0 +1,56 @@
+// HCMD Phase II capacity planning (Section 7, Table 3).
+//
+// The scientists plan to dock ~4,000 proteins with the number of docking
+// points cut by a factor of 100 thanks to evolutionary information. Since
+// formula (1) scales with the square of the protein count, Phase II's work
+// is (4000^2 / (168^2 * 100)) ~ 5.66x Phase I's. The projection answers the
+// paper's three questions:
+//   * how long at the Phase I rate?                      (~90 weeks)
+//   * how many VFTP to finish in 40 weeks?               (59,730)
+//   * how many members does that take, given HCMD would
+//     get ~25 % of a grid that hosts 3 other projects?   (~1.3 million)
+#pragma once
+
+#include <cstdint>
+
+namespace hcmd::analysis {
+
+struct ProjectionInput {
+  /// Measured Phase I consumption over the full-power period.
+  double phase1_cpu_seconds = 254'897'774'144.0;  ///< Table 3 value
+  double phase1_weeks = 16.0;
+  double phase1_vftp = 26'341.0;
+
+  /// Phase II scope.
+  std::uint32_t phase1_proteins = 168;
+  std::uint32_t phase2_proteins = 4'000;
+  double docking_point_reduction = 100.0;
+
+  /// Target completion horizon.
+  double phase2_target_weeks = 40.0;
+
+  /// Members per VFTP observed in Phase I (132,490 members <-> 26,341
+  /// VFTP).
+  double members_per_vftp_project = 132'490.0 / 26'341.0;
+  /// Members per VFTP of the whole grid (Section 7 uses ~325,000 members
+  /// <-> ~60,000 VFTP).
+  double members_per_vftp_grid = 325'000.0 / 60'000.0;
+  /// Share of the grid HCMD would get with 3 other projects hosted.
+  double hcmd_grid_share = 0.25;
+  /// Current WCG membership when Phase II would start.
+  double current_members = 325'000.0;
+};
+
+struct ProjectionResult {
+  double work_ratio = 0.0;           ///< Phase II / Phase I (~5.66)
+  double phase2_cpu_seconds = 0.0;   ///< Table 3: ~1.445e12
+  double weeks_at_phase1_rate = 0.0; ///< ~90 weeks
+  double vftp_needed = 0.0;          ///< Table 3: 59,730 for 40 weeks
+  double members_needed_project = 0.0;  ///< Table 3: ~300,430
+  double members_needed_grid = 0.0;     ///< ~1.3 million at 25 % share
+  double new_volunteers_needed = 0.0;   ///< ~1 million
+};
+
+ProjectionResult project_phase2(const ProjectionInput& input = {});
+
+}  // namespace hcmd::analysis

@@ -1,0 +1,43 @@
+#include "analysis/speeddown.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hcmd::analysis {
+
+double SpeeddownMeasurement::gross_speeddown() const {
+  HCMD_ASSERT(useful_reference_seconds > 0.0);
+  return reported_runtime_seconds / useful_reference_seconds;
+}
+
+double SpeeddownMeasurement::net_speeddown() const {
+  HCMD_ASSERT(redundancy_factor > 0.0);
+  return gross_speeddown() / redundancy_factor;
+}
+
+double SpeeddownDecomposition::predicted_net_speeddown() const {
+  const double effective = throttle_factor * contention_factor *
+                           screensaver_factor * device_speed_factor;
+  HCMD_ASSERT(effective > 0.0);
+  return 1.0 / effective;
+}
+
+SpeeddownDecomposition decompose(const volunteer::DeviceParams& params,
+                                 double years_since_launch) {
+  SpeeddownDecomposition d;
+  d.throttle_factor =
+      params.unthrottled_fraction * 1.0 +
+      (1.0 - params.unthrottled_fraction) * params.throttle_default;
+  d.contention_factor = params.contention_mean;
+  d.screensaver_factor = params.screensaver_overhead;
+  d.device_speed_factor =
+      params.speed_median *
+      std::exp(0.5 * params.speed_sigma * params.speed_sigma) *
+      std::pow(1.0 + params.speed_improvement_per_year,
+               std::max(0.0, years_since_launch));
+  return d;
+}
+
+}  // namespace hcmd::analysis

@@ -1,0 +1,43 @@
+// Speed-down analysis (Section 6).
+//
+// The campaign consumed 5.43x more reported CPU time than the reference
+// estimate; dividing out the 1.37 redundancy factor leaves a 3.96x
+// "speed-down" of a WCG virtual full-time processor against the reference
+// Opteron. This module computes both from campaign measurements and also
+// produces the paper's qualitative decomposition (wall-clock accounting at
+// a 60 % throttle, lowest-priority starvation, screensaver cost, slower
+// devices) from the device-model parameters.
+#pragma once
+
+#include "volunteer/device.hpp"
+
+namespace hcmd::analysis {
+
+/// Measured factors from a campaign run.
+struct SpeeddownMeasurement {
+  /// Sum of agent-reported run time over every received result (seconds).
+  double reported_runtime_seconds = 0.0;
+  /// Reference CPU of the useful (assimilated) results.
+  double useful_reference_seconds = 0.0;
+  /// received / useful results.
+  double redundancy_factor = 1.0;
+
+  /// 5.43x analogue: reported time per useful reference second.
+  double gross_speeddown() const;
+  /// 3.96x analogue: gross divided by the redundancy factor.
+  double net_speeddown() const;
+};
+
+/// Analytic decomposition of the net speed-down from the fleet parameters.
+struct SpeeddownDecomposition {
+  double throttle_factor = 1.0;      ///< mean CPU throttle (UD default 60 %)
+  double contention_factor = 1.0;    ///< lowest-priority starvation
+  double screensaver_factor = 1.0;   ///< screensaver rendering cost
+  double device_speed_factor = 1.0;  ///< mean device speed vs reference
+  double predicted_net_speeddown() const;
+};
+
+SpeeddownDecomposition decompose(const volunteer::DeviceParams& params,
+                                 double years_since_launch);
+
+}  // namespace hcmd::analysis

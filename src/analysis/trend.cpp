@@ -1,0 +1,52 @@
+#include "analysis/trend.hpp"
+
+#include <cmath>
+
+#include "server/credit.hpp"
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::analysis {
+
+double mean_benchmark_score(double credit, double runtime_seconds) {
+  HCMD_ASSERT(credit >= 0.0 && runtime_seconds >= 0.0);
+  if (runtime_seconds <= 0.0) return 0.0;
+  const double reference_seconds =
+      credit / server::kCreditPerReferenceHour * util::kSecondsPerHour;
+  return reference_seconds / runtime_seconds;
+}
+
+HardwareTrend estimate_trend(std::span<const double> credit_weekly,
+                             std::span<const double> runtime_weekly_seconds,
+                             double bins_per_year,
+                             double min_runtime_seconds) {
+  HCMD_ASSERT(credit_weekly.size() == runtime_weekly_seconds.size());
+  HCMD_ASSERT(bins_per_year > 0.0);
+  HardwareTrend trend;
+  std::vector<double> xs, ys;
+  trend.weekly_score.reserve(credit_weekly.size());
+  for (std::size_t i = 0; i < credit_weekly.size(); ++i) {
+    const double runtime = runtime_weekly_seconds[i];
+    const double score = mean_benchmark_score(credit_weekly[i], runtime);
+    trend.weekly_score.push_back(score);
+    if (runtime >= min_runtime_seconds && score > 0.0) {
+      xs.push_back(static_cast<double>(i));
+      ys.push_back(std::log(score));
+    }
+  }
+  if (xs.size() >= 2) {
+    trend.log_fit = util::fit_linear(xs, ys);
+    trend.annual_improvement =
+        std::exp(trend.log_fit.slope * bins_per_year) - 1.0;
+  }
+  return trend;
+}
+
+double annualized_improvement(double score_early, double score_late,
+                              double years_apart) {
+  HCMD_ASSERT(score_early > 0.0 && score_late > 0.0);
+  HCMD_ASSERT(years_apart > 0.0);
+  return std::pow(score_late / score_early, 1.0 / years_apart) - 1.0;
+}
+
+}  // namespace hcmd::analysis

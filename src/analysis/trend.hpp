@@ -1,0 +1,44 @@
+// Hardware-trend estimation from credit accounting (Section 8).
+//
+// "This approach [points] should also allow us to observe the trend toward
+// more powerful processors in desktop computers." Credit divided by run
+// time recovers the fleet's mean agent-benchmark score; tracking that
+// ratio over time (within a campaign, or between campaigns) measures the
+// desktop-hardware improvement rate without any device census.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace hcmd::analysis {
+
+/// Mean agent-benchmark score implied by (credit, accounted runtime):
+/// reference seconds per accounted second. Returns 0 when runtime is 0.
+double mean_benchmark_score(double credit, double runtime_seconds);
+
+/// Per-bin score series + exponential trend fit.
+struct HardwareTrend {
+  std::vector<double> weekly_score;  ///< credit-implied mean score per bin
+  util::LinearFit log_fit;           ///< ln(score) vs bin index
+  /// Annualised improvement implied by the fit ((1+r) per year - 1), using
+  /// `bins_per_year` to convert the per-bin slope.
+  double annual_improvement = 0.0;
+};
+
+/// Estimates the trend from parallel weekly credit and runtime series
+/// (seconds). Bins with runtime below `min_runtime_seconds` are skipped
+/// (start-up and drain weeks carry no signal).
+HardwareTrend estimate_trend(std::span<const double> credit_weekly,
+                             std::span<const double> runtime_weekly_seconds,
+                             double bins_per_year = 365.0 / 7.0,
+                             double min_runtime_seconds = 1.0);
+
+/// Two-point estimate between campaigns: the annualised rate that turns
+/// `score_early` into `score_late` over `years_apart` years.
+double annualized_improvement(double score_early, double score_late,
+                              double years_apart);
+
+}  // namespace hcmd::analysis

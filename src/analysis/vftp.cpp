@@ -1,0 +1,26 @@
+#include "analysis/vftp.hpp"
+
+#include "util/error.hpp"
+
+namespace hcmd::analysis {
+
+double vftp(double runtime_seconds, double period_seconds) {
+  HCMD_ASSERT(period_seconds > 0.0);
+  HCMD_ASSERT(runtime_seconds >= 0.0);
+  return runtime_seconds / period_seconds;
+}
+
+std::vector<double> vftp_series(const util::TimeBinnedSeries& runtime) {
+  std::vector<double> out;
+  out.reserve(runtime.size());
+  for (std::size_t i = 0; i < runtime.size(); ++i)
+    out.push_back(runtime.value(i) / runtime.width());
+  return out;
+}
+
+double mean_vftp(const util::TimeBinnedSeries& runtime, std::size_t first,
+                 std::size_t last) {
+  return runtime.mean_over(first, last) / runtime.width();
+}
+
+}  // namespace hcmd::analysis

@@ -1,0 +1,29 @@
+// The paper's "virtual full-time processors" metric.
+//
+// "With this notion we answer the question: how many processors do we need
+// to generate 10 years of cpu time for 1 day? If for 1 day, 10 years of cpu
+// time are consumed, it is equivalent to at least 3,650 processors that
+// compute full time for 1 day."
+//
+// VFTP over a period = (run time received in the period) / (period length).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace hcmd::analysis {
+
+/// VFTP for a lump of run time over a period.
+double vftp(double runtime_seconds, double period_seconds);
+
+/// Converts a time-binned run-time series (seconds of run time per bin)
+/// into a per-bin VFTP series.
+std::vector<double> vftp_series(const util::TimeBinnedSeries& runtime);
+
+/// Mean VFTP over bins [first, last) of a run-time series.
+double mean_vftp(const util::TimeBinnedSeries& runtime, std::size_t first,
+                 std::size_t last);
+
+}  // namespace hcmd::analysis

@@ -1,0 +1,244 @@
+#include "client/agent.hpp"
+
+#include "server/credit.hpp"
+
+#include <cmath>
+
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::client {
+
+VolunteerAgent::VolunteerAgent(sim::Simulation& simulation,
+                               server::ProjectServer& project,
+                               const server::ShareSchedule& schedule,
+                               sim::MetricSet& metrics,
+                               volunteer::DeviceSpec spec, util::Rng rng,
+                               AgentConfig config)
+    : sim_(simulation), project_(project), schedule_(schedule),
+      metrics_(metrics), spec_(spec), rng_(rng), config_(config) {
+  HCMD_ASSERT(spec_.effective_speed() > 0.0);
+}
+
+void VolunteerAgent::start() {
+  HCMD_ASSERT(phase_ == Phase::kUnborn);
+  const double join = std::max(spec_.join_time, sim_.now());
+  sim_.schedule_at(join, [this] { on_join(); });
+}
+
+void VolunteerAgent::on_join() {
+  phase_ = Phase::kOffline;
+  sim_.schedule_in(spec_.lifetime_seconds, [this] { on_death(); });
+  // A joining device is somewhere inside an off period: stagger the first
+  // attach by a draw from the off distribution (memoryless, so the residual
+  // has the same law), capped at a week. This also prevents a batch of
+  // devices created at t = 0 from requesting work in lock-step.
+  const double stagger =
+      std::min(rng_.exponential(spec_.off_mean_seconds > 0.0
+                                    ? spec_.off_mean_seconds
+                                    : 1.0),
+               util::kSecondsPerWeek);
+  online_event_ = sim_.schedule_in(stagger, [this] { go_online(); });
+}
+
+void VolunteerAgent::go_online() {
+  if (phase_ == Phase::kDead) return;
+  HCMD_ASSERT(phase_ == Phase::kOffline);
+  offline_at_ = sim_.now() + rng_.exponential(spec_.on_mean_seconds);
+  offline_event_ = sim_.schedule_at(offline_at_, [this] { go_offline(); });
+  if (work_.has_value()) {
+    phase_ = Phase::kComputing;
+    begin_segment();
+  } else {
+    phase_ = Phase::kIdle;
+    request_work();
+  }
+}
+
+void VolunteerAgent::go_offline() {
+  if (phase_ == Phase::kDead) return;
+  complete_event_.cancel();
+  pause_event_.cancel();
+  retry_event_.cancel();
+  if (phase_ == Phase::kComputing) settle_segment(/*interrupted=*/true);
+  phase_ = Phase::kOffline;
+  double off_len;
+  if (long_pause_due_) {
+    // The volunteer paused/killed the agent for a long stretch; the server
+    // will time the workunit out, and the eventual upload arrives late.
+    long_pause_due_ = false;
+    off_len = rng_.exponential(config_.long_pause_mean_weeks *
+                               util::kSecondsPerWeek);
+  } else {
+    off_len = volunteer::sample_reattach_delay(
+        sim_.now(), spec_.off_mean_seconds, spec_.diurnal, rng_);
+  }
+  online_event_ = sim_.schedule_in(off_len, [this] { go_online(); });
+}
+
+void VolunteerAgent::on_death() {
+  if (phase_ == Phase::kDead) return;
+  if (phase_ == Phase::kComputing) settle_segment(/*interrupted=*/true);
+  phase_ = Phase::kDead;
+  offline_event_.cancel();
+  complete_event_.cancel();
+  pause_event_.cancel();
+  online_event_.cancel();
+  retry_event_.cancel();
+  // Any assigned workunit is silently dropped; the server learns about it
+  // from the deadline.
+  work_.reset();
+}
+
+void VolunteerAgent::request_work() {
+  if (phase_ != Phase::kIdle) return;
+  HCMD_ASSERT(!work_.has_value());
+
+  const double share = schedule_.share_at(sim_.now());
+  const bool want_hcmd = rng_.bernoulli(share) && !project_.complete();
+
+  if (want_hcmd) {
+    auto assignment = project_.request_work(spec_.id, sim_.now());
+    if (assignment.has_value()) {
+      WorkItem item;
+      item.is_hcmd = true;
+      item.result_id = assignment->result_id;
+      item.required_ref = assignment->workunit.reference_seconds;
+      item.checkpoint_ref = assignment->workunit.reference_seconds /
+                            static_cast<double>(
+                                assignment->workunit.positions());
+      if (rng_.bernoulli(spec_.abandon_rate))
+        item.long_pause_at = rng_.uniform(0.0, item.required_ref);
+      work_ = item;
+      // Transitioner deadline tick, independent of this agent's fate.
+      server::ProjectServer& project = project_;
+      const std::uint64_t result_id = item.result_id;
+      const double deadline = assignment->deadline;
+      sim_.schedule_at(deadline, [&project, result_id, deadline] {
+        project.handle_deadline(result_id, deadline);
+      });
+      phase_ = Phase::kComputing;
+      begin_segment();
+      return;
+    }
+    if (!project_.complete()) {
+      // Everything is issued and outstanding; come back later.
+      const double retry =
+          config_.work_request_retry_hours * util::kSecondsPerHour;
+      retry_event_ = sim_.schedule_in(retry, [this] { request_work(); });
+      return;
+    }
+    // Campaign finished: fall through to another project's work.
+  }
+
+  WorkItem item;
+  item.is_hcmd = false;
+  item.required_ref =
+      config_.other_project_reference_hours * util::kSecondsPerHour;
+  work_ = item;
+  phase_ = Phase::kComputing;
+  begin_segment();
+}
+
+void VolunteerAgent::begin_segment() {
+  HCMD_ASSERT(phase_ == Phase::kComputing);
+  HCMD_ASSERT(work_.has_value());
+  segment_start_ = sim_.now();
+  const double remaining_ref = work_->required_ref - work_->progress_ref;
+  const double remaining_wall = remaining_ref / spec_.effective_speed();
+  if (sim_.now() + remaining_wall < offline_at_) {
+    complete_event_ =
+        sim_.schedule_in(remaining_wall, [this] { on_complete(); });
+  }
+  // Otherwise the offline event will interrupt this segment first.
+
+  // If the volunteer is going to pause/kill the agent mid-workunit, the
+  // pause fires at the exact progress point — before completion and
+  // possibly before the natural offline event.
+  if (work_->long_pause_at >= 0.0) {
+    const double wall_to_pause =
+        std::max(0.0, (work_->long_pause_at - work_->progress_ref) /
+                          spec_.effective_speed());
+    if (sim_.now() + wall_to_pause < offline_at_ &&
+        wall_to_pause < remaining_wall) {
+      pause_event_ =
+          sim_.schedule_in(wall_to_pause, [this] { trigger_long_pause(); });
+    }
+  }
+}
+
+void VolunteerAgent::trigger_long_pause() {
+  if (phase_ != Phase::kComputing || !work_.has_value()) return;
+  work_->long_pause_at = -1.0;
+  long_pause_due_ = true;  // consumed by go_offline's duration draw
+  offline_event_.cancel();
+  go_offline();
+}
+
+void VolunteerAgent::settle_segment(bool interrupted) {
+  HCMD_ASSERT(work_.has_value());
+  const double wall = sim_.now() - segment_start_;
+  HCMD_ASSERT(wall >= 0.0);
+  if (wall > 0.0) {
+    work_->attached_wall += wall;
+    work_->progress_ref += wall * spec_.effective_speed();
+
+    // Run-time accounting: the UD agent accrues wall-clock, the BOINC agent
+    // accrues process CPU time.
+    const double runtime =
+        spec_.accounting == volunteer::AccountingMode::kUdWallClock
+            ? wall
+            : wall * spec_.throttle * spec_.contention;
+    metrics_.meter(metric::kWcgRuntime, sim_.now(), runtime);
+    if (work_->is_hcmd)
+      metrics_.meter(metric::kHcmdRuntime, sim_.now(), runtime);
+  }
+
+  if (interrupted && work_->progress_ref < work_->required_ref &&
+      work_->checkpoint_ref > 0.0) {
+    // Checkpoints only exist between starting positions: the partially
+    // computed position is lost (its wall time stays spent).
+    work_->progress_ref -=
+        std::fmod(work_->progress_ref, work_->checkpoint_ref);
+  }
+
+}
+
+void VolunteerAgent::on_complete() {
+  HCMD_ASSERT(phase_ == Phase::kComputing);
+  HCMD_ASSERT(work_.has_value());
+  settle_segment(/*interrupted=*/false);
+  work_->progress_ref = work_->required_ref;  // clamp fp residue
+
+  if (work_->is_hcmd) {
+    server::ResultReport report;
+    report.computation_error = rng_.bernoulli(spec_.error_rate);
+    report.silent_error = !report.computation_error &&
+                          rng_.bernoulli(spec_.silent_error_rate);
+    report.reported_runtime =
+        spec_.reported_runtime(work_->attached_wall, work_->required_ref);
+    report.reference_seconds = work_->required_ref;
+
+    const std::uint64_t completed_before =
+        project_.counters().workunits_completed;
+    project_.report_result(work_->result_id, sim_.now(), report);
+    metrics_.meter(metric::kHcmdResults, sim_.now(), 1.0);
+    if (!report.computation_error) {
+      // Section 8's points scheme: runtime x agent benchmark score.
+      metrics_.meter(metric::kHcmdCredit, sim_.now(),
+                     server::claimed_credit(spec_, report.reported_runtime));
+    }
+    if (project_.counters().workunits_completed > completed_before) {
+      metrics_.meter(metric::kHcmdUsefulResults, sim_.now(), 1.0);
+      metrics_.meter(metric::kHcmdUsefulRefSeconds, sim_.now(),
+                     work_->required_ref);
+    }
+    reported_runtimes_.push_back(report.reported_runtime);
+  }
+
+  work_.reset();
+  phase_ = Phase::kIdle;
+  request_work();
+}
+
+}  // namespace hcmd::client

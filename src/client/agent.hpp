@@ -1,0 +1,119 @@
+// Volunteer agent: the per-device state machine of the campaign simulation.
+//
+// Mirrors the UD/BOINC agent behaviour the paper describes:
+//  * the agent alternates attached (crunching) and detached periods —
+//    volunteers "use only the idle time of the device";
+//  * on each work request the grid routes the device to HCMD with the
+//    schedule's current project share, otherwise to another WCG project;
+//  * docking progress accrues at the device's effective speed; run time is
+//    accounted per the agent's mode (UD: wall clock; BOINC: CPU);
+//  * checkpoints exist only between starting positions: an interruption
+//    loses the partial position and the wall time it consumed;
+//  * some volunteers pause the agent for weeks ("long pause"): the server
+//    times the result out and re-issues it, and the eventual late upload is
+//    still received — redundant computing;
+//  * the device dies at the end of its lifetime, silently dropping any
+//    assigned work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "server/server.hpp"
+#include "server/share_schedule.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "volunteer/device.hpp"
+
+namespace hcmd::client {
+
+struct AgentConfig {
+  /// Reference CPU hours of a typical non-HCMD workunit (occupies the
+  /// device when the share draw routes it to another project).
+  double other_project_reference_hours = 4.0;
+  /// Mean of the exponential long-pause duration.
+  double long_pause_mean_weeks = 2.0;
+  /// Retry interval when the HCMD server has no work to give.
+  double work_request_retry_hours = 6.0;
+};
+
+/// Metric names the agent emits into the campaign MetricSet.
+namespace metric {
+inline constexpr const char* kHcmdRuntime = "hcmd_runtime_seconds";
+inline constexpr const char* kWcgRuntime = "wcg_runtime_seconds";
+inline constexpr const char* kHcmdResults = "hcmd_results_received";
+inline constexpr const char* kHcmdUsefulResults = "hcmd_results_useful";
+inline constexpr const char* kHcmdUsefulRefSeconds =
+    "hcmd_useful_reference_seconds";
+inline constexpr const char* kHcmdCredit = "hcmd_credit_granted";
+}  // namespace metric
+
+class VolunteerAgent {
+ public:
+  VolunteerAgent(sim::Simulation& simulation, server::ProjectServer& project,
+                 const server::ShareSchedule& schedule,
+                 sim::MetricSet& metrics, volunteer::DeviceSpec spec,
+                 util::Rng rng, AgentConfig config);
+
+  VolunteerAgent(const VolunteerAgent&) = delete;
+  VolunteerAgent& operator=(const VolunteerAgent&) = delete;
+
+  /// Schedules the join event; must be called once before the simulation
+  /// runs past spec.join_time.
+  void start();
+
+  const volunteer::DeviceSpec& spec() const { return spec_; }
+
+  /// Lifetime statistics for the Fig. 8 distribution: runtimes the agent
+  /// reported for completed HCMD workunits (seconds).
+  const std::vector<double>& reported_hcmd_runtimes() const {
+    return reported_runtimes_;
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kUnborn, kOffline, kIdle, kComputing,
+                                    kDead };
+
+  struct WorkItem {
+    bool is_hcmd = false;
+    std::uint64_t result_id = 0;
+    double required_ref = 0.0;    ///< reference CPU seconds to finish
+    double progress_ref = 0.0;
+    double attached_wall = 0.0;   ///< wall seconds spent attached to this WU
+    double checkpoint_ref = 0.0;  ///< reference seconds per checkpoint slice
+    double long_pause_at = -1.0;  ///< progress threshold (< 0: none pending)
+  };
+
+  void on_join();
+  void go_online();
+  void go_offline();
+  void on_death();
+  void trigger_long_pause();
+  void request_work();
+  void begin_segment();
+  void settle_segment(bool interrupted);
+  void on_complete();
+
+  sim::Simulation& sim_;
+  server::ProjectServer& project_;
+  const server::ShareSchedule& schedule_;
+  sim::MetricSet& metrics_;
+  volunteer::DeviceSpec spec_;
+  util::Rng rng_;
+  AgentConfig config_;
+
+  Phase phase_ = Phase::kUnborn;
+  std::optional<WorkItem> work_;
+  double segment_start_ = 0.0;
+  double offline_at_ = 0.0;
+  bool long_pause_due_ = false;
+  sim::EventHandle offline_event_;
+  sim::EventHandle complete_event_;
+  sim::EventHandle pause_event_;
+  sim::EventHandle online_event_;
+  sim::EventHandle retry_event_;
+  std::vector<double> reported_runtimes_;
+};
+
+}  // namespace hcmd::client

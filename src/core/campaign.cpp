@@ -1,0 +1,279 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "client/agent.hpp"
+#include "server/credit.hpp"
+#include "dedicated/grid.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "util/duration.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hcmd::core {
+
+using util::kSecondsPerDay;
+using util::kSecondsPerWeek;
+
+void CampaignConfig::validate() const {
+  if (scale <= 0.0 || scale > 1.0)
+    throw ConfigError("CampaignConfig: scale outside (0, 1]");
+  if (max_weeks <= 0.0)
+    throw ConfigError("CampaignConfig: max_weeks must be > 0");
+  if (mct_target_mean_seconds <= 0.0)
+    throw ConfigError("CampaignConfig: mct_target_mean_seconds must be > 0");
+  for (const auto& s : snapshots) {
+    if (util::days_between(start_date, s.date) < 0)
+      throw ConfigError("CampaignConfig: snapshot before campaign start");
+  }
+}
+
+Workload build_workload(const CampaignConfig& config) {
+  config.validate();
+  Workload w;
+  w.benchmark = proteins::generate_benchmark(config.benchmark);
+  w.cost_model = std::make_unique<timing::CostModel>(
+      timing::CostModel::calibrated(w.benchmark,
+                                    config.mct_target_mean_seconds,
+                                    config.cost_noise_sigma));
+  w.mct = std::make_unique<timing::MctMatrix>(
+      timing::MctMatrix::from_model(w.benchmark, *w.cost_model));
+  return w;
+}
+
+namespace {
+
+/// Launch ranks: cheapest receptor first ("they decided to first launch the
+/// protein that required less computing time").
+std::vector<std::uint32_t> launch_ranks(const proteins::Benchmark& benchmark,
+                                        const timing::MctMatrix& mct) {
+  const std::vector<double> cost = mct.per_receptor_seconds(benchmark);
+  std::vector<std::uint32_t> order(cost.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return cost[a] < cost[b];
+                   });
+  std::vector<std::uint32_t> rank(cost.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+  return rank;
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const CampaignConfig& config) {
+  config.validate();
+  Workload w = build_workload(config);
+  const auto& bench = w.benchmark;
+  const auto& mct = *w.mct;
+  const auto receptor_count =
+      static_cast<std::uint32_t>(bench.proteins.size());
+
+  CampaignReport report;
+  report.total_reference_seconds = mct.total_reference_seconds(bench);
+
+  // --- full-scale packaging statistics (exact counts) ---
+  {
+    const packaging::PackagingStats full_stats =
+        packaging::compute_stats(bench, mct, config.packaging);
+    report.full_workunit_count = full_stats.workunit_count;
+    report.nominal_wu_mean_seconds = full_stats.mean_reference_seconds;
+  }
+
+  // --- scaled catalogue in launch order ---
+  const auto stride = static_cast<std::uint64_t>(
+      std::max<long long>(1, std::llround(1.0 / config.scale)));
+  const double scale = 1.0 / static_cast<double>(stride);
+  report.scale = scale;
+
+  std::vector<packaging::Workunit> catalog =
+      packaging::build_catalog(bench, mct, config.packaging, stride);
+  const std::vector<std::uint32_t> rank = launch_ranks(bench, mct);
+  std::stable_sort(catalog.begin(), catalog.end(),
+                   [&](const packaging::Workunit& a,
+                       const packaging::Workunit& b) {
+                     if (rank[a.receptor] != rank[b.receptor])
+                       return rank[a.receptor] < rank[b.receptor];
+                     if (a.ligand != b.ligand) return a.ligand < b.ligand;
+                     return a.isep_begin < b.isep_begin;
+                   });
+  HCMD_ASSERT(!catalog.empty());
+
+  // --- grid components ---
+  const server::ShareSchedule schedule(config.share);
+  server::ServerConfig server_cfg = config.server;
+  server_cfg.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
+  server::ProjectServer project(std::move(catalog), server_cfg);
+
+  sim::Simulation simulation;
+  sim::MetricSet metrics(kSecondsPerWeek);
+  util::Rng rng(config.seed);
+  util::Rng fleet_rng = rng.fork("fleet");
+  util::Rng agent_rng_root = rng.fork("agents");
+
+  // --- fleet construction ---
+  const volunteer::WcgPopulationModel population(config.population);
+  const double attached =
+      volunteer::expected_attached_fraction(config.devices);
+  const double day0 = static_cast<double>(util::days_between(
+      config.population.launch, config.start_date));
+  HCMD_ASSERT_MSG(day0 > 0, "campaign starts before the grid's launch");
+  const double max_days = config.max_weeks * 7.0;
+
+  auto target_devices = [&](double day) {
+    return config.fleet_margin * scale * population.base_vftp(day0 + day) /
+           attached;
+  };
+
+  std::vector<std::unique_ptr<client::VolunteerAgent>> agents;
+  std::uint32_t next_device_id = 0;
+  auto add_device = [&](double join_seconds) {
+    const double years = (day0 + join_seconds / kSecondsPerDay) / 365.0;
+    volunteer::DeviceSpec spec =
+        volunteer::make_device(next_device_id++, join_seconds, years,
+                               fleet_rng, config.devices);
+    agents.push_back(std::make_unique<client::VolunteerAgent>(
+        simulation, project, schedule, metrics, spec,
+        agent_rng_root.fork("agent-" + std::to_string(spec.id)),
+        config.agent));
+    agents.back()->start();
+  };
+
+  const auto initial = static_cast<std::uint64_t>(
+      std::max<long long>(0, std::llround(target_devices(0.0))));
+  for (std::uint64_t i = 0; i < initial; ++i) add_device(0.0);
+  for (double day = 0.0; day < max_days; day += 1.0) {
+    const double growth =
+        std::max(0.0, target_devices(day + 1.0) - target_devices(day));
+    const double replacement =
+        target_devices(day) /
+        config.devices.lifetime_mean_days;  // churn compensation
+    const std::uint64_t arrivals = fleet_rng.poisson(growth + replacement);
+    for (std::uint64_t i = 0; i < arrivals; ++i)
+      add_device((day + fleet_rng.next_double()) * kSecondsPerDay);
+  }
+  report.devices_simulated = agents.size();
+
+  // --- Fig. 7 snapshots ---
+  std::vector<double> total_per_receptor =
+      project.total_reference_seconds_per_receptor(receptor_count);
+  // Display order: launch order (cheapest receptor first), like the paper's
+  // X axis.
+  std::vector<std::uint32_t> display(receptor_count);
+  std::iota(display.begin(), display.end(), 0u);
+  std::stable_sort(display.begin(), display.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return rank[a] < rank[b];
+                   });
+  auto reorder = [&](const std::vector<double>& v) {
+    std::vector<double> out(v.size());
+    for (std::size_t i = 0; i < display.size(); ++i) out[i] = v[display[i]];
+    return out;
+  };
+  for (const auto& snap : config.snapshots) {
+    const double t = static_cast<double>(util::days_between(
+                         config.start_date, snap.date)) *
+                     kSecondsPerDay;
+    simulation.schedule_at(t, [&, label = snap.label, t] {
+      report.snapshots.push_back(analysis::make_snapshot(
+          label, t,
+          reorder(project.completed_reference_seconds_per_receptor(
+              receptor_count)),
+          reorder(total_per_receptor)));
+    });
+  }
+
+  // --- completion detection (daily tick) ---
+  double completion_time = -1.0;
+  simulation.schedule_periodic(kSecondsPerDay, kSecondsPerDay,
+                               [&](sim::SimTime t) {
+                                 if (project.complete()) {
+                                   completion_time = t;
+                                   return false;  // stop the tick
+                                 }
+                                 return true;
+                               });
+
+  // --- run, chunked weekly so we can stop shortly after completion ---
+  const double max_seconds = config.max_weeks * kSecondsPerWeek;
+  while (simulation.now() < max_seconds) {
+    if (completion_time >= 0.0 &&
+        simulation.now() >= completion_time + kSecondsPerWeek)
+      break;  // one drain week for late arrivals, then stop
+    simulation.run_until(
+        std::min(max_seconds, simulation.now() + kSecondsPerWeek));
+  }
+
+  report.completed = completion_time >= 0.0;
+  report.completion_weeks = report.completed
+                                ? completion_time / kSecondsPerWeek
+                                : config.max_weeks;
+
+  // --- series and aggregates ---
+  const auto weeks = static_cast<std::size_t>(
+      std::ceil(report.completion_weeks - 1e-9));
+  auto rescaled_series = [&](const char* name, double divisor) {
+    const auto& s = metrics.series(name);
+    std::vector<double> out;
+    out.reserve(weeks);
+    for (std::size_t i = 0; i < weeks; ++i)
+      out.push_back((i < s.size() ? s.value(i) : 0.0) / divisor / scale);
+    return out;
+  };
+  report.hcmd_vftp_weekly =
+      rescaled_series(client::metric::kHcmdRuntime, kSecondsPerWeek);
+  report.wcg_vftp_weekly =
+      rescaled_series(client::metric::kWcgRuntime, kSecondsPerWeek);
+  report.results_received_weekly =
+      rescaled_series(client::metric::kHcmdResults, 1.0);
+  report.results_useful_weekly =
+      rescaled_series(client::metric::kHcmdUsefulResults, 1.0);
+  report.credit_weekly = rescaled_series(client::metric::kHcmdCredit, 1.0);
+  for (double c : report.credit_weekly) report.total_credit += c;
+  report.credit_reference_processors = server::credit_vftp(
+      report.total_credit,
+      static_cast<double>(weeks) * kSecondsPerWeek);
+
+  auto mean_of = [](const std::vector<double>& v, std::size_t first,
+                    std::size_t last) {
+    if (first >= last || last > v.size()) return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = first; i < last; ++i) sum += v[i];
+    return sum / static_cast<double>(last - first);
+  };
+  report.full_power_start_week =
+      schedule.full_power_start() / kSecondsPerWeek;
+  const auto fp_week = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(weeks),
+                       std::ceil(report.full_power_start_week)));
+  report.avg_hcmd_vftp_whole = mean_of(report.hcmd_vftp_weekly, 0, weeks);
+  report.avg_hcmd_vftp_fullpower =
+      mean_of(report.hcmd_vftp_weekly, fp_week, weeks);
+  report.avg_wcg_vftp_whole = mean_of(report.wcg_vftp_weekly, 0, weeks);
+
+  report.counters = project.counters();
+  report.redundancy_factor = report.counters.redundancy_factor();
+  report.useful_fraction = report.counters.useful_fraction();
+  report.speeddown.reported_runtime_seconds =
+      report.counters.reported_runtime_seconds;
+  report.speeddown.useful_reference_seconds =
+      report.counters.useful_reference_seconds;
+  report.speeddown.redundancy_factor = report.redundancy_factor;
+
+  // --- Fig. 8: reported runtimes of completed HCMD workunits ---
+  std::vector<double> runtimes;
+  for (const auto& agent : agents) {
+    const auto& r = agent->reported_hcmd_runtimes();
+    runtimes.insert(runtimes.end(), r.begin(), r.end());
+  }
+  report.runtime_summary = util::summarize(runtimes);
+  for (double r : runtimes)
+    report.runtime_hours_hist.add(r / util::kSecondsPerHour);
+
+  return report;
+}
+
+}  // namespace hcmd::core

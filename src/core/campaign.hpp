@@ -1,0 +1,96 @@
+// End-to-end Phase I campaign simulation.
+//
+// Pipeline (mirrors the paper's Sections 4-6):
+//   1. generate the 168-protein benchmark and calibrate the cost model;
+//   2. evaluate the Mct matrix (the Grid'5000 calibration);
+//   3. package workunits (Section 4.2) and order them cheapest receptor
+//      first, the WCG team's launch order;
+//   4. build the volunteer fleet from the population model and run the
+//      discrete-event simulation of the whole campaign: agents fetch,
+//      crunch, checkpoint, disappear, return late; the server replicates,
+//      validates, re-issues and assimilates;
+//   5. reduce everything into a CampaignReport: the weekly VFTP and result
+//      series (Fig. 6), the runtime distribution (Fig. 8), the progression
+//      snapshots (Fig. 7), the speed-down and grid-equivalence numbers
+//      (Table 2) and the completion time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/progression.hpp"
+#include "analysis/speeddown.hpp"
+#include "core/scenario.hpp"
+#include "timing/mct_matrix.hpp"
+#include "util/stats.hpp"
+
+namespace hcmd::core {
+
+struct CampaignReport {
+  double scale = 1.0;
+
+  // --- workload (full-scale, before sampling) ---
+  double total_reference_seconds = 0.0;   ///< formula (1) total
+  std::uint64_t full_workunit_count = 0;  ///< packaging count at scale 1
+  double nominal_wu_mean_seconds = 0.0;   ///< packaged mean (reference)
+
+  // --- weekly series, rescaled to full size (divide-by-scale applied) ---
+  std::vector<double> hcmd_vftp_weekly;
+  std::vector<double> wcg_vftp_weekly;
+  std::vector<double> results_received_weekly;
+  std::vector<double> results_useful_weekly;
+  /// Section 8's points scheme: credit granted per week (rescaled).
+  std::vector<double> credit_weekly;
+
+  // --- aggregates ---
+  server::ServerCounters counters;  ///< raw (scaled) lifecycle counters
+  double completion_weeks = 0.0;    ///< first day every workunit was done
+  bool completed = false;
+  double avg_hcmd_vftp_whole = 0.0;      ///< paper: 16,450
+  double avg_hcmd_vftp_fullpower = 0.0;  ///< paper: 26,248
+  double avg_wcg_vftp_whole = 0.0;       ///< paper: 54,947
+  double full_power_start_week = 0.0;
+
+  analysis::SpeeddownMeasurement speeddown;  ///< 5.43x / 3.96x analogues
+  double redundancy_factor = 0.0;            ///< paper: 1.37
+  double useful_fraction = 0.0;              ///< paper: ~0.73
+
+  /// Total credit granted (rescaled) and the Section 8 capacity estimate
+  /// derived from it: reference processors implied by credit over the
+  /// whole period. Middleware independent, unlike run-time VFTP.
+  double total_credit = 0.0;
+  double credit_reference_processors = 0.0;
+
+  // --- Fig. 8: reported runtimes of completed workunits (seconds) ---
+  util::Summary runtime_summary;
+  util::Histogram runtime_hours_hist{0.0, 48.0, 48};
+
+  // --- Fig. 7 snapshots ---
+  std::vector<analysis::ProgressionSnapshot> snapshots;
+
+  // --- fleet ---
+  std::size_t devices_simulated = 0;  ///< raw (scaled) device count
+
+  /// Total received results rescaled to full size (paper: 5,418,010).
+  double results_received_rescaled() const {
+    return static_cast<double>(counters.results_received) / scale;
+  }
+  /// Useful results rescaled (paper: 3,936,010 effective).
+  double results_useful_rescaled() const {
+    return static_cast<double>(counters.results_valid) / scale;
+  }
+};
+
+/// Runs the full pipeline. Deterministic in the config (including seed).
+CampaignReport run_campaign(const CampaignConfig& config);
+
+/// Steps 1-3 only: benchmark + calibrated model + matrix, shared by benches
+/// that do not need the DES.
+struct Workload {
+  proteins::Benchmark benchmark;
+  std::unique_ptr<timing::CostModel> cost_model;
+  std::unique_ptr<timing::MctMatrix> mct;
+};
+Workload build_workload(const CampaignConfig& config);
+
+}  // namespace hcmd::core

@@ -1,0 +1,93 @@
+#include "core/replication.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hcmd::core {
+
+const MetricSummary& ReplicationResult::metric(
+    const std::string& name) const {
+  for (const auto& m : metrics)
+    if (m.name == name) return m;
+  throw Error("ReplicationResult: unknown metric '" + name + "'");
+}
+
+namespace {
+
+MetricSummary summarize_metric(const std::string& name,
+                               const std::vector<double>& xs) {
+  const util::Summary s = util::summarize(xs);
+  MetricSummary m;
+  m.name = name;
+  m.mean = s.mean;
+  m.stddev = s.stddev;
+  m.ci95 = s.count > 0
+               ? 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count))
+               : 0.0;
+  m.min = s.min;
+  m.max = s.max;
+  return m;
+}
+
+}  // namespace
+
+ReplicationResult replicate_campaign(const CampaignConfig& config,
+                                     std::size_t replicas,
+                                     std::uint64_t base_seed,
+                                     std::size_t threads) {
+  if (replicas == 0)
+    throw ConfigError("replicate_campaign: need at least one replica");
+  config.validate();
+
+  ReplicationResult result;
+  result.replicas = replicas;
+  result.reports.resize(replicas);
+
+  util::ThreadPool pool(threads);
+  util::parallel_for(pool, replicas, [&](std::size_t i) {
+    CampaignConfig replica = config;
+    replica.seed = base_seed + i;
+    result.reports[i] = run_campaign(replica);
+  });
+
+  auto collect = [&](const std::string& name, auto&& extract) {
+    std::vector<double> xs;
+    xs.reserve(replicas);
+    for (const auto& r : result.reports) xs.push_back(extract(r));
+    result.metrics.push_back(summarize_metric(name, xs));
+  };
+  collect("completion_weeks",
+          [](const CampaignReport& r) { return r.completion_weeks; });
+  collect("redundancy_factor",
+          [](const CampaignReport& r) { return r.redundancy_factor; });
+  collect("useful_fraction",
+          [](const CampaignReport& r) { return r.useful_fraction; });
+  collect("gross_speeddown", [](const CampaignReport& r) {
+    return r.counters.useful_reference_seconds > 0
+               ? r.speeddown.gross_speeddown()
+               : 0.0;
+  });
+  collect("net_speeddown", [](const CampaignReport& r) {
+    return r.counters.useful_reference_seconds > 0
+               ? r.speeddown.net_speeddown()
+               : 0.0;
+  });
+  collect("avg_hcmd_vftp_whole",
+          [](const CampaignReport& r) { return r.avg_hcmd_vftp_whole; });
+  collect("avg_hcmd_vftp_fullpower", [](const CampaignReport& r) {
+    return r.avg_hcmd_vftp_fullpower;
+  });
+  collect("avg_wcg_vftp_whole",
+          [](const CampaignReport& r) { return r.avg_wcg_vftp_whole; });
+  collect("results_received", [](const CampaignReport& r) {
+    return r.results_received_rescaled();
+  });
+  collect("mean_runtime_hours", [](const CampaignReport& r) {
+    return r.runtime_summary.mean / 3600.0;
+  });
+  return result;
+}
+
+}  // namespace hcmd::core

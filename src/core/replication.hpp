@@ -1,0 +1,49 @@
+// Monte-Carlo replication of the campaign simulation.
+//
+// A single DES run is one draw from the model's distribution; the paper's
+// numbers are one draw from reality's. This harness runs the campaign
+// under R independent seeds (in parallel across host cores — each replica
+// is a self-contained single-threaded simulation) and reports mean and
+// normal-approximation confidence intervals for every headline metric, so
+// reproduction claims can say "26.1 +- 0.4 weeks" instead of quoting one
+// seed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "util/stats.hpp"
+
+namespace hcmd::core {
+
+/// Mean, standard deviation and half-width of the ~95 % confidence
+/// interval of a metric across replicas.
+struct MetricSummary {
+  std::string name;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< 1.96 * stddev / sqrt(n)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct ReplicationResult {
+  std::size_t replicas = 0;
+  std::vector<CampaignReport> reports;  ///< one per seed, seed order
+  std::vector<MetricSummary> metrics;   ///< the headline table
+
+  /// Lookup by metric name; throws hcmd::Error when absent.
+  const MetricSummary& metric(const std::string& name) const;
+};
+
+/// Runs `replicas` campaigns with seeds base_seed, base_seed+1, ... on up
+/// to `threads` host threads (0 = hardware concurrency). The config's own
+/// seed field is overridden per replica; everything else is shared.
+ReplicationResult replicate_campaign(const CampaignConfig& config,
+                                     std::size_t replicas,
+                                     std::uint64_t base_seed = 1,
+                                     std::size_t threads = 0);
+
+}  // namespace hcmd::core

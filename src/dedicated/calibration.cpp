@@ -1,0 +1,24 @@
+#include "dedicated/calibration.hpp"
+
+namespace hcmd::dedicated {
+
+CalibrationOutcome run_calibration(const proteins::Benchmark& benchmark,
+                                   const timing::CostModel& model,
+                                   const std::vector<Cluster>& clusters,
+                                   ListPolicy policy) {
+  const std::size_t n = benchmark.proteins.size();
+  std::vector<double> jobs;
+  jobs.reserve(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      jobs.push_back(
+          model.mct_entry(benchmark.proteins[i], benchmark.proteins[j]));
+
+  BatchResult batch = run_batch(jobs, clusters, policy);
+  CalibrationOutcome outcome{timing::MctMatrix(n, std::move(jobs)),
+                             std::move(batch),
+                             static_cast<double>(n * n)};
+  return outcome;
+}
+
+}  // namespace hcmd::dedicated

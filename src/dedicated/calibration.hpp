@@ -1,0 +1,33 @@
+// The Grid'5000 calibration campaign (Section 4.1).
+//
+// To size the workunits, the team evaluated the computing time of one
+// MAXDo instance (one starting position x 21 rotation couples) for each of
+// the 168^2 = 28,224 couples, on 640 dedicated Opteron processors in about
+// a day of wall time and ~10^2 days of CPU. This module replays that
+// campaign on the dedicated-grid model and returns the measured matrix —
+// identical to MctMatrix::from_model by construction (the properties of
+// Section 4.1 make one measurement per couple sufficient), plus the
+// campaign's batch statistics.
+#pragma once
+
+#include "dedicated/grid.hpp"
+#include "proteins/generator.hpp"
+#include "timing/cost_model.hpp"
+#include "timing/mct_matrix.hpp"
+
+namespace hcmd::dedicated {
+
+struct CalibrationOutcome {
+  timing::MctMatrix matrix;
+  BatchResult batch;          ///< makespan / cpu seconds / utilisation
+  double jobs = 0;            ///< 28,224 for the paper's set
+};
+
+/// Runs the calibration: one job per ordered couple, cost given by the
+/// model, scheduled on `clusters`.
+CalibrationOutcome run_calibration(const proteins::Benchmark& benchmark,
+                                   const timing::CostModel& model,
+                                   const std::vector<Cluster>& clusters,
+                                   ListPolicy policy = ListPolicy::kFifo);
+
+}  // namespace hcmd::dedicated

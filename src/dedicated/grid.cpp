@@ -1,0 +1,80 @@
+#include "dedicated/grid.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace hcmd::dedicated {
+
+std::vector<Cluster> grid5000_calibration_slice() {
+  // "We launched the MAXDo program on four clusters with similar nodes
+  // (dual Opteron 246 @ 2 GHz) ... 640 processors were used."
+  return {
+      Cluster{"sophia", 192, 1.0},
+      Cluster{"bordeaux", 160, 1.0},
+      Cluster{"orsay", 192, 1.0},
+      Cluster{"lyon", 96, 1.0},
+  };
+}
+
+BatchResult run_batch(std::span<const double> job_seconds,
+                      const std::vector<Cluster>& clusters,
+                      ListPolicy policy) {
+  std::uint32_t processors = 0;
+  for (const auto& c : clusters) {
+    if (c.processors == 0 || c.speed_factor <= 0.0)
+      throw ConfigError("run_batch: invalid cluster '" + c.name + "'");
+    processors += c.processors;
+  }
+  if (processors == 0) throw ConfigError("run_batch: no processors");
+
+  // Per-processor speed table (flattened over clusters).
+  std::vector<double> speed;
+  speed.reserve(processors);
+  for (const auto& c : clusters)
+    speed.insert(speed.end(), c.processors, c.speed_factor);
+
+  std::vector<std::size_t> order(job_seconds.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (policy == ListPolicy::kLongestProcessingTime) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return job_seconds[a] > job_seconds[b];
+                     });
+  }
+
+  // Greedy list scheduling: next job goes to the processor that frees first.
+  using Slot = std::pair<double, std::uint32_t>;  // (free time, processor)
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
+  for (std::uint32_t p = 0; p < processors; ++p) free_at.emplace(0.0, p);
+
+  BatchResult result;
+  result.processors = processors;
+  result.completion_times.assign(job_seconds.size(), 0.0);
+  for (std::size_t idx : order) {
+    const double ref = job_seconds[idx];
+    if (!(ref >= 0.0)) throw ConfigError("run_batch: negative job length");
+    auto [t, p] = free_at.top();
+    free_at.pop();
+    const double end = t + ref / speed[p];
+    result.completion_times[idx] = end;
+    result.makespan = std::max(result.makespan, end);
+    result.cpu_seconds += ref / speed[p];
+    free_at.emplace(end, p);
+  }
+  if (result.makespan > 0.0)
+    result.utilization = result.cpu_seconds /
+                         (result.makespan * static_cast<double>(processors));
+  return result;
+}
+
+double dedicated_equivalent_processors(double reference_cpu_seconds,
+                                       double period_seconds) {
+  HCMD_ASSERT(period_seconds > 0.0);
+  HCMD_ASSERT(reference_cpu_seconds >= 0.0);
+  return reference_cpu_seconds / period_seconds;
+}
+
+}  // namespace hcmd::dedicated

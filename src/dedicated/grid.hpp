@@ -1,0 +1,56 @@
+// Dedicated grid model (Grid'5000-like).
+//
+// A dedicated grid differs from the volunteer grid in exactly the ways the
+// paper's comparison (Section 6) exploits: processors are homogeneous,
+// always on, run jobs at full speed with exclusive access, and account true
+// CPU time. The model is a space-shared batch system: a job list is packed
+// onto P identical processors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hcmd::dedicated {
+
+/// One homogeneous cluster (e.g. "dual Opteron 246 @ 2 GHz" nodes).
+struct Cluster {
+  std::string name;
+  std::uint32_t processors = 0;
+  /// Speed relative to the reference processor (Grid'5000's Opterons ARE
+  /// the reference, so 1.0).
+  double speed_factor = 1.0;
+};
+
+/// The classic Grid'5000 slice the paper used: 4 clusters totalling 640
+/// reference processors.
+std::vector<Cluster> grid5000_calibration_slice();
+
+struct BatchResult {
+  double makespan = 0.0;        ///< wall seconds until the last job ends
+  double cpu_seconds = 0.0;     ///< total processor-seconds of actual work
+  double utilization = 0.0;     ///< cpu_seconds / (makespan * processors)
+  std::uint32_t processors = 0;
+  /// Per-job completion times, parallel to the input job list.
+  std::vector<double> completion_times;
+};
+
+enum class ListPolicy : std::uint8_t {
+  kFifo,                 ///< submit order
+  kLongestProcessingTime ///< LPT: classic makespan heuristic
+};
+
+/// Runs `job_seconds` (reference CPU seconds each) on the grid. Jobs are
+/// indivisible (one job = one processor). Deterministic.
+BatchResult run_batch(std::span<const double> job_seconds,
+                      const std::vector<Cluster>& clusters,
+                      ListPolicy policy = ListPolicy::kFifo);
+
+/// Dedicated-equivalent processor count: the number of always-on reference
+/// processors needed to produce `reference_cpu_seconds` of work in
+/// `period_seconds` (Table 2's right column).
+double dedicated_equivalent_processors(double reference_cpu_seconds,
+                                       double period_seconds);
+
+}  // namespace hcmd::dedicated

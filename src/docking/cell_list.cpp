@@ -1,0 +1,127 @@
+#include "docking/cell_list.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hcmd::docking {
+
+using proteins::Vec3;
+
+ReceptorCellGrid::ReceptorCellGrid(const proteins::ReducedProtein& receptor,
+                                   double cutoff)
+    : receptor_(receptor), cutoff_(cutoff) {
+  if (!(cutoff > 0.0))
+    throw ConfigError("ReceptorCellGrid: cutoff must be > 0");
+  if (receptor.atoms().empty())
+    throw ConfigError("ReceptorCellGrid: empty receptor");
+
+  Vec3 lo = receptor.atoms().front().position;
+  Vec3 hi = lo;
+  for (const auto& a : receptor.atoms()) {
+    lo.x = std::min(lo.x, a.position.x);
+    lo.y = std::min(lo.y, a.position.y);
+    lo.z = std::min(lo.z, a.position.z);
+    hi.x = std::max(hi.x, a.position.x);
+    hi.y = std::max(hi.y, a.position.y);
+    hi.z = std::max(hi.z, a.position.z);
+  }
+  origin_ = lo;
+  nx_ = std::max(1, static_cast<int>(std::floor((hi.x - lo.x) / cutoff)) + 1);
+  ny_ = std::max(1, static_cast<int>(std::floor((hi.y - lo.y) / cutoff)) + 1);
+  nz_ = std::max(1, static_cast<int>(std::floor((hi.z - lo.z) / cutoff)) + 1);
+
+  // Counting sort into CSR.
+  const std::size_t n_cells = cell_count();
+  std::vector<std::uint32_t> counts(n_cells, 0);
+  auto cell_of = [&](const Vec3& p) {
+    const int cx = std::clamp(
+        static_cast<int>(std::floor((p.x - origin_.x) / cutoff_)), 0,
+        nx_ - 1);
+    const int cy = std::clamp(
+        static_cast<int>(std::floor((p.y - origin_.y) / cutoff_)), 0,
+        ny_ - 1);
+    const int cz = std::clamp(
+        static_cast<int>(std::floor((p.z - origin_.z) / cutoff_)), 0,
+        nz_ - 1);
+    return flat(cx, cy, cz);
+  };
+  for (const auto& a : receptor.atoms()) ++counts[cell_of(a.position)];
+  cell_start_.assign(n_cells + 1, 0);
+  for (std::size_t c = 0; c < n_cells; ++c)
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  atom_ids_.resize(receptor.atoms().size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::uint32_t i = 0; i < receptor.atoms().size(); ++i) {
+    const std::size_t c = cell_of(receptor.atoms()[i].position);
+    atom_ids_[cursor[c]++] = i;
+  }
+}
+
+InteractionEnergy ReceptorCellGrid::interaction_energy(
+    const proteins::ReducedProtein& ligand,
+    const proteins::RigidTransform& pose, const EnergyParams& params,
+    WorkCounter* work) const {
+  if (params.cutoff > cutoff_ + 1e-12)
+    throw ConfigError(
+        "ReceptorCellGrid: params.cutoff exceeds the grid's cell edge");
+
+  InteractionEnergy e;
+  const double cutoff2 = params.cutoff * params.cutoff;
+  const double min_d2 = params.min_distance * params.min_distance;
+  const auto& ratoms = receptor_.atoms();
+  std::uint64_t inspected = 0;
+
+  for (const auto& la : ligand.atoms()) {
+    const Vec3 lp = pose.apply(la.position);
+    const int cx =
+        static_cast<int>(std::floor((lp.x - origin_.x) / cutoff_));
+    const int cy =
+        static_cast<int>(std::floor((lp.y - origin_.y) / cutoff_));
+    const int cz =
+        static_cast<int>(std::floor((lp.z - origin_.z) / cutoff_));
+    // A ligand atom far outside the receptor's box can still only interact
+    // with boundary cells; clamp the 3x3x3 window into the grid.
+    const int x0 = std::max(0, cx - 1), x1 = std::min(nx_ - 1, cx + 1);
+    const int y0 = std::max(0, cy - 1), y1 = std::min(ny_ - 1, cy + 1);
+    const int z0 = std::max(0, cz - 1), z1 = std::min(nz_ - 1, cz + 1);
+    if (x0 > x1 || y0 > y1 || z0 > z1) continue;  // window entirely outside
+
+    for (int z = z0; z <= z1; ++z) {
+      for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+          const std::size_t c = flat(x, y, z);
+          for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1];
+               ++k) {
+            const auto& ra = ratoms[atom_ids_[k]];
+            const Vec3 d = lp - ra.position;
+            double r2 = d.norm2();
+            ++inspected;
+            if (r2 > cutoff2) continue;
+            if (r2 < min_d2) r2 = min_d2;
+
+            const double rmin = la.lj_radius + ra.lj_radius;
+            const double s2 = (rmin * rmin) / r2;
+            const double s6 = s2 * s2 * s2;
+            const double eps = std::sqrt(la.lj_epsilon * ra.lj_epsilon);
+            e.lj += eps * (s6 * s6 - 2.0 * s6);
+            if (la.charge != 0.0 && ra.charge != 0.0) {
+              e.elec += params.coulomb_constant * la.charge * ra.charge /
+                        (params.dielectric_slope * r2);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (work != nullptr) {
+    ++work->evaluations;
+    work->pair_terms += inspected;
+  }
+  return e;
+}
+
+}  // namespace hcmd::docking

@@ -1,0 +1,62 @@
+// Cell-list accelerated interaction energy.
+//
+// The flat O(n1*n2) sweep in energy.cpp is the faithful model of MAXDo's
+// cost, but for large receptors most atom pairs fall outside the cutoff.
+// This module bins the (fixed) receptor's atoms into a uniform grid with
+// cell edge >= cutoff, so each transformed ligand atom only visits its 27
+// neighbouring cells — the classic molecular-dynamics optimisation.
+//
+// Energies are identical to the brute-force kernel up to floating-point
+// summation order (both evaluate exactly the within-cutoff pairs with the
+// same formulas); see docking_cell_list_test.cpp for the equivalence sweep
+// and bench_kernels.cpp for the speedup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "docking/energy.hpp"
+#include "proteins/protein.hpp"
+
+namespace hcmd::docking {
+
+/// Immutable spatial index over a receptor's pseudo-atoms.
+class ReceptorCellGrid {
+ public:
+  /// Builds the grid with cell edge = cutoff. The receptor reference must
+  /// outlive the grid. Throws ConfigError for a non-positive cutoff.
+  ReceptorCellGrid(const proteins::ReducedProtein& receptor, double cutoff);
+
+  const proteins::ReducedProtein& receptor() const { return receptor_; }
+  double cutoff() const { return cutoff_; }
+  std::size_t cell_count() const {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+
+  /// Computes the interaction energy of `ligand` posed by `pose`, visiting
+  /// only receptor atoms in the 27 cells around each ligand atom. `params`
+  /// must use a cutoff <= the grid's construction cutoff (checked).
+  ///
+  /// The WorkCounter's pair_terms records pairs actually *inspected*,
+  /// typically far below n1*n2 — which is the point.
+  InteractionEnergy interaction_energy(const proteins::ReducedProtein& ligand,
+                                       const proteins::RigidTransform& pose,
+                                       const EnergyParams& params,
+                                       WorkCounter* work = nullptr) const;
+
+ private:
+  std::size_t flat(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z) * ny_ + y) * nx_ + x;
+  }
+
+  const proteins::ReducedProtein& receptor_;
+  double cutoff_;
+  proteins::Vec3 origin_;
+  int nx_ = 1, ny_ = 1, nz_ = 1;
+  /// CSR layout: atom_ids_ holds atom indices grouped by cell;
+  /// cell_start_[c] .. cell_start_[c+1] delimit cell c's atoms.
+  std::vector<std::uint32_t> atom_ids_;
+  std::vector<std::uint32_t> cell_start_;
+};
+
+}  // namespace hcmd::docking

@@ -1,0 +1,134 @@
+#include "docking/energy_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hcmd::docking {
+
+EnergyMap::EnergyMap(std::uint32_t nsep,
+                     const std::vector<DockingRecord>& records)
+    : best_(nsep, std::numeric_limits<double>::infinity()),
+      best_rot_(nsep, 0),
+      global_min_(std::numeric_limits<double>::infinity()) {
+  HCMD_ASSERT(nsep > 0);
+  for (const auto& r : records) {
+    if (r.isep >= nsep)
+      throw ConfigError("EnergyMap: record position beyond nsep");
+    const double e = r.etot();
+    if (e < best_[r.isep]) {
+      best_[r.isep] = e;
+      best_rot_[r.isep] = r.irot;
+    }
+    if (e < global_min_) {
+      global_min_ = e;
+      global_min_isep_ = r.isep;
+    }
+  }
+}
+
+double EnergyMap::best_at(std::uint32_t isep) const {
+  HCMD_ASSERT(isep < best_.size());
+  return best_[isep];
+}
+
+std::uint32_t EnergyMap::best_rotation_at(std::uint32_t isep) const {
+  HCMD_ASSERT(isep < best_rot_.size());
+  return best_rot_[isep];
+}
+
+std::vector<std::uint32_t> EnergyMap::positions_by_energy() const {
+  std::vector<std::uint32_t> order(best_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return best_[a] < best_[b];
+                   });
+  return order;
+}
+
+double EnergyMap::energy_quantile(double fraction) const {
+  HCMD_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<double> finite;
+  finite.reserve(best_.size());
+  for (double e : best_)
+    if (std::isfinite(e)) finite.push_back(e);
+  if (finite.empty()) return std::numeric_limits<double>::infinity();
+  std::sort(finite.begin(), finite.end());
+  const auto idx = static_cast<std::size_t>(
+      fraction * static_cast<double>(finite.size()));
+  return finite[std::min(idx, finite.size() - 1)];
+}
+
+std::vector<BindingSite> find_binding_sites(
+    const EnergyMap& map, const std::vector<proteins::Vec3>& coordinates,
+    const BindingSiteParams& params) {
+  if (coordinates.size() != map.nsep())
+    throw ConfigError("find_binding_sites: coordinates/map size mismatch");
+  if (params.energy_fraction <= 0.0 || params.energy_fraction > 1.0 ||
+      params.cluster_radius <= 0.0)
+    throw ConfigError("find_binding_sites: invalid parameters");
+
+  // Candidates: the lowest-energy fraction of positions, strongest first.
+  const std::vector<std::uint32_t> order = map.positions_by_energy();
+  const auto candidate_count = static_cast<std::size_t>(std::max(
+      1.0, params.energy_fraction * static_cast<double>(order.size())));
+  std::vector<std::uint32_t> candidates(
+      order.begin(),
+      order.begin() + static_cast<std::ptrdiff_t>(
+                          std::min(candidate_count, order.size())));
+  // Drop positions that never produced a record.
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [&](std::uint32_t p) {
+                       return !std::isfinite(map.best_at(p));
+                     }),
+      candidates.end());
+
+  // Greedy clustering in energy order: each candidate joins the first
+  // existing site whose centroid is within the radius, else seeds one.
+  std::vector<BindingSite> sites;
+  const double r2 = params.cluster_radius * params.cluster_radius;
+  for (std::uint32_t p : candidates) {
+    const proteins::Vec3& x = coordinates[p];
+    BindingSite* home = nullptr;
+    for (auto& site : sites) {
+      if ((x - site.centroid).norm2() <= r2) {
+        home = &site;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      sites.push_back(BindingSite{});
+      home = &sites.back();
+      home->centroid = x;
+      home->best_energy = map.best_at(p);
+      home->best_position = p;
+    }
+    home->positions.push_back(p);
+    // Incremental centroid update.
+    const double n = static_cast<double>(home->positions.size());
+    home->centroid = home->centroid + (x - home->centroid) / n;
+    if (map.best_at(p) < home->best_energy) {
+      home->best_energy = map.best_at(p);
+      home->best_position = p;
+    }
+  }
+
+  sites.erase(std::remove_if(sites.begin(), sites.end(),
+                             [&](const BindingSite& s) {
+                               return s.positions.size() <
+                                      params.min_cluster_size;
+                             }),
+              sites.end());
+  std::stable_sort(sites.begin(), sites.end(),
+                   [](const BindingSite& a, const BindingSite& b) {
+                     return a.best_energy < b.best_energy;
+                   });
+  return sites;
+}
+
+}  // namespace hcmd::docking

@@ -1,0 +1,79 @@
+// Interaction energy maps and binding-site extraction.
+//
+// "Minimizing the interaction energy between two proteins for a set of
+// initial positions and orientations of the ligand gives a map of the
+// interaction energy for the proteins couple" — and the HCMD project's
+// scientific goal is "screening a database containing thousands of
+// proteins for functional sites involved in binding". This module turns a
+// couple's docking records into that map and extracts candidate binding
+// sites: spatial clusters of starting positions whose minimised energies
+// are strongly negative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "docking/maxdo.hpp"
+#include "proteins/geometry.hpp"
+
+namespace hcmd::docking {
+
+/// Per-position reduction of a couple's docking records.
+class EnergyMap {
+ public:
+  /// Builds the map from records covering positions [0, nsep). Records may
+  /// arrive in any order; missing (position, rotation) cells are allowed
+  /// (partial maps) but every record must be in range.
+  EnergyMap(std::uint32_t nsep, const std::vector<DockingRecord>& records);
+
+  std::uint32_t nsep() const { return static_cast<std::uint32_t>(best_.size()); }
+
+  /// Best (lowest) total energy found at position i over all rotations;
+  /// +infinity if the position has no record.
+  double best_at(std::uint32_t isep) const;
+  /// The rotation couple achieving best_at(isep).
+  std::uint32_t best_rotation_at(std::uint32_t isep) const;
+
+  double global_minimum() const { return global_min_; }
+  std::uint32_t global_minimum_position() const { return global_min_isep_; }
+
+  /// Positions sorted by ascending best energy.
+  std::vector<std::uint32_t> positions_by_energy() const;
+
+  /// The value below which the best `fraction` of positions fall.
+  double energy_quantile(double fraction) const;
+
+ private:
+  std::vector<double> best_;
+  std::vector<std::uint32_t> best_rot_;
+  double global_min_;
+  std::uint32_t global_min_isep_ = 0;
+};
+
+/// A candidate binding site: a spatial cluster of low-energy starting
+/// positions on the receptor surface.
+struct BindingSite {
+  std::vector<std::uint32_t> positions;  ///< member position indices
+  proteins::Vec3 centroid;               ///< mean member coordinates
+  double best_energy = 0.0;              ///< lowest energy in the cluster
+  std::uint32_t best_position = 0;
+};
+
+struct BindingSiteParams {
+  /// Fraction of lowest-energy positions considered site candidates.
+  double energy_fraction = 0.10;
+  /// Two candidate positions join the same site when closer than this
+  /// (Angstrom).
+  double cluster_radius = 10.0;
+  /// Discard clusters smaller than this.
+  std::size_t min_cluster_size = 2;
+};
+
+/// Greedy energy-ordered clustering of the map's low-energy positions.
+/// `coordinates` are the starting positions (starting_positions(receptor)).
+/// Sites are returned strongest (most negative best energy) first.
+std::vector<BindingSite> find_binding_sites(
+    const EnergyMap& map, const std::vector<proteins::Vec3>& coordinates,
+    const BindingSiteParams& params = {});
+
+}  // namespace hcmd::docking

@@ -1,0 +1,96 @@
+#include "docking/maxdo.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace hcmd::docking {
+
+void MaxDoCheckpoint::write(std::ostream& os) const {
+  os << "maxdo-checkpoint 1 " << next_isep << ' ' << records.size() << '\n';
+  os.precision(17);
+  for (const auto& r : records) {
+    os << r.isep << ' ' << r.irot << ' ' << r.pose.x << ' ' << r.pose.y << ' '
+       << r.pose.z << ' ' << r.pose.alpha << ' ' << r.pose.beta << ' '
+       << r.pose.gamma << ' ' << r.elj << ' ' << r.eelec << '\n';
+  }
+}
+
+MaxDoCheckpoint MaxDoCheckpoint::read(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  MaxDoCheckpoint cp;
+  std::size_t n = 0;
+  if (!(is >> tag >> version >> cp.next_isep >> n) ||
+      tag != "maxdo-checkpoint" || version != 1)
+    throw ParseError("MaxDoCheckpoint::read: bad header");
+  cp.records.resize(n);
+  for (auto& r : cp.records) {
+    if (!(is >> r.isep >> r.irot >> r.pose.x >> r.pose.y >> r.pose.z >>
+          r.pose.alpha >> r.pose.beta >> r.pose.gamma >> r.elj >> r.eelec))
+      throw ParseError("MaxDoCheckpoint::read: truncated record");
+  }
+  return cp;
+}
+
+MaxDoProgram::MaxDoProgram(const proteins::ReducedProtein& receptor,
+                           const proteins::ReducedProtein& ligand,
+                           MaxDoParams params)
+    : receptor_(receptor), ligand_(ligand), params_(std::move(params)),
+      positions_(proteins::starting_positions(receptor, params_.positions)) {
+  HCMD_ASSERT(params_.gamma_steps >= 1 &&
+              params_.gamma_steps <= proteins::kNumGammaSteps);
+}
+
+RunStatus MaxDoProgram::run(const MaxDoTask& task, MaxDoCheckpoint& state,
+                            const std::function<bool()>& interrupt) {
+  if (task.isep_end > positions_.size() || task.isep_begin > task.isep_end)
+    throw ConfigError("MaxDoProgram: isep range outside [0, Nsep]");
+  if (task.irot_end > proteins::kNumRotationCouples ||
+      task.irot_begin > task.irot_end)
+    throw ConfigError("MaxDoProgram: irot range outside [0, 21]");
+  if (state.next_isep < task.isep_begin) state.next_isep = task.isep_begin;
+
+  for (std::uint32_t isep = state.next_isep; isep < task.isep_end; ++isep) {
+    // Compute all rotation couples for this starting position. No partial
+    // state is kept inside the loop: an interruption discards the whole
+    // position, as on World Community Grid.
+    std::vector<DockingRecord> position_records;
+    position_records.reserve(task.rotations());
+    for (std::uint32_t irot = task.irot_begin; irot < task.irot_end; ++irot) {
+      DockingRecord best_record;
+      bool have_best = false;
+      for (std::uint32_t ig = 0; ig < params_.gamma_steps; ++ig) {
+        proteins::Dof6 start = orientations_.orientation(irot, ig);
+        start.x = positions_[isep].x;
+        start.y = positions_[isep].y;
+        start.z = positions_[isep].z;
+        const MinimizationResult res = minimize(
+            receptor_, ligand_, start, params_.energy, params_.minimizer,
+            &work_);
+        if (!have_best || res.energy.total() < best_record.etot()) {
+          best_record.isep = isep;
+          best_record.irot = irot;
+          best_record.pose = res.pose;
+          best_record.elj = res.energy.lj;
+          best_record.eelec = res.energy.elec;
+          have_best = true;
+        }
+      }
+      HCMD_ASSERT(have_best);
+      position_records.push_back(best_record);
+    }
+
+    // Checkpoint boundary: commit the finished position atomically.
+    state.records.insert(state.records.end(), position_records.begin(),
+                         position_records.end());
+    state.next_isep = isep + 1;
+
+    if (interrupt && isep + 1 < task.isep_end && interrupt())
+      return RunStatus::kInterrupted;
+  }
+  return RunStatus::kCompleted;
+}
+
+}  // namespace hcmd::docking

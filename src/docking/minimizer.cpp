@@ -1,0 +1,110 @@
+#include "docking/minimizer.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hcmd::docking {
+
+namespace {
+
+double eval(const proteins::ReducedProtein& receptor,
+            const proteins::ReducedProtein& ligand, const proteins::Dof6& d,
+            const EnergyParams& ep, WorkCounter* work,
+            InteractionEnergy* out = nullptr) {
+  const InteractionEnergy e =
+      interaction_energy(receptor, ligand, d.to_transform(), ep, work);
+  if (out != nullptr) *out = e;
+  return e.total();
+}
+
+}  // namespace
+
+MinimizationResult minimize(const proteins::ReducedProtein& receptor,
+                            const proteins::ReducedProtein& ligand,
+                            const proteins::Dof6& start,
+                            const EnergyParams& energy_params,
+                            const MinimizerParams& params,
+                            WorkCounter* work) {
+  HCMD_ASSERT(params.max_iterations > 0);
+  HCMD_ASSERT(params.shrink > 0.0 && params.shrink < 1.0);
+
+  MinimizationResult result;
+  result.pose = start;
+  double best = eval(receptor, ligand, result.pose, energy_params, work,
+                     &result.energy);
+
+  double tstep = params.translation_step;
+  double rstep = params.rotation_step;
+
+  for (std::uint32_t it = 0; it < params.max_iterations; ++it) {
+    ++result.iterations;
+
+    // Numerical gradient (central differences over the 6 DOF).
+    std::array<double, 6> grad{};
+    auto& p = result.pose;
+    std::array<double*, 6> dofs = {&p.x, &p.y, &p.z,
+                                   &p.alpha, &p.beta, &p.gamma};
+    for (std::size_t k = 0; k < 6; ++k) {
+      const double delta =
+          k < 3 ? params.translation_delta : params.rotation_delta;
+      const double orig = *dofs[k];
+      *dofs[k] = orig + delta;
+      const double hi = eval(receptor, ligand, p, energy_params, work);
+      *dofs[k] = orig - delta;
+      const double lo = eval(receptor, ligand, p, energy_params, work);
+      *dofs[k] = orig;
+      grad[k] = (hi - lo) / (2.0 * delta);
+    }
+
+    // Normalise the translational and rotational gradient blocks
+    // separately so the two unit systems move at their own step scales.
+    double gt = std::sqrt(grad[0] * grad[0] + grad[1] * grad[1] +
+                          grad[2] * grad[2]);
+    double gr = std::sqrt(grad[3] * grad[3] + grad[4] * grad[4] +
+                          grad[5] * grad[5]);
+    if (gt == 0.0 && gr == 0.0) {
+      result.converged = true;
+      break;
+    }
+    if (gt == 0.0) gt = 1.0;
+    if (gr == 0.0) gr = 1.0;
+
+    proteins::Dof6 trial = p;
+    trial.x -= tstep * grad[0] / gt;
+    trial.y -= tstep * grad[1] / gt;
+    trial.z -= tstep * grad[2] / gt;
+    trial.alpha -= rstep * grad[3] / gr;
+    trial.beta -= rstep * grad[4] / gr;
+    trial.gamma -= rstep * grad[5] / gr;
+
+    InteractionEnergy trial_energy;
+    const double trial_total =
+        eval(receptor, ligand, trial, energy_params, work, &trial_energy);
+
+    if (trial_total < best) {
+      const double gain = best - trial_total;
+      p = trial;
+      best = trial_total;
+      result.energy = trial_energy;
+      tstep *= params.grow;
+      rstep *= params.grow;
+      if (gain < params.energy_tolerance) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      tstep *= params.shrink;
+      rstep *= params.shrink;
+      if (tstep < params.translation_delta &&
+          rstep < params.rotation_delta) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hcmd::docking

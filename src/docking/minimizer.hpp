@@ -1,0 +1,49 @@
+// Local energy minimisation over the six rigid-body degrees of freedom.
+//
+// MAXDo performs "multiple energy minimizations with a regular array of
+// starting positions and orientations"; this is the per-start minimiser.
+// Deterministic (fixed iteration budget, no randomness) so property 1 of
+// Section 4.1 — reproducible computing time — holds exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "docking/energy.hpp"
+#include "proteins/geometry.hpp"
+#include "proteins/protein.hpp"
+
+namespace hcmd::docking {
+
+struct MinimizerParams {
+  /// Maximum outer iterations of adaptive steepest descent.
+  std::uint32_t max_iterations = 40;
+  /// Initial step sizes.
+  double translation_step = 0.8;   ///< Angstrom
+  double rotation_step = 0.08;     ///< radians
+  /// Finite-difference deltas for the numerical gradient.
+  double translation_delta = 0.05;
+  double rotation_delta = 0.005;
+  /// Stop when an accepted step improves the energy by less than this.
+  double energy_tolerance = 1e-4;  ///< kcal/mol
+  /// Step shrink factor on rejection / growth factor on acceptance.
+  double shrink = 0.5;
+  double grow = 1.2;
+};
+
+struct MinimizationResult {
+  proteins::Dof6 pose;        ///< final degrees of freedom
+  InteractionEnergy energy;   ///< energy at `pose`
+  std::uint32_t iterations = 0;
+  bool converged = false;     ///< true if tolerance reached before budget
+};
+
+/// Minimises the interaction energy starting from `start`. Work performed is
+/// accumulated into `work` when non-null.
+MinimizationResult minimize(const proteins::ReducedProtein& receptor,
+                            const proteins::ReducedProtein& ligand,
+                            const proteins::Dof6& start,
+                            const EnergyParams& energy_params,
+                            const MinimizerParams& params,
+                            WorkCounter* work = nullptr);
+
+}  // namespace hcmd::docking

@@ -1,0 +1,75 @@
+#include "packaging/manifest.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "proteins/starting_positions.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::packaging {
+
+void WorkunitManifest::write(std::ostream& os) const {
+  os << "hcmd-workunit 1\n";
+  os << workunit.id << ' ' << workunit.receptor << ' ' << workunit.ligand
+     << ' ' << workunit.isep_begin << ' ' << workunit.isep_end << ' ';
+  os.precision(17);
+  os << workunit.reference_seconds << '\n';
+  os << position_params.probe_radius << ' ' << position_params.spacing
+     << '\n';
+  receptor.write(os);
+  ligand.write(os);
+}
+
+WorkunitManifest WorkunitManifest::read(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "hcmd-workunit" || version != 1)
+    throw ParseError("WorkunitManifest::read: bad header");
+  WorkunitManifest m;
+  if (!(is >> m.workunit.id >> m.workunit.receptor >> m.workunit.ligand >>
+        m.workunit.isep_begin >> m.workunit.isep_end >>
+        m.workunit.reference_seconds))
+    throw ParseError("WorkunitManifest::read: bad workunit record");
+  if (!(is >> m.position_params.probe_radius >> m.position_params.spacing))
+    throw ParseError("WorkunitManifest::read: bad position parameters");
+  m.receptor = proteins::ReducedProtein::read(is);
+  m.ligand = proteins::ReducedProtein::read(is);
+  return m;
+}
+
+std::uint64_t WorkunitManifest::byte_size() const {
+  std::ostringstream os;
+  write(os);
+  return os.str().size();
+}
+
+void WorkunitManifest::validate() const {
+  if (receptor.id() != workunit.receptor || ligand.id() != workunit.ligand)
+    throw Error("WorkunitManifest: protein ids do not match the workunit");
+  if (workunit.isep_begin >= workunit.isep_end)
+    throw Error("WorkunitManifest: empty position slice");
+  const std::uint32_t nsep =
+      proteins::nsep_for(receptor, position_params);
+  if (workunit.isep_end > nsep)
+    throw Error("WorkunitManifest: slice beyond the receptor's Nsep");
+  receptor.validate();
+  ligand.validate();
+  if (byte_size() > kMaxManifestBytes)
+    throw Error("WorkunitManifest: bundle exceeds the 2 MB bound");
+}
+
+WorkunitManifest make_manifest(const proteins::Benchmark& benchmark,
+                               const Workunit& workunit) {
+  if (workunit.receptor >= benchmark.proteins.size() ||
+      workunit.ligand >= benchmark.proteins.size())
+    throw ConfigError("make_manifest: workunit references unknown proteins");
+  WorkunitManifest m;
+  m.workunit = workunit;
+  m.receptor = benchmark.proteins[workunit.receptor];
+  m.ligand = benchmark.proteins[workunit.ligand];
+  m.position_params = benchmark.position_params;
+  return m;
+}
+
+}  // namespace hcmd::packaging

@@ -1,0 +1,41 @@
+// Workunit download bundle.
+//
+// "The data needed for the MAXDo program is small: the 2 proteins files +
+// program + parameters (no more than 2 Mo)." The manifest is that bundle:
+// the slice description plus the two protein files, serialised as text the
+// way the agent would download it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "packaging/workunit.hpp"
+#include "proteins/generator.hpp"
+
+namespace hcmd::packaging {
+
+struct WorkunitManifest {
+  Workunit workunit;
+  proteins::ReducedProtein receptor;
+  proteins::ReducedProtein ligand;
+  proteins::StartingPositionParams position_params;
+
+  void write(std::ostream& os) const;
+  static WorkunitManifest read(std::istream& is);
+
+  /// Serialised size in bytes.
+  std::uint64_t byte_size() const;
+
+  /// Throws hcmd::Error when the bundle violates its invariants: protein
+  /// ids must match the workunit, the slice must fit the receptor's Nsep,
+  /// and the bundle must respect the paper's 2 MB bound.
+  void validate() const;
+};
+
+/// Builds the bundle for a workunit from the benchmark set.
+WorkunitManifest make_manifest(const proteins::Benchmark& benchmark,
+                               const Workunit& workunit);
+
+inline constexpr std::uint64_t kMaxManifestBytes = 2'000'000;
+
+}  // namespace hcmd::packaging

@@ -1,0 +1,129 @@
+#include "packaging/packager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::packaging {
+
+std::uint32_t positions_per_workunit(double target_hours,
+                                     double mct_entry_seconds,
+                                     std::uint32_t nsep_total,
+                                     SplitStrategy strategy) {
+  if (target_hours <= 0.0)
+    throw ConfigError("packaging: target_hours must be > 0");
+  if (mct_entry_seconds <= 0.0)
+    throw ConfigError("packaging: Mct entry must be > 0");
+  if (nsep_total == 0) throw ConfigError("packaging: Nsep must be >= 1");
+
+  const double positions =
+      target_hours * util::kSecondsPerHour / mct_entry_seconds;
+  double q;
+  switch (strategy) {
+    case SplitStrategy::kPaperFloor:
+    case SplitStrategy::kBalanced:
+      q = std::floor(positions);
+      break;
+    case SplitStrategy::kMinimizeCount:
+      q = std::ceil(positions);
+      break;
+    default:
+      throw ConfigError("packaging: unknown strategy");
+  }
+  if (q <= 1.0) return 1;
+  if (q >= static_cast<double>(nsep_total)) return nsep_total;
+  return static_cast<std::uint32_t>(q);
+}
+
+std::uint64_t for_each_workunit(
+    const proteins::Benchmark& benchmark, const timing::MctMatrix& mct,
+    const PackagingConfig& config,
+    const std::function<void(const Workunit&)>& sink) {
+  const std::size_t n = benchmark.proteins.size();
+  HCMD_ASSERT(mct.size() == n);
+  HCMD_ASSERT(benchmark.nsep.size() == n);
+
+  std::uint64_t next_id = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t nsep_total = benchmark.nsep[r];
+    for (std::size_t l = 0; l < n; ++l) {
+      const double entry = mct.at(r, l);
+      const std::uint32_t per_wu = positions_per_workunit(
+          config.target_hours, entry, nsep_total, config.strategy);
+      const std::uint32_t chunks = (nsep_total + per_wu - 1) / per_wu;
+
+      std::uint32_t begin = 0;
+      for (std::uint32_t c = 0; c < chunks; ++c) {
+        std::uint32_t size;
+        if (config.strategy == SplitStrategy::kBalanced) {
+          // Spread the positions evenly over the same number of chunks.
+          size = nsep_total / chunks + (c < nsep_total % chunks ? 1 : 0);
+        } else {
+          size = std::min(per_wu, nsep_total - begin);
+        }
+        Workunit wu;
+        wu.id = next_id++;
+        wu.receptor = static_cast<std::uint32_t>(r);
+        wu.ligand = static_cast<std::uint32_t>(l);
+        wu.isep_begin = begin;
+        wu.isep_end = begin + size;
+        wu.reference_seconds = static_cast<double>(size) * entry;
+        sink(wu);
+        begin += size;
+      }
+      HCMD_ASSERT(begin == nsep_total);
+    }
+  }
+  return next_id;
+}
+
+PackagingStats compute_stats(const proteins::Benchmark& benchmark,
+                             const timing::MctMatrix& mct,
+                             const PackagingConfig& config,
+                             std::size_t histogram_bins,
+                             double histogram_max_hours) {
+  PackagingStats stats;
+  stats.duration_hours =
+      util::Histogram(0.0, histogram_max_hours, histogram_bins);
+  bool first = true;
+  const double small_cutoff =
+      0.5 * config.target_hours * util::kSecondsPerHour;
+  stats.workunit_count = for_each_workunit(
+      benchmark, mct, config, [&](const Workunit& wu) {
+        stats.total_reference_seconds += wu.reference_seconds;
+        if (first) {
+          stats.min_reference_seconds = stats.max_reference_seconds =
+              wu.reference_seconds;
+          first = false;
+        } else {
+          stats.min_reference_seconds =
+              std::min(stats.min_reference_seconds, wu.reference_seconds);
+          stats.max_reference_seconds =
+              std::max(stats.max_reference_seconds, wu.reference_seconds);
+        }
+        if (wu.reference_seconds < small_cutoff) ++stats.small_workunits;
+        stats.duration_hours.add(wu.reference_seconds /
+                                 util::kSecondsPerHour);
+      });
+  if (stats.workunit_count > 0)
+    stats.mean_reference_seconds =
+        stats.total_reference_seconds /
+        static_cast<double>(stats.workunit_count);
+  return stats;
+}
+
+std::vector<Workunit> build_catalog(const proteins::Benchmark& benchmark,
+                                    const timing::MctMatrix& mct,
+                                    const PackagingConfig& config,
+                                    std::uint64_t stride) {
+  if (stride == 0) throw ConfigError("packaging: stride must be >= 1");
+  std::vector<Workunit> catalog;
+  for_each_workunit(benchmark, mct, config, [&](const Workunit& wu) {
+    if (wu.id % stride == 0) catalog.push_back(wu);
+  });
+  return catalog;
+}
+
+}  // namespace hcmd::packaging

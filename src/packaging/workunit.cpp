@@ -1,0 +1,24 @@
+#include "packaging/workunit.hpp"
+
+namespace hcmd::packaging {
+
+double workunit_download_bytes(std::size_t receptor_atoms,
+                               std::size_t ligand_atoms) {
+  // One text line (~70 bytes) per pseudo-atom per protein file, plus the
+  // parameter file and a fixed overhead for the program manifest.
+  constexpr double kBytesPerAtomLine = 70.0;
+  constexpr double kFixedOverhead = 4096.0;
+  return kFixedOverhead +
+         kBytesPerAtomLine * static_cast<double>(receptor_atoms + ligand_atoms);
+}
+
+double workunit_result_bytes(const Workunit& wu) {
+  // The MAXDo output is "a simple text file that contains on each line the
+  // coordinate of the ligand and its orientation, and then the interaction
+  // energies values" — about 9 numeric fields, ~80 characters per line.
+  constexpr double kBytesPerLine = 80.0;
+  return kBytesPerLine * static_cast<double>(wu.positions()) *
+         static_cast<double>(Workunit::rotations());
+}
+
+}  // namespace hcmd::packaging

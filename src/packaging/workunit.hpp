@@ -1,0 +1,39 @@
+// Workunit: the unit of volunteer work.
+//
+// A workunit is a slice of one couple's docking map: a contiguous range of
+// starting positions with the full set of 21 rotation couples (Section 4.2's
+// two technical constraints: one couple per workunit, only the number of
+// positions varies).
+#pragma once
+
+#include <cstdint>
+
+#include "proteins/starting_positions.hpp"
+
+namespace hcmd::packaging {
+
+struct Workunit {
+  std::uint64_t id = 0;
+  std::uint32_t receptor = 0;   ///< protein index p1 (fixed)
+  std::uint32_t ligand = 0;     ///< protein index p2 (mobile)
+  std::uint32_t isep_begin = 0;
+  std::uint32_t isep_end = 0;   ///< exclusive
+  /// Predicted cost on the reference processor (seconds), from the Mct
+  /// matrix: (isep_end - isep_begin) * Mct(receptor, ligand).
+  double reference_seconds = 0.0;
+
+  std::uint32_t positions() const { return isep_end - isep_begin; }
+  static constexpr std::uint32_t rotations() {
+    return proteins::kNumRotationCouples;
+  }
+};
+
+/// Rough data footprint of a workunit download (2 protein files + program
+/// parameters); the paper bounds this at ~2 MB.
+double workunit_download_bytes(std::size_t receptor_atoms,
+                               std::size_t ligand_atoms);
+
+/// Result upload size: one text line (~80 bytes) per (position, rotation).
+double workunit_result_bytes(const Workunit& wu);
+
+}  // namespace hcmd::packaging

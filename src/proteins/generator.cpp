@@ -1,0 +1,180 @@
+#include "proteins/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hcmd::proteins {
+
+namespace {
+
+void check_spec(const BenchmarkSpec& spec) {
+  if (spec.count == 0) throw ConfigError("BenchmarkSpec: count must be > 0");
+  if (spec.min_atoms == 0 || spec.min_atoms > spec.max_atoms)
+    throw ConfigError("BenchmarkSpec: need 0 < min_atoms <= max_atoms");
+  if (spec.median_atoms < spec.min_atoms || spec.median_atoms > spec.max_atoms)
+    throw ConfigError("BenchmarkSpec: median_atoms outside [min, max]");
+  if (spec.size_sigma < 0.0 || spec.elongation_sigma < 0.0)
+    throw ConfigError("BenchmarkSpec: sigmas must be >= 0");
+  if (spec.total_tolerance <= 0.0)
+    throw ConfigError("BenchmarkSpec: total_tolerance must be > 0");
+  if (spec.charged_fraction < 0.0 || spec.charged_fraction > 1.0)
+    throw ConfigError("BenchmarkSpec: charged_fraction outside [0, 1]");
+  if (spec.radius_per_cbrt_atoms <= 0.0)
+    throw ConfigError("BenchmarkSpec: radius_per_cbrt_atoms must be > 0");
+}
+
+/// Stretches a protein's x-axis by `factor` (about its mass centre).
+ReducedProtein stretched(const ReducedProtein& p, double factor) {
+  std::vector<PseudoAtom> atoms = p.atoms();
+  for (auto& a : atoms) a.position.x *= factor;
+  ReducedProtein out(p.id(), p.name(), std::move(atoms));
+  out.recenter();
+  return out;
+}
+
+}  // namespace
+
+ReducedProtein generate_protein(std::uint32_t id, std::uint32_t atom_count,
+                                double elongation, std::uint64_t seed,
+                                double charged_fraction,
+                                double radius_per_cbrt_atoms) {
+  HCMD_ASSERT(atom_count > 0);
+  HCMD_ASSERT(elongation > 0.0);
+  util::Rng rng(seed);
+  const double radius =
+      radius_per_cbrt_atoms * std::cbrt(static_cast<double>(atom_count));
+
+  std::vector<PseudoAtom> atoms;
+  atoms.reserve(atom_count);
+  double net = 0.0;
+  for (std::uint32_t i = 0; i < atom_count; ++i) {
+    // Uniform point in the unit ball via rejection, then scale to an
+    // ellipsoid with semi-axes (elongation * r, r, r).
+    Vec3 u;
+    do {
+      u = Vec3{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+               rng.uniform(-1.0, 1.0)};
+    } while (u.norm2() > 1.0);
+    PseudoAtom a;
+    a.position = Vec3{u.x * radius * elongation, u.y * radius, u.z * radius};
+    a.lj_radius = std::clamp(rng.normal(2.0, 0.2), 1.5, 2.6);
+    a.lj_epsilon = rng.uniform(0.10, 0.30);
+    if (rng.bernoulli(charged_fraction)) {
+      a.charge = rng.bernoulli(0.5) ? 0.5 : -0.5;
+      net += a.charge;
+    } else {
+      a.charge = 0.0;
+    }
+    atoms.push_back(a);
+  }
+  // Pull the net charge towards a small value, as real proteins sit near
+  // neutrality: flip random charged atoms while |net| > 1.
+  for (std::size_t guard = 0; std::abs(net) > 1.0 && guard < atoms.size() * 4;
+       ++guard) {
+    auto& a = atoms[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(atoms.size()) - 1))];
+    if (a.charge != 0.0 && ((net > 0) == (a.charge > 0))) {
+      net -= 2 * a.charge;
+      a.charge = -a.charge;
+    }
+  }
+
+  ReducedProtein p(id, "SYN" + std::to_string(id), std::move(atoms));
+  p.recenter();
+  return p;
+}
+
+std::uint64_t Benchmark::total_nsep() const {
+  std::uint64_t total = 0;
+  for (auto n : nsep) total += n;
+  return total;
+}
+
+std::uint64_t Benchmark::candidate_workunits() const {
+  return total_nsep() * proteins.size();
+}
+
+std::vector<Couple> Benchmark::all_couples() const {
+  std::vector<Couple> couples;
+  const auto n = static_cast<std::uint32_t>(proteins.size());
+  couples.reserve(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t r = 0; r < n; ++r)
+    for (std::uint32_t l = 0; l < n; ++l)
+      couples.push_back(Couple{r, l});
+  return couples;
+}
+
+Benchmark generate_benchmark(const BenchmarkSpec& spec) {
+  check_spec(spec);
+  util::Rng rng(spec.seed);
+  util::Rng size_rng = rng.fork("atom-counts");
+  util::Rng shape_rng = rng.fork("elongations");
+  util::Rng atom_rng = rng.fork("atoms");
+
+  Benchmark bench;
+  bench.proteins.reserve(spec.count);
+
+  const double mu = std::log(static_cast<double>(spec.median_atoms));
+  for (std::uint32_t i = 0; i < spec.count; ++i) {
+    const double draw = size_rng.lognormal(mu, spec.size_sigma);
+    const auto atom_count = static_cast<std::uint32_t>(std::clamp(
+        draw, static_cast<double>(spec.min_atoms),
+        static_cast<double>(spec.max_atoms)));
+    const double elongation =
+        std::exp(shape_rng.normal(0.0, spec.elongation_sigma));
+    bench.proteins.push_back(generate_protein(
+        i, atom_count, elongation, atom_rng.next_u64(), spec.charged_fraction,
+        spec.radius_per_cbrt_atoms));
+  }
+
+  auto recompute_nsep = [&bench]() {
+    bench.nsep.clear();
+    bench.nsep.reserve(bench.proteins.size());
+    for (const auto& p : bench.proteins)
+      bench.nsep.push_back(nsep_for(p, bench.position_params));
+  };
+  recompute_nsep();
+
+  // Fig. 2's single >8000 outlier: stretch the protein with the largest
+  // Nsep until it crosses the target (shape, not size, drives the boost —
+  // the paper ties Nsep to "the size and shape of the protein").
+  if (spec.outlier_nsep_target > 0) {
+    const std::size_t imax = static_cast<std::size_t>(
+        std::max_element(bench.nsep.begin(), bench.nsep.end()) -
+        bench.nsep.begin());
+    for (int guard = 0; guard < 64 && bench.nsep[imax] <
+                                          spec.outlier_nsep_target;
+         ++guard) {
+      bench.proteins[imax] = stretched(bench.proteins[imax], 1.12);
+      bench.nsep[imax] = nsep_for(bench.proteins[imax], bench.position_params);
+    }
+  }
+
+  // Calibrate the global grid spacing so the set reproduces the paper's
+  // total candidate-workunit count. Nsep ~ 1/spacing^2, so one multiplica-
+  // tive correction converges fast; iterate to absorb flooring.
+  if (spec.target_total_nsep > 0) {
+    for (int iter = 0; iter < 16; ++iter) {
+      const double total = static_cast<double>(bench.total_nsep());
+      const double target = static_cast<double>(spec.target_total_nsep);
+      if (std::abs(total - target) / target <= spec.total_tolerance) break;
+      bench.position_params.spacing *= std::sqrt(total / target);
+      recompute_nsep();
+    }
+    const double err =
+        std::abs(static_cast<double>(bench.total_nsep()) -
+                 static_cast<double>(spec.target_total_nsep)) /
+        static_cast<double>(spec.target_total_nsep);
+    HCMD_ASSERT_MSG(err <= 4.0 * spec.total_tolerance,
+                    "benchmark spacing calibration failed to converge");
+  }
+
+  for (const auto& p : bench.proteins) p.validate();
+  return bench;
+}
+
+}  // namespace hcmd::proteins

@@ -1,0 +1,88 @@
+// Synthetic benchmark generator.
+//
+// The paper's 168 proteins (drawn from the Mintseris docking benchmark 2.0)
+// are not redistributable, so this generator produces a deterministic
+// synthetic set whose *statistical shape* matches everything the paper
+// consumes downstream:
+//
+//  * Nsep distribution (Fig. 2): most proteins below 3000 starting
+//    positions, a single outlier above 8000;
+//  * Sum identity: sum_p Nsep(p) * 168 = 49,481,544 candidate workunits
+//    (so sum_p Nsep(p) = 294,533);
+//  * size spread: atom counts are log-normal, which — combined with the
+//    n1*n2 docking cost law — reproduces Table 1's heavy-tailed computing
+//    time matrix and, through the size<->cost correlation, the 1,488-year
+//    total of formula (1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proteins/protein.hpp"
+#include "proteins/starting_positions.hpp"
+
+namespace hcmd::proteins {
+
+/// Tunables for the synthetic 168-protein set. Defaults reproduce the paper.
+struct BenchmarkSpec {
+  std::uint32_t count = 168;
+  std::uint64_t seed = 42;
+
+  /// Target sum of Nsep over the set; 294,533 * 168 = 49,481,544 candidate
+  /// workunits (Section 4.1). Set to 0 to disable spacing calibration.
+  std::uint64_t target_total_nsep = 294'533;
+  /// Relative tolerance on the calibrated total.
+  double total_tolerance = 0.01;
+
+  /// Log-normal atom-count distribution (sigma of ln n). 0.80 reproduces
+  /// Table 1's mean/median ratio through the n1*n2 cost law and, via the
+  /// Nsep<->cost correlation, formula (1)'s ~1,488-year total and Fig. 4's
+  /// workunit counts to within a few percent.
+  double size_sigma = 0.80;
+  std::uint32_t median_atoms = 250;
+  std::uint32_t min_atoms = 30;
+  std::uint32_t max_atoms = 3000;
+
+  /// Shape elongation: x-axis stretch factor ~ lognormal(0, elongation_sigma).
+  double elongation_sigma = 0.18;
+
+  /// Fig. 2 shows a single protein above 8000 starting positions; the
+  /// largest protein is stretched until it reaches this Nsep. Set to 0 to
+  /// disable.
+  std::uint32_t outlier_nsep_target = 8'400;
+
+  /// Atom packing: bounding radius ~ radius_per_cbrt_atoms * n^(1/3).
+  double radius_per_cbrt_atoms = 2.9;
+
+  /// Fraction of pseudo-atoms carrying a +-charge.
+  double charged_fraction = 0.3;
+};
+
+/// A generated benchmark set plus the calibrated position parameters and the
+/// paper's per-protein "Nsep table".
+struct Benchmark {
+  std::vector<ReducedProtein> proteins;
+  StartingPositionParams position_params;
+  std::vector<std::uint32_t> nsep;  ///< nsep[i] == nsep_for(proteins[i], ...)
+
+  std::uint64_t total_nsep() const;
+  /// 168 * total_nsep — every (receptor, ligand, isep) triple (Section 4.1
+  /// quotes 49,481,544).
+  std::uint64_t candidate_workunits() const;
+  /// All ordered couples (p1, p2), p1 != p2 included *and* p1 == p2 included
+  /// (the paper's 168^2 = 28,224 includes self-docking).
+  std::vector<Couple> all_couples() const;
+};
+
+/// Generates the benchmark. Deterministic in `spec` (including the seed).
+/// Throws ConfigError on invalid parameters.
+Benchmark generate_benchmark(const BenchmarkSpec& spec = {});
+
+/// Generates a single random protein — used by tests and examples that need
+/// a protein without a whole benchmark set.
+ReducedProtein generate_protein(std::uint32_t id, std::uint32_t atom_count,
+                                double elongation, std::uint64_t seed,
+                                double charged_fraction = 0.3,
+                                double radius_per_cbrt_atoms = 2.9);
+
+}  // namespace hcmd::proteins

@@ -1,0 +1,97 @@
+// Minimal 3D geometry for the reduced protein model: vectors, Euler
+// rotations and rigid transforms. Header-only; all operations are constexpr
+// friendly and allocation free (they sit on the docking hot path).
+#pragma once
+
+#include <cmath>
+
+namespace hcmd::proteins {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Row-major 3x3 matrix; only what rigid-body docking needs.
+struct Mat3 {
+  double m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  constexpr Vec3 operator*(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+  constexpr Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) {
+        r.m[i][j] = 0.0;
+        for (int k = 0; k < 3; ++k) r.m[i][j] += m[i][k] * o.m[k][j];
+      }
+    return r;
+  }
+};
+
+/// Intrinsic Z-Y-Z Euler rotation (alpha, beta, gamma) — the paper's ligand
+/// orientation parameterisation (alpha, beta select a direction; gamma spins
+/// about it).
+inline Mat3 euler_zyz(double alpha, double beta, double gamma) {
+  const double ca = std::cos(alpha), sa = std::sin(alpha);
+  const double cb = std::cos(beta), sb = std::sin(beta);
+  const double cg = std::cos(gamma), sg = std::sin(gamma);
+  Mat3 r;
+  r.m[0][0] = ca * cb * cg - sa * sg;
+  r.m[0][1] = -ca * cb * sg - sa * cg;
+  r.m[0][2] = ca * sb;
+  r.m[1][0] = sa * cb * cg + ca * sg;
+  r.m[1][1] = -sa * cb * sg + ca * cg;
+  r.m[1][2] = sa * sb;
+  r.m[2][0] = -sb * cg;
+  r.m[2][1] = sb * sg;
+  r.m[2][2] = cb;
+  return r;
+}
+
+/// Rigid-body placement of the ligand: rotate about its own mass centre,
+/// then translate the mass centre to `translation`.
+struct RigidTransform {
+  Mat3 rotation;
+  Vec3 translation;
+
+  Vec3 apply(const Vec3& local) const { return rotation * local + translation; }
+};
+
+/// Six docking degrees of freedom (x, y, z, alpha, beta, gamma) — the
+/// minimisation variables of the MAXDo-equivalent program.
+struct Dof6 {
+  double x = 0.0, y = 0.0, z = 0.0;
+  double alpha = 0.0, beta = 0.0, gamma = 0.0;
+
+  RigidTransform to_transform() const {
+    return RigidTransform{euler_zyz(alpha, beta, gamma), Vec3{x, y, z}};
+  }
+};
+
+}  // namespace hcmd::proteins

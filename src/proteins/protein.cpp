@@ -1,0 +1,102 @@
+#include "proteins/protein.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hcmd::proteins {
+
+ReducedProtein::ReducedProtein(std::uint32_t id, std::string name,
+                               std::vector<PseudoAtom> atoms)
+    : id_(id), name_(std::move(name)), atoms_(std::move(atoms)) {
+  recompute_derived();
+}
+
+void ReducedProtein::recompute_derived() {
+  bounding_radius_ = 0.0;
+  gyration_radius_ = 0.0;
+  net_charge_ = 0.0;
+  if (atoms_.empty()) return;
+  double sum2 = 0.0;
+  for (const auto& a : atoms_) {
+    const double d2 = a.position.norm2();
+    sum2 += d2;
+    bounding_radius_ = std::max(bounding_radius_, std::sqrt(d2));
+    net_charge_ += a.charge;
+  }
+  gyration_radius_ = std::sqrt(sum2 / static_cast<double>(atoms_.size()));
+}
+
+void ReducedProtein::validate() const {
+  if (atoms_.empty())
+    throw Error("protein '" + name_ + "': no pseudo-atoms");
+  Vec3 centroid{};
+  for (const auto& a : atoms_) {
+    if (!(a.lj_radius > 0.0) || !(a.lj_epsilon > 0.0))
+      throw Error("protein '" + name_ + "': non-positive LJ parameters");
+    if (!std::isfinite(a.position.x) || !std::isfinite(a.position.y) ||
+        !std::isfinite(a.position.z) || !std::isfinite(a.charge))
+      throw Error("protein '" + name_ + "': non-finite atom data");
+    centroid += a.position;
+  }
+  centroid = centroid / static_cast<double>(atoms_.size());
+  if (centroid.norm() > 1e-6)
+    throw Error("protein '" + name_ + "': local frame not centred (|c| = " +
+                std::to_string(centroid.norm()) + ")");
+}
+
+Vec3 ReducedProtein::recenter() {
+  if (atoms_.empty()) return {};
+  Vec3 centroid{};
+  for (const auto& a : atoms_) centroid += a.position;
+  centroid = centroid / static_cast<double>(atoms_.size());
+  for (auto& a : atoms_) a.position -= centroid;
+  recompute_derived();
+  return centroid;
+}
+
+void ReducedProtein::write(std::ostream& os) const {
+  os << "protein " << id_ << ' ' << name_ << ' ' << atoms_.size() << '\n';
+  os.precision(17);
+  for (const auto& a : atoms_) {
+    os << a.position.x << ' ' << a.position.y << ' ' << a.position.z << ' '
+       << a.lj_radius << ' ' << a.lj_epsilon << ' ' << a.charge << '\n';
+  }
+}
+
+ReducedProtein ReducedProtein::read(std::istream& is) {
+  std::string tag, name;
+  std::uint32_t id = 0;
+  std::size_t n = 0;
+  if (!(is >> tag >> id >> name >> n) || tag != "protein")
+    throw ParseError("ReducedProtein::read: bad header");
+  if (n == 0 || n > 1'000'000)
+    throw ParseError("ReducedProtein::read: implausible atom count " +
+                     std::to_string(n));
+  std::vector<PseudoAtom> atoms(n);
+  for (auto& a : atoms) {
+    if (!(is >> a.position.x >> a.position.y >> a.position.z >> a.lj_radius >>
+          a.lj_epsilon >> a.charge))
+      throw ParseError("ReducedProtein::read: truncated atom record");
+  }
+  return ReducedProtein(id, name, std::move(atoms));
+}
+
+bool ReducedProtein::operator==(const ReducedProtein& o) const {
+  if (id_ != o.id_ || name_ != o.name_ || atoms_.size() != o.atoms_.size())
+    return false;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    const auto& a = atoms_[i];
+    const auto& b = o.atoms_[i];
+    if (a.position.x != b.position.x || a.position.y != b.position.y ||
+        a.position.z != b.position.z || a.lj_radius != b.lj_radius ||
+        a.lj_epsilon != b.lj_epsilon || a.charge != b.charge)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace hcmd::proteins

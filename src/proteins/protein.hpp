@@ -1,0 +1,81 @@
+// Reduced protein model (after M. Zacharias' coarse-grained representation
+// used by MAXDo): each residue is represented by a small number of pseudo-
+// atoms carrying Lennard-Jones parameters and a partial charge. Proteins are
+// rigid throughout the docking search.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "proteins/geometry.hpp"
+
+namespace hcmd::proteins {
+
+/// One coarse-grained interaction centre.
+struct PseudoAtom {
+  Vec3 position;       ///< Angstroms, in the protein's local frame.
+  double lj_radius;    ///< Lennard-Jones r_min/2 contribution (Angstrom).
+  double lj_epsilon;   ///< Lennard-Jones well depth (kcal/mol).
+  double charge;       ///< Partial charge (elementary charges).
+};
+
+/// A rigid, reduced-model protein.
+///
+/// Invariants (checked by `validate()`):
+///  * at least one pseudo-atom;
+///  * local frame centred on the mass centre (|centroid| < 1e-6 A);
+///  * strictly positive LJ parameters.
+class ReducedProtein {
+ public:
+  ReducedProtein() = default;
+  ReducedProtein(std::uint32_t id, std::string name,
+                 std::vector<PseudoAtom> atoms);
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const std::vector<PseudoAtom>& atoms() const { return atoms_; }
+  std::size_t size() const { return atoms_.size(); }
+
+  /// Largest atom distance from the mass centre (Angstrom).
+  double bounding_radius() const { return bounding_radius_; }
+  /// Root-mean-square atom distance from the mass centre (Angstrom).
+  double radius_of_gyration() const { return gyration_radius_; }
+  /// Net charge (sum of partial charges).
+  double net_charge() const { return net_charge_; }
+
+  /// Throws hcmd::Error if any invariant fails.
+  void validate() const;
+
+  /// Recentres atoms on their centroid; returns the shift that was applied.
+  Vec3 recenter();
+
+  /// Simple line-oriented text serialisation (one atom per line), mirroring
+  /// the small per-protein input files shipped inside a workunit.
+  void write(std::ostream& os) const;
+  static ReducedProtein read(std::istream& is);
+
+  bool operator==(const ReducedProtein& o) const;
+
+ private:
+  void recompute_derived();
+
+  std::uint32_t id_ = 0;
+  std::string name_;
+  std::vector<PseudoAtom> atoms_;
+  double bounding_radius_ = 0.0;
+  double gyration_radius_ = 0.0;
+  double net_charge_ = 0.0;
+};
+
+/// A receptor/ligand couple, ordered: docking is *not* symmetric
+/// (Etot(.., p1, p2) != Etot(.., p2, p1)).
+struct Couple {
+  std::uint32_t receptor = 0;  ///< index of p1 in the benchmark set
+  std::uint32_t ligand = 0;    ///< index of p2
+
+  bool operator==(const Couple&) const = default;
+};
+
+}  // namespace hcmd::proteins

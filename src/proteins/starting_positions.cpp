@@ -1,0 +1,89 @@
+#include "proteins/starting_positions.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hcmd::proteins {
+
+OrientationGrid::OrientationGrid() {
+  // 21 quasi-uniform directions on the sphere via the Fibonacci lattice,
+  // expressed as (alpha = azimuth, beta = polar angle).
+  const double golden = kPi * (3.0 - std::sqrt(5.0));
+  couples_.reserve(kNumRotationCouples);
+  for (std::uint32_t i = 0; i < kNumRotationCouples; ++i) {
+    const double z =
+        1.0 - 2.0 * (static_cast<double>(i) + 0.5) / kNumRotationCouples;
+    const double beta = std::acos(z);
+    const double alpha =
+        std::fmod(golden * static_cast<double>(i), 2.0 * kPi);
+    couples_.emplace_back(alpha, beta);
+  }
+  gammas_.reserve(kNumGammaSteps);
+  for (std::uint32_t g = 0; g < kNumGammaSteps; ++g)
+    gammas_.push_back(2.0 * kPi * static_cast<double>(g) / kNumGammaSteps);
+}
+
+std::pair<double, double> OrientationGrid::couple(std::uint32_t irot) const {
+  HCMD_ASSERT(irot < kNumRotationCouples);
+  return couples_[irot];
+}
+
+double OrientationGrid::gamma(std::uint32_t ig) const {
+  HCMD_ASSERT(ig < kNumGammaSteps);
+  return gammas_[ig];
+}
+
+Dof6 OrientationGrid::orientation(std::uint32_t irot, std::uint32_t ig) const {
+  const auto [alpha, beta] = couple(irot);
+  Dof6 d;
+  d.alpha = alpha;
+  d.beta = beta;
+  d.gamma = gamma(ig);
+  return d;
+}
+
+namespace {
+
+/// Shape anisotropy in [1, ~2]: ratio of bounding radius to gyration radius,
+/// used to modulate the effective surface area so equal-radius but
+/// differently shaped receptors get different Nsep.
+double shape_factor(const ReducedProtein& receptor) {
+  const double rg = receptor.radius_of_gyration();
+  if (rg <= 0.0) return 1.0;
+  const double anisotropy = receptor.bounding_radius() / rg;
+  // A compact sphere of uniform density has rb/rg = sqrt(5/3) ~ 1.29;
+  // normalise so a compact blob gets factor ~1.
+  return std::max(0.5, anisotropy / std::sqrt(5.0 / 3.0));
+}
+
+}  // namespace
+
+std::uint32_t nsep_for(const ReducedProtein& receptor,
+                       const StartingPositionParams& params) {
+  HCMD_ASSERT(params.spacing > 0.0);
+  const double r = receptor.bounding_radius() + params.probe_radius;
+  const double area = 4.0 * kPi * r * r * shape_factor(receptor);
+  const double n = area / (params.spacing * params.spacing);
+  return static_cast<std::uint32_t>(std::max(1.0, std::floor(n)));
+}
+
+std::vector<Vec3> starting_positions(const ReducedProtein& receptor,
+                                     const StartingPositionParams& params) {
+  const std::uint32_t n = nsep_for(receptor, params);
+  const double r = receptor.bounding_radius() + params.probe_radius;
+  std::vector<Vec3> out;
+  out.reserve(n);
+  const double golden = kPi * (3.0 - std::sqrt(5.0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double z = 1.0 - 2.0 * (static_cast<double>(i) + 0.5) /
+                               static_cast<double>(n);
+    const double rho = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const double phi = golden * static_cast<double>(i);
+    out.push_back(Vec3{r * rho * std::cos(phi), r * rho * std::sin(phi),
+                       r * z});
+  }
+  return out;
+}
+
+}  // namespace hcmd::proteins

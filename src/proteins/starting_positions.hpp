@@ -1,0 +1,68 @@
+// Enumeration of the regular array of docking start states.
+//
+// The paper's search runs one energy minimisation per (isep, irot):
+//  * isep in [1..Nsep(p1)] indexes a *starting position* of the ligand mass
+//    centre around the fixed receptor p1 — Nsep depends on the receptor's
+//    size and shape (Fig. 2);
+//  * irot in [1..21] indexes a *starting orientation* couple (alpha, beta);
+//    each couple is refined for 10 values of gamma (footnote 1: 21 x 10 =
+//    210 orientations in total).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proteins/geometry.hpp"
+#include "proteins/protein.hpp"
+
+namespace hcmd::proteins {
+
+/// The paper's fixed orientation counts.
+inline constexpr std::uint32_t kNumRotationCouples = 21;  ///< Nrot
+inline constexpr std::uint32_t kNumGammaSteps = 10;
+inline constexpr std::uint32_t kNumOrientations =
+    kNumRotationCouples * kNumGammaSteps;  ///< 210
+
+/// Deterministic grid of (alpha, beta) rotation couples + gamma steps.
+class OrientationGrid {
+ public:
+  OrientationGrid();
+
+  /// (alpha, beta) of couple irot in [0, 21).
+  std::pair<double, double> couple(std::uint32_t irot) const;
+  /// gamma of step ig in [0, 10).
+  double gamma(std::uint32_t ig) const;
+
+  /// Full Euler triplet for (irot, ig).
+  Dof6 orientation(std::uint32_t irot, std::uint32_t ig) const;
+
+ private:
+  std::vector<std::pair<double, double>> couples_;
+  std::vector<double> gammas_;
+};
+
+/// Parameters for starting-position generation.
+struct StartingPositionParams {
+  /// Ligand probe clearance added to the receptor surface (Angstrom).
+  double probe_radius = 15.0;
+  /// Target arc spacing between neighbouring positions (Angstrom). The
+  /// number of positions therefore grows with the receptor surface area —
+  /// the paper's "directly linked with the size and shape of the protein".
+  /// The benchmark generator calibrates this value so the 168-protein set
+  /// reproduces the paper's 49,481,544 candidate workunits.
+  double spacing = 3.0;
+};
+
+/// Number of starting positions a receptor generates. Deterministic in the
+/// receptor geometry; matches `starting_positions(...).size()`.
+std::uint32_t nsep_for(const ReducedProtein& receptor,
+                       const StartingPositionParams& params = {});
+
+/// The actual positions: a Fibonacci-sphere lattice at radius
+/// (bounding_radius + probe_radius), modulated by the receptor's shape so
+/// that two receptors with equal radius but different shape differ.
+std::vector<Vec3> starting_positions(
+    const ReducedProtein& receptor,
+    const StartingPositionParams& params = {});
+
+}  // namespace hcmd::proteins

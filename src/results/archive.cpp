@@ -1,0 +1,106 @@
+#include "results/archive.hpp"
+
+#include "util/error.hpp"
+
+namespace hcmd::results {
+
+Archive::Archive(std::uint32_t protein_count,
+                 std::vector<std::uint32_t> nsep, ValueRanges ranges)
+    : protein_count_(protein_count), nsep_(std::move(nsep)),
+      ranges_(ranges) {
+  if (protein_count_ == 0 || nsep_.size() != protein_count_)
+    throw ConfigError("Archive: nsep table must match protein_count");
+}
+
+Archive::CoupleSlot& Archive::slot(std::uint32_t receptor,
+                                   std::uint32_t ligand) {
+  return couples_[{receptor, ligand}];
+}
+
+const Archive::CoupleSlot* Archive::find_slot(std::uint32_t receptor,
+                                              std::uint32_t ligand) const {
+  const auto it = couples_.find({receptor, ligand});
+  return it == couples_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::uint32_t> Archive::deposit(ResultFile file) {
+  if (file.receptor >= protein_count_ || file.ligand >= protein_count_)
+    throw ConfigError("Archive: protein id out of range");
+  if (file.isep_end > nsep_[file.receptor])
+    throw ConfigError("Archive: slice beyond the receptor's Nsep");
+
+  ++stats_.files_received;
+  stats_.bytes_received += file.byte_size();
+
+  CoupleSlot& s = slot(file.receptor, file.ligand);
+  s.covered_positions += file.isep_end - file.isep_begin;
+  const std::uint32_t receptor = file.receptor;
+  s.parts.push_back(std::move(file));
+
+  if (receptor_complete(receptor)) return receptor;
+  return std::nullopt;
+}
+
+bool Archive::receptor_complete(std::uint32_t receptor) const {
+  HCMD_ASSERT(receptor < protein_count_);
+  for (std::uint32_t ligand = 0; ligand < protein_count_; ++ligand) {
+    const CoupleSlot* s = find_slot(receptor, ligand);
+    if (s == nullptr) return false;
+    if (s->merged.has_value()) continue;
+    if (s->covered_positions < nsep_[receptor]) return false;
+  }
+  return true;
+}
+
+CheckReport Archive::verify_and_merge(std::uint32_t receptor) {
+  HCMD_ASSERT(receptor < protein_count_);
+  CheckReport report;
+  if (!receptor_complete(receptor)) {
+    report.fail(CheckFailure::kFileCount,
+                "receptor delivery incomplete");
+    ++stats_.deliveries_failed;
+    return report;
+  }
+
+  // Merge per couple first (detects overlaps/gaps), then run the paper's
+  // three checks on the merged delivery.
+  std::vector<ResultFile> delivery;
+  delivery.reserve(protein_count_);
+  for (std::uint32_t ligand = 0; ligand < protein_count_; ++ligand) {
+    CoupleSlot& s = slot(receptor, ligand);
+    if (!s.merged.has_value()) {
+      try {
+        s.merged = merge_files(s.parts, nsep_[receptor], true);
+      } catch (const Error& e) {
+        report.fail(CheckFailure::kFileCount, e.what());
+        ++stats_.deliveries_failed;
+        return report;
+      }
+    }
+    delivery.push_back(*s.merged);
+  }
+
+  report = verify_delivery(delivery, receptor, protein_count_, ranges_);
+  if (!report.ok) {
+    ++stats_.deliveries_failed;
+    return report;
+  }
+
+  ++stats_.deliveries_verified;
+  for (std::uint32_t ligand = 0; ligand < protein_count_; ++ligand) {
+    CoupleSlot& s = slot(receptor, ligand);
+    s.parts.clear();  // the merged file supersedes the slices
+    ++stats_.couples_merged;
+    stats_.merged_bytes += s.merged->byte_size();
+  }
+  return report;
+}
+
+const ResultFile* Archive::merged_file(std::uint32_t receptor,
+                                       std::uint32_t ligand) const {
+  const CoupleSlot* s = find_slot(receptor, ligand);
+  if (s == nullptr || !s->merged.has_value()) return nullptr;
+  return &*s->merged;
+}
+
+}  // namespace hcmd::results

@@ -1,0 +1,79 @@
+// The Décrypthon storage server (Section 5.2).
+//
+// "During the project, the WCG team sent results that were calculated by
+// the volunteers to a storage server in France. Then we were in charge of
+// validating those results. ... The WCG team sent us the results when one
+// protein has been docked with the 168 others. Each time we received the
+// results, we validated those results with 3 different checks ... Then
+// when the files were checked, we merged result files in order to have one
+// result file for one couple of proteins."
+//
+// The Archive models that pipeline: per-workunit files stream in, are
+// grouped by (receptor, ligand), and when a receptor's docking against the
+// whole set is complete its delivery is verified (the three checks) and
+// merged into per-couple files. Storage is accounted in bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "results/result_file.hpp"
+#include "results/verification.hpp"
+
+namespace hcmd::results {
+
+struct ArchiveStats {
+  std::uint64_t files_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t deliveries_verified = 0;  ///< receptors fully processed
+  std::uint64_t deliveries_failed = 0;
+  std::uint64_t couples_merged = 0;
+  std::uint64_t merged_bytes = 0;
+};
+
+class Archive {
+ public:
+  /// `protein_count` is the benchmark size (168); `nsep` the per-receptor
+  /// position counts (indexed by receptor id).
+  Archive(std::uint32_t protein_count, std::vector<std::uint32_t> nsep,
+          ValueRanges ranges = {});
+
+  /// Stores one per-workunit result file. Returns the receptor id if this
+  /// file completed the receptor's whole delivery (every ligand fully
+  /// covered), in which case verify_and_merge() may be called.
+  std::optional<std::uint32_t> deposit(ResultFile file);
+
+  /// True when every couple (receptor, *) is fully covered by deposits.
+  bool receptor_complete(std::uint32_t receptor) const;
+
+  /// Runs the three checks on the receptor's merged delivery and, on
+  /// success, replaces the per-workunit slices with one merged file per
+  /// couple. Returns the verification report.
+  CheckReport verify_and_merge(std::uint32_t receptor);
+
+  /// Merged per-couple file, if the receptor was merged.
+  const ResultFile* merged_file(std::uint32_t receptor,
+                                std::uint32_t ligand) const;
+
+  const ArchiveStats& stats() const { return stats_; }
+
+ private:
+  struct CoupleSlot {
+    std::vector<ResultFile> parts;
+    std::uint32_t covered_positions = 0;
+    std::optional<ResultFile> merged;
+  };
+  CoupleSlot& slot(std::uint32_t receptor, std::uint32_t ligand);
+  const CoupleSlot* find_slot(std::uint32_t receptor,
+                              std::uint32_t ligand) const;
+
+  std::uint32_t protein_count_;
+  std::vector<std::uint32_t> nsep_;
+  ValueRanges ranges_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, CoupleSlot> couples_;
+  ArchiveStats stats_;
+};
+
+}  // namespace hcmd::results

@@ -1,0 +1,114 @@
+#include "results/result_file.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hcmd::results {
+
+std::uint64_t ResultFile::expected_lines() const {
+  return static_cast<std::uint64_t>(isep_end - isep_begin) *
+         proteins::kNumRotationCouples;
+}
+
+void ResultFile::write(std::ostream& os) const {
+  os << "result " << receptor << ' ' << ligand << ' ' << isep_begin << ' '
+     << isep_end << ' ' << records.size() << '\n';
+  os.precision(10);
+  for (const auto& r : records) {
+    os << r.isep << ' ' << r.irot << ' ' << r.pose.x << ' ' << r.pose.y << ' '
+       << r.pose.z << ' ' << r.pose.alpha << ' ' << r.pose.beta << ' '
+       << r.pose.gamma << ' ' << r.elj << ' ' << r.eelec << '\n';
+  }
+}
+
+ResultFile ResultFile::read(std::istream& is) {
+  ResultFile f;
+  std::string tag;
+  std::size_t n = 0;
+  if (!(is >> tag >> f.receptor >> f.ligand >> f.isep_begin >> f.isep_end >>
+        n) ||
+      tag != "result")
+    throw ParseError("ResultFile::read: bad header");
+  if (f.isep_end < f.isep_begin)
+    throw ParseError("ResultFile::read: inverted position range");
+  f.records.resize(n);
+  for (auto& r : f.records) {
+    if (!(is >> r.isep >> r.irot >> r.pose.x >> r.pose.y >> r.pose.z >>
+          r.pose.alpha >> r.pose.beta >> r.pose.gamma >> r.elj >> r.eelec))
+      throw ParseError("ResultFile::read: truncated record");
+  }
+  return f;
+}
+
+std::uint64_t ResultFile::byte_size() const {
+  std::ostringstream os;
+  write(os);
+  return os.str().size();
+}
+
+ResultFile make_result_file(std::uint32_t receptor, std::uint32_t ligand,
+                            std::uint32_t isep_begin, std::uint32_t isep_end,
+                            const docking::MaxDoCheckpoint& checkpoint) {
+  if (checkpoint.next_isep < isep_end)
+    throw Error("make_result_file: checkpoint does not cover the slice");
+  ResultFile f;
+  f.receptor = receptor;
+  f.ligand = ligand;
+  f.isep_begin = isep_begin;
+  f.isep_end = isep_end;
+  f.records.reserve(checkpoint.records.size());
+  for (const auto& r : checkpoint.records) {
+    if (r.isep >= isep_begin && r.isep < isep_end) f.records.push_back(r);
+  }
+  return f;
+}
+
+ResultFile merge_files(const std::vector<ResultFile>& parts,
+                       std::uint32_t nsep_total, bool require_complete) {
+  if (parts.empty()) throw Error("merge_files: nothing to merge");
+  ResultFile merged;
+  merged.receptor = parts.front().receptor;
+  merged.ligand = parts.front().ligand;
+
+  // Coverage bookkeeping over the position axis.
+  std::vector<bool> covered(nsep_total, false);
+  std::size_t total_records = 0;
+  for (const auto& p : parts) {
+    if (p.receptor != merged.receptor || p.ligand != merged.ligand)
+      throw Error("merge_files: mixing couples");
+    if (p.isep_end > nsep_total)
+      throw Error("merge_files: slice beyond Nsep");
+    for (std::uint32_t s = p.isep_begin; s < p.isep_end; ++s) {
+      if (covered[s])
+        throw Error("merge_files: overlapping slices at position " +
+                    std::to_string(s));
+      covered[s] = true;
+    }
+    total_records += p.records.size();
+  }
+  if (require_complete) {
+    for (std::uint32_t s = 0; s < nsep_total; ++s)
+      if (!covered[s])
+        throw Error("merge_files: missing position " + std::to_string(s));
+  }
+
+  merged.isep_begin = 0;
+  merged.isep_end = nsep_total;
+  merged.records.reserve(total_records);
+  for (const auto& p : parts)
+    merged.records.insert(merged.records.end(), p.records.begin(),
+                          p.records.end());
+  std::sort(merged.records.begin(), merged.records.end(),
+            [](const docking::DockingRecord& a,
+               const docking::DockingRecord& b) {
+              if (a.isep != b.isep) return a.isep < b.isep;
+              return a.irot < b.irot;
+            });
+  return merged;
+}
+
+}  // namespace hcmd::results

@@ -1,0 +1,48 @@
+// MAXDo result files.
+//
+// "The output of the MAXDo program is a simple text file that contains on
+// each line the coordinate of the ligand and its orientation, and then the
+// interaction energies values." One file corresponds to one workunit; the
+// Décrypthon storage server merged them into one file per protein couple.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "docking/maxdo.hpp"
+
+namespace hcmd::results {
+
+/// In-memory representation of one result file.
+struct ResultFile {
+  std::uint32_t receptor = 0;
+  std::uint32_t ligand = 0;
+  std::uint32_t isep_begin = 0;
+  std::uint32_t isep_end = 0;
+  std::vector<docking::DockingRecord> records;
+
+  /// Lines expected for a complete file: positions x 21 rotation couples.
+  std::uint64_t expected_lines() const;
+
+  void write(std::ostream& os) const;
+  static ResultFile read(std::istream& is);
+
+  /// Serialised size in bytes (write() output length).
+  std::uint64_t byte_size() const;
+};
+
+/// Builds the result file for a completed workunit slice from the docking
+/// checkpoint that produced it.
+ResultFile make_result_file(std::uint32_t receptor, std::uint32_t ligand,
+                            std::uint32_t isep_begin, std::uint32_t isep_end,
+                            const docking::MaxDoCheckpoint& checkpoint);
+
+/// Merges per-workunit files of one couple into a single couple file,
+/// sorted by (isep, irot). Throws hcmd::Error on overlaps or gaps when
+/// `require_complete` and the merged range is not [0, nsep_total).
+ResultFile merge_files(const std::vector<ResultFile>& parts,
+                       std::uint32_t nsep_total, bool require_complete);
+
+}  // namespace hcmd::results

@@ -1,0 +1,31 @@
+#include "results/storage.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace hcmd::results {
+
+StorageEstimate estimate_storage(const proteins::Benchmark& benchmark,
+                                 const StorageModel& model) {
+  if (model.bytes_per_line <= 0.0 || model.compression_ratio <= 0.0)
+    throw ConfigError("StorageModel: parameters must be > 0");
+  StorageEstimate e;
+  const std::uint64_t n = benchmark.proteins.size();
+  e.files = n * n;
+  // Every couple (p1, p2) produces Nsep(p1) * 21 lines.
+  e.total_lines = benchmark.total_nsep() * n *
+                  static_cast<std::uint64_t>(proteins::kNumRotationCouples);
+  e.raw_bytes = static_cast<double>(e.total_lines) * model.bytes_per_line +
+                static_cast<double>(e.files) * model.per_file_overhead;
+  e.compressed_bytes = e.raw_bytes / model.compression_ratio;
+  return e;
+}
+
+std::string format_gb(double bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f GB", bytes / 1e9);
+  return buf;
+}
+
+}  // namespace hcmd::results

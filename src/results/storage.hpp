@@ -1,0 +1,37 @@
+// Storage accounting for the campaign's scientific output.
+//
+// "All these result files represents 123 Gb of text files (45 Gb
+// compressed) and there are 168^2 files."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "proteins/generator.hpp"
+
+namespace hcmd::results {
+
+struct StorageModel {
+  /// Average bytes per result line (9-10 numeric fields plus separators).
+  double bytes_per_line = 120.0;
+  /// Text compresses well; the paper observed 123 / 45 ~ 2.7x.
+  double compression_ratio = 2.73;
+  /// Per-file header/trailer overhead.
+  double per_file_overhead = 256.0;
+};
+
+struct StorageEstimate {
+  std::uint64_t files = 0;          ///< one merged file per ordered couple
+  std::uint64_t total_lines = 0;    ///< sum over couples of Nsep * 21
+  double raw_bytes = 0.0;
+  double compressed_bytes = 0.0;
+};
+
+/// Estimates the full-campaign output volume for a benchmark set.
+StorageEstimate estimate_storage(const proteins::Benchmark& benchmark,
+                                 const StorageModel& model = {});
+
+/// Human-readable "x.y GB" (decimal gigabytes, as the paper uses).
+std::string format_gb(double bytes);
+
+}  // namespace hcmd::results

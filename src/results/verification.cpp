@@ -1,0 +1,94 @@
+#include "results/verification.hpp"
+
+#include <cmath>
+#include <set>
+
+namespace hcmd::results {
+
+void CheckReport::fail(CheckFailure kind, std::string detail) {
+  ok = false;
+  failures.emplace_back(kind, std::move(detail));
+}
+
+CheckReport check_file_count(const std::vector<ResultFile>& delivery,
+                             std::uint32_t receptor,
+                             std::uint32_t protein_count) {
+  CheckReport report;
+  std::set<std::uint32_t> ligands;
+  for (const auto& f : delivery) {
+    if (f.receptor != receptor) {
+      report.fail(CheckFailure::kFileCount,
+                  "file for foreign receptor " + std::to_string(f.receptor));
+      continue;
+    }
+    if (!ligands.insert(f.ligand).second)
+      report.fail(CheckFailure::kFileCount,
+                  "duplicate ligand " + std::to_string(f.ligand));
+  }
+  if (ligands.size() != protein_count)
+    report.fail(CheckFailure::kFileCount,
+                "expected " + std::to_string(protein_count) + " files, got " +
+                    std::to_string(ligands.size()));
+  return report;
+}
+
+CheckReport check_line_counts(const std::vector<ResultFile>& delivery) {
+  CheckReport report;
+  for (const auto& f : delivery) {
+    if (f.records.size() != f.expected_lines()) {
+      report.fail(CheckFailure::kLineCount,
+                  "couple (" + std::to_string(f.receptor) + "," +
+                      std::to_string(f.ligand) + "): " +
+                      std::to_string(f.records.size()) + " lines, expected " +
+                      std::to_string(f.expected_lines()));
+    }
+  }
+  return report;
+}
+
+CheckReport check_value_ranges(const ResultFile& file,
+                               const ValueRanges& ranges) {
+  CheckReport report;
+  for (const auto& r : file.records) {
+    const bool coord_ok = std::isfinite(r.pose.x) && std::isfinite(r.pose.y) &&
+                          std::isfinite(r.pose.z) &&
+                          std::abs(r.pose.x) <= ranges.max_abs_coordinate &&
+                          std::abs(r.pose.y) <= ranges.max_abs_coordinate &&
+                          std::abs(r.pose.z) <= ranges.max_abs_coordinate;
+    const double etot = r.etot();
+    const bool energy_ok = std::isfinite(r.elj) && std::isfinite(r.eelec) &&
+                           etot >= ranges.min_energy &&
+                           etot <= ranges.max_energy;
+    const bool index_ok = r.isep >= file.isep_begin &&
+                          r.isep < file.isep_end &&
+                          r.irot < proteins::kNumRotationCouples;
+    if (!coord_ok)
+      report.fail(CheckFailure::kValueRange,
+                  "coordinate out of range at isep " + std::to_string(r.isep));
+    if (!energy_ok)
+      report.fail(CheckFailure::kValueRange,
+                  "energy out of range at isep " + std::to_string(r.isep));
+    if (!index_ok)
+      report.fail(CheckFailure::kValueRange,
+                  "index out of bounds at isep " + std::to_string(r.isep));
+  }
+  return report;
+}
+
+CheckReport verify_delivery(const std::vector<ResultFile>& delivery,
+                            std::uint32_t receptor,
+                            std::uint32_t protein_count,
+                            const ValueRanges& ranges) {
+  CheckReport report = check_file_count(delivery, receptor, protein_count);
+  CheckReport lines = check_line_counts(delivery);
+  for (auto& f : lines.failures) report.fail(f.first, std::move(f.second));
+  report.ok = report.ok && lines.ok;
+  for (const auto& f : delivery) {
+    CheckReport values = check_value_ranges(f, ranges);
+    for (auto& v : values.failures) report.fail(v.first, std::move(v.second));
+    report.ok = report.ok && values.ok;
+  }
+  return report;
+}
+
+}  // namespace hcmd::results

@@ -1,0 +1,60 @@
+// The Décrypthon-side verification pipeline (Section 5.2).
+//
+// "Each time we received the results, we validated those results with 3
+// different checks: check if there are the correct number of files, check
+// if there are the correct number of lines in the files, check if the
+// values in the file are within a valid range."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "results/result_file.hpp"
+
+namespace hcmd::results {
+
+/// Physical plausibility bounds for result values.
+struct ValueRanges {
+  /// |coordinates| of the ligand mass centre (Angstrom).
+  double max_abs_coordinate = 500.0;
+  /// Interaction energy bounds (kcal/mol). Wildly positive energies mean a
+  /// non-converged clash; wildly negative ones are numerically impossible.
+  double min_energy = -1.0e5;
+  double max_energy = 1.0e6;
+};
+
+enum class CheckFailure : std::uint8_t {
+  kFileCount,   ///< couple set is missing files / has extras
+  kLineCount,   ///< a file has the wrong number of records
+  kValueRange,  ///< a record value is outside the valid range
+};
+
+struct CheckReport {
+  bool ok = true;
+  std::vector<std::pair<CheckFailure, std::string>> failures;
+
+  void fail(CheckFailure kind, std::string detail);
+};
+
+/// Check 1: a receptor's delivery must contain exactly one file per ligand
+/// (the WCG team "sent us the results when one protein has been docked with
+/// the 168 others").
+CheckReport check_file_count(const std::vector<ResultFile>& delivery,
+                             std::uint32_t receptor,
+                             std::uint32_t protein_count);
+
+/// Check 2: each file holds positions x 21 lines.
+CheckReport check_line_counts(const std::vector<ResultFile>& delivery);
+
+/// Check 3: every value within its valid range, indices within bounds.
+CheckReport check_value_ranges(const ResultFile& file,
+                               const ValueRanges& ranges = {});
+
+/// Runs all three checks over a receptor delivery.
+CheckReport verify_delivery(const std::vector<ResultFile>& delivery,
+                            std::uint32_t receptor,
+                            std::uint32_t protein_count,
+                            const ValueRanges& ranges = {});
+
+}  // namespace hcmd::results

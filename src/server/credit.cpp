@@ -1,0 +1,37 @@
+#include "server/credit.hpp"
+
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::server {
+
+double benchmark_score(const volunteer::DeviceSpec& device) {
+  switch (device.accounting) {
+    case volunteer::AccountingMode::kUdWallClock:
+      // The benchmark experiences the same throttle/contention/screensaver
+      // environment as the workunit, per attached wall second.
+      return device.effective_speed();
+    case volunteer::AccountingMode::kBoincCpuTime:
+      // BOINC benchmarks the bare processor; accounted time is CPU time.
+      return device.speed_factor;
+  }
+  throw ConfigError("benchmark_score: unknown accounting mode");
+}
+
+double claimed_credit(const volunteer::DeviceSpec& device,
+                      double reported_runtime_seconds) {
+  HCMD_ASSERT(reported_runtime_seconds >= 0.0);
+  const double reference_seconds =
+      reported_runtime_seconds * benchmark_score(device);
+  return reference_seconds / util::kSecondsPerHour * kCreditPerReferenceHour;
+}
+
+double credit_vftp(double credit, double period_seconds) {
+  HCMD_ASSERT(period_seconds > 0.0);
+  HCMD_ASSERT(credit >= 0.0);
+  const double reference_seconds =
+      credit / kCreditPerReferenceHour * util::kSecondsPerHour;
+  return reference_seconds / period_seconds;
+}
+
+}  // namespace hcmd::server

@@ -1,0 +1,50 @@
+// Points / credit accounting (the paper's Section 8 proposal).
+//
+// "Another way to approach the number of virtual full-time processors is to
+// base the estimate on the number of points awarded instead of run-time.
+// Points represent the amount of work done by [a] computer to compute a
+// result and are based on the run time for that result multiplied by a
+// weight factor determined by running a benchmark on the agent. This
+// approach should reduce the differences between each platform [and]
+// therefore be more middleware independent."
+//
+// This module implements exactly that scheme: each device runs a synthetic
+// benchmark whose score is proportional to its actual crunching speed (the
+// throttled, contended speed the research application experiences), and a
+// result's claimed credit is reported_runtime * benchmark_score. Credit is
+// therefore proportional to the *reference work actually performed*, which
+// makes credit-based capacity estimates agree across UD and BOINC agents —
+// the property the paper wants.
+#pragma once
+
+#include <cstdint>
+
+#include "volunteer/device.hpp"
+
+namespace hcmd::server {
+
+/// Credit granted per reference-CPU hour of work. BOINC's cobblestone is
+/// defined per day of a calibrated machine; the constant only fixes units.
+inline constexpr double kCreditPerReferenceHour = 100.0 / 24.0;
+
+/// The agent-side benchmark: reference work per *accounted* runtime second.
+///
+/// For a UD (wall-clock) agent the benchmark runs under the same throttle
+/// and contention as the research app, so the score reflects effective
+/// speed; for a BOINC (CPU-time) agent the benchmark measures the raw
+/// processor and the accounted time is CPU time, so the product again
+/// equals reference work.
+double benchmark_score(const volunteer::DeviceSpec& device);
+
+/// Claimed credit for a result: accounted runtime (seconds) x the device's
+/// benchmark score, converted to credits.
+double claimed_credit(const volunteer::DeviceSpec& device,
+                      double reported_runtime_seconds);
+
+/// Converts granted credit accumulated over a period into the paper's
+/// "virtual full-time processors" — but on the credit scale, i.e. the
+/// number of *reference* processors that would earn that credit. This is
+/// the middleware-independent capacity estimate of Section 8.
+double credit_vftp(double credit, double period_seconds);
+
+}  // namespace hcmd::server

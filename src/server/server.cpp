@@ -1,0 +1,308 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hcmd::server {
+
+ProjectServer::ProjectServer(std::vector<packaging::Workunit> catalog,
+                             ServerConfig config)
+    : catalog_(std::move(catalog)), config_(config), rng_(config.seed),
+      records_(catalog_.size()) {
+  if (catalog_.empty()) throw ConfigError("ProjectServer: empty catalogue");
+  if (config_.deadline <= 0.0)
+    throw ConfigError("ProjectServer: deadline must be > 0");
+  if (config_.validation.spot_check_fraction < 0.0 ||
+      config_.validation.spot_check_fraction > 1.0)
+    throw ConfigError("ProjectServer: spot_check_fraction outside [0, 1]");
+}
+
+std::uint64_t ProjectServer::issue(std::uint32_t wu_index,
+                                   std::uint32_t device_id, double now) {
+  WorkunitRecord& rec = records_[wu_index];
+  ResultInstance inst;
+  inst.result_id = results_.size();
+  inst.workunit_index = wu_index;
+  inst.device_id = device_id;
+  inst.sent_time = now;
+  inst.deadline = now + config_.deadline;
+  results_.push_back(inst);
+  if (rec.issues < 255) ++rec.issues;
+  ++rec.outstanding;
+  if (rec.state == WorkunitState::kUnsent)
+    rec.state = WorkunitState::kInProgress;
+  ++counters_.results_sent;
+  return inst.result_id;
+}
+
+std::optional<Assignment> ProjectServer::request_work(std::uint32_t device_id,
+                                                      double now) {
+  std::uint32_t wu_index = 0;
+  bool found = false;
+
+  // 1. Re-issues (timeouts / invalid results) take priority, like the BOINC
+  //    transitioner's retry results.
+  while (!reissue_queue_.empty()) {
+    const std::uint32_t candidate = reissue_queue_.front();
+    reissue_queue_.pop_front();
+    if (records_[candidate].state != WorkunitState::kDone) {
+      wu_index = candidate;
+      found = true;
+      break;
+    }
+  }
+
+  // 2. Workunits that still need an initial redundant copy.
+  while (!found && !extra_copy_queue_.empty()) {
+    const std::uint32_t candidate = extra_copy_queue_.front();
+    extra_copy_queue_.pop_front();
+    const WorkunitRecord& rec = records_[candidate];
+    if (rec.state != WorkunitState::kDone && rec.issues < rec.target_issues) {
+      wu_index = candidate;
+      found = true;
+    }
+  }
+
+  // 3. Fresh workunits, in catalogue (launch) order.
+  if (!found && next_unsent_ >= catalog_.size()) {
+    // 4. End game: duplicate an outstanding straggler rather than idle the
+    //    device.
+    if (!pick_endgame(wu_index)) return std::nullopt;
+    found = true;
+  }
+  if (!found) {
+    wu_index = static_cast<std::uint32_t>(next_unsent_++);
+    WorkunitRecord& rec = records_[wu_index];
+    // Decide the redundancy regime at first issue.
+    if (now < config_.validation.quorum2_until) {
+      rec.quorum_needed = 2;
+      rec.target_issues = 2;
+    } else if (config_.validation.adaptive && !device_trusted(device_id)) {
+      // Adaptive replication: an unproven device's result must survive a
+      // quorum comparison.
+      rec.quorum_needed = 2;
+      rec.target_issues = 2;
+    } else if (rng_.bernoulli(config_.validation.spot_check_fraction)) {
+      rec.quorum_needed = 1;
+      rec.target_issues = 2;
+    } else {
+      rec.quorum_needed = 1;
+      rec.target_issues = 1;
+    }
+    if (rec.target_issues > 1) extra_copy_queue_.push_back(wu_index);
+  }
+
+  Assignment a;
+  a.result_id = issue(wu_index, device_id, now);
+  a.workunit = catalog_[wu_index];
+  a.deadline = results_[a.result_id].deadline;
+  return a;
+}
+
+bool ProjectServer::pick_endgame(std::uint32_t& wu_index) {
+  if (config_.endgame_max_outstanding == 0) return false;
+  for (int pass = 0; pass < 2; ++pass) {
+    while (!endgame_queue_.empty()) {
+
+      const std::uint32_t candidate = endgame_queue_.front();
+      endgame_queue_.pop_front();
+      const WorkunitRecord& rec = records_[candidate];
+      if (rec.state != WorkunitState::kDone &&
+          rec.outstanding < config_.endgame_max_outstanding) {
+        wu_index = candidate;
+        // Re-enqueue: the workunit may have room for further copies once
+        // this issue is accounted.
+        endgame_queue_.push_back(candidate);
+        return true;
+      }
+    }
+    // Queue drained: rebuild it from the live records. Near the end of the
+    // campaign this is a scan over few survivors; earlier it never runs
+    // because fresh work exists. The dirty flag avoids rescanning when
+    // nothing changed since an empty rebuild.
+    if (!endgame_dirty_) return false;
+    endgame_dirty_ = false;
+    for (std::uint32_t i = 0; i < records_.size(); ++i) {
+      const WorkunitRecord& rec = records_[i];
+      if (rec.state != WorkunitState::kDone &&
+          rec.outstanding < config_.endgame_max_outstanding)
+        endgame_queue_.push_back(i);
+    }
+    if (endgame_queue_.empty()) return false;
+  }
+  return false;
+}
+
+bool ProjectServer::device_trusted(std::uint32_t device_id) const {
+  const auto it = device_history_.find(device_id);
+  if (it == device_history_.end()) return false;
+  const DeviceHistory& h = it->second;
+  if (h.received < config_.validation.adaptive_min_samples) return false;
+  return static_cast<double>(h.bad) <=
+         config_.validation.adaptive_max_bad_fraction *
+             static_cast<double>(h.received);
+}
+
+void ProjectServer::assimilate(std::uint32_t wu_index) {
+  WorkunitRecord& rec = records_[wu_index];
+  HCMD_ASSERT(rec.state != WorkunitState::kDone);
+  rec.state = WorkunitState::kDone;
+  ++counters_.workunits_completed;
+  counters_.useful_reference_seconds += catalog_[wu_index].reference_seconds;
+}
+
+ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
+                                         const ResultReport& report) {
+  HCMD_ASSERT(result_id < results_.size());
+  ResultInstance& inst = results_[result_id];
+  HCMD_ASSERT_MSG(inst.state == ResultState::kInProgress ||
+                      inst.state == ResultState::kTimedOut,
+                  "result reported twice");
+  const bool was_outstanding = inst.state == ResultState::kInProgress;
+  WorkunitRecord& rec = records_[inst.workunit_index];
+  if (was_outstanding) {
+    HCMD_ASSERT(rec.outstanding > 0);
+    --rec.outstanding;
+  }
+
+  endgame_dirty_ = true;
+  inst.received_time = now;
+  inst.reported_runtime = report.reported_runtime;
+  inst.silent_error = report.silent_error;
+  ++counters_.results_received;
+  counters_.reported_runtime_seconds += report.reported_runtime;
+  DeviceHistory& history = device_history_[inst.device_id];
+  ++history.received;
+
+  if (report.computation_error) {
+    inst.state = ResultState::kInvalid;
+    ++counters_.results_invalid;
+    ++history.bad;
+    if (rec.state != WorkunitState::kDone)
+      reissue_queue_.push_back(inst.workunit_index);
+    return inst.state;
+  }
+
+  if (rec.state == WorkunitState::kDone) {
+    // A correct-looking result for an already-complete workunit: WCG still
+    // accepts it ("this result is taken into account even if [it] has
+    // already been computed by some other device"). If it disagrees with
+    // the assimilated canonical, the corruption is detected after the
+    // fact.
+    inst.state = ResultState::kRedundant;
+    ++counters_.results_redundant;
+    if (inst.silent_error != rec.done_corrupt) ++counters_.late_mismatches;
+    return inst.state;
+  }
+
+  if (rec.quorum_needed <= 1) {
+    // Range-check validation alone: a silent error sails through.
+    inst.state = ResultState::kValid;
+    ++counters_.results_valid;
+    if (inst.silent_error) {
+      rec.done_corrupt = true;
+      ++counters_.corrupt_assimilated;
+    }
+    assimilate(inst.workunit_index);
+    return inst.state;
+  }
+
+  // Quorum of 2: hold the first clean-looking result, compare on the
+  // second.
+  if (rec.pending_result == kNoPending) {
+    rec.pending_result = inst.result_id;
+    inst.state = ResultState::kPendingValidation;
+    ++counters_.results_pending;
+    return inst.state;
+  }
+  ResultInstance& partner = results_[rec.pending_result];
+  rec.pending_result = kNoPending;
+  --counters_.results_pending;
+  if (partner.silent_error == inst.silent_error) {
+    partner.state = ResultState::kValid;
+    ++counters_.results_quorum_extra;
+    inst.state = ResultState::kValid;
+    ++counters_.results_valid;
+    if (inst.silent_error) {
+      // Both members corrupt the same way: the comparison cannot see it.
+      rec.done_corrupt = true;
+      ++counters_.corrupt_assimilated;
+    }
+    assimilate(inst.workunit_index);
+  } else {
+    // Disagreement: discard both, penalise both devices, re-issue twice to
+    // rebuild the quorum.
+    partner.state = ResultState::kInvalid;
+    inst.state = ResultState::kInvalid;
+    counters_.results_invalid += 2;
+    ++counters_.quorum_mismatches;
+    ++history.bad;
+    ++device_history_[partner.device_id].bad;
+    reissue_queue_.push_back(inst.workunit_index);
+    reissue_queue_.push_back(inst.workunit_index);
+  }
+  return inst.state;
+}
+
+bool ProjectServer::handle_deadline(std::uint64_t result_id, double now) {
+  HCMD_ASSERT(result_id < results_.size());
+  ResultInstance& inst = results_[result_id];
+  if (inst.state != ResultState::kInProgress) return false;
+  if (now < inst.deadline) return false;
+  inst.state = ResultState::kTimedOut;
+  ++counters_.results_timed_out;
+  endgame_dirty_ = true;
+  WorkunitRecord& rec = records_[inst.workunit_index];
+  HCMD_ASSERT(rec.outstanding > 0);
+  --rec.outstanding;
+  if (rec.state != WorkunitState::kDone)
+    reissue_queue_.push_back(inst.workunit_index);
+  return true;
+}
+
+const ResultInstance& ProjectServer::result(std::uint64_t result_id) const {
+  HCMD_ASSERT(result_id < results_.size());
+  return results_[result_id];
+}
+
+WorkunitState ProjectServer::workunit_state(std::uint32_t index) const {
+  HCMD_ASSERT(index < records_.size());
+  return records_[index].state;
+}
+
+std::vector<std::uint64_t> ProjectServer::completed_positions_per_receptor(
+    std::uint32_t receptor_count) const {
+  std::vector<std::uint64_t> out(receptor_count, 0);
+  for (std::size_t i = 0; i < catalog_.size(); ++i) {
+    if (records_[i].state == WorkunitState::kDone) {
+      HCMD_ASSERT(catalog_[i].receptor < receptor_count);
+      out[catalog_[i].receptor] += catalog_[i].positions();
+    }
+  }
+  return out;
+}
+
+std::vector<double> ProjectServer::completed_reference_seconds_per_receptor(
+    std::uint32_t receptor_count) const {
+  std::vector<double> out(receptor_count, 0.0);
+  for (std::size_t i = 0; i < catalog_.size(); ++i) {
+    if (records_[i].state == WorkunitState::kDone) {
+      HCMD_ASSERT(catalog_[i].receptor < receptor_count);
+      out[catalog_[i].receptor] += catalog_[i].reference_seconds;
+    }
+  }
+  return out;
+}
+
+std::vector<double> ProjectServer::total_reference_seconds_per_receptor(
+    std::uint32_t receptor_count) const {
+  std::vector<double> out(receptor_count, 0.0);
+  for (const auto& wu : catalog_) {
+    HCMD_ASSERT(wu.receptor < receptor_count);
+    out[wu.receptor] += wu.reference_seconds;
+  }
+  return out;
+}
+
+}  // namespace hcmd::server

@@ -1,0 +1,256 @@
+// BOINC-style project server for the HCMD workload.
+//
+// Holds the workunit catalogue and drives the result lifecycle the way the
+// World Community Grid back end does:
+//
+//   feeder      — hands out instances in catalogue order (the WCG team
+//                 launched "the workunit of one protein after an other",
+//                 cheapest receptor first);
+//   redundancy  — a workunit may be issued to several devices: a quorum of
+//                 2 during the early campaign (results compared pairwise),
+//                 then quorum 1 with a value-range check plus a spot-check
+//                 fraction that still gets double-issued;
+//   transitioner— deadline misses and invalid results trigger re-issues;
+//   assimilator — the first validated result completes the workunit; any
+//                 further copies (including late arrivals from reconnecting
+//                 volunteers) are still *received* and counted, which is
+//                 what makes only ~73 % of received results useful.
+//
+// The server is deliberately passive (no event loop): the campaign driver
+// in src/core owns simulated time and calls into it. All times are seconds
+// since campaign start.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "packaging/workunit.hpp"
+#include "util/rng.hpp"
+
+namespace hcmd::server {
+
+/// Validation regimes (Section 5.1: the redundancy factor "was higher at
+/// the beginning, because the results were compared to each other to be
+/// validated, but later we provided a method to validate the results by
+/// checking the values returned in the result file").
+struct ValidationPolicy {
+  /// Campaign time until which every workunit needs a quorum of 2 matching
+  /// results.
+  double quorum2_until = 11.0 * 7.0 * 86400.0;
+  /// After that, fraction of workunits still double-issued as a spot check.
+  double spot_check_fraction = 0.27;
+
+  /// BOINC-style adaptive replication: results from devices without an
+  /// established clean history are validated by a quorum of 2 instead of
+  /// the range check alone. Off by default (the Phase I reproduction).
+  bool adaptive = false;
+  /// Results a device must return before it can be trusted.
+  std::uint32_t adaptive_min_samples = 5;
+  /// Maximum bad-result fraction for a device to count as trusted.
+  double adaptive_max_bad_fraction = 0.05;
+};
+
+struct ServerConfig {
+  ValidationPolicy validation;
+  /// Result deadline after assignment (seconds). WCG-era deadlines were on
+  /// the order of a week and a half.
+  double deadline = 10.0 * 86400.0;
+  /// End-game over-issue: once no fresh work remains, an idle device gets
+  /// an extra copy of an outstanding workunit (up to this many live copies)
+  /// instead of nothing — the mechanism grid operators use to stop a
+  /// handful of stragglers from stretching the project tail by weeks.
+  /// 0 disables end-game duplication.
+  std::uint32_t endgame_max_outstanding = 3;
+  std::uint64_t seed = 0x5e44e3;
+};
+
+/// State of one catalogue workunit.
+enum class WorkunitState : std::uint8_t {
+  kUnsent,      ///< never issued
+  kInProgress,  ///< issued, waiting for enough valid results
+  kDone,        ///< assimilated
+};
+
+/// State of one issued result instance.
+enum class ResultState : std::uint8_t {
+  kInProgress,  ///< on a device
+  kValid,       ///< received and accepted
+  kInvalid,     ///< received and rejected by validation
+  kRedundant,   ///< received fine, but the workunit was already complete
+  kTimedOut,    ///< deadline passed with nothing received
+  kPendingValidation,  ///< clean-looking, waiting for its quorum partner
+};
+
+/// What a device reports when it returns a result.
+struct ResultReport {
+  bool computation_error = false;  ///< client-side failure / bad output
+  /// The result file passes the range check but holds wrong values (bad
+  /// RAM, overclocked FPU). Only a quorum comparison can catch it.
+  bool silent_error = false;
+  double reported_runtime = 0.0;   ///< agent-accounted run time (seconds)
+  double reference_seconds = 0.0;  ///< true reference CPU the WU required
+};
+
+struct ResultInstance {
+  std::uint64_t result_id = 0;
+  std::uint32_t workunit_index = 0;  ///< index into catalogue
+  std::uint32_t device_id = 0;
+  double sent_time = 0.0;
+  double deadline = 0.0;
+  double received_time = -1.0;  ///< < 0 while in progress
+  double reported_runtime = 0.0;
+  bool silent_error = false;
+  ResultState state = ResultState::kInProgress;
+};
+
+/// Aggregate lifecycle counters (the Fig. 6(b) quantities).
+///
+/// "Useful" results follow the paper's accounting: one canonical result per
+/// completed workunit. Everything else that comes back — the extra quorum
+/// member, spot-check copies, late arrivals from reconnecting volunteers,
+/// invalid files — is received but not useful, which is what makes the
+/// received/useful ratio the paper's redundancy factor (1.37, i.e. only
+/// ~73 % of received results are useful).
+struct ServerCounters {
+  std::uint64_t results_sent = 0;
+  std::uint64_t results_received = 0;    ///< everything that came back
+  std::uint64_t results_valid = 0;       ///< canonical: 1 per completed WU
+  std::uint64_t results_quorum_extra = 0;///< correct, consumed by quorum
+  std::uint64_t results_invalid = 0;
+  std::uint64_t results_redundant = 0;   ///< fine but workunit already done
+  std::uint64_t results_timed_out = 0;
+  /// Clean-looking quorum results still awaiting their partner.
+  std::uint64_t results_pending = 0;
+  /// Quorum comparisons that disagreed (both members discarded).
+  std::uint64_t quorum_mismatches = 0;
+  /// Spot-check copies that disagreed with an already-assimilated result.
+  std::uint64_t late_mismatches = 0;
+  /// Assimilated canonical results that are silently corrupt — the science
+  /// quality ground truth (unknowable to a real server; the simulator's
+  /// oracle view).
+  std::uint64_t corrupt_assimilated = 0;
+  std::uint64_t workunits_completed = 0;
+  double useful_reference_seconds = 0.0;
+  double reported_runtime_seconds = 0.0;  ///< over all received results
+
+  double useful_fraction() const {
+    return results_received == 0
+               ? 0.0
+               : static_cast<double>(results_valid) /
+                     static_cast<double>(results_received);
+  }
+  double redundancy_factor() const {
+    return results_valid == 0
+               ? 0.0
+               : static_cast<double>(results_received) /
+                     static_cast<double>(results_valid);
+  }
+};
+
+/// Assignment handed to a device.
+struct Assignment {
+  std::uint64_t result_id = 0;
+  packaging::Workunit workunit;
+  double deadline = 0.0;
+};
+
+class ProjectServer {
+ public:
+  /// The catalogue must already be in launch order (cheapest receptor
+  /// first — see core/campaign.cpp which performs the ordering).
+  ProjectServer(std::vector<packaging::Workunit> catalog,
+                ServerConfig config);
+
+  /// Scheduler RPC: next instance for `device` at time `now`, or nullopt if
+  /// no work remains to issue.
+  std::optional<Assignment> request_work(std::uint32_t device_id, double now);
+
+  /// A device returns a result. Handles validation, quorum bookkeeping and
+  /// assimilation; late results (after the deadline fired) are accepted and
+  /// counted as redundant/valid exactly like WCG did. Returns the state the
+  /// instance ended in (kValid / kInvalid / kRedundant).
+  ResultState report_result(std::uint64_t result_id, double now,
+                            const ResultReport& report);
+
+  /// Transitioner tick for a deadline: if the instance is still outstanding
+  /// it is marked timed out and the workunit is queued for re-issue.
+  /// Returns true if a timeout actually occurred.
+  bool handle_deadline(std::uint64_t result_id, double now);
+
+  /// True when every catalogue workunit is assimilated.
+  bool complete() const {
+    return counters_.workunits_completed == catalog_.size();
+  }
+
+  const ServerCounters& counters() const { return counters_; }
+  const std::vector<packaging::Workunit>& catalog() const { return catalog_; }
+  const ResultInstance& result(std::uint64_t result_id) const;
+  WorkunitState workunit_state(std::uint32_t index) const;
+  std::uint64_t workunits_remaining() const {
+    return catalog_.size() - counters_.workunits_completed;
+  }
+
+  /// Positions completed per receptor protein — the Fig. 7 progression data.
+  /// `receptor_count` sizes the output vector.
+  std::vector<std::uint64_t> completed_positions_per_receptor(
+      std::uint32_t receptor_count) const;
+
+  /// Reference seconds of completed (assimilated) work per receptor, and
+  /// the catalogue totals — the Fig. 7 computation-progress axes.
+  std::vector<double> completed_reference_seconds_per_receptor(
+      std::uint32_t receptor_count) const;
+  std::vector<double> total_reference_seconds_per_receptor(
+      std::uint32_t receptor_count) const;
+
+ private:
+  struct WorkunitRecord {
+    WorkunitState state = WorkunitState::kUnsent;
+    std::uint8_t quorum_needed = 1;   ///< valid results required
+    std::uint8_t target_issues = 1;   ///< initial copies to send
+    std::uint8_t issues = 0;          ///< copies sent so far (saturating)
+    std::uint8_t outstanding = 0;     ///< instances currently on devices
+    bool done_corrupt = false;        ///< oracle: canonical was corrupt
+    /// Quorum-2 bookkeeping: the clean-looking result waiting for its
+    /// partner (kNoPending when none).
+    std::uint64_t pending_result = kNoPending;
+  };
+  static constexpr std::uint64_t kNoPending = ~std::uint64_t{0};
+
+  /// Per-device history for adaptive replication.
+  struct DeviceHistory {
+    std::uint32_t received = 0;
+    std::uint32_t bad = 0;  ///< invalid or quorum-mismatched
+  };
+  bool device_trusted(std::uint32_t device_id) const;
+
+  std::uint64_t issue(std::uint32_t wu_index, std::uint32_t device_id,
+                      double now);
+  void assimilate(std::uint32_t wu_index);
+
+  std::vector<packaging::Workunit> catalog_;
+  ServerConfig config_;
+  util::Rng rng_;
+  std::vector<WorkunitRecord> records_;
+  std::vector<ResultInstance> results_;
+  /// Finds an outstanding workunit for end-game duplication, or returns
+  /// false. Amortised O(1): a staging queue is rebuilt by scanning the
+  /// records only when it drains.
+  bool pick_endgame(std::uint32_t& wu_index);
+
+  std::map<std::uint32_t, DeviceHistory> device_history_;
+  std::deque<std::uint32_t> reissue_queue_;
+  /// Workunits whose redundancy regime wants a second initial copy; each
+  /// index is pushed once at first issue and popped once.
+  std::deque<std::uint32_t> extra_copy_queue_;
+  std::deque<std::uint32_t> endgame_queue_;
+  /// Set whenever a record's state/outstanding changes; cleared by an
+  /// end-game rebuild so empty rebuilds are not repeated needlessly.
+  bool endgame_dirty_ = true;
+  std::size_t next_unsent_ = 0;
+  ServerCounters counters_;
+};
+
+}  // namespace hcmd::server

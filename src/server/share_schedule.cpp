@@ -1,0 +1,56 @@
+#include "server/share_schedule.hpp"
+
+#include "util/error.hpp"
+
+namespace hcmd::server {
+
+ShareSchedule::ShareSchedule(ShareScheduleParams params) : params_(params) {
+  if (params_.control_weeks < 0.0 || params_.ramp_weeks < 0.0)
+    throw ConfigError("ShareSchedule: negative phase length");
+  if (params_.control_share < 0.0 || params_.control_share > 1.0 ||
+      params_.full_share < 0.0 || params_.full_share > 1.0)
+    throw ConfigError("ShareSchedule: shares outside [0, 1]");
+  if (params_.control_share > params_.full_share)
+    throw ConfigError("ShareSchedule: control share above full share");
+}
+
+double ShareSchedule::share_at(double t) const {
+  const double control_end = params_.control_weeks * util::kSecondsPerWeek;
+  const double ramp_end =
+      control_end + params_.ramp_weeks * util::kSecondsPerWeek;
+  if (t < control_end) return params_.control_share;
+  if (t < ramp_end) {
+    const double frac = (t - control_end) / (ramp_end - control_end);
+    return params_.control_share +
+           frac * (params_.full_share - params_.control_share);
+  }
+  return params_.full_share;
+}
+
+CampaignPhase ShareSchedule::phase_at(double t) const {
+  const double control_end = params_.control_weeks * util::kSecondsPerWeek;
+  const double ramp_end =
+      control_end + params_.ramp_weeks * util::kSecondsPerWeek;
+  if (t < control_end) return CampaignPhase::kControl;
+  if (t < ramp_end) return CampaignPhase::kPrioritization;
+  return CampaignPhase::kFullPower;
+}
+
+std::string ShareSchedule::phase_name(CampaignPhase phase) {
+  switch (phase) {
+    case CampaignPhase::kControl:
+      return "control";
+    case CampaignPhase::kPrioritization:
+      return "prioritization";
+    case CampaignPhase::kFullPower:
+      return "full power";
+  }
+  return "unknown";
+}
+
+double ShareSchedule::full_power_start() const {
+  return (params_.control_weeks + params_.ramp_weeks) *
+         util::kSecondsPerWeek;
+}
+
+}  // namespace hcmd::server

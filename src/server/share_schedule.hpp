@@ -1,0 +1,54 @@
+// HCMD project-priority schedule on World Community Grid.
+//
+// Section 5.1 identifies three periods:
+//  (a) "control period"        — the first ~2 months, very low priority;
+//  (b) "project prioritization"— February 2007, share ramps up; by the end
+//                                 of February 45 % of WCG's devices work on
+//                                 HCMD;
+//  (c) "full power working"    — March to June 2007, share constant.
+//
+// The schedule maps campaign time to the fraction of WCG work requests
+// routed to the HCMD project.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/duration.hpp"
+
+namespace hcmd::server {
+
+enum class CampaignPhase : std::uint8_t {
+  kControl,
+  kPrioritization,
+  kFullPower,
+};
+
+struct ShareScheduleParams {
+  double control_weeks = 8.0;
+  double ramp_weeks = 3.0;
+  double control_share = 0.035;
+  /// Share of WCG devices working on HCMD during full power (paper: 45 %).
+  double full_share = 0.45;
+};
+
+class ShareSchedule {
+ public:
+  explicit ShareSchedule(ShareScheduleParams params = {});
+
+  /// HCMD share of grid capacity at campaign time `t` (seconds).
+  double share_at(double t) const;
+
+  CampaignPhase phase_at(double t) const;
+  static std::string phase_name(CampaignPhase phase);
+
+  /// Start of the full-power phase, seconds since campaign start.
+  double full_power_start() const;
+
+  const ShareScheduleParams& params() const { return params_; }
+
+ private:
+  ShareScheduleParams params_;
+};
+
+}  // namespace hcmd::server

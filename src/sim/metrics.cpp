@@ -1,0 +1,61 @@
+#include "sim/metrics.hpp"
+
+namespace hcmd::sim {
+
+MetricSet::MetricSet(double bin_width)
+    : bin_width_(bin_width), empty_(0.0, bin_width) {}
+
+void MetricSet::count(const std::string& name, std::uint64_t n) {
+  counters_[name] += n;
+}
+
+void MetricSet::meter(const std::string& name, SimTime t, double amount) {
+  auto it = meters_.find(name);
+  if (it == meters_.end()) {
+    it = meters_.emplace(name, util::TimeBinnedSeries(0.0, bin_width_)).first;
+  }
+  it->second.add(t, amount);
+}
+
+std::uint64_t MetricSet::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const util::TimeBinnedSeries& MetricSet::series(const std::string& name) const {
+  auto it = meters_.find(name);
+  return it == meters_.end() ? empty_ : it->second;
+}
+
+bool MetricSet::has_series(const std::string& name) const {
+  return meters_.contains(name);
+}
+
+std::vector<std::string> MetricSet::counter_names() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [k, v] : counters_) names.push_back(k);
+  return names;
+}
+
+std::vector<std::string> MetricSet::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(meters_.size());
+  for (const auto& [k, v] : meters_) names.push_back(k);
+  return names;
+}
+
+GaugeSampler::GaugeSampler(Simulation& simulation, SimTime start,
+                           SimTime period, std::function<double()> fn) {
+  handle_ = simulation.schedule_periodic(
+      start, period, [this, &simulation, fn = std::move(fn)](SimTime t) {
+        times_.push_back(t);
+        values_.push_back(fn());
+        (void)simulation;
+        return true;
+      });
+}
+
+void GaugeSampler::stop() { handle_.cancel(); }
+
+}  // namespace hcmd::sim

@@ -1,0 +1,63 @@
+// Metric collection attached to a Simulation.
+//
+// Counters accumulate event counts; Meters accumulate continuous quantities
+// (CPU-seconds, bytes) into fixed-width time bins — the exact form the paper
+// reports (per-week CPU time, per-week result counts). Gauges sample a value
+// on a fixed cadence (e.g. number of connected hosts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace hcmd::sim {
+
+/// A named bag of counters and time-binned meters for one simulation run.
+class MetricSet {
+ public:
+  /// `bin_width` is the reporting granularity in seconds (paper: one week).
+  explicit MetricSet(double bin_width);
+
+  void count(const std::string& name, std::uint64_t n = 1);
+  /// Adds `amount` of a continuous quantity at simulation time `t`.
+  void meter(const std::string& name, SimTime t, double amount);
+
+  std::uint64_t counter(const std::string& name) const;
+  /// Returns the series for `name`; an empty series if never metered.
+  const util::TimeBinnedSeries& series(const std::string& name) const;
+  bool has_series(const std::string& name) const;
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> series_names() const;
+
+  double bin_width() const { return bin_width_; }
+
+ private:
+  double bin_width_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, util::TimeBinnedSeries> meters_;
+  util::TimeBinnedSeries empty_;
+};
+
+/// Samples `fn()` every `period` and records (t, value) pairs.
+class GaugeSampler {
+ public:
+  GaugeSampler(Simulation& simulation, SimTime start, SimTime period,
+               std::function<double()> fn);
+
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+  void stop();
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+  EventHandle handle_;
+};
+
+}  // namespace hcmd::sim

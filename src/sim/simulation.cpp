@@ -1,0 +1,84 @@
+#include "sim/simulation.hpp"
+
+namespace hcmd::sim {
+
+using detail::EventState;
+
+bool EventHandle::pending() const {
+  return state_ && *state_ == EventState::kPending;
+}
+
+bool EventHandle::cancel() {
+  if (!pending()) return false;
+  *state_ = EventState::kCancelled;
+  return true;
+}
+
+void Simulation::push(SimTime t, std::function<void()> fn,
+                      std::shared_ptr<EventState> state) {
+  queue_.push(Event{t, next_seq_++, std::move(fn), std::move(state)});
+}
+
+EventHandle Simulation::schedule_at(SimTime t, std::function<void()> fn) {
+  HCMD_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
+  HCMD_ASSERT(fn != nullptr);
+  auto state = std::make_shared<EventState>(EventState::kPending);
+  push(t, std::move(fn), state);
+  return EventHandle(std::move(state));
+}
+
+EventHandle Simulation::schedule_in(SimTime delay, std::function<void()> fn) {
+  HCMD_ASSERT(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::schedule_periodic(SimTime start, SimTime period,
+                                          std::function<bool(SimTime)> fn) {
+  HCMD_ASSERT(period > 0.0);
+  HCMD_ASSERT(start >= now_);
+  // One shared state drives the series: step() marks it kFired when an
+  // occurrence runs; the recurrence resets it to kPending when it re-arms.
+  // A cancel() between occurrences leaves it kCancelled, which both blocks
+  // the re-arm and makes any queued occurrence a no-op.
+  auto state = std::make_shared<EventState>(EventState::kPending);
+  auto shared_fn =
+      std::make_shared<std::function<bool(SimTime)>>(std::move(fn));
+  auto recur = std::make_shared<std::function<void()>>();
+  *recur = [this, period, shared_fn, state, recur] {
+    if (!(*shared_fn)(now_)) {
+      *state = EventState::kCancelled;
+      return;
+    }
+    if (*state == EventState::kCancelled) return;  // cancelled from inside fn
+    *state = EventState::kPending;
+    push(now_ + period, *recur, state);
+  };
+  push(start, *recur, state);
+  return EventHandle(std::move(state));
+}
+
+std::uint64_t Simulation::run_until(SimTime until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    if (step()) ++ran;
+  }
+  if (now_ < until && until != kTimeInfinity) now_ = until;
+  return ran;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.state == EventState::kCancelled) continue;  // lazy removal
+    HCMD_ASSERT(ev.time >= now_);
+    now_ = ev.time;
+    *ev.state = EventState::kFired;
+    ev.fn();
+    ++processed_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hcmd::sim

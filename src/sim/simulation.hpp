@@ -1,0 +1,107 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded, deterministic event loop: events fire in (time, seq)
+// order, where seq is the scheduling order, so simultaneous events are
+// processed FIFO and runs replay bit-identically for a fixed seed. This is
+// the substrate under both grids (volunteer and dedicated): hosts, servers
+// and availability processes are all expressed as scheduled callbacks.
+//
+// Time is a double in *seconds* since the scenario epoch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hcmd::sim {
+
+using SimTime = double;
+
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+namespace detail {
+enum class EventState : std::uint8_t { kPending, kFired, kCancelled };
+}
+
+/// Handle used to cancel a scheduled event (or a whole periodic series).
+/// Cheap to copy; cancelling twice or cancelling a fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  /// True if the event (or the series' next occurrence) has neither fired
+  /// nor been cancelled.
+  bool pending() const;
+  /// Cancels if still pending. Returns true if it was pending.
+  bool cancel();
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<detail::EventState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::EventState> state_;
+};
+
+/// The event loop.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now). Returns a handle
+  /// that can cancel it.
+  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn(now)` every `period` seconds starting at `start`. The
+  /// callback returns false to stop recurring. The returned handle cancels
+  /// the whole series.
+  EventHandle schedule_periodic(SimTime start, SimTime period,
+                                std::function<bool(SimTime)> fn);
+
+  /// Runs until the queue is empty or the clock passes `until`. Events at
+  /// exactly `until` are executed; afterwards the clock is advanced to
+  /// `until` (when finite) even if the queue drained earlier.
+  /// Returns the number of events processed.
+  std::uint64_t run_until(SimTime until = kTimeInfinity);
+
+  /// Runs a single event. Returns false if the queue was empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<detail::EventState> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(SimTime t, std::function<void()> fn,
+            std::shared_ptr<detail::EventState> state);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace hcmd::sim

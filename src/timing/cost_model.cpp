@@ -1,0 +1,73 @@
+#include "timing/cost_model.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hcmd::timing {
+
+CostModel::CostModel(CostModelParams params) : params_(params) {
+  if (params_.seconds_per_pair <= 0.0)
+    throw ConfigError("CostModel: seconds_per_pair must be > 0");
+  if (params_.noise_sigma < 0.0)
+    throw ConfigError("CostModel: noise_sigma must be >= 0");
+}
+
+double CostModel::noise(std::uint32_t receptor_id,
+                        std::uint32_t ligand_id) const {
+  if (params_.noise_sigma == 0.0) return 1.0;
+  // A stable per-couple stream: the draw depends only on (seed, ids), never
+  // on evaluation order — MAXDo property 1 (reproducible computing time).
+  const std::string tag = "cost:" + std::to_string(receptor_id) + ":" +
+                          std::to_string(ligand_id) + ":" +
+                          std::to_string(params_.seed);
+  util::Rng rng(util::hash64(tag));
+  const double sigma = params_.noise_sigma;
+  // Mean-one lognormal: E[exp(N(-s^2/2, s))] = 1.
+  return rng.lognormal(-0.5 * sigma * sigma, sigma);
+}
+
+double CostModel::seconds_per_rotation(const proteins::ReducedProtein& p1,
+                                       const proteins::ReducedProtein& p2)
+    const {
+  const double pairs = static_cast<double>(p1.size()) *
+                       static_cast<double>(p2.size());
+  return params_.seconds_per_pair * pairs * noise(p1.id(), p2.id());
+}
+
+double CostModel::mct_entry(const proteins::ReducedProtein& p1,
+                            const proteins::ReducedProtein& p2) const {
+  return seconds_per_rotation(p1, p2) * proteins::kNumRotationCouples;
+}
+
+double CostModel::task_seconds(const proteins::ReducedProtein& p1,
+                               const proteins::ReducedProtein& p2,
+                               std::uint32_t nsep, std::uint32_t nrot) const {
+  return seconds_per_rotation(p1, p2) * static_cast<double>(nsep) *
+         static_cast<double>(nrot);
+}
+
+CostModel CostModel::calibrated(const proteins::Benchmark& benchmark,
+                                double target_mean_mct_seconds,
+                                double noise_sigma, std::uint64_t seed) {
+  HCMD_ASSERT(target_mean_mct_seconds > 0.0);
+  HCMD_ASSERT(!benchmark.proteins.empty());
+  CostModelParams params;
+  params.seconds_per_pair = 1.0;  // provisional; rescaled below
+  params.noise_sigma = noise_sigma;
+  params.seed = seed;
+  const CostModel unit(params);
+
+  double sum = 0.0;
+  const auto& ps = benchmark.proteins;
+  for (const auto& p1 : ps)
+    for (const auto& p2 : ps) sum += unit.mct_entry(p1, p2);
+  const double mean = sum / (static_cast<double>(ps.size()) *
+                             static_cast<double>(ps.size()));
+  params.seconds_per_pair = target_mean_mct_seconds / mean;
+  return CostModel(params);
+}
+
+}  // namespace hcmd::timing

@@ -1,0 +1,111 @@
+#include "timing/linearity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hcmd::timing {
+
+namespace {
+
+double run_task_work(const proteins::ReducedProtein& receptor,
+                     const proteins::ReducedProtein& ligand,
+                     const docking::MaxDoParams& params,
+                     const docking::MaxDoTask& task) {
+  docking::MaxDoProgram program(receptor, ligand, params);
+  docking::MaxDoCheckpoint cp;
+  const auto status = program.run(task, cp);
+  HCMD_ASSERT(status == docking::RunStatus::kCompleted);
+  return static_cast<double>(program.work().pair_terms);
+}
+
+LinearitySeries finish_series(std::vector<double> xs,
+                              std::vector<double> work) {
+  LinearitySeries s;
+  s.xs = std::move(xs);
+  s.work = std::move(work);
+  s.fit = util::fit_linear(s.xs, s.work);
+  const double maxx =
+      s.xs.empty() ? 0.0 : *std::max_element(s.xs.begin(), s.xs.end());
+  if (s.fit.slope != 0.0 && maxx > 0.0)
+    s.relative_intercept = std::abs(s.fit.intercept) / (s.fit.slope * maxx);
+  return s;
+}
+
+}  // namespace
+
+LinearitySeries sweep_rotations(const proteins::ReducedProtein& receptor,
+                                const proteins::ReducedProtein& ligand,
+                                const LinearityParams& params) {
+  HCMD_ASSERT(params.sweep_points >= 2);
+  HCMD_ASSERT(params.max_rotations >= params.sweep_points);
+  std::vector<double> xs, work;
+  for (std::uint32_t k = 1; k <= params.sweep_points; ++k) {
+    const std::uint32_t nrot =
+        std::max<std::uint32_t>(1, k * params.max_rotations /
+                                       params.sweep_points);
+    docking::MaxDoTask task;
+    task.isep_begin = 0;
+    task.isep_end = 1;  // fixed single position
+    task.irot_begin = 0;
+    task.irot_end = nrot;
+    xs.push_back(nrot);
+    work.push_back(run_task_work(receptor, ligand, params.maxdo, task));
+  }
+  return finish_series(std::move(xs), std::move(work));
+}
+
+LinearitySeries sweep_positions(const proteins::ReducedProtein& receptor,
+                                const proteins::ReducedProtein& ligand,
+                                const LinearityParams& params) {
+  HCMD_ASSERT(params.sweep_points >= 2);
+  HCMD_ASSERT(params.max_positions >= params.sweep_points);
+  std::vector<double> xs, work;
+  for (std::uint32_t k = 1; k <= params.sweep_points; ++k) {
+    const std::uint32_t nsep =
+        std::max<std::uint32_t>(1, k * params.max_positions /
+                                       params.sweep_points);
+    docking::MaxDoTask task;
+    task.isep_begin = 0;
+    task.isep_end = nsep;
+    task.irot_begin = 0;
+    task.irot_end = 1;  // fixed single rotation couple
+    xs.push_back(nsep);
+    work.push_back(run_task_work(receptor, ligand, params.maxdo, task));
+  }
+  return finish_series(std::move(xs), std::move(work));
+}
+
+LinearityCheck check_linearity(const proteins::Benchmark& benchmark,
+                               std::size_t couples, std::uint64_t seed,
+                               const LinearityParams& params) {
+  HCMD_ASSERT(couples >= 1);
+  HCMD_ASSERT(benchmark.proteins.size() >= 2);
+  util::Rng rng(seed);
+  LinearityCheck check;
+  check.couples = couples;
+  double sum_rr = 0.0, sum_rp = 0.0;
+  const auto n = static_cast<std::int64_t>(benchmark.proteins.size());
+  for (std::size_t c = 0; c < couples; ++c) {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    std::size_t j;
+    do {
+      j = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    } while (j == i);
+    const auto& receptor = benchmark.proteins[i];
+    const auto& ligand = benchmark.proteins[j];
+    const LinearitySeries rot = sweep_rotations(receptor, ligand, params);
+    const LinearitySeries pos = sweep_positions(receptor, ligand, params);
+    check.min_r_rotations = std::min(check.min_r_rotations, rot.fit.r);
+    check.min_r_positions = std::min(check.min_r_positions, pos.fit.r);
+    sum_rr += rot.fit.r;
+    sum_rp += pos.fit.r;
+  }
+  check.mean_r_rotations = sum_rr / static_cast<double>(couples);
+  check.mean_r_positions = sum_rp / static_cast<double>(couples);
+  return check;
+}
+
+}  // namespace hcmd::timing

@@ -1,0 +1,69 @@
+// Verification of the paper's linearity properties (Section 4.1, Fig. 3).
+//
+// Property 2: at fixed isep, cost is linear in the number of rotations.
+// Property 3: at fixed irot, cost is linear in the number of positions.
+// The paper checked 400 random couples and found correlation ~ 0.99; it then
+// assumed b = 0 (pure proportionality), which is what the packaging and the
+// cost model rely on.
+//
+// This module measures the *actual docking kernel* — cost is taken as the
+// deterministic pair-term work counter, which is what wall-clock time is
+// proportional to — so the check exercises the real code path rather than
+// restating the analytic model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "docking/maxdo.hpp"
+#include "proteins/generator.hpp"
+#include "util/stats.hpp"
+
+namespace hcmd::timing {
+
+/// One measured series: work as a function of the swept parameter.
+struct LinearitySeries {
+  std::vector<double> xs;      ///< nrot or nsep values
+  std::vector<double> work;    ///< pair-term counts (proportional to seconds)
+  util::LinearFit fit;         ///< least-squares fit over (xs, work)
+  /// |intercept| / (slope * max x): how far from pure proportionality.
+  double relative_intercept = 0.0;
+};
+
+struct LinearityParams {
+  /// Points in each sweep (Fig. 3 plots ~20).
+  std::uint32_t sweep_points = 8;
+  /// Maximum rotations / positions swept.
+  std::uint32_t max_rotations = proteins::kNumRotationCouples;
+  std::uint32_t max_positions = 12;
+  /// Minimiser budget used for the measurements (kept small: linearity in
+  /// the loop counts is what matters, not absolute cost).
+  docking::MaxDoParams maxdo;
+};
+
+/// Sweeps the rotation count at fixed position (property 2).
+LinearitySeries sweep_rotations(const proteins::ReducedProtein& receptor,
+                                const proteins::ReducedProtein& ligand,
+                                const LinearityParams& params);
+
+/// Sweeps the position count at fixed rotation range (property 3).
+LinearitySeries sweep_positions(const proteins::ReducedProtein& receptor,
+                                const proteins::ReducedProtein& ligand,
+                                const LinearityParams& params);
+
+/// Result of the paper's 400-random-couple check.
+struct LinearityCheck {
+  std::size_t couples = 0;
+  double min_r_rotations = 1.0;
+  double min_r_positions = 1.0;
+  double mean_r_rotations = 0.0;
+  double mean_r_positions = 0.0;
+};
+
+/// Runs both sweeps over `couples` random couples from the benchmark and
+/// aggregates the correlation coefficients.
+LinearityCheck check_linearity(const proteins::Benchmark& benchmark,
+                               std::size_t couples, std::uint64_t seed,
+                               const LinearityParams& params);
+
+}  // namespace hcmd::timing

@@ -1,0 +1,75 @@
+#include "timing/mct_matrix.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hcmd::timing {
+
+MctMatrix::MctMatrix(std::size_t n, std::vector<double> entries)
+    : n_(n), entries_(std::move(entries)) {
+  if (entries_.size() != n_ * n_)
+    throw ConfigError("MctMatrix: entries size must be n^2");
+  for (double e : entries_)
+    if (!(e > 0.0)) throw ConfigError("MctMatrix: entries must be positive");
+}
+
+MctMatrix MctMatrix::from_model(const proteins::Benchmark& benchmark,
+                                const CostModel& model) {
+  const std::size_t n = benchmark.proteins.size();
+  std::vector<double> entries(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      entries[i * n + j] =
+          model.mct_entry(benchmark.proteins[i], benchmark.proteins[j]);
+  return MctMatrix(n, std::move(entries));
+}
+
+double MctMatrix::at(std::size_t receptor, std::size_t ligand) const {
+  HCMD_ASSERT(receptor < n_ && ligand < n_);
+  return entries_[receptor * n_ + ligand];
+}
+
+util::Summary MctMatrix::summary() const { return util::summarize(entries_); }
+
+double MctMatrix::total_reference_seconds(
+    const proteins::Benchmark& benchmark) const {
+  HCMD_ASSERT(benchmark.proteins.size() == n_);
+  HCMD_ASSERT(benchmark.nsep.size() == n_);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) row += entries_[i * n_ + j];
+    total += static_cast<double>(benchmark.nsep[i]) * row;
+  }
+  return total;
+}
+
+std::vector<double> MctMatrix::per_receptor_seconds(
+    const proteins::Benchmark& benchmark) const {
+  HCMD_ASSERT(benchmark.proteins.size() == n_);
+  std::vector<double> out(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) row += entries_[i * n_ + j];
+    out[i] = static_cast<double>(benchmark.nsep[i]) * row;
+  }
+  return out;
+}
+
+double MctMatrix::top_k_receptor_share(const proteins::Benchmark& benchmark,
+                                       std::size_t k) const {
+  std::vector<double> per = per_receptor_seconds(benchmark);
+  const double total = std::accumulate(per.begin(), per.end(), 0.0);
+  if (total <= 0.0 || per.empty()) return 0.0;
+  k = std::min(k, per.size());
+  std::partial_sort(per.begin(), per.begin() + static_cast<std::ptrdiff_t>(k),
+                    per.end(), std::greater<>());
+  const double top =
+      std::accumulate(per.begin(), per.begin() + static_cast<std::ptrdiff_t>(k), 0.0);
+  return top / total;
+}
+
+}  // namespace hcmd::timing

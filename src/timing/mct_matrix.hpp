@@ -1,0 +1,58 @@
+// The computing-time matrix Mct and the quantities the paper derives from
+// it: Table 1's summary statistics, the per-protein cost concentration ("10
+// proteins represent 30 % of the total processing time") and formula (1)'s
+// grand total (1,488 years 237 days on the reference processor).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proteins/generator.hpp"
+#include "timing/cost_model.hpp"
+#include "util/stats.hpp"
+
+namespace hcmd::timing {
+
+/// Dense N x N matrix of Mct entries; entry (i, j) is the reference cost in
+/// seconds of one starting position x 21 rotation couples for receptor i,
+/// ligand j. The matrix is NOT symmetric (docking is ordered).
+class MctMatrix {
+ public:
+  MctMatrix(std::size_t n, std::vector<double> entries);
+
+  /// Evaluates the analytic model over the whole benchmark — the in-process
+  /// equivalent of the Grid'5000 calibration campaign (the dedicated-grid
+  /// simulator in src/dedicated runs the same evaluation through a batch
+  /// scheduler and must produce identical entries).
+  static MctMatrix from_model(const proteins::Benchmark& benchmark,
+                              const CostModel& model);
+
+  std::size_t size() const { return n_; }
+  double at(std::size_t receptor, std::size_t ligand) const;
+
+  /// Table 1: average / standard deviation / min / max / median over the
+  /// N^2 entries.
+  util::Summary summary() const;
+
+  /// Formula (1): sum over couples of Nsep(p1) * Mct(p1, p2) — the total
+  /// reference CPU time for the full cross-docking, in seconds.
+  double total_reference_seconds(const proteins::Benchmark& benchmark) const;
+
+  /// Reference CPU seconds attributable to each protein in its receptor
+  /// role: time(p) = Nsep(p) * sum_j Mct(p, j).
+  std::vector<double> per_receptor_seconds(
+      const proteins::Benchmark& benchmark) const;
+
+  /// Share of total time consumed by the `k` most expensive proteins
+  /// (receptor role). The paper: 10 proteins ~ 30 %.
+  double top_k_receptor_share(const proteins::Benchmark& benchmark,
+                              std::size_t k) const;
+
+  const std::vector<double>& entries() const { return entries_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> entries_;  // row-major, receptor-major
+};
+
+}  // namespace hcmd::timing

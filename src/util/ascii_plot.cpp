@@ -1,0 +1,84 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hcmd::util {
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& data,
+                      std::size_t width) {
+  double max_v = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : data) {
+    max_v = std::max(max_v, v);
+    label_w = std::max(label_w, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, v] : data) {
+    const auto n = max_v > 0
+        ? static_cast<std::size_t>(std::lround(v / max_v * static_cast<double>(width)))
+        : 0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%14.6g", v);
+    os << label << std::string(label_w - label.size(), ' ') << " |"
+       << std::string(n, '#') << ' ' << buf << '\n';
+  }
+  return os.str();
+}
+
+std::string histogram_chart(const Histogram& h, std::size_t width,
+                            const std::string& value_label) {
+  std::vector<std::pair<std::string, double>> data;
+  data.reserve(h.bins());
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%10.4g, %10.4g)", h.bin_lo(i),
+                  h.bin_lo(i) + h.bin_width());
+    data.emplace_back(buf, static_cast<double>(h.count(i)));
+  }
+  std::ostringstream os;
+  os << bar_chart(data, width);
+  os << "total " << value_label << ": " << h.total() << '\n';
+  return os.str();
+}
+
+std::string line_chart(std::span<const double> ys, std::size_t width,
+                       std::size_t height) {
+  if (ys.empty() || height < 2) return "";
+  double lo = ys[0], hi = ys[0];
+  for (double y : ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  if (hi == lo) hi = lo + 1.0;
+
+  const std::size_t w = std::min(width, ys.size());
+  std::vector<std::string> grid(height, std::string(w, ' '));
+  for (std::size_t col = 0; col < w; ++col) {
+    // Average the samples that fall into this column.
+    const std::size_t a = col * ys.size() / w;
+    const std::size_t b = std::max(a + 1, (col + 1) * ys.size() / w);
+    double sum = 0.0;
+    for (std::size_t i = a; i < b && i < ys.size(); ++i) sum += ys[i];
+    const double y = sum / static_cast<double>(b - a);
+    auto row = static_cast<std::size_t>(
+        std::lround((y - lo) / (hi - lo) * static_cast<double>(height - 1)));
+    row = std::min(row, height - 1);
+    grid[height - 1 - row][col] = '*';
+  }
+
+  std::ostringstream os;
+  for (std::size_t r = 0; r < height; ++r) {
+    const double level = hi - (hi - lo) * static_cast<double>(r) /
+                                  static_cast<double>(height - 1);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%10.4g |", level);
+    os << buf << grid[r] << '\n';
+  }
+  os << std::string(12, ' ') << std::string(w, '-') << '\n';
+  return os.str();
+}
+
+}  // namespace hcmd::util

@@ -1,0 +1,30 @@
+// ASCII rendering of histograms and time series.
+//
+// The paper's evaluation is mostly figures; the bench binaries reproduce the
+// numeric series and also render them as terminal plots so the *shape*
+// (growth curves, weekend dips, distribution skew) is visible in CI logs.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace hcmd::util {
+
+/// Renders a horizontal bar chart: one row per (label, value), bars scaled to
+/// `width` characters at the maximum value.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& data,
+                      std::size_t width = 60);
+
+/// Renders a Histogram as a bar chart with numeric bucket labels.
+std::string histogram_chart(const Histogram& h, std::size_t width = 60,
+                            const std::string& value_label = "count");
+
+/// Renders an (x, y) series as a fixed-size scatter/line grid, with y-axis
+/// labels on the left. Suitable for the Fig. 1/6 processor curves.
+std::string line_chart(std::span<const double> ys, std::size_t width = 78,
+                       std::size_t height = 16);
+
+}  // namespace hcmd::util

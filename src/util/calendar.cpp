@@ -1,0 +1,46 @@
+#include "util/calendar.hpp"
+
+#include <cstdio>
+
+namespace hcmd::util {
+
+std::int64_t days_from_civil(const CivilDate& d) {
+  const int y = d.year - (d.month <= 2 ? 1 : 0);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy =
+      (153 * (d.month + (d.month > 2 ? -3 : 9)) + 2) / 5 + d.day - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);        // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                             // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                     // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                          // [1, 12]
+  return CivilDate{static_cast<int>(y + (m <= 2 ? 1 : 0)), m, d};
+}
+
+int weekday_from_days(std::int64_t z) {
+  // 1970-01-01 was a Thursday (weekday 3 with Monday = 0).
+  return static_cast<int>(((z % 7) + 7 + 3) % 7);
+}
+
+std::string format_date(const CivilDate& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", d.year, d.month, d.day);
+  return buf;
+}
+
+std::int64_t days_between(const CivilDate& a, const CivilDate& b) {
+  return days_from_civil(b) - days_from_civil(a);
+}
+
+}  // namespace hcmd::util

@@ -1,0 +1,40 @@
+// Civil-calendar helpers (proleptic Gregorian), used to pin simulation time
+// to real dates: World Community Grid launched 2004-11-16, the HCMD project
+// ran 2006-12-19 -> 2007-06-11, and the availability seasonality (weekends,
+// Christmas, summer) follows the civil calendar.
+//
+// Algorithms after Howard Hinnant's chrono-compatible date algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hcmd::util {
+
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  ///< 1..12
+  unsigned day = 1;    ///< 1..31
+
+  bool operator==(const CivilDate&) const = default;
+};
+
+/// Days since 1970-01-01 (negative before).
+std::int64_t days_from_civil(const CivilDate& d);
+CivilDate civil_from_days(std::int64_t z);
+
+/// 0 = Monday ... 6 = Sunday.
+int weekday_from_days(std::int64_t z);
+
+/// Renders "YYYY-MM-DD".
+std::string format_date(const CivilDate& d);
+
+/// Key dates of the reproduction.
+inline constexpr CivilDate kWcgLaunch{2004, 11, 16};
+inline constexpr CivilDate kHcmdStart{2006, 12, 19};
+inline constexpr CivilDate kHcmdEnd{2007, 6, 11};
+
+/// Days between two civil dates (b - a).
+std::int64_t days_between(const CivilDate& a, const CivilDate& b);
+
+}  // namespace hcmd::util

@@ -1,0 +1,105 @@
+#include "util/duration.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hcmd::util {
+
+Ydhms to_ydhms(double seconds) {
+  HCMD_ASSERT(seconds >= 0.0);
+  auto total = static_cast<std::uint64_t>(std::llround(seconds));
+  Ydhms out;
+  out.years = total / static_cast<std::uint64_t>(kSecondsPerYear);
+  total %= static_cast<std::uint64_t>(kSecondsPerYear);
+  out.days = total / static_cast<std::uint64_t>(kSecondsPerDay);
+  total %= static_cast<std::uint64_t>(kSecondsPerDay);
+  out.hours = total / 3600;
+  total %= 3600;
+  out.minutes = total / 60;
+  out.seconds = total % 60;
+  return out;
+}
+
+std::string format_ydhms(double seconds) {
+  const Ydhms y = to_ydhms(seconds);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%llu:%03llu:%02llu:%02llu:%02llu",
+                static_cast<unsigned long long>(y.years),
+                static_cast<unsigned long long>(y.days),
+                static_cast<unsigned long long>(y.hours),
+                static_cast<unsigned long long>(y.minutes),
+                static_cast<unsigned long long>(y.seconds));
+  return buf;
+}
+
+std::string format_compact(double seconds) {
+  char buf[64];
+  if (seconds >= kSecondsPerYear) {
+    std::snprintf(buf, sizeof(buf), "%.1f years", seconds / kSecondsPerYear);
+  } else if (seconds >= kSecondsPerWeek) {
+    std::snprintf(buf, sizeof(buf), "%.1f weeks", seconds / kSecondsPerWeek);
+  } else if (seconds >= kSecondsPerDay) {
+    std::snprintf(buf, sizeof(buf), "%.1f days", seconds / kSecondsPerDay);
+  } else if (seconds >= kSecondsPerHour) {
+    const auto h = static_cast<int>(seconds / kSecondsPerHour);
+    const auto m =
+        static_cast<int>((seconds - h * kSecondsPerHour) / kSecondsPerMinute);
+    const auto s = static_cast<int>(seconds - h * kSecondsPerHour -
+                                    m * kSecondsPerMinute);
+    std::snprintf(buf, sizeof(buf), "%dh %02dm %02ds", h, m, s);
+  } else if (seconds >= kSecondsPerMinute) {
+    const auto m = static_cast<int>(seconds / kSecondsPerMinute);
+    const auto s = static_cast<int>(seconds - m * kSecondsPerMinute);
+    std::snprintf(buf, sizeof(buf), "%dm %02ds", m, s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  }
+  return buf;
+}
+
+double parse_ydhms(const std::string& text) {
+  std::istringstream is(text);
+  double fields[5] = {0, 0, 0, 0, 0};
+  char sep = ':';
+  for (int i = 0; i < 5; ++i) {
+    if (!(is >> fields[i]))
+      throw ParseError("parse_ydhms: expected 5 numeric fields in '" + text + "'");
+    if (i < 4 && (!(is >> sep) || sep != ':'))
+      throw ParseError("parse_ydhms: expected ':' separators in '" + text + "'");
+  }
+  return fields[0] * kSecondsPerYear + fields[1] * kSecondsPerDay +
+         fields[2] * kSecondsPerHour + fields[3] * kSecondsPerMinute +
+         fields[4];
+}
+
+namespace {
+std::string with_commas_impl(std::uint64_t value, bool negative) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group)
+      out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return negative ? "-" + out : out;
+}
+}  // namespace
+
+std::string with_commas(std::uint64_t value) {
+  return with_commas_impl(value, false);
+}
+
+std::string with_commas(std::int64_t value) {
+  const bool neg = value < 0;
+  const std::uint64_t mag =
+      neg ? static_cast<std::uint64_t>(-(value + 1)) + 1
+          : static_cast<std::uint64_t>(value);
+  return with_commas_impl(mag, neg);
+}
+
+}  // namespace hcmd::util

@@ -1,0 +1,46 @@
+// Duration arithmetic and the paper's y:d:h:m:s rendering.
+//
+// The paper reports aggregate CPU time in the "years:days:hours:minutes:
+// seconds" format (e.g. 1,488:237:19:45:54 for the Phase I estimate). This
+// header provides exact conversions using the paper's convention of a
+// 365-day year.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hcmd::util {
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+/// The paper's y:d:h:m:s format implies 365-day years.
+inline constexpr double kSecondsPerYear = 365.0 * kSecondsPerDay;
+inline constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+
+/// Decomposition of a duration into the paper's y:d:h:m:s fields.
+struct Ydhms {
+  std::uint64_t years = 0;
+  std::uint64_t days = 0;   ///< 0..364
+  std::uint64_t hours = 0;  ///< 0..23
+  std::uint64_t minutes = 0;
+  std::uint64_t seconds = 0;
+};
+
+/// Splits a non-negative duration in seconds into y:d:h:m:s (365-day years).
+Ydhms to_ydhms(double seconds);
+
+/// Renders "y:d:h:m:s" exactly as the paper prints it, e.g. "1488:237:19:45:54".
+std::string format_ydhms(double seconds);
+
+/// Renders a compact human form, e.g. "3h 18m 47s" or "26.0 weeks".
+std::string format_compact(double seconds);
+
+/// Parses "y:d:h:m:s" back to seconds. Throws ParseError on malformed input.
+double parse_ydhms(const std::string& text);
+
+/// Formats an integer with thousands separators ("49,481,544").
+std::string with_commas(std::uint64_t value);
+std::string with_commas(std::int64_t value);
+
+}  // namespace hcmd::util

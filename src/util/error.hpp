@@ -1,0 +1,56 @@
+// Error handling primitives shared by every hcmd-grid module.
+//
+// Library code throws `hcmd::Error` (an std::runtime_error) for conditions a
+// caller can reasonably hit (bad configuration, malformed input files) and
+// uses HCMD_ASSERT for internal invariants that indicate a programming bug.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hcmd {
+
+/// Base exception for all recoverable hcmd-grid errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration value is out of its documented domain.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an input file or serialized blob fails to parse or validate.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HCMD_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hcmd
+
+/// Internal invariant check. Always on (the simulators are cheap relative to
+/// the cost of silently corrupt statistics); throws std::logic_error.
+#define HCMD_ASSERT(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::hcmd::detail::assert_fail(#expr, __FILE__, __LINE__, "");         \
+  } while (false)
+
+#define HCMD_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::hcmd::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));      \
+  } while (false)

@@ -1,0 +1,127 @@
+// Statistics helpers: streaming moments, batch summaries, histograms,
+// correlation and least-squares fits.
+//
+// These back every "paper vs measured" table in bench/: Table 1 needs the
+// five-number summary of the Mct matrix, Figure 3 needs linear fits with
+// correlation coefficients, Figures 2/4/8 need histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hcmd::util {
+
+/// Welford streaming accumulator for count/mean/variance/min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (paper-style summary statistics).
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over a data set (kept in full so quantiles are exact).
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes the full summary of `values`. Empty input yields all zeros.
+Summary summarize(std::span<const double> values);
+
+/// Exact p-quantile (0 <= p <= 1) by linear interpolation between order
+/// statistics. Empty input yields 0.
+double quantile(std::span<const double> values, double p);
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series is constant or shorter than 2.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;  ///< Pearson correlation of the fitted series.
+};
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets. Values outside
+/// the range are clamped into the first/last bucket (the paper's figures do
+/// the same with their open-ended final bars).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+  /// Inclusive lower edge of bucket i.
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const { return total_; }
+  /// Fraction of mass in bucket i; 0 when empty.
+  double fraction(std::size_t i) const;
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Weekly (or arbitrary fixed-interval) accumulation of a quantity keyed by
+/// continuous time. Used for the Fig. 1/6 series where the paper reports
+/// per-week CPU-time and result counts.
+class TimeBinnedSeries {
+ public:
+  /// `origin` is the time of the left edge of bin 0; `width` the bin span.
+  TimeBinnedSeries(double origin, double width);
+
+  void add(double t, double amount);
+
+  double origin() const { return origin_; }
+  double width() const { return width_; }
+  std::size_t size() const { return bins_.size(); }
+  double value(std::size_t i) const { return bins_.at(i); }
+  /// Mid-point time of bin i.
+  double bin_mid(std::size_t i) const;
+  const std::vector<double>& values() const { return bins_; }
+
+  /// Mean of bins [first, last) — e.g. "average over the full-power phase".
+  double mean_over(std::size_t first, std::size_t last) const;
+
+ private:
+  double origin_;
+  double width_;
+  std::vector<double> bins_;
+};
+
+}  // namespace hcmd::util

@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/duration.hpp"
+
+namespace hcmd::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::cell(std::uint64_t v) { return with_commas(v); }
+std::string Table::cell(std::int64_t v) { return with_commas(v); }
+std::string Table::cell(int v) { return with_commas(static_cast<std::int64_t>(v)); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << (i == 0 ? "" : "  ");
+      os << c << std::string(widths[i] - c.size(), ' ');
+    }
+    os << '\n';
+  };
+  std::size_t total_width = 0;
+  for (std::size_t w : widths) total_width += w;
+  total_width += widths.empty() ? 0 : 2 * (widths.size() - 1);
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+    os << std::string(std::max(total_width, title_.size()), '=') << '\n';
+  }
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total_width, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    const std::string& c = cells[i];
+    if (c.find_first_of(",\"\n") != std::string::npos) {
+      os_ << '"';
+      for (char ch : c) {
+        if (ch == '"') os_ << '"';
+        os_ << ch;
+      }
+      os_ << '"';
+    } else {
+      os_ << c;
+    }
+  }
+  os_ << '\n';
+}
+
+}  // namespace hcmd::util

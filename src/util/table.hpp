@@ -1,0 +1,50 @@
+// Plain-text table and CSV rendering for the bench harnesses.
+//
+// Each reproduction bench prints a "paper vs measured" table; this renderer
+// keeps them aligned and consistent across binaries.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hcmd::util {
+
+/// Column-aligned text table with an optional title and header row.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary cell values via to_string-like helpers.
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v);
+
+  /// Renders with box-drawing-free ASCII so output is terminal/CI friendly.
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (RFC-4180 quoting) for exporting series.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace hcmd::util

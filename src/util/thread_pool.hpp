@@ -1,0 +1,70 @@
+// Task-based thread pool (C++ Core Guidelines CP.4: think in terms of tasks).
+//
+// Used to parallelise embarrassingly parallel host-side work: the 168x168
+// calibration campaign, Monte-Carlo replications of the volunteer DES, and
+// the docking energy-map sweeps in the examples. The discrete-event engine
+// itself stays single-threaded per replica (events are causally ordered);
+// parallelism is across independent replicas/couples.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hcmd::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task and returns its future. Tasks must not block on other
+  /// tasks in the same pool (no nested dependency graph is provided).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until all currently queued tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool, blocking until done.
+/// Exceptions from any iteration are rethrown (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+}  // namespace hcmd::util

@@ -1,0 +1,97 @@
+#include "volunteer/diurnal.hpp"
+
+#include <cmath>
+
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::volunteer {
+
+namespace {
+
+/// Piecewise-constant propensity over the local hour.
+double class_weight(DiurnalClass cls, double local_hour) {
+  switch (cls) {
+    case DiurnalClass::kFlat:
+      return 1.0;
+    case DiurnalClass::kEveningHome:
+      if (local_hour >= 17.0 || local_hour < 1.0) return 1.0;  // evening
+      if (local_hour >= 8.0) return 0.35;                      // day
+      return 0.15;                                             // night
+    case DiurnalClass::kOfficeDay:
+      if (local_hour >= 8.0 && local_hour < 18.0) return 1.0;  // office
+      return 0.20;
+  }
+  throw ConfigError("class_weight: unknown diurnal class");
+}
+
+double class_mean(DiurnalClass cls) {
+  switch (cls) {
+    case DiurnalClass::kFlat:
+      return 1.0;
+    case DiurnalClass::kEveningHome:
+      // 8 h at 1.0 (17..24 plus 0..1), 9 h at 0.35 (8..17), 7 h at 0.15.
+      return (8.0 * 1.0 + 9.0 * 0.35 + 7.0 * 0.15) / 24.0;
+    case DiurnalClass::kOfficeDay:
+      return (10.0 * 1.0 + 14.0 * 0.20) / 24.0;
+  }
+  throw ConfigError("class_mean: unknown diurnal class");
+}
+
+}  // namespace
+
+double DiurnalProfile::weight(double t_seconds) const {
+  const double local_hour = std::fmod(
+      std::fmod(t_seconds / util::kSecondsPerHour + timezone_offset_hours,
+                24.0) +
+          24.0,
+      24.0);
+  return class_weight(cls, local_hour);
+}
+
+double DiurnalProfile::mean_weight() const { return class_mean(cls); }
+
+double sample_reattach_delay(double now_seconds, double off_mean_seconds,
+                             const DiurnalProfile& profile, util::Rng& rng) {
+  HCMD_ASSERT(off_mean_seconds > 0.0);
+  if (profile.cls == DiurnalClass::kFlat)
+    return rng.exponential(off_mean_seconds);
+
+  // Thinning over a non-homogeneous reattach rate
+  //   lambda(t) = weight(t) / (off_mean * mean_weight),
+  // whose day-average equals the flat rate 1/off_mean, so the long-run
+  // attached fraction is unchanged.
+  const double lambda_max = 1.0 / (off_mean_seconds * profile.mean_weight());
+  double t = now_seconds;
+  for (int guard = 0; guard < 10'000; ++guard) {
+    t += rng.exponential(1.0 / lambda_max);
+    const double accept = profile.weight(t);  // weight <= 1 == w/w_max
+    if (rng.bernoulli(accept)) return t - now_seconds;
+  }
+  throw Error("sample_reattach_delay: thinning failed to terminate");
+}
+
+DiurnalProfile draw_profile(util::Rng& rng, double evening_fraction,
+                            double office_fraction) {
+  HCMD_ASSERT(evening_fraction >= 0.0 && office_fraction >= 0.0 &&
+              evening_fraction + office_fraction <= 1.0);
+  DiurnalProfile p;
+  const double u = rng.next_double();
+  if (u < evening_fraction) {
+    p.cls = DiurnalClass::kEveningHome;
+  } else if (u < evening_fraction + office_fraction) {
+    p.cls = DiurnalClass::kOfficeDay;
+  } else {
+    p.cls = DiurnalClass::kFlat;
+  }
+  // Coarse world distribution of volunteer timezones (Americas, Europe,
+  // Asia-Pacific).
+  static const double offsets[] = {-8.0, -5.0, 0.0, 1.0, 8.0, 10.0};
+  static const std::vector<double> weights{0.15, 0.25, 0.15, 0.25, 0.12,
+                                           0.08};
+  util::Rng tz_rng = rng.fork("tz");
+  p.timezone_offset_hours = offsets[tz_rng.weighted_index(weights)];
+  return p;
+}
+
+}  // namespace hcmd::volunteer

@@ -1,0 +1,54 @@
+// Diurnal availability profiles.
+//
+// Fig. 1's weekday/weekend structure is one face of a broader reality: a
+// volunteer's machine attaches when its owner's day allows. This module
+// models the time-of-day dimension — home machines crunch in the evening,
+// office machines during working hours, dedicated boxes around the clock —
+// as a relative reattach propensity over the local day, sampled with the
+// standard thinning construction for non-homogeneous processes.
+//
+// Disabled by default (DeviceParams::diurnal_enabled): the Phase I
+// reproduction's weekly-resolution figures cannot see sub-day structure,
+// so the calibrated defaults keep the simpler memoryless model.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace hcmd::volunteer {
+
+enum class DiurnalClass : std::uint8_t {
+  kFlat,         ///< no time-of-day preference (always-on machines)
+  kEveningHome,  ///< home PC: evening peak, off overnight
+  kOfficeDay,    ///< workplace PC: daytime peak
+};
+
+struct DiurnalProfile {
+  DiurnalClass cls = DiurnalClass::kFlat;
+  /// Local-time offset from simulation time, in hours (timezone).
+  double timezone_offset_hours = 0.0;
+
+  /// Relative reattach propensity in (0, 1] at simulation time `t`
+  /// (seconds since an epoch aligned to 00:00 UTC).
+  double weight(double t_seconds) const;
+
+  /// Day-average of weight() — used to renormalise the off-period mean so
+  /// enabling a profile does not change the long-run attached fraction.
+  double mean_weight() const;
+};
+
+/// Draws the delay until the next attach, for a device whose *flat* mean
+/// off period is `off_mean_seconds`, honouring the profile via thinning.
+/// For kFlat this is exactly one exponential draw (stream-compatible with
+/// the non-diurnal model).
+double sample_reattach_delay(double now_seconds, double off_mean_seconds,
+                             const DiurnalProfile& profile, util::Rng& rng);
+
+/// Draws a profile for an interactive device: evening-home with
+/// probability `evening_fraction`, office-day with `office_fraction`,
+/// otherwise flat; timezone drawn from a coarse world distribution.
+DiurnalProfile draw_profile(util::Rng& rng, double evening_fraction,
+                            double office_fraction);
+
+}  // namespace hcmd::volunteer

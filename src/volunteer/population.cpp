@@ -1,0 +1,72 @@
+#include "volunteer/population.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hcmd::volunteer {
+
+WcgPopulationModel::WcgPopulationModel(PopulationParams params)
+    : params_(params), seasonality_(params.seasonality) {
+  if (params_.vftp_at_reference <= 0.0 || params_.reference_days <= 0.0)
+    throw ConfigError("WcgPopulationModel: reference point must be positive");
+  if (params_.growth_exponent <= 0.0)
+    throw ConfigError("WcgPopulationModel: growth_exponent must be > 0");
+  if (params_.members_per_vftp <= 0.0 || params_.devices_per_member <= 0.0)
+    throw ConfigError("WcgPopulationModel: member ratios must be > 0");
+}
+
+double WcgPopulationModel::base_vftp(double days_since_launch) const {
+  if (days_since_launch <= 0.0) return 0.0;
+  return params_.vftp_at_reference *
+         std::pow(days_since_launch / params_.reference_days,
+                  params_.growth_exponent);
+}
+
+double WcgPopulationModel::vftp_on_day(std::int64_t epoch_day) const {
+  const double days = static_cast<double>(
+      epoch_day - util::days_from_civil(params_.launch));
+  double v = base_vftp(days) * seasonality_.factor_for_day(epoch_day);
+  if (params_.noise_sigma > 0.0) {
+    // Deterministic per-day jitter so the series replays exactly.
+    util::Rng rng(util::hash64("wcg-day:" + std::to_string(epoch_day)) ^
+                  params_.seed);
+    v *= rng.lognormal(-0.5 * params_.noise_sigma * params_.noise_sigma,
+                       params_.noise_sigma);
+  }
+  return v;
+}
+
+std::vector<double> WcgPopulationModel::daily_series(
+    const util::CivilDate& from, const util::CivilDate& to) const {
+  const std::int64_t a = util::days_from_civil(from);
+  const std::int64_t b = util::days_from_civil(to);
+  HCMD_ASSERT(b >= a);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(b - a + 1));
+  for (std::int64_t d = a; d <= b; ++d) out.push_back(vftp_on_day(d));
+  return out;
+}
+
+double WcgPopulationModel::mean_vftp(const util::CivilDate& from,
+                                     const util::CivilDate& to) const {
+  const std::int64_t a = util::days_from_civil(from);
+  const std::int64_t b = util::days_from_civil(to);
+  HCMD_ASSERT(b > a);
+  double sum = 0.0;
+  for (std::int64_t d = a; d < b; ++d) sum += vftp_on_day(d);
+  return sum / static_cast<double>(b - a);
+}
+
+double WcgPopulationModel::members_on_day(std::int64_t epoch_day) const {
+  const double days = static_cast<double>(
+      epoch_day - util::days_from_civil(params_.launch));
+  return base_vftp(days) * params_.members_per_vftp;
+}
+
+double WcgPopulationModel::devices_on_day(std::int64_t epoch_day) const {
+  return members_on_day(epoch_day) * params_.devices_per_member;
+}
+
+}  // namespace hcmd::volunteer

@@ -1,0 +1,42 @@
+#include "volunteer/seasonality.hpp"
+
+#include <cmath>
+
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::volunteer {
+
+Seasonality::Seasonality(SeasonalityParams params) : params_(params) {
+  if (params_.weekend_factor <= 0.0 || params_.christmas_factor <= 0.0 ||
+      params_.summer_factor <= 0.0)
+    throw ConfigError("Seasonality: factors must be > 0");
+}
+
+double Seasonality::factor_for_day(std::int64_t epoch_day) const {
+  double f = 1.0;
+  const int wd = util::weekday_from_days(epoch_day);
+  if (wd >= 5) f *= params_.weekend_factor;  // Saturday/Sunday
+
+  const util::CivilDate d = util::civil_from_days(epoch_day);
+  const bool christmas =
+      (d.month == 12 && d.day >= 20) || (d.month == 1 && d.day <= 5);
+  if (christmas) f *= params_.christmas_factor;
+
+  const bool summer_year =
+      d.year >= params_.summer_first_year && d.year <= params_.summer_last_year;
+  if (summer_year && (d.month == 7 || d.month == 8))
+    f *= params_.summer_factor;
+  return f;
+}
+
+double Seasonality::factor_at(const util::CivilDate& origin,
+                              double seconds) const {
+  HCMD_ASSERT(seconds >= 0.0);
+  const std::int64_t day =
+      util::days_from_civil(origin) +
+      static_cast<std::int64_t>(std::floor(seconds / util::kSecondsPerDay));
+  return factor_for_day(day);
+}
+
+}  // namespace hcmd::volunteer

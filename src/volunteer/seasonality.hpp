@@ -1,0 +1,46 @@
+// Calendar seasonality of volunteer computing capacity.
+//
+// Fig. 1's commentary: "The curve is not regular, during the week-end there
+// are less processors than during the week. There are some periods where the
+// number of processors went down; Christmas holiday of 2005 and 2006 and
+// summer time of 2006." This module turns a civil date into a multiplicative
+// availability factor reproducing those three effects.
+#pragma once
+
+#include <cstdint>
+
+#include "util/calendar.hpp"
+
+namespace hcmd::volunteer {
+
+struct SeasonalityParams {
+  /// Weekend capacity relative to the weekday baseline (office PCs go dark).
+  double weekend_factor = 0.90;
+  /// Capacity during the Christmas break (Dec 20 - Jan 5).
+  double christmas_factor = 0.86;
+  /// Capacity during the summer slump (Jul 1 - Aug 31); the paper only saw
+  /// it in 2006, so it applies to the configured years.
+  double summer_factor = 0.92;
+  /// Years in which the summer slump applies (bitmask-free: inclusive
+  /// range). Default covers 2006 only.
+  int summer_first_year = 2006;
+  int summer_last_year = 2006;
+};
+
+class Seasonality {
+ public:
+  explicit Seasonality(SeasonalityParams params = {});
+
+  /// Multiplicative factor for the given day (days since Unix epoch).
+  double factor_for_day(std::int64_t epoch_day) const;
+
+  /// Convenience: factor at `seconds` past `origin`.
+  double factor_at(const util::CivilDate& origin, double seconds) const;
+
+  const SeasonalityParams& params() const { return params_; }
+
+ private:
+  SeasonalityParams params_;
+};
+
+}  // namespace hcmd::volunteer

@@ -1,0 +1,104 @@
+#include "analysis/concentration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proteins/generator.hpp"
+#include "timing/mct_matrix.hpp"
+
+namespace hcmd::analysis {
+namespace {
+
+TEST(Lorenz, UniformWeightsAreDiagonal) {
+  std::vector<double> w(10, 1.0);
+  const auto curve = lorenz_curve(w);
+  ASSERT_EQ(curve.size(), 10u);
+  for (std::size_t i = 0; i < curve.size(); ++i)
+    EXPECT_NEAR(curve[i], static_cast<double>(i + 1) / 10.0, 1e-12);
+}
+
+TEST(Lorenz, EmptyAndSingle) {
+  EXPECT_TRUE(lorenz_curve({}).empty());
+  std::vector<double> one{5.0};
+  const auto curve = lorenz_curve(one);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0], 1.0);
+}
+
+TEST(Lorenz, MonotoneAndConvex) {
+  std::vector<double> w{5.0, 1.0, 3.0, 0.5, 8.0, 2.0};
+  const auto curve = lorenz_curve(w);
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i], curve[i - 1]);
+  // Convexity: increments are non-decreasing (ascending sort).
+  for (std::size_t i = 2; i < curve.size(); ++i)
+    EXPECT_GE(curve[i] - curve[i - 1], curve[i - 1] - curve[i - 2] - 1e-12);
+}
+
+TEST(Gini, KnownValues) {
+  std::vector<double> even(100, 1.0);
+  EXPECT_NEAR(gini(even), 0.0, 1e-12);
+  std::vector<double> monopoly(100, 0.0);
+  monopoly[0] = 1.0;
+  EXPECT_NEAR(gini(monopoly), 0.99, 1e-9);  // (n-1)/n
+  std::vector<double> two{1.0, 3.0};
+  // By direct computation: G = 0.25.
+  EXPECT_NEAR(gini(two), 0.25, 1e-12);
+}
+
+TEST(Gini, DegenerateInputs) {
+  EXPECT_EQ(gini({}), 0.0);
+  std::vector<double> one{7.0};
+  EXPECT_EQ(gini(one), 0.0);
+  std::vector<double> zeros(5, 0.0);
+  EXPECT_EQ(gini(zeros), 0.0);
+}
+
+TEST(Gini, RejectsNegativeWeights) {
+  std::vector<double> bad{1.0, -1.0};
+  EXPECT_THROW(gini(bad), std::logic_error);
+}
+
+TEST(TopKShare, Basics) {
+  std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(top_k_share(w, 1), 0.4);
+  EXPECT_DOUBLE_EQ(top_k_share(w, 2), 0.7);
+  EXPECT_DOUBLE_EQ(top_k_share(w, 4), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_share(w, 99), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_share(w, 0), 0.0);
+}
+
+TEST(CheapestFractionShare, Figure7Headline) {
+  // 85 cheap items of weight 1, 15 expensive of weight ~6 -> finishing the
+  // cheapest 85 % completes roughly 48 % of the weight.
+  std::vector<double> w(85, 1.0);
+  w.insert(w.end(), 15, 6.0);
+  const double share = cheapest_fraction_share(w, 0.85);
+  EXPECT_NEAR(share, 85.0 / 175.0, 1e-12);
+}
+
+TEST(CheapestFractionShare, Bounds) {
+  std::vector<double> w{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(cheapest_fraction_share(w, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cheapest_fraction_share(w, 1.0), 1.0);
+  EXPECT_THROW(cheapest_fraction_share(w, 1.5), std::logic_error);
+}
+
+TEST(Concentration, PaperWorkloadSkew) {
+  // The benchmark's per-receptor costs reproduce the paper's concentration:
+  // a high Gini and a top-10 share in the 25-55 % band.
+  const auto bench = proteins::generate_benchmark({});
+  const auto mct = timing::MctMatrix::from_model(
+      bench, timing::CostModel::calibrated(bench));
+  const std::vector<double> per = mct.per_receptor_seconds(bench);
+  EXPECT_GT(gini(per), 0.45);
+  EXPECT_LT(gini(per), 0.85);
+  const double top10 = top_k_share(per, 10);
+  EXPECT_GT(top10, 0.25);
+  EXPECT_LT(top10, 0.55);
+  // Fig. 7's lag, analytically: finishing the cheapest 85 % of proteins
+  // completes well under 60 % of the computation.
+  EXPECT_LT(cheapest_fraction_share(per, 0.85), 0.60);
+}
+
+}  // namespace
+}  // namespace hcmd::analysis

@@ -1,0 +1,73 @@
+#include "analysis/trend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "server/credit.hpp"
+#include "util/duration.hpp"
+
+namespace hcmd::analysis {
+namespace {
+
+TEST(Trend, MeanScoreInvertsCredit) {
+  // One reference hour of work claims kCreditPerReferenceHour; a device
+  // that needed 4 accounted hours for it has score 0.25.
+  const double credit = server::kCreditPerReferenceHour;
+  EXPECT_NEAR(mean_benchmark_score(credit, 4.0 * util::kSecondsPerHour),
+              0.25, 1e-12);
+  EXPECT_EQ(mean_benchmark_score(1.0, 0.0), 0.0);
+}
+
+TEST(Trend, RecoversSyntheticExponentialGrowth) {
+  // Fleet score grows 10 %/year; runtime constant per week.
+  const double weekly_runtime = 1e6;
+  const double weekly_rate = std::pow(1.10, 7.0 / 365.0);
+  std::vector<double> credit, runtime;
+  double score = 0.25;
+  for (int week = 0; week < 104; ++week) {
+    const double ref_seconds = weekly_runtime * score;
+    credit.push_back(ref_seconds / util::kSecondsPerHour *
+                     server::kCreditPerReferenceHour);
+    runtime.push_back(weekly_runtime);
+    score *= weekly_rate;
+  }
+  const HardwareTrend trend = estimate_trend(credit, runtime);
+  EXPECT_NEAR(trend.annual_improvement, 0.10, 0.003);
+  EXPECT_GT(trend.log_fit.r, 0.999);
+}
+
+TEST(Trend, SkipsEmptyBins) {
+  std::vector<double> credit{0.0, 100.0, 0.0, 110.0};
+  std::vector<double> runtime{0.0, 1e5, 0.0, 1e5};
+  const HardwareTrend trend = estimate_trend(credit, runtime);
+  ASSERT_EQ(trend.weekly_score.size(), 4u);
+  EXPECT_EQ(trend.weekly_score[0], 0.0);
+  EXPECT_GT(trend.weekly_score[1], 0.0);
+  // Fit uses only the two non-empty bins.
+  EXPECT_GT(trend.annual_improvement, 0.0);
+}
+
+TEST(Trend, FlatFleetGivesZeroImprovement) {
+  std::vector<double> credit(20, 500.0);
+  std::vector<double> runtime(20, 1e5);
+  const HardwareTrend trend = estimate_trend(credit, runtime);
+  EXPECT_NEAR(trend.annual_improvement, 0.0, 1e-9);
+}
+
+TEST(Trend, TooFewBinsGivesNoFit) {
+  std::vector<double> credit{100.0};
+  std::vector<double> runtime{1e5};
+  const HardwareTrend trend = estimate_trend(credit, runtime);
+  EXPECT_EQ(trend.annual_improvement, 0.0);
+}
+
+TEST(Trend, TwoPointEstimate) {
+  EXPECT_NEAR(annualized_improvement(0.25, 0.25 * 1.21, 2.0), 0.10, 1e-9);
+  EXPECT_NEAR(annualized_improvement(0.3, 0.3, 5.0), 0.0, 1e-12);
+  EXPECT_LT(annualized_improvement(0.3, 0.25, 1.0), 0.0);
+  EXPECT_THROW(annualized_improvement(0.0, 0.25, 1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hcmd::analysis

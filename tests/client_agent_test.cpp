@@ -1,0 +1,244 @@
+#include "client/agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/duration.hpp"
+
+namespace hcmd::client {
+namespace {
+
+using util::kSecondsPerDay;
+using util::kSecondsPerHour;
+using util::kSecondsPerWeek;
+
+std::vector<packaging::Workunit> make_catalog(std::size_t n,
+                                              double ref_seconds) {
+  std::vector<packaging::Workunit> catalog;
+  for (std::size_t i = 0; i < n; ++i) {
+    packaging::Workunit wu;
+    wu.id = i;
+    wu.receptor = 0;
+    wu.ligand = 0;
+    wu.isep_begin = 0;
+    wu.isep_end = 10;  // 10 checkpoint slices per workunit
+    wu.reference_seconds = ref_seconds;
+    catalog.push_back(wu);
+  }
+  return catalog;
+}
+
+/// Test harness: one simulation + server + schedule + a configurable fleet.
+struct Harness {
+  sim::Simulation simulation;
+  sim::MetricSet metrics{kSecondsPerWeek};
+  server::ShareSchedule schedule;
+  server::ProjectServer project;
+  std::vector<std::unique_ptr<VolunteerAgent>> agents;
+
+  explicit Harness(std::size_t workunits, double ref_seconds = 2.0 * 3600.0,
+                   server::ServerConfig server_cfg = plain_server_config(),
+                   server::ShareScheduleParams share = always_hcmd())
+      : schedule(share),
+        project(make_catalog(workunits, ref_seconds), server_cfg) {}
+
+  static server::ServerConfig plain_server_config() {
+    server::ServerConfig cfg;
+    cfg.validation.quorum2_until = 0.0;
+    cfg.validation.spot_check_fraction = 0.0;
+    cfg.endgame_max_outstanding = 0;
+    return cfg;
+  }
+
+  static server::ShareScheduleParams always_hcmd() {
+    server::ShareScheduleParams p;
+    p.control_share = 1.0;
+    p.full_share = 1.0;
+    return p;
+  }
+
+  /// A fast, reliable, always-on device.
+  static volunteer::DeviceSpec reliable_device(std::uint32_t id) {
+    volunteer::DeviceSpec d;
+    d.id = id;
+    d.join_time = 0.0;
+    d.speed_factor = 1.0;
+    d.throttle = 1.0;
+    d.contention = 1.0;
+    d.screensaver_overhead = 1.0;
+    d.on_mean_seconds = 1e9;  // effectively never detaches
+    d.off_mean_seconds = 60.0;
+    d.lifetime_seconds = 1e12;
+    d.error_rate = 0.0;
+    d.abandon_rate = 0.0;
+    return d;
+  }
+
+  VolunteerAgent& add(const volunteer::DeviceSpec& spec,
+                      AgentConfig cfg = {}) {
+    agents.push_back(std::make_unique<VolunteerAgent>(
+        simulation, project, schedule, metrics, spec,
+        util::Rng(1000 + spec.id), cfg));
+    agents.back()->start();
+    return *agents.back();
+  }
+};
+
+TEST(Agent, ReliableDeviceDrainsCatalog) {
+  Harness h(5);
+  h.add(Harness::reliable_device(0));
+  h.simulation.run_until(4.0 * kSecondsPerWeek);
+  EXPECT_TRUE(h.project.complete());
+  EXPECT_EQ(h.project.counters().results_valid, 5u);
+  EXPECT_EQ(h.project.counters().results_invalid, 0u);
+}
+
+TEST(Agent, UdReportedRuntimeReflectsEffectiveSpeed) {
+  Harness h(1, 2.0 * 3600.0);
+  volunteer::DeviceSpec d = Harness::reliable_device(0);
+  d.throttle = 0.5;  // effective speed 0.5 -> 4 h wall for a 2 h WU
+  auto& agent = h.add(d);
+  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  ASSERT_EQ(agent.reported_hcmd_runtimes().size(), 1u);
+  EXPECT_NEAR(agent.reported_hcmd_runtimes()[0], 4.0 * 3600.0, 60.0);
+}
+
+TEST(Agent, BoincAccountingReportsCpuTime) {
+  Harness h(1, 2.0 * 3600.0);
+  volunteer::DeviceSpec d = Harness::reliable_device(0);
+  d.speed_factor = 0.5;  // 2 h reference -> 4 h CPU on this device
+  d.accounting = volunteer::AccountingMode::kBoincCpuTime;
+  auto& agent = h.add(d);
+  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  ASSERT_EQ(agent.reported_hcmd_runtimes().size(), 1u);
+  EXPECT_NEAR(agent.reported_hcmd_runtimes()[0], 4.0 * 3600.0, 60.0);
+}
+
+TEST(Agent, RuntimeMetricsAccumulate) {
+  Harness h(3);
+  h.add(Harness::reliable_device(0));
+  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  const auto& hcmd_series = h.metrics.series(metric::kHcmdRuntime);
+  const auto& wcg_series = h.metrics.series(metric::kWcgRuntime);
+  ASSERT_GT(hcmd_series.size(), 0u);
+  double hcmd_total = 0.0, wcg_total = 0.0;
+  for (std::size_t i = 0; i < hcmd_series.size(); ++i)
+    hcmd_total += hcmd_series.value(i);
+  for (std::size_t i = 0; i < wcg_series.size(); ++i)
+    wcg_total += wcg_series.value(i);
+  // All three workunits at full speed: 6 hours of HCMD runtime.
+  EXPECT_NEAR(hcmd_total, 6.0 * kSecondsPerHour, 120.0);
+  EXPECT_GE(wcg_total, hcmd_total);  // WCG includes other-project work
+}
+
+TEST(Agent, ShareZeroMeansOtherProjectsOnly) {
+  server::ShareScheduleParams share;
+  share.control_share = 0.0;
+  share.full_share = 0.0;
+  Harness h(2, 2.0 * 3600.0, Harness::plain_server_config(), share);
+  h.add(Harness::reliable_device(0));
+  h.simulation.run_until(1.0 * kSecondsPerWeek);
+  EXPECT_FALSE(h.project.complete());
+  EXPECT_EQ(h.project.counters().results_received, 0u);
+  // But the device crunched other-project work the whole time.
+  const auto& wcg = h.metrics.series(metric::kWcgRuntime);
+  double total = 0.0;
+  for (std::size_t i = 0; i < wcg.size(); ++i) total += wcg.value(i);
+  EXPECT_GT(total, 0.9 * kSecondsPerWeek);
+}
+
+TEST(Agent, ErrorProneDeviceProducesInvalidResults) {
+  Harness h(10);
+  volunteer::DeviceSpec d = Harness::reliable_device(0);
+  d.error_rate = 1.0;  // every result invalid
+  h.add(d);
+  h.simulation.run_until(1.0 * kSecondsPerWeek);
+  EXPECT_FALSE(h.project.complete());
+  EXPECT_GT(h.project.counters().results_invalid, 0u);
+  EXPECT_EQ(h.project.counters().results_valid, 0u);
+}
+
+TEST(Agent, InterruptionsLoseCheckpointProgress) {
+  // A choppy device takes more wall time per workunit than its effective
+  // speed alone implies: partial positions are recomputed after each
+  // interruption.
+  const double ref = 8.0 * 3600.0;  // 8 h reference, 10 checkpoint slices
+  Harness smooth(1, ref);
+  volunteer::DeviceSpec ds = Harness::reliable_device(0);
+  auto& smooth_agent = smooth.add(ds);
+  smooth.simulation.run_until(6.0 * kSecondsPerWeek);
+
+  Harness choppy(1, ref);
+  volunteer::DeviceSpec dc = Harness::reliable_device(0);
+  dc.on_mean_seconds = 2.0 * 3600.0;  // interrupts every ~2 h
+  dc.off_mean_seconds = 600.0;
+  auto& choppy_agent = choppy.add(dc);
+  choppy.simulation.run_until(6.0 * kSecondsPerWeek);
+
+  ASSERT_EQ(smooth_agent.reported_hcmd_runtimes().size(), 1u);
+  ASSERT_EQ(choppy_agent.reported_hcmd_runtimes().size(), 1u);
+  EXPECT_GT(choppy_agent.reported_hcmd_runtimes()[0],
+            smooth_agent.reported_hcmd_runtimes()[0]);
+}
+
+TEST(Agent, DeadDeviceWorkTimesOutAndIsReissued) {
+  server::ServerConfig cfg = Harness::plain_server_config();
+  cfg.deadline = 2.0 * kSecondsPerDay;
+  Harness h(1, 20.0 * 3600.0, cfg);
+  volunteer::DeviceSpec mortal = Harness::reliable_device(0);
+  mortal.lifetime_seconds = 3600.0;  // dies one hour in, holding the WU
+  h.add(mortal);
+  volunteer::DeviceSpec survivor = Harness::reliable_device(1);
+  survivor.join_time = 3.0 * kSecondsPerDay;  // joins after the deadline
+  h.add(survivor);
+  h.simulation.run_until(8.0 * kSecondsPerWeek);
+  EXPECT_TRUE(h.project.complete());
+  EXPECT_EQ(h.project.counters().results_timed_out, 1u);
+}
+
+TEST(Agent, LongPauseLeadsToLateRedundantUpload) {
+  server::ServerConfig cfg = Harness::plain_server_config();
+  cfg.deadline = 1.0 * kSecondsPerDay;
+  Harness h(1, 10.0 * 3600.0, cfg);
+  volunteer::DeviceSpec pauser = Harness::reliable_device(0);
+  pauser.abandon_rate = 1.0;  // always long-pauses mid-workunit
+  AgentConfig agent_cfg;
+  agent_cfg.long_pause_mean_weeks = 1.0;
+  h.add(pauser, agent_cfg);
+  volunteer::DeviceSpec helper = Harness::reliable_device(1);
+  helper.join_time = 2.0 * kSecondsPerDay;
+  h.add(helper);
+  h.simulation.run_until(30.0 * kSecondsPerWeek);
+  EXPECT_TRUE(h.project.complete());
+  const auto& c = h.project.counters();
+  EXPECT_EQ(c.results_timed_out, 1u);
+  // The paused device eventually uploaded: 2 results received, 1 useful.
+  EXPECT_EQ(c.results_received, 2u);
+  EXPECT_EQ(c.results_redundant, 1u);
+}
+
+TEST(Agent, UsefulResultMetricsMatchServerCounters) {
+  Harness h(4);
+  h.add(Harness::reliable_device(0));
+  h.simulation.run_until(3.0 * kSecondsPerWeek);
+  const auto& useful = h.metrics.series(metric::kHcmdUsefulResults);
+  double total = 0.0;
+  for (std::size_t i = 0; i < useful.size(); ++i) total += useful.value(i);
+  EXPECT_DOUBLE_EQ(total,
+                   static_cast<double>(h.project.counters().results_valid));
+}
+
+TEST(Agent, MultipleDevicesShareTheCatalog) {
+  Harness h(20, 1.0 * 3600.0);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    h.add(Harness::reliable_device(i));
+  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  EXPECT_TRUE(h.project.complete());
+  // Every agent got some work.
+  for (const auto& agent : h.agents)
+    EXPECT_GT(agent->reported_hcmd_runtimes().size(), 0u);
+}
+
+}  // namespace
+}  // namespace hcmd::client

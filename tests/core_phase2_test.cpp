@@ -1,0 +1,88 @@
+#include "core/phase2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::core {
+namespace {
+
+TEST(Phase2, ConfigRejectsBadScenario) {
+  Phase2Scenario s;
+  s.proteins_simulated = 4;
+  EXPECT_THROW(make_phase2_config(s), hcmd::ConfigError);
+  s = {};
+  s.grid_share = 0.0;
+  EXPECT_THROW(make_phase2_config(s), hcmd::ConfigError);
+  s = {};
+  s.work_ratio = -1.0;
+  EXPECT_THROW(make_phase2_config(s), hcmd::ConfigError);
+}
+
+TEST(Phase2, WorkloadCalibratedToTarget) {
+  Phase2Scenario s;
+  s.proteins_simulated = 100;
+  const CampaignConfig config = make_phase2_config(s);
+  const Workload w = build_workload(config);
+  const double total = w.mct->total_reference_seconds(w.benchmark);
+  EXPECT_NEAR(total, s.work_ratio * s.phase1_reference_seconds,
+              0.01 * total);
+}
+
+TEST(Phase2, UsesBoincAccountingAndConstantShare) {
+  const CampaignConfig config = make_phase2_config(Phase2Scenario{});
+  EXPECT_EQ(config.devices.accounting,
+            volunteer::AccountingMode::kBoincCpuTime);
+  EXPECT_DOUBLE_EQ(config.share.control_share, config.share.full_share);
+  EXPECT_DOUBLE_EQ(config.share.full_share, 0.25);
+  EXPECT_DOUBLE_EQ(config.share.ramp_weeks, 0.0);
+}
+
+TEST(Phase2, FrozenHardwareMatchesPhase1Speeds) {
+  Phase2Scenario frozen;
+  frozen.freeze_hardware_at_phase1 = true;
+  const CampaignConfig config = make_phase2_config(frozen);
+  EXPECT_DOUBLE_EQ(config.devices.speed_improvement_per_year, 0.0);
+  // Median boosted to the phase-I-era effective level.
+  const volunteer::DeviceParams defaults;
+  EXPECT_NEAR(config.devices.speed_median,
+              defaults.speed_median *
+                  std::pow(1.0 + defaults.speed_improvement_per_year, 2.1),
+              1e-9);
+}
+
+TEST(Phase2, PopulationPinnedToScenarioGrid) {
+  Phase2Scenario s;
+  s.grid_vftp = 123'456.0;
+  const CampaignConfig config = make_phase2_config(s);
+  const volunteer::WcgPopulationModel model(config.population);
+  const double day0 = config.population.reference_days;
+  EXPECT_NEAR(model.base_vftp(day0), 123'456.0, 1.0);
+  // Effectively constant over the campaign horizon.
+  EXPECT_NEAR(model.base_vftp(day0 + 400.0), 123'456.0, 100.0);
+}
+
+TEST(Phase2, OrganicGridIsPlausible2008Level) {
+  const double vftp = organic_grid_vftp_2008();
+  // Above the Dec-2007 ~75k, far below the recruited 239k.
+  EXPECT_GT(vftp, 80'000.0);
+  EXPECT_LT(vftp, 140'000.0);
+}
+
+TEST(Phase2, BiggerGridFinishesFaster) {
+  Phase2Scenario small, big;
+  small.proteins_simulated = big.proteins_simulated = 60;
+  small.scale = big.scale = 1.0 / 1000.0;
+  small.grid_vftp = 100'000.0;
+  big.grid_vftp = 240'000.0;
+  small.max_weeks = big.max_weeks = 160.0;
+  const CampaignReport rs = run_campaign(make_phase2_config(small));
+  const CampaignReport rb = run_campaign(make_phase2_config(big));
+  ASSERT_TRUE(rs.completed);
+  ASSERT_TRUE(rb.completed);
+  EXPECT_LT(rb.completion_weeks, rs.completion_weeks);
+}
+
+}  // namespace
+}  // namespace hcmd::core

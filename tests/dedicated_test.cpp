@@ -1,0 +1,114 @@
+#include "dedicated/calibration.hpp"
+#include "dedicated/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::dedicated {
+namespace {
+
+TEST(Grid, Grid5000SliceHas640Processors) {
+  std::uint32_t total = 0;
+  for (const auto& c : grid5000_calibration_slice()) total += c.processors;
+  EXPECT_EQ(total, 640u);  // "640 processors were used for this experiment"
+}
+
+TEST(Batch, SingleProcessorRunsSequentially) {
+  const std::vector<Cluster> grid{{"one", 1, 1.0}};
+  std::vector<double> jobs{10.0, 20.0, 30.0};
+  const BatchResult r = run_batch(jobs, grid);
+  EXPECT_DOUBLE_EQ(r.makespan, 60.0);
+  EXPECT_DOUBLE_EQ(r.cpu_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+  EXPECT_EQ(r.completion_times, (std::vector<double>{10.0, 30.0, 60.0}));
+}
+
+TEST(Batch, PerfectlyParallelJobs) {
+  const std::vector<Cluster> grid{{"four", 4, 1.0}};
+  std::vector<double> jobs{10.0, 10.0, 10.0, 10.0};
+  const BatchResult r = run_batch(jobs, grid);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Batch, GreedyAssignsToEarliestFree) {
+  const std::vector<Cluster> grid{{"two", 2, 1.0}};
+  std::vector<double> jobs{10.0, 2.0, 2.0, 2.0};
+  const BatchResult r = run_batch(jobs, grid);
+  // P0 takes the 10; P1 takes 2+2+2 = 6. Makespan 10.
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(Batch, LptImprovesImbalancedMakespan) {
+  const std::vector<Cluster> grid{{"two", 2, 1.0}};
+  // FIFO: P0 = 1+8 = 9 or 1, 8, 7 ... FIFO gives {1,7}, {8} -> makespan 8;
+  // with a bad order the makespan exceeds LPT's.
+  std::vector<double> jobs{1.0, 1.0, 8.0, 7.0};
+  const double fifo = run_batch(jobs, grid, ListPolicy::kFifo).makespan;
+  const double lpt =
+      run_batch(jobs, grid, ListPolicy::kLongestProcessingTime).makespan;
+  EXPECT_LE(lpt, fifo);
+  EXPECT_DOUBLE_EQ(lpt, 9.0);
+}
+
+TEST(Batch, FasterClusterFinishesSooner) {
+  const std::vector<Cluster> slow{{"slow", 1, 0.5}};
+  std::vector<double> jobs{10.0};
+  EXPECT_DOUBLE_EQ(run_batch(jobs, slow).makespan, 20.0);
+}
+
+TEST(Batch, RejectsInvalidInput) {
+  EXPECT_THROW(run_batch(std::vector<double>{1.0}, {}), hcmd::ConfigError);
+  EXPECT_THROW(run_batch(std::vector<double>{1.0}, {{"bad", 0, 1.0}}),
+               hcmd::ConfigError);
+  EXPECT_THROW(run_batch(std::vector<double>{-1.0}, {{"ok", 1, 1.0}}),
+               hcmd::ConfigError);
+}
+
+TEST(Batch, EmptyJobListIsFine) {
+  const BatchResult r = run_batch(std::vector<double>{}, {{"ok", 4, 1.0}});
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(r.cpu_seconds, 0.0);
+}
+
+TEST(DedicatedEquivalent, Table2Arithmetic) {
+  // Table 2's right column: reference CPU divided by the period.
+  const double period = 26.0 * util::kSecondsPerWeek;
+  const double cpu = 3'029.0 * period;
+  EXPECT_NEAR(dedicated_equivalent_processors(cpu, period), 3'029.0, 1e-9);
+}
+
+TEST(Calibration, MatchesAnalyticMatrix) {
+  proteins::BenchmarkSpec spec;
+  spec.count = 10;
+  spec.target_total_nsep = 0;
+  spec.outlier_nsep_target = 0;
+  const auto bench = proteins::generate_benchmark(spec);
+  const auto model = timing::CostModel::calibrated(bench, 500.0);
+  const auto outcome =
+      run_calibration(bench, model, grid5000_calibration_slice());
+  const auto direct = timing::MctMatrix::from_model(bench, model);
+  EXPECT_EQ(outcome.jobs, 100.0);
+  for (std::size_t i = 0; i < 10; ++i)
+    for (std::size_t j = 0; j < 10; ++j)
+      EXPECT_DOUBLE_EQ(outcome.matrix.at(i, j), direct.at(i, j));
+}
+
+TEST(Calibration, PaperScaleCampaignFitsInADayOn640Processors) {
+  // Section 4.1: the 168^2 evaluation took 640 processors for about one
+  // day, consuming ~10^2 days of CPU.
+  const auto bench = proteins::generate_benchmark({});
+  const auto model = timing::CostModel::calibrated(bench);
+  const auto outcome =
+      run_calibration(bench, model, grid5000_calibration_slice(),
+                      ListPolicy::kLongestProcessingTime);
+  EXPECT_EQ(outcome.jobs, 28'224.0);
+  EXPECT_LT(outcome.batch.makespan, 2.0 * util::kSecondsPerDay);
+  EXPECT_GT(outcome.batch.cpu_seconds, 60.0 * util::kSecondsPerDay);
+  EXPECT_GT(outcome.batch.utilization, 0.3);
+}
+
+}  // namespace
+}  // namespace hcmd::dedicated

@@ -1,0 +1,115 @@
+#include "docking/cell_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "proteins/generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hcmd::docking {
+namespace {
+
+using proteins::Dof6;
+using proteins::ReducedProtein;
+
+TEST(CellList, RejectsBadConstruction) {
+  const auto receptor = proteins::generate_protein(1, 50, 1.0, 31);
+  EXPECT_THROW(ReceptorCellGrid(receptor, 0.0), hcmd::ConfigError);
+  const ReducedProtein empty;
+  EXPECT_THROW(ReceptorCellGrid(empty, 10.0), hcmd::ConfigError);
+}
+
+TEST(CellList, RejectsCutoffLargerThanCell) {
+  const auto receptor = proteins::generate_protein(1, 50, 1.0, 31);
+  const auto ligand = proteins::generate_protein(2, 20, 1.0, 32);
+  EnergyParams params;
+  params.cutoff = 24.0;
+  ReceptorCellGrid grid(receptor, 12.0);  // cell edge below params.cutoff
+  Dof6 pose;
+  EXPECT_THROW(grid.interaction_energy(ligand, pose.to_transform(), params),
+               hcmd::ConfigError);
+}
+
+TEST(CellList, MatchesBruteForceAtContact) {
+  const auto receptor = proteins::generate_protein(1, 200, 1.2, 33);
+  const auto ligand = proteins::generate_protein(2, 80, 1.0, 34);
+  const EnergyParams params;
+  const ReceptorCellGrid grid(receptor, params.cutoff);
+  Dof6 pose;
+  pose.x = receptor.bounding_radius() + 2.0;  // partially overlapping
+  const auto brute = interaction_energy(receptor, ligand,
+                                        pose.to_transform(), params);
+  const auto fast =
+      grid.interaction_energy(ligand, pose.to_transform(), params);
+  EXPECT_NEAR(fast.lj, brute.lj, 1e-9 * std::max(1.0, std::abs(brute.lj)));
+  EXPECT_NEAR(fast.elec, brute.elec,
+              1e-9 * std::max(1.0, std::abs(brute.elec)));
+}
+
+TEST(CellList, MatchesBruteForceFarApart) {
+  const auto receptor = proteins::generate_protein(1, 100, 1.0, 35);
+  const auto ligand = proteins::generate_protein(2, 40, 1.0, 36);
+  const EnergyParams params;
+  const ReceptorCellGrid grid(receptor, params.cutoff);
+  Dof6 pose;
+  pose.x = receptor.bounding_radius() + ligand.bounding_radius() +
+           2.0 * params.cutoff;  // everything outside the cutoff
+  const auto fast =
+      grid.interaction_energy(ligand, pose.to_transform(), params);
+  EXPECT_DOUBLE_EQ(fast.lj, 0.0);
+  EXPECT_DOUBLE_EQ(fast.elec, 0.0);
+}
+
+TEST(CellList, InspectsFarFewerPairsOnLargeReceptors) {
+  const auto receptor = proteins::generate_protein(1, 1500, 1.0, 37);
+  const auto ligand = proteins::generate_protein(2, 60, 1.0, 38);
+  const EnergyParams params;
+  const ReceptorCellGrid grid(receptor, params.cutoff);
+  Dof6 pose;
+  pose.x = receptor.bounding_radius() + 5.0;
+  WorkCounter brute_work, fast_work;
+  interaction_energy(receptor, ligand, pose.to_transform(), params,
+                     &brute_work);
+  grid.interaction_energy(ligand, pose.to_transform(), params, &fast_work);
+  EXPECT_LT(fast_work.pair_terms, brute_work.pair_terms / 2);
+}
+
+TEST(CellList, GridDimensionsCoverReceptor) {
+  const auto receptor = proteins::generate_protein(1, 600, 1.8, 39);
+  const ReceptorCellGrid grid(receptor, 10.0);
+  EXPECT_GE(grid.cell_count(), 8u);  // an elongated 40+ A protein spans cells
+}
+
+/// Property sweep: equality with brute force over random poses, including
+/// poses that put ligand atoms outside the receptor's bounding box.
+class CellListPoseSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellListPoseSweep, MatchesBruteForce) {
+  const auto receptor = proteins::generate_protein(1, 300, 1.3, 41);
+  const auto ligand = proteins::generate_protein(2, 70, 1.0, 42);
+  const EnergyParams params;
+  const ReceptorCellGrid grid(receptor, params.cutoff);
+  util::Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  Dof6 pose;
+  pose.x = rng.uniform(-1.5, 1.5) * receptor.bounding_radius();
+  pose.y = rng.uniform(-1.5, 1.5) * receptor.bounding_radius();
+  pose.z = rng.uniform(-1.5, 1.5) * receptor.bounding_radius();
+  pose.alpha = rng.uniform(0.0, 6.28);
+  pose.beta = rng.uniform(0.0, 3.14);
+  pose.gamma = rng.uniform(0.0, 6.28);
+  const auto brute = interaction_energy(receptor, ligand,
+                                        pose.to_transform(), params);
+  const auto fast =
+      grid.interaction_energy(ligand, pose.to_transform(), params);
+  const double scale =
+      std::max({1.0, std::abs(brute.lj), std::abs(brute.elec)});
+  EXPECT_NEAR(fast.lj, brute.lj, 1e-9 * scale);
+  EXPECT_NEAR(fast.elec, brute.elec, 1e-9 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Poses, CellListPoseSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace hcmd::docking

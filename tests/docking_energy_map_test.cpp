@@ -1,0 +1,140 @@
+#include "docking/energy_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "proteins/generator.hpp"
+#include "proteins/starting_positions.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::docking {
+namespace {
+
+DockingRecord rec(std::uint32_t isep, std::uint32_t irot, double etot) {
+  DockingRecord r;
+  r.isep = isep;
+  r.irot = irot;
+  r.elj = etot;  // put everything in one term
+  r.eelec = 0.0;
+  return r;
+}
+
+TEST(EnergyMap, ReducesToBestPerPosition) {
+  const std::vector<DockingRecord> records{
+      rec(0, 0, -1.0), rec(0, 1, -5.0), rec(0, 2, -3.0),
+      rec(1, 0, -2.0), rec(2, 4, +7.0)};
+  const EnergyMap map(4, records);
+  EXPECT_DOUBLE_EQ(map.best_at(0), -5.0);
+  EXPECT_EQ(map.best_rotation_at(0), 1u);
+  EXPECT_DOUBLE_EQ(map.best_at(1), -2.0);
+  EXPECT_DOUBLE_EQ(map.best_at(2), 7.0);
+  EXPECT_TRUE(std::isinf(map.best_at(3)));  // no record
+  EXPECT_DOUBLE_EQ(map.global_minimum(), -5.0);
+  EXPECT_EQ(map.global_minimum_position(), 0u);
+}
+
+TEST(EnergyMap, RejectsOutOfRangeRecords) {
+  const std::vector<DockingRecord> records{rec(5, 0, -1.0)};
+  EXPECT_THROW(EnergyMap(3, records), hcmd::ConfigError);
+}
+
+TEST(EnergyMap, PositionsByEnergySorted) {
+  const std::vector<DockingRecord> records{
+      rec(0, 0, 3.0), rec(1, 0, -8.0), rec(2, 0, 0.5)};
+  const EnergyMap map(3, records);
+  EXPECT_EQ(map.positions_by_energy(),
+            (std::vector<std::uint32_t>{1, 2, 0}));
+}
+
+TEST(EnergyMap, QuantileIgnoresMissingPositions) {
+  const std::vector<DockingRecord> records{rec(0, 0, -4.0), rec(1, 0, 2.0)};
+  const EnergyMap map(5, records);
+  EXPECT_DOUBLE_EQ(map.energy_quantile(0.0), -4.0);
+  EXPECT_DOUBLE_EQ(map.energy_quantile(1.0), 2.0);
+}
+
+TEST(BindingSites, ClustersNearbyLowEnergyPositions) {
+  // 10 positions on a line, two low-energy pockets at the ends.
+  std::vector<proteins::Vec3> coords;
+  std::vector<DockingRecord> records;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    coords.push_back({static_cast<double>(i) * 6.0, 0.0, 0.0});
+    double e = 0.0;
+    if (i <= 1) e = -10.0 + i;        // pocket A: positions 0, 1
+    else if (i >= 8) e = -9.0 + (9 - i);  // pocket B: positions 8, 9
+    records.push_back(rec(i, 0, e));
+  }
+  const EnergyMap map(10, records);
+  BindingSiteParams params;
+  params.energy_fraction = 0.4;  // the four pocket positions
+  params.cluster_radius = 8.0;
+  const auto sites = find_binding_sites(map, coords, params);
+  ASSERT_EQ(sites.size(), 2u);
+  // Strongest first.
+  EXPECT_DOUBLE_EQ(sites[0].best_energy, -10.0);
+  EXPECT_EQ(sites[0].positions.size(), 2u);
+  EXPECT_EQ(sites[0].best_position, 0u);
+  EXPECT_DOUBLE_EQ(sites[1].best_energy, -9.0);
+  // Centroids sit between their members.
+  EXPECT_NEAR(sites[0].centroid.x, 3.0, 1e-9);
+  EXPECT_NEAR(sites[1].centroid.x, 51.0, 1e-9);
+}
+
+TEST(BindingSites, MinClusterSizeFilters) {
+  std::vector<proteins::Vec3> coords{{0, 0, 0}, {100, 0, 0}};
+  std::vector<DockingRecord> records{rec(0, 0, -5.0), rec(1, 0, -4.0)};
+  const EnergyMap map(2, records);
+  BindingSiteParams params;
+  params.energy_fraction = 1.0;
+  params.cluster_radius = 5.0;   // too far apart to merge
+  params.min_cluster_size = 2;   // singletons dropped
+  EXPECT_TRUE(find_binding_sites(map, coords, params).empty());
+  params.min_cluster_size = 1;
+  EXPECT_EQ(find_binding_sites(map, coords, params).size(), 2u);
+}
+
+TEST(BindingSites, RejectsBadInputs) {
+  std::vector<proteins::Vec3> coords{{0, 0, 0}};
+  const EnergyMap map(2, {rec(0, 0, -1.0)});
+  EXPECT_THROW(find_binding_sites(map, coords), hcmd::ConfigError);
+  std::vector<proteins::Vec3> two{{0, 0, 0}, {1, 0, 0}};
+  BindingSiteParams bad;
+  bad.energy_fraction = 0.0;
+  EXPECT_THROW(find_binding_sites(map, two, bad), hcmd::ConfigError);
+}
+
+TEST(BindingSites, EndToEndOnRealKernel) {
+  // Run the real docking kernel on a couple and extract sites: at least
+  // one site must exist and its best energy must equal the global map
+  // minimum.
+  const auto receptor = proteins::generate_protein(1, 40, 1.2, 51);
+  const auto ligand = proteins::generate_protein(2, 25, 1.0, 52);
+  MaxDoParams params;
+  params.positions.spacing = 9.0;
+  params.minimizer.max_iterations = 5;
+  params.gamma_steps = 2;
+  MaxDoProgram program(receptor, ligand, params);
+  MaxDoTask task;
+  task.isep_end = program.nsep();
+  MaxDoCheckpoint cp;
+  program.run(task, cp);
+
+  const EnergyMap map(program.nsep(), cp.records);
+  const auto coords =
+      proteins::starting_positions(receptor, params.positions);
+  BindingSiteParams site_params;
+  site_params.energy_fraction = 0.2;
+  site_params.cluster_radius = 12.0;
+  site_params.min_cluster_size = 1;
+  const auto sites = find_binding_sites(map, coords, site_params);
+  ASSERT_FALSE(sites.empty());
+  EXPECT_DOUBLE_EQ(sites.front().best_energy, map.global_minimum());
+  for (const auto& s : sites) {
+    EXPECT_FALSE(s.positions.empty());
+    EXPECT_LE(s.best_energy, 0.0);  // sites are attractive by construction
+  }
+}
+
+}  // namespace
+}  // namespace hcmd::docking

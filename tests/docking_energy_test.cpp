@@ -1,0 +1,160 @@
+#include "docking/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "proteins/generator.hpp"
+
+namespace hcmd::docking {
+namespace {
+
+using proteins::PseudoAtom;
+using proteins::ReducedProtein;
+using proteins::RigidTransform;
+using proteins::Vec3;
+
+ReducedProtein single_atom(double lj_radius, double eps, double charge) {
+  std::vector<PseudoAtom> atoms{{{0, 0, 0}, lj_radius, eps, charge}};
+  return ReducedProtein(0, "atom", std::move(atoms));
+}
+
+RigidTransform at_distance(double d) {
+  return RigidTransform{proteins::euler_zyz(0, 0, 0), Vec3{d, 0, 0}};
+}
+
+TEST(Energy, LennardJonesMinimumAtContact) {
+  // At r = rmin = r1 + r2 the LJ term equals -eps and is at its minimum.
+  const ReducedProtein a = single_atom(2.0, 0.25, 0.0);
+  const ReducedProtein b = single_atom(2.0, 0.25, 0.0);
+  const EnergyParams params;
+  const double rmin = 4.0;
+  const auto e = interaction_energy(a, b, at_distance(rmin), params);
+  EXPECT_NEAR(e.lj, -0.25, 1e-10);
+  EXPECT_DOUBLE_EQ(e.elec, 0.0);
+  // Slightly closer and slightly further are both higher energy.
+  EXPECT_GT(interaction_energy(a, b, at_distance(rmin * 0.9), params).lj,
+            e.lj);
+  EXPECT_GT(interaction_energy(a, b, at_distance(rmin * 1.1), params).lj,
+            e.lj);
+}
+
+TEST(Energy, RepulsiveAtShortRange) {
+  const ReducedProtein a = single_atom(2.0, 0.2, 0.0);
+  const ReducedProtein b = single_atom(2.0, 0.2, 0.0);
+  const EnergyParams params;
+  EXPECT_GT(interaction_energy(a, b, at_distance(2.0), params).lj, 10.0);
+}
+
+TEST(Energy, SoftCoreKeepsOverlapFinite) {
+  const ReducedProtein a = single_atom(2.0, 0.2, 0.5);
+  const ReducedProtein b = single_atom(2.0, 0.2, -0.5);
+  const EnergyParams params;
+  const auto e = interaction_energy(a, b, at_distance(0.0), params);
+  EXPECT_TRUE(std::isfinite(e.lj));
+  EXPECT_TRUE(std::isfinite(e.elec));
+  // Exactly the min_distance clamp value.
+  const auto e2 =
+      interaction_energy(a, b, at_distance(params.min_distance / 2), params);
+  EXPECT_DOUBLE_EQ(e.lj, e2.lj);
+}
+
+TEST(Energy, CutoffZeroesLongRange) {
+  const ReducedProtein a = single_atom(2.0, 0.2, 0.5);
+  const ReducedProtein b = single_atom(2.0, 0.2, 0.5);
+  EnergyParams params;
+  params.cutoff = 10.0;
+  const auto e = interaction_energy(a, b, at_distance(11.0), params);
+  EXPECT_DOUBLE_EQ(e.lj, 0.0);
+  EXPECT_DOUBLE_EQ(e.elec, 0.0);
+}
+
+TEST(Energy, CoulombSignAndMagnitude) {
+  const ReducedProtein plus = single_atom(2.0, 0.2, 0.5);
+  const ReducedProtein minus = single_atom(2.0, 0.2, -0.5);
+  const EnergyParams params;
+  const double r = 8.0;
+  const auto attract = interaction_energy(plus, minus, at_distance(r), params);
+  const auto repel = interaction_energy(plus, plus, at_distance(r), params);
+  EXPECT_LT(attract.elec, 0.0);
+  EXPECT_GT(repel.elec, 0.0);
+  // E = C q1 q2 / (k r^2) with the distance-dependent dielectric.
+  const double expected = params.coulomb_constant * 0.25 /
+                          (params.dielectric_slope * r * r);
+  EXPECT_NEAR(repel.elec, expected, 1e-12);
+  EXPECT_NEAR(attract.elec, -expected, 1e-12);
+}
+
+TEST(Energy, ElectrostaticsFallOffAsInverseSquare) {
+  const ReducedProtein a = single_atom(1.0, 0.2, 0.5);
+  const ReducedProtein b = single_atom(1.0, 0.2, 0.5);
+  const EnergyParams params;
+  const double e8 = interaction_energy(a, b, at_distance(8.0), params).elec;
+  const double e16 = interaction_energy(a, b, at_distance(16.0), params).elec;
+  EXPECT_NEAR(e8 / e16, 4.0, 1e-9);
+}
+
+TEST(Energy, TotalIsSumOfTerms) {
+  const ReducedProtein a = single_atom(2.0, 0.2, 0.5);
+  const ReducedProtein b = single_atom(2.0, 0.2, -0.5);
+  const auto e = interaction_energy(a, b, at_distance(5.0), EnergyParams{});
+  EXPECT_DOUBLE_EQ(e.total(), e.lj + e.elec);
+}
+
+TEST(Energy, Asymmetry) {
+  // Docking is not symmetric: swapping receptor and ligand with the same
+  // pose transforms different atoms.
+  const auto p1 = proteins::generate_protein(1, 40, 1.3, 5);
+  const auto p2 = proteins::generate_protein(2, 60, 1.0, 6);
+  const EnergyParams params;
+  const RigidTransform pose{proteins::euler_zyz(0.3, 0.8, 0.1),
+                            Vec3{25.0, 3.0, -2.0}};
+  const auto e12 = interaction_energy(p1, p2, pose, params);
+  const auto e21 = interaction_energy(p2, p1, pose, params);
+  EXPECT_NE(e12.total(), e21.total());
+}
+
+TEST(Energy, ReproducibleEvaluations) {
+  const auto p1 = proteins::generate_protein(1, 80, 1.0, 7);
+  const auto p2 = proteins::generate_protein(2, 70, 1.2, 8);
+  const RigidTransform pose{proteins::euler_zyz(0.1, 0.2, 0.3),
+                            Vec3{30, 0, 0}};
+  const auto a = interaction_energy(p1, p2, pose, EnergyParams{});
+  const auto b = interaction_energy(p1, p2, pose, EnergyParams{});
+  EXPECT_EQ(a.lj, b.lj);
+  EXPECT_EQ(a.elec, b.elec);
+}
+
+TEST(Energy, WorkCounterTracksPairTerms) {
+  const auto p1 = proteins::generate_protein(1, 30, 1.0, 9);
+  const auto p2 = proteins::generate_protein(2, 50, 1.0, 10);
+  WorkCounter work;
+  interaction_energy(p1, p2, at_distance(40.0), EnergyParams{}, &work);
+  EXPECT_EQ(work.evaluations, 1u);
+  EXPECT_EQ(work.pair_terms, 1500u);  // 30 * 50, independent of cutoff
+  interaction_energy(p1, p2, at_distance(40.0), EnergyParams{}, &work);
+  EXPECT_EQ(work.evaluations, 2u);
+  EXPECT_EQ(work.pair_terms, 3000u);
+}
+
+TEST(Energy, WorkCounterAccumulateOperator) {
+  WorkCounter a{2, 100}, b{3, 200};
+  a += b;
+  EXPECT_EQ(a.evaluations, 5u);
+  EXPECT_EQ(a.pair_terms, 300u);
+}
+
+TEST(Energy, RotationInvarianceOfIsolatedPair) {
+  // Rotating a spherically symmetric single-atom ligand about the receptor
+  // at fixed distance leaves the energy unchanged.
+  const ReducedProtein a = single_atom(2.0, 0.2, 0.3);
+  const ReducedProtein b = single_atom(2.0, 0.2, -0.3);
+  const EnergyParams params;
+  const auto base = interaction_energy(a, b, at_distance(6.0), params);
+  RigidTransform rotated{proteins::euler_zyz(1.0, 0.5, 2.0), Vec3{6, 0, 0}};
+  const auto rot = interaction_energy(a, b, rotated, params);
+  EXPECT_NEAR(base.total(), rot.total(), 1e-12);
+}
+
+}  // namespace
+}  // namespace hcmd::docking

@@ -1,0 +1,170 @@
+// Integration: the full Phase I campaign simulation at a coarse scale.
+// These are the headline reproduction checks — each asserts a *shape*
+// property from the paper's evaluation with generous tolerances (the bench
+// binaries report the precise values).
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "util/duration.hpp"
+
+namespace hcmd::core {
+namespace {
+
+/// One shared campaign run (the default config at a coarse 1/100 scale for
+/// speed); recomputing it per test would dominate the suite's runtime.
+const CampaignReport& coarse_report() {
+  static const CampaignReport report = [] {
+    CampaignConfig config;
+    config.scale = 0.01;
+    return run_campaign(config);
+  }();
+  return report;
+}
+
+TEST(Campaign, CompletesNearTwentySixWeeks) {
+  const auto& r = coarse_report();
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.completion_weeks, 20.0);
+  EXPECT_LT(r.completion_weeks, 32.0);
+}
+
+TEST(Campaign, RedundancyFactorNearPaper) {
+  // Paper: 1.37 (5,418,010 disclosed / 3,936,010 effective).
+  const auto& r = coarse_report();
+  EXPECT_GT(r.redundancy_factor, 1.2);
+  EXPECT_LT(r.redundancy_factor, 1.6);
+}
+
+TEST(Campaign, UsefulFractionNear73Percent) {
+  const auto& r = coarse_report();
+  EXPECT_GT(r.useful_fraction, 0.62);
+  EXPECT_LT(r.useful_fraction, 0.85);
+  EXPECT_NEAR(r.useful_fraction * r.redundancy_factor, 1.0, 1e-9);
+}
+
+TEST(Campaign, SpeeddownsBracketPaperValues) {
+  const auto& r = coarse_report();
+  // Gross 5.43x, net 3.96x.
+  EXPECT_GT(r.speeddown.gross_speeddown(), 4.5);
+  EXPECT_LT(r.speeddown.gross_speeddown(), 6.5);
+  EXPECT_GT(r.speeddown.net_speeddown(), 3.2);
+  EXPECT_LT(r.speeddown.net_speeddown(), 4.8);
+  EXPECT_LT(r.speeddown.net_speeddown(), r.speeddown.gross_speeddown());
+}
+
+TEST(Campaign, VftpAveragesNearPaper) {
+  const auto& r = coarse_report();
+  EXPECT_NEAR(r.avg_wcg_vftp_whole, 54'947.0, 0.12 * 54'947.0);
+  EXPECT_NEAR(r.avg_hcmd_vftp_whole, 16'450.0, 0.25 * 16'450.0);
+  EXPECT_NEAR(r.avg_hcmd_vftp_fullpower, 26'248.0, 0.25 * 26'248.0);
+  EXPECT_GT(r.avg_hcmd_vftp_fullpower, r.avg_hcmd_vftp_whole);
+}
+
+TEST(Campaign, ThreePhasesVisibleInWeeklySeries) {
+  const auto& r = coarse_report();
+  ASSERT_GT(r.hcmd_vftp_weekly.size(), 15u);
+  // Control period: HCMD gets a sliver of the grid.
+  EXPECT_LT(r.hcmd_vftp_weekly[2] / r.wcg_vftp_weekly[2], 0.10);
+  // Full power: share near 45 %.
+  const std::size_t mid = 14;
+  EXPECT_NEAR(r.hcmd_vftp_weekly[mid] / r.wcg_vftp_weekly[mid], 0.45, 0.08);
+}
+
+TEST(Campaign, RunTimeDistributionMatchesFigure8) {
+  const auto& r = coarse_report();
+  // Packaged for ~3-4 h on the reference, observed ~13 h on volunteers.
+  EXPECT_GT(r.nominal_wu_mean_seconds, 2.5 * util::kSecondsPerHour);
+  EXPECT_LT(r.nominal_wu_mean_seconds, 4.5 * util::kSecondsPerHour);
+  EXPECT_GT(r.runtime_summary.mean, 10.0 * util::kSecondsPerHour);
+  EXPECT_LT(r.runtime_summary.mean, 19.0 * util::kSecondsPerHour);
+}
+
+TEST(Campaign, ProgressionSkewMatchesFigure7) {
+  const auto& r = coarse_report();
+  ASSERT_EQ(r.snapshots.size(), 4u);
+  // Snapshots are chronological and monotone.
+  for (std::size_t i = 1; i < r.snapshots.size(); ++i) {
+    EXPECT_GE(r.snapshots[i].computation_done_fraction,
+              r.snapshots[i - 1].computation_done_fraction);
+    EXPECT_GE(r.snapshots[i].proteins_done_fraction,
+              r.snapshots[i - 1].proteins_done_fraction);
+  }
+  // The 05-02 snapshot: most proteins done, computation lagging well
+  // behind (paper: 85 % vs 47 %).
+  const auto& snap = r.snapshots[2];
+  EXPECT_GT(snap.proteins_done_fraction, 0.75);
+  EXPECT_LT(snap.computation_done_fraction,
+            snap.proteins_done_fraction - 0.15);
+  // By 06-11 the project is essentially finished.
+  EXPECT_GT(r.snapshots[3].computation_done_fraction, 0.95);
+}
+
+TEST(Campaign, WorkunitCountNearPaperProduction) {
+  const auto& r = coarse_report();
+  // Fig. 4(b)-scale packaging: ~3.6 M workunits.
+  EXPECT_NEAR(static_cast<double>(r.full_workunit_count), 3'599'937.0,
+              0.08 * 3'599'937.0);
+}
+
+TEST(Campaign, RescaledResultCountsNearPaper) {
+  const auto& r = coarse_report();
+  // Paper: 5,418,010 received / 3,936,010 effective.
+  EXPECT_NEAR(r.results_received_rescaled(), 5'418'010.0,
+              0.20 * 5'418'010.0);
+  EXPECT_NEAR(r.results_useful_rescaled(), 3'936'010.0,
+              0.15 * 3'936'010.0);
+}
+
+TEST(Campaign, TotalReferenceTimeNear1488Years) {
+  const auto& r = coarse_report();
+  const double years = r.total_reference_seconds / util::kSecondsPerYear;
+  EXPECT_NEAR(years, 1488.65, 0.10 * 1488.65);
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  CampaignConfig config;
+  config.scale = 0.004;  // very coarse: this test runs the DES twice
+  config.max_weeks = 40.0;
+  const CampaignReport a = run_campaign(config);
+  const CampaignReport b = run_campaign(config);
+  EXPECT_EQ(a.counters.results_received, b.counters.results_received);
+  EXPECT_EQ(a.counters.results_valid, b.counters.results_valid);
+  EXPECT_EQ(a.completion_weeks, b.completion_weeks);
+  EXPECT_EQ(a.devices_simulated, b.devices_simulated);
+}
+
+TEST(Campaign, SeedChangesMicrostateNotShape) {
+  CampaignConfig config;
+  config.scale = 0.004;
+  config.seed = 9999;
+  const CampaignReport r = run_campaign(config);
+  const CampaignReport& base = coarse_report();
+  EXPECT_NE(r.counters.results_received, base.counters.results_received);
+  // Shape invariants survive the reseed.
+  EXPECT_GT(r.redundancy_factor, 1.15);
+  EXPECT_LT(r.redundancy_factor, 1.65);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Campaign, ConfigValidation) {
+  CampaignConfig config;
+  config.scale = 0.0;
+  EXPECT_THROW(run_campaign(config), hcmd::ConfigError);
+  config = {};
+  config.max_weeks = -1.0;
+  EXPECT_THROW(run_campaign(config), hcmd::ConfigError);
+  config = {};
+  config.snapshots = {{"bad", util::CivilDate{2006, 1, 1}}};
+  EXPECT_THROW(run_campaign(config), hcmd::ConfigError);
+}
+
+TEST(Campaign, BuildWorkloadExposesPieces) {
+  CampaignConfig config;
+  const Workload w = build_workload(config);
+  EXPECT_EQ(w.benchmark.proteins.size(), 168u);
+  EXPECT_NEAR(w.mct->summary().mean, 671.0, 15.0);
+  EXPECT_GT(w.mct->total_reference_seconds(w.benchmark), 0.0);
+}
+
+}  // namespace
+}  // namespace hcmd::core

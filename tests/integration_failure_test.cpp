@@ -1,0 +1,110 @@
+// Integration: failure injection — the campaign must degrade gracefully,
+// never deadlock, and keep its books balanced when the grid misbehaves.
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "util/duration.hpp"
+
+namespace hcmd::core {
+namespace {
+
+CampaignConfig coarse_config() {
+  CampaignConfig config;
+  config.scale = 0.004;
+  return config;
+}
+
+TEST(FailureInjection, HardDeadlineEndsIncomplete) {
+  CampaignConfig config = coarse_config();
+  config.max_weeks = 4.0;  // far too short
+  const CampaignReport r = run_campaign(config);
+  EXPECT_FALSE(r.completed);
+  EXPECT_DOUBLE_EQ(r.completion_weeks, 4.0);
+  EXPECT_LT(r.counters.workunits_completed,
+            static_cast<std::uint64_t>(r.full_workunit_count));
+  // Books still balance (clean quorum members may still be pending when
+  // the deadline cuts the run short).
+  EXPECT_EQ(r.counters.results_received,
+            r.counters.results_valid + r.counters.results_quorum_extra +
+                r.counters.results_invalid + r.counters.results_redundant +
+                r.counters.results_pending);
+}
+
+TEST(FailureInjection, AllResultsErroneousNeverCompletes) {
+  CampaignConfig config = coarse_config();
+  config.devices.result_error_rate = 1.0;
+  config.max_weeks = 8.0;
+  const CampaignReport r = run_campaign(config);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.counters.results_valid, 0u);
+  EXPECT_GT(r.counters.results_invalid, 0u);
+  EXPECT_EQ(r.counters.workunits_completed, 0u);
+}
+
+TEST(FailureInjection, EphemeralFleetStillMakesProgress) {
+  // Devices die after ~5 days on average; replacement arrivals keep the
+  // fleet alive and the server's timeout machinery recovers lost work.
+  CampaignConfig config = coarse_config();
+  config.devices.lifetime_mean_days = 5.0;
+  config.max_weeks = 40.0;
+  const CampaignReport r = run_campaign(config);
+  EXPECT_GT(r.counters.workunits_completed, 0u);
+  EXPECT_GT(r.counters.results_timed_out, 0u);  // deaths leave stragglers
+  EXPECT_GE(r.counters.results_sent, r.counters.results_received);
+}
+
+TEST(FailureInjection, ConstantlyPausingVolunteers) {
+  // Half of all workunits trigger multi-week pauses: a large slice of the
+  // fleet is dormant at any moment, so the campaign crawls — it must still
+  // degrade gracefully (progress, balanced books, elevated redundancy from
+  // the timeout/late-upload churn), not deadlock.
+  CampaignConfig config = coarse_config();
+  config.devices.abandon_rate = 0.5;
+  config.max_weeks = 60.0;
+  const CampaignReport r = run_campaign(config);
+  EXPECT_GT(r.counters.workunits_completed, 0u);
+  EXPECT_GT(r.redundancy_factor, 1.4);
+  EXPECT_EQ(r.counters.results_received,
+            r.counters.results_valid + r.counters.results_quorum_extra +
+                r.counters.results_invalid + r.counters.results_redundant +
+                r.counters.results_pending);
+  // Strictly slower than the healthy baseline at the same scale.
+  CampaignConfig healthy = coarse_config();
+  const CampaignReport h = run_campaign(healthy);
+  EXPECT_LT(static_cast<double>(r.counters.workunits_completed) /
+                std::max(1.0, r.completion_weeks),
+            static_cast<double>(h.counters.workunits_completed) /
+                std::max(1.0, h.completion_weeks));
+}
+
+TEST(FailureInjection, TinyGridFinishesEventually) {
+  CampaignConfig config = coarse_config();
+  config.population.vftp_at_reference = 8'000.0;  // ~10x smaller grid
+  config.max_weeks = 300.0;
+  const CampaignReport r = run_campaign(config);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.completion_weeks, 60.0);  // far beyond the paper's 26 weeks
+}
+
+TEST(FailureInjection, ZeroSpotCheckAndQuorumStillValidates) {
+  CampaignConfig config = coarse_config();
+  config.server.validation.quorum2_until = 0.0;
+  config.server.validation.spot_check_fraction = 0.0;
+  const CampaignReport r = run_campaign(config);
+  EXPECT_TRUE(r.completed);
+  // Redundancy now comes only from timeouts/errors/late uploads.
+  EXPECT_LT(r.redundancy_factor, 1.25);
+}
+
+TEST(FailureInjection, ShortDeadlineRaisesChurnNotDeadlock) {
+  CampaignConfig config = coarse_config();
+  config.server.deadline = 1.5 * util::kSecondsPerDay;
+  config.max_weeks = 60.0;
+  const CampaignReport r = run_campaign(config);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.counters.results_timed_out, 0u);
+  EXPECT_GT(r.redundancy_factor, 1.3);
+}
+
+}  // namespace
+}  // namespace hcmd::core

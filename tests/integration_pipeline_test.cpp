@@ -1,0 +1,167 @@
+// Integration: the full scientific pipeline on a miniature problem —
+// generate proteins, run the actual docking kernel over packaged slices,
+// produce result files, verify them with the paper's three checks, and
+// merge them into per-couple files.
+#include <gtest/gtest.h>
+
+#include "docking/maxdo.hpp"
+#include "packaging/packager.hpp"
+#include "proteins/generator.hpp"
+#include "results/result_file.hpp"
+#include "results/verification.hpp"
+#include "timing/mct_matrix.hpp"
+
+namespace hcmd {
+namespace {
+
+struct MiniWorld {
+  proteins::Benchmark bench;
+  docking::MaxDoParams maxdo;
+
+  MiniWorld() {
+    proteins::BenchmarkSpec spec;
+    spec.count = 3;
+    spec.median_atoms = 25;
+    spec.min_atoms = 15;
+    spec.max_atoms = 40;
+    spec.target_total_nsep = 0;
+    spec.outlier_nsep_target = 0;
+    bench = proteins::generate_benchmark(spec);
+    maxdo.positions.spacing = 14.0;  // few positions per receptor
+    maxdo.minimizer.max_iterations = 3;
+    maxdo.gamma_steps = 2;
+    // Recompute the Nsep table for the coarse spacing used here.
+    bench.position_params = maxdo.positions;
+    for (std::size_t i = 0; i < bench.proteins.size(); ++i)
+      bench.nsep[i] =
+          proteins::nsep_for(bench.proteins[i], maxdo.positions);
+  }
+};
+
+TEST(Pipeline, DockSliceVerifyMergeOneReceptor) {
+  MiniWorld world;
+  const std::uint32_t receptor = 0;
+  const std::uint32_t nsep = world.bench.nsep[receptor];
+  ASSERT_GE(nsep, 2u);
+
+  // Slice the receptor's work per ligand into two workunits each, run the
+  // real docking kernel on every slice, and collect result files.
+  std::vector<results::ResultFile> delivery;
+  std::vector<std::vector<results::ResultFile>> per_ligand(
+      world.bench.proteins.size());
+  for (std::uint32_t ligand = 0; ligand < world.bench.proteins.size();
+       ++ligand) {
+    const std::uint32_t half = nsep / 2;
+    for (const auto& [begin, end] :
+         std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+             {0, half}, {half, nsep}}) {
+      docking::MaxDoProgram program(world.bench.proteins[receptor],
+                                    world.bench.proteins[ligand],
+                                    world.maxdo);
+      docking::MaxDoTask task;
+      task.isep_begin = begin;
+      task.isep_end = end;
+      docking::MaxDoCheckpoint cp;
+      cp.next_isep = begin;
+      ASSERT_EQ(program.run(task, cp), docking::RunStatus::kCompleted);
+      per_ligand[ligand].push_back(results::make_result_file(
+          receptor, ligand, begin, end, cp));
+    }
+    // The per-couple merged file joins the delivery.
+    delivery.push_back(
+        results::merge_files(per_ligand[ligand], nsep, true));
+  }
+
+  // The paper's three checks all pass on an honest delivery.
+  const auto report = results::verify_delivery(
+      delivery, receptor,
+      static_cast<std::uint32_t>(world.bench.proteins.size()));
+  EXPECT_TRUE(report.ok) << (report.failures.empty()
+                                 ? ""
+                                 : report.failures.front().second);
+
+  // Every merged file has Nsep * 21 lines.
+  for (const auto& f : delivery)
+    EXPECT_EQ(f.records.size(), f.expected_lines());
+}
+
+TEST(Pipeline, CorruptedDeliveryIsCaught) {
+  MiniWorld world;
+  const std::uint32_t receptor = 1;
+  const std::uint32_t nsep = world.bench.nsep[receptor];
+  std::vector<results::ResultFile> delivery;
+  for (std::uint32_t ligand = 0; ligand < world.bench.proteins.size();
+       ++ligand) {
+    docking::MaxDoProgram program(world.bench.proteins[receptor],
+                                  world.bench.proteins[ligand], world.maxdo);
+    docking::MaxDoTask task;
+    task.isep_end = nsep;
+    docking::MaxDoCheckpoint cp;
+    program.run(task, cp);
+    delivery.push_back(
+        results::make_result_file(receptor, ligand, 0, nsep, cp));
+  }
+  // Corrupt one energy value like a bad device would.
+  delivery[1].records[0].elj = 3e7;
+  EXPECT_FALSE(
+      results::verify_delivery(delivery, receptor,
+                               static_cast<std::uint32_t>(
+                                   world.bench.proteins.size()))
+          .ok);
+}
+
+TEST(Pipeline, CheckpointInterruptionDoesNotChangeScience) {
+  // A workunit computed with an interruption + resume produces byte-equal
+  // results to an uninterrupted run (checkpoint correctness end to end).
+  MiniWorld world;
+  const auto& receptor = world.bench.proteins[0];
+  const auto& ligand = world.bench.proteins[2];
+  docking::MaxDoTask task;
+  task.isep_end = std::min<std::uint32_t>(world.bench.nsep[0], 4);
+
+  docking::MaxDoCheckpoint smooth;
+  docking::MaxDoProgram(receptor, ligand, world.maxdo).run(task, smooth);
+
+  docking::MaxDoCheckpoint interrupted;
+  docking::MaxDoProgram program(receptor, ligand, world.maxdo);
+  int calls = 0;
+  program.run(task, interrupted, [&calls] { return ++calls == 1; });
+  program.run(task, interrupted);
+
+  const results::ResultFile a =
+      results::make_result_file(0, 2, 0, task.isep_end, smooth);
+  const results::ResultFile b =
+      results::make_result_file(0, 2, 0, task.isep_end, interrupted);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].elj, b.records[i].elj);
+    EXPECT_EQ(a.records[i].eelec, b.records[i].eelec);
+    EXPECT_EQ(a.records[i].pose.x, b.records[i].pose.x);
+  }
+}
+
+TEST(Pipeline, PackagingDrivesTaskSlicing) {
+  // Workunits from the packager translate 1:1 into MaxDo tasks whose
+  // position ranges tile the receptor's Nsep.
+  MiniWorld world;
+  const auto model = timing::CostModel::calibrated(world.bench, 200.0);
+  const auto mct = timing::MctMatrix::from_model(world.bench, model);
+  packaging::PackagingConfig cfg;
+  cfg.target_hours = 0.05;  // force several workunits per couple
+  std::vector<std::uint64_t> covered(world.bench.proteins.size(), 0);
+  packaging::for_each_workunit(
+      world.bench, mct, cfg, [&](const packaging::Workunit& wu) {
+        docking::MaxDoTask task;
+        task.isep_begin = wu.isep_begin;
+        task.isep_end = wu.isep_end;
+        EXPECT_LE(task.isep_end, world.bench.nsep[wu.receptor]);
+        covered[wu.receptor] += wu.positions();
+      });
+  for (std::size_t r = 0; r < covered.size(); ++r)
+    EXPECT_EQ(covered[r],
+              static_cast<std::uint64_t>(world.bench.nsep[r]) *
+                  world.bench.proteins.size());
+}
+
+}  // namespace
+}  // namespace hcmd

@@ -1,0 +1,125 @@
+// Integration: the full *science* path on a miniature problem, end to end —
+// exactly what one volunteer-and-archive round trip did in production:
+//
+//   benchmark -> cost matrix -> packaging -> workunit manifest (download)
+//   -> real docking kernel with checkpoints -> result file (upload)
+//   -> storage archive -> three checks -> per-couple merged files
+//   -> energy maps and binding sites.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "docking/energy_map.hpp"
+#include "docking/maxdo.hpp"
+#include "packaging/manifest.hpp"
+#include "packaging/packager.hpp"
+#include "proteins/generator.hpp"
+#include "results/archive.hpp"
+#include "timing/mct_matrix.hpp"
+
+namespace hcmd {
+namespace {
+
+TEST(ScienceE2E, WholeCrossDockingThroughTheArchive) {
+  // 3 tiny proteins, coarse position grid, tiny minimiser: the whole 3x3
+  // cross-docking runs in well under a second.
+  proteins::BenchmarkSpec spec;
+  spec.count = 3;
+  spec.median_atoms = 20;
+  spec.min_atoms = 12;
+  spec.max_atoms = 30;
+  spec.target_total_nsep = 0;
+  spec.outlier_nsep_target = 0;
+  proteins::Benchmark bench = proteins::generate_benchmark(spec);
+
+  docking::MaxDoParams maxdo;
+  maxdo.positions.spacing = 16.0;
+  maxdo.minimizer.max_iterations = 2;
+  maxdo.gamma_steps = 1;
+  // Re-derive the Nsep table at the coarse spacing.
+  bench.position_params = maxdo.positions;
+  for (std::size_t i = 0; i < bench.proteins.size(); ++i)
+    bench.nsep[i] = proteins::nsep_for(bench.proteins[i], maxdo.positions);
+
+  const auto mct = timing::MctMatrix::from_model(
+      bench, timing::CostModel::calibrated(bench, 30.0));
+  packaging::PackagingConfig cfg;
+  // Force several workunits per couple so the merge path is exercised.
+  cfg.target_hours = 30.0 * 3.0 / 3600.0;
+
+  results::Archive archive(
+      static_cast<std::uint32_t>(bench.proteins.size()), bench.nsep);
+
+  std::vector<std::uint32_t> completed_receptors;
+  std::uint64_t workunits = 0;
+  packaging::for_each_workunit(
+      bench, mct, cfg, [&](const packaging::Workunit& wu) {
+        ++workunits;
+        // 1. Download: serialise and re-read the bundle, like the agent.
+        const packaging::WorkunitManifest sent =
+            packaging::make_manifest(bench, wu);
+        std::stringstream wire;
+        sent.write(wire);
+        const packaging::WorkunitManifest received =
+            packaging::WorkunitManifest::read(wire);
+        ASSERT_NO_THROW(received.validate());
+
+        // 2. Crunch with the real kernel, interrupted once mid-slice to
+        //    exercise the checkpoint path.
+        docking::MaxDoParams params = maxdo;
+        params.positions = received.position_params;
+        docking::MaxDoProgram program(received.receptor, received.ligand,
+                                      params);
+        docking::MaxDoTask task;
+        task.isep_begin = received.workunit.isep_begin;
+        task.isep_end = received.workunit.isep_end;
+        docking::MaxDoCheckpoint cp;
+        cp.next_isep = task.isep_begin;
+        int polls = 0;
+        if (program.run(task, cp, [&polls] { return ++polls == 1; }) ==
+            docking::RunStatus::kInterrupted) {
+          ASSERT_EQ(program.run(task, cp), docking::RunStatus::kCompleted);
+        }
+
+        // 3. Upload: build the result file and deposit it.
+        const auto done = archive.deposit(results::make_result_file(
+            wu.receptor, wu.ligand, wu.isep_begin, wu.isep_end, cp));
+        if (done.has_value()) completed_receptors.push_back(*done);
+      });
+
+  EXPECT_GT(workunits, bench.proteins.size() * bench.proteins.size());
+  ASSERT_EQ(completed_receptors.size(), bench.proteins.size());
+
+  // 4. Verification and merge for every receptor delivery.
+  for (std::uint32_t receptor : completed_receptors) {
+    const results::CheckReport report = archive.verify_and_merge(receptor);
+    EXPECT_TRUE(report.ok) << (report.failures.empty()
+                                   ? ""
+                                   : report.failures.front().second);
+  }
+  EXPECT_EQ(archive.stats().deliveries_verified, bench.proteins.size());
+  EXPECT_EQ(archive.stats().couples_merged,
+            bench.proteins.size() * bench.proteins.size());
+
+  // 5. Science: every merged couple yields an energy map with at least one
+  //    attractive pose, and binding sites are extractable.
+  for (std::uint32_t r = 0; r < bench.proteins.size(); ++r) {
+    for (std::uint32_t l = 0; l < bench.proteins.size(); ++l) {
+      const results::ResultFile* merged = archive.merged_file(r, l);
+      ASSERT_NE(merged, nullptr);
+      const docking::EnergyMap map(bench.nsep[r], merged->records);
+      EXPECT_TRUE(std::isfinite(map.global_minimum()));
+      const auto coords = proteins::starting_positions(
+          bench.proteins[r], bench.position_params);
+      docking::BindingSiteParams site_params;
+      site_params.energy_fraction = 0.3;
+      site_params.cluster_radius = 20.0;
+      site_params.min_cluster_size = 1;
+      EXPECT_FALSE(
+          docking::find_binding_sites(map, coords, site_params).empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcmd

@@ -1,0 +1,104 @@
+#include "packaging/manifest.hpp"
+#include "packaging/packager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "timing/mct_matrix.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::packaging {
+namespace {
+
+struct Fixture {
+  proteins::Benchmark bench;
+  std::vector<Workunit> catalog;
+
+  Fixture() {
+    proteins::BenchmarkSpec spec;
+    spec.count = 5;
+    spec.target_total_nsep = 0;
+    spec.outlier_nsep_target = 0;
+    bench = proteins::generate_benchmark(spec);
+    const auto mct = timing::MctMatrix::from_model(
+        bench, timing::CostModel::calibrated(bench, 400.0));
+    PackagingConfig cfg;
+    cfg.target_hours = 2.0;
+    catalog = build_catalog(bench, mct, cfg);
+  }
+};
+
+TEST(Manifest, BuildValidateRoundTrip) {
+  Fixture f;
+  const WorkunitManifest m = make_manifest(f.bench, f.catalog.front());
+  EXPECT_NO_THROW(m.validate());
+
+  std::stringstream ss;
+  m.write(ss);
+  const WorkunitManifest n = WorkunitManifest::read(ss);
+  EXPECT_EQ(n.workunit.id, m.workunit.id);
+  EXPECT_EQ(n.workunit.isep_begin, m.workunit.isep_begin);
+  EXPECT_EQ(n.workunit.isep_end, m.workunit.isep_end);
+  EXPECT_EQ(n.receptor, m.receptor);
+  EXPECT_EQ(n.ligand, m.ligand);
+  EXPECT_DOUBLE_EQ(n.position_params.spacing, m.position_params.spacing);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(Manifest, EveryWorkunitRespectsTheSizeBound) {
+  Fixture f;
+  for (std::size_t i = 0; i < f.catalog.size(); i += 7) {
+    const WorkunitManifest m = make_manifest(f.bench, f.catalog[i]);
+    EXPECT_LE(m.byte_size(), kMaxManifestBytes);
+    EXPECT_NO_THROW(m.validate());
+  }
+}
+
+TEST(Manifest, WorstCaseProteinsStillUnder2MB) {
+  // Even two maximum-size proteins fit the paper's 2 MB bound.
+  proteins::BenchmarkSpec spec;
+  spec.count = 2;
+  spec.median_atoms = 3000;
+  spec.min_atoms = 3000;
+  spec.max_atoms = 3000;
+  spec.target_total_nsep = 0;
+  spec.outlier_nsep_target = 0;
+  const auto bench = proteins::generate_benchmark(spec);
+  Workunit wu;
+  wu.receptor = 0;
+  wu.ligand = 1;
+  wu.isep_begin = 0;
+  wu.isep_end = 1;
+  const WorkunitManifest m = make_manifest(bench, wu);
+  EXPECT_LE(m.byte_size(), kMaxManifestBytes);
+}
+
+TEST(Manifest, ValidateCatchesMismatchedIds) {
+  Fixture f;
+  WorkunitManifest m = make_manifest(f.bench, f.catalog.front());
+  m.workunit.receptor += 1;  // now inconsistent with the embedded protein
+  EXPECT_THROW(m.validate(), hcmd::Error);
+}
+
+TEST(Manifest, ValidateCatchesOverlongSlice) {
+  Fixture f;
+  WorkunitManifest m = make_manifest(f.bench, f.catalog.front());
+  m.workunit.isep_end = 10'000'000;
+  EXPECT_THROW(m.validate(), hcmd::Error);
+}
+
+TEST(Manifest, ReadRejectsGarbage) {
+  std::stringstream ss("not-a-manifest");
+  EXPECT_THROW(WorkunitManifest::read(ss), hcmd::ParseError);
+}
+
+TEST(Manifest, MakeRejectsUnknownProteins) {
+  Fixture f;
+  Workunit wu;
+  wu.receptor = 99;
+  EXPECT_THROW(make_manifest(f.bench, wu), hcmd::ConfigError);
+}
+
+}  // namespace
+}  // namespace hcmd::packaging

@@ -1,0 +1,230 @@
+#include "packaging/packager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::packaging {
+namespace {
+
+const proteins::Benchmark& paper_benchmark() {
+  static const proteins::Benchmark bench = proteins::generate_benchmark({});
+  return bench;
+}
+
+const timing::MctMatrix& paper_matrix() {
+  static const timing::MctMatrix mct = timing::MctMatrix::from_model(
+      paper_benchmark(), timing::CostModel::calibrated(paper_benchmark()));
+  return mct;
+}
+
+TEST(PositionsPerWorkunit, PaperFormulaBranches) {
+  // nsep = 1 when floor(h / Mct) <= 1.
+  EXPECT_EQ(positions_per_workunit(10.0, 11.0 * 3600.0, 500,
+                                   SplitStrategy::kPaperFloor),
+            1u);
+  EXPECT_EQ(positions_per_workunit(10.0, 6.0 * 3600.0, 500,
+                                   SplitStrategy::kPaperFloor),
+            1u);
+  // nsep = Nsep when floor(h / Mct) >= Nsep.
+  EXPECT_EQ(positions_per_workunit(10.0, 36.0, 500,
+                                   SplitStrategy::kPaperFloor),
+            500u);
+  // Otherwise nsep = floor(h / Mct).
+  EXPECT_EQ(positions_per_workunit(10.0, 3600.0, 500,
+                                   SplitStrategy::kPaperFloor),
+            10u);
+  EXPECT_EQ(positions_per_workunit(10.0, 3601.0, 500,
+                                   SplitStrategy::kPaperFloor),
+            9u);
+}
+
+TEST(PositionsPerWorkunit, MinimizeCountUsesCeil) {
+  EXPECT_EQ(positions_per_workunit(10.0, 3601.0, 500,
+                                   SplitStrategy::kMinimizeCount),
+            10u);
+}
+
+TEST(PositionsPerWorkunit, RejectsBadInputs) {
+  EXPECT_THROW(
+      positions_per_workunit(0.0, 100.0, 10, SplitStrategy::kPaperFloor),
+      hcmd::ConfigError);
+  EXPECT_THROW(
+      positions_per_workunit(1.0, 0.0, 10, SplitStrategy::kPaperFloor),
+      hcmd::ConfigError);
+  EXPECT_THROW(
+      positions_per_workunit(1.0, 100.0, 0, SplitStrategy::kPaperFloor),
+      hcmd::ConfigError);
+}
+
+TEST(Packaging, EveryPositionCoveredExactlyOnce) {
+  proteins::BenchmarkSpec spec;
+  spec.count = 6;
+  spec.target_total_nsep = 0;
+  spec.outlier_nsep_target = 0;
+  const auto bench = proteins::generate_benchmark(spec);
+  const auto mct = timing::MctMatrix::from_model(
+      bench, timing::CostModel::calibrated(bench, 671.0));
+  PackagingConfig cfg;
+  cfg.target_hours = 2.0;
+
+  // coverage[receptor][ligand] -> positions seen
+  std::vector<std::vector<std::uint64_t>> covered(
+      6, std::vector<std::uint64_t>(6, 0));
+  std::uint32_t last_receptor = 0;
+  for_each_workunit(bench, mct, cfg, [&](const Workunit& wu) {
+    EXPECT_GE(wu.receptor, last_receptor);  // receptor-major order
+    last_receptor = wu.receptor;
+    EXPECT_LT(wu.isep_begin, wu.isep_end);
+    EXPECT_LE(wu.isep_end, bench.nsep[wu.receptor]);
+    covered[wu.receptor][wu.ligand] += wu.positions();
+    EXPECT_NEAR(wu.reference_seconds,
+                wu.positions() * mct.at(wu.receptor, wu.ligand), 1e-9);
+  });
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t l = 0; l < 6; ++l)
+      EXPECT_EQ(covered[r][l], bench.nsep[r]) << r << "," << l;
+}
+
+TEST(Packaging, Figure4aCountAt10Hours) {
+  // Fig. 4(a): 10-hour workunits -> 1,364,476 of them.
+  PackagingConfig cfg;
+  cfg.target_hours = 10.0;
+  const PackagingStats stats =
+      compute_stats(paper_benchmark(), paper_matrix(), cfg);
+  EXPECT_NEAR(static_cast<double>(stats.workunit_count), 1'364'476.0,
+              0.06 * 1'364'476.0);
+}
+
+TEST(Packaging, Figure4bCountAt4Hours) {
+  // Fig. 4(b): 4-hour workunits -> 3,599,937 of them.
+  PackagingConfig cfg;
+  cfg.target_hours = 4.0;
+  const PackagingStats stats =
+      compute_stats(paper_benchmark(), paper_matrix(), cfg);
+  EXPECT_NEAR(static_cast<double>(stats.workunit_count), 3'599'937.0,
+              0.06 * 3'599'937.0);
+}
+
+TEST(Packaging, CountIncreasesAsTargetShrinks) {
+  // "the number of workunits increases when the workunit execution time
+  // wanted decreases".
+  std::uint64_t prev = 0;
+  for (double h : {16.0, 10.0, 6.0, 4.0}) {
+    PackagingConfig cfg;
+    cfg.target_hours = h;
+    const auto stats = compute_stats(paper_benchmark(), paper_matrix(), cfg);
+    EXPECT_GT(stats.workunit_count, prev);
+    prev = stats.workunit_count;
+  }
+}
+
+TEST(Packaging, TotalReferenceSecondsInvariantAcrossH) {
+  PackagingConfig a, b;
+  a.target_hours = 10.0;
+  b.target_hours = 4.0;
+  const auto sa = compute_stats(paper_benchmark(), paper_matrix(), a);
+  const auto sb = compute_stats(paper_benchmark(), paper_matrix(), b);
+  EXPECT_NEAR(sa.total_reference_seconds, sb.total_reference_seconds,
+              1e-6 * sa.total_reference_seconds);
+  EXPECT_NEAR(sa.total_reference_seconds,
+              paper_matrix().total_reference_seconds(paper_benchmark()),
+              1e-6 * sa.total_reference_seconds);
+}
+
+TEST(Packaging, MostWorkunitsNearTarget) {
+  PackagingConfig cfg;
+  cfg.target_hours = 4.0;
+  const auto stats = compute_stats(paper_benchmark(), paper_matrix(), cfg);
+  // Fig. 8: "most workunits were tuned to take between 3 and 4 hours";
+  // mean 3 h 18 m 47 s.
+  EXPECT_GT(stats.mean_reference_seconds, 2.5 * util::kSecondsPerHour);
+  EXPECT_LT(stats.mean_reference_seconds, 4.5 * util::kSecondsPerHour);
+}
+
+TEST(Packaging, BalancedStrategyShrinksSmallWorkunits) {
+  PackagingConfig paper, balanced;
+  paper.target_hours = 10.0;
+  balanced.target_hours = 10.0;
+  balanced.strategy = SplitStrategy::kBalanced;
+  const auto sp = compute_stats(paper_benchmark(), paper_matrix(), paper);
+  const auto sb = compute_stats(paper_benchmark(), paper_matrix(), balanced);
+  EXPECT_EQ(sp.workunit_count, sb.workunit_count);  // same chunk counts
+  EXPECT_LE(sb.small_workunits, sp.small_workunits);
+}
+
+TEST(Packaging, MinimizeCountNeverExceedsPaperCount) {
+  PackagingConfig paper, minimal;
+  paper.target_hours = 10.0;
+  minimal.target_hours = 10.0;
+  minimal.strategy = SplitStrategy::kMinimizeCount;
+  const auto sp = compute_stats(paper_benchmark(), paper_matrix(), paper);
+  const auto sm = compute_stats(paper_benchmark(), paper_matrix(), minimal);
+  EXPECT_LE(sm.workunit_count, sp.workunit_count);
+}
+
+TEST(Packaging, CatalogStrideSamples) {
+  proteins::BenchmarkSpec spec;
+  spec.count = 6;
+  spec.target_total_nsep = 0;
+  spec.outlier_nsep_target = 0;
+  const auto bench = proteins::generate_benchmark(spec);
+  const auto mct = timing::MctMatrix::from_model(
+      bench, timing::CostModel::calibrated(bench, 300.0));
+  PackagingConfig cfg;
+  cfg.target_hours = 2.0;
+  const auto all = build_catalog(bench, mct, cfg, 1);
+  const auto sampled = build_catalog(bench, mct, cfg, 10);
+  EXPECT_EQ(sampled.size(), (all.size() + 9) / 10);
+  for (const auto& wu : sampled) EXPECT_EQ(wu.id % 10, 0u);
+}
+
+TEST(Packaging, CatalogRejectsZeroStride) {
+  EXPECT_THROW(
+      build_catalog(paper_benchmark(), paper_matrix(), PackagingConfig{}, 0),
+      hcmd::ConfigError);
+}
+
+TEST(Workunit, DownloadSizeWithinPaperBound) {
+  // "The data needed for the MAXDo program is small ... no more than 2 Mo".
+  const double bytes = workunit_download_bytes(3000, 3000);
+  EXPECT_LT(bytes, 2e6);
+  EXPECT_GT(bytes, 4096.0);
+}
+
+TEST(Workunit, ResultBytesScaleWithPositions) {
+  Workunit wu;
+  wu.isep_begin = 0;
+  wu.isep_end = 10;
+  const double b10 = workunit_result_bytes(wu);
+  wu.isep_end = 20;
+  EXPECT_DOUBLE_EQ(workunit_result_bytes(wu), 2.0 * b10);
+}
+
+class StrategySweep : public ::testing::TestWithParam<SplitStrategy> {};
+
+TEST_P(StrategySweep, CoverageInvariantHolds) {
+  proteins::BenchmarkSpec spec;
+  spec.count = 5;
+  spec.target_total_nsep = 0;
+  spec.outlier_nsep_target = 0;
+  const auto bench = proteins::generate_benchmark(spec);
+  const auto mct = timing::MctMatrix::from_model(
+      bench, timing::CostModel::calibrated(bench, 500.0));
+  PackagingConfig cfg;
+  cfg.target_hours = 3.0;
+  cfg.strategy = GetParam();
+  std::uint64_t positions = 0;
+  for_each_workunit(bench, mct, cfg,
+                    [&](const Workunit& wu) { positions += wu.positions(); });
+  EXPECT_EQ(positions, bench.total_nsep() * bench.proteins.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, StrategySweep,
+                         ::testing::Values(SplitStrategy::kPaperFloor,
+                                           SplitStrategy::kBalanced,
+                                           SplitStrategy::kMinimizeCount));
+
+}  // namespace
+}  // namespace hcmd::packaging

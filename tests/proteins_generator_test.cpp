@@ -1,0 +1,158 @@
+#include "proteins/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hcmd::proteins {
+namespace {
+
+// The full 168-protein default set is used by several tests; generate once.
+const Benchmark& default_benchmark() {
+  static const Benchmark bench = generate_benchmark({});
+  return bench;
+}
+
+TEST(Generator, ProducesRequestedCount) {
+  BenchmarkSpec spec;
+  spec.count = 12;
+  spec.target_total_nsep = 0;        // skip calibration for small sets
+  spec.outlier_nsep_target = 0;
+  const Benchmark b = generate_benchmark(spec);
+  EXPECT_EQ(b.proteins.size(), 12u);
+  EXPECT_EQ(b.nsep.size(), 12u);
+}
+
+TEST(Generator, DefaultSetHas168Proteins) {
+  EXPECT_EQ(default_benchmark().proteins.size(), 168u);
+}
+
+TEST(Generator, Deterministic) {
+  const Benchmark a = generate_benchmark({});
+  const Benchmark& b = default_benchmark();
+  ASSERT_EQ(a.proteins.size(), b.proteins.size());
+  for (std::size_t i = 0; i < a.proteins.size(); ++i)
+    EXPECT_EQ(a.proteins[i], b.proteins[i]);
+  EXPECT_EQ(a.nsep, b.nsep);
+  EXPECT_EQ(a.position_params.spacing, b.position_params.spacing);
+}
+
+TEST(Generator, DifferentSeedDifferentSet) {
+  BenchmarkSpec spec;
+  spec.seed = 43;
+  const Benchmark b = generate_benchmark(spec);
+  EXPECT_FALSE(b.proteins[0] == default_benchmark().proteins[0]);
+}
+
+TEST(Generator, CandidateWorkunitIdentity) {
+  // Section 4.1: 49,481,544 workunits can be generated = 168 * sum Nsep.
+  const Benchmark& b = default_benchmark();
+  EXPECT_EQ(b.candidate_workunits(), b.total_nsep() * 168u);
+  EXPECT_NEAR(static_cast<double>(b.candidate_workunits()), 49'481'544.0,
+              0.04 * 49'481'544.0);
+}
+
+TEST(Generator, NsepTableMatchesGeometry) {
+  const Benchmark& b = default_benchmark();
+  for (std::size_t i = 0; i < b.proteins.size(); i += 23)
+    EXPECT_EQ(b.nsep[i], nsep_for(b.proteins[i], b.position_params));
+}
+
+TEST(Generator, Figure2Shape) {
+  // "most of the proteins have less than 3000 starting positions ... one of
+  // them has more than 8000".
+  const Benchmark& b = default_benchmark();
+  const std::size_t under_3000 = static_cast<std::size_t>(
+      std::count_if(b.nsep.begin(), b.nsep.end(),
+                    [](std::uint32_t n) { return n < 3000; }));
+  EXPECT_GE(under_3000, b.nsep.size() * 8 / 10);
+  EXPECT_GE(*std::max_element(b.nsep.begin(), b.nsep.end()), 8000u);
+}
+
+TEST(Generator, AllProteinsValid) {
+  for (const auto& p : default_benchmark().proteins)
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Generator, AtomCountsRespectClamp) {
+  const BenchmarkSpec spec;
+  for (const auto& p : default_benchmark().proteins) {
+    EXPECT_GE(p.size(), spec.min_atoms);
+    EXPECT_LE(p.size(), spec.max_atoms);
+  }
+}
+
+TEST(Generator, NetChargesNearNeutral) {
+  for (const auto& p : default_benchmark().proteins)
+    EXPECT_LE(std::abs(p.net_charge()), 1.0);
+}
+
+TEST(Generator, AllCouplesIncludesSelfDocking) {
+  BenchmarkSpec spec;
+  spec.count = 4;
+  spec.target_total_nsep = 0;
+  spec.outlier_nsep_target = 0;
+  const Benchmark b = generate_benchmark(spec);
+  const auto couples = b.all_couples();
+  EXPECT_EQ(couples.size(), 16u);  // 4^2, self-docking included
+  EXPECT_NE(std::find(couples.begin(), couples.end(), Couple{2, 2}),
+            couples.end());
+}
+
+TEST(Generator, RejectsBadSpecs) {
+  BenchmarkSpec spec;
+  spec.count = 0;
+  EXPECT_THROW(generate_benchmark(spec), hcmd::ConfigError);
+  spec = {};
+  spec.min_atoms = 100;
+  spec.max_atoms = 50;
+  EXPECT_THROW(generate_benchmark(spec), hcmd::ConfigError);
+  spec = {};
+  spec.median_atoms = 5;  // below min_atoms
+  EXPECT_THROW(generate_benchmark(spec), hcmd::ConfigError);
+  spec = {};
+  spec.charged_fraction = 1.5;
+  EXPECT_THROW(generate_benchmark(spec), hcmd::ConfigError);
+}
+
+TEST(Generator, SingleProteinHelper) {
+  const ReducedProtein p = generate_protein(3, 100, 1.5, 42);
+  EXPECT_EQ(p.id(), 3u);
+  EXPECT_EQ(p.size(), 100u);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Generator, SingleProteinDeterministic) {
+  const ReducedProtein a = generate_protein(1, 80, 1.0, 7);
+  const ReducedProtein b = generate_protein(1, 80, 1.0, 7);
+  EXPECT_EQ(a, b);
+}
+
+class CalibrationSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint64_t>> {
+};
+
+TEST_P(CalibrationSweep, TotalNsepWithinTolerance) {
+  const auto [count, target] = GetParam();
+  BenchmarkSpec spec;
+  spec.count = count;
+  spec.target_total_nsep = target;
+  spec.outlier_nsep_target = 0;
+  const Benchmark b = generate_benchmark(spec);
+  const double err = std::abs(static_cast<double>(b.total_nsep()) -
+                              static_cast<double>(target)) /
+                     static_cast<double>(target);
+  EXPECT_LE(err, 4.0 * spec.total_tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CalibrationSweep,
+    ::testing::Values(std::make_pair(32u, std::uint64_t{50'000}),
+                      std::make_pair(64u, std::uint64_t{120'000}),
+                      std::make_pair(168u, std::uint64_t{294'533}),
+                      std::make_pair(100u, std::uint64_t{400'000})));
+
+}  // namespace
+}  // namespace hcmd::proteins

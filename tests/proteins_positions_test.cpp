@@ -1,0 +1,121 @@
+#include "proteins/starting_positions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "proteins/generator.hpp"
+
+namespace hcmd::proteins {
+namespace {
+
+TEST(OrientationGrid, PaperCounts) {
+  EXPECT_EQ(kNumRotationCouples, 21u);
+  EXPECT_EQ(kNumGammaSteps, 10u);
+  EXPECT_EQ(kNumOrientations, 210u);  // footnote 1: 21 couples x 10 gammas
+}
+
+TEST(OrientationGrid, CouplesAreDistinct) {
+  OrientationGrid grid;
+  std::set<std::pair<double, double>> seen;
+  for (std::uint32_t i = 0; i < kNumRotationCouples; ++i)
+    seen.insert(grid.couple(i));
+  EXPECT_EQ(seen.size(), kNumRotationCouples);
+}
+
+TEST(OrientationGrid, BetaWithinPolarRange) {
+  OrientationGrid grid;
+  for (std::uint32_t i = 0; i < kNumRotationCouples; ++i) {
+    const auto [alpha, beta] = grid.couple(i);
+    EXPECT_GE(beta, 0.0);
+    EXPECT_LE(beta, kPi);
+    EXPECT_GE(alpha, 0.0);
+    EXPECT_LT(alpha, 2.0 * kPi + 1e-12);
+  }
+}
+
+TEST(OrientationGrid, GammasEvenlySpaced) {
+  OrientationGrid grid;
+  for (std::uint32_t g = 0; g < kNumGammaSteps; ++g)
+    EXPECT_NEAR(grid.gamma(g), 2.0 * kPi * g / kNumGammaSteps, 1e-12);
+}
+
+TEST(OrientationGrid, OrientationCombinesCoupleAndGamma) {
+  OrientationGrid grid;
+  const Dof6 d = grid.orientation(5, 3);
+  const auto [alpha, beta] = grid.couple(5);
+  EXPECT_DOUBLE_EQ(d.alpha, alpha);
+  EXPECT_DOUBLE_EQ(d.beta, beta);
+  EXPECT_DOUBLE_EQ(d.gamma, grid.gamma(3));
+}
+
+TEST(StartingPositions, CountMatchesNsepFor) {
+  const ReducedProtein p = generate_protein(1, 200, 1.0, 5);
+  const StartingPositionParams params;
+  EXPECT_EQ(starting_positions(p, params).size(), nsep_for(p, params));
+}
+
+TEST(StartingPositions, AllAtProbeRadius) {
+  const ReducedProtein p = generate_protein(2, 150, 1.0, 6);
+  const StartingPositionParams params;
+  const double r = p.bounding_radius() + params.probe_radius;
+  for (const Vec3& pos : starting_positions(p, params))
+    EXPECT_NEAR(pos.norm(), r, 1e-9);
+}
+
+TEST(StartingPositions, BiggerProteinMorePositions) {
+  const ReducedProtein small = generate_protein(3, 60, 1.0, 7);
+  const ReducedProtein big = generate_protein(4, 1200, 1.0, 8);
+  EXPECT_GT(nsep_for(big), nsep_for(small));
+}
+
+TEST(StartingPositions, ElongationIncreasesNsep) {
+  // Same atom count, stretched shape -> larger surface -> more positions
+  // ("directly linked with the size and shape of the protein").
+  const ReducedProtein round = generate_protein(5, 300, 1.0, 9);
+  const ReducedProtein stretched = generate_protein(6, 300, 2.0, 9);
+  EXPECT_GT(nsep_for(stretched), nsep_for(round));
+}
+
+TEST(StartingPositions, FinerSpacingMorePositions) {
+  const ReducedProtein p = generate_protein(7, 300, 1.0, 10);
+  StartingPositionParams coarse, fine;
+  coarse.spacing = 6.0;
+  fine.spacing = 3.0;
+  // Nsep ~ 1/spacing^2.
+  const double ratio = static_cast<double>(nsep_for(p, fine)) /
+                       static_cast<double>(nsep_for(p, coarse));
+  EXPECT_NEAR(ratio, 4.0, 0.05);
+}
+
+TEST(StartingPositions, DeterministicForSameInput) {
+  const ReducedProtein p = generate_protein(8, 120, 1.1, 11);
+  const auto a = starting_positions(p);
+  const auto b = starting_positions(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+    EXPECT_EQ(a[i].z, b[i].z);
+  }
+}
+
+TEST(StartingPositions, QuasiUniformCoverage) {
+  // Fibonacci lattice: neighbouring points should be roughly `spacing`
+  // apart; check min pairwise distance is not degenerate.
+  const ReducedProtein p = generate_protein(9, 400, 1.0, 12);
+  const StartingPositionParams params;
+  const auto pos = starting_positions(p, params);
+  ASSERT_GE(pos.size(), 10u);
+  double min_d = 1e9;
+  for (std::size_t i = 0; i + 1 < pos.size(); i += 17) {
+    for (std::size_t j = i + 1; j < pos.size(); j += 13) {
+      min_d = std::min(min_d, (pos[i] - pos[j]).norm());
+    }
+  }
+  EXPECT_GT(min_d, 0.2 * params.spacing);
+}
+
+}  // namespace
+}  // namespace hcmd::proteins

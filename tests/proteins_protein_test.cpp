@@ -1,0 +1,159 @@
+#include "proteins/protein.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "proteins/generator.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::proteins {
+namespace {
+
+std::vector<PseudoAtom> cube_atoms() {
+  std::vector<PseudoAtom> atoms;
+  for (double x : {-1.0, 1.0})
+    for (double y : {-1.0, 1.0})
+      for (double z : {-1.0, 1.0})
+        atoms.push_back({{x, y, z}, 2.0, 0.2, 0.0});
+  return atoms;
+}
+
+TEST(Geometry, Vec3Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ((a + b).x, 5.0);
+  EXPECT_DOUBLE_EQ((b - a).z, 3.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  const Vec3 c = a.cross(b);
+  EXPECT_DOUBLE_EQ(c.x, -3.0);
+  EXPECT_DOUBLE_EQ(c.y, 6.0);
+  EXPECT_DOUBLE_EQ(c.z, -3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+}
+
+TEST(Geometry, NormalizedUnitLength) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Vec3{}.normalized().norm(), 0.0);
+}
+
+TEST(Geometry, EulerIdentity) {
+  const Mat3 r = euler_zyz(0.0, 0.0, 0.0);
+  const Vec3 v{1, 2, 3};
+  const Vec3 out = r * v;
+  EXPECT_NEAR(out.x, v.x, 1e-12);
+  EXPECT_NEAR(out.y, v.y, 1e-12);
+  EXPECT_NEAR(out.z, v.z, 1e-12);
+}
+
+TEST(Geometry, EulerPreservesLength) {
+  const Mat3 r = euler_zyz(0.7, 1.2, -0.4);
+  const Vec3 v{1, -2, 3};
+  EXPECT_NEAR((r * v).norm(), v.norm(), 1e-12);
+}
+
+TEST(Geometry, GammaSpinsAboutBodyZ) {
+  const Vec3 z_axis{0, 0, 1};
+  const Mat3 r = euler_zyz(0.0, 0.0, 1.1);
+  const Vec3 out = r * z_axis;
+  EXPECT_NEAR(out.z, 1.0, 1e-12);  // gamma about z leaves z fixed
+}
+
+TEST(Geometry, MatrixProductMatchesSequentialRotation) {
+  const Mat3 a = euler_zyz(0.4, 0.0, 0.0);
+  const Mat3 b = euler_zyz(0.0, 0.9, 0.0);
+  const Vec3 v{1, 2, 3};
+  const Vec3 lhs = (a * b) * v;
+  const Vec3 rhs = a * (b * v);
+  EXPECT_NEAR(lhs.x, rhs.x, 1e-12);
+  EXPECT_NEAR(lhs.y, rhs.y, 1e-12);
+  EXPECT_NEAR(lhs.z, rhs.z, 1e-12);
+}
+
+TEST(Geometry, RigidTransformApplies) {
+  RigidTransform t{euler_zyz(0, 0, 0), {10, 0, 0}};
+  const Vec3 out = t.apply({1, 2, 3});
+  EXPECT_DOUBLE_EQ(out.x, 11.0);
+}
+
+TEST(Geometry, Dof6ToTransform) {
+  Dof6 d;
+  d.x = 5;
+  d.alpha = 0.3;
+  const RigidTransform t = d.to_transform();
+  EXPECT_DOUBLE_EQ(t.translation.x, 5.0);
+}
+
+TEST(ReducedProtein, DerivedQuantities) {
+  ReducedProtein p(1, "cube", cube_atoms());
+  EXPECT_EQ(p.size(), 8u);
+  EXPECT_NEAR(p.bounding_radius(), std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(p.radius_of_gyration(), std::sqrt(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(p.net_charge(), 0.0);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ReducedProtein, ValidateRejectsEmpty) {
+  ReducedProtein p;
+  EXPECT_THROW(p.validate(), hcmd::Error);
+}
+
+TEST(ReducedProtein, ValidateRejectsUncentered) {
+  std::vector<PseudoAtom> atoms{{{5, 0, 0}, 2.0, 0.2, 0.0},
+                                {{6, 0, 0}, 2.0, 0.2, 0.0}};
+  ReducedProtein p(1, "off", atoms);
+  EXPECT_THROW(p.validate(), hcmd::Error);
+  p.recenter();
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ReducedProtein, ValidateRejectsBadLj) {
+  std::vector<PseudoAtom> atoms{{{0, 0, 0}, -1.0, 0.2, 0.0}};
+  ReducedProtein p(1, "bad", atoms);
+  EXPECT_THROW(p.validate(), hcmd::Error);
+}
+
+TEST(ReducedProtein, RecenterReturnsShift) {
+  auto atoms = cube_atoms();
+  for (auto& a : atoms) a.position += Vec3{3, 0, 0};
+  ReducedProtein p(2, "shifted", atoms);
+  const Vec3 shift = p.recenter();
+  EXPECT_NEAR(shift.x, 3.0, 1e-12);
+  EXPECT_NEAR(p.bounding_radius(), std::sqrt(3.0), 1e-12);
+}
+
+TEST(ReducedProtein, SerializationRoundTrip) {
+  const ReducedProtein p = generate_protein(7, 50, 1.2, 99);
+  std::stringstream ss;
+  p.write(ss);
+  const ReducedProtein q = ReducedProtein::read(ss);
+  EXPECT_EQ(p, q);
+  EXPECT_EQ(q.name(), p.name());
+  EXPECT_NEAR(q.bounding_radius(), p.bounding_radius(), 1e-12);
+}
+
+TEST(ReducedProtein, ReadRejectsBadHeader) {
+  std::stringstream ss("nonsense 1 x 2");
+  EXPECT_THROW(ReducedProtein::read(ss), hcmd::ParseError);
+}
+
+TEST(ReducedProtein, ReadRejectsTruncated) {
+  std::stringstream ss("protein 1 x 3\n0 0 0 2 0.2 0\n");
+  EXPECT_THROW(ReducedProtein::read(ss), hcmd::ParseError);
+}
+
+TEST(ReducedProtein, ReadRejectsImplausibleCount) {
+  std::stringstream ss("protein 1 x 2000000\n");
+  EXPECT_THROW(ReducedProtein::read(ss), hcmd::ParseError);
+}
+
+TEST(Couple, OrderedInequality) {
+  EXPECT_EQ((Couple{1, 2}), (Couple{1, 2}));
+  EXPECT_FALSE((Couple{1, 2}) == (Couple{2, 1}));
+}
+
+}  // namespace
+}  // namespace hcmd::proteins

@@ -1,0 +1,128 @@
+#include "results/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hcmd::results {
+namespace {
+
+docking::DockingRecord rec(std::uint32_t isep, std::uint32_t irot) {
+  docking::DockingRecord r;
+  r.isep = isep;
+  r.irot = irot;
+  r.pose.x = 20.0;
+  r.elj = -1.0;
+  r.eelec = -0.5;
+  return r;
+}
+
+ResultFile slice(std::uint32_t receptor, std::uint32_t ligand,
+                 std::uint32_t begin, std::uint32_t end) {
+  ResultFile f;
+  f.receptor = receptor;
+  f.ligand = ligand;
+  f.isep_begin = begin;
+  f.isep_end = end;
+  for (std::uint32_t s = begin; s < end; ++s)
+    for (std::uint32_t r = 0; r < proteins::kNumRotationCouples; ++r)
+      f.records.push_back(rec(s, r));
+  return f;
+}
+
+/// 3 proteins, Nsep = {4, 6, 2}.
+Archive make_archive() { return Archive(3, {4, 6, 2}); }
+
+TEST(Archive, RejectsBadConstruction) {
+  EXPECT_THROW(Archive(0, {}), hcmd::ConfigError);
+  EXPECT_THROW(Archive(3, {1, 2}), hcmd::ConfigError);
+}
+
+TEST(Archive, DepositRejectsOutOfRange) {
+  Archive archive = make_archive();
+  EXPECT_THROW(archive.deposit(slice(5, 0, 0, 1)), hcmd::ConfigError);
+  EXPECT_THROW(archive.deposit(slice(0, 0, 0, 9)), hcmd::ConfigError);
+}
+
+TEST(Archive, DeliveryCompletesWhenAllLigandsCovered) {
+  Archive archive = make_archive();
+  // Receptor 0 (Nsep 4) against ligands 0..2, two slices each.
+  std::optional<std::uint32_t> done;
+  for (std::uint32_t ligand = 0; ligand < 3; ++ligand) {
+    EXPECT_FALSE(archive.receptor_complete(0));
+    done = archive.deposit(slice(0, ligand, 0, 2));
+    EXPECT_FALSE(done.has_value());
+    done = archive.deposit(slice(0, ligand, 2, 4));
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, 0u);
+  EXPECT_TRUE(archive.receptor_complete(0));
+  EXPECT_FALSE(archive.receptor_complete(1));
+}
+
+TEST(Archive, VerifyAndMergeProducesCoupleFiles) {
+  Archive archive = make_archive();
+  for (std::uint32_t ligand = 0; ligand < 3; ++ligand) {
+    archive.deposit(slice(0, ligand, 2, 4));  // out of order on purpose
+    archive.deposit(slice(0, ligand, 0, 2));
+  }
+  const CheckReport report = archive.verify_and_merge(0);
+  EXPECT_TRUE(report.ok);
+  for (std::uint32_t ligand = 0; ligand < 3; ++ligand) {
+    const ResultFile* merged = archive.merged_file(0, ligand);
+    ASSERT_NE(merged, nullptr);
+    EXPECT_EQ(merged->isep_begin, 0u);
+    EXPECT_EQ(merged->isep_end, 4u);
+    EXPECT_EQ(merged->records.size(), merged->expected_lines());
+    // Sorted by (isep, irot).
+    EXPECT_EQ(merged->records.front().isep, 0u);
+    EXPECT_EQ(merged->records.back().isep, 3u);
+  }
+  EXPECT_EQ(archive.stats().deliveries_verified, 1u);
+  EXPECT_EQ(archive.stats().couples_merged, 3u);
+  EXPECT_GT(archive.stats().merged_bytes, 0u);
+}
+
+TEST(Archive, VerifyFailsOnIncompleteDelivery) {
+  Archive archive = make_archive();
+  archive.deposit(slice(0, 0, 0, 4));
+  const CheckReport report = archive.verify_and_merge(0);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(archive.stats().deliveries_failed, 1u);
+}
+
+TEST(Archive, VerifyCatchesCorruptValues) {
+  Archive archive = make_archive();
+  for (std::uint32_t ligand = 0; ligand < 3; ++ligand) {
+    ResultFile f = slice(0, ligand, 0, 4);
+    if (ligand == 1) f.records[3].elj = 1e9;  // out of physical range
+    archive.deposit(std::move(f));
+  }
+  const CheckReport report = archive.verify_and_merge(0);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(archive.stats().deliveries_failed, 1u);
+}
+
+TEST(Archive, OverlappingSlicesRejectedAtMerge) {
+  Archive archive = make_archive();
+  archive.deposit(slice(2, 0, 0, 2));
+  archive.deposit(slice(2, 0, 1, 2));  // overlap
+  archive.deposit(slice(2, 1, 0, 2));
+  archive.deposit(slice(2, 2, 0, 2));
+  // Coverage counting says complete (3 positions counted for Nsep 2), but
+  // the merge detects the overlap.
+  const CheckReport report = archive.verify_and_merge(2);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Archive, StatsTrackBytes) {
+  Archive archive = make_archive();
+  const ResultFile f = slice(1, 0, 0, 6);
+  const std::uint64_t bytes = f.byte_size();
+  archive.deposit(f);
+  EXPECT_EQ(archive.stats().files_received, 1u);
+  EXPECT_EQ(archive.stats().bytes_received, bytes);
+}
+
+}  // namespace
+}  // namespace hcmd::results

@@ -1,0 +1,84 @@
+#include "server/credit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/duration.hpp"
+
+namespace hcmd::server {
+namespace {
+
+volunteer::DeviceSpec ud_device(double speed, double throttle,
+                                double contention) {
+  volunteer::DeviceSpec d;
+  d.speed_factor = speed;
+  d.throttle = throttle;
+  d.contention = contention;
+  d.screensaver_overhead = 1.0;
+  d.accounting = volunteer::AccountingMode::kUdWallClock;
+  return d;
+}
+
+TEST(Credit, BenchmarkScoreReflectsEffectiveSpeedUnderUd) {
+  const auto d = ud_device(0.8, 0.6, 0.5);
+  EXPECT_DOUBLE_EQ(benchmark_score(d), 0.8 * 0.6 * 0.5);
+}
+
+TEST(Credit, BenchmarkScoreIsRawSpeedUnderBoinc) {
+  auto d = ud_device(0.8, 0.6, 0.5);
+  d.accounting = volunteer::AccountingMode::kBoincCpuTime;
+  EXPECT_DOUBLE_EQ(benchmark_score(d), 0.8);
+}
+
+TEST(Credit, ClaimedCreditProportionalToReferenceWork) {
+  // A workunit needing R reference seconds: the UD agent reports
+  // R / effective_speed wall seconds; claimed credit must equal
+  // R-hours * kCreditPerReferenceHour regardless of the device.
+  const double reference_seconds = 4.0 * util::kSecondsPerHour;
+  for (double speed : {0.4, 0.8, 1.3}) {
+    for (double throttle : {0.6, 1.0}) {
+      const auto d = ud_device(speed, throttle, 0.55);
+      const double wall = reference_seconds / d.effective_speed();
+      const double credit = claimed_credit(d, wall);
+      EXPECT_NEAR(credit, 4.0 * kCreditPerReferenceHour, 1e-9)
+          << "speed " << speed << " throttle " << throttle;
+    }
+  }
+}
+
+TEST(Credit, MiddlewareIndependence) {
+  // The same physical work claims the same credit under UD wall-clock and
+  // BOINC CPU-time accounting — Section 8's desired property.
+  const double reference_seconds = 10.0 * util::kSecondsPerHour;
+
+  auto ud = ud_device(0.7, 0.6, 0.5);
+  const double ud_runtime = reference_seconds / ud.effective_speed();
+
+  auto boinc = ud;
+  boinc.accounting = volunteer::AccountingMode::kBoincCpuTime;
+  const double boinc_runtime = reference_seconds / boinc.speed_factor;
+
+  // Reported run times differ by the throttle/contention factor...
+  EXPECT_GT(ud_runtime, 1.5 * boinc_runtime);
+  // ...but claimed credit agrees.
+  EXPECT_NEAR(claimed_credit(ud, ud_runtime),
+              claimed_credit(boinc, boinc_runtime), 1e-9);
+}
+
+TEST(Credit, CreditVftpInvertsClaim) {
+  const auto d = ud_device(1.0, 1.0, 1.0);
+  const double period = util::kSecondsPerWeek;
+  // One full-time reference processor for a week claims exactly the credit
+  // that converts back to 1.0 VFTP.
+  const double credit = claimed_credit(d, period);
+  EXPECT_NEAR(credit_vftp(credit, period), 1.0, 1e-9);
+}
+
+TEST(Credit, RejectsNegativeInputs) {
+  const auto d = ud_device(1.0, 1.0, 1.0);
+  EXPECT_THROW(claimed_credit(d, -1.0), std::logic_error);
+  EXPECT_THROW(credit_vftp(-1.0, 100.0), std::logic_error);
+  EXPECT_THROW(credit_vftp(1.0, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hcmd::server

@@ -1,0 +1,93 @@
+#include "server/share_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hcmd::server {
+namespace {
+
+constexpr double kWeek = util::kSecondsPerWeek;
+
+TEST(ShareSchedule, ThreePhases) {
+  const ShareSchedule s;
+  EXPECT_EQ(s.phase_at(0.0), CampaignPhase::kControl);
+  EXPECT_EQ(s.phase_at(4.0 * kWeek), CampaignPhase::kControl);
+  EXPECT_EQ(s.phase_at(9.0 * kWeek), CampaignPhase::kPrioritization);
+  EXPECT_EQ(s.phase_at(20.0 * kWeek), CampaignPhase::kFullPower);
+}
+
+TEST(ShareSchedule, ControlShareLow) {
+  const ShareSchedule s;
+  EXPECT_DOUBLE_EQ(s.share_at(0.0), s.params().control_share);
+  EXPECT_LT(s.share_at(0.0), 0.10);
+}
+
+TEST(ShareSchedule, FullShareMatchesPaper45Percent) {
+  // "At the end of February, 45% of WCG's devices participated to HCMD".
+  const ShareSchedule s;
+  EXPECT_DOUBLE_EQ(s.share_at(s.full_power_start()), 0.45);
+  EXPECT_DOUBLE_EQ(s.share_at(25.0 * kWeek), 0.45);
+}
+
+TEST(ShareSchedule, RampIsMonotone) {
+  const ShareSchedule s;
+  const double start = s.params().control_weeks * kWeek;
+  const double end = s.full_power_start();
+  double prev = 0.0;
+  for (double t = start; t <= end; t += (end - start) / 10.0) {
+    const double share = s.share_at(t);
+    EXPECT_GE(share, prev - 1e-12);
+    prev = share;
+  }
+}
+
+TEST(ShareSchedule, RampMidpointIsAverage) {
+  const ShareSchedule s;
+  const double start = s.params().control_weeks * kWeek;
+  const double mid = 0.5 * (start + s.full_power_start());
+  EXPECT_NEAR(s.share_at(mid),
+              0.5 * (s.params().control_share + s.params().full_share),
+              1e-9);
+}
+
+TEST(ShareSchedule, FullPowerStartComputed) {
+  ShareScheduleParams p;
+  p.control_weeks = 8.0;
+  p.ramp_weeks = 3.0;
+  const ShareSchedule s(p);
+  EXPECT_DOUBLE_EQ(s.full_power_start(), 11.0 * kWeek);
+}
+
+TEST(ShareSchedule, PhaseNames) {
+  EXPECT_EQ(ShareSchedule::phase_name(CampaignPhase::kControl), "control");
+  EXPECT_EQ(ShareSchedule::phase_name(CampaignPhase::kPrioritization),
+            "prioritization");
+  EXPECT_EQ(ShareSchedule::phase_name(CampaignPhase::kFullPower),
+            "full power");
+}
+
+TEST(ShareSchedule, RejectsBadParams) {
+  ShareScheduleParams p;
+  p.control_share = 0.9;
+  p.full_share = 0.1;
+  EXPECT_THROW(ShareSchedule{p}, hcmd::ConfigError);
+  p = {};
+  p.full_share = 1.5;
+  EXPECT_THROW(ShareSchedule{p}, hcmd::ConfigError);
+  p = {};
+  p.control_weeks = -1.0;
+  EXPECT_THROW(ShareSchedule{p}, hcmd::ConfigError);
+}
+
+TEST(ShareSchedule, ZeroLengthRampJumps) {
+  ShareScheduleParams p;
+  p.ramp_weeks = 0.0;
+  const ShareSchedule s(p);
+  const double boundary = p.control_weeks * kWeek;
+  EXPECT_DOUBLE_EQ(s.share_at(boundary), p.full_share);
+  EXPECT_DOUBLE_EQ(s.share_at(boundary - 1.0), p.control_share);
+}
+
+}  // namespace
+}  // namespace hcmd::server

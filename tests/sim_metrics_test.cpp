@@ -1,0 +1,68 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcmd::sim {
+namespace {
+
+TEST(MetricSet, CountersAccumulate) {
+  MetricSet m(10.0);
+  m.count("results");
+  m.count("results", 4);
+  EXPECT_EQ(m.counter("results"), 5u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+}
+
+TEST(MetricSet, MetersBinByTime) {
+  MetricSet m(10.0);
+  m.meter("cpu", 1.0, 2.0);
+  m.meter("cpu", 9.0, 3.0);
+  m.meter("cpu", 25.0, 7.0);
+  const auto& s = m.series("cpu");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.value(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.value(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(2), 7.0);
+}
+
+TEST(MetricSet, MissingSeriesIsEmpty) {
+  MetricSet m(10.0);
+  EXPECT_EQ(m.series("none").size(), 0u);
+  EXPECT_FALSE(m.has_series("none"));
+}
+
+TEST(MetricSet, NamesEnumerated) {
+  MetricSet m(1.0);
+  m.count("a");
+  m.count("b");
+  m.meter("x", 0.0, 1.0);
+  EXPECT_EQ(m.counter_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(m.series_names(), (std::vector<std::string>{"x"}));
+}
+
+TEST(GaugeSampler, SamplesOnCadence) {
+  Simulation sim;
+  double level = 0.0;
+  sim.schedule_at(2.5, [&] { level = 10.0; });
+  GaugeSampler gauge(sim, 0.0, 1.0, [&] { return level; });
+  sim.run_until(5.0);
+  // Samples at t = 0..5 inclusive (event at exactly 5.0 executes).
+  ASSERT_GE(gauge.values().size(), 5u);
+  EXPECT_DOUBLE_EQ(gauge.values()[0], 0.0);
+  EXPECT_DOUBLE_EQ(gauge.values()[2], 0.0);   // t=2, before the step
+  EXPECT_DOUBLE_EQ(gauge.values()[3], 10.0);  // t=3
+  EXPECT_DOUBLE_EQ(gauge.times()[3], 3.0);
+}
+
+TEST(GaugeSampler, StopHaltsSampling) {
+  Simulation sim;
+  GaugeSampler gauge(sim, 0.0, 1.0, [] { return 1.0; });
+  sim.run_until(3.0);
+  const std::size_t n = gauge.values().size();
+  gauge.stop();
+  sim.run_until(10.0);
+  EXPECT_EQ(gauge.values().size(), n);
+}
+
+}  // namespace
+}  // namespace hcmd::sim

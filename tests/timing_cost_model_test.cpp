@@ -1,0 +1,126 @@
+#include "timing/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proteins/generator.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::timing {
+namespace {
+
+proteins::Benchmark small_benchmark() {
+  proteins::BenchmarkSpec spec;
+  spec.count = 16;
+  spec.target_total_nsep = 0;
+  spec.outlier_nsep_target = 0;
+  return proteins::generate_benchmark(spec);
+}
+
+TEST(CostModel, RejectsBadParams) {
+  CostModelParams p;
+  p.seconds_per_pair = 0.0;
+  EXPECT_THROW(CostModel{p}, hcmd::ConfigError);
+  p = {};
+  p.noise_sigma = -0.1;
+  EXPECT_THROW(CostModel{p}, hcmd::ConfigError);
+}
+
+TEST(CostModel, CostScalesWithPairCount) {
+  CostModelParams p;
+  p.noise_sigma = 0.0;  // deterministic
+  const CostModel model(p);
+  const auto a = proteins::generate_protein(1, 100, 1.0, 1);
+  const auto b = proteins::generate_protein(2, 50, 1.0, 2);
+  const auto c = proteins::generate_protein(3, 200, 1.0, 3);
+  EXPECT_DOUBLE_EQ(model.seconds_per_rotation(a, b),
+                   p.seconds_per_pair * 100 * 50);
+  EXPECT_DOUBLE_EQ(model.seconds_per_rotation(a, c) /
+                       model.seconds_per_rotation(a, b),
+                   4.0);
+}
+
+TEST(CostModel, MctEntryIs21Rotations) {
+  const CostModel model(CostModelParams{});
+  const auto a = proteins::generate_protein(1, 100, 1.0, 1);
+  const auto b = proteins::generate_protein(2, 50, 1.0, 2);
+  EXPECT_DOUBLE_EQ(model.mct_entry(a, b),
+                   21.0 * model.seconds_per_rotation(a, b));
+}
+
+TEST(CostModel, TaskSecondsLinearInBothParameters) {
+  // Properties 2 and 3 of Section 4.1 with b = 0.
+  const CostModel model(CostModelParams{});
+  const auto a = proteins::generate_protein(1, 80, 1.0, 4);
+  const auto b = proteins::generate_protein(2, 60, 1.0, 5);
+  const double unit = model.task_seconds(a, b, 1, 1);
+  EXPECT_DOUBLE_EQ(model.task_seconds(a, b, 7, 1), 7.0 * unit);
+  EXPECT_DOUBLE_EQ(model.task_seconds(a, b, 1, 21), 21.0 * unit);
+  EXPECT_DOUBLE_EQ(model.task_seconds(a, b, 5, 21), 105.0 * unit);
+}
+
+TEST(CostModel, NoiseIsDeterministicPerCouple) {
+  const CostModel model(CostModelParams{});
+  EXPECT_EQ(model.noise(3, 7), model.noise(3, 7));
+  EXPECT_NE(model.noise(3, 7), model.noise(7, 3));  // asymmetric
+}
+
+TEST(CostModel, NoiseIsMeanOne) {
+  CostModelParams p;
+  p.noise_sigma = 0.4;
+  const CostModel model(p);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    sum += model.noise(static_cast<std::uint32_t>(i), 0);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(CostModel, ZeroSigmaGivesUnitNoise) {
+  CostModelParams p;
+  p.noise_sigma = 0.0;
+  const CostModel model(p);
+  EXPECT_DOUBLE_EQ(model.noise(1, 2), 1.0);
+}
+
+TEST(CostModel, SeedChangesNoiseField) {
+  CostModelParams p1, p2;
+  p2.seed = p1.seed + 1;
+  EXPECT_NE(CostModel(p1).noise(1, 2), CostModel(p2).noise(1, 2));
+}
+
+TEST(CostModel, CalibrationHitsTargetMean) {
+  const auto bench = small_benchmark();
+  const CostModel model = CostModel::calibrated(bench, 671.0);
+  double sum = 0.0;
+  for (const auto& p1 : bench.proteins)
+    for (const auto& p2 : bench.proteins) sum += model.mct_entry(p1, p2);
+  const double mean =
+      sum / static_cast<double>(bench.proteins.size() *
+                                bench.proteins.size());
+  EXPECT_NEAR(mean, 671.0, 1e-6);
+}
+
+TEST(CostModel, CalibrationScalesLinearly) {
+  const auto bench = small_benchmark();
+  const CostModel a = CostModel::calibrated(bench, 100.0);
+  const CostModel b = CostModel::calibrated(bench, 200.0);
+  EXPECT_NEAR(b.params().seconds_per_pair / a.params().seconds_per_pair, 2.0,
+              1e-9);
+}
+
+class NoiseSigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSigmaSweep, CostAlwaysPositive) {
+  CostModelParams p;
+  p.noise_sigma = GetParam();
+  const CostModel model(p);
+  const auto a = proteins::generate_protein(1, 30, 1.0, 6);
+  const auto b = proteins::generate_protein(2, 30, 1.0, 7);
+  EXPECT_GT(model.mct_entry(a, b), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, NoiseSigmaSweep,
+                         ::testing::Values(0.0, 0.1, 0.28, 0.5, 1.0));
+
+}  // namespace
+}  // namespace hcmd::timing

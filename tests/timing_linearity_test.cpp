@@ -1,0 +1,90 @@
+#include "timing/linearity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proteins/generator.hpp"
+
+namespace hcmd::timing {
+namespace {
+
+/// Small kernel configuration so the sweeps stay fast.
+LinearityParams fast_params() {
+  LinearityParams p;
+  p.sweep_points = 5;
+  p.max_rotations = 15;
+  p.max_positions = 10;
+  p.maxdo.minimizer.max_iterations = 3;
+  p.maxdo.gamma_steps = 2;
+  p.maxdo.positions.spacing = 10.0;
+  return p;
+}
+
+proteins::Benchmark tiny_benchmark() {
+  proteins::BenchmarkSpec spec;
+  spec.count = 6;
+  spec.median_atoms = 40;
+  spec.max_atoms = 80;
+  spec.min_atoms = 20;
+  spec.target_total_nsep = 0;
+  spec.outlier_nsep_target = 0;
+  return proteins::generate_benchmark(spec);
+}
+
+TEST(Linearity, RotationSweepIsLinear) {
+  const auto bench = tiny_benchmark();
+  const LinearitySeries s =
+      sweep_rotations(bench.proteins[0], bench.proteins[1], fast_params());
+  ASSERT_EQ(s.xs.size(), 5u);
+  // Paper: correlation coefficient "always around 0.99".
+  EXPECT_GT(s.fit.r, 0.99);
+  EXPECT_GT(s.fit.slope, 0.0);
+}
+
+TEST(Linearity, PositionSweepIsLinear) {
+  const auto bench = tiny_benchmark();
+  const LinearitySeries s =
+      sweep_positions(bench.proteins[0], bench.proteins[1], fast_params());
+  EXPECT_GT(s.fit.r, 0.99);
+  EXPECT_GT(s.fit.slope, 0.0);
+}
+
+TEST(Linearity, InterceptIsNegligible) {
+  // The paper simplifies to b = 0; the measured relative intercept should
+  // be small because the kernel has no per-task fixed cost.
+  const auto bench = tiny_benchmark();
+  const auto params = fast_params();
+  const LinearitySeries rot =
+      sweep_rotations(bench.proteins[2], bench.proteins[3], params);
+  EXPECT_LT(rot.relative_intercept, 0.15);
+}
+
+TEST(Linearity, SweepValuesMonotone) {
+  const auto bench = tiny_benchmark();
+  const LinearitySeries s =
+      sweep_positions(bench.proteins[1], bench.proteins[0], fast_params());
+  for (std::size_t i = 1; i < s.work.size(); ++i)
+    EXPECT_GT(s.work[i], s.work[i - 1]);
+}
+
+TEST(Linearity, CheckOverRandomCouples) {
+  // The paper's check used 400 random couples; a handful suffices here
+  // since the kernel is deterministic.
+  const auto bench = tiny_benchmark();
+  const LinearityCheck check = check_linearity(bench, 5, 77, fast_params());
+  EXPECT_EQ(check.couples, 5u);
+  EXPECT_GT(check.min_r_rotations, 0.98);
+  EXPECT_GT(check.min_r_positions, 0.98);
+  EXPECT_GE(check.mean_r_rotations, check.min_r_rotations);
+  EXPECT_GE(check.mean_r_positions, check.min_r_positions);
+}
+
+TEST(Linearity, RejectsDegenerateSweeps) {
+  const auto bench = tiny_benchmark();
+  LinearityParams p = fast_params();
+  p.sweep_points = 1;
+  EXPECT_THROW(sweep_rotations(bench.proteins[0], bench.proteins[1], p),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace hcmd::timing

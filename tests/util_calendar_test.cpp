@@ -1,0 +1,62 @@
+#include "util/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcmd::util {
+namespace {
+
+TEST(Calendar, EpochIsZero) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(civil_from_days(0), (CivilDate{1970, 1, 1}));
+}
+
+TEST(Calendar, KnownDates) {
+  // 2000-03-01 is day 11017 (post-leap-day sanity).
+  EXPECT_EQ(days_from_civil({2000, 3, 1}), 11017);
+  EXPECT_EQ(civil_from_days(11017), (CivilDate{2000, 3, 1}));
+}
+
+TEST(Calendar, RoundTripAcrossYears) {
+  for (std::int64_t d = -1000; d <= 20000; d += 13) {
+    EXPECT_EQ(days_from_civil(civil_from_days(d)), d);
+  }
+}
+
+TEST(Calendar, LeapYearFebruary) {
+  EXPECT_EQ(days_between({2004, 2, 28}, {2004, 3, 1}), 2);  // 2004 is leap
+  EXPECT_EQ(days_between({2005, 2, 28}, {2005, 3, 1}), 1);
+}
+
+TEST(Calendar, Weekdays) {
+  // 1970-01-01 was a Thursday (index 3, Monday = 0).
+  EXPECT_EQ(weekday_from_days(days_from_civil({1970, 1, 1})), 3);
+  // WCG launched Tuesday 2004-11-16.
+  EXPECT_EQ(weekday_from_days(days_from_civil(kWcgLaunch)), 1);
+  // HCMD started Tuesday 2006-12-19.
+  EXPECT_EQ(weekday_from_days(days_from_civil(kHcmdStart)), 1);
+  // HCMD ended Monday 2007-06-11.
+  EXPECT_EQ(weekday_from_days(days_from_civil(kHcmdEnd)), 0);
+}
+
+TEST(Calendar, HcmdCampaignLength) {
+  // Dec 19 2006 -> Jun 11 2007: 174 days ~ 24.9 weeks; the paper rounds the
+  // campaign to "26 weeks" including the final result trickle.
+  EXPECT_EQ(days_between(kHcmdStart, kHcmdEnd), 174);
+}
+
+TEST(Calendar, WcgLaunchToHcmdStart) {
+  EXPECT_EQ(days_between(kWcgLaunch, kHcmdStart), 763);
+}
+
+TEST(Calendar, FormatDate) {
+  EXPECT_EQ(format_date({2007, 6, 11}), "2007-06-11");
+  EXPECT_EQ(format_date({2004, 11, 16}), "2004-11-16");
+}
+
+TEST(Calendar, NegativeYears) {
+  const CivilDate d{-1, 12, 31};
+  EXPECT_EQ(civil_from_days(days_from_civil(d)), d);
+}
+
+}  // namespace
+}  // namespace hcmd::util

@@ -1,0 +1,74 @@
+#include "util/duration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hcmd::util {
+namespace {
+
+TEST(Ydhms, PaperPhase1Estimate) {
+  // 1,488 years 237 days 19:45:54 — the paper's total for formula (1).
+  const double seconds = parse_ydhms("1488:237:19:45:54");
+  EXPECT_EQ(format_ydhms(seconds), "1488:237:19:45:54");
+  const Ydhms y = to_ydhms(seconds);
+  EXPECT_EQ(y.years, 1488u);
+  EXPECT_EQ(y.days, 237u);
+  EXPECT_EQ(y.hours, 19u);
+  EXPECT_EQ(y.minutes, 45u);
+  EXPECT_EQ(y.seconds, 54u);
+}
+
+TEST(Ydhms, PaperConsumedTotal) {
+  // 8,082 years 275 days 17:15:44 — total CPU consumed by the project.
+  const double seconds = parse_ydhms("8082:275:17:15:44");
+  EXPECT_EQ(format_ydhms(seconds), "8082:275:17:15:44");
+}
+
+TEST(Ydhms, Zero) {
+  EXPECT_EQ(format_ydhms(0.0), "0:000:00:00:00");
+}
+
+TEST(Ydhms, RoundTripSweep) {
+  for (double s : {1.0, 59.0, 60.0, 3599.0, 3600.0, 86399.0, 86400.0,
+                   31535999.0, 31536000.0, 1e9}) {
+    EXPECT_DOUBLE_EQ(parse_ydhms(format_ydhms(s)), s) << s;
+  }
+}
+
+TEST(Ydhms, RejectsNegative) {
+  EXPECT_THROW(to_ydhms(-1.0), std::logic_error);
+}
+
+TEST(ParseYdhms, RejectsMalformed) {
+  EXPECT_THROW(parse_ydhms("1:2:3"), hcmd::ParseError);
+  EXPECT_THROW(parse_ydhms("a:b:c:d:e"), hcmd::ParseError);
+  EXPECT_THROW(parse_ydhms(""), hcmd::ParseError);
+}
+
+TEST(FormatCompact, PicksUnits) {
+  EXPECT_EQ(format_compact(30.0), "30.0s");
+  EXPECT_EQ(format_compact(90.0), "1m 30s");
+  EXPECT_EQ(format_compact(3.0 * 3600 + 18 * 60 + 47), "3h 18m 47s");
+  EXPECT_EQ(format_compact(2.5 * kSecondsPerDay), "2.5 days");
+  EXPECT_EQ(format_compact(26.0 * kSecondsPerWeek), "26.0 weeks");
+  EXPECT_EQ(format_compact(2.0 * kSecondsPerYear), "2.0 years");
+}
+
+TEST(WithCommas, Formats) {
+  EXPECT_EQ(with_commas(std::uint64_t{0}), "0");
+  EXPECT_EQ(with_commas(std::uint64_t{999}), "999");
+  EXPECT_EQ(with_commas(std::uint64_t{1000}), "1,000");
+  EXPECT_EQ(with_commas(std::uint64_t{49481544}), "49,481,544");
+  EXPECT_EQ(with_commas(std::uint64_t{5418010}), "5,418,010");
+  EXPECT_EQ(with_commas(std::int64_t{-1234567}), "-1,234,567");
+}
+
+TEST(Constants, PaperYearConvention) {
+  // y:d:h:m:s implies 365-day years.
+  EXPECT_DOUBLE_EQ(kSecondsPerYear, 365.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(kSecondsPerWeek, 7.0 * 86400.0);
+}
+
+}  // namespace
+}  // namespace hcmd::util

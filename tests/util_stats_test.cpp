@@ -1,0 +1,204 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hcmd::util {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats all, a, b;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Summarize, EmptyGivesZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(Summarize, OddAndEvenMedians) {
+  std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(odd).median, 2.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(even).median, 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> yneg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, yneg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  std::vector<double> xs{1, 2, 3};
+  std::vector<double> ys{5, 5, 5};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(FitLinear, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.5 * i - 2.0);
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-10);
+  EXPECT_NEAR(fit.r, 1.0, 1e-12);
+}
+
+TEST(FitLinear, DegenerateInput) {
+  std::vector<double> one{1.0};
+  const LinearFit fit = fit_linear(one, one);
+  EXPECT_EQ(fit.slope, 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);    // bucket 0
+  h.add(9.99);   // bucket 4
+  h.add(-5.0);   // clamped to 0
+  h.add(20.0);   // clamped to 4
+  h.add(5.0);    // bucket 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 7);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::logic_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+TEST(TimeBinnedSeries, AccumulatesIntoCorrectBins) {
+  TimeBinnedSeries s(0.0, 10.0);
+  s.add(0.0, 1.0);
+  s.add(9.999, 2.0);
+  s.add(10.0, 4.0);
+  s.add(35.0, 8.0);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.value(0), 3.0);
+  EXPECT_DOUBLE_EQ(s.value(1), 4.0);
+  EXPECT_DOUBLE_EQ(s.value(2), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(3), 8.0);
+  EXPECT_DOUBLE_EQ(s.bin_mid(1), 15.0);
+}
+
+TEST(TimeBinnedSeries, RejectsBeforeOrigin) {
+  TimeBinnedSeries s(100.0, 10.0);
+  EXPECT_THROW(s.add(99.0, 1.0), std::logic_error);
+}
+
+TEST(TimeBinnedSeries, MeanOverRange) {
+  TimeBinnedSeries s(0.0, 1.0);
+  s.add(0.5, 2.0);
+  s.add(1.5, 4.0);
+  s.add(2.5, 6.0);
+  EXPECT_DOUBLE_EQ(s.mean_over(0, 3), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_over(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_over(1, 1), 0.0);
+}
+
+// Property: summarize's stddev matches the definition for random data.
+class SummarizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SummarizeProperty, MatchesDirectComputation) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.lognormal(1.0, 0.7));
+  const Summary s = summarize(xs);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(s.mean, mean, 1e-9 * std::abs(mean));
+  EXPECT_NEAR(s.stddev, std::sqrt(var), 1e-9 * std::sqrt(var));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummarizeProperty,
+                         ::testing::Values(1ull, 2ull, 3ull, 10ull, 77ull));
+
+}  // namespace
+}  // namespace hcmd::util

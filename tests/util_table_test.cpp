@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+
+namespace hcmd::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("Demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Column alignment: both rows have the separator at the same offset.
+  std::istringstream is(out);
+  std::string line, row_a, row_b;
+  while (std::getline(is, line)) {
+    if (line.rfind("alpha", 0) == 0) row_a = line;
+    if (line.rfind("b", 0) == 0) row_b = line;
+  }
+  ASSERT_FALSE(row_a.empty());
+  ASSERT_FALSE(row_b.empty());
+  EXPECT_EQ(row_a.find('1'), row_b.find("22"));
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(std::uint64_t{1364476}), "1,364,476");
+  EXPECT_EQ(Table::cell(-42), "-42");
+  EXPECT_EQ(Table::cell("x"), "x");
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t;
+  t.header({"a", "b", "c"});
+  t.row({"only-one"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(os.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, SimpleRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b"});
+  csv.row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(BarChart, ScalesToMax) {
+  const std::string out =
+      bar_chart({{"x", 10.0}, {"y", 5.0}}, 10);
+  std::istringstream is(out);
+  std::string line1, line2;
+  std::getline(is, line1);
+  std::getline(is, line2);
+  const auto hashes = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_EQ(hashes(line1), 10);
+  EXPECT_EQ(hashes(line2), 5);
+}
+
+TEST(BarChart, AllZeroProducesNoBars) {
+  const std::string out = bar_chart({{"x", 0.0}}, 10);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '#'), 0);
+}
+
+TEST(HistogramChart, IncludesTotals) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(7.0);
+  h.add(8.0);
+  const std::string out = histogram_chart(h, 20, "workunits");
+  EXPECT_NE(out.find("total workunits: 3"), std::string::npos);
+}
+
+TEST(LineChart, RendersGrid) {
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) ys.push_back(static_cast<double>(i));
+  const std::string out = line_chart(ys, 40, 8);
+  EXPECT_GT(std::count(out.begin(), out.end(), '*'), 20);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(LineChart, EmptyInput) {
+  EXPECT_EQ(line_chart({}, 40, 8), "");
+}
+
+TEST(LineChart, ConstantSeries) {
+  std::vector<double> ys(20, 3.0);
+  EXPECT_NO_THROW(line_chart(ys, 20, 6));
+}
+
+}  // namespace
+}  // namespace hcmd::util

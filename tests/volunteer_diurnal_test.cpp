@@ -1,0 +1,153 @@
+#include "volunteer/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/duration.hpp"
+#include "util/stats.hpp"
+#include "volunteer/device.hpp"
+
+namespace hcmd::volunteer {
+namespace {
+
+using util::kSecondsPerHour;
+
+TEST(Diurnal, FlatProfileIsConstantOne) {
+  DiurnalProfile p;
+  for (double h = 0.0; h < 24.0; h += 0.5)
+    EXPECT_DOUBLE_EQ(p.weight(h * kSecondsPerHour), 1.0);
+  EXPECT_DOUBLE_EQ(p.mean_weight(), 1.0);
+}
+
+TEST(Diurnal, EveningProfilePeaksInTheEvening) {
+  DiurnalProfile p;
+  p.cls = DiurnalClass::kEveningHome;
+  EXPECT_DOUBLE_EQ(p.weight(20.0 * kSecondsPerHour), 1.0);   // 8 pm
+  EXPECT_LT(p.weight(12.0 * kSecondsPerHour), 0.5);          // noon
+  EXPECT_LT(p.weight(4.0 * kSecondsPerHour), 0.2);           // 4 am
+}
+
+TEST(Diurnal, OfficeProfilePeaksDaytime) {
+  DiurnalProfile p;
+  p.cls = DiurnalClass::kOfficeDay;
+  EXPECT_DOUBLE_EQ(p.weight(10.0 * kSecondsPerHour), 1.0);
+  EXPECT_LT(p.weight(22.0 * kSecondsPerHour), 0.5);
+}
+
+TEST(Diurnal, TimezoneShiftsTheProfile) {
+  DiurnalProfile utc, shifted;
+  utc.cls = shifted.cls = DiurnalClass::kEveningHome;
+  shifted.timezone_offset_hours = -8.0;  // US Pacific
+  // 20:00 local for the shifted profile is 04:00 simulation time + 24h wrap.
+  EXPECT_DOUBLE_EQ(shifted.weight(28.0 * kSecondsPerHour),
+                   utc.weight(20.0 * kSecondsPerHour));
+}
+
+TEST(Diurnal, MeanWeightMatchesNumericalAverage) {
+  for (DiurnalClass cls : {DiurnalClass::kFlat, DiurnalClass::kEveningHome,
+                           DiurnalClass::kOfficeDay}) {
+    DiurnalProfile p;
+    p.cls = cls;
+    double sum = 0.0;
+    const int steps = 24 * 60;
+    for (int i = 0; i < steps; ++i)
+      sum += p.weight((static_cast<double>(i) / 60.0) * kSecondsPerHour);
+    EXPECT_NEAR(sum / steps, p.mean_weight(), 1e-9);
+  }
+}
+
+TEST(Diurnal, FlatSamplingMatchesExponential) {
+  util::Rng a(5), b(5);
+  DiurnalProfile flat;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(
+        sample_reattach_delay(0.0, 3600.0, flat, a),
+        b.exponential(3600.0));
+  }
+}
+
+TEST(Diurnal, SamplingPreservesMeanDelay) {
+  // The thinning construction renormalises by mean_weight, so the long-run
+  // average off period is unchanged across profiles.
+  for (DiurnalClass cls : {DiurnalClass::kEveningHome,
+                           DiurnalClass::kOfficeDay}) {
+    DiurnalProfile p;
+    p.cls = cls;
+    util::Rng rng(static_cast<std::uint64_t>(cls) + 17);
+    util::OnlineStats stats;
+    double t = 0.0;
+    for (int i = 0; i < 60000; ++i) {
+      const double d = sample_reattach_delay(t, 8.0 * kSecondsPerHour, p,
+                                             rng);
+      stats.add(d);
+      t += d + 1800.0;  // short on period
+    }
+    EXPECT_NEAR(stats.mean(), 8.0 * kSecondsPerHour,
+                0.05 * 8.0 * kSecondsPerHour);
+  }
+}
+
+TEST(Diurnal, ReattachesConcentrateInTheProfileWindow) {
+  DiurnalProfile p;
+  p.cls = DiurnalClass::kEveningHome;
+  util::Rng rng(31);
+  int evening = 0, total = 0;
+  double t = 0.0;
+  for (int i = 0; i < 40000; ++i) {
+    t += sample_reattach_delay(t, 6.0 * kSecondsPerHour, p, rng);
+    const double hour = std::fmod(t / kSecondsPerHour, 24.0);
+    if (hour >= 17.0 || hour < 1.0) ++evening;
+    ++total;
+    t += 600.0;
+  }
+  // The evening window is 8/24 = 33 % of the day but captures well over
+  // half of the attach events.
+  EXPECT_GT(static_cast<double>(evening) / total, 0.5);
+}
+
+TEST(Diurnal, DrawProfileRespectsFractions) {
+  util::Rng rng(41);
+  int evening = 0, office = 0, flat = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const DiurnalProfile p = draw_profile(rng, 0.5, 0.3);
+    switch (p.cls) {
+      case DiurnalClass::kEveningHome: ++evening; break;
+      case DiurnalClass::kOfficeDay: ++office; break;
+      case DiurnalClass::kFlat: ++flat; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(evening) / n, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(office) / n, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(flat) / n, 0.2, 0.02);
+}
+
+TEST(Diurnal, DrawProfileRejectsBadFractions) {
+  util::Rng rng(43);
+  EXPECT_THROW(draw_profile(rng, 0.8, 0.5), std::logic_error);
+}
+
+TEST(Diurnal, DeviceGenerationAssignsProfilesWhenEnabled) {
+  util::Rng rng(47);
+  DeviceParams params;
+  params.diurnal_enabled = true;
+  params.always_on_fraction = 0.0;  // every device interactive
+  int profiled = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const DeviceSpec d =
+        make_device(static_cast<std::uint32_t>(i), 0.0, 2.0, rng, params);
+    if (d.diurnal.cls != DiurnalClass::kFlat) ++profiled;
+  }
+  EXPECT_GT(profiled, 1000);  // evening + office fractions sum to 0.8
+}
+
+TEST(Diurnal, DisabledByDefault) {
+  util::Rng rng(53);
+  const DeviceParams params;
+  const DeviceSpec d = make_device(0, 0.0, 2.0, rng, params);
+  EXPECT_EQ(d.diurnal.cls, DiurnalClass::kFlat);
+}
+
+}  // namespace
+}  // namespace hcmd::volunteer

@@ -1,0 +1,114 @@
+#include "volunteer/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hcmd::volunteer {
+namespace {
+
+using util::CivilDate;
+using util::days_from_civil;
+using util::kHcmdEnd;
+using util::kHcmdStart;
+using util::kWcgLaunch;
+
+TEST(Population, ZeroBeforeLaunch) {
+  const WcgPopulationModel model;
+  EXPECT_DOUBLE_EQ(model.base_vftp(-10.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.base_vftp(0.0), 0.0);
+}
+
+TEST(Population, GrowthIsMonotone) {
+  const WcgPopulationModel model;
+  double prev = 0.0;
+  for (double d = 10.0; d <= 1200.0; d += 50.0) {
+    const double v = model.base_vftp(d);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Population, HcmdPeriodAverageMatchesPaper) {
+  // Fig. 6(a) commentary: "The average number of processors available is
+  // 54,947" during the HCMD campaign.
+  const WcgPopulationModel model;
+  const double avg = model.mean_vftp(kHcmdStart, kHcmdEnd);
+  EXPECT_NEAR(avg, 54'947.0, 0.05 * 54'947.0);
+}
+
+TEST(Population, December2007LevelMatchesPaper) {
+  // Section 6: "during the prior week that this paper was written, WCG
+  // received ... an average of 74,825 days of run time per day".
+  const WcgPopulationModel model;
+  const double avg = model.mean_vftp({2007, 12, 3}, {2007, 12, 10});
+  EXPECT_NEAR(avg, 74'825.0, 0.07 * 74'825.0);
+}
+
+TEST(Population, WeekendsDipBelowAdjacentWeekdays) {
+  const WcgPopulationModel model;
+  // Friday / Saturday 2007-03-09 / 2007-03-10.
+  const double friday = model.vftp_on_day(days_from_civil({2007, 3, 9}));
+  const double saturday = model.vftp_on_day(days_from_civil({2007, 3, 10}));
+  EXPECT_GT(friday, saturday);
+}
+
+TEST(Population, ChristmasDipVisible) {
+  const WcgPopulationModel model;
+  // Wednesday 2006-12-27 (Christmas window) vs Wednesday 2006-12-13.
+  const double christmas =
+      model.vftp_on_day(days_from_civil({2006, 12, 27}));
+  const double before = model.vftp_on_day(days_from_civil({2006, 12, 13}));
+  EXPECT_LT(christmas, before);
+}
+
+TEST(Population, DailySeriesCoversRangeInclusive) {
+  const WcgPopulationModel model;
+  const auto series = model.daily_series({2006, 1, 1}, {2006, 1, 31});
+  EXPECT_EQ(series.size(), 31u);
+}
+
+TEST(Population, SeriesDeterministic) {
+  const WcgPopulationModel a, b;
+  EXPECT_EQ(a.daily_series({2006, 5, 1}, {2006, 6, 1}),
+            b.daily_series({2006, 5, 1}, {2006, 6, 1}));
+}
+
+TEST(Population, MembersTrackVftpRatio) {
+  const WcgPopulationModel model;
+  const auto day = days_from_civil({2007, 12, 10});
+  const double members = model.members_on_day(day);
+  // Section 3.1: "more than 344,000 subscribed members".
+  EXPECT_NEAR(members, 344'000.0, 0.10 * 344'000.0);
+  const double devices = model.devices_on_day(day);
+  // "more than 836,000 declared devices".
+  EXPECT_NEAR(devices, 836'000.0, 0.12 * 836'000.0);
+}
+
+TEST(Population, NoiseCanBeDisabled) {
+  PopulationParams p;
+  p.noise_sigma = 0.0;
+  p.seasonality.weekend_factor = 1.0;
+  p.seasonality.christmas_factor = 1.0;
+  p.seasonality.summer_factor = 1.0;
+  const WcgPopulationModel model(p);
+  const auto day = days_from_civil({2006, 3, 15});
+  const double days_since =
+      static_cast<double>(day - days_from_civil(kWcgLaunch));
+  EXPECT_DOUBLE_EQ(model.vftp_on_day(day), model.base_vftp(days_since));
+}
+
+TEST(Population, RejectsBadParams) {
+  PopulationParams p;
+  p.vftp_at_reference = 0.0;
+  EXPECT_THROW(WcgPopulationModel{p}, hcmd::ConfigError);
+  p = {};
+  p.growth_exponent = -1.0;
+  EXPECT_THROW(WcgPopulationModel{p}, hcmd::ConfigError);
+  p = {};
+  p.members_per_vftp = 0.0;
+  EXPECT_THROW(WcgPopulationModel{p}, hcmd::ConfigError);
+}
+
+}  // namespace
+}  // namespace hcmd::volunteer

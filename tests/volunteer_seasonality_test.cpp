@@ -1,0 +1,82 @@
+#include "volunteer/seasonality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hcmd::volunteer {
+namespace {
+
+using util::CivilDate;
+using util::days_from_civil;
+
+TEST(Seasonality, WeekdayBaselineIsOne) {
+  const Seasonality s;
+  // Wednesday 2006-03-15: no holiday, no weekend.
+  EXPECT_DOUBLE_EQ(s.factor_for_day(days_from_civil({2006, 3, 15})), 1.0);
+}
+
+TEST(Seasonality, WeekendDip) {
+  const Seasonality s;
+  // Saturday 2006-03-18.
+  EXPECT_DOUBLE_EQ(s.factor_for_day(days_from_civil({2006, 3, 18})),
+                   s.params().weekend_factor);
+  // Sunday too.
+  EXPECT_DOUBLE_EQ(s.factor_for_day(days_from_civil({2006, 3, 19})),
+                   s.params().weekend_factor);
+  // Monday back to baseline.
+  EXPECT_DOUBLE_EQ(s.factor_for_day(days_from_civil({2006, 3, 20})), 1.0);
+}
+
+TEST(Seasonality, ChristmasDipBothYears) {
+  const Seasonality s;
+  // Paper: dips at Christmas 2005 and 2006.
+  for (int year : {2005, 2006}) {
+    const double f = s.factor_for_day(days_from_civil(
+        {year, 12, 27}));  // a Tuesday in 2005, Wednesday in 2006
+    EXPECT_LE(f, s.params().christmas_factor);
+  }
+  // Jan 5 still in the window; Jan 6 not.
+  EXPECT_LT(s.factor_for_day(days_from_civil({2006, 1, 5})), 1.0);
+  // 2006-01-06 was a Friday.
+  EXPECT_DOUBLE_EQ(s.factor_for_day(days_from_civil({2006, 1, 6})), 1.0);
+}
+
+TEST(Seasonality, SummerDipOnlyInConfiguredYears) {
+  const Seasonality s;  // default: summer 2006 only
+  // Tuesday 2006-07-18.
+  EXPECT_DOUBLE_EQ(s.factor_for_day(days_from_civil({2006, 7, 18})),
+                   s.params().summer_factor);
+  // Wednesday 2005-07-20 and Wednesday 2007-07-18: no dip configured.
+  EXPECT_DOUBLE_EQ(s.factor_for_day(days_from_civil({2005, 7, 20})), 1.0);
+  EXPECT_DOUBLE_EQ(s.factor_for_day(days_from_civil({2007, 7, 18})), 1.0);
+}
+
+TEST(Seasonality, FactorsCompose) {
+  const Seasonality s;
+  // Saturday 2006-12-23: weekend AND Christmas.
+  const double f = s.factor_for_day(days_from_civil({2006, 12, 23}));
+  EXPECT_DOUBLE_EQ(f,
+                   s.params().weekend_factor * s.params().christmas_factor);
+}
+
+TEST(Seasonality, FactorAtOffsetsFromOrigin) {
+  const Seasonality s;
+  const CivilDate origin{2006, 3, 15};  // Wednesday
+  EXPECT_DOUBLE_EQ(s.factor_at(origin, 0.0), 1.0);
+  // +3 days -> Saturday.
+  EXPECT_DOUBLE_EQ(s.factor_at(origin, 3.0 * 86400.0),
+                   s.params().weekend_factor);
+  // Sub-day offsets round down to the civil day.
+  EXPECT_DOUBLE_EQ(s.factor_at(origin, 3.5 * 86400.0),
+                   s.params().weekend_factor);
+}
+
+TEST(Seasonality, RejectsNonPositiveFactors) {
+  SeasonalityParams p;
+  p.weekend_factor = 0.0;
+  EXPECT_THROW(Seasonality{p}, hcmd::ConfigError);
+}
+
+}  // namespace
+}  // namespace hcmd::volunteer

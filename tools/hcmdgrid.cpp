@@ -1,0 +1,216 @@
+// hcmdgrid — command-line driver for the hcmd-grid library.
+//
+// Subcommands:
+//   workload                      generate the 168-protein set, calibrate,
+//                                 print Table-1 statistics and totals
+//   package <hours>               package workunits at the given target
+//   campaign [denom] [hours]      run Phase I at 1/denom scale
+//   phase2 [grid_vftp] [denom]    run a Phase II scenario
+//   project [proteins] [cut] [weeks] [share]
+//                                 closed-form Phase II projection (Table 3)
+//   dock [rec_atoms] [lig_atoms]  run the docking kernel on one couple
+//   calibrate                     replay the Grid'5000 calibration campaign
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/projection.hpp"
+#include "core/campaign.hpp"
+#include "core/phase2.hpp"
+#include "dedicated/calibration.hpp"
+#include "docking/maxdo.hpp"
+#include "packaging/packager.hpp"
+#include "results/storage.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/duration.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hcmd;
+
+int cmd_workload() {
+  const core::Workload w = core::build_workload(core::CampaignConfig{});
+  const util::Summary s = w.mct->summary();
+  std::printf("Benchmark: %zu proteins, sum Nsep = %s, %s candidate "
+              "workunits\n",
+              w.benchmark.proteins.size(),
+              util::with_commas(w.benchmark.total_nsep()).c_str(),
+              util::with_commas(w.benchmark.candidate_workunits()).c_str());
+  std::printf("Mct: mean %.0f s, sigma %.0f, min %.1f, max %.0f, median "
+              "%.0f over %s couples\n",
+              s.mean, s.stddev, s.min, s.max, s.median,
+              util::with_commas(s.count).c_str());
+  std::printf("Formula (1) total: %s (y:d:h:m:s)\n",
+              util::format_ydhms(
+                  w.mct->total_reference_seconds(w.benchmark)).c_str());
+  const results::StorageEstimate storage =
+      results::estimate_storage(w.benchmark);
+  std::printf("Expected results: %s files, %s raw (%s compressed)\n",
+              util::with_commas(storage.files).c_str(),
+              results::format_gb(storage.raw_bytes).c_str(),
+              results::format_gb(storage.compressed_bytes).c_str());
+  return 0;
+}
+
+int cmd_package(double hours) {
+  const core::Workload w = core::build_workload(core::CampaignConfig{});
+  packaging::PackagingConfig cfg;
+  cfg.target_hours = hours;
+  const auto stats = packaging::compute_stats(w.benchmark, *w.mct, cfg, 32,
+                                              1.5 * hours);
+  std::printf("WantedWuExecTime = %.1f h -> %s workunits\n", hours,
+              util::with_commas(stats.workunit_count).c_str());
+  std::printf("mean %s, min %s, max %s, %s small (< h/2)\n",
+              util::format_compact(stats.mean_reference_seconds).c_str(),
+              util::format_compact(stats.min_reference_seconds).c_str(),
+              util::format_compact(stats.max_reference_seconds).c_str(),
+              util::with_commas(stats.small_workunits).c_str());
+  std::printf("%s",
+              util::histogram_chart(stats.duration_hours, 56,
+                                    "workunits").c_str());
+  return 0;
+}
+
+void print_campaign(const core::CampaignReport& r) {
+  std::printf("completed: %s in %.1f weeks (scale 1/%d)\n",
+              r.completed ? "yes" : "NO", r.completion_weeks,
+              static_cast<int>(1.0 / r.scale + 0.5));
+  std::printf("avg VFTP: WCG %.0f | HCMD whole %.0f | HCMD full power "
+              "%.0f\n",
+              r.avg_wcg_vftp_whole, r.avg_hcmd_vftp_whole,
+              r.avg_hcmd_vftp_fullpower);
+  std::printf("results: %.0f received, %.0f useful (%.1f%%), redundancy "
+              "%.2f\n",
+              r.results_received_rescaled(), r.results_useful_rescaled(),
+              100.0 * r.useful_fraction, r.redundancy_factor);
+  if (r.counters.useful_reference_seconds > 0.0) {
+    std::printf("speed-down: gross %.2f, net %.2f\n",
+                r.speeddown.gross_speeddown(), r.speeddown.net_speeddown());
+  }
+  std::printf("credit-based capacity estimate: %.0f reference processors\n",
+              r.credit_reference_processors);
+  std::printf("HCMD weekly VFTP:\n%s",
+              util::line_chart(r.hcmd_vftp_weekly, 70, 10).c_str());
+}
+
+int cmd_campaign(int denom, double hours) {
+  core::CampaignConfig config;
+  config.scale = 1.0 / static_cast<double>(denom);
+  config.packaging.target_hours = hours;
+  print_campaign(core::run_campaign(config));
+  return 0;
+}
+
+int cmd_phase2(double grid_vftp, int denom) {
+  core::Phase2Scenario scenario;
+  if (grid_vftp > 0.0) scenario.grid_vftp = grid_vftp;
+  scenario.scale = 1.0 / static_cast<double>(denom);
+  std::printf("Phase II scenario: grid %.0f VFTP, share %.0f%%, work "
+              "%.2fx phase I\n",
+              scenario.grid_vftp, 100.0 * scenario.grid_share,
+              scenario.work_ratio);
+  print_campaign(core::run_campaign(core::make_phase2_config(scenario)));
+  return 0;
+}
+
+int cmd_project(int argc, char** argv) {
+  analysis::ProjectionInput input;
+  if (argc > 0) input.phase2_proteins = static_cast<std::uint32_t>(std::atoi(argv[0]));
+  if (argc > 1) input.docking_point_reduction = std::atof(argv[1]);
+  if (argc > 2) input.phase2_target_weeks = std::atof(argv[2]);
+  if (argc > 3) input.hcmd_grid_share = std::atof(argv[3]);
+  const analysis::ProjectionResult r = analysis::project_phase2(input);
+  std::printf("work ratio       : %.3fx\n", r.work_ratio);
+  std::printf("cpu time         : %s\n",
+              util::format_ydhms(r.phase2_cpu_seconds).c_str());
+  std::printf("at phase-I rate  : %.1f weeks\n", r.weeks_at_phase1_rate);
+  std::printf("VFTP needed      : %s\n",
+              util::with_commas(std::uint64_t(r.vftp_needed)).c_str());
+  std::printf("members (project): %s\n",
+              util::with_commas(
+                  std::uint64_t(r.members_needed_project)).c_str());
+  std::printf("members (grid)   : %s\n",
+              util::with_commas(
+                  std::uint64_t(r.members_needed_grid)).c_str());
+  std::printf("new volunteers   : %s\n",
+              util::with_commas(
+                  std::uint64_t(r.new_volunteers_needed)).c_str());
+  return 0;
+}
+
+int cmd_dock(std::uint32_t rec_atoms, std::uint32_t lig_atoms) {
+  const auto receptor = proteins::generate_protein(1, rec_atoms, 1.1, 2007);
+  const auto ligand = proteins::generate_protein(2, lig_atoms, 1.0, 2008);
+  docking::MaxDoParams params;
+  params.positions.spacing = 10.0;
+  params.minimizer.max_iterations = 25;
+  params.gamma_steps = 3;
+  docking::MaxDoProgram program(receptor, ligand, params);
+  docking::MaxDoTask task;
+  task.isep_end = std::min<std::uint32_t>(program.nsep(), 4);
+  docking::MaxDoCheckpoint cp;
+  program.run(task, cp);
+  double best = 0.0;
+  for (const auto& r : cp.records) best = std::min(best, r.etot());
+  std::printf("%zu minimisations over %u positions x 21 rotations; best "
+              "E_tot = %.3f kcal/mol; %llu energy evaluations\n",
+              cp.records.size(), task.isep_end, best,
+              static_cast<unsigned long long>(program.work().evaluations));
+  return 0;
+}
+
+int cmd_calibrate() {
+  const core::Workload w = core::build_workload(core::CampaignConfig{});
+  const auto outcome = dedicated::run_calibration(
+      w.benchmark, *w.cost_model, dedicated::grid5000_calibration_slice(),
+      dedicated::ListPolicy::kLongestProcessingTime);
+  std::printf("%0.f jobs on %u processors: makespan %s, cpu %s, "
+              "utilisation %.1f%%\n",
+              outcome.jobs, outcome.batch.processors,
+              util::format_compact(outcome.batch.makespan).c_str(),
+              util::format_compact(outcome.batch.cpu_seconds).c_str(),
+              100.0 * outcome.batch.utilization);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hcmdgrid <command> [args]\n"
+               "  workload\n"
+               "  package <hours>\n"
+               "  campaign [scale_denom=50] [target_hours=4]\n"
+               "  phase2 [grid_vftp=238920] [scale_denom=200]\n"
+               "  project [proteins=4000] [cut=100] [weeks=40] [share=0.25]\n"
+               "  dock [receptor_atoms=120] [ligand_atoms=80]\n"
+               "  calibrate\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "workload") return cmd_workload();
+    if (cmd == "package")
+      return argc > 2 ? cmd_package(std::atof(argv[2])) : usage();
+    if (cmd == "campaign")
+      return cmd_campaign(argc > 2 ? std::atoi(argv[2]) : 50,
+                          argc > 3 ? std::atof(argv[3]) : 4.0);
+    if (cmd == "phase2")
+      return cmd_phase2(argc > 2 ? std::atof(argv[2]) : 0.0,
+                        argc > 3 ? std::atoi(argv[3]) : 200);
+    if (cmd == "project") return cmd_project(argc - 2, argv + 2);
+    if (cmd == "dock")
+      return cmd_dock(argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 120,
+                      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 80);
+    if (cmd == "calibrate") return cmd_calibrate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hcmdgrid: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
