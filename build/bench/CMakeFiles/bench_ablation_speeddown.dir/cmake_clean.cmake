@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_speeddown.dir/bench_ablation_speeddown.cpp.o"
+  "CMakeFiles/bench_ablation_speeddown.dir/bench_ablation_speeddown.cpp.o.d"
+  "bench_ablation_speeddown"
+  "bench_ablation_speeddown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_speeddown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_credit_estimation.dir/bench_credit_estimation.cpp.o"
+  "CMakeFiles/bench_credit_estimation.dir/bench_credit_estimation.cpp.o.d"
+  "bench_credit_estimation"
+  "bench_credit_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_credit_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

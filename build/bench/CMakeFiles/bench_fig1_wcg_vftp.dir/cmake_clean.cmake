@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_wcg_vftp.dir/bench_fig1_wcg_vftp.cpp.o"
+  "CMakeFiles/bench_fig1_wcg_vftp.dir/bench_fig1_wcg_vftp.cpp.o.d"
+  "bench_fig1_wcg_vftp"
+  "bench_fig1_wcg_vftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_wcg_vftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_linearity.dir/bench_fig3_linearity.cpp.o"
+  "CMakeFiles/bench_fig3_linearity.dir/bench_fig3_linearity.cpp.o.d"
+  "bench_fig3_linearity"
+  "bench_fig3_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_hcmd_processors.dir/bench_fig6a_hcmd_processors.cpp.o"
+  "CMakeFiles/bench_fig6a_hcmd_processors.dir/bench_fig6a_hcmd_processors.cpp.o.d"
+  "bench_fig6a_hcmd_processors"
+  "bench_fig6a_hcmd_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_hcmd_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6a_hcmd_processors.
+# This may be replaced when dependencies are built.

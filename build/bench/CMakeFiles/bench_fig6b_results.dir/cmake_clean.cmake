@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_results.dir/bench_fig6b_results.cpp.o"
+  "CMakeFiles/bench_fig6b_results.dir/bench_fig6b_results.cpp.o.d"
+  "bench_fig6b_results"
+  "bench_fig6b_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_progression.cpp" "bench/CMakeFiles/bench_fig7_progression.dir/bench_fig7_progression.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_progression.dir/bench_fig7_progression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hcmd_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hcmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/hcmd_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hcmd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/hcmd_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/dedicated/CMakeFiles/hcmd_dedicated.dir/DependInfo.cmake"
+  "/root/repo/build/src/results/CMakeFiles/hcmd_results.dir/DependInfo.cmake"
+  "/root/repo/build/src/packaging/CMakeFiles/hcmd_packaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/hcmd_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/docking/CMakeFiles/hcmd_docking.dir/DependInfo.cmake"
+  "/root/repo/build/src/proteins/CMakeFiles/hcmd_proteins.dir/DependInfo.cmake"
+  "/root/repo/build/src/volunteer/CMakeFiles/hcmd_volunteer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

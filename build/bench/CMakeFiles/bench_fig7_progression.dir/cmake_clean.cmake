@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_progression.dir/bench_fig7_progression.cpp.o"
+  "CMakeFiles/bench_fig7_progression.dir/bench_fig7_progression.cpp.o.d"
+  "bench_fig7_progression"
+  "bench_fig7_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_real_workunits.dir/bench_fig8_real_workunits.cpp.o"
+  "CMakeFiles/bench_fig8_real_workunits.dir/bench_fig8_real_workunits.cpp.o.d"
+  "bench_fig8_real_workunits"
+  "bench_fig8_real_workunits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_real_workunits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

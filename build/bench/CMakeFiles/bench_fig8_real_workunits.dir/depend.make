@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_real_workunits.
+# This may be replaced when dependencies are built.

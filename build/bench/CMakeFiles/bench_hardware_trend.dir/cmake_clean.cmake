@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hardware_trend.dir/bench_hardware_trend.cpp.o"
+  "CMakeFiles/bench_hardware_trend.dir/bench_hardware_trend.cpp.o.d"
+  "bench_hardware_trend"
+  "bench_hardware_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hardware_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase2_simulation.dir/bench_phase2_simulation.cpp.o"
+  "CMakeFiles/bench_phase2_simulation.dir/bench_phase2_simulation.cpp.o.d"
+  "bench_phase2_simulation"
+  "bench_phase2_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase2_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_grid_equivalence.dir/bench_table2_grid_equivalence.cpp.o"
+  "CMakeFiles/bench_table2_grid_equivalence.dir/bench_table2_grid_equivalence.cpp.o.d"
+  "bench_table2_grid_equivalence"
+  "bench_table2_grid_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_grid_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

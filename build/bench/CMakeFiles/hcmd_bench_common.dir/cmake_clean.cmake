@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/hcmd_bench_common.dir/bench_common.cpp.o.d"
+  "libhcmd_bench_common.a"
+  "libhcmd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcmd_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_small.dir/campaign_small.cpp.o"
+  "CMakeFiles/campaign_small.dir/campaign_small.cpp.o.d"
+  "campaign_small"
+  "campaign_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

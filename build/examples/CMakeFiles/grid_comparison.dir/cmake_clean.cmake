@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_comparison.dir/grid_comparison.cpp.o"
+  "CMakeFiles/grid_comparison.dir/grid_comparison.cpp.o.d"
+  "grid_comparison"
+  "grid_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase2_planner.dir/phase2_planner.cpp.o"
+  "CMakeFiles/phase2_planner.dir/phase2_planner.cpp.o.d"
+  "phase2_planner"
+  "phase2_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase2_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

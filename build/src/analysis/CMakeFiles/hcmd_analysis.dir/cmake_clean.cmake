@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_analysis.dir/concentration.cpp.o"
+  "CMakeFiles/hcmd_analysis.dir/concentration.cpp.o.d"
+  "CMakeFiles/hcmd_analysis.dir/progression.cpp.o"
+  "CMakeFiles/hcmd_analysis.dir/progression.cpp.o.d"
+  "CMakeFiles/hcmd_analysis.dir/projection.cpp.o"
+  "CMakeFiles/hcmd_analysis.dir/projection.cpp.o.d"
+  "CMakeFiles/hcmd_analysis.dir/speeddown.cpp.o"
+  "CMakeFiles/hcmd_analysis.dir/speeddown.cpp.o.d"
+  "CMakeFiles/hcmd_analysis.dir/trend.cpp.o"
+  "CMakeFiles/hcmd_analysis.dir/trend.cpp.o.d"
+  "CMakeFiles/hcmd_analysis.dir/vftp.cpp.o"
+  "CMakeFiles/hcmd_analysis.dir/vftp.cpp.o.d"
+  "libhcmd_analysis.a"
+  "libhcmd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

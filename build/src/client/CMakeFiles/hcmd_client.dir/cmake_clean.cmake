@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_client.dir/agent.cpp.o"
+  "CMakeFiles/hcmd_client.dir/agent.cpp.o.d"
+  "libhcmd_client.a"
+  "libhcmd_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_core.dir/campaign.cpp.o"
+  "CMakeFiles/hcmd_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/hcmd_core.dir/phase2.cpp.o"
+  "CMakeFiles/hcmd_core.dir/phase2.cpp.o.d"
+  "CMakeFiles/hcmd_core.dir/replication.cpp.o"
+  "CMakeFiles/hcmd_core.dir/replication.cpp.o.d"
+  "libhcmd_core.a"
+  "libhcmd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

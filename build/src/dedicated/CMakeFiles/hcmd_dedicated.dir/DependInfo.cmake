@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dedicated/calibration.cpp" "src/dedicated/CMakeFiles/hcmd_dedicated.dir/calibration.cpp.o" "gcc" "src/dedicated/CMakeFiles/hcmd_dedicated.dir/calibration.cpp.o.d"
+  "/root/repo/src/dedicated/grid.cpp" "src/dedicated/CMakeFiles/hcmd_dedicated.dir/grid.cpp.o" "gcc" "src/dedicated/CMakeFiles/hcmd_dedicated.dir/grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/hcmd_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcmd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/docking/CMakeFiles/hcmd_docking.dir/DependInfo.cmake"
+  "/root/repo/build/src/proteins/CMakeFiles/hcmd_proteins.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

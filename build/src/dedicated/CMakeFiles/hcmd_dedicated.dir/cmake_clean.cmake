@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_dedicated.dir/calibration.cpp.o"
+  "CMakeFiles/hcmd_dedicated.dir/calibration.cpp.o.d"
+  "CMakeFiles/hcmd_dedicated.dir/grid.cpp.o"
+  "CMakeFiles/hcmd_dedicated.dir/grid.cpp.o.d"
+  "libhcmd_dedicated.a"
+  "libhcmd_dedicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/docking/cell_list.cpp" "src/docking/CMakeFiles/hcmd_docking.dir/cell_list.cpp.o" "gcc" "src/docking/CMakeFiles/hcmd_docking.dir/cell_list.cpp.o.d"
+  "/root/repo/src/docking/energy.cpp" "src/docking/CMakeFiles/hcmd_docking.dir/energy.cpp.o" "gcc" "src/docking/CMakeFiles/hcmd_docking.dir/energy.cpp.o.d"
+  "/root/repo/src/docking/energy_map.cpp" "src/docking/CMakeFiles/hcmd_docking.dir/energy_map.cpp.o" "gcc" "src/docking/CMakeFiles/hcmd_docking.dir/energy_map.cpp.o.d"
+  "/root/repo/src/docking/maxdo.cpp" "src/docking/CMakeFiles/hcmd_docking.dir/maxdo.cpp.o" "gcc" "src/docking/CMakeFiles/hcmd_docking.dir/maxdo.cpp.o.d"
+  "/root/repo/src/docking/minimizer.cpp" "src/docking/CMakeFiles/hcmd_docking.dir/minimizer.cpp.o" "gcc" "src/docking/CMakeFiles/hcmd_docking.dir/minimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proteins/CMakeFiles/hcmd_proteins.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

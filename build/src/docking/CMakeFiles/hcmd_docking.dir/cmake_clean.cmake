@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_docking.dir/cell_list.cpp.o"
+  "CMakeFiles/hcmd_docking.dir/cell_list.cpp.o.d"
+  "CMakeFiles/hcmd_docking.dir/energy.cpp.o"
+  "CMakeFiles/hcmd_docking.dir/energy.cpp.o.d"
+  "CMakeFiles/hcmd_docking.dir/energy_map.cpp.o"
+  "CMakeFiles/hcmd_docking.dir/energy_map.cpp.o.d"
+  "CMakeFiles/hcmd_docking.dir/maxdo.cpp.o"
+  "CMakeFiles/hcmd_docking.dir/maxdo.cpp.o.d"
+  "CMakeFiles/hcmd_docking.dir/minimizer.cpp.o"
+  "CMakeFiles/hcmd_docking.dir/minimizer.cpp.o.d"
+  "libhcmd_docking.a"
+  "libhcmd_docking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_docking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

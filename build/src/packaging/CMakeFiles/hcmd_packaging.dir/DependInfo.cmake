@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packaging/manifest.cpp" "src/packaging/CMakeFiles/hcmd_packaging.dir/manifest.cpp.o" "gcc" "src/packaging/CMakeFiles/hcmd_packaging.dir/manifest.cpp.o.d"
+  "/root/repo/src/packaging/packager.cpp" "src/packaging/CMakeFiles/hcmd_packaging.dir/packager.cpp.o" "gcc" "src/packaging/CMakeFiles/hcmd_packaging.dir/packager.cpp.o.d"
+  "/root/repo/src/packaging/workunit.cpp" "src/packaging/CMakeFiles/hcmd_packaging.dir/workunit.cpp.o" "gcc" "src/packaging/CMakeFiles/hcmd_packaging.dir/workunit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/hcmd_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/proteins/CMakeFiles/hcmd_proteins.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcmd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/docking/CMakeFiles/hcmd_docking.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

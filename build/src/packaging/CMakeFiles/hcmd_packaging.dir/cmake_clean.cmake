@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_packaging.dir/manifest.cpp.o"
+  "CMakeFiles/hcmd_packaging.dir/manifest.cpp.o.d"
+  "CMakeFiles/hcmd_packaging.dir/packager.cpp.o"
+  "CMakeFiles/hcmd_packaging.dir/packager.cpp.o.d"
+  "CMakeFiles/hcmd_packaging.dir/workunit.cpp.o"
+  "CMakeFiles/hcmd_packaging.dir/workunit.cpp.o.d"
+  "libhcmd_packaging.a"
+  "libhcmd_packaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_packaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

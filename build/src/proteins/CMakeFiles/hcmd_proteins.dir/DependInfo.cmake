@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proteins/generator.cpp" "src/proteins/CMakeFiles/hcmd_proteins.dir/generator.cpp.o" "gcc" "src/proteins/CMakeFiles/hcmd_proteins.dir/generator.cpp.o.d"
+  "/root/repo/src/proteins/protein.cpp" "src/proteins/CMakeFiles/hcmd_proteins.dir/protein.cpp.o" "gcc" "src/proteins/CMakeFiles/hcmd_proteins.dir/protein.cpp.o.d"
+  "/root/repo/src/proteins/starting_positions.cpp" "src/proteins/CMakeFiles/hcmd_proteins.dir/starting_positions.cpp.o" "gcc" "src/proteins/CMakeFiles/hcmd_proteins.dir/starting_positions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

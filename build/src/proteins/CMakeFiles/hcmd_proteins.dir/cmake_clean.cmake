@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_proteins.dir/generator.cpp.o"
+  "CMakeFiles/hcmd_proteins.dir/generator.cpp.o.d"
+  "CMakeFiles/hcmd_proteins.dir/protein.cpp.o"
+  "CMakeFiles/hcmd_proteins.dir/protein.cpp.o.d"
+  "CMakeFiles/hcmd_proteins.dir/starting_positions.cpp.o"
+  "CMakeFiles/hcmd_proteins.dir/starting_positions.cpp.o.d"
+  "libhcmd_proteins.a"
+  "libhcmd_proteins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_proteins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/results/archive.cpp" "src/results/CMakeFiles/hcmd_results.dir/archive.cpp.o" "gcc" "src/results/CMakeFiles/hcmd_results.dir/archive.cpp.o.d"
+  "/root/repo/src/results/result_file.cpp" "src/results/CMakeFiles/hcmd_results.dir/result_file.cpp.o" "gcc" "src/results/CMakeFiles/hcmd_results.dir/result_file.cpp.o.d"
+  "/root/repo/src/results/storage.cpp" "src/results/CMakeFiles/hcmd_results.dir/storage.cpp.o" "gcc" "src/results/CMakeFiles/hcmd_results.dir/storage.cpp.o.d"
+  "/root/repo/src/results/verification.cpp" "src/results/CMakeFiles/hcmd_results.dir/verification.cpp.o" "gcc" "src/results/CMakeFiles/hcmd_results.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/docking/CMakeFiles/hcmd_docking.dir/DependInfo.cmake"
+  "/root/repo/build/src/packaging/CMakeFiles/hcmd_packaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcmd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/hcmd_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/proteins/CMakeFiles/hcmd_proteins.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

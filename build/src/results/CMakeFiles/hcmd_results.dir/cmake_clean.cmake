@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_results.dir/archive.cpp.o"
+  "CMakeFiles/hcmd_results.dir/archive.cpp.o.d"
+  "CMakeFiles/hcmd_results.dir/result_file.cpp.o"
+  "CMakeFiles/hcmd_results.dir/result_file.cpp.o.d"
+  "CMakeFiles/hcmd_results.dir/storage.cpp.o"
+  "CMakeFiles/hcmd_results.dir/storage.cpp.o.d"
+  "CMakeFiles/hcmd_results.dir/verification.cpp.o"
+  "CMakeFiles/hcmd_results.dir/verification.cpp.o.d"
+  "libhcmd_results.a"
+  "libhcmd_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

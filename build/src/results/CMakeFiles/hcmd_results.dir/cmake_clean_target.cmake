@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcmd_results.a"
+)

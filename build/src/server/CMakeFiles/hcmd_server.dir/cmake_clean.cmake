@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_server.dir/credit.cpp.o"
+  "CMakeFiles/hcmd_server.dir/credit.cpp.o.d"
+  "CMakeFiles/hcmd_server.dir/server.cpp.o"
+  "CMakeFiles/hcmd_server.dir/server.cpp.o.d"
+  "CMakeFiles/hcmd_server.dir/share_schedule.cpp.o"
+  "CMakeFiles/hcmd_server.dir/share_schedule.cpp.o.d"
+  "libhcmd_server.a"
+  "libhcmd_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

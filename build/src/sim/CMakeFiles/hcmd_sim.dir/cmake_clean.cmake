@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_sim.dir/metrics.cpp.o"
+  "CMakeFiles/hcmd_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/hcmd_sim.dir/simulation.cpp.o"
+  "CMakeFiles/hcmd_sim.dir/simulation.cpp.o.d"
+  "libhcmd_sim.a"
+  "libhcmd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

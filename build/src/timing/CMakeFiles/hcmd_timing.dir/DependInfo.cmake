@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/cost_model.cpp" "src/timing/CMakeFiles/hcmd_timing.dir/cost_model.cpp.o" "gcc" "src/timing/CMakeFiles/hcmd_timing.dir/cost_model.cpp.o.d"
+  "/root/repo/src/timing/linearity.cpp" "src/timing/CMakeFiles/hcmd_timing.dir/linearity.cpp.o" "gcc" "src/timing/CMakeFiles/hcmd_timing.dir/linearity.cpp.o.d"
+  "/root/repo/src/timing/mct_matrix.cpp" "src/timing/CMakeFiles/hcmd_timing.dir/mct_matrix.cpp.o" "gcc" "src/timing/CMakeFiles/hcmd_timing.dir/mct_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proteins/CMakeFiles/hcmd_proteins.dir/DependInfo.cmake"
+  "/root/repo/build/src/docking/CMakeFiles/hcmd_docking.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_timing.dir/cost_model.cpp.o"
+  "CMakeFiles/hcmd_timing.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hcmd_timing.dir/linearity.cpp.o"
+  "CMakeFiles/hcmd_timing.dir/linearity.cpp.o.d"
+  "CMakeFiles/hcmd_timing.dir/mct_matrix.cpp.o"
+  "CMakeFiles/hcmd_timing.dir/mct_matrix.cpp.o.d"
+  "libhcmd_timing.a"
+  "libhcmd_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/hcmd_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/hcmd_util.dir/calendar.cpp.o"
+  "CMakeFiles/hcmd_util.dir/calendar.cpp.o.d"
+  "CMakeFiles/hcmd_util.dir/duration.cpp.o"
+  "CMakeFiles/hcmd_util.dir/duration.cpp.o.d"
+  "CMakeFiles/hcmd_util.dir/rng.cpp.o"
+  "CMakeFiles/hcmd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hcmd_util.dir/stats.cpp.o"
+  "CMakeFiles/hcmd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hcmd_util.dir/table.cpp.o"
+  "CMakeFiles/hcmd_util.dir/table.cpp.o.d"
+  "CMakeFiles/hcmd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hcmd_util.dir/thread_pool.cpp.o.d"
+  "libhcmd_util.a"
+  "libhcmd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

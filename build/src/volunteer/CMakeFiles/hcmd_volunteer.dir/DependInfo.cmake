@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/volunteer/device.cpp" "src/volunteer/CMakeFiles/hcmd_volunteer.dir/device.cpp.o" "gcc" "src/volunteer/CMakeFiles/hcmd_volunteer.dir/device.cpp.o.d"
+  "/root/repo/src/volunteer/diurnal.cpp" "src/volunteer/CMakeFiles/hcmd_volunteer.dir/diurnal.cpp.o" "gcc" "src/volunteer/CMakeFiles/hcmd_volunteer.dir/diurnal.cpp.o.d"
+  "/root/repo/src/volunteer/population.cpp" "src/volunteer/CMakeFiles/hcmd_volunteer.dir/population.cpp.o" "gcc" "src/volunteer/CMakeFiles/hcmd_volunteer.dir/population.cpp.o.d"
+  "/root/repo/src/volunteer/seasonality.cpp" "src/volunteer/CMakeFiles/hcmd_volunteer.dir/seasonality.cpp.o" "gcc" "src/volunteer/CMakeFiles/hcmd_volunteer.dir/seasonality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmd_volunteer.dir/device.cpp.o"
+  "CMakeFiles/hcmd_volunteer.dir/device.cpp.o.d"
+  "CMakeFiles/hcmd_volunteer.dir/diurnal.cpp.o"
+  "CMakeFiles/hcmd_volunteer.dir/diurnal.cpp.o.d"
+  "CMakeFiles/hcmd_volunteer.dir/population.cpp.o"
+  "CMakeFiles/hcmd_volunteer.dir/population.cpp.o.d"
+  "CMakeFiles/hcmd_volunteer.dir/seasonality.cpp.o"
+  "CMakeFiles/hcmd_volunteer.dir/seasonality.cpp.o.d"
+  "libhcmd_volunteer.a"
+  "libhcmd_volunteer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmd_volunteer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

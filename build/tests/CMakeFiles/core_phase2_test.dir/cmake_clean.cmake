@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_phase2_test.dir/core_phase2_test.cpp.o"
+  "CMakeFiles/core_phase2_test.dir/core_phase2_test.cpp.o.d"
+  "core_phase2_test"
+  "core_phase2_test.pdb"
+  "core_phase2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_phase2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_replication_test.dir/core_replication_test.cpp.o"
+  "CMakeFiles/core_replication_test.dir/core_replication_test.cpp.o.d"
+  "core_replication_test"
+  "core_replication_test.pdb"
+  "core_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

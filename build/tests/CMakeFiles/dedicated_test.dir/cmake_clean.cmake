@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedicated_test.dir/dedicated_test.cpp.o"
+  "CMakeFiles/dedicated_test.dir/dedicated_test.cpp.o.d"
+  "dedicated_test"
+  "dedicated_test.pdb"
+  "dedicated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedicated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docking_cell_list_test.dir/docking_cell_list_test.cpp.o"
+  "CMakeFiles/docking_cell_list_test.dir/docking_cell_list_test.cpp.o.d"
+  "docking_cell_list_test"
+  "docking_cell_list_test.pdb"
+  "docking_cell_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docking_cell_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

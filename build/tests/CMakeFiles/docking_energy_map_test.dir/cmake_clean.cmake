@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docking_energy_map_test.dir/docking_energy_map_test.cpp.o"
+  "CMakeFiles/docking_energy_map_test.dir/docking_energy_map_test.cpp.o.d"
+  "docking_energy_map_test"
+  "docking_energy_map_test.pdb"
+  "docking_energy_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docking_energy_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docking_maxdo_test.dir/docking_maxdo_test.cpp.o"
+  "CMakeFiles/docking_maxdo_test.dir/docking_maxdo_test.cpp.o.d"
+  "docking_maxdo_test"
+  "docking_maxdo_test.pdb"
+  "docking_maxdo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docking_maxdo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

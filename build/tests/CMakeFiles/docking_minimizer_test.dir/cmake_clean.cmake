@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docking_minimizer_test.dir/docking_minimizer_test.cpp.o"
+  "CMakeFiles/docking_minimizer_test.dir/docking_minimizer_test.cpp.o.d"
+  "docking_minimizer_test"
+  "docking_minimizer_test.pdb"
+  "docking_minimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docking_minimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_campaign_test.dir/integration_campaign_test.cpp.o"
+  "CMakeFiles/integration_campaign_test.dir/integration_campaign_test.cpp.o.d"
+  "integration_campaign_test"
+  "integration_campaign_test.pdb"
+  "integration_campaign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

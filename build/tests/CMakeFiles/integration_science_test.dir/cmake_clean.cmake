@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_science_test.dir/integration_science_test.cpp.o"
+  "CMakeFiles/integration_science_test.dir/integration_science_test.cpp.o.d"
+  "integration_science_test"
+  "integration_science_test.pdb"
+  "integration_science_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_science_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

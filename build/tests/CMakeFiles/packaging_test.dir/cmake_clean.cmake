@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packaging_test.dir/packaging_test.cpp.o"
+  "CMakeFiles/packaging_test.dir/packaging_test.cpp.o.d"
+  "packaging_test"
+  "packaging_test.pdb"
+  "packaging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packaging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

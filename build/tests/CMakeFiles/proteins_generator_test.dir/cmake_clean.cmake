@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteins_generator_test.dir/proteins_generator_test.cpp.o"
+  "CMakeFiles/proteins_generator_test.dir/proteins_generator_test.cpp.o.d"
+  "proteins_generator_test"
+  "proteins_generator_test.pdb"
+  "proteins_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteins_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

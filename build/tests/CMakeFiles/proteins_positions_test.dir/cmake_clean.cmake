@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteins_positions_test.dir/proteins_positions_test.cpp.o"
+  "CMakeFiles/proteins_positions_test.dir/proteins_positions_test.cpp.o.d"
+  "proteins_positions_test"
+  "proteins_positions_test.pdb"
+  "proteins_positions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteins_positions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

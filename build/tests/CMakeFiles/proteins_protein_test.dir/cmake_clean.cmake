@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteins_protein_test.dir/proteins_protein_test.cpp.o"
+  "CMakeFiles/proteins_protein_test.dir/proteins_protein_test.cpp.o.d"
+  "proteins_protein_test"
+  "proteins_protein_test.pdb"
+  "proteins_protein_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteins_protein_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/results_archive_test.dir/results_archive_test.cpp.o"
+  "CMakeFiles/results_archive_test.dir/results_archive_test.cpp.o.d"
+  "results_archive_test"
+  "results_archive_test.pdb"
+  "results_archive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/results_archive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

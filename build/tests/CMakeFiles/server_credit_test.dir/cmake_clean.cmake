@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_credit_test.dir/server_credit_test.cpp.o"
+  "CMakeFiles/server_credit_test.dir/server_credit_test.cpp.o.d"
+  "server_credit_test"
+  "server_credit_test.pdb"
+  "server_credit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_credit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_schedule_test.dir/server_schedule_test.cpp.o"
+  "CMakeFiles/server_schedule_test.dir/server_schedule_test.cpp.o.d"
+  "server_schedule_test"
+  "server_schedule_test.pdb"
+  "server_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

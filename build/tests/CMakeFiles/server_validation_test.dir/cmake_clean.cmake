@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_validation_test.dir/server_validation_test.cpp.o"
+  "CMakeFiles/server_validation_test.dir/server_validation_test.cpp.o.d"
+  "server_validation_test"
+  "server_validation_test.pdb"
+  "server_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

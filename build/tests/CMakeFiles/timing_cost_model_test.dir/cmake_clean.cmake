@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_cost_model_test.dir/timing_cost_model_test.cpp.o"
+  "CMakeFiles/timing_cost_model_test.dir/timing_cost_model_test.cpp.o.d"
+  "timing_cost_model_test"
+  "timing_cost_model_test.pdb"
+  "timing_cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

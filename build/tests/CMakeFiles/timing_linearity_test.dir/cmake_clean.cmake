@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_linearity_test.dir/timing_linearity_test.cpp.o"
+  "CMakeFiles/timing_linearity_test.dir/timing_linearity_test.cpp.o.d"
+  "timing_linearity_test"
+  "timing_linearity_test.pdb"
+  "timing_linearity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_linearity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

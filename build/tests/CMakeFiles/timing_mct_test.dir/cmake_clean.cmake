@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_mct_test.dir/timing_mct_test.cpp.o"
+  "CMakeFiles/timing_mct_test.dir/timing_mct_test.cpp.o.d"
+  "timing_mct_test"
+  "timing_mct_test.pdb"
+  "timing_mct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_mct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

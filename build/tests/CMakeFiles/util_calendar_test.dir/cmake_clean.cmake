@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_calendar_test.dir/util_calendar_test.cpp.o"
+  "CMakeFiles/util_calendar_test.dir/util_calendar_test.cpp.o.d"
+  "util_calendar_test"
+  "util_calendar_test.pdb"
+  "util_calendar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_calendar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

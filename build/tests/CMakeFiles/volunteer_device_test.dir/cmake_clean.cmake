@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volunteer_device_test.dir/volunteer_device_test.cpp.o"
+  "CMakeFiles/volunteer_device_test.dir/volunteer_device_test.cpp.o.d"
+  "volunteer_device_test"
+  "volunteer_device_test.pdb"
+  "volunteer_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volunteer_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

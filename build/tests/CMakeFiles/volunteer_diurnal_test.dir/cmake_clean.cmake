@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volunteer_diurnal_test.dir/volunteer_diurnal_test.cpp.o"
+  "CMakeFiles/volunteer_diurnal_test.dir/volunteer_diurnal_test.cpp.o.d"
+  "volunteer_diurnal_test"
+  "volunteer_diurnal_test.pdb"
+  "volunteer_diurnal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volunteer_diurnal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volunteer_population_test.dir/volunteer_population_test.cpp.o"
+  "CMakeFiles/volunteer_population_test.dir/volunteer_population_test.cpp.o.d"
+  "volunteer_population_test"
+  "volunteer_population_test.pdb"
+  "volunteer_population_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volunteer_population_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volunteer_seasonality_test.dir/volunteer_seasonality_test.cpp.o"
+  "CMakeFiles/volunteer_seasonality_test.dir/volunteer_seasonality_test.cpp.o.d"
+  "volunteer_seasonality_test"
+  "volunteer_seasonality_test.pdb"
+  "volunteer_seasonality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volunteer_seasonality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[ScienceE2E.WholeCrossDockingThroughTheArchive]=]  /root/repo/build/tests/integration_science_test [==[--gtest_filter=ScienceE2E.WholeCrossDockingThroughTheArchive]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ScienceE2E.WholeCrossDockingThroughTheArchive]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_science_test_TESTS ScienceE2E.WholeCrossDockingThroughTheArchive)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmdgrid.dir/hcmdgrid.cpp.o"
+  "CMakeFiles/hcmdgrid.dir/hcmdgrid.cpp.o.d"
+  "hcmdgrid"
+  "hcmdgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmdgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
