@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "docking/cell_list.hpp"
+#include "docking/engine.hpp"
 #include "docking/maxdo.hpp"
 #include "packaging/packager.hpp"
 #include "proteins/generator.hpp"
@@ -53,20 +54,86 @@ void BM_InteractionEnergyCellList(benchmark::State& state) {
 }
 BENCHMARK(BM_InteractionEnergyCellList)->Arg(50)->Arg(150)->Arg(400)->Arg(1200);
 
+void BM_InteractionEnergyEngine(benchmark::State& state) {
+  const auto receptor = proteins::generate_protein(
+      1, static_cast<std::uint32_t>(state.range(0)), 1.0, 11);
+  const auto ligand = proteins::generate_protein(
+      2, static_cast<std::uint32_t>(state.range(0)), 1.0, 12);
+  proteins::Dof6 pose;
+  pose.x = receptor.bounding_radius() + ligand.bounding_radius() + 2.0;
+  const docking::DockingEngine engine(receptor, ligand,
+                                      docking::EnergyParams{});
+  auto scratch = engine.make_scratch();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.energy(pose.to_transform(), scratch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(receptor.size()) *
+                          static_cast<std::int64_t>(ligand.size()));
+}
+BENCHMARK(BM_InteractionEnergyEngine)->Arg(50)->Arg(150)->Arg(400)->Arg(1200);
+
+// Minimiser hot path, legacy flat sweep (arg 0) vs DockingEngine with
+// cell-list pruning + SoA + scratch reuse (arg 1), across receptor sizes.
+// The engine/flat ratio at >= 400 atoms is the PR's acceptance metric,
+// snapshotted in BENCH_kernels.json.
 void BM_Minimize(benchmark::State& state) {
-  const auto receptor = proteins::generate_protein(1, 80, 1.0, 13);
+  const bool use_engine = state.range(0) != 0;
+  const auto n_atoms = static_cast<std::uint32_t>(state.range(1));
+  const auto receptor = proteins::generate_protein(1, n_atoms, 1.0, 13);
   const auto ligand = proteins::generate_protein(2, 60, 1.1, 14);
   proteins::Dof6 start;
   start.x = receptor.bounding_radius() + ligand.bounding_radius() + 4.0;
   const docking::EnergyParams energy;
   docking::MinimizerParams params;
-  params.max_iterations = static_cast<std::uint32_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        docking::minimize(receptor, ligand, start, energy, params));
+  params.max_iterations = 10;
+  if (use_engine) {
+    const docking::DockingEngine engine(receptor, ligand, energy);
+    auto scratch = engine.make_scratch();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          docking::minimize(engine, start, params, scratch));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          docking::minimize(receptor, ligand, start, energy, params));
+    }
   }
 }
-BENCHMARK(BM_Minimize)->Arg(5)->Arg(20)->Arg(40);
+BENCHMARK(BM_Minimize)
+    ->ArgNames({"engine", "atoms"})
+    ->Args({0, 80})
+    ->Args({1, 80})
+    ->Args({0, 400})
+    ->Args({1, 400})
+    ->Args({0, 1200})
+    ->Args({1, 1200});
+
+// One full MaxDo starting position (all 21 rotation couples), flat
+// reference backend (arg 0) vs the engine's cell-list backend (arg 1).
+void BM_MaxDoPosition(benchmark::State& state) {
+  const auto receptor = proteins::generate_protein(1, 400, 1.0, 13);
+  const auto ligand = proteins::generate_protein(2, 60, 1.1, 14);
+  docking::MaxDoParams params;
+  params.minimizer.max_iterations = 5;
+  params.gamma_steps = 2;
+  params.engine.backend = state.range(0) != 0
+                              ? docking::EnergyBackend::kCellList
+                              : docking::EnergyBackend::kFlat;
+  docking::MaxDoProgram program(receptor, ligand, params);
+  docking::MaxDoTask task;
+  task.isep_begin = 0;
+  task.isep_end = 1;
+  for (auto _ : state) {
+    docking::MaxDoCheckpoint cp;
+    program.run(task, cp);
+    benchmark::DoNotOptimize(cp.records.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(task.rotations()));
+}
+BENCHMARK(BM_MaxDoPosition)->ArgNames({"engine"})->Arg(0)->Arg(1);
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

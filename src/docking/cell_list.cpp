@@ -73,6 +73,7 @@ InteractionEnergy ReceptorCellGrid::interaction_energy(
   const double min_d2 = params.min_distance * params.min_distance;
   const auto& ratoms = receptor_.atoms();
   std::uint64_t inspected = 0;
+  std::uint64_t within = 0;
 
   for (const auto& la : ligand.atoms()) {
     const Vec3 lp = pose.apply(la.position);
@@ -101,6 +102,7 @@ InteractionEnergy ReceptorCellGrid::interaction_energy(
             ++inspected;
             if (r2 > cutoff2) continue;
             if (r2 < min_d2) r2 = min_d2;
+            ++within;
 
             const double rmin = la.lj_radius + ra.lj_radius;
             const double s2 = (rmin * rmin) / r2;
@@ -119,7 +121,12 @@ InteractionEnergy ReceptorCellGrid::interaction_energy(
 
   if (work != nullptr) {
     ++work->evaluations;
-    work->pair_terms += inspected;
+    // pair_terms is the nominal cost-model unit (n1*n2), identical across
+    // backends; the pruning win shows up in inspected_pairs.
+    work->pair_terms +=
+        static_cast<std::uint64_t>(ratoms.size()) * ligand.size();
+    work->inspected_pairs += inspected;
+    work->within_cutoff_pairs += within;
   }
   return e;
 }

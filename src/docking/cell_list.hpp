@@ -37,8 +37,8 @@ class ReceptorCellGrid {
   /// only receptor atoms in the 27 cells around each ligand atom. `params`
   /// must use a cutoff <= the grid's construction cutoff (checked).
   ///
-  /// The WorkCounter's pair_terms records pairs actually *inspected*,
-  /// typically far below n1*n2 — which is the point.
+  /// The WorkCounter's inspected_pairs records pairs actually examined,
+  /// typically far below the nominal n1*n2 pair_terms — which is the point.
   InteractionEnergy interaction_energy(const proteins::ReducedProtein& ligand,
                                        const proteins::RigidTransform& pose,
                                        const EnergyParams& params,

@@ -47,9 +47,11 @@ InteractionEnergy interaction_energy(const proteins::ReducedProtein& receptor,
 
   if (work != nullptr) {
     ++work->evaluations;
-    work->pair_terms +=
+    const std::uint64_t nominal =
         static_cast<std::uint64_t>(receptor.size()) * ligand.size();
-    (void)pairs;
+    work->pair_terms += nominal;
+    work->inspected_pairs += nominal;  // the flat sweep examines every pair
+    work->within_cutoff_pairs += pairs;
   }
   return e;
 }

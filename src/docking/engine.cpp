@@ -1,0 +1,278 @@
+#include "docking/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hcmd::docking {
+
+using proteins::Vec3;
+
+namespace {
+
+/// Appends one atom to a SoA block.
+void push_atom(const proteins::PseudoAtom& a, std::vector<double>& x,
+               std::vector<double>& y, std::vector<double>& z,
+               std::vector<double>& rad, std::vector<double>& seps,
+               std::vector<double>& q) {
+  x.push_back(a.position.x);
+  y.push_back(a.position.y);
+  z.push_back(a.position.z);
+  rad.push_back(a.lj_radius);
+  seps.push_back(std::sqrt(a.lj_epsilon));
+  q.push_back(a.charge);
+}
+
+}  // namespace
+
+DockingEngine::DockingEngine(const proteins::ReducedProtein& receptor,
+                             const proteins::ReducedProtein& ligand,
+                             EnergyParams params, EngineConfig config)
+    : params_(params), config_(config) {
+  if (!(params_.cutoff > 0.0))
+    throw ConfigError("DockingEngine: cutoff must be > 0");
+
+  const std::size_t nl = ligand.size();
+  lx_.reserve(nl);
+  ly_.reserve(nl);
+  lz_.reserve(nl);
+  lrad_.reserve(nl);
+  lseps_.reserve(nl);
+  lq_.reserve(nl);
+  for (const auto& a : ligand.atoms())
+    push_atom(a, lx_, ly_, lz_, lrad_, lseps_, lq_);
+
+  const std::size_t nr = receptor.size();
+  rx_.reserve(nr);
+  ry_.reserve(nr);
+  rz_.reserve(nr);
+  rrad_.reserve(nr);
+  rseps_.reserve(nr);
+  rq_.reserve(nr);
+  if (config_.backend == EnergyBackend::kCellList) {
+    if (nr > 0) {
+      build_cell_grid(receptor.atoms());
+    } else {
+      cell_start_.assign(2, 0);  // one empty cell keeps lookups in range
+    }
+  } else {
+    // Flat backend: keep the receptor in its original order so the
+    // summation order matches the reference sweep in energy.cpp.
+    for (const auto& a : receptor.atoms())
+      push_atom(a, rx_, ry_, rz_, rrad_, rseps_, rq_);
+  }
+}
+
+void DockingEngine::build_cell_grid(
+    const std::vector<proteins::PseudoAtom>& atoms) {
+  const double edge = params_.cutoff;
+  Vec3 lo = atoms.front().position;
+  Vec3 hi = lo;
+  for (const auto& a : atoms) {
+    lo.x = std::min(lo.x, a.position.x);
+    lo.y = std::min(lo.y, a.position.y);
+    lo.z = std::min(lo.z, a.position.z);
+    hi.x = std::max(hi.x, a.position.x);
+    hi.y = std::max(hi.y, a.position.y);
+    hi.z = std::max(hi.z, a.position.z);
+  }
+  origin_ = lo;
+  nx_ = std::max(1, static_cast<int>(std::floor((hi.x - lo.x) / edge)) + 1);
+  ny_ = std::max(1, static_cast<int>(std::floor((hi.y - lo.y) / edge)) + 1);
+  nz_ = std::max(1, static_cast<int>(std::floor((hi.z - lo.z) / edge)) + 1);
+
+  const std::size_t n_cells = static_cast<std::size_t>(nx_) * ny_ * nz_;
+  auto cell_of = [&](const Vec3& p) {
+    const int cx = std::clamp(
+        static_cast<int>(std::floor((p.x - origin_.x) / edge)), 0, nx_ - 1);
+    const int cy = std::clamp(
+        static_cast<int>(std::floor((p.y - origin_.y) / edge)), 0, ny_ - 1);
+    const int cz = std::clamp(
+        static_cast<int>(std::floor((p.z - origin_.z) / edge)), 0, nz_ - 1);
+    return flat_cell(cx, cy, cz);
+  };
+
+  // Counting sort: CSR offsets, then emit the SoA arrays in cell order so
+  // every cell is a contiguous slice of the receptor arrays.
+  std::vector<std::uint32_t> counts(n_cells, 0);
+  for (const auto& a : atoms) ++counts[cell_of(a.position)];
+  cell_start_.assign(n_cells + 1, 0);
+  for (std::size_t c = 0; c < n_cells; ++c)
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+
+  const std::size_t nr = atoms.size();
+  rx_.resize(nr);
+  ry_.resize(nr);
+  rz_.resize(nr);
+  rrad_.resize(nr);
+  rseps_.resize(nr);
+  rq_.resize(nr);
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (const auto& a : atoms) {
+    const std::uint32_t slot = cursor[cell_of(a.position)]++;
+    rx_[slot] = a.position.x;
+    ry_[slot] = a.position.y;
+    rz_[slot] = a.position.z;
+    rrad_[slot] = a.lj_radius;
+    rseps_[slot] = std::sqrt(a.lj_epsilon);
+    rq_[slot] = a.charge;
+  }
+}
+
+DockingEngine::Scratch DockingEngine::make_scratch() const {
+  Scratch s;
+  s.x.resize(lx_.size());
+  s.y.resize(lx_.size());
+  s.z.resize(lx_.size());
+  return s;
+}
+
+InteractionEnergy DockingEngine::energy(const proteins::RigidTransform& pose,
+                                        Scratch& scratch,
+                                        WorkCounter* work) const {
+  const std::size_t nl = lx_.size();
+  if (scratch.x.size() != nl) {
+    scratch.x.resize(nl);
+    scratch.y.resize(nl);
+    scratch.z.resize(nl);
+  }
+  // Transform the whole ligand once per evaluation (SoA in, SoA out).
+  const auto& m = pose.rotation.m;
+  const Vec3 t = pose.translation;
+  for (std::size_t i = 0; i < nl; ++i) {
+    const double x = lx_[i], y = ly_[i], z = lz_[i];
+    scratch.x[i] = m[0][0] * x + m[0][1] * y + m[0][2] * z + t.x;
+    scratch.y[i] = m[1][0] * x + m[1][1] * y + m[1][2] * z + t.y;
+    scratch.z[i] = m[2][0] * x + m[2][1] * y + m[2][2] * z + t.z;
+  }
+
+  std::uint64_t inspected = 0, within = 0;
+  const InteractionEnergy e =
+      config_.backend == EnergyBackend::kCellList
+          ? accumulate_cells(scratch, &inspected, &within)
+          : accumulate_flat(scratch, &inspected, &within);
+
+  if (work != nullptr) {
+    ++work->evaluations;
+    work->pair_terms += static_cast<std::uint64_t>(rx_.size()) * nl;
+    work->inspected_pairs += inspected;
+    work->within_cutoff_pairs += within;
+  }
+  return e;
+}
+
+InteractionEnergy DockingEngine::energy(const proteins::RigidTransform& pose,
+                                        WorkCounter* work) const {
+  Scratch scratch = make_scratch();
+  return energy(pose, scratch, work);
+}
+
+InteractionEnergy DockingEngine::accumulate_flat(const Scratch& s,
+                                                 std::uint64_t* inspected,
+                                                 std::uint64_t* within) const {
+  InteractionEnergy e;
+  const double cutoff2 = params_.cutoff * params_.cutoff;
+  const double min_d2 = params_.min_distance * params_.min_distance;
+  const double ke = params_.coulomb_constant / params_.dielectric_slope;
+  const std::size_t nl = lx_.size();
+  const std::size_t nr = rx_.size();
+  std::uint64_t hits = 0;
+  const double* const rx = rx_.data();
+  const double* const ry = ry_.data();
+  const double* const rz = rz_.data();
+  const double* const rrad = rrad_.data();
+  const double* const rseps = rseps_.data();
+  const double* const rq = rq_.data();
+
+  for (std::size_t i = 0; i < nl; ++i) {
+    const double lxi = s.x[i], lyi = s.y[i], lzi = s.z[i];
+    const double lrad = lrad_[i], lse = lseps_[i];
+    const double lqke = lq_[i] * ke;
+    for (std::size_t j = 0; j < nr; ++j) {
+      const double dx = lxi - rx[j];
+      const double dy = lyi - ry[j];
+      const double dz = lzi - rz[j];
+      double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 > cutoff2) continue;
+      if (r2 < min_d2) r2 = min_d2;
+      ++hits;
+
+      // One division serves both terms; the electrostatic add is
+      // unconditional (uncharged pairs contribute an exact 0.0).
+      const double inv_r2 = 1.0 / r2;
+      const double rmin = lrad + rrad[j];
+      const double s2 = (rmin * rmin) * inv_r2;
+      const double s6 = s2 * s2 * s2;
+      e.lj += (lse * rseps[j]) * (s6 * s6 - 2.0 * s6);
+      e.elec += (lqke * rq[j]) * inv_r2;
+    }
+  }
+  *inspected = static_cast<std::uint64_t>(nl) * nr;
+  *within = hits;
+  return e;
+}
+
+InteractionEnergy DockingEngine::accumulate_cells(
+    const Scratch& s, std::uint64_t* inspected, std::uint64_t* within) const {
+  InteractionEnergy e;
+  const double edge = params_.cutoff;
+  const double cutoff2 = edge * edge;
+  const double min_d2 = params_.min_distance * params_.min_distance;
+  const double ke = params_.coulomb_constant / params_.dielectric_slope;
+  const std::size_t nl = lx_.size();
+  std::uint64_t looked = 0, hits = 0;
+  const double* const rx = rx_.data();
+  const double* const ry = ry_.data();
+  const double* const rz = rz_.data();
+  const double* const rrad = rrad_.data();
+  const double* const rseps = rseps_.data();
+  const double* const rq = rq_.data();
+
+  for (std::size_t i = 0; i < nl; ++i) {
+    const double lxi = s.x[i], lyi = s.y[i], lzi = s.z[i];
+    const double lrad = lrad_[i], lse = lseps_[i];
+    const double lqke = lq_[i] * ke;
+    const int cx = static_cast<int>(std::floor((lxi - origin_.x) / edge));
+    const int cy = static_cast<int>(std::floor((lyi - origin_.y) / edge));
+    const int cz = static_cast<int>(std::floor((lzi - origin_.z) / edge));
+    // A ligand atom outside the receptor box can still interact with
+    // boundary cells; clamp the 3x3x3 window into the grid.
+    const int x0 = std::max(0, cx - 1), x1 = std::min(nx_ - 1, cx + 1);
+    const int y0 = std::max(0, cy - 1), y1 = std::min(ny_ - 1, cy + 1);
+    const int z0 = std::max(0, cz - 1), z1 = std::min(nz_ - 1, cz + 1);
+    if (x0 > x1 || y0 > y1 || z0 > z1) continue;  // window fully outside
+
+    for (int z = z0; z <= z1; ++z) {
+      for (int y = y0; y <= y1; ++y) {
+        // The x-run of a (y, z) row is contiguous in the permuted SoA, so
+        // fuse the three x-cells into one linear slice.
+        const std::uint32_t begin = cell_start_[flat_cell(x0, y, z)];
+        const std::uint32_t end = cell_start_[flat_cell(x1, y, z) + 1];
+        looked += end - begin;
+        for (std::uint32_t j = begin; j < end; ++j) {
+          const double dx = lxi - rx[j];
+          const double dy = lyi - ry[j];
+          const double dz = lzi - rz[j];
+          double r2 = dx * dx + dy * dy + dz * dz;
+          if (r2 > cutoff2) continue;
+          if (r2 < min_d2) r2 = min_d2;
+          ++hits;
+
+          const double inv_r2 = 1.0 / r2;
+          const double rmin = lrad + rrad[j];
+          const double s2 = (rmin * rmin) * inv_r2;
+          const double s6 = s2 * s2 * s2;
+          e.lj += (lse * rseps[j]) * (s6 * s6 - 2.0 * s6);
+          e.elec += (lqke * rq[j]) * inv_r2;
+        }
+      }
+    }
+  }
+  *inspected = looked;
+  *within = hits;
+  return e;
+}
+
+}  // namespace hcmd::docking

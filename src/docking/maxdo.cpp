@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hcmd::docking {
 
@@ -38,9 +39,40 @@ MaxDoProgram::MaxDoProgram(const proteins::ReducedProtein& receptor,
                            const proteins::ReducedProtein& ligand,
                            MaxDoParams params)
     : receptor_(receptor), ligand_(ligand), params_(std::move(params)),
-      positions_(proteins::starting_positions(receptor, params_.positions)) {
+      positions_(proteins::starting_positions(receptor, params_.positions)),
+      engine_(receptor, ligand, params_.energy, params_.engine) {
   HCMD_ASSERT(params_.gamma_steps >= 1 &&
               params_.gamma_steps <= proteins::kNumGammaSteps);
+  if (params_.threads > 1)
+    pool_ = std::make_unique<util::ThreadPool>(params_.threads);
+}
+
+MaxDoProgram::~MaxDoProgram() = default;
+
+DockingRecord MaxDoProgram::compute_rotation(std::uint32_t isep,
+                                             std::uint32_t irot,
+                                             DockingEngine::Scratch& scratch,
+                                             WorkCounter& work) const {
+  DockingRecord best_record;
+  bool have_best = false;
+  for (std::uint32_t ig = 0; ig < params_.gamma_steps; ++ig) {
+    proteins::Dof6 start = orientations_.orientation(irot, ig);
+    start.x = positions_[isep].x;
+    start.y = positions_[isep].y;
+    start.z = positions_[isep].z;
+    const MinimizationResult res =
+        minimize(engine_, start, params_.minimizer, scratch, &work);
+    if (!have_best || res.energy.total() < best_record.etot()) {
+      best_record.isep = isep;
+      best_record.irot = irot;
+      best_record.pose = res.pose;
+      best_record.elj = res.energy.lj;
+      best_record.eelec = res.energy.elec;
+      have_best = true;
+    }
+  }
+  HCMD_ASSERT(have_best);
+  return best_record;
 }
 
 RunStatus MaxDoProgram::run(const MaxDoTask& task, MaxDoCheckpoint& state,
@@ -52,34 +84,40 @@ RunStatus MaxDoProgram::run(const MaxDoTask& task, MaxDoCheckpoint& state,
     throw ConfigError("MaxDoProgram: irot range outside [0, 21]");
   if (state.next_isep < task.isep_begin) state.next_isep = task.isep_begin;
 
+  // Serial runs reuse one scratch for the whole task; parallel workers each
+  // allocate their own per chunk inside the loop below.
+  DockingEngine::Scratch serial_scratch = engine_.make_scratch();
+
   for (std::uint32_t isep = state.next_isep; isep < task.isep_end; ++isep) {
     // Compute all rotation couples for this starting position. No partial
     // state is kept inside the loop: an interruption discards the whole
     // position, as on World Community Grid.
-    std::vector<DockingRecord> position_records;
-    position_records.reserve(task.rotations());
-    for (std::uint32_t irot = task.irot_begin; irot < task.irot_end; ++irot) {
-      DockingRecord best_record;
-      bool have_best = false;
-      for (std::uint32_t ig = 0; ig < params_.gamma_steps; ++ig) {
-        proteins::Dof6 start = orientations_.orientation(irot, ig);
-        start.x = positions_[isep].x;
-        start.y = positions_[isep].y;
-        start.z = positions_[isep].z;
-        const MinimizationResult res = minimize(
-            receptor_, ligand_, start, params_.energy, params_.minimizer,
-            &work_);
-        if (!have_best || res.energy.total() < best_record.etot()) {
-          best_record.isep = isep;
-          best_record.irot = irot;
-          best_record.pose = res.pose;
-          best_record.elj = res.energy.lj;
-          best_record.eelec = res.energy.elec;
-          have_best = true;
-        }
-      }
-      HCMD_ASSERT(have_best);
-      position_records.push_back(best_record);
+    //
+    // The (irot, gamma) minimisations within one position are independent,
+    // so they fan across the pool when one is configured. Determinism:
+    // every record lands in the slot indexed by its irot (so the commit
+    // order matches serial runs byte for byte) and each minimisation is an
+    // identical, self-contained FP computation regardless of which thread
+    // runs it. WorkCounters are gathered per rotation and summed after the
+    // barrier — integer sums are order independent.
+    const std::uint32_t nrot = task.rotations();
+    std::vector<DockingRecord> position_records(nrot);
+    if (pool_ != nullptr && nrot > 1) {
+      std::vector<WorkCounter> rot_work(nrot);
+      util::parallel_for(
+          *pool_, nrot,
+          [&](std::size_t r) {
+            DockingEngine::Scratch scratch = engine_.make_scratch();
+            position_records[r] = compute_rotation(
+                isep, task.irot_begin + static_cast<std::uint32_t>(r),
+                scratch, rot_work[r]);
+          },
+          util::parallel_grain(nrot, pool_->size()));
+      for (const auto& w : rot_work) work_ += w;
+    } else {
+      for (std::uint32_t r = 0; r < nrot; ++r)
+        position_records[r] = compute_rotation(isep, task.irot_begin + r,
+                                               serial_scratch, work_);
     }
 
     // Checkpoint boundary: commit the finished position atomically.

@@ -11,12 +11,18 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "docking/energy.hpp"
+#include "docking/engine.hpp"
 #include "docking/minimizer.hpp"
 #include "proteins/protein.hpp"
 #include "proteins/starting_positions.hpp"
+
+namespace hcmd::util {
+class ThreadPool;
+}
 
 namespace hcmd::docking {
 
@@ -51,6 +57,16 @@ struct MaxDoParams {
   proteins::StartingPositionParams positions;
   /// Gamma refinements per rotation couple (paper: 10).
   std::uint32_t gamma_steps = proteins::kNumGammaSteps;
+  /// Evaluation engine configuration (backend selection). The flat backend
+  /// is the bit-faithful reference; the default cell-list backend agrees to
+  /// ~1e-12 relative (floating-point summation order only).
+  EngineConfig engine;
+  /// Worker threads for the intra-position (irot) fan-out; 1 = serial.
+  /// Checkpoints are byte-identical to serial runs for any thread count:
+  /// each (irot, gamma) minimisation is an independent computation, results
+  /// land in a slot indexed by irot, and counters are summed after the
+  /// barrier.
+  std::uint32_t threads = 1;
 };
 
 /// Resumable program state. Serialisable so the volunteer agent model (and
@@ -75,6 +91,7 @@ class MaxDoProgram {
   /// References must outlive the program.
   MaxDoProgram(const proteins::ReducedProtein& receptor,
                const proteins::ReducedProtein& ligand, MaxDoParams params);
+  ~MaxDoProgram();  // out of line: ThreadPool is forward-declared here
 
   /// Runs `task`, resuming from `state`. If `interrupt` is provided it is
   /// polled after each completed starting position; returning true stops
@@ -94,11 +111,18 @@ class MaxDoProgram {
   const MaxDoParams& params() const { return params_; }
 
  private:
+  /// Computes the best-over-gamma record for one (isep, irot) start.
+  DockingRecord compute_rotation(std::uint32_t isep, std::uint32_t irot,
+                                 DockingEngine::Scratch& scratch,
+                                 WorkCounter& work) const;
+
   const proteins::ReducedProtein& receptor_;
   const proteins::ReducedProtein& ligand_;
   MaxDoParams params_;
   std::vector<proteins::Vec3> positions_;
   proteins::OrientationGrid orientations_;
+  DockingEngine engine_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< non-null when threads > 1
   WorkCounter work_;
 };
 

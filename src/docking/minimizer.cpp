@@ -9,31 +9,20 @@ namespace hcmd::docking {
 
 namespace {
 
-double eval(const proteins::ReducedProtein& receptor,
-            const proteins::ReducedProtein& ligand, const proteins::Dof6& d,
-            const EnergyParams& ep, WorkCounter* work,
-            InteractionEnergy* out = nullptr) {
-  const InteractionEnergy e =
-      interaction_energy(receptor, ligand, d.to_transform(), ep, work);
-  if (out != nullptr) *out = e;
-  return e.total();
-}
-
-}  // namespace
-
-MinimizationResult minimize(const proteins::ReducedProtein& receptor,
-                            const proteins::ReducedProtein& ligand,
-                            const proteins::Dof6& start,
-                            const EnergyParams& energy_params,
-                            const MinimizerParams& params,
-                            WorkCounter* work) {
+/// Shared adaptive-steepest-descent body. `eval_fn(pose, out)` returns the
+/// total energy at `pose` and fills `*out` when non-null; the two public
+/// entry points differ only in how a pose is evaluated (reference sweep vs
+/// DockingEngine backend with a reused scratch buffer).
+template <typename EvalFn>
+MinimizationResult minimize_impl(EvalFn&& eval_fn,
+                                 const proteins::Dof6& start,
+                                 const MinimizerParams& params) {
   HCMD_ASSERT(params.max_iterations > 0);
   HCMD_ASSERT(params.shrink > 0.0 && params.shrink < 1.0);
 
   MinimizationResult result;
   result.pose = start;
-  double best = eval(receptor, ligand, result.pose, energy_params, work,
-                     &result.energy);
+  double best = eval_fn(result.pose, &result.energy);
 
   double tstep = params.translation_step;
   double rstep = params.rotation_step;
@@ -51,9 +40,9 @@ MinimizationResult minimize(const proteins::ReducedProtein& receptor,
           k < 3 ? params.translation_delta : params.rotation_delta;
       const double orig = *dofs[k];
       *dofs[k] = orig + delta;
-      const double hi = eval(receptor, ligand, p, energy_params, work);
+      const double hi = eval_fn(p, nullptr);
       *dofs[k] = orig - delta;
-      const double lo = eval(receptor, ligand, p, energy_params, work);
+      const double lo = eval_fn(p, nullptr);
       *dofs[k] = orig;
       grad[k] = (hi - lo) / (2.0 * delta);
     }
@@ -80,8 +69,7 @@ MinimizationResult minimize(const proteins::ReducedProtein& receptor,
     trial.gamma -= rstep * grad[5] / gr;
 
     InteractionEnergy trial_energy;
-    const double trial_total =
-        eval(receptor, ligand, trial, energy_params, work, &trial_energy);
+    const double trial_total = eval_fn(trial, &trial_energy);
 
     if (trial_total < best) {
       const double gain = best - trial_total;
@@ -105,6 +93,47 @@ MinimizationResult minimize(const proteins::ReducedProtein& receptor,
     }
   }
   return result;
+}
+
+}  // namespace
+
+MinimizationResult minimize(const proteins::ReducedProtein& receptor,
+                            const proteins::ReducedProtein& ligand,
+                            const proteins::Dof6& start,
+                            const EnergyParams& energy_params,
+                            const MinimizerParams& params,
+                            WorkCounter* work) {
+  return minimize_impl(
+      [&](const proteins::Dof6& d, InteractionEnergy* out) {
+        const InteractionEnergy e = interaction_energy(
+            receptor, ligand, d.to_transform(), energy_params, work);
+        if (out != nullptr) *out = e;
+        return e.total();
+      },
+      start, params);
+}
+
+MinimizationResult minimize(const DockingEngine& engine,
+                            const proteins::Dof6& start,
+                            const MinimizerParams& params,
+                            DockingEngine::Scratch& scratch,
+                            WorkCounter* work) {
+  return minimize_impl(
+      [&](const proteins::Dof6& d, InteractionEnergy* out) {
+        const InteractionEnergy e =
+            engine.energy(d.to_transform(), scratch, work);
+        if (out != nullptr) *out = e;
+        return e.total();
+      },
+      start, params);
+}
+
+MinimizationResult minimize(const DockingEngine& engine,
+                            const proteins::Dof6& start,
+                            const MinimizerParams& params,
+                            WorkCounter* work) {
+  DockingEngine::Scratch scratch = engine.make_scratch();
+  return minimize(engine, start, params, scratch, work);
 }
 
 }  // namespace hcmd::docking

@@ -80,4 +80,9 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   if (first) std::rethrow_exception(first);
 }
 
+std::size_t parallel_grain(std::size_t n, std::size_t workers) {
+  if (workers == 0) workers = 1;
+  return std::max<std::size_t>(1, n / (4 * workers));
+}
+
 }  // namespace hcmd::util

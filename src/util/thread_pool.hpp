@@ -67,4 +67,9 @@ void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 1);
 
+/// Picks a parallel_for grain for `n` iterations on `workers` threads:
+/// roughly four chunks per worker for load balance, never below 1. Callers
+/// with very cheap iterations should still pass an explicit larger grain.
+std::size_t parallel_grain(std::size_t n, std::size_t workers);
+
 }  // namespace hcmd::util

@@ -138,10 +138,28 @@ TEST(Energy, WorkCounterTracksPairTerms) {
 }
 
 TEST(Energy, WorkCounterAccumulateOperator) {
-  WorkCounter a{2, 100}, b{3, 200};
+  WorkCounter a{2, 100, 90, 40}, b{3, 200, 150, 60};
   a += b;
   EXPECT_EQ(a.evaluations, 5u);
   EXPECT_EQ(a.pair_terms, 300u);
+  EXPECT_EQ(a.inspected_pairs, 240u);
+  EXPECT_EQ(a.within_cutoff_pairs, 100u);
+}
+
+TEST(Energy, WorkCounterTracksWithinCutoffPairs) {
+  const auto p1 = proteins::generate_protein(1, 30, 1.0, 9);
+  const auto p2 = proteins::generate_protein(2, 50, 1.0, 10);
+  // In contact: some but not all pairs are within the cutoff.
+  WorkCounter contact;
+  interaction_energy(p1, p2, at_distance(20.0), EnergyParams{}, &contact);
+  EXPECT_EQ(contact.inspected_pairs, 1500u);  // flat sweep examines all
+  EXPECT_GT(contact.within_cutoff_pairs, 0u);
+  EXPECT_LE(contact.within_cutoff_pairs, contact.pair_terms);
+  // Far beyond the cutoff: every pair inspected, none contribute.
+  WorkCounter apart;
+  interaction_energy(p1, p2, at_distance(500.0), EnergyParams{}, &apart);
+  EXPECT_EQ(apart.inspected_pairs, 1500u);
+  EXPECT_EQ(apart.within_cutoff_pairs, 0u);
 }
 
 TEST(Energy, RotationInvarianceOfIsolatedPair) {
