@@ -46,7 +46,10 @@ std::vector<std::string> compare_row(const std::string& label, double paper,
 
 core::CampaignReport standard_campaign() {
   core::CampaignConfig config;
-  config.scale = 0.02;
+  // 1/25 scale: doubled from the seed's 1/50 after the pooled-arena DES
+  // rewrite — the finer fleet costs the benches well under a second and
+  // halves the scale-up noise in every rescaled weekly series.
+  config.scale = 0.04;
   return core::run_campaign(config);
 }
 

@@ -32,7 +32,7 @@ class ShapeCheck {
 std::vector<std::string> compare_row(const std::string& label, double paper,
                                      double measured, int precision = 0);
 
-/// The default Phase I campaign at the benches' standard 1/50 scale.
+/// The default Phase I campaign at the benches' standard 1/25 scale.
 /// Deterministic; takes well under a second.
 core::CampaignReport standard_campaign();
 

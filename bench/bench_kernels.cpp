@@ -3,6 +3,12 @@
 // packaging stream.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "core/campaign.hpp"
 #include "docking/cell_list.hpp"
 #include "docking/engine.hpp"
 #include "docking/maxdo.hpp"
@@ -16,6 +22,108 @@
 namespace {
 
 using namespace hcmd;
+
+// ---------------------------------------------------------------------------
+// The seed DES engine, kept verbatim as the event-queue baseline: a
+// std::priority_queue of events carrying a std::function (heap-allocating
+// per capture over two pointers) and a shared_ptr<EventState> handle
+// (another allocation), with lazy cancellation (tombstones pop at fire
+// time) and a copy of the top Event out of the queue on every dispatch.
+// The engine:0 rows below measure this; engine:1 rows measure
+// sim::Simulation (pooled arena + indexed 4-ary heap + SmallFn).
+// ---------------------------------------------------------------------------
+class LegacySim {
+ public:
+  enum class EventState : std::uint8_t { kPending, kFired, kCancelled };
+
+  class Handle {
+   public:
+    Handle() = default;
+    explicit Handle(std::shared_ptr<EventState> state)
+        : state_(std::move(state)) {}
+    bool pending() const {
+      return state_ && *state_ == EventState::kPending;
+    }
+    bool cancel() {
+      if (!pending()) return false;
+      *state_ = EventState::kCancelled;
+      return true;
+    }
+
+   private:
+    std::shared_ptr<EventState> state_;
+  };
+
+  double now() const { return now_; }
+  std::uint64_t processed_events() const { return processed_; }
+
+  Handle schedule_at(double t, std::function<void()> fn) {
+    auto state = std::make_shared<EventState>(EventState::kPending);
+    queue_.push(Event{t, next_seq_++, std::move(fn), state});
+    return Handle(std::move(state));
+  }
+
+  Handle schedule_periodic(double start, double period,
+                           std::function<bool(double)> fn) {
+    auto state = std::make_shared<EventState>(EventState::kPending);
+    auto shared_fn =
+        std::make_shared<std::function<bool(double)>>(std::move(fn));
+    auto recur = std::make_shared<std::function<void()>>();
+    *recur = [this, period, shared_fn, state, recur] {
+      if (!(*shared_fn)(now_)) {
+        *state = EventState::kCancelled;
+        return;
+      }
+      if (*state == EventState::kCancelled) return;
+      *state = EventState::kPending;
+      queue_.push(Event{now_ + period, next_seq_++, *recur, state});
+    };
+    queue_.push(Event{start, next_seq_++, *recur, state});
+    return Handle(std::move(state));
+  }
+
+  bool step() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();  // the seed's per-dispatch copy
+      queue_.pop();
+      if (*ev.state == EventState::kCancelled) continue;
+      now_ = ev.time;
+      *ev.state = EventState::kFired;
+      ev.fn();
+      ++processed_;
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t run_until(
+      double until = std::numeric_limits<double>::infinity()) {
+    std::uint64_t ran = 0;
+    while (!queue_.empty() && queue_.top().time <= until) {
+      if (step()) ++ran;
+    }
+    return ran;
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventState> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
 
 void BM_InteractionEnergy(benchmark::State& state) {
   const auto receptor = proteins::generate_protein(
@@ -135,19 +243,182 @@ void BM_MaxDoPosition(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxDoPosition)->ArgNames({"engine"})->Arg(0)->Arg(1);
 
-void BM_EventQueueScheduleRun(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    sim::Simulation sim;
-    util::Rng rng(7);
+// A callable sized like the simulator's own (the agent and transitioner
+// lambdas capture 24-40 bytes: an object pointer plus ids and a deadline).
+// It fits SmallFn's 48-byte buffer but overflows std::function's small
+// buffer, so the legacy engine pays its real-world allocation per schedule
+// *and* per top-copy.
+struct AppCallback {
+  std::uint64_t* fired;
+  std::uint64_t result_id;
+  double deadline;
+  void* server;
+  void operator()() const { ++*fired; }
+};
+
+// Steady-state schedule/fire churn at a constant pending depth, in two
+// shapes:
+//  * mix:0 — pure one-shot churn: each iteration schedules one event
+//    (uniform horizon) and dispatches one. Isolates the raw queue cost.
+//  * mix:1 — the F6a server's event lifecycle around one result: schedule
+//    a completion (fires) and a deadline timer (cancelled later, since
+//    reports overwhelmingly beat their ~12-day deadlines), dispatch one
+//    event, cancel the deadline armed ~pending/2 iterations ago. The
+//    legacy engine drags every cancelled deadline through the heap as a
+//    tombstone (its raw queue runs ~3x deeper than the live count); the
+//    indexed heap removes it eagerly in O(log n).
+// items == events dispatched.
+template <typename Sim>
+void event_queue_churn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const bool app_mix = state.range(2) != 0;
+  Sim sim;
+  util::Rng rng(7);
+  std::uint64_t fired = 0;
+  AppCallback cb{&fired, 42, 1e6, nullptr};
+  if (!app_mix) {
     for (std::size_t i = 0; i < n; ++i)
-      sim.schedule_at(rng.uniform(0.0, 1e6), [] {});
-    sim.run_until();
-    benchmark::DoNotOptimize(sim.processed_events());
+      sim.schedule_at(rng.uniform(0.0, 1e6), cb);
+    for (auto _ : state) {
+      sim.schedule_at(sim.now() + rng.uniform(1.0, 1e6), cb);
+      sim.step();
+    }
+  } else {
+    std::vector<decltype(sim.schedule_at(0.0, cb))> deadlines(n);
+    for (std::size_t i = 0; i < n / 2; ++i)
+      sim.schedule_at(rng.uniform(0.0, 1e6), cb);
+    for (std::size_t i = 0; i < n / 2; ++i)
+      deadlines[i] = sim.schedule_at(2e6 + rng.uniform(0.0, 1e6), cb);
+    std::size_t di = n / 2;
+    for (auto _ : state) {
+      sim.schedule_at(sim.now() + rng.uniform(1.0, 1e6), cb);
+      deadlines[di % n] =
+          sim.schedule_at(sim.now() + 2e6 + rng.uniform(0.0, 1e6), cb);
+      sim.step();
+      deadlines[(di + n / 2) % n].cancel();
+      ++di;
+    }
   }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EventQueue(benchmark::State& state) {
+  if (state.range(0) != 0) {
+    event_queue_churn<sim::Simulation>(state);
+  } else {
+    event_queue_churn<LegacySim>(state);
+  }
+}
+BENCHMARK(BM_EventQueue)
+    ->ArgNames({"engine", "pending", "mix"})
+    ->Args({0, 10'000, 0})
+    ->Args({1, 10'000, 0})
+    ->Args({0, 100'000, 0})
+    ->Args({1, 100'000, 0})
+    ->Args({0, 1'000'000, 0})
+    ->Args({1, 1'000'000, 0})
+    ->Args({0, 10'000, 1})
+    ->Args({1, 10'000, 1})
+    ->Args({0, 100'000, 1})
+    ->Args({1, 100'000, 1})
+    ->Args({0, 1'000'000, 1})
+    ->Args({1, 1'000'000, 1});
+
+// Deadline-heavy workload: per round, schedule `n` timers and cancel 90 %
+// of them before they can fire (the transitioner retires most deadlines
+// early), then drain the rest. The legacy engine drags every cancelled
+// timer through the heap as a tombstone; the indexed heap removes it
+// eagerly. items == timers scheduled.
+template <typename Sim>
+void event_cancel_churn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  Sim sim;
+  util::Rng rng(11);
+  std::uint64_t fired = 0;
+  auto tick = [&fired] { ++fired; };
+  std::vector<decltype(sim.schedule_at(0.0, tick))> handles;
+  handles.reserve(n);
+  for (auto _ : state) {
+    handles.clear();
+    const double base = sim.now();
+    for (std::size_t i = 0; i < n; ++i)
+      handles.push_back(sim.schedule_at(base + rng.uniform(1.0, 1e4), tick));
+    for (std::size_t i = 0; i < n; ++i)
+      if (i % 10 != 0) handles[i].cancel();
+    sim.run_until();
+  }
+  benchmark::DoNotOptimize(fired);
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_EventCancel(benchmark::State& state) {
+  if (state.range(0) != 0) {
+    event_cancel_churn<sim::Simulation>(state);
+  } else {
+    event_cancel_churn<LegacySim>(state);
+  }
+}
+BENCHMARK(BM_EventCancel)
+    ->ArgNames({"engine", "timers"})
+    ->Args({0, 10'000})
+    ->Args({1, 10'000})
+    ->Args({0, 100'000})
+    ->Args({1, 100'000});
+
+// Periodic series cost: `series` concurrent recurring timers (the metric
+// gauges and completion ticks), advanced 256 mean periods per iteration.
+// The new engine re-arms each node in place; the legacy one re-pushes a
+// fresh std::function event per occurrence. items == occurrences fired.
+template <typename Sim>
+void periodic_churn(benchmark::State& state) {
+  const auto series = static_cast<std::size_t>(state.range(1));
+  Sim sim;
+  util::Rng rng(13);
+  std::uint64_t fired = 0;
+  for (std::size_t i = 0; i < series; ++i) {
+    sim.schedule_periodic(rng.uniform(0.0, 1.0), rng.uniform(0.5, 1.5),
+                          [&fired](double) {
+                            ++fired;
+                            return true;
+                          });
+  }
+  for (auto _ : state) {
+    sim.run_until(sim.now() + 256.0);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.processed_events()));
+}
+
+void BM_SchedulePeriodic(benchmark::State& state) {
+  if (state.range(0) != 0) {
+    periodic_churn<sim::Simulation>(state);
+  } else {
+    periodic_churn<LegacySim>(state);
+  }
+}
+BENCHMARK(BM_SchedulePeriodic)
+    ->ArgNames({"engine", "series"})
+    ->Args({0, 256})
+    ->Args({1, 256});
+
+// One simulated week of the Fig. 6(a) campaign scenario end to end
+// (workload build + fleet + DES) at the benches' standard scale: the
+// macro number the kernel work is in service of. items == results the
+// server received in that week.
+void BM_CampaignWeek(benchmark::State& state) {
+  std::uint64_t received = 0;
+  for (auto _ : state) {
+    core::CampaignConfig config;
+    config.scale = 0.04;  // the benches' standard 1/25 scale
+    config.max_weeks = 1.0;
+    const core::CampaignReport r = core::run_campaign(config);
+    received += r.counters.results_received;
+    benchmark::DoNotOptimize(r.counters.results_received);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(received));
+}
+BENCHMARK(BM_CampaignWeek);
 
 void BM_SchedulerRpc(benchmark::State& state) {
   std::vector<packaging::Workunit> catalog(100'000);

@@ -11,12 +11,14 @@ namespace hcmd::client {
 
 VolunteerAgent::VolunteerAgent(sim::Simulation& simulation,
                                server::ProjectServer& project,
+                               server::TransitionerTimers& timers,
                                const server::ShareSchedule& schedule,
                                sim::MetricSet& metrics,
                                volunteer::DeviceSpec spec, util::Rng rng,
                                AgentConfig config)
-    : sim_(simulation), project_(project), schedule_(schedule),
-      metrics_(metrics), spec_(spec), rng_(rng), config_(config) {
+    : sim_(simulation), project_(project), timers_(timers),
+      schedule_(schedule), metrics_(metrics), spec_(spec), rng_(rng),
+      config_(config) {
   HCMD_ASSERT(spec_.effective_speed() > 0.0);
 }
 
@@ -111,12 +113,7 @@ void VolunteerAgent::request_work() {
         item.long_pause_at = rng_.uniform(0.0, item.required_ref);
       work_ = item;
       // Transitioner deadline tick, independent of this agent's fate.
-      server::ProjectServer& project = project_;
-      const std::uint64_t result_id = item.result_id;
-      const double deadline = assignment->deadline;
-      sim_.schedule_at(deadline, [&project, result_id, deadline] {
-        project.handle_deadline(result_id, deadline);
-      });
+      timers_.arm(item.result_id, assignment->deadline);
       phase_ = Phase::kComputing;
       begin_segment();
       return;
@@ -222,6 +219,10 @@ void VolunteerAgent::on_complete() {
     const std::uint64_t completed_before =
         project_.counters().workunits_completed;
     project_.report_result(work_->result_id, sim_.now(), report);
+    // The result is in: retire its deadline tick eagerly instead of letting
+    // a dead timer ride the event heap for another week and a half. (A
+    // no-op for late uploads whose timer already fired.)
+    timers_.disarm(work_->result_id);
     metrics_.meter(metric::kHcmdResults, sim_.now(), 1.0);
     if (!report.computation_error) {
       // Section 8's points scheme: runtime x agent benchmark score.

@@ -21,6 +21,7 @@
 
 #include "server/server.hpp"
 #include "server/share_schedule.hpp"
+#include "server/transitioner.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
@@ -51,7 +52,11 @@ inline constexpr const char* kHcmdCredit = "hcmd_credit_granted";
 
 class VolunteerAgent {
  public:
+  /// `timers` is the shared transitioner deadline book: it must outlive the
+  /// agent (deadline ticks are independent of this agent's fate — the
+  /// device may die with work assigned).
   VolunteerAgent(sim::Simulation& simulation, server::ProjectServer& project,
+                 server::TransitionerTimers& timers,
                  const server::ShareSchedule& schedule,
                  sim::MetricSet& metrics, volunteer::DeviceSpec spec,
                  util::Rng rng, AgentConfig config);
@@ -97,6 +102,7 @@ class VolunteerAgent {
 
   sim::Simulation& sim_;
   server::ProjectServer& project_;
+  server::TransitionerTimers& timers_;
   const server::ShareSchedule& schedule_;
   sim::MetricSet& metrics_;
   volunteer::DeviceSpec spec_;

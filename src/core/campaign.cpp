@@ -6,6 +6,7 @@
 
 #include "client/agent.hpp"
 #include "server/credit.hpp"
+#include "server/transitioner.hpp"
 #include "dedicated/grid.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulation.hpp"
@@ -109,7 +110,10 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   server::ProjectServer project(std::move(catalog), server_cfg);
 
   sim::Simulation simulation;
-  sim::MetricSet metrics(kSecondsPerWeek);
+  server::TransitionerTimers timers(simulation, project);
+  // Metric bins for the whole horizon are reserved up front; the weekly
+  // meter appends never allocate mid-run.
+  sim::MetricSet metrics(kSecondsPerWeek, config.max_weeks * kSecondsPerWeek);
   util::Rng rng(config.seed);
   util::Rng fleet_rng = rng.fork("fleet");
   util::Rng agent_rng_root = rng.fork("agents");
@@ -136,7 +140,7 @@ CampaignReport run_campaign(const CampaignConfig& config) {
         volunteer::make_device(next_device_id++, join_seconds, years,
                                fleet_rng, config.devices);
     agents.push_back(std::make_unique<client::VolunteerAgent>(
-        simulation, project, schedule, metrics, spec,
+        simulation, project, timers, schedule, metrics, spec,
         agent_rng_root.fork("agent-" + std::to_string(spec.id)),
         config.agent));
     agents.back()->start();
@@ -156,6 +160,9 @@ CampaignReport run_campaign(const CampaignConfig& config) {
       add_device((day + fleet_rng.next_double()) * kSecondsPerDay);
   }
   report.devices_simulated = agents.size();
+  // Warm-start the event arena near its expected high-water mark (each
+  // live agent keeps a few timers pending); growth past it is organic.
+  simulation.reserve_events(agents.size() * 2);
 
   // --- Fig. 7 snapshots ---
   std::vector<double> total_per_receptor =

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
-#include <queue>
+#include <utility>
 
+#include "util/dary_heap.hpp"
 #include "util/error.hpp"
 
 namespace hcmd::dedicated {
@@ -46,9 +47,12 @@ BatchResult run_batch(std::span<const double> job_seconds,
   }
 
   // Greedy list scheduling: next job goes to the processor that frees first.
+  // Same 4-ary heap as the DES event queue; ties on free time break by
+  // processor index, so the packing is deterministic.
   using Slot = std::pair<double, std::uint32_t>;  // (free time, processor)
-  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
-  for (std::uint32_t p = 0; p < processors; ++p) free_at.emplace(0.0, p);
+  util::DaryHeap<Slot, std::less<Slot>> free_at;
+  free_at.reserve(processors);
+  for (std::uint32_t p = 0; p < processors; ++p) free_at.push({0.0, p});
 
   BatchResult result;
   result.processors = processors;
@@ -56,13 +60,13 @@ BatchResult run_batch(std::span<const double> job_seconds,
   for (std::size_t idx : order) {
     const double ref = job_seconds[idx];
     if (!(ref >= 0.0)) throw ConfigError("run_batch: negative job length");
-    auto [t, p] = free_at.top();
+    const auto [t, p] = free_at.top();
     free_at.pop();
     const double end = t + ref / speed[p];
     result.completion_times[idx] = end;
     result.makespan = std::max(result.makespan, end);
     result.cpu_seconds += ref / speed[p];
-    free_at.emplace(end, p);
+    free_at.push({end, p});
   }
   if (result.makespan > 0.0)
     result.utilization = result.cpu_seconds /

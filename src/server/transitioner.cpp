@@ -1,0 +1,25 @@
+#include "server/transitioner.hpp"
+
+namespace hcmd::server {
+
+void TransitionerTimers::arm(std::uint64_t result_id, double deadline) {
+  if (result_id >= timers_.size()) timers_.resize(result_id + 1);
+  ProjectServer& server = server_;
+  timers_[result_id] = sim_.schedule_at(
+      deadline, [&server, result_id, deadline] {
+        server.handle_deadline(result_id, deadline);
+      });
+}
+
+void TransitionerTimers::disarm(std::uint64_t result_id) {
+  if (result_id < timers_.size()) timers_[result_id].cancel();
+}
+
+std::size_t TransitionerTimers::armed() const {
+  std::size_t n = 0;
+  for (const auto& h : timers_)
+    if (h.pending()) ++n;
+  return n;
+}
+
+}  // namespace hcmd::server

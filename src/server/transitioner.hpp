@@ -1,0 +1,50 @@
+// Transitioner deadline timers, attached to the campaign's event loop.
+//
+// The ProjectServer itself is passive (src/core owns simulated time); the
+// transitioner's deadline ticks are simulation events. Before this class
+// the issuing agent scheduled a raw event per assignment which always fired
+// — even for the ~97 % of results that come back in time — so a
+// deadline-heavy campaign dragged one dead timer per completed result
+// through the event heap. TransitionerTimers arms one timer per issued
+// result and *disarms it eagerly* when the result is reported, which the
+// indexed event heap makes an O(log n) removal instead of a tombstone.
+//
+// Timer book-keeping is allocation-free in steady state: handles live in a
+// vector indexed by result_id (the server issues ids densely from 0), and
+// a disarm is a generation-checked cancel — stale or already-fired handles
+// are no-ops, so late uploads after a timeout need no special casing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "server/server.hpp"
+#include "sim/simulation.hpp"
+
+namespace hcmd::server {
+
+class TransitionerTimers {
+ public:
+  TransitionerTimers(sim::Simulation& simulation, ProjectServer& server)
+      : sim_(simulation), server_(server) {}
+
+  TransitionerTimers(const TransitionerTimers&) = delete;
+  TransitionerTimers& operator=(const TransitionerTimers&) = delete;
+
+  /// Schedules the deadline tick for `result_id`. Call once per issue.
+  void arm(std::uint64_t result_id, double deadline);
+
+  /// Cancels the pending deadline tick after the result was reported.
+  /// No-op if the timer already fired (late upload) or was never armed.
+  void disarm(std::uint64_t result_id);
+
+  /// Deadline timers still pending (for tests / introspection).
+  std::size_t armed() const;
+
+ private:
+  sim::Simulation& sim_;
+  ProjectServer& server_;
+  std::vector<sim::EventHandle> timers_;  ///< indexed by result_id
+};
+
+}  // namespace hcmd::server

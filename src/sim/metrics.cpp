@@ -2,8 +2,8 @@
 
 namespace hcmd::sim {
 
-MetricSet::MetricSet(double bin_width)
-    : bin_width_(bin_width), empty_(0.0, bin_width) {}
+MetricSet::MetricSet(double bin_width, double horizon)
+    : bin_width_(bin_width), horizon_(horizon), empty_(0.0, bin_width) {}
 
 void MetricSet::count(const std::string& name, std::uint64_t n) {
   counters_[name] += n;
@@ -13,6 +13,7 @@ void MetricSet::meter(const std::string& name, SimTime t, double amount) {
   auto it = meters_.find(name);
   if (it == meters_.end()) {
     it = meters_.emplace(name, util::TimeBinnedSeries(0.0, bin_width_)).first;
+    it->second.reserve_through(horizon_);  // one allocation, at registration
   }
   it->second.add(t, amount);
 }
@@ -46,12 +47,18 @@ std::vector<std::string> MetricSet::series_names() const {
 }
 
 GaugeSampler::GaugeSampler(Simulation& simulation, SimTime start,
-                           SimTime period, std::function<double()> fn) {
+                           SimTime period, std::function<double()> fn,
+                           SimTime horizon) {
+  if (horizon != kTimeInfinity && horizon > start) {
+    const auto samples =
+        static_cast<std::size_t>((horizon - start) / period) + 1;
+    times_.reserve(samples);
+    values_.reserve(samples);
+  }
   handle_ = simulation.schedule_periodic(
-      start, period, [this, &simulation, fn = std::move(fn)](SimTime t) {
+      start, period, [this, fn = std::move(fn)](SimTime t) {
         times_.push_back(t);
         values_.push_back(fn());
-        (void)simulation;
         return true;
       });
 }

@@ -21,7 +21,10 @@ namespace hcmd::sim {
 class MetricSet {
  public:
   /// `bin_width` is the reporting granularity in seconds (paper: one week).
-  explicit MetricSet(double bin_width);
+  /// When a finite `horizon` (the planned end of the run) is given, every
+  /// series created by `meter` pre-allocates its bins through it at
+  /// registration, making appends allocation-free.
+  explicit MetricSet(double bin_width, double horizon = 0.0);
 
   void count(const std::string& name, std::uint64_t n = 1);
   /// Adds `amount` of a continuous quantity at simulation time `t`.
@@ -39,6 +42,7 @@ class MetricSet {
 
  private:
   double bin_width_;
+  double horizon_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, util::TimeBinnedSeries> meters_;
   util::TimeBinnedSeries empty_;
@@ -47,8 +51,11 @@ class MetricSet {
 /// Samples `fn()` every `period` and records (t, value) pairs.
 class GaugeSampler {
  public:
+  /// A finite `horizon` reserves the sample vectors for the whole run at
+  /// registration (horizon/period samples), so recording never allocates.
   GaugeSampler(Simulation& simulation, SimTime start, SimTime period,
-               std::function<double()> fn);
+               std::function<double()> fn,
+               SimTime horizon = kTimeInfinity);
 
   const std::vector<double>& times() const { return times_; }
   const std::vector<double>& values() const { return values_; }

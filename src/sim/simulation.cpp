@@ -2,64 +2,72 @@
 
 namespace hcmd::sim {
 
-using detail::EventState;
-
 bool EventHandle::pending() const {
-  return state_ && *state_ == EventState::kPending;
+  return sim_ != nullptr && sim_->slot_pending(slot_, generation_);
 }
 
 bool EventHandle::cancel() {
-  if (!pending()) return false;
-  *state_ = EventState::kCancelled;
+  return sim_ != nullptr && sim_->cancel_slot(slot_, generation_);
+}
+
+std::uint32_t Simulation::grow_arena() {
+  HCMD_ASSERT_MSG(meta_.size() < kSlotMask, "event arena exhausted");
+  const auto slot = static_cast<std::uint32_t>(meta_.size());
+  meta_.emplace_back();
+  periods_.push_back(0.0);
+  if ((slot >> kChunkBits) == chunks_.size())
+    chunks_.emplace_back(new Payload[kChunkSize]);
+  return slot;
+}
+
+void Simulation::release_slot(std::uint32_t slot) {
+  payload(slot).fn.reset();  // drop captures eagerly
+  Meta& m = meta_[slot];
+  ++m.generation;
+  m.pos = free_head_;
+  free_head_ = slot;
+}
+
+bool Simulation::slot_pending(std::uint32_t slot,
+                              std::uint32_t generation) const {
+  if (slot >= meta_.size()) return false;
+  const Meta& m = meta_[slot];
+  // A generation match implies the slot is queued or firing (released slots
+  // bump the generation before any handle to the new occupant exists).
+  return m.generation == generation && m.pos != kFiringMark;
+}
+
+bool Simulation::cancel_slot(std::uint32_t slot, std::uint32_t generation) {
+  if (!slot_pending(slot, generation)) return false;
+  heap_.remove(meta_[slot].pos);  // eager: no tombstones
+  release_slot(slot);
   return true;
 }
 
-void Simulation::push(SimTime t, std::function<void()> fn,
-                      std::shared_ptr<EventState> state) {
-  queue_.push(Event{t, next_seq_++, std::move(fn), std::move(state)});
-}
-
-EventHandle Simulation::schedule_at(SimTime t, std::function<void()> fn) {
-  HCMD_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
-  HCMD_ASSERT(fn != nullptr);
-  auto state = std::make_shared<EventState>(EventState::kPending);
-  push(t, std::move(fn), state);
-  return EventHandle(std::move(state));
-}
-
-EventHandle Simulation::schedule_in(SimTime delay, std::function<void()> fn) {
-  HCMD_ASSERT(delay >= 0.0);
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulation::schedule_periodic(SimTime start, SimTime period,
-                                          std::function<bool(SimTime)> fn) {
-  HCMD_ASSERT(period > 0.0);
-  HCMD_ASSERT(start >= now_);
-  // One shared state drives the series: step() marks it kFired when an
-  // occurrence runs; the recurrence resets it to kPending when it re-arms.
-  // A cancel() between occurrences leaves it kCancelled, which both blocks
-  // the re-arm and makes any queued occurrence a no-op.
-  auto state = std::make_shared<EventState>(EventState::kPending);
-  auto shared_fn =
-      std::make_shared<std::function<bool(SimTime)>>(std::move(fn));
-  auto recur = std::make_shared<std::function<void()>>();
-  *recur = [this, period, shared_fn, state, recur] {
-    if (!(*shared_fn)(now_)) {
-      *state = EventState::kCancelled;
-      return;
+void Simulation::reserve_events(std::size_t n) {
+  heap_.reserve(n);
+  if (n > meta_.size()) {
+    // Pre-build arena slots (and their payload chunks) and thread them onto
+    // the free list in ascending order, so a burst that fills the
+    // reservation allocates nothing and hands out slots in the same order
+    // as organic growth.
+    const std::size_t first = meta_.size();
+    meta_.resize(n);
+    periods_.resize(n, 0.0);
+    const std::size_t want_chunks = (n + kChunkSize - 1) >> kChunkBits;
+    chunks_.reserve(want_chunks);
+    while (chunks_.size() < want_chunks)
+      chunks_.emplace_back(new Payload[kChunkSize]);
+    for (std::size_t slot = n; slot-- > first;) {
+      meta_[slot].pos = free_head_;
+      free_head_ = static_cast<std::uint32_t>(slot);
     }
-    if (*state == EventState::kCancelled) return;  // cancelled from inside fn
-    *state = EventState::kPending;
-    push(now_ + period, *recur, state);
-  };
-  push(start, *recur, state);
-  return EventHandle(std::move(state));
+  }
 }
 
 std::uint64_t Simulation::run_until(SimTime until) {
   std::uint64_t ran = 0;
-  while (!queue_.empty() && queue_.top().time <= until) {
+  while (!heap_.empty() && heap_.top().time <= until) {
     if (step()) ++ran;
   }
   if (now_ < until && until != kTimeInfinity) now_ = until;
@@ -67,18 +75,40 @@ std::uint64_t Simulation::run_until(SimTime until) {
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.state == EventState::kCancelled) continue;  // lazy removal
-    HCMD_ASSERT(ev.time >= now_);
-    now_ = ev.time;
-    *ev.state = EventState::kFired;
-    ev.fn();
-    ++processed_;
-    return true;
+  if (heap_.empty()) return false;
+  const Entry top = heap_.top();
+  const auto slot = static_cast<std::uint32_t>(top.key & kSlotMask);
+#if defined(__GNUC__)
+  // The fired slot's callable was written up to |queue| events ago, so its
+  // cache line is usually cold. Request it before the pop's sift, whose
+  // O(log n) memory traffic fully hides the fetch.
+  __builtin_prefetch(&payload(slot));
+  __builtin_prefetch(&periods_[slot]);
+#endif
+  heap_.pop();
+  HCMD_ASSERT(top.time >= now_);
+  now_ = top.time;
+
+  meta_[slot].pos = kFiringMark;
+  // Payload chunks are pointer-stable, so the callable runs *in place* even
+  // if it schedules events and grows the arena. meta_/periods_ may
+  // reallocate during the callback, so references into them are not held
+  // across it.
+  const bool again = payload(slot).fn(now_);
+  ++processed_;
+
+  if (periods_[slot] > 0.0 && again && meta_[slot].pos == kFiringMark) {
+    // Periodic series: re-arm the same slot in place with a fresh seq (the
+    // next occurrence orders FIFO after everything the callback scheduled,
+    // exactly like re-pushing did in the priority_queue engine). The heap
+    // push's index observer flips `pos` back to a heap position.
+    HCMD_ASSERT_MSG(next_seq_ < kMaxSeq, "event sequence space exhausted");
+    heap_.push(
+        Entry{now_ + periods_[slot], (next_seq_++ << kSlotBits) | slot});
+  } else {
+    release_slot(slot);
   }
-  return false;
+  return true;
 }
 
 }  // namespace hcmd::sim

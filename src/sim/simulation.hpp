@@ -6,17 +6,42 @@
 // the substrate under both grids (volunteer and dedicated): hosts, servers
 // and availability processes are all expressed as scheduled callbacks.
 //
+// Throughput design (this is the kernel every campaign artefact runs on):
+//  * callables live in a small-buffer move-only `util::SmallFn` — the
+//    lambdas the agent/server/metrics processes schedule capture at most a
+//    few pointers and stay inline, so scheduling performs no heap
+//    allocation;
+//  * event state lives in a pooled arena of generation-stamped slots with
+//    free-list reuse. An `EventHandle` is {engine, slot, generation}: 16
+//    bytes, trivially copyable, and stale handles (the slot was reused)
+//    fail the generation check instead of keeping dead state alive. The
+//    arena is split hot/cold: 8-byte slot metadata (heap position +
+//    generation) in one dense array — the only thing the heap's sift
+//    traffic touches — and the 72-byte callable payload in pointer-stable
+//    chunks, touched once at schedule and once at fire. Chunk stability
+//    also means callables fire *in place*: no move-out, even though a
+//    callback may grow the arena mid-fire;
+//  * the ready queue is an indexed 4-ary implicit heap over 16-byte
+//    (time, key) entries, where key packs (seq, slot); child groups are
+//    cache-line-aligned. Cancels remove their entry eagerly in O(log n) —
+//    no tombstone buildup in deadline-heavy runs — and `schedule_periodic`
+//    re-arms its arena slot in place.
+// In steady state (arena and heap at their high-water mark) schedule,
+// cancel and fire are all allocation-free.
+//
 // Time is a double in *seconds* since the scenario epoch.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <memory>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "util/dary_heap.hpp"
 #include "util/error.hpp"
+#include "util/small_fn.hpp"
 
 namespace hcmd::sim {
 
@@ -25,12 +50,12 @@ using SimTime = double;
 inline constexpr SimTime kTimeInfinity =
     std::numeric_limits<SimTime>::infinity();
 
-namespace detail {
-enum class EventState : std::uint8_t { kPending, kFired, kCancelled };
-}
+class Simulation;
 
 /// Handle used to cancel a scheduled event (or a whole periodic series).
 /// Cheap to copy; cancelling twice or cancelling a fired event is a no-op.
+/// A handle must not be *used* after its Simulation is destroyed (copying
+/// and destroying it remain fine).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -42,32 +67,70 @@ class EventHandle {
 
  private:
   friend class Simulation;
-  explicit EventHandle(std::shared_ptr<detail::EventState> state)
-      : state_(std::move(state)) {}
-  std::shared_ptr<detail::EventState> state_;
+  EventHandle(Simulation* sim, std::uint32_t slot, std::uint32_t generation)
+      : sim_(sim), slot_(slot), generation_(generation) {}
+
+  Simulation* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
+
+namespace detail {
+
+/// Wraps a one-shot `void()` callable in the periodic signature the arena
+/// stores; returning false means "do not re-arm". Same size as the wrapped
+/// callable, so inline storage is preserved.
+template <typename F>
+struct OneShotAdapter {
+  F fn;
+  bool operator()(SimTime) {
+    fn();
+    return false;
+  }
+};
+
+}  // namespace detail
 
 /// The event loop.
 class Simulation {
  public:
+  /// Every stored callable runs as bool(now); one-shots are adapted.
+  using EventFn = util::SmallFn<bool(SimTime), 48>;
+
   Simulation() = default;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` to run at absolute time `t` (>= now). Returns a handle
-  /// that can cancel it.
-  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedules `fn()` to run at absolute time `t` (>= now). Returns a
+  /// handle that can cancel it.
+  template <typename F>
+  EventHandle schedule_at(SimTime t, F&& fn) {
+    HCMD_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
+    return arm(t, /*period=*/0.0,
+               detail::OneShotAdapter<std::decay_t<F>>{std::forward<F>(fn)});
+  }
 
-  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
-  EventHandle schedule_in(SimTime delay, std::function<void()> fn);
+  /// Schedules `fn()` to run `delay` seconds from now (delay >= 0).
+  template <typename F>
+  EventHandle schedule_in(SimTime delay, F&& fn) {
+    HCMD_ASSERT(delay >= 0.0);
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules `fn(now)` every `period` seconds starting at `start`. The
   /// callback returns false to stop recurring. The returned handle cancels
-  /// the whole series.
-  EventHandle schedule_periodic(SimTime start, SimTime period,
-                                std::function<bool(SimTime)> fn);
+  /// the whole series; the series re-arms its pooled slot in place (no
+  /// allocation per occurrence).
+  template <typename F>
+  EventHandle schedule_periodic(SimTime start, SimTime period, F&& fn) {
+    static_assert(std::is_invocable_r_v<bool, std::decay_t<F>&, SimTime>,
+                  "periodic callbacks must be callable as bool(SimTime)");
+    HCMD_ASSERT(period > 0.0);
+    HCMD_ASSERT(start >= now_);
+    return arm(start, period, std::forward<F>(fn));
+  }
 
   /// Runs until the queue is empty or the clock passes `until`. Events at
   /// exactly `until` are executed; afterwards the clock is advanced to
@@ -78,30 +141,114 @@ class Simulation {
   /// Runs a single event. Returns false if the queue was empty.
   bool step();
 
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Grows the arena and heap to hold `n` concurrently pending events, so
+  /// the first `n`-deep burst performs no allocation either.
+  void reserve_events(std::size_t n);
+
+  std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t processed_events() const { return processed_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  // Heap entries are 16 bytes: four children per cache line. `key` packs
+  // (seq << kSlotBits) | slot, so comparing keys compares schedule order
+  // (FIFO among simultaneous events) and the owning arena slot rides along
+  // for free.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq = 1ull << (64 - kSlotBits);
+  static constexpr std::uint32_t kNullIndex = ~std::uint32_t{0};
+  /// `Meta::pos` value while the slot's callable is mid-fire. Distinct from
+  /// any heap position or free-list link (links are slot ids < 2^24).
+  static constexpr std::uint32_t kFiringMark = kNullIndex - 1;
+  // Payload chunk size: 512 slots x 72 B callable+period = 36 KiB.
+  static constexpr std::uint32_t kChunkBits = 9;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+
+  struct Entry {
     SimTime time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<detail::EventState> state;
+    std::uint64_t key;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      // Written with non-short-circuit & and | so the comparison compiles
+      // branch-free: event keys are effectively random, so a branchy
+      // tiebreak mispredicts half the time in the sift loops.
+      return (a.time < b.time) | ((a.time == b.time) & (a.key < b.key));
     }
   };
 
-  void push(SimTime t, std::function<void()> fn,
-            std::shared_ptr<detail::EventState> state);
+  /// Hot per-slot metadata, packed to 8 bytes: everything the heap's sift
+  /// traffic and handle checks touch stays in one dense, mostly-cached
+  /// array. `pos` is overloaded by slot state: the current heap position
+  /// while queued, the next free slot (or kNullIndex) while on the free
+  /// list, kFiringMark while the callable runs. The overload is safe
+  /// because a released slot bumps `generation`, so no live handle can
+  /// mistake a free-list link for a heap position.
+  struct Meta {
+    std::uint32_t pos = kNullIndex;
+    std::uint32_t generation = 0;
+  };
+
+  /// Cold per-slot payload, touched at schedule and fire only: exactly one
+  /// cache line per slot (SmallFn<..., 48> is 64 bytes). Lives in
+  /// pointer-stable chunks: callbacks may grow the arena while their own
+  /// payload is mid-invocation. The period lives in a separate dense
+  /// array (periods_) so the payload keeps its one-line footprint.
+  struct alignas(64) Payload {
+    EventFn fn;
+  };
+  static_assert(sizeof(Payload) == 64);
+
+  /// Keeps each queued slot's heap position current as the heap moves
+  /// entries.
+  struct TouchIndex {
+    std::vector<Meta>* meta;
+    void operator()(const Entry& e, std::size_t index) const {
+      (*meta)[static_cast<std::size_t>(e.key & kSlotMask)].pos =
+          static_cast<std::uint32_t>(index);
+    }
+  };
+
+  Payload& payload(std::uint32_t slot) {
+    return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+
+  /// Schedules `fn` (callable as bool(SimTime)) at time `t`; constructs the
+  /// callable directly into the slot's payload (no SmallFn moves).
+  template <typename F>
+  EventHandle arm(SimTime t, double period, F&& fn) {
+    HCMD_ASSERT_MSG(next_seq_ < kMaxSeq, "event sequence space exhausted");
+    const std::uint32_t slot =
+        free_head_ != kNullIndex ? pop_free_slot() : grow_arena();
+    payload(slot).fn = std::forward<F>(fn);
+    periods_[slot] = period;
+    const std::uint32_t generation = meta_[slot].generation;
+    heap_.push(Entry{t, (next_seq_++ << kSlotBits) | slot});
+    return EventHandle(this, slot, generation);
+  }
+
+  std::uint32_t pop_free_slot() {
+    const std::uint32_t slot = free_head_;
+    free_head_ = meta_[slot].pos;
+    return slot;
+  }
+
+  std::uint32_t grow_arena();
+  bool cancel_slot(std::uint32_t slot, std::uint32_t generation);
+  bool slot_pending(std::uint32_t slot, std::uint32_t generation) const;
+  void release_slot(std::uint32_t slot);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Meta> meta_;
+  std::vector<double> periods_;  ///< per-slot period; <= 0 means one-shot
+  std::vector<std::unique_ptr<Payload[]>> chunks_;
+  std::uint32_t free_head_ = kNullIndex;
+  util::DaryHeap<Entry, EntryLess, 4, TouchIndex> heap_{EntryLess{},
+                                                        TouchIndex{&meta_}};
 };
 
 }  // namespace hcmd::sim

@@ -1,0 +1,150 @@
+// Small-buffer, move-only callable: the event-loop replacement for
+// std::function.
+//
+// std::function costs a heap allocation for any capture larger than two
+// pointers and is copyable (so every stored callable must be too). The DES
+// core schedules tens of millions of lambdas per campaign, almost all of
+// them capturing a single `this` pointer — paying an allocation each is the
+// difference between an event loop bounded by malloc and one bounded by the
+// heap's sift. SmallFn stores callables up to `Capacity` bytes inline (48 by
+// default, so a SmallFn<..., 48> is exactly one cache line with its two
+// dispatch pointers) and only falls back to the heap for oversized captures.
+//
+// Semantics: move-only, nullable, invoking an empty SmallFn is undefined
+// (asserted in debug). Moves are noexcept — inline callables must therefore
+// be nothrow-move-constructible, which every capture the simulator uses
+// (pointers, doubles, std::string, std::function) satisfies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace hcmd::util {
+
+template <typename Signature, std::size_t Capacity = 48>
+class SmallFn;  // undefined primary; specialised for function signatures
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFn<R(Args...), Capacity> {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallFn> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors
+                     // std::function's converting constructor
+    construct<D>(std::forward<F>(fn));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallFn> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn& operator=(F&& fn) {
+    reset();
+    construct<D>(std::forward<F>(fn));
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    HCMD_ASSERT_MSG(invoke_ != nullptr, "invoking an empty SmallFn");
+    return invoke_(&storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, &storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  static constexpr std::size_t inline_capacity() { return Capacity; }
+
+  /// True if callables of type F are stored inline (no heap allocation).
+  template <typename F>
+  static constexpr bool stores_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= Capacity &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  enum class Op : unsigned char { kDestroy, kMove };
+
+  template <typename D, typename F>
+  void construct(F&& fn) {
+    if constexpr (stores_inline<D>()) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(fn));
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(s)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* dst) {
+        D* self = std::launder(reinterpret_cast<D*>(s));
+        if (op == Op::kDestroy) {
+          self->~D();
+        } else {
+          ::new (dst) D(std::move(*self));
+          self->~D();
+        }
+      };
+    } else {
+      // Oversized capture: one allocation at construction, pointer moves
+      // afterwards. The hot scheduling paths never take this branch.
+      ::new (static_cast<void*>(&storage_)) D*(new D(std::forward<F>(fn)));
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(s)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* dst) {
+        D** self = std::launder(reinterpret_cast<D**>(s));
+        if (op == Op::kDestroy) {
+          delete *self;
+        } else {
+          ::new (dst) D*(*self);
+        }
+      };
+    }
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (other.manage_ != nullptr)
+      other.manage_(Op::kMove, &other.storage_, &storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  R (*invoke_)(void*, Args&&...) = nullptr;
+  void (*manage_)(Op, void*, void*) = nullptr;
+};
+
+}  // namespace hcmd::util

@@ -147,8 +147,19 @@ TimeBinnedSeries::TimeBinnedSeries(double origin, double width)
 void TimeBinnedSeries::add(double t, double amount) {
   HCMD_ASSERT_MSG(t >= origin_, "time before series origin");
   const auto idx = static_cast<std::size_t>((t - origin_) / width_);
-  if (idx >= bins_.size()) bins_.resize(idx + 1, 0.0);
+  if (idx >= bins_.size()) {
+    // Geometric growth keeps append O(1) amortised even when samples land
+    // one bin ahead at a time; reserve_through makes it allocation-free.
+    if (idx + 1 > bins_.capacity())
+      bins_.reserve(std::max(idx + 1, 2 * bins_.capacity()));
+    bins_.resize(idx + 1, 0.0);
+  }
   bins_[idx] += amount;
+}
+
+void TimeBinnedSeries::reserve_through(double t) {
+  if (t <= origin_) return;
+  bins_.reserve(static_cast<std::size_t>((t - origin_) / width_) + 1);
 }
 
 double TimeBinnedSeries::bin_mid(std::size_t i) const {

@@ -107,6 +107,11 @@ class TimeBinnedSeries {
 
   void add(double t, double amount);
 
+  /// Pre-allocates bin storage through time `t` (e.g. a simulation horizon
+  /// known at registration), so `add` never allocates per sample up to it.
+  /// The logical size still tracks the largest time actually added.
+  void reserve_through(double t);
+
   double origin() const { return origin_; }
   double width() const { return width_; }
   std::size_t size() const { return bins_.size(); }

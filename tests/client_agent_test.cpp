@@ -35,6 +35,7 @@ struct Harness {
   sim::MetricSet metrics{kSecondsPerWeek};
   server::ShareSchedule schedule;
   server::ProjectServer project;
+  server::TransitionerTimers timers{simulation, project};
   std::vector<std::unique_ptr<VolunteerAgent>> agents;
 
   explicit Harness(std::size_t workunits, double ref_seconds = 2.0 * 3600.0,
@@ -78,7 +79,7 @@ struct Harness {
   VolunteerAgent& add(const volunteer::DeviceSpec& spec,
                       AgentConfig cfg = {}) {
     agents.push_back(std::make_unique<VolunteerAgent>(
-        simulation, project, schedule, metrics, spec,
+        simulation, project, timers, schedule, metrics, spec,
         util::Rng(1000 + spec.id), cfg));
     agents.back()->start();
     return *agents.back();

@@ -1,0 +1,68 @@
+// Golden regression for the campaign headline numbers (F6a/F6b/T2 inputs):
+// the default-seed coarse campaign must reproduce these values *bit
+// exactly*. The constants were captured from the seed engine
+// (std::priority_queue + std::function events) before the pooled-arena /
+// indexed-heap rewrite, so any drift here means the DES core changed
+// dispatch order or timing — a determinism bug, not a tolerance issue.
+//
+// If an intentional semantic change to the campaign model lands, re-capture
+// with a %.17g printf of the fields below and update the constants in the
+// same commit.
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+
+namespace hcmd::core {
+namespace {
+
+const CampaignReport& golden_report() {
+  static const CampaignReport report = [] {
+    CampaignConfig config;
+    config.scale = 0.01;  // default seed, coarse 1/100 scale
+    return run_campaign(config);
+  }();
+  return report;
+}
+
+TEST(CampaignGolden, LifecycleCountersBitExact) {
+  const auto& r = golden_report();
+  const auto& c = r.counters;
+  EXPECT_EQ(r.devices_simulated, 2915u);
+  EXPECT_EQ(c.results_sent, 48183u);
+  EXPECT_EQ(c.results_received, 47795u);
+  EXPECT_EQ(c.results_valid, 34567u);
+  EXPECT_EQ(c.results_quorum_extra, 3528u);
+  EXPECT_EQ(c.results_invalid, 702u);
+  EXPECT_EQ(c.results_redundant, 8998u);
+  EXPECT_EQ(c.results_timed_out, 1274u);
+  EXPECT_EQ(c.results_pending, 0u);
+  EXPECT_EQ(c.quorum_mismatches, 0u);
+  EXPECT_EQ(c.late_mismatches, 0u);
+  EXPECT_EQ(c.corrupt_assimilated, 0u);
+  EXPECT_EQ(c.workunits_completed, 34567u);
+}
+
+TEST(CampaignGolden, CompletionAndRuntimeAggregatesBitExact) {
+  const auto& r = golden_report();
+  // EXPECT_DOUBLE_EQ would allow 4 ulps; the requirement is bit-identity.
+  EXPECT_EQ(r.completion_weeks, 26.428571428571427);
+  EXPECT_EQ(r.counters.useful_reference_seconds, 449868784.90103674);
+  EXPECT_EQ(r.counters.reported_runtime_seconds, 2474099628.8389344);
+  EXPECT_EQ(r.runtime_summary.mean, 51764.821191316354);
+  EXPECT_EQ(r.runtime_summary.count, 47795u);
+}
+
+TEST(CampaignGolden, VftpAndCreditSeriesBitExact) {
+  const auto& r = golden_report();
+  EXPECT_EQ(r.avg_wcg_vftp_whole, 56202.131663948217);
+  EXPECT_EQ(r.avg_hcmd_vftp_whole, 15512.506947934324);
+  EXPECT_EQ(r.avg_hcmd_vftp_fullpower, 22790.655920413839);
+  EXPECT_EQ(r.total_credit, 81416886.649680674);
+  ASSERT_GT(r.hcmd_vftp_weekly.size(), 3u);
+  ASSERT_GT(r.results_received_weekly.size(), 3u);
+  EXPECT_EQ(r.hcmd_vftp_weekly[3], 1690.7902416248728);
+  EXPECT_EQ(r.results_received_weekly[3], 19500.0);
+}
+
+}  // namespace
+}  // namespace hcmd::core

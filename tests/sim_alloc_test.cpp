@@ -1,0 +1,149 @@
+// Asserts the DES core's zero-allocation guarantee: once the arena and
+// heap are at their high-water mark, schedule / cancel / fire (one-shot
+// and periodic) perform no heap allocation at all.
+//
+// This test overrides the global allocation functions to count calls, so
+// it lives in its own binary: the counters see every allocation in the
+// process, including the ones gtest itself makes outside the measured
+// windows.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+struct AllocationWindow {
+  std::uint64_t start = g_allocations.load();
+  std::uint64_t count() const { return g_allocations.load() - start; }
+};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace hcmd::sim {
+namespace {
+
+TEST(SimulationAllocation, SteadyStateScheduleFireIsAllocationFree) {
+  Simulation sim;
+  util::Rng rng(7);
+  std::uint64_t fired = 0;
+  // Callable with a capture large enough to be representative (24 bytes)
+  // yet inside SmallFn's inline buffer.
+  struct Cb {
+    std::uint64_t* fired;
+    double a, b;
+    void operator()() const { ++*fired; }
+  };
+  const Cb cb{&fired, 1.0, 2.0};
+
+  // Reach the high-water mark: arena, heap, and free list all sized.
+  constexpr std::size_t kDepth = 4096;
+  for (std::size_t i = 0; i < kDepth; ++i)
+    sim.schedule_at(rng.uniform(0.0, 100.0), cb);
+  for (std::size_t i = 0; i < kDepth / 2; ++i) sim.step();
+
+  // Steady state: every schedule and fire below must reuse pooled slots.
+  AllocationWindow window;
+  for (std::size_t i = 0; i < 100'000; ++i) {
+    sim.schedule_at(sim.now() + rng.uniform(0.0, 100.0), cb);
+    sim.step();
+  }
+  EXPECT_EQ(window.count(), 0u)
+      << "schedule/fire churn allocated in steady state";
+  EXPECT_GT(fired, 0u);
+}
+
+TEST(SimulationAllocation, SteadyStateCancelIsAllocationFree) {
+  Simulation sim;
+  util::Rng rng(11);
+  struct Cb {
+    std::uint64_t* fired;
+    double a, b;
+    void operator()() const { ++*fired; }
+  };
+  std::uint64_t fired = 0;
+  const Cb cb{&fired, 1.0, 2.0};
+
+  constexpr std::size_t kDepth = 2048;
+  std::vector<EventHandle> handles(kDepth);
+  for (std::size_t i = 0; i < kDepth; ++i)
+    handles[i] = sim.schedule_at(rng.uniform(0.0, 100.0), cb);
+
+  AllocationWindow window;
+  for (std::size_t round = 0; round < 50'000; ++round) {
+    const std::size_t i = round % kDepth;
+    handles[i].cancel();  // EventHandle ops never allocate
+    handles[i] = sim.schedule_at(sim.now() + rng.uniform(0.0, 100.0), cb);
+    if (round % 2 == 0) sim.step();
+  }
+  EXPECT_EQ(window.count(), 0u)
+      << "schedule/cancel churn allocated in steady state";
+}
+
+TEST(SimulationAllocation, PeriodicReArmIsAllocationFree) {
+  Simulation sim;
+  std::uint64_t ticks = 0;
+  for (int s = 0; s < 64; ++s) {
+    sim.schedule_periodic(0.5 + 0.01 * s, 1.0, [&ticks](SimTime) {
+      ++ticks;
+      return true;
+    });
+  }
+  sim.run_until(10.0);  // high-water mark reached
+
+  AllocationWindow window;
+  sim.run_until(10'000.0);  // ~640k in-place re-arms
+  EXPECT_EQ(window.count(), 0u) << "periodic re-arm allocated";
+  EXPECT_GT(ticks, 600'000u);
+}
+
+TEST(SimulationAllocation, ReserveEventsMakesColdBurstAllocationFree) {
+  Simulation sim;
+  sim.reserve_events(10'000);
+  struct Cb {
+    std::uint64_t* fired;
+    void operator()() const { ++*fired; }
+  };
+  std::uint64_t fired = 0;
+  const Cb cb{&fired};
+
+  AllocationWindow window;
+  for (std::size_t i = 0; i < 10'000; ++i)
+    sim.schedule_at(static_cast<double>(i), cb);
+  sim.run_until();
+  EXPECT_EQ(window.count(), 0u) << "burst within reservation allocated";
+  EXPECT_EQ(fired, 10'000u);
+}
+
+}  // namespace
+}  // namespace hcmd::sim

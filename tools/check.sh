@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Pre-merge check: tier-1 test suite in the default build, then the same
+# suite under AddressSanitizer + UBSan.
+#
+#   tools/check.sh            # both passes
+#   tools/check.sh --fast     # tier-1 only (skip the sanitizer pass)
+#
+# Build trees: build/ (default) and build-asan/ (HCMD_SANITIZE=ON); both are
+# configured on first use and reused afterwards.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+run_suite() {
+  local tree="$1"
+  shift
+  if [[ ! -f "$repo/$tree/CMakeCache.txt" ]]; then
+    cmake -B "$repo/$tree" -S "$repo" "$@"
+  fi
+  cmake --build "$repo/$tree" -j "$jobs"
+  ctest --test-dir "$repo/$tree" --output-on-failure -j "$jobs"
+}
+
+echo "== tier-1 (default build) =="
+run_suite build
+
+if [[ "$fast" == 0 ]]; then
+  echo "== tier-1 under ASan + UBSan =="
+  run_suite build-asan -DHCMD_SANITIZE=ON
+fi
+
+echo "== all checks passed =="
