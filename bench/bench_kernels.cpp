@@ -8,6 +8,7 @@
 #include <memory>
 #include <queue>
 
+#include "bench_memory.hpp"
 #include "core/campaign.hpp"
 #include "docking/cell_list.hpp"
 #include "docking/engine.hpp"
@@ -408,6 +409,8 @@ BENCHMARK(BM_SchedulePeriodic)
 // server received in that week.
 void BM_CampaignWeek(benchmark::State& state) {
   std::uint64_t received = 0;
+  bench::mem::reset_peak();
+  const auto heap_before = bench::mem::heap_stats();
   for (auto _ : state) {
     core::CampaignConfig config;
     config.scale = 0.04;  // the benches' standard 1/25 scale
@@ -416,9 +419,57 @@ void BM_CampaignWeek(benchmark::State& state) {
     received += r.counters.results_received;
     benchmark::DoNotOptimize(r.counters.results_received);
   }
+  const auto heap_after = bench::mem::heap_stats();
   state.SetItemsProcessed(static_cast<std::int64_t>(received));
+  state.counters["heap_peak_mb"] =
+      static_cast<double>(heap_after.peak_live_bytes) / (1024.0 * 1024.0);
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(heap_after.allocations - heap_before.allocations) /
+      static_cast<double>(state.iterations());
+  state.counters["rss_peak_mb"] =
+      static_cast<double>(bench::mem::os_peak_rss_bytes()) / (1024.0 * 1024.0);
 }
 BENCHMARK(BM_CampaignWeek);
+
+// Full 26-week campaigns across fleet scales (arg = scale in permille).
+// One iteration each: the point is how wall clock and heap peak grow with
+// fleet size, not statistical timing precision. The 250-permille point is
+// the quarter-scale acceptance run: ~73k devices end to end.
+void BM_CampaignScaleSweep(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 1000.0;
+  std::uint64_t received = 0;
+  double completion_weeks = 0.0;
+  std::uint64_t devices = 0;
+  bench::mem::reset_peak();
+  const auto heap_before = bench::mem::heap_stats();
+  for (auto _ : state) {
+    core::CampaignConfig config;
+    config.scale = scale;
+    const core::CampaignReport r = core::run_campaign(config);
+    received += r.counters.results_received;
+    completion_weeks = r.completion_weeks;
+    devices = r.devices_simulated;
+    benchmark::DoNotOptimize(r.counters.results_received);
+  }
+  const auto heap_after = bench::mem::heap_stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(received));
+  state.counters["devices"] = static_cast<double>(devices);
+  state.counters["completion_weeks"] = completion_weeks;
+  state.counters["heap_peak_mb"] =
+      static_cast<double>(heap_after.peak_live_bytes) / (1024.0 * 1024.0);
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(heap_after.allocations - heap_before.allocations) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CampaignScaleSweep)
+    ->ArgName("permille")
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(100)
+    ->Arg(250)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_SchedulerRpc(benchmark::State& state) {
   std::vector<packaging::Workunit> catalog(100'000);

@@ -1,0 +1,131 @@
+#include "bench_memory.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__has_include)
+#if __has_include(<malloc.h>)
+#include <malloc.h>
+#define HCMD_BENCH_HAVE_USABLE_SIZE 1
+#endif
+#endif
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_bytes_allocated{0};
+std::atomic<std::uint64_t> g_live_bytes{0};
+std::atomic<std::uint64_t> g_peak_live_bytes{0};
+
+std::uint64_t usable(void* p, std::size_t requested) {
+#ifdef HCMD_BENCH_HAVE_USABLE_SIZE
+  return static_cast<std::uint64_t>(malloc_usable_size(p));
+#else
+  (void)p;
+  return static_cast<std::uint64_t>(requested);
+#endif
+}
+
+void note_alloc(void* p, std::size_t requested) {
+  const std::uint64_t n = usable(p, requested);
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_allocated.fetch_add(n, std::memory_order_relaxed);
+  const std::uint64_t live =
+      g_live_bytes.fetch_add(n, std::memory_order_relaxed) + n;
+  std::uint64_t peak = g_peak_live_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_live_bytes.compare_exchange_weak(
+             peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void note_free(void* p) {
+  if (!p) return;
+#ifdef HCMD_BENCH_HAVE_USABLE_SIZE
+  g_live_bytes.fetch_sub(static_cast<std::uint64_t>(malloc_usable_size(p)),
+                         std::memory_order_relaxed);
+#endif
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = std::malloc(size)) {
+    note_alloc(p, size);
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size);
+  if (p) note_alloc(p, size);
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  const auto a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) & ~(a - 1);
+  if (void* p = std::aligned_alloc(a, rounded)) {
+    note_alloc(p, rounded);
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  note_free(p);
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  note_free(p);
+  std::free(p);
+}
+
+namespace hcmd::bench::mem {
+
+HeapStats heap_stats() {
+  HeapStats s;
+  s.allocations = g_allocations.load(std::memory_order_relaxed);
+  s.bytes_allocated = g_bytes_allocated.load(std::memory_order_relaxed);
+  s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  s.peak_live_bytes = g_peak_live_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_peak() {
+  g_peak_live_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
+
+std::uint64_t os_peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+}  // namespace hcmd::bench::mem

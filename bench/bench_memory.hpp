@@ -1,0 +1,33 @@
+// Heap and RSS instrumentation for the bench binaries.
+//
+// bench_memory.cpp replaces the global allocation functions with counting
+// wrappers, so any bench that links it (by referencing these functions) can
+// report allocation counts and a resettable live-heap high-water mark next
+// to its throughput numbers. This is how BM_CampaignWeek and the scale
+// sweep print memory alongside time: the OS peak RSS (VmHWM) is monotone
+// over the process, so per-benchmark memory comparisons use the heap peak,
+// which reset_peak() rebases to the current live size.
+#pragma once
+
+#include <cstdint>
+
+namespace hcmd::bench::mem {
+
+struct HeapStats {
+  std::uint64_t allocations = 0;      ///< cumulative operator-new calls
+  std::uint64_t bytes_allocated = 0;  ///< cumulative usable bytes
+  std::uint64_t live_bytes = 0;       ///< currently allocated usable bytes
+  std::uint64_t peak_live_bytes = 0;  ///< high-water since last reset_peak()
+};
+
+HeapStats heap_stats();
+
+/// Rebases the live-heap high-water mark to the current live size; call
+/// before the measured region.
+void reset_peak();
+
+/// OS peak RSS (VmHWM) in bytes; 0 where /proc is unavailable. Monotone
+/// over the whole process lifetime.
+std::uint64_t os_peak_rss_bytes();
+
+}  // namespace hcmd::bench::mem

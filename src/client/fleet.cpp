@@ -1,0 +1,314 @@
+#include "client/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "server/credit.hpp"
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::client {
+
+VolunteerFleet::VolunteerFleet(sim::Simulation& simulation,
+                               server::ProjectServer& project,
+                               server::TransitionerTimers& timers,
+                               const server::ShareSchedule& schedule,
+                               sim::MetricSet& metrics, AgentConfig config)
+    : sim_(simulation), project_(project), timers_(timers),
+      schedule_(schedule), metrics_(metrics), config_(config),
+      hcmd_runtime_(metrics.meter_series(metric::kHcmdRuntime)),
+      wcg_runtime_(metrics.meter_series(metric::kWcgRuntime)),
+      hcmd_results_(metrics.meter_series(metric::kHcmdResults)),
+      hcmd_useful_results_(metrics.meter_series(metric::kHcmdUsefulResults)),
+      hcmd_useful_ref_seconds_(
+          metrics.meter_series(metric::kHcmdUsefulRefSeconds)),
+      hcmd_credit_(metrics.meter_series(metric::kHcmdCredit)) {}
+
+void VolunteerFleet::reserve_devices(std::size_t n) {
+  specs_.reserve(n);
+  rngs_.reserve(n);
+  phases_.reserve(n);
+  work_.reserve(n);
+  segment_start_.reserve(n);
+  offline_at_.reserve(n);
+  long_pause_due_.reserve(n);
+  handles_.reserve(n);
+}
+
+void VolunteerFleet::reserve_runtimes(std::size_t n) {
+  runtime_device_.reserve(n);
+  runtime_value_.reserve(n);
+}
+
+std::uint32_t VolunteerFleet::add_device(const volunteer::DeviceSpec& spec,
+                                         util::Rng rng) {
+  HCMD_ASSERT(spec.effective_speed() > 0.0);
+  const auto d = static_cast<std::uint32_t>(specs_.size());
+  specs_.push_back(spec);
+  rngs_.push_back(rng);
+  phases_.push_back(Phase::kUnborn);
+  work_.emplace_back();
+  segment_start_.push_back(0.0);
+  offline_at_.push_back(0.0);
+  long_pause_due_.push_back(0);
+  handles_.emplace_back();
+  const double join = std::max(spec.join_time, sim_.now());
+  schedule_at(join, d, Action::kJoin);
+  return d;
+}
+
+void VolunteerFleet::dispatch(std::uint32_t d, Action action) {
+  switch (action) {
+    case Action::kJoin: on_join(d); break;
+    case Action::kOnline: go_online(d); break;
+    case Action::kOffline: go_offline(d); break;
+    case Action::kDeath: on_death(d); break;
+    case Action::kPause: trigger_long_pause(d); break;
+    case Action::kComplete: on_complete(d); break;
+    case Action::kRetry: request_work(d); break;
+  }
+}
+
+void VolunteerFleet::on_join(std::uint32_t d) {
+  phases_[d] = Phase::kOffline;
+  schedule_in(specs_[d].lifetime_seconds, d, Action::kDeath);
+  // A joining device is somewhere inside an off period: stagger the first
+  // attach by a draw from the off distribution (memoryless, so the residual
+  // has the same law), capped at a week. This also prevents a batch of
+  // devices created at t = 0 from requesting work in lock-step.
+  const double stagger =
+      std::min(rngs_[d].exponential(specs_[d].off_mean_seconds > 0.0
+                                        ? specs_[d].off_mean_seconds
+                                        : 1.0),
+               util::kSecondsPerWeek);
+  handles_[d].online = schedule_in(stagger, d, Action::kOnline);
+}
+
+void VolunteerFleet::go_online(std::uint32_t d) {
+  if (phases_[d] == Phase::kDead) return;
+  HCMD_ASSERT(phases_[d] == Phase::kOffline);
+  offline_at_[d] = sim_.now() + rngs_[d].exponential(specs_[d].on_mean_seconds);
+  handles_[d].offline = schedule_at(offline_at_[d], d, Action::kOffline);
+  if (work_[d].active) {
+    phases_[d] = Phase::kComputing;
+    begin_segment(d);
+  } else {
+    phases_[d] = Phase::kIdle;
+    request_work(d);
+  }
+}
+
+void VolunteerFleet::go_offline(std::uint32_t d) {
+  if (phases_[d] == Phase::kDead) return;
+  Handles& h = handles_[d];
+  h.complete.cancel(sim_);
+  h.pause.cancel(sim_);
+  h.retry.cancel(sim_);
+  if (phases_[d] == Phase::kComputing) settle_segment(d, /*interrupted=*/true);
+  phases_[d] = Phase::kOffline;
+  double off_len;
+  if (long_pause_due_[d]) {
+    // The volunteer paused/killed the agent for a long stretch; the server
+    // will time the workunit out, and the eventual upload arrives late.
+    long_pause_due_[d] = 0;
+    off_len = rngs_[d].exponential(config_.long_pause_mean_weeks *
+                                   util::kSecondsPerWeek);
+  } else {
+    off_len = volunteer::sample_reattach_delay(
+        sim_.now(), specs_[d].off_mean_seconds, specs_[d].diurnal, rngs_[d]);
+  }
+  h.online = schedule_in(off_len, d, Action::kOnline);
+}
+
+void VolunteerFleet::on_death(std::uint32_t d) {
+  if (phases_[d] == Phase::kDead) return;
+  if (phases_[d] == Phase::kComputing)
+    settle_segment(d, /*interrupted=*/true);
+  phases_[d] = Phase::kDead;
+  Handles& h = handles_[d];
+  h.offline.cancel(sim_);
+  h.complete.cancel(sim_);
+  h.pause.cancel(sim_);
+  h.online.cancel(sim_);
+  h.retry.cancel(sim_);
+  // Any assigned workunit is silently dropped; the server learns about it
+  // from the deadline.
+  work_[d].active = false;
+}
+
+void VolunteerFleet::request_work(std::uint32_t d) {
+  if (phases_[d] != Phase::kIdle) return;
+  HCMD_ASSERT(!work_[d].active);
+
+  const double share = schedule_.share_at(sim_.now());
+  const bool want_hcmd = rngs_[d].bernoulli(share) && !project_.complete();
+
+  if (want_hcmd) {
+    auto assignment = project_.request_work(specs_[d].id, sim_.now());
+    if (assignment.has_value()) {
+      WorkItem item;
+      item.active = true;
+      item.is_hcmd = true;
+      item.result_id = assignment->result_id;
+      item.required_ref = assignment->workunit.reference_seconds;
+      item.checkpoint_ref = assignment->workunit.reference_seconds /
+                            static_cast<double>(
+                                assignment->workunit.positions());
+      if (rngs_[d].bernoulli(specs_[d].abandon_rate))
+        item.long_pause_at = rngs_[d].uniform(0.0, item.required_ref);
+      work_[d] = item;
+      // Transitioner deadline tick, independent of this device's fate.
+      timers_.arm(item.result_id, assignment->deadline);
+      phases_[d] = Phase::kComputing;
+      begin_segment(d);
+      return;
+    }
+    if (!project_.complete()) {
+      // Everything is issued and outstanding; come back later.
+      const double retry =
+          config_.work_request_retry_hours * util::kSecondsPerHour;
+      handles_[d].retry = schedule_in(retry, d, Action::kRetry);
+      return;
+    }
+    // Campaign finished: fall through to another project's work.
+  }
+
+  WorkItem item;
+  item.active = true;
+  item.is_hcmd = false;
+  item.required_ref =
+      config_.other_project_reference_hours * util::kSecondsPerHour;
+  work_[d] = item;
+  phases_[d] = Phase::kComputing;
+  begin_segment(d);
+}
+
+void VolunteerFleet::begin_segment(std::uint32_t d) {
+  HCMD_ASSERT(phases_[d] == Phase::kComputing);
+  WorkItem& work = work_[d];
+  HCMD_ASSERT(work.active);
+  segment_start_[d] = sim_.now();
+  const double remaining_ref = work.required_ref - work.progress_ref;
+  const double remaining_wall = remaining_ref / specs_[d].effective_speed();
+  if (sim_.now() + remaining_wall < offline_at_[d]) {
+    handles_[d].complete = schedule_in(remaining_wall, d, Action::kComplete);
+  }
+  // Otherwise the offline event will interrupt this segment first.
+
+  // If the volunteer is going to pause/kill the agent mid-workunit, the
+  // pause fires at the exact progress point — before completion and
+  // possibly before the natural offline event.
+  if (work.long_pause_at >= 0.0) {
+    const double wall_to_pause =
+        std::max(0.0, (work.long_pause_at - work.progress_ref) /
+                          specs_[d].effective_speed());
+    if (sim_.now() + wall_to_pause < offline_at_[d] &&
+        wall_to_pause < remaining_wall) {
+      handles_[d].pause = schedule_in(wall_to_pause, d, Action::kPause);
+    }
+  }
+}
+
+void VolunteerFleet::trigger_long_pause(std::uint32_t d) {
+  if (phases_[d] != Phase::kComputing || !work_[d].active) return;
+  work_[d].long_pause_at = -1.0;
+  long_pause_due_[d] = 1;  // consumed by go_offline's duration draw
+  handles_[d].offline.cancel(sim_);
+  go_offline(d);
+}
+
+void VolunteerFleet::settle_segment(std::uint32_t d, bool interrupted) {
+  WorkItem& work = work_[d];
+  HCMD_ASSERT(work.active);
+  const double wall = sim_.now() - segment_start_[d];
+  HCMD_ASSERT(wall >= 0.0);
+  if (wall > 0.0) {
+    work.attached_wall += wall;
+    work.progress_ref += wall * specs_[d].effective_speed();
+
+    // Run-time accounting: the UD agent accrues wall-clock, the BOINC agent
+    // accrues process CPU time.
+    const double runtime =
+        specs_[d].accounting == volunteer::AccountingMode::kUdWallClock
+            ? wall
+            : wall * specs_[d].throttle * specs_[d].contention;
+    wcg_runtime_.add(sim_.now(), runtime);
+    if (work.is_hcmd) hcmd_runtime_.add(sim_.now(), runtime);
+  }
+
+  if (interrupted && work.progress_ref < work.required_ref &&
+      work.checkpoint_ref > 0.0) {
+    // Checkpoints only exist between starting positions: the partially
+    // computed position is lost (its wall time stays spent).
+    work.progress_ref -= std::fmod(work.progress_ref, work.checkpoint_ref);
+  }
+}
+
+void VolunteerFleet::on_complete(std::uint32_t d) {
+  HCMD_ASSERT(phases_[d] == Phase::kComputing);
+  WorkItem& work = work_[d];
+  HCMD_ASSERT(work.active);
+  settle_segment(d, /*interrupted=*/false);
+  work.progress_ref = work.required_ref;  // clamp fp residue
+
+  if (work.is_hcmd) {
+    const volunteer::DeviceSpec& spec = specs_[d];
+    server::ResultReport report;
+    report.computation_error = rngs_[d].bernoulli(spec.error_rate);
+    report.silent_error = !report.computation_error &&
+                          rngs_[d].bernoulli(spec.silent_error_rate);
+    report.reported_runtime =
+        spec.reported_runtime(work.attached_wall, work.required_ref);
+    report.reference_seconds = work.required_ref;
+
+    const std::uint64_t completed_before =
+        project_.counters().workunits_completed;
+    project_.report_result(work.result_id, sim_.now(), report);
+    // The result is in: retire its deadline tick eagerly instead of letting
+    // a dead timer ride the event heap for another week and a half. (A
+    // no-op for late uploads whose timer already fired.)
+    timers_.disarm(work.result_id);
+    hcmd_results_.add(sim_.now(), 1.0);
+    if (!report.computation_error) {
+      // Section 8's points scheme: runtime x agent benchmark score.
+      hcmd_credit_.add(sim_.now(),
+                       server::claimed_credit(spec, report.reported_runtime));
+    }
+    if (project_.counters().workunits_completed > completed_before) {
+      hcmd_useful_results_.add(sim_.now(), 1.0);
+      hcmd_useful_ref_seconds_.add(sim_.now(), work.required_ref);
+    }
+    runtime_device_.push_back(d);
+    runtime_value_.push_back(report.reported_runtime);
+  }
+
+  work.active = false;
+  phases_[d] = Phase::kIdle;
+  request_work(d);
+}
+
+std::vector<double> VolunteerFleet::runtimes_by_device() const {
+  // Counting sort by device index: the shared buffer is in global
+  // completion order; the per-agent collection this replaces concatenated
+  // device-local chronological lists in device order. The sort is stable,
+  // so within a device the chronological order is preserved and the
+  // concatenation — and every order-dependent summary over it — is
+  // bit-identical to the old layout.
+  std::vector<std::uint32_t> offsets(specs_.size() + 1, 0);
+  for (std::uint32_t d : runtime_device_) ++offsets[d + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  std::vector<double> out(runtime_value_.size());
+  for (std::size_t i = 0; i < runtime_device_.size(); ++i)
+    out[offsets[runtime_device_[i]]++] = runtime_value_[i];
+  return out;
+}
+
+std::vector<double> VolunteerFleet::reported_hcmd_runtimes(
+    std::uint32_t device) const {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < runtime_device_.size(); ++i)
+    if (runtime_device_[i] == device) out.push_back(runtime_value_[i]);
+  return out;
+}
+
+}  // namespace hcmd::client

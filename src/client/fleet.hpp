@@ -1,0 +1,192 @@
+// Volunteer fleet: the per-device state machines of the campaign
+// simulation, stored structure-of-arrays.
+//
+// Behaviour (unchanged from the original per-agent model) mirrors the
+// UD/BOINC agent the paper describes:
+//  * the agent alternates attached (crunching) and detached periods —
+//    volunteers "use only the idle time of the device";
+//  * on each work request the grid routes the device to HCMD with the
+//    schedule's current project share, otherwise to another WCG project;
+//  * docking progress accrues at the device's effective speed; run time is
+//    accounted per the agent's mode (UD: wall clock; BOINC: CPU);
+//  * checkpoints exist only between starting positions: an interruption
+//    loses the partial position and the wall time it consumed;
+//  * some volunteers pause the agent for weeks ("long pause"): the server
+//    times the result out and re-issues it, and the eventual late upload is
+//    still received — redundant computing;
+//  * the device dies at the end of its lifetime, silently dropping any
+//    assigned work.
+//
+// Layout: one VolunteerFleet owns every device's state in dense arrays
+// indexed by device id — phase, work item, RNG, event handles — instead of
+// one heap-allocated agent object per device. Scheduled callbacks all go
+// through a single 16-byte trampoline {fleet, device, action}: the event
+// engine stores one callable type, and a dispatch touches a handful of
+// dense arrays instead of a 400-byte object scattered per agent. The
+// transition logic itself is a verbatim port of the old VolunteerAgent —
+// RNG draw order and event scheduling order are identical, so campaign
+// runs replay bit-exactly against the per-agent implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "server/server.hpp"
+#include "server/share_schedule.hpp"
+#include "server/transitioner.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "volunteer/device.hpp"
+
+namespace hcmd::client {
+
+struct AgentConfig {
+  /// Reference CPU hours of a typical non-HCMD workunit (occupies the
+  /// device when the share draw routes it to another project).
+  double other_project_reference_hours = 4.0;
+  /// Mean of the exponential long-pause duration.
+  double long_pause_mean_weeks = 2.0;
+  /// Retry interval when the HCMD server has no work to give.
+  double work_request_retry_hours = 6.0;
+};
+
+/// Metric names the fleet emits into the campaign MetricSet.
+namespace metric {
+inline constexpr const char* kHcmdRuntime = "hcmd_runtime_seconds";
+inline constexpr const char* kWcgRuntime = "wcg_runtime_seconds";
+inline constexpr const char* kHcmdResults = "hcmd_results_received";
+inline constexpr const char* kHcmdUsefulResults = "hcmd_results_useful";
+inline constexpr const char* kHcmdUsefulRefSeconds =
+    "hcmd_useful_reference_seconds";
+inline constexpr const char* kHcmdCredit = "hcmd_credit_granted";
+}  // namespace metric
+
+class VolunteerFleet {
+ public:
+  /// `timers` is the shared transitioner deadline book: it must outlive the
+  /// fleet (deadline ticks are independent of a device's fate — the device
+  /// may die with work assigned). The fleet resolves its metric series once
+  /// here, so the per-event meter appends skip the by-name lookup.
+  VolunteerFleet(sim::Simulation& simulation, server::ProjectServer& project,
+                 server::TransitionerTimers& timers,
+                 const server::ShareSchedule& schedule,
+                 sim::MetricSet& metrics, AgentConfig config = {});
+
+  VolunteerFleet(const VolunteerFleet&) = delete;
+  VolunteerFleet& operator=(const VolunteerFleet&) = delete;
+
+  /// Pre-sizes the per-device arrays for `n` devices (use the analytic
+  /// expected fleet size; drawing it from an RNG would perturb the stream).
+  void reserve_devices(std::size_t n);
+  /// Pre-sizes the shared Fig. 8 runtime buffer for `n` completions.
+  void reserve_runtimes(std::size_t n);
+
+  /// Registers a device and schedules its join event; must be called before
+  /// the simulation runs past spec.join_time. Device index == order of
+  /// addition; `rng` is the device's private stream.
+  std::uint32_t add_device(const volunteer::DeviceSpec& spec, util::Rng rng);
+
+  std::size_t size() const { return specs_.size(); }
+  const volunteer::DeviceSpec& spec(std::uint32_t device) const {
+    return specs_[device];
+  }
+
+  /// Fig. 8 distribution data: runtimes of completed HCMD workunits,
+  /// concatenated per device in device-index order with each device's
+  /// completions chronological — exactly the order the per-agent collection
+  /// produced, so downstream summaries stay bit-identical.
+  std::vector<double> runtimes_by_device() const;
+  /// Runtimes one device reported (chronological).
+  std::vector<double> reported_hcmd_runtimes(std::uint32_t device) const;
+  /// Total completed-HCMD runtime samples across the fleet.
+  std::size_t runtime_count() const { return runtime_value_.size(); }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kUnborn, kOffline, kIdle, kComputing, kDead
+  };
+  enum class Action : std::uint8_t {
+    kJoin, kOnline, kOffline, kDeath, kPause, kComplete, kRetry
+  };
+
+  struct WorkItem {
+    bool active = false;          ///< a workunit is assigned
+    bool is_hcmd = false;
+    std::uint64_t result_id = 0;
+    double required_ref = 0.0;    ///< reference CPU seconds to finish
+    double progress_ref = 0.0;
+    double attached_wall = 0.0;   ///< wall seconds spent attached to this WU
+    double checkpoint_ref = 0.0;  ///< reference seconds per checkpoint slice
+    double long_pause_at = -1.0;  ///< progress threshold (< 0: none pending)
+  };
+
+  /// Compact handles (8 bytes each): the fleet owns the Simulation, so the
+  /// per-handle back pointer would be 40 wasted bytes per device.
+  struct Handles {
+    sim::CompactEventHandle offline;
+    sim::CompactEventHandle complete;
+    sim::CompactEventHandle pause;
+    sim::CompactEventHandle online;
+    sim::CompactEventHandle retry;
+  };
+
+  /// The one callable type every fleet event schedules: 16 bytes, stored
+  /// inline in the event arena.
+  struct Trampoline {
+    VolunteerFleet* fleet;
+    std::uint32_t device;
+    Action action;
+    void operator()() const { fleet->dispatch(device, action); }
+  };
+  sim::EventHandle schedule_in(double delay, std::uint32_t device,
+                               Action action) {
+    return sim_.schedule_in(delay, Trampoline{this, device, action});
+  }
+  sim::EventHandle schedule_at(double t, std::uint32_t device,
+                               Action action) {
+    return sim_.schedule_at(t, Trampoline{this, device, action});
+  }
+
+  void dispatch(std::uint32_t d, Action action);
+  void on_join(std::uint32_t d);
+  void go_online(std::uint32_t d);
+  void go_offline(std::uint32_t d);
+  void on_death(std::uint32_t d);
+  void trigger_long_pause(std::uint32_t d);
+  void request_work(std::uint32_t d);
+  void begin_segment(std::uint32_t d);
+  void settle_segment(std::uint32_t d, bool interrupted);
+  void on_complete(std::uint32_t d);
+
+  sim::Simulation& sim_;
+  server::ProjectServer& project_;
+  server::TransitionerTimers& timers_;
+  const server::ShareSchedule& schedule_;
+  sim::MetricSet& metrics_;
+  AgentConfig config_;
+
+  // --- per-device state, dense, indexed by device ---
+  std::vector<volunteer::DeviceSpec> specs_;
+  std::vector<util::Rng> rngs_;
+  std::vector<Phase> phases_;
+  std::vector<WorkItem> work_;
+  std::vector<double> segment_start_;
+  std::vector<double> offline_at_;
+  std::vector<std::uint8_t> long_pause_due_;
+  std::vector<Handles> handles_;
+
+  // --- shared Fig. 8 collection, in completion order ---
+  std::vector<std::uint32_t> runtime_device_;
+  std::vector<double> runtime_value_;
+
+  // --- metric series, resolved once at construction ---
+  util::TimeBinnedSeries& hcmd_runtime_;
+  util::TimeBinnedSeries& wcg_runtime_;
+  util::TimeBinnedSeries& hcmd_results_;
+  util::TimeBinnedSeries& hcmd_useful_results_;
+  util::TimeBinnedSeries& hcmd_useful_ref_seconds_;
+  util::TimeBinnedSeries& hcmd_credit_;
+};
+
+}  // namespace hcmd::client

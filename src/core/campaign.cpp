@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "client/agent.hpp"
+#include "client/fleet.hpp"
 #include "server/credit.hpp"
 #include "server/transitioner.hpp"
 #include "dedicated/grid.hpp"
@@ -18,6 +18,10 @@ namespace hcmd::core {
 
 using util::kSecondsPerDay;
 using util::kSecondsPerWeek;
+
+/// Phase I ran about half a year; used only to pro-rate reservation hints
+/// for shorter horizons (never affects simulated outcomes).
+constexpr double kNominalCampaignWeeks = 26.0;
 
 void CampaignConfig::validate() const {
   if (scale <= 0.0 || scale > 1.0)
@@ -45,6 +49,12 @@ Workload build_workload(const CampaignConfig& config) {
   return w;
 }
 
+void Workload::release_geometry() {
+  for (auto& p : benchmark.proteins)
+    p = proteins::ReducedProtein(p.id(), p.name(), {});
+  cost_model.reset();
+}
+
 namespace {
 
 /// Launch ranks: cheapest receptor first ("they decided to first launch the
@@ -67,40 +77,49 @@ std::vector<std::uint32_t> launch_ranks(const proteins::Benchmark& benchmark,
 
 CampaignReport run_campaign(const CampaignConfig& config) {
   config.validate();
-  Workload w = build_workload(config);
-  const auto& bench = w.benchmark;
-  const auto& mct = *w.mct;
-  const auto receptor_count =
-      static_cast<std::uint32_t>(bench.proteins.size());
-
   CampaignReport report;
-  report.total_reference_seconds = mct.total_reference_seconds(bench);
 
-  // --- full-scale packaging statistics (exact counts) ---
+  // --- workload, stats and the scaled catalogue, in a scope of their own:
+  // once the catalogue and the launch ranks exist, the DES needs nothing
+  // from the benchmark or the matrix, so the whole workload is freed before
+  // the grid structures are built (it is several MB per run).
+  std::vector<packaging::Workunit> catalog;
+  std::vector<std::uint32_t> rank;
+  std::uint32_t receptor_count = 0;
   {
+    Workload w = build_workload(config);
+    const auto& bench = w.benchmark;
+    const auto& mct = *w.mct;
+    receptor_count = static_cast<std::uint32_t>(bench.proteins.size());
+    report.total_reference_seconds = mct.total_reference_seconds(bench);
+    // Packaging and launch ranking only read the timing marginals; the
+    // pseudo-atom geometry is dead weight from here on.
+    w.release_geometry();
+
+    // --- full-scale packaging statistics (exact counts) ---
     const packaging::PackagingStats full_stats =
         packaging::compute_stats(bench, mct, config.packaging);
     report.full_workunit_count = full_stats.workunit_count;
     report.nominal_wu_mean_seconds = full_stats.mean_reference_seconds;
+
+    // --- scaled catalogue in launch order ---
+    const auto stride = static_cast<std::uint64_t>(
+        std::max<long long>(1, std::llround(1.0 / config.scale)));
+    report.scale = 1.0 / static_cast<double>(stride);
+    catalog = packaging::build_catalog(bench, mct, config.packaging, stride);
+    rank = launch_ranks(bench, mct);
   }
-
-  // --- scaled catalogue in launch order ---
-  const auto stride = static_cast<std::uint64_t>(
-      std::max<long long>(1, std::llround(1.0 / config.scale)));
-  const double scale = 1.0 / static_cast<double>(stride);
-  report.scale = scale;
-
-  std::vector<packaging::Workunit> catalog =
-      packaging::build_catalog(bench, mct, config.packaging, stride);
-  const std::vector<std::uint32_t> rank = launch_ranks(bench, mct);
-  std::stable_sort(catalog.begin(), catalog.end(),
-                   [&](const packaging::Workunit& a,
-                       const packaging::Workunit& b) {
-                     if (rank[a.receptor] != rank[b.receptor])
-                       return rank[a.receptor] < rank[b.receptor];
-                     if (a.ligand != b.ligand) return a.ligand < b.ligand;
-                     return a.isep_begin < b.isep_begin;
-                   });
+  const double scale = report.scale;
+  // In-place sort: (rank, ligand, isep_begin) is unique per workunit, so
+  // this strict total order needs no stability (stable_sort would allocate
+  // a catalogue-sized temporary buffer).
+  std::sort(catalog.begin(), catalog.end(),
+            [&](const packaging::Workunit& a, const packaging::Workunit& b) {
+              if (rank[a.receptor] != rank[b.receptor])
+                return rank[a.receptor] < rank[b.receptor];
+              if (a.ligand != b.ligand) return a.ligand < b.ligand;
+              return a.isep_begin < b.isep_begin;
+            });
   HCMD_ASSERT(!catalog.empty());
 
   // --- grid components ---
@@ -132,18 +151,39 @@ CampaignReport run_campaign(const CampaignConfig& config) {
            attached;
   };
 
-  std::vector<std::unique_ptr<client::VolunteerAgent>> agents;
+  client::VolunteerFleet fleet(simulation, project, timers, schedule,
+                               metrics, config.agent);
+  // Size the fleet's per-device arrays from the *analytic* expected arrival
+  // count (initial cohort + growth + churn replacement means) — drawing the
+  // estimate from the RNG would perturb the stream. The Fig. 8 buffer is
+  // sized from the catalogue and the nominal redundancy.
+  {
+    double expected = std::max(0.0, target_devices(0.0));
+    for (double day = 0.0; day < max_days; day += 1.0)
+      expected +=
+          std::max(0.0, target_devices(day + 1.0) - target_devices(day)) +
+          target_devices(day) / config.devices.lifetime_mean_days;
+    fleet.reserve_devices(static_cast<std::size_t>(expected * 1.05) + 16);
+    // Fig. 8 buffer: one entry per received HCMD result. A completed run
+    // receives ~catalogue x nominal redundancy; a shorter horizon cannot
+    // receive more than roughly its linear share of that, so short bench
+    // runs do not pay the full-campaign reservation.
+    const double campaign_fraction =
+        std::min(1.0, config.max_weeks / kNominalCampaignWeeks);
+    fleet.reserve_runtimes(static_cast<std::size_t>(
+        static_cast<double>(project.catalog().size()) * 1.5 *
+            campaign_fraction +
+        1024.0));
+  }
+
   std::uint32_t next_device_id = 0;
   auto add_device = [&](double join_seconds) {
     const double years = (day0 + join_seconds / kSecondsPerDay) / 365.0;
     volunteer::DeviceSpec spec =
         volunteer::make_device(next_device_id++, join_seconds, years,
                                fleet_rng, config.devices);
-    agents.push_back(std::make_unique<client::VolunteerAgent>(
-        simulation, project, timers, schedule, metrics, spec,
-        agent_rng_root.fork("agent-" + std::to_string(spec.id)),
-        config.agent));
-    agents.back()->start();
+    fleet.add_device(spec,
+                     agent_rng_root.fork("agent-" + std::to_string(spec.id)));
   };
 
   const auto initial = static_cast<std::uint64_t>(
@@ -159,10 +199,10 @@ CampaignReport run_campaign(const CampaignConfig& config) {
     for (std::uint64_t i = 0; i < arrivals; ++i)
       add_device((day + fleet_rng.next_double()) * kSecondsPerDay);
   }
-  report.devices_simulated = agents.size();
+  report.devices_simulated = fleet.size();
   // Warm-start the event arena near its expected high-water mark (each
-  // live agent keeps a few timers pending); growth past it is organic.
-  simulation.reserve_events(agents.size() * 2);
+  // live device keeps a few timers pending); growth past it is organic.
+  simulation.reserve_events(fleet.size() * 2);
 
   // --- Fig. 7 snapshots ---
   std::vector<double> total_per_receptor =
@@ -271,11 +311,7 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   report.speeddown.redundancy_factor = report.redundancy_factor;
 
   // --- Fig. 8: reported runtimes of completed HCMD workunits ---
-  std::vector<double> runtimes;
-  for (const auto& agent : agents) {
-    const auto& r = agent->reported_hcmd_runtimes();
-    runtimes.insert(runtimes.end(), r.begin(), r.end());
-  }
+  const std::vector<double> runtimes = fleet.runtimes_by_device();
   report.runtime_summary = util::summarize(runtimes);
   for (double r : runtimes)
     report.runtime_hours_hist.add(r / util::kSecondsPerHour);

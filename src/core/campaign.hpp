@@ -90,6 +90,12 @@ struct Workload {
   proteins::Benchmark benchmark;
   std::unique_ptr<timing::CostModel> cost_model;
   std::unique_ptr<timing::MctMatrix> mct;
+
+  /// Frees the protein geometry (pseudo-atom coordinates) and the cost
+  /// model, keeping the timing marginals (Mct matrix, nsep, protein count).
+  /// Once the matrix is evaluated the campaign DES never touches an atom —
+  /// the geometry is a multi-MB dead weight per run.
+  void release_geometry();
 };
 Workload build_workload(const CampaignConfig& config);
 

@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "client/agent.hpp"
+#include "client/fleet.hpp"
 #include "packaging/packager.hpp"
 #include "proteins/generator.hpp"
 #include "server/server.hpp"

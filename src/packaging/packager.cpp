@@ -37,46 +37,24 @@ std::uint32_t positions_per_workunit(double target_hours,
   return static_cast<std::uint32_t>(q);
 }
 
+ChunkGeometry chunk_geometry(double target_hours, double mct_entry_seconds,
+                             std::uint32_t nsep_total,
+                             SplitStrategy strategy) {
+  ChunkGeometry g;
+  g.nsep_total = nsep_total;
+  g.per_wu = positions_per_workunit(target_hours, mct_entry_seconds,
+                                    nsep_total, strategy);
+  g.chunks = (nsep_total + g.per_wu - 1) / g.per_wu;
+  g.balanced = strategy == SplitStrategy::kBalanced;
+  return g;
+}
+
 std::uint64_t for_each_workunit(
     const proteins::Benchmark& benchmark, const timing::MctMatrix& mct,
     const PackagingConfig& config,
     const std::function<void(const Workunit&)>& sink) {
-  const std::size_t n = benchmark.proteins.size();
-  HCMD_ASSERT(mct.size() == n);
-  HCMD_ASSERT(benchmark.nsep.size() == n);
-
-  std::uint64_t next_id = 0;
-  for (std::size_t r = 0; r < n; ++r) {
-    const std::uint32_t nsep_total = benchmark.nsep[r];
-    for (std::size_t l = 0; l < n; ++l) {
-      const double entry = mct.at(r, l);
-      const std::uint32_t per_wu = positions_per_workunit(
-          config.target_hours, entry, nsep_total, config.strategy);
-      const std::uint32_t chunks = (nsep_total + per_wu - 1) / per_wu;
-
-      std::uint32_t begin = 0;
-      for (std::uint32_t c = 0; c < chunks; ++c) {
-        std::uint32_t size;
-        if (config.strategy == SplitStrategy::kBalanced) {
-          // Spread the positions evenly over the same number of chunks.
-          size = nsep_total / chunks + (c < nsep_total % chunks ? 1 : 0);
-        } else {
-          size = std::min(per_wu, nsep_total - begin);
-        }
-        Workunit wu;
-        wu.id = next_id++;
-        wu.receptor = static_cast<std::uint32_t>(r);
-        wu.ligand = static_cast<std::uint32_t>(l);
-        wu.isep_begin = begin;
-        wu.isep_end = begin + size;
-        wu.reference_seconds = static_cast<double>(size) * entry;
-        sink(wu);
-        begin += size;
-      }
-      HCMD_ASSERT(begin == nsep_total);
-    }
-  }
-  return next_id;
+  return visit_workunits(benchmark, mct, config,
+                         [&](const Workunit& wu) { sink(wu); });
 }
 
 PackagingStats compute_stats(const proteins::Benchmark& benchmark,
@@ -84,29 +62,63 @@ PackagingStats compute_stats(const proteins::Benchmark& benchmark,
                              const PackagingConfig& config,
                              std::size_t histogram_bins,
                              double histogram_max_hours) {
+  const std::size_t n = benchmark.proteins.size();
+  HCMD_ASSERT(mct.size() == n);
+  HCMD_ASSERT(benchmark.nsep.size() == n);
+
   PackagingStats stats;
   stats.duration_hours =
       util::Histogram(0.0, histogram_max_hours, histogram_bins);
-  bool first = true;
   const double small_cutoff =
       0.5 * config.target_hours * util::kSecondsPerHour;
-  stats.workunit_count = for_each_workunit(
-      benchmark, mct, config, [&](const Workunit& wu) {
-        stats.total_reference_seconds += wu.reference_seconds;
+
+  // A couple contributes at most two distinct workunit durations (the fixed
+  // chunk and one remainder / the balanced sizes base and base+1), so the
+  // whole multi-million-unit packaging aggregates in O(couples).
+  bool first = true;
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t nsep_total = benchmark.nsep[r];
+    for (std::size_t l = 0; l < n; ++l) {
+      const double entry = mct.at(r, l);
+      const ChunkGeometry g = chunk_geometry(config.target_hours, entry,
+                                             nsep_total, config.strategy);
+      struct Group {
+        double ref_seconds;
+        std::uint64_t count;
+      } groups[2];
+      if (g.balanced) {
+        const std::uint32_t base = nsep_total / g.chunks;
+        const std::uint32_t extra = nsep_total % g.chunks;
+        groups[0] = {static_cast<double>(base + 1) * entry, extra};
+        groups[1] = {static_cast<double>(base) * entry, g.chunks - extra};
+      } else {
+        const std::uint32_t last =
+            nsep_total - (g.chunks - 1) * g.per_wu;
+        groups[0] = {static_cast<double>(g.per_wu) * entry, g.chunks - 1u};
+        groups[1] = {static_cast<double>(last) * entry, 1};
+      }
+      for (const Group& grp : groups) {
+        if (grp.count == 0) continue;
+        stats.total_reference_seconds +=
+            grp.ref_seconds * static_cast<double>(grp.count);
         if (first) {
           stats.min_reference_seconds = stats.max_reference_seconds =
-              wu.reference_seconds;
+              grp.ref_seconds;
           first = false;
         } else {
           stats.min_reference_seconds =
-              std::min(stats.min_reference_seconds, wu.reference_seconds);
+              std::min(stats.min_reference_seconds, grp.ref_seconds);
           stats.max_reference_seconds =
-              std::max(stats.max_reference_seconds, wu.reference_seconds);
+              std::max(stats.max_reference_seconds, grp.ref_seconds);
         }
-        if (wu.reference_seconds < small_cutoff) ++stats.small_workunits;
-        stats.duration_hours.add(wu.reference_seconds /
-                                 util::kSecondsPerHour);
-      });
+        if (grp.ref_seconds < small_cutoff)
+          stats.small_workunits += grp.count;
+        stats.duration_hours.add(grp.ref_seconds / util::kSecondsPerHour,
+                                 grp.count);
+      }
+      stats.workunit_count += g.chunks;
+    }
+  }
   if (stats.workunit_count > 0)
     stats.mean_reference_seconds =
         stats.total_reference_seconds /
@@ -119,10 +131,49 @@ std::vector<Workunit> build_catalog(const proteins::Benchmark& benchmark,
                                     const PackagingConfig& config,
                                     std::uint64_t stride) {
   if (stride == 0) throw ConfigError("packaging: stride must be >= 1");
+  const std::size_t n = benchmark.proteins.size();
+  HCMD_ASSERT(mct.size() == n);
+  HCMD_ASSERT(benchmark.nsep.size() == n);
+
+  // First pass counts chunks so the catalogue is reserved exactly (no
+  // vector-doubling transient); the second pass jumps straight to the
+  // stride-matching chunk indices instead of enumerating every workunit.
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t nsep_total = benchmark.nsep[r];
+    for (std::size_t l = 0; l < n; ++l)
+      total += chunk_geometry(config.target_hours, mct.at(r, l), nsep_total,
+                              config.strategy)
+                   .chunks;
+  }
   std::vector<Workunit> catalog;
-  for_each_workunit(benchmark, mct, config, [&](const Workunit& wu) {
-    if (wu.id % stride == 0) catalog.push_back(wu);
-  });
+  catalog.reserve(total == 0 ? 0 : (total - 1) / stride + 1);
+
+  std::uint64_t id_base = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t nsep_total = benchmark.nsep[r];
+    for (std::size_t l = 0; l < n; ++l) {
+      const double entry = mct.at(r, l);
+      const ChunkGeometry g = chunk_geometry(config.target_hours, entry,
+                                             nsep_total, config.strategy);
+      const std::uint64_t first = (stride - id_base % stride) % stride;
+      for (std::uint64_t c = first; c < g.chunks; c += stride) {
+        const auto ci = static_cast<std::uint32_t>(c);
+        const std::uint32_t begin = g.begin(ci);
+        const std::uint32_t size = g.size(ci);
+        Workunit wu;
+        HCMD_ASSERT(id_base + c <= 0xFFFFFFFFull);
+        wu.id = static_cast<std::uint32_t>(id_base + c);
+        wu.receptor = static_cast<std::uint16_t>(r);
+        wu.ligand = static_cast<std::uint16_t>(l);
+        wu.isep_begin = begin;
+        wu.isep_end = begin + size;
+        wu.reference_seconds = static_cast<double>(size) * entry;
+        catalog.push_back(wu);
+      }
+      id_base += g.chunks;
+    }
+  }
   return catalog;
 }
 

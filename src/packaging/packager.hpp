@@ -16,6 +16,7 @@
 // are provided as alternative strategies.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "packaging/workunit.hpp"
 #include "proteins/generator.hpp"
 #include "timing/mct_matrix.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace hcmd::packaging {
@@ -68,10 +70,74 @@ std::uint32_t positions_per_workunit(double target_hours,
                                      std::uint32_t nsep_total,
                                      SplitStrategy strategy);
 
+/// Chunk layout of one (receptor, ligand) couple. Every per-workunit field
+/// is an O(1) function of the chunk index, so the strided catalogue builder
+/// and the statistics pass can skip per-workunit enumeration entirely: a
+/// couple contributes at most two distinct workunit sizes.
+struct ChunkGeometry {
+  std::uint32_t nsep_total = 0;
+  std::uint32_t per_wu = 0;  ///< fixed chunk size (floor/ceil strategies)
+  std::uint32_t chunks = 0;
+  bool balanced = false;
+
+  std::uint32_t begin(std::uint32_t c) const {
+    if (!balanced) return c * per_wu;
+    return c * (nsep_total / chunks) + std::min(c, nsep_total % chunks);
+  }
+  std::uint32_t size(std::uint32_t c) const {
+    if (!balanced) return std::min(per_wu, nsep_total - c * per_wu);
+    return nsep_total / chunks + (c < nsep_total % chunks ? 1u : 0u);
+  }
+};
+
+ChunkGeometry chunk_geometry(double target_hours, double mct_entry_seconds,
+                             std::uint32_t nsep_total,
+                             SplitStrategy strategy);
+
 /// Streams every workunit of the full cross-docking to `sink`, in
 /// deterministic order (receptor-major, then ligand, then position). Returns
 /// the number of workunits emitted. This form never materialises the
 /// multi-million-unit catalogue.
+///
+/// Inlined template: the per-workunit payload is a handful of arithmetic
+/// ops, so on hot paths the sink must not hide behind a std::function
+/// indirection (the full cross-docking is millions of invocations).
+template <typename Sink>
+std::uint64_t visit_workunits(const proteins::Benchmark& benchmark,
+                              const timing::MctMatrix& mct,
+                              const PackagingConfig& config, Sink&& sink) {
+  const std::size_t n = benchmark.proteins.size();
+  HCMD_ASSERT(mct.size() == n);
+  HCMD_ASSERT(benchmark.nsep.size() == n);
+
+  std::uint64_t next_id = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t nsep_total = benchmark.nsep[r];
+    for (std::size_t l = 0; l < n; ++l) {
+      const double entry = mct.at(r, l);
+      const ChunkGeometry g = chunk_geometry(config.target_hours, entry,
+                                             nsep_total, config.strategy);
+      std::uint32_t begin = 0;
+      for (std::uint32_t c = 0; c < g.chunks; ++c) {
+        const std::uint32_t size = g.size(c);
+        Workunit wu;
+        HCMD_ASSERT(next_id <= 0xFFFFFFFFull);
+        wu.id = static_cast<std::uint32_t>(next_id++);
+        wu.receptor = static_cast<std::uint16_t>(r);
+        wu.ligand = static_cast<std::uint16_t>(l);
+        wu.isep_begin = begin;
+        wu.isep_end = begin + size;
+        wu.reference_seconds = static_cast<double>(size) * entry;
+        sink(wu);
+        begin += size;
+      }
+      HCMD_ASSERT(begin == nsep_total);
+    }
+  }
+  return next_id;
+}
+
+/// Type-erased form of visit_workunits for callers outside hot paths.
 std::uint64_t for_each_workunit(
     const proteins::Benchmark& benchmark, const timing::MctMatrix& mct,
     const PackagingConfig& config,

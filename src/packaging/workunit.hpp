@@ -12,10 +12,14 @@
 
 namespace hcmd::packaging {
 
+/// 24 bytes: the scaled catalogue is held in memory for a whole campaign
+/// (hundreds of thousands of entries), so the ids are sized to the data —
+/// the full Phase I packaging is a few million workunits (u32) over a
+/// 168-protein benchmark (u16).
 struct Workunit {
-  std::uint64_t id = 0;
-  std::uint32_t receptor = 0;   ///< protein index p1 (fixed)
-  std::uint32_t ligand = 0;     ///< protein index p2 (mobile)
+  std::uint32_t id = 0;
+  std::uint16_t receptor = 0;   ///< protein index p1 (fixed)
+  std::uint16_t ligand = 0;     ///< protein index p2 (mobile)
   std::uint32_t isep_begin = 0;
   std::uint32_t isep_end = 0;   ///< exclusive
   /// Predicted cost on the reference processor (seconds), from the Mct

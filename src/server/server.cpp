@@ -23,12 +23,18 @@ std::uint64_t ProjectServer::issue(std::uint32_t wu_index,
   WorkunitRecord& rec = records_[wu_index];
   ResultInstance inst;
   inst.result_id = results_.size();
+  // pending_result stores ids in 32 bits (ids are dense indices).
+  HCMD_ASSERT_MSG(inst.result_id < kNoPending, "result id overflows 32 bits");
   inst.workunit_index = wu_index;
   inst.device_id = device_id;
   inst.sent_time = now;
   inst.deadline = now + config_.deadline;
   results_.push_back(inst);
-  if (rec.issues < 255) ++rec.issues;
+  // The issue counter is a full count (the original u8 silently saturated
+  // at 255, corrupting re-issue statistics on pathological workunits).
+  HCMD_ASSERT_MSG(rec.issues < 0xFFFFFFFFu, "issue counter overflow");
+  ++rec.issues;
+  HCMD_ASSERT_MSG(rec.outstanding < 0xFFFFu, "outstanding counter overflow");
   ++rec.outstanding;
   if (rec.state == WorkunitState::kUnsent)
     rec.state = WorkunitState::kInProgress;
@@ -46,7 +52,10 @@ std::optional<Assignment> ProjectServer::request_work(std::uint32_t device_id,
   while (!reissue_queue_.empty()) {
     const std::uint32_t candidate = reissue_queue_.front();
     reissue_queue_.pop_front();
-    if (records_[candidate].state != WorkunitState::kDone) {
+    WorkunitRecord& cand = records_[candidate];
+    HCMD_ASSERT(cand.reissues_queued > 0);
+    --cand.reissues_queued;
+    if (cand.state != WorkunitState::kDone) {
       wu_index = candidate;
       found = true;
       break;
@@ -57,7 +66,8 @@ std::optional<Assignment> ProjectServer::request_work(std::uint32_t device_id,
   while (!found && !extra_copy_queue_.empty()) {
     const std::uint32_t candidate = extra_copy_queue_.front();
     extra_copy_queue_.pop_front();
-    const WorkunitRecord& rec = records_[candidate];
+    WorkunitRecord& rec = records_[candidate];
+    rec.queue_flags &= static_cast<std::uint8_t>(~kInExtraCopyQueue);
     if (rec.state != WorkunitState::kDone && rec.issues < rec.target_issues) {
       wu_index = candidate;
       found = true;
@@ -90,7 +100,10 @@ std::optional<Assignment> ProjectServer::request_work(std::uint32_t device_id,
       rec.quorum_needed = 1;
       rec.target_issues = 1;
     }
-    if (rec.target_issues > 1) extra_copy_queue_.push_back(wu_index);
+    if (rec.target_issues > 1) {
+      extra_copy_queue_.push_back(wu_index);
+      rec.queue_flags |= kInExtraCopyQueue;
+    }
   }
 
   Assignment a;
@@ -104,16 +117,24 @@ bool ProjectServer::pick_endgame(std::uint32_t& wu_index) {
   if (config_.endgame_max_outstanding == 0) return false;
   for (int pass = 0; pass < 2; ++pass) {
     while (!endgame_queue_.empty()) {
-
       const std::uint32_t candidate = endgame_queue_.front();
       endgame_queue_.pop_front();
-      const WorkunitRecord& rec = records_[candidate];
+      WorkunitRecord& rec = records_[candidate];
+      rec.queue_flags &= static_cast<std::uint8_t>(~kInEndgameQueue);
       if (rec.state != WorkunitState::kDone &&
           rec.outstanding < config_.endgame_max_outstanding) {
         wu_index = candidate;
-        // Re-enqueue: the workunit may have room for further copies once
-        // this issue is accounted.
-        endgame_queue_.push_back(candidate);
+        // Re-enqueue only while the workunit has room for a further copy
+        // once this issue is accounted. (It used to be re-enqueued
+        // unconditionally, so saturated and completed workunits piled up as
+        // stale entries; with the membership bit and this check the queue
+        // can never exceed the live workunit count.) A workunit dropped
+        // here becomes eligible again when a copy times out or reports —
+        // both set endgame_dirty_, and the rebuild below restores it.
+        if (rec.outstanding + 1u < config_.endgame_max_outstanding) {
+          endgame_queue_.push_back(candidate);
+          rec.queue_flags |= kInEndgameQueue;
+        }
         return true;
       }
     }
@@ -124,20 +145,31 @@ bool ProjectServer::pick_endgame(std::uint32_t& wu_index) {
     if (!endgame_dirty_) return false;
     endgame_dirty_ = false;
     for (std::uint32_t i = 0; i < records_.size(); ++i) {
-      const WorkunitRecord& rec = records_[i];
+      WorkunitRecord& rec = records_[i];
       if (rec.state != WorkunitState::kDone &&
-          rec.outstanding < config_.endgame_max_outstanding)
+          rec.outstanding < config_.endgame_max_outstanding) {
         endgame_queue_.push_back(i);
+        rec.queue_flags |= kInEndgameQueue;
+      }
     }
     if (endgame_queue_.empty()) return false;
   }
   return false;
 }
 
+std::uint32_t ProjectServer::workunit_issues(std::uint32_t index) const {
+  HCMD_ASSERT(index < records_.size());
+  return records_[index].issues;
+}
+
+std::uint32_t ProjectServer::workunit_outstanding(std::uint32_t index) const {
+  HCMD_ASSERT(index < records_.size());
+  return records_[index].outstanding;
+}
+
 bool ProjectServer::device_trusted(std::uint32_t device_id) const {
-  const auto it = device_history_.find(device_id);
-  if (it == device_history_.end()) return false;
-  const DeviceHistory& h = it->second;
+  if (device_id >= device_history_.size()) return false;
+  const DeviceHistory& h = device_history_[device_id];
   if (h.received < config_.validation.adaptive_min_samples) return false;
   return static_cast<double>(h.bad) <=
          config_.validation.adaptive_max_bad_fraction *
@@ -172,15 +204,14 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
   inst.silent_error = report.silent_error;
   ++counters_.results_received;
   counters_.reported_runtime_seconds += report.reported_runtime;
-  DeviceHistory& history = device_history_[inst.device_id];
-  ++history.received;
+  ++device_slot(inst.device_id).received;
 
   if (report.computation_error) {
     inst.state = ResultState::kInvalid;
     ++counters_.results_invalid;
-    ++history.bad;
+    ++device_slot(inst.device_id).bad;
     if (rec.state != WorkunitState::kDone)
-      reissue_queue_.push_back(inst.workunit_index);
+      push_reissue(inst.workunit_index);
     return inst.state;
   }
 
@@ -192,7 +223,8 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     // fact.
     inst.state = ResultState::kRedundant;
     ++counters_.results_redundant;
-    if (inst.silent_error != rec.done_corrupt) ++counters_.late_mismatches;
+    if (inst.silent_error != rec.done_corrupt())
+      ++counters_.late_mismatches;
     return inst.state;
   }
 
@@ -201,7 +233,7 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     inst.state = ResultState::kValid;
     ++counters_.results_valid;
     if (inst.silent_error) {
-      rec.done_corrupt = true;
+      rec.set_done_corrupt();
       ++counters_.corrupt_assimilated;
     }
     assimilate(inst.workunit_index);
@@ -211,7 +243,7 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
   // Quorum of 2: hold the first clean-looking result, compare on the
   // second.
   if (rec.pending_result == kNoPending) {
-    rec.pending_result = inst.result_id;
+    rec.pending_result = static_cast<std::uint32_t>(inst.result_id);
     inst.state = ResultState::kPendingValidation;
     ++counters_.results_pending;
     return inst.state;
@@ -226,7 +258,7 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     ++counters_.results_valid;
     if (inst.silent_error) {
       // Both members corrupt the same way: the comparison cannot see it.
-      rec.done_corrupt = true;
+      rec.set_done_corrupt();
       ++counters_.corrupt_assimilated;
     }
     assimilate(inst.workunit_index);
@@ -237,10 +269,12 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     inst.state = ResultState::kInvalid;
     counters_.results_invalid += 2;
     ++counters_.quorum_mismatches;
-    ++history.bad;
-    ++device_history_[partner.device_id].bad;
-    reissue_queue_.push_back(inst.workunit_index);
-    reissue_queue_.push_back(inst.workunit_index);
+    ++device_slot(inst.device_id).bad;
+    ++device_slot(partner.device_id).bad;
+    // Two copies on purpose: the quorum must be rebuilt from scratch, so
+    // the re-issue queue legitimately holds this workunit twice.
+    push_reissue(inst.workunit_index);
+    push_reissue(inst.workunit_index);
   }
   return inst.state;
 }
@@ -257,7 +291,7 @@ bool ProjectServer::handle_deadline(std::uint64_t result_id, double now) {
   HCMD_ASSERT(rec.outstanding > 0);
   --rec.outstanding;
   if (rec.state != WorkunitState::kDone)
-    reissue_queue_.push_back(inst.workunit_index);
+    push_reissue(inst.workunit_index);
   return true;
 }
 

@@ -23,11 +23,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "packaging/workunit.hpp"
+#include "util/chunked_vector.hpp"
 #include "util/rng.hpp"
 
 namespace hcmd::server {
@@ -195,6 +195,18 @@ class ProjectServer {
 
   /// Positions completed per receptor protein — the Fig. 7 progression data.
   /// `receptor_count` sizes the output vector.
+  // --- queue/record introspection (tests, invariants, capacity checks) ---
+  /// Copies of a workunit sent so far (the full count — the counter no
+  /// longer saturates at 255 the way the original u8 field did).
+  std::uint32_t workunit_issues(std::uint32_t index) const;
+  /// Instances of a workunit currently on devices.
+  std::uint32_t workunit_outstanding(std::uint32_t index) const;
+  std::size_t reissue_queue_size() const { return reissue_queue_.size(); }
+  std::size_t extra_copy_queue_size() const {
+    return extra_copy_queue_.size();
+  }
+  std::size_t endgame_queue_size() const { return endgame_queue_.size(); }
+
   std::vector<std::uint64_t> completed_positions_per_receptor(
       std::uint32_t receptor_count) const;
 
@@ -206,18 +218,36 @@ class ProjectServer {
       std::uint32_t receptor_count) const;
 
  private:
+  /// Queue-membership bits in WorkunitRecord::queue_flags: each bounded
+  /// queue tracks membership on the record, so an index is never enqueued
+  /// twice and queue sizes stay <= the live workunit count. (The re-issue
+  /// queue is exempt: a quorum mismatch legitimately queues the same
+  /// workunit twice, so it keeps a per-record count instead of a bit.)
+  static constexpr std::uint8_t kInEndgameQueue = 1u << 0;
+  static constexpr std::uint8_t kInExtraCopyQueue = 1u << 1;
+  /// Oracle bit: the assimilated canonical result was silently corrupt.
+  static constexpr std::uint8_t kDoneCorrupt = 1u << 2;
+
+  /// 16 bytes; the records array is O(catalogue) and alive for the whole
+  /// campaign, so it is kept dense. `pending_result` holds a result *index*
+  /// (ids are issued densely from 0, so index == id) to fit 32 bits.
   struct WorkunitRecord {
     WorkunitState state = WorkunitState::kUnsent;
-    std::uint8_t quorum_needed = 1;   ///< valid results required
-    std::uint8_t target_issues = 1;   ///< initial copies to send
-    std::uint8_t issues = 0;          ///< copies sent so far (saturating)
-    std::uint8_t outstanding = 0;     ///< instances currently on devices
-    bool done_corrupt = false;        ///< oracle: canonical was corrupt
+    std::uint8_t quorum_needed = 1;    ///< valid results required
+    std::uint8_t target_issues = 1;    ///< initial copies to send
+    std::uint8_t queue_flags = 0;      ///< kIn*Queue / kDoneCorrupt bits
+    std::uint16_t outstanding = 0;     ///< instances currently on devices
+    std::uint16_t reissues_queued = 0; ///< entries in the re-issue queue
+    std::uint32_t issues = 0;          ///< copies sent so far (full count)
     /// Quorum-2 bookkeeping: the clean-looking result waiting for its
     /// partner (kNoPending when none).
-    std::uint64_t pending_result = kNoPending;
+    std::uint32_t pending_result = kNoPending;
+
+    bool done_corrupt() const { return queue_flags & kDoneCorrupt; }
+    void set_done_corrupt() { queue_flags |= kDoneCorrupt; }
   };
-  static constexpr std::uint64_t kNoPending = ~std::uint64_t{0};
+  static constexpr std::uint32_t kNoPending = 0xFFFFFFFFu;
+  static_assert(sizeof(WorkunitRecord) == 16);
 
   /// Per-device history for adaptive replication.
   struct DeviceHistory {
@@ -234,13 +264,27 @@ class ProjectServer {
   ServerConfig config_;
   util::Rng rng_;
   std::vector<WorkunitRecord> records_;
-  std::vector<ResultInstance> results_;
+  /// Result instances, issued densely from id 0. Chunked storage keeps
+  /// references stable across issues and avoids the ~2x transient of vector
+  /// doubling on the campaign's hundreds of thousands of instances.
+  util::ChunkedVector<ResultInstance, 1024> results_;
   /// Finds an outstanding workunit for end-game duplication, or returns
   /// false. Amortised O(1): a staging queue is rebuilt by scanning the
   /// records only when it drains.
   bool pick_endgame(std::uint32_t& wu_index);
 
-  std::map<std::uint32_t, DeviceHistory> device_history_;
+  /// Per-device history, dense by device id (campaign drivers issue ids
+  /// from 0); grown on first contact with a device.
+  std::vector<DeviceHistory> device_history_;
+  DeviceHistory& device_slot(std::uint32_t device_id) {
+    if (device_id >= device_history_.size())
+      device_history_.resize(device_id + 1);
+    return device_history_[device_id];
+  }
+  void push_reissue(std::uint32_t wu_index) {
+    ++records_[wu_index].reissues_queued;
+    reissue_queue_.push_back(wu_index);
+  }
   std::deque<std::uint32_t> reissue_queue_;
   /// Workunits whose redundancy regime wants a second initial copy; each
   /// index is pushed once at first issue and popped once.

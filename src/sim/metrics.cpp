@@ -10,12 +10,16 @@ void MetricSet::count(const std::string& name, std::uint64_t n) {
 }
 
 void MetricSet::meter(const std::string& name, SimTime t, double amount) {
+  meter_series(name).add(t, amount);
+}
+
+util::TimeBinnedSeries& MetricSet::meter_series(const std::string& name) {
   auto it = meters_.find(name);
   if (it == meters_.end()) {
     it = meters_.emplace(name, util::TimeBinnedSeries(0.0, bin_width_)).first;
     it->second.reserve_through(horizon_);  // one allocation, at registration
   }
-  it->second.add(t, amount);
+  return it->second;
 }
 
 std::uint64_t MetricSet::counter(const std::string& name) const {

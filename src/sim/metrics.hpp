@@ -30,6 +30,13 @@ class MetricSet {
   /// Adds `amount` of a continuous quantity at simulation time `t`.
   void meter(const std::string& name, SimTime t, double amount);
 
+  /// Registers (if needed) and returns the series for `name`. The reference
+  /// stays valid for the MetricSet's lifetime (map nodes are stable), so a
+  /// hot emitter resolves the name once and appends through the reference —
+  /// bypassing the per-call string lookup `meter` performs. Appending via
+  /// the reference and via `meter` are interchangeable.
+  util::TimeBinnedSeries& meter_series(const std::string& name);
+
   std::uint64_t counter(const std::string& name) const;
   /// Returns the series for `name`; an empty series if never metered.
   const util::TimeBinnedSeries& series(const std::string& name) const;

@@ -10,6 +10,14 @@ bool EventHandle::cancel() {
   return sim_ != nullptr && sim_->cancel_slot(slot_, generation_);
 }
 
+bool CompactEventHandle::pending(const Simulation& sim) const {
+  return slot_ != kNull && sim.slot_pending(slot_, generation_);
+}
+
+bool CompactEventHandle::cancel(Simulation& sim) {
+  return slot_ != kNull && sim.cancel_slot(slot_, generation_);
+}
+
 std::uint32_t Simulation::grow_arena() {
   HCMD_ASSERT_MSG(meta_.size() < kSlotMask, "event arena exhausted");
   const auto slot = static_cast<std::uint32_t>(meta_.size());

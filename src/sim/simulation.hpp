@@ -67,11 +67,33 @@ class EventHandle {
 
  private:
   friend class Simulation;
+  friend class CompactEventHandle;
   EventHandle(Simulation* sim, std::uint32_t slot, std::uint32_t generation)
       : sim_(sim), slot_(slot), generation_(generation) {}
 
   Simulation* sim_ = nullptr;
   std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
+};
+
+/// 8-byte (slot, generation) form of EventHandle for bulk owners that
+/// already hold the Simulation — fleet-scale state keeps thousands of
+/// timers, and the back pointer would double their footprint. Same
+/// semantics: cancelling twice or cancelling a fired event is a no-op.
+class CompactEventHandle {
+ public:
+  CompactEventHandle() = default;
+  /// Implicit: lets `compact = sim.schedule_in(...)` assign directly.
+  CompactEventHandle(const EventHandle& h)
+      : slot_(h.sim_ != nullptr ? h.slot_ : kNull),
+        generation_(h.generation_) {}
+
+  bool pending(const Simulation& sim) const;
+  bool cancel(Simulation& sim);
+
+ private:
+  static constexpr std::uint32_t kNull = ~std::uint32_t{0};
+  std::uint32_t slot_ = kNull;
   std::uint32_t generation_ = 0;
 };
 
@@ -150,6 +172,7 @@ class Simulation {
 
  private:
   friend class EventHandle;
+  friend class CompactEventHandle;
 
   // Heap entries are 16 bytes: four children per cache line. `key` packs
   // (seq << kSlotBits) | slot, so comparing keys compares schedule order

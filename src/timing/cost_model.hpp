@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "proteins/generator.hpp"
 #include "proteins/protein.hpp"
@@ -67,10 +68,19 @@ class CostModel {
   /// The deterministic mean-one noise factor for a couple.
   double noise(std::uint32_t receptor_id, std::uint32_t ligand_id) const;
 
+  /// Materialises the noise field for all couples with ids < n, so bulk
+  /// evaluations (calibration, MctMatrix::from_model) skip the per-call
+  /// tag-hash + lognormal draw. The cached values are the exact doubles the
+  /// slow path produces — the draw depends only on (seed, ids).
+  void precompute_noise(std::uint32_t n);
+
   const CostModelParams& params() const { return params_; }
 
  private:
   CostModelParams params_;
+  /// Dense noise cache for ids < noise_cache_n_ (empty when not prewarmed).
+  std::uint32_t noise_cache_n_ = 0;
+  std::vector<double> noise_cache_;
 };
 
 }  // namespace hcmd::timing

@@ -1,0 +1,72 @@
+// Chunked, pointer-stable dynamic array.
+//
+// A drop-in subset of std::vector for append-heavy bookkeeping that must not
+// reallocate: elements live in fixed-size chunks, so growth allocates one
+// chunk and never moves existing elements. That gives
+//  * stable references — callers may hold a T& across arbitrary push_backs
+//    (the ProjectServer hands out ResultInstance references while issuing
+//    more results);
+//  * no doubling spike — peak memory is live data plus one chunk, where a
+//    vector's growth transiently holds ~2x the live size.
+// Indexing costs one extra indirection; iteration is chunk-linear.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hcmd::util {
+
+template <typename T, std::size_t ChunkSize = 1024>
+class ChunkedVector {
+  static_assert(ChunkSize > 0 && (ChunkSize & (ChunkSize - 1)) == 0,
+                "ChunkSize must be a power of two");
+
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    HCMD_ASSERT(i < size_);
+    return chunks_[i / ChunkSize][i % ChunkSize];
+  }
+  const T& operator[](std::size_t i) const {
+    HCMD_ASSERT(i < size_);
+    return chunks_[i / ChunkSize][i % ChunkSize];
+  }
+
+  T& back() {
+    HCMD_ASSERT(size_ > 0);
+    return (*this)[size_ - 1];
+  }
+
+  T& push_back(T value) {
+    if (size_ == chunks_.size() * ChunkSize)
+      chunks_.push_back(std::make_unique<T[]>(ChunkSize));
+    T& slot = chunks_[size_ / ChunkSize][size_ % ChunkSize];
+    slot = std::move(value);
+    ++size_;
+    return slot;
+  }
+
+  /// Pre-allocates chunks to hold `n` elements without further allocation.
+  void reserve(std::size_t n) {
+    const std::size_t want = (n + ChunkSize - 1) / ChunkSize;
+    chunks_.reserve(want);
+    while (chunks_.size() < want)
+      chunks_.push_back(std::make_unique<T[]>(ChunkSize));
+  }
+
+  void clear() {
+    chunks_.clear();
+    size_ = 0;
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hcmd::util

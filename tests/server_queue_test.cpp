@@ -1,0 +1,149 @@
+// Regression tests for the server's bounded bookkeeping:
+//  * the end-game staging queue must never outgrow the live workunit count
+//    (an earlier version re-enqueued every picked index unconditionally, so
+//    a long tail of idle devices made the queue grow without bound);
+//  * the per-workunit issue counter must count past 255 (it was a saturating
+//    uint8 — a workunit hammered by a flaky fleet silently pinned at 255).
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcmd::server {
+namespace {
+
+std::vector<packaging::Workunit> make_catalog(std::size_t n,
+                                              double ref_seconds = 3600.0) {
+  std::vector<packaging::Workunit> catalog;
+  for (std::size_t i = 0; i < n; ++i) {
+    packaging::Workunit wu;
+    wu.id = i;
+    wu.receptor = 0;
+    wu.ligand = 0;
+    wu.isep_begin = 0;
+    wu.isep_end = 10;
+    wu.reference_seconds = ref_seconds;
+    catalog.push_back(wu);
+  }
+  return catalog;
+}
+
+ResultReport ok_report() {
+  ResultReport r;
+  r.reported_runtime = 1000.0;
+  r.reference_seconds = 3600.0;
+  return r;
+}
+
+ResultReport error_report() {
+  ResultReport r;
+  r.computation_error = true;
+  return r;
+}
+
+TEST(ServerQueue, EndgameQueueBoundedByLiveWorkunits) {
+  ServerConfig cfg;
+  cfg.validation.quorum2_until = 0.0;
+  cfg.validation.spot_check_fraction = 0.0;
+  cfg.endgame_max_outstanding = 3;
+  const std::size_t kWorkunits = 10;
+  ProjectServer server(make_catalog(kWorkunits), cfg);
+
+  // Drain the fresh catalogue: one primary copy per workunit.
+  std::uint32_t device = 0;
+  for (std::size_t i = 0; i < kWorkunits; ++i)
+    ASSERT_TRUE(server.request_work(device++, 0.0).has_value());
+
+  // A large idle fleet keeps asking for work. Every request either gets an
+  // end-game duplicate or nothing; the staging queue must stay bounded by
+  // the live workunit count at every step.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      server.request_work(device++, 1.0);
+      EXPECT_LE(server.endgame_queue_size(), kWorkunits);
+    }
+  }
+  // Saturation: every workunit holds exactly endgame_max_outstanding copies.
+  for (std::uint32_t wu = 0; wu < kWorkunits; ++wu)
+    EXPECT_EQ(server.workunit_outstanding(wu), cfg.endgame_max_outstanding);
+
+  // Complete half the catalogue; the bound follows the live count down.
+  for (std::uint64_t r = 0; r < kWorkunits / 2; ++r)
+    server.report_result(r, 2.0, ok_report());
+  for (int i = 0; i < 100; ++i) {
+    server.request_work(device++, 3.0);
+    EXPECT_LE(server.endgame_queue_size(), kWorkunits - kWorkunits / 2);
+  }
+}
+
+TEST(ServerQueue, EndgameStopsDuplicatingCompletedWork) {
+  ServerConfig cfg;
+  cfg.validation.quorum2_until = 0.0;
+  cfg.validation.spot_check_fraction = 0.0;
+  cfg.endgame_max_outstanding = 2;
+  ProjectServer server(make_catalog(1), cfg);
+
+  ASSERT_TRUE(server.request_work(0, 0.0).has_value());
+  server.report_result(0, 1.0, ok_report());
+  EXPECT_TRUE(server.complete());
+  // No live work: requests return nothing and the queue stays empty.
+  EXPECT_FALSE(server.request_work(1, 2.0).has_value());
+  EXPECT_EQ(server.endgame_queue_size(), 0u);
+}
+
+TEST(ServerQueue, IssueCounterCountsPast255) {
+  ServerConfig cfg;
+  cfg.validation.quorum2_until = 0.0;
+  cfg.validation.spot_check_fraction = 0.0;
+  cfg.endgame_max_outstanding = 0;
+  ProjectServer server(make_catalog(1), cfg);
+
+  // A flaky fleet errors out 300 times; every error re-queues the workunit
+  // and the next request re-issues it. With the old uint8 counter this
+  // pinned at 255.
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const auto a = server.request_work(0, t);
+    ASSERT_TRUE(a.has_value()) << "round " << i;
+    server.report_result(a->result_id, t + 1.0, error_report());
+    t += 2.0;
+  }
+  EXPECT_EQ(server.workunit_issues(0), 300u);
+  EXPECT_EQ(server.counters().results_invalid, 300u);
+  EXPECT_EQ(server.workunit_outstanding(0), 0u);
+
+  // The workunit still completes normally afterwards.
+  const auto a = server.request_work(0, t);
+  ASSERT_TRUE(a.has_value());
+  server.report_result(a->result_id, t + 1.0, ok_report());
+  EXPECT_TRUE(server.complete());
+  EXPECT_EQ(server.workunit_issues(0), 301u);
+}
+
+TEST(ServerQueue, ReissueQueueCountsQuorumMismatchTwice) {
+  // A quorum mismatch legitimately queues the same workunit twice (both
+  // members are discarded and the quorum restarts); the queue bookkeeping
+  // must deliver both copies.
+  ServerConfig cfg;
+  cfg.validation.quorum2_until = 1e12;  // quorum of 2 throughout
+  cfg.endgame_max_outstanding = 0;
+  ProjectServer server(make_catalog(1), cfg);
+
+  const auto a = server.request_work(0, 0.0);
+  const auto b = server.request_work(1, 0.0);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  ResultReport clean = ok_report();
+  ResultReport corrupt = ok_report();
+  corrupt.silent_error = true;  // passes the range check, fails comparison
+  server.report_result(a->result_id, 1.0, clean);
+  server.report_result(b->result_id, 1.0, corrupt);
+  EXPECT_EQ(server.counters().quorum_mismatches, 1u);
+  EXPECT_EQ(server.reissue_queue_size(), 2u);
+  // Both quorum members can be re-issued immediately.
+  EXPECT_TRUE(server.request_work(2, 2.0).has_value());
+  EXPECT_TRUE(server.request_work(3, 2.0).has_value());
+  EXPECT_EQ(server.reissue_queue_size(), 0u);
+  EXPECT_EQ(server.workunit_outstanding(0), 2u);
+}
+
+}  // namespace
+}  // namespace hcmd::server

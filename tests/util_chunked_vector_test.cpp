@@ -1,0 +1,76 @@
+#include "util/chunked_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hcmd::util {
+namespace {
+
+TEST(ChunkedVector, StartsEmpty) {
+  ChunkedVector<int, 8> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(ChunkedVector, PushBackAndIndexAcrossChunkBoundaries) {
+  ChunkedVector<int, 8> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_FALSE(v.empty());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(v.back(), 99);
+}
+
+TEST(ChunkedVector, ReferencesStayValidAcrossGrowth) {
+  // The whole point of the container: a std::vector would invalidate this
+  // reference on its first reallocation.
+  ChunkedVector<int, 4> v;
+  int& first = v.push_back(42);
+  int* const addr = &first;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(addr, &v[0]);
+  EXPECT_EQ(first, 42);
+  first = 7;
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(ChunkedVector, PushBackReturnsTheStoredSlot) {
+  ChunkedVector<std::string, 4> v;
+  std::string& s = v.push_back("hello");
+  s += " world";
+  EXPECT_EQ(v[0], "hello world");
+}
+
+TEST(ChunkedVector, ReservePreallocatesWithoutChangingSize) {
+  ChunkedVector<int, 8> v;
+  v.reserve(100);
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v[99], 99);
+}
+
+TEST(ChunkedVector, ClearReleasesEverything) {
+  ChunkedVector<int, 8> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  v.push_back(5);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(ChunkedVector, MutationThroughIndexSticks) {
+  ChunkedVector<int, 4> v;
+  for (int i = 0; i < 20; ++i) v.push_back(0);
+  v[13] = 99;
+  EXPECT_EQ(v[13], 99);
+  EXPECT_EQ(v[12], 0);
+  EXPECT_EQ(v[14], 0);
+}
+
+}  // namespace
+}  // namespace hcmd::util
