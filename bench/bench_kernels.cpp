@@ -431,6 +431,34 @@ void BM_CampaignWeek(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignWeek);
 
+// Same campaign week with the full telemetry stack attached: a Tracer at
+// default sampling plus the weekly-progress callback. The acceptance bar is
+// telemetry-on <= 1.05x telemetry-off; the `trace_events` counter confirms
+// the tracer actually recorded (i.e. this is not a no-op run).
+void BM_CampaignWeekTelemetry(benchmark::State& state) {
+  std::uint64_t received = 0;
+  std::uint64_t recorded = 0;
+  for (auto _ : state) {
+    core::CampaignConfig config;
+    config.scale = 0.04;
+    config.max_weeks = 1.0;
+    obs::Tracer tracer;  // default capacity + sampling rates
+    core::CampaignInstruments instruments;
+    instruments.tracer = &tracer;
+    instruments.on_week = [](const core::WeeklyProgress& progress) {
+      benchmark::DoNotOptimize(progress.results_received);
+    };
+    const core::CampaignReport r = core::run_campaign(config, instruments);
+    received += r.counters.results_received;
+    recorded += tracer.recorded();
+    benchmark::DoNotOptimize(r.counters.results_received);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(received));
+  state.counters["trace_events"] =
+      static_cast<double>(recorded) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CampaignWeekTelemetry);
+
 // Full 26-week campaigns across fleet scales (arg = scale in permille).
 // One iteration each: the point is how wall clock and heap peak grow with
 // fleet size, not statistical timing precision. The 250-permille point is

@@ -22,7 +22,12 @@ VolunteerFleet::VolunteerFleet(sim::Simulation& simulation,
       hcmd_useful_results_(metrics.meter_series(metric::kHcmdUsefulResults)),
       hcmd_useful_ref_seconds_(
           metrics.meter_series(metric::kHcmdUsefulRefSeconds)),
-      hcmd_credit_(metrics.meter_series(metric::kHcmdCredit)) {}
+      hcmd_credit_(metrics.meter_series(metric::kHcmdCredit)),
+      id_work_requests_(metrics.counter_id(metric::kWorkRequests)),
+      id_work_denied_(metrics.counter_id(metric::kWorkDenied)),
+      id_other_project_(metrics.counter_id(metric::kOtherProject)),
+      id_long_pauses_(metrics.counter_id(metric::kLongPauses)),
+      id_device_deaths_(metrics.counter_id(metric::kDeviceDeaths)) {}
 
 void VolunteerFleet::reserve_devices(std::size_t n) {
   specs_.reserve(n);
@@ -71,6 +76,9 @@ void VolunteerFleet::dispatch(std::uint32_t d, Action action) {
 
 void VolunteerFleet::on_join(std::uint32_t d) {
   phases_[d] = Phase::kOffline;
+  if (tracer_)
+    tracer_->record(obs::TraceCat::kDevice, obs::TraceEv::kDevJoin, sim_.now(),
+                    d, specs_[d].id);
   schedule_in(specs_[d].lifetime_seconds, d, Action::kDeath);
   // A joining device is somewhere inside an off period: stagger the first
   // attach by a draw from the off distribution (memoryless, so the residual
@@ -87,6 +95,9 @@ void VolunteerFleet::on_join(std::uint32_t d) {
 void VolunteerFleet::go_online(std::uint32_t d) {
   if (phases_[d] == Phase::kDead) return;
   HCMD_ASSERT(phases_[d] == Phase::kOffline);
+  if (tracer_)
+    tracer_->record(obs::TraceCat::kChurn, obs::TraceEv::kDevOnline,
+                    sim_.now(), d);
   offline_at_[d] = sim_.now() + rngs_[d].exponential(specs_[d].on_mean_seconds);
   handles_[d].offline = schedule_at(offline_at_[d], d, Action::kOffline);
   if (work_[d].active) {
@@ -100,6 +111,9 @@ void VolunteerFleet::go_online(std::uint32_t d) {
 
 void VolunteerFleet::go_offline(std::uint32_t d) {
   if (phases_[d] == Phase::kDead) return;
+  if (tracer_)
+    tracer_->record(obs::TraceCat::kChurn, obs::TraceEv::kDevOffline,
+                    sim_.now(), d, long_pause_due_[d]);
   Handles& h = handles_[d];
   h.complete.cancel(sim_);
   h.pause.cancel(sim_);
@@ -125,6 +139,10 @@ void VolunteerFleet::on_death(std::uint32_t d) {
   if (phases_[d] == Phase::kComputing)
     settle_segment(d, /*interrupted=*/true);
   phases_[d] = Phase::kDead;
+  metrics_.count(id_device_deaths_);
+  if (tracer_)
+    tracer_->record(obs::TraceCat::kDevice, obs::TraceEv::kDevDeath,
+                    sim_.now(), d, work_[d].active ? 1u : 0u);
   Handles& h = handles_[d];
   h.offline.cancel(sim_);
   h.complete.cancel(sim_);
@@ -139,6 +157,7 @@ void VolunteerFleet::on_death(std::uint32_t d) {
 void VolunteerFleet::request_work(std::uint32_t d) {
   if (phases_[d] != Phase::kIdle) return;
   HCMD_ASSERT(!work_[d].active);
+  metrics_.count(id_work_requests_);
 
   const double share = schedule_.share_at(sim_.now());
   const bool want_hcmd = rngs_[d].bernoulli(share) && !project_.complete();
@@ -165,6 +184,7 @@ void VolunteerFleet::request_work(std::uint32_t d) {
     }
     if (!project_.complete()) {
       // Everything is issued and outstanding; come back later.
+      metrics_.count(id_work_denied_);
       const double retry =
           config_.work_request_retry_hours * util::kSecondsPerHour;
       handles_[d].retry = schedule_in(retry, d, Action::kRetry);
@@ -173,6 +193,7 @@ void VolunteerFleet::request_work(std::uint32_t d) {
     // Campaign finished: fall through to another project's work.
   }
 
+  metrics_.count(id_other_project_);
   WorkItem item;
   item.active = true;
   item.is_hcmd = false;
@@ -211,6 +232,11 @@ void VolunteerFleet::begin_segment(std::uint32_t d) {
 
 void VolunteerFleet::trigger_long_pause(std::uint32_t d) {
   if (phases_[d] != Phase::kComputing || !work_[d].active) return;
+  metrics_.count(id_long_pauses_);
+  if (tracer_)
+    tracer_->record(obs::TraceCat::kDevice, obs::TraceEv::kDevLongPause,
+                    sim_.now(), d,
+                    static_cast<std::uint32_t>(work_[d].result_id));
   work_[d].long_pause_at = -1.0;
   long_pause_due_[d] = 1;  // consumed by go_offline's duration draw
   handles_[d].offline.cancel(sim_);

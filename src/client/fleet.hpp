@@ -60,6 +60,12 @@ inline constexpr const char* kHcmdUsefulResults = "hcmd_results_useful";
 inline constexpr const char* kHcmdUsefulRefSeconds =
     "hcmd_useful_reference_seconds";
 inline constexpr const char* kHcmdCredit = "hcmd_credit_granted";
+// Counters (pre-resolved to registry ids at fleet construction).
+inline constexpr const char* kWorkRequests = "fleet.work_requests";
+inline constexpr const char* kWorkDenied = "fleet.work_denied_retries";
+inline constexpr const char* kOtherProject = "fleet.other_project_workunits";
+inline constexpr const char* kLongPauses = "fleet.long_pauses";
+inline constexpr const char* kDeviceDeaths = "fleet.device_deaths";
 }  // namespace metric
 
 class VolunteerFleet {
@@ -101,6 +107,11 @@ class VolunteerFleet {
   std::vector<double> reported_hcmd_runtimes(std::uint32_t device) const;
   /// Total completed-HCMD runtime samples across the fleet.
   std::size_t runtime_count() const { return runtime_value_.size(); }
+
+  /// Optional tracer for the device-lifecycle stream (join/death/pause on
+  /// the device category, online/offline on the churn category). Call
+  /// before the simulation runs; never read by any decision path.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
   enum class Phase : std::uint8_t {
@@ -165,6 +176,7 @@ class VolunteerFleet {
   const server::ShareSchedule& schedule_;
   sim::MetricSet& metrics_;
   AgentConfig config_;
+  obs::Tracer* tracer_ = nullptr;
 
   // --- per-device state, dense, indexed by device ---
   std::vector<volunteer::DeviceSpec> specs_;
@@ -187,6 +199,14 @@ class VolunteerFleet {
   util::TimeBinnedSeries& hcmd_useful_results_;
   util::TimeBinnedSeries& hcmd_useful_ref_seconds_;
   util::TimeBinnedSeries& hcmd_credit_;
+
+  // --- counter ids, interned once at construction; count(id) on the hot
+  // path is a single indexed atomic add, no string hash ---
+  obs::MetricId id_work_requests_;
+  obs::MetricId id_work_denied_;
+  obs::MetricId id_other_project_;
+  obs::MetricId id_long_pauses_;
+  obs::MetricId id_device_deaths_;
 };
 
 }  // namespace hcmd::client

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "client/fleet.hpp"
+#include "obs/profile.hpp"
 #include "server/credit.hpp"
 #include "server/transitioner.hpp"
 #include "dedicated/grid.hpp"
@@ -37,6 +39,7 @@ void CampaignConfig::validate() const {
 }
 
 Workload build_workload(const CampaignConfig& config) {
+  HCMD_PROF_ZONE("campaign.build_workload");
   config.validate();
   Workload w;
   w.benchmark = proteins::generate_benchmark(config.benchmark);
@@ -76,8 +79,24 @@ std::vector<std::uint32_t> launch_ranks(const proteins::Benchmark& benchmark,
 }  // namespace
 
 CampaignReport run_campaign(const CampaignConfig& config) {
+  return run_campaign(config, CampaignInstruments{});
+}
+
+CampaignReport run_campaign(const CampaignConfig& config,
+                            const CampaignInstruments& instruments) {
   config.validate();
   CampaignReport report;
+
+  // Sequential self-profile phases (setup -> weekly DES -> reduction) share
+  // one function scope, so an optional zone is moved along instead of the
+  // scope macro.
+  static const obs::ZoneId kZoneSetup =
+      obs::Profiler::instance().register_zone("campaign.grid_setup");
+  static const obs::ZoneId kZoneWeek =
+      obs::Profiler::instance().register_zone("campaign.des_week");
+  static const obs::ZoneId kZoneReduce =
+      obs::Profiler::instance().register_zone("campaign.reduce");
+  std::optional<obs::ScopedZone> phase_zone;
 
   // --- workload, stats and the scaled catalogue, in a scope of their own:
   // once the catalogue and the launch ranks exist, the DES needs nothing
@@ -110,6 +129,7 @@ CampaignReport run_campaign(const CampaignConfig& config) {
     rank = launch_ranks(bench, mct);
   }
   const double scale = report.scale;
+  phase_zone.emplace(kZoneSetup);
   // In-place sort: (rank, ligand, isep_begin) is unique per workunit, so
   // this strict total order needs no stability (stable_sort would allocate
   // a catalogue-sized temporary buffer).
@@ -130,9 +150,11 @@ CampaignReport run_campaign(const CampaignConfig& config) {
 
   sim::Simulation simulation;
   server::TransitionerTimers timers(simulation, project);
+  timers.set_tracer(instruments.tracer);
   // Metric bins for the whole horizon are reserved up front; the weekly
   // meter appends never allocate mid-run.
   sim::MetricSet metrics(kSecondsPerWeek, config.max_weeks * kSecondsPerWeek);
+  project.set_instruments(instruments.tracer, &metrics.registry());
   util::Rng rng(config.seed);
   util::Rng fleet_rng = rng.fork("fleet");
   util::Rng agent_rng_root = rng.fork("agents");
@@ -153,6 +175,7 @@ CampaignReport run_campaign(const CampaignConfig& config) {
 
   client::VolunteerFleet fleet(simulation, project, timers, schedule,
                                metrics, config.agent);
+  fleet.set_tracer(instruments.tracer);
   // Size the fleet's per-device arrays from the *analytic* expected arrival
   // count (initial cohort + growth + churn replacement means) — drawing the
   // estimate from the RNG would perturb the stream. The Fig. 8 buffer is
@@ -245,14 +268,31 @@ CampaignReport run_campaign(const CampaignConfig& config) {
                                });
 
   // --- run, chunked weekly so we can stop shortly after completion ---
+  phase_zone.reset();
   const double max_seconds = config.max_weeks * kSecondsPerWeek;
   while (simulation.now() < max_seconds) {
     if (completion_time >= 0.0 &&
         simulation.now() >= completion_time + kSecondsPerWeek)
       break;  // one drain week for late arrivals, then stop
-    simulation.run_until(
-        std::min(max_seconds, simulation.now() + kSecondsPerWeek));
+    {
+      obs::ScopedZone week_zone(kZoneWeek);
+      simulation.run_until(
+          std::min(max_seconds, simulation.now() + kSecondsPerWeek));
+    }
+    if (instruments.on_week) {
+      // Outside the event loop and after the week's events drained: the
+      // callback observes a quiescent simulation and cannot perturb it.
+      WeeklyProgress progress;
+      progress.week = simulation.now() / kSecondsPerWeek;
+      progress.results_received = project.counters().results_received;
+      progress.workunits_completed = project.counters().workunits_completed;
+      progress.workunits_total = project.catalog().size();
+      progress.devices = fleet.size();
+      progress.pending_events = simulation.pending_events();
+      instruments.on_week(progress);
+    }
   }
+  phase_zone.emplace(kZoneReduce);
 
   report.completed = completion_time >= 0.0;
   report.completion_weeks = report.completed
@@ -315,6 +355,25 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   report.runtime_summary = util::summarize(runtimes);
   for (double r : runtimes)
     report.runtime_hours_hist.add(r / util::kSecondsPerHour);
+
+  // --- telemetry snapshot: drain the registry into the report ---
+  const obs::Registry& reg = metrics.registry();
+  for (const auto& name : reg.counter_names())
+    report.telemetry_counters.push_back({name, reg.total(name)});
+  for (const auto& name : reg.histogram_names()) {
+    const obs::LogHistogram* h = reg.histogram(reg.find(name));
+    if (!h) continue;
+    TelemetryHistogram th;
+    th.name = name;
+    th.count = h->total();
+    th.mean = h->mean();
+    th.p50 = h->quantile(0.5);
+    th.p90 = h->quantile(0.9);
+    th.p99 = h->quantile(0.99);
+    th.min = h->min();
+    th.max = h->max();
+    report.telemetry_histograms.push_back(std::move(th));
+  }
 
   return report;
 }

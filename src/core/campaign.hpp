@@ -15,16 +15,60 @@
 //      (Table 2) and the completion time.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/progression.hpp"
 #include "analysis/speeddown.hpp"
 #include "core/scenario.hpp"
+#include "obs/trace.hpp"
 #include "timing/mct_matrix.hpp"
 #include "util/stats.hpp"
 
 namespace hcmd::core {
+
+/// Telemetry snapshots drained from the run's obs::Registry into the
+/// report (counters interned anywhere in the pipeline, histogram summary
+/// stats). Always filled; costs one pass at the end of the run.
+struct TelemetryCounter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct TelemetryHistogram {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// End-of-week progress sample handed to CampaignInstruments::on_week.
+struct WeeklyProgress {
+  double week = 0.0;  ///< simulation time in weeks at the sample
+  std::uint64_t results_received = 0;
+  std::uint64_t workunits_completed = 0;
+  std::uint64_t workunits_total = 0;
+  std::size_t devices = 0;
+  std::size_t pending_events = 0;
+};
+
+/// Optional observation hooks for a campaign run. Everything here is
+/// strictly read-only with respect to the simulation: attaching a tracer or
+/// a progress callback never draws RNG, schedules events or perturbs event
+/// order, so an instrumented run replays bit-identically to a bare one.
+struct CampaignInstruments {
+  /// Receives the workunit/device/churn/server event stream (sampled per
+  /// category; see obs::Tracer::Options). Not owned; may be nullptr.
+  obs::Tracer* tracer = nullptr;
+  /// Called after each simulated week (outside the event loop) — the live
+  /// `--progress` ticker. May be empty.
+  std::function<void(const WeeklyProgress&)> on_week;
+};
 
 struct CampaignReport {
   double scale = 1.0;
@@ -71,6 +115,10 @@ struct CampaignReport {
   // --- fleet ---
   std::size_t devices_simulated = 0;  ///< raw (scaled) device count
 
+  // --- telemetry snapshot (registry counters + histogram summaries) ---
+  std::vector<TelemetryCounter> telemetry_counters;
+  std::vector<TelemetryHistogram> telemetry_histograms;
+
   /// Total received results rescaled to full size (paper: 5,418,010).
   double results_received_rescaled() const {
     return static_cast<double>(counters.results_received) / scale;
@@ -81,7 +129,10 @@ struct CampaignReport {
   }
 };
 
-/// Runs the full pipeline. Deterministic in the config (including seed).
+/// Runs the full pipeline. Deterministic in the config (including seed);
+/// `instruments` observe the run without perturbing it.
+CampaignReport run_campaign(const CampaignConfig& config,
+                            const CampaignInstruments& instruments);
 CampaignReport run_campaign(const CampaignConfig& config);
 
 /// Steps 1-3 only: benchmark + calibrated model + matrix, shared by benches

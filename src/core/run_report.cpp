@@ -1,0 +1,204 @@
+#include "core/run_report.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/profile.hpp"
+#include "util/duration.hpp"
+
+namespace hcmd::core {
+
+namespace {
+
+void write_series(obs::JsonWriter& w, std::string_view key,
+                  const std::vector<double>& v) {
+  w.key(key).begin_array();
+  for (double x : v) w.value(x);
+  w.end_array();
+}
+
+void write_date(obs::JsonWriter& w, std::string_view key,
+                const util::CivilDate& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u", d.year, d.month, d.day);
+  w.kv(key, static_cast<const char*>(buf));
+}
+
+}  // namespace
+
+std::string run_report_json(const CampaignConfig& config,
+                            const CampaignReport& report,
+                            const obs::Tracer* tracer) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "hcmd-run-report/1");
+
+  // --- the knobs that identify the run ---
+  w.key("config").begin_object();
+  w.kv("scale", report.scale);
+  w.kv("seed", config.seed);
+  w.kv("max_weeks", config.max_weeks);
+  write_date(w, "start_date", config.start_date);
+  w.kv("mct_target_mean_seconds", config.mct_target_mean_seconds);
+  w.kv("packaging_target_hours", config.packaging.target_hours);
+  w.kv("quorum2_until_weeks",
+       config.server.validation.quorum2_until / util::kSecondsPerWeek);
+  w.kv("spot_check_fraction", config.server.validation.spot_check_fraction);
+  w.kv("deadline_days", config.server.deadline / util::kSecondsPerDay);
+  w.end_object();
+
+  // --- Table 1 inputs: the full-scale workload ---
+  w.key("workload").begin_object();
+  w.kv("total_reference_seconds", report.total_reference_seconds);
+  w.kv("full_workunit_count", report.full_workunit_count);
+  w.kv("nominal_wu_mean_seconds", report.nominal_wu_mean_seconds);
+  w.kv("nominal_wu_mean_hours",
+       report.nominal_wu_mean_seconds / util::kSecondsPerHour);
+  w.end_object();
+
+  // --- Fig. 6(a): weekly VFTP, rescaled to full size ---
+  w.key("fig6a").begin_object();
+  write_series(w, "hcmd_vftp_weekly", report.hcmd_vftp_weekly);
+  write_series(w, "wcg_vftp_weekly", report.wcg_vftp_weekly);
+  w.end_object();
+
+  // --- Fig. 6(b): weekly result counts, rescaled ---
+  w.key("fig6b").begin_object();
+  write_series(w, "results_received_weekly", report.results_received_weekly);
+  write_series(w, "results_useful_weekly", report.results_useful_weekly);
+  w.end_object();
+
+  // --- Fig. 7: progression snapshots ---
+  w.key("fig7").begin_array();
+  for (const auto& s : report.snapshots) {
+    w.begin_object();
+    w.kv("label", s.label);
+    w.kv("time_weeks", s.time_seconds / util::kSecondsPerWeek);
+    w.kv("proteins_done_fraction", s.proteins_done_fraction);
+    w.kv("computation_done_fraction", s.computation_done_fraction);
+    write_series(w, "per_protein_fraction", s.per_protein_fraction);
+    w.end_object();
+  }
+  w.end_array();
+
+  // --- Fig. 8: reported-runtime distribution ---
+  w.key("fig8").begin_object();
+  w.key("summary").begin_object();
+  w.kv("count", report.runtime_summary.count);
+  w.kv("mean_hours", report.runtime_summary.mean / util::kSecondsPerHour);
+  w.kv("median_hours", report.runtime_summary.median / util::kSecondsPerHour);
+  w.kv("stddev_hours", report.runtime_summary.stddev / util::kSecondsPerHour);
+  w.kv("min_hours", report.runtime_summary.min / util::kSecondsPerHour);
+  w.kv("max_hours", report.runtime_summary.max / util::kSecondsPerHour);
+  w.end_object();
+  w.key("histogram_hours").begin_object();
+  w.kv("lo", report.runtime_hours_hist.lo());
+  w.kv("hi", report.runtime_hours_hist.hi());
+  w.kv("bin_width", report.runtime_hours_hist.bin_width());
+  w.key("counts").begin_array();
+  for (std::uint64_t c : report.runtime_hours_hist.counts()) w.value(c);
+  w.end_array();
+  w.end_object();
+  w.end_object();
+
+  // --- Table 2: equivalence and efficiency ---
+  w.key("table2").begin_object();
+  w.kv("avg_hcmd_vftp_whole", report.avg_hcmd_vftp_whole);
+  w.kv("avg_hcmd_vftp_fullpower", report.avg_hcmd_vftp_fullpower);
+  w.kv("avg_wcg_vftp_whole", report.avg_wcg_vftp_whole);
+  w.kv("full_power_start_week", report.full_power_start_week);
+  w.kv("gross_speeddown", report.speeddown.gross_speeddown());
+  w.kv("net_speeddown", report.speeddown.net_speeddown());
+  w.kv("redundancy_factor", report.redundancy_factor);
+  w.kv("useful_fraction", report.useful_fraction);
+  w.kv("results_received_rescaled", report.results_received_rescaled());
+  w.kv("results_useful_rescaled", report.results_useful_rescaled());
+  w.kv("total_credit", report.total_credit);
+  w.kv("credit_reference_processors", report.credit_reference_processors);
+  w.end_object();
+
+  // --- outcome ---
+  w.key("outcome").begin_object();
+  w.kv("completed", report.completed);
+  w.kv("completion_weeks", report.completion_weeks);
+  w.kv("devices_simulated",
+       static_cast<std::uint64_t>(report.devices_simulated));
+  w.end_object();
+
+  // --- raw (scaled) server lifecycle counters ---
+  const auto& c = report.counters;
+  w.key("counters").begin_object();
+  w.kv("results_sent", c.results_sent);
+  w.kv("results_received", c.results_received);
+  w.kv("results_valid", c.results_valid);
+  w.kv("results_quorum_extra", c.results_quorum_extra);
+  w.kv("results_invalid", c.results_invalid);
+  w.kv("results_redundant", c.results_redundant);
+  w.kv("results_timed_out", c.results_timed_out);
+  w.kv("results_pending", c.results_pending);
+  w.kv("quorum_mismatches", c.quorum_mismatches);
+  w.kv("late_mismatches", c.late_mismatches);
+  w.kv("corrupt_assimilated", c.corrupt_assimilated);
+  w.kv("workunits_completed", c.workunits_completed);
+  w.kv("useful_reference_seconds", c.useful_reference_seconds);
+  w.kv("reported_runtime_seconds", c.reported_runtime_seconds);
+  w.end_object();
+
+  // --- telemetry: registry counters + histogram summaries ---
+  w.key("telemetry").begin_object();
+  w.key("counters").begin_array();
+  for (const auto& tc : report.telemetry_counters) {
+    w.begin_object();
+    w.kv("name", tc.name);
+    w.kv("value", tc.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("histograms").begin_array();
+  for (const auto& th : report.telemetry_histograms) {
+    w.begin_object();
+    w.kv("name", th.name);
+    w.kv("count", th.count);
+    w.kv("mean", th.mean);
+    w.kv("p50", th.p50);
+    w.kv("p90", th.p90);
+    w.kv("p99", th.p99);
+    w.kv("min", th.min);
+    w.kv("max", th.max);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  // --- trace-stream statistics (when the run was traced) ---
+  if (tracer) {
+    w.key("trace").begin_object();
+    w.kv("recorded", tracer->recorded());
+    w.kv("dropped", tracer->dropped());
+    w.kv("capacity", static_cast<std::uint64_t>(tracer->capacity()));
+    w.key("seen_by_category").begin_object();
+    for (std::size_t i = 0; i < obs::kTraceCatCount; ++i)
+      w.kv(obs::trace_cat_name(static_cast<obs::TraceCat>(i)),
+           tracer->seen(static_cast<obs::TraceCat>(i)));
+    w.end_object();
+    w.end_object();
+  }
+
+  // --- wall-clock self-profile of the pipeline ---
+  w.key("self_profile").begin_array();
+  for (const auto& z : obs::Profiler::instance().table()) {
+    w.begin_object();
+    w.kv("zone", z.name);
+    w.kv("count", z.count);
+    w.kv("total_ms", static_cast<double>(z.total_ns) / 1e6);
+    w.kv("mean_us", z.mean_us());
+    w.kv("max_ms", static_cast<double>(z.max_ns) / 1e6);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace hcmd::core

@@ -1,0 +1,30 @@
+// Run-report export: one JSON document per campaign run carrying every
+// series the paper's figures and tables are built from.
+//
+//   fig6a  — weekly HCMD and whole-WCG VFTP (run-time equivalence)
+//   fig6b  — weekly received and useful result counts
+//   fig7   — per-protein progression snapshots
+//   fig8   — reported-runtime distribution (histogram + summary)
+//   table1 — workload inputs (total reference seconds, workunit count/mean)
+//   table2 — VFTP averages, speed-down, redundancy, credit capacity
+//
+// plus the telemetry the run collected on the way: registry counters,
+// latency/queue-depth histogram summaries, trace-stream statistics and the
+// campaign's wall-clock self-profile. Downstream analysis reads this file
+// instead of re-running the simulation.
+#pragma once
+
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace hcmd::core {
+
+/// Serialises a finished run to the report JSON (schema
+/// "hcmd-run-report/1"). `tracer` adds the trace-stream statistics section
+/// when non-null; pass the tracer the run was instrumented with.
+std::string run_report_json(const CampaignConfig& config,
+                            const CampaignReport& report,
+                            const obs::Tracer* tracer = nullptr);
+
+}  // namespace hcmd::core

@@ -1,0 +1,124 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+
+namespace hcmd::obs {
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back()) out_.push_back(',');
+    stack_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_.push_back('{');
+  stack_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  stack_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_.push_back('[');
+  stack_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  stack_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  out_.push_back('"');
+  escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  char buf[40];
+  // %.17g round-trips every finite double; JSON has no inf/nan literals.
+  if (v != v) {
+    out_ += "null";
+  } else if (v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+    out_ += v > 0 ? "1e308" : "-1e308";
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_.push_back('"');
+  escape(v);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+void JsonWriter::escape(std::string_view v) {
+  for (char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace hcmd::obs

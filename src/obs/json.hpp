@@ -1,0 +1,60 @@
+// Minimal streaming JSON writer for telemetry exports.
+//
+// The run-report and trace exporters emit megabytes of numbers; this writer
+// appends straight into one growing string with no intermediate DOM. Commas
+// and nesting are tracked by a small state stack, doubles round-trip
+// through %.17g (bit-exact re-parse), and strings are escaped per RFC 8259.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcmd::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(4096); }
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next value/begin_* call is its value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  /// Shorthand for key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The document so far. Call only when every scope is closed.
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+  void escape(std::string_view v);
+
+  std::string out_;
+  /// One frame per open scope: true once the scope holds an element (so the
+  /// next element is comma-prefixed). `pending_key_` suppresses the comma
+  /// for the value following a key.
+  std::vector<bool> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace hcmd::obs

@@ -1,0 +1,52 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hcmd::obs {
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+ZoneId Profiler::register_zone(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<ZoneId>(i);
+  if (names_.size() >= kMaxZones)
+    throw ConfigError("obs::Profiler: zone capacity exhausted");
+  names_.emplace_back(name);
+  return static_cast<ZoneId>(names_.size() - 1);
+}
+
+std::vector<Profiler::ZoneStat> Profiler::table() const {
+  std::vector<ZoneStat> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    ZoneStat stat;
+    stat.count = slot.count.load(std::memory_order_relaxed);
+    if (stat.count == 0) continue;
+    stat.name = names_[i];
+    stat.total_ns = slot.total_ns.load(std::memory_order_relaxed);
+    stat.max_ns = slot.max_ns.load(std::memory_order_relaxed);
+    out.push_back(std::move(stat));
+  }
+  std::sort(out.begin(), out.end(), [](const ZoneStat& a, const ZoneStat& b) {
+    return a.total_ns > b.total_ns;
+  });
+  return out;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Slot& slot : slots_) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.total_ns.store(0, std::memory_order_relaxed);
+    slot.max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hcmd::obs

@@ -1,0 +1,110 @@
+// Scoped wall-clock profiling zones.
+//
+// `HCMD_PROF_ZONE("campaign.des_run")` at the top of a scope registers the
+// zone once (static local, thread-safe) and times the scope with
+// steady_clock, accumulating into process-wide atomic slots. Intended for
+// the campaign's coarse hot loops (workload build, packaging, the weekly
+// DES chunks) — a zone entry/exit costs two clock reads and three relaxed
+// atomic adds, so do not wrap per-event code with it.
+//
+// The aggregate is a self-profile table: per zone, call count, total and
+// max wall time. `Profiler::reset()` zeroes the samples (registration is
+// kept) so drivers can report per-run numbers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcmd::obs {
+
+using ZoneId = std::uint32_t;
+
+class Profiler {
+ public:
+  /// Fixed slot table keeps add() lock-free; registering more throws.
+  static constexpr std::size_t kMaxZones = 64;
+
+  struct ZoneStat {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+    double mean_us() const {
+      return count ? static_cast<double>(total_ns) /
+                         static_cast<double>(count) / 1000.0
+                   : 0.0;
+    }
+  };
+
+  static Profiler& instance();
+
+  /// Idempotent by name; takes a mutex (call from static initialisers, not
+  /// hot paths — HCMD_PROF_ZONE arranges this).
+  ZoneId register_zone(std::string_view name);
+
+  void add(ZoneId id, std::uint64_t ns) {
+    Slot& slot = slots_[id];
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+    slot.total_ns.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t prev = slot.max_ns.load(std::memory_order_relaxed);
+    while (prev < ns && !slot.max_ns.compare_exchange_weak(
+                            prev, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Zones with at least one sample, most total time first.
+  std::vector<ZoneStat> table() const;
+
+  /// Zeroes every zone's samples; registered names and ids survive.
+  void reset();
+
+ private:
+  Profiler() = default;
+  struct Slot {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+
+  mutable std::mutex mutex_;  ///< registration/name enumeration only
+  std::vector<std::string> names_;
+  Slot slots_[kMaxZones];
+};
+
+/// RAII scope timer feeding Profiler.
+class ScopedZone {
+ public:
+  explicit ScopedZone(ZoneId id)
+      : id_(id), start_(std::chrono::steady_clock::now()) {}
+  ScopedZone(const ScopedZone&) = delete;
+  ScopedZone& operator=(const ScopedZone&) = delete;
+  ~ScopedZone() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    Profiler::instance().add(id_, static_cast<std::uint64_t>(ns));
+  }
+
+ private:
+  ZoneId id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hcmd::obs
+
+#define HCMD_PROF_CONCAT2(a, b) a##b
+#define HCMD_PROF_CONCAT(a, b) HCMD_PROF_CONCAT2(a, b)
+
+/// Times the enclosing scope under `name` in the process-wide profiler.
+#define HCMD_PROF_ZONE(name)                                              \
+  static const ::hcmd::obs::ZoneId HCMD_PROF_CONCAT(                      \
+      hcmd_prof_zone_id_, __LINE__) =                                     \
+      ::hcmd::obs::Profiler::instance().register_zone(name);              \
+  const ::hcmd::obs::ScopedZone HCMD_PROF_CONCAT(hcmd_prof_zone_scope_,   \
+                                                 __LINE__)(               \
+      HCMD_PROF_CONCAT(hcmd_prof_zone_id_, __LINE__))

@@ -1,0 +1,136 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hcmd::obs {
+
+void LogHistogram::record(double v) {
+  if (!(v >= 0.0)) v = 0.0;  // negative/NaN clamp into the underflow bin
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  sum_ += v;
+
+  int exp = 0;
+  const double mant = std::frexp(v, &exp);  // v = mant * 2^exp, mant in [0.5, 1)
+  // Octave index relative to kMinExp; frexp's exp for values in
+  // [2^k, 2^{k+1}) is k+1, so shift by one to make bin_lo(bin) <= v.
+  long octave = static_cast<long>(exp) - 1 - kMinExp;
+  long sub = static_cast<long>((mant - 0.5) * 2.0 * kSubBins);
+  sub = std::clamp(sub, 0L, static_cast<long>(kSubBins - 1));
+  long bin = octave * kSubBins + sub;
+  if (v <= 0.0) bin = 0;
+  bin = std::clamp(bin, 0L, static_cast<long>(kBins) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+}
+
+double LogHistogram::bin_lo(std::size_t bin) {
+  const auto octave = static_cast<int>(bin) / kSubBins;
+  const auto sub = static_cast<int>(bin) % kSubBins;
+  return std::ldexp(0.5 + 0.5 * sub / kSubBins, kMinExp + octave + 1);
+}
+
+double LogHistogram::quantile(double p) const {
+  if (n_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(n_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t bin = 0; bin < kBins; ++bin) {
+    seen += counts_[bin];
+    if (seen > rank) {
+      // Geometric midpoint of [bin_lo, next bin_lo): ~9.5 % worst-case
+      // relative error, clamped so the estimate never leaves the observed
+      // range.
+      const double mid = bin_lo(bin) * std::sqrt(bin_lo(bin + 1) / bin_lo(bin));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::size_t Registry::shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return mine;
+}
+
+MetricId Registry::intern(std::string_view name, bool histogram) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = index_.find(name); it != index_.end()) {
+    HCMD_ASSERT_MSG(it->second.is_histogram() == histogram,
+                    "metric re-interned with a different kind");
+    return it->second;
+  }
+  MetricId id;
+  if (histogram) {
+    id.value = static_cast<std::uint32_t>(histograms_.size()) |
+               MetricId::kHistogramBit;
+    histograms_.emplace_back();
+    histogram_names_.emplace_back(name);
+  } else {
+    if (counter_names_.size() >= kMaxCounters)
+      throw ConfigError("obs::Registry: counter capacity exhausted");
+    id.value = static_cast<std::uint32_t>(counter_names_.size());
+    counter_names_.emplace_back(name);
+  }
+  index_.emplace(std::string(name), id);
+  return id;
+}
+
+MetricId Registry::intern_counter(std::string_view name) {
+  return intern(name, /*histogram=*/false);
+}
+
+MetricId Registry::intern_histogram(std::string_view name) {
+  return intern(name, /*histogram=*/true);
+}
+
+MetricId Registry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(name);
+  return it == index_.end() ? MetricId{} : it->second;
+}
+
+std::uint64_t Registry::total(MetricId id) const {
+  if (!id.valid() || id.is_histogram()) return 0;
+  std::uint64_t sum = 0;
+  for (const Shard& shard : shards_)
+    sum += shard.slots[id.slot()].load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::uint64_t Registry::total(std::string_view name) const {
+  return total(find(name));
+}
+
+const LogHistogram* Registry::histogram(MetricId id) const {
+  if (!id.is_histogram()) return nullptr;
+  return &histograms_[id.slot()];
+}
+
+std::vector<std::string> Registry::names_of(bool histogram) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names =
+      histogram ? histogram_names_ : counter_names_;
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  return names_of(false);
+}
+
+std::vector<std::string> Registry::histogram_names() const {
+  return names_of(true);
+}
+
+}  // namespace hcmd::obs

@@ -1,0 +1,161 @@
+// Interned-ID metrics registry.
+//
+// The campaign's hot emitters (fleet dispatch, scheduler RPCs, validators)
+// must never pay a string hash per sample. Names are interned *once* at
+// registration into a `MetricId` — a 32-bit handle whose top bit encodes
+// the metric kind and whose low bits are the storage slot — and every
+// subsequent emission is an array-indexed add:
+//
+//   obs::MetricId id = registry.intern_counter("results_received");  // once
+//   registry.add(id);                                      // hot path, O(1)
+//
+// Counter storage is striped across cache-line-aligned shards; a thread
+// picks its shard once (thread-local token) and increments with a relaxed
+// atomic add — no locks, no false sharing between pool workers — and reads
+// aggregate across shards. Histograms use log-spaced bins (4 sub-bins per
+// octave), the right shape for the latency/queue-depth distributions this
+// records: a result turnaround spans seconds to weeks, and a fixed-width
+// histogram would waste every bin on one end of that range.
+//
+// Registration takes a mutex and may allocate; emission never does either.
+// Intern every metric before other threads start emitting: `add` reads the
+// slot tables without synchronisation.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hcmd::obs {
+
+/// Dense handle for a registered metric. Resolve once, emit many times.
+/// The top bit distinguishes histograms from counters; the low bits are the
+/// slot index, so the hot path needs no metadata lookup.
+struct MetricId {
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kHistogramBit = 0x80000000u;
+  std::uint32_t value = kInvalid;
+
+  bool valid() const { return value != kInvalid; }
+  bool is_histogram() const {
+    return valid() && (value & kHistogramBit) != 0;
+  }
+  std::uint32_t slot() const { return value & ~kHistogramBit; }
+};
+
+/// Log-spaced histogram: 4 sub-bins per power of two over [2^-20, 2^44)
+/// (~1 µs to ~500 000 years when values are seconds), with clamping at the
+/// ends. Relative bin width is a constant ~19 %, so p50/p90/p99 stay
+/// meaningful across the whole dynamic range with 2 KiB of counts.
+class LogHistogram {
+ public:
+  static constexpr int kMinExp = -20;
+  static constexpr int kMaxExp = 44;
+  static constexpr int kSubBins = 4;
+  static constexpr std::size_t kBins =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBins;
+
+  void record(double v);
+
+  std::uint64_t total() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// p-quantile estimate (0 <= p <= 1): geometric midpoint of the bin the
+  /// rank falls in, clamped to the recorded min/max.
+  double quantile(double p) const;
+
+  /// Inclusive lower edge of `bin`.
+  static double bin_lo(std::size_t bin);
+  const std::array<std::uint64_t, kBins>& counts() const { return counts_; }
+
+ private:
+  std::array<std::uint64_t, kBins> counts_{};
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class Registry {
+ public:
+  /// Counter slots per shard; interning more counters than this throws.
+  static constexpr std::size_t kMaxCounters = 256;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Interns `name` as a counter (idempotent: same name, same id).
+  MetricId intern_counter(std::string_view name);
+  /// Interns `name` as a log-spaced histogram (idempotent).
+  MetricId intern_histogram(std::string_view name);
+
+  /// Lock-free counter increment (any thread). Invalid ids are ignored.
+  void add(MetricId id, std::uint64_t n = 1) {
+    if (!id.valid()) return;
+    shards_[shard_index()].slots[id.slot()].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Histogram sample. Single-writer (the simulation thread); invalid ids
+  /// are ignored.
+  void observe(MetricId id, double v) {
+    if (!id.valid()) return;
+    histograms_[id.slot()].record(v);
+  }
+
+  /// Aggregated counter value across all shards; 0 for histogram ids.
+  std::uint64_t total(MetricId id) const;
+  std::uint64_t total(std::string_view name) const;
+
+  /// Id for an already-interned name, or an invalid id.
+  MetricId find(std::string_view name) const;
+
+  /// Histogram data for `id`, or nullptr if `id` is not a histogram.
+  const LogHistogram* histogram(MetricId id) const;
+
+  std::vector<std::string> counter_names() const;    ///< sorted
+  std::vector<std::string> histogram_names() const;  ///< sorted
+
+ private:
+  /// Heterogeneous string hashing: lets find()/intern() take a
+  /// std::string_view without constructing a temporary std::string.
+  struct StrHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  /// One cache line per shard boundary: pool workers incrementing the same
+  /// metric from different shards never share a line.
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> slots{};
+  };
+  static constexpr std::size_t kShards = 8;
+
+  /// Thread -> shard assignment: a process-wide round-robin token, taken
+  /// once per thread. Stable across every Registry instance, so the
+  /// thread-local costs one increment ever.
+  static std::size_t shard_index();
+
+  MetricId intern(std::string_view name, bool histogram);
+  std::vector<std::string> names_of(bool histogram) const;
+
+  mutable std::mutex mutex_;  ///< registration + name enumeration only
+  std::unordered_map<std::string, MetricId, StrHash, std::equal_to<>> index_;
+  std::vector<std::string> counter_names_;    ///< by slot
+  std::vector<std::string> histogram_names_;  ///< by slot
+  std::array<Shard, kShards> shards_;
+  std::deque<LogHistogram> histograms_;  ///< stable storage
+};
+
+}  // namespace hcmd::obs

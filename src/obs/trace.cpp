@@ -1,0 +1,109 @@
+#include "obs/trace.hpp"
+
+#include <bit>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::obs {
+
+const char* trace_cat_name(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kWorkunit: return "workunit";
+    case TraceCat::kDevice: return "device";
+    case TraceCat::kChurn: return "churn";
+    case TraceCat::kServer: return "server";
+    case TraceCat::kCount: break;
+  }
+  return "?";
+}
+
+const char* trace_ev_name(TraceEv ev) {
+  switch (ev) {
+    case TraceEv::kWuIssue: return "wu_issue";
+    case TraceEv::kWuReturn: return "wu_return";
+    case TraceEv::kWuTimeout: return "wu_timeout";
+    case TraceEv::kWuReissue: return "wu_reissue";
+    case TraceEv::kWuAssimilate: return "wu_assimilate";
+    case TraceEv::kDevJoin: return "dev_join";
+    case TraceEv::kDevDeath: return "dev_death";
+    case TraceEv::kDevLongPause: return "dev_long_pause";
+    case TraceEv::kDevOnline: return "dev_online";
+    case TraceEv::kDevOffline: return "dev_offline";
+    case TraceEv::kSrvTransitionerPass: return "transitioner_pass";
+    case TraceEv::kSrvEndgameRebuild: return "endgame_rebuild";
+  }
+  return "?";
+}
+
+Tracer::Tracer(Options options) {
+  HCMD_ASSERT_MSG(options.capacity > 0, "tracer ring capacity must be > 0");
+  const std::size_t capacity = std::bit_ceil(options.capacity);
+  ring_.resize(capacity);  // the one allocation; recording never allocates
+  mask_ = capacity - 1;
+  for (std::size_t i = 0; i < kTraceCatCount; ++i)
+    cats_[i].every = options.sample_every[i];
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::uint64_t kept =
+      head_ < ring_.size() ? head_ : static_cast<std::uint64_t>(ring_.size());
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t i = head_ - kept; i < head_; ++i)
+    out.push_back(ring_[static_cast<std::size_t>(i) & mask_]);
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : snapshot()) {
+    const auto cat = static_cast<TraceCat>(e.cat);
+    w.begin_object();
+    w.kv("name", trace_ev_name(static_cast<TraceEv>(e.ev)));
+    w.kv("cat", trace_cat_name(cat));
+    w.kv("ph", "i");
+    w.kv("s", "t");
+    w.kv("ts", e.t * 1e6);  // trace_event ts is microseconds
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::int64_t>(e.cat));
+    w.key("args").begin_object();
+    w.kv("id", static_cast<std::uint64_t>(e.id));
+    w.kv("arg", static_cast<std::uint64_t>(e.arg));
+    w.kv("extra", static_cast<std::uint64_t>(e.extra));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  // Name the per-category tracks via metadata events.
+  w.key("metadata").begin_object();
+  w.kv("tool", "hcmd-grid tracer");
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string Tracer::jsonl() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 96);
+  for (const TraceEvent& e : events) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("t", e.t);
+    w.kv("cat", trace_cat_name(static_cast<TraceCat>(e.cat)));
+    w.kv("ev", trace_ev_name(static_cast<TraceEv>(e.ev)));
+    w.kv("id", static_cast<std::uint64_t>(e.id));
+    w.kv("arg", static_cast<std::uint64_t>(e.arg));
+    w.kv("extra", static_cast<std::uint64_t>(e.extra));
+    w.end_object();
+    out += w.str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace hcmd::obs

@@ -1,0 +1,128 @@
+// Sampled structured tracer for campaign runs.
+//
+// Records fixed-size 24-byte events (workunit issue/return/timeout/reissue/
+// assimilate, device join/death/long-pause, attach churn, transitioner
+// passes) into a preallocated power-of-two ring buffer. Recording is a
+// sampling check plus one store: no allocation, no I/O, no RNG draw and no
+// event scheduling — a traced campaign replays bit-identically to an
+// untraced one, and two traced runs of the same config produce
+// byte-identical streams.
+//
+// Per-category sampling keeps full-scale sweeps cheap: every category keeps
+// a deterministic modulo counter and records every Nth event (N = 1 keeps
+// everything). The ring keeps the newest events once full; `dropped()`
+// reports how many fell off the head.
+//
+// Exports: Chrome trace_event JSON (loads in chrome://tracing / Perfetto,
+// sim-seconds mapped to microseconds) and JSONL (one event per line, the
+// grep/jq-friendly form).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcmd::obs {
+
+enum class TraceCat : std::uint8_t {
+  kWorkunit = 0,  ///< result lifecycle (issue .. assimilate)
+  kDevice,        ///< rare device events (join, death, long pause)
+  kChurn,         ///< per-attach-cycle device events (online/offline)
+  kServer,        ///< transitioner passes, end-game rebuilds
+  kCount,
+};
+inline constexpr std::size_t kTraceCatCount =
+    static_cast<std::size_t>(TraceCat::kCount);
+
+enum class TraceEv : std::uint8_t {
+  kWuIssue = 0,
+  kWuReturn,      ///< extra = final ResultState
+  kWuTimeout,
+  kWuReissue,
+  kWuAssimilate,
+  kDevJoin,
+  kDevDeath,
+  kDevLongPause,
+  kDevOnline,
+  kDevOffline,
+  kSrvTransitionerPass,
+  kSrvEndgameRebuild,
+};
+
+const char* trace_cat_name(TraceCat cat);
+const char* trace_ev_name(TraceEv ev);
+
+/// One trace record. 24 bytes so a default ring of 2^18 events costs 6 MiB;
+/// `id`/`arg`/`extra` are event-specific (see the emitting site).
+struct TraceEvent {
+  double t = 0.0;           ///< simulation time, seconds
+  std::uint32_t id = 0;     ///< subject (result id, device id, wu index)
+  std::uint32_t arg = 0;    ///< secondary subject
+  std::uint16_t extra = 0;  ///< small payload (state codes, counts)
+  std::uint8_t cat = 0;
+  std::uint8_t ev = 0;
+};
+static_assert(sizeof(TraceEvent) == 24, "trace events must stay 24 bytes");
+
+class Tracer {
+ public:
+  struct Options {
+    /// Ring capacity in events; rounded up to a power of two.
+    std::size_t capacity = std::size_t{1} << 18;
+    /// Per-category sampling: record every Nth event (0 disables the
+    /// category entirely). Defaults keep every lifecycle event, thin the
+    /// per-attach churn, and sample transitioner passes.
+    std::array<std::uint32_t, kTraceCatCount> sample_every{1, 1, 64, 16};
+  };
+
+  Tracer() : Tracer(Options{}) {}
+  explicit Tracer(Options options);
+
+  /// Hot path: deterministic sampling check + one 24-byte store.
+  void record(TraceCat cat, TraceEv ev, double t, std::uint32_t id,
+              std::uint32_t arg = 0, std::uint16_t extra = 0) {
+    Cat& c = cats_[static_cast<std::size_t>(cat)];
+    const std::uint64_t seen = c.seen++;
+    if (c.every == 0 || seen % c.every != 0) return;
+    ring_[static_cast<std::size_t>(head_) & mask_] =
+        TraceEvent{t, id, arg, extra, static_cast<std::uint8_t>(cat),
+                   static_cast<std::uint8_t>(ev)};
+    ++head_;
+  }
+
+  /// Events offered to `cat` before sampling.
+  std::uint64_t seen(TraceCat cat) const {
+    return cats_[static_cast<std::size_t>(cat)].seen;
+  }
+  /// Events written into the ring (all categories).
+  std::uint64_t recorded() const { return head_; }
+  /// Recorded events that fell off the ring's tail.
+  std::uint64_t dropped() const {
+    return head_ > ring_.size() ? head_ - ring_.size() : 0;
+  }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}); sim seconds become
+  /// trace microseconds, one pid per run, one tid per category.
+  std::string chrome_trace_json() const;
+  /// One JSON object per line; byte-identical across identical runs.
+  std::string jsonl() const;
+
+ private:
+  struct Cat {
+    std::uint64_t seen = 0;
+    std::uint32_t every = 1;
+  };
+
+  std::vector<TraceEvent> ring_;
+  std::size_t mask_ = 0;
+  std::uint64_t head_ = 0;
+  std::array<Cat, kTraceCatCount> cats_{};
+};
+
+}  // namespace hcmd::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profile.hpp"
 #include "util/duration.hpp"
 #include "util/error.hpp"
 
@@ -62,6 +63,7 @@ PackagingStats compute_stats(const proteins::Benchmark& benchmark,
                              const PackagingConfig& config,
                              std::size_t histogram_bins,
                              double histogram_max_hours) {
+  HCMD_PROF_ZONE("packaging.compute_stats");
   const std::size_t n = benchmark.proteins.size();
   HCMD_ASSERT(mct.size() == n);
   HCMD_ASSERT(benchmark.nsep.size() == n);
@@ -130,6 +132,7 @@ std::vector<Workunit> build_catalog(const proteins::Benchmark& benchmark,
                                     const timing::MctMatrix& mct,
                                     const PackagingConfig& config,
                                     std::uint64_t stride) {
+  HCMD_PROF_ZONE("packaging.build_catalog");
   if (stride == 0) throw ConfigError("packaging: stride must be >= 1");
   const std::size_t n = benchmark.proteins.size();
   HCMD_ASSERT(mct.size() == n);

@@ -18,6 +18,18 @@ ProjectServer::ProjectServer(std::vector<packaging::Workunit> catalog,
     throw ConfigError("ProjectServer: spot_check_fraction outside [0, 1]");
 }
 
+void ProjectServer::set_instruments(obs::Tracer* tracer,
+                                    obs::Registry* registry) {
+  tracer_ = tracer;
+  registry_ = registry;
+  if (registry_) {
+    hist_turnaround_ =
+        registry_->intern_histogram("server.result_turnaround_seconds");
+    hist_reissue_depth_ =
+        registry_->intern_histogram("server.reissue_queue_depth");
+  }
+}
+
 std::uint64_t ProjectServer::issue(std::uint32_t wu_index,
                                    std::uint32_t device_id, double now) {
   WorkunitRecord& rec = records_[wu_index];
@@ -39,11 +51,19 @@ std::uint64_t ProjectServer::issue(std::uint32_t wu_index,
   if (rec.state == WorkunitState::kUnsent)
     rec.state = WorkunitState::kInProgress;
   ++counters_.results_sent;
+  if (tracer_)
+    tracer_->record(obs::TraceCat::kWorkunit, obs::TraceEv::kWuIssue, now,
+                    static_cast<std::uint32_t>(inst.result_id), wu_index,
+                    static_cast<std::uint16_t>(device_id & 0xFFFFu));
   return inst.result_id;
 }
 
 std::optional<Assignment> ProjectServer::request_work(std::uint32_t device_id,
                                                       double now) {
+  last_now_ = now;
+  if (registry_)
+    registry_->observe(hist_reissue_depth_,
+                       static_cast<double>(reissue_queue_.size()));
   std::uint32_t wu_index = 0;
   bool found = false;
 
@@ -152,6 +172,10 @@ bool ProjectServer::pick_endgame(std::uint32_t& wu_index) {
         rec.queue_flags |= kInEndgameQueue;
       }
     }
+    if (tracer_)
+      tracer_->record(obs::TraceCat::kServer, obs::TraceEv::kSrvEndgameRebuild,
+                      last_now_,
+                      static_cast<std::uint32_t>(endgame_queue_.size()));
     if (endgame_queue_.empty()) return false;
   }
   return false;
@@ -182,11 +206,16 @@ void ProjectServer::assimilate(std::uint32_t wu_index) {
   rec.state = WorkunitState::kDone;
   ++counters_.workunits_completed;
   counters_.useful_reference_seconds += catalog_[wu_index].reference_seconds;
+  if (tracer_)
+    tracer_->record(obs::TraceCat::kWorkunit, obs::TraceEv::kWuAssimilate,
+                    last_now_, wu_index,
+                    static_cast<std::uint32_t>(counters_.workunits_completed));
 }
 
 ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
                                          const ResultReport& report) {
   HCMD_ASSERT(result_id < results_.size());
+  last_now_ = now;
   ResultInstance& inst = results_[result_id];
   HCMD_ASSERT_MSG(inst.state == ResultState::kInProgress ||
                       inst.state == ResultState::kTimedOut,
@@ -202,6 +231,16 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
   inst.received_time = now;
   inst.reported_runtime = report.reported_runtime;
   inst.silent_error = report.silent_error;
+  if (registry_) registry_->observe(hist_turnaround_, now - inst.sent_time);
+  // Trace the return once the instance's final state is known (the paths
+  // below all end by returning inst.state).
+  const auto trace_return = [&]() {
+    if (tracer_)
+      tracer_->record(obs::TraceCat::kWorkunit, obs::TraceEv::kWuReturn, now,
+                      static_cast<std::uint32_t>(result_id),
+                      inst.workunit_index,
+                      static_cast<std::uint16_t>(inst.state));
+  };
   ++counters_.results_received;
   counters_.reported_runtime_seconds += report.reported_runtime;
   ++device_slot(inst.device_id).received;
@@ -212,6 +251,7 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     ++device_slot(inst.device_id).bad;
     if (rec.state != WorkunitState::kDone)
       push_reissue(inst.workunit_index);
+    trace_return();
     return inst.state;
   }
 
@@ -225,6 +265,7 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     ++counters_.results_redundant;
     if (inst.silent_error != rec.done_corrupt())
       ++counters_.late_mismatches;
+    trace_return();
     return inst.state;
   }
 
@@ -237,6 +278,7 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
       ++counters_.corrupt_assimilated;
     }
     assimilate(inst.workunit_index);
+    trace_return();
     return inst.state;
   }
 
@@ -246,6 +288,7 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     rec.pending_result = static_cast<std::uint32_t>(inst.result_id);
     inst.state = ResultState::kPendingValidation;
     ++counters_.results_pending;
+    trace_return();
     return inst.state;
   }
   ResultInstance& partner = results_[rec.pending_result];
@@ -276,6 +319,7 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     push_reissue(inst.workunit_index);
     push_reissue(inst.workunit_index);
   }
+  trace_return();
   return inst.state;
 }
 
@@ -284,8 +328,13 @@ bool ProjectServer::handle_deadline(std::uint64_t result_id, double now) {
   ResultInstance& inst = results_[result_id];
   if (inst.state != ResultState::kInProgress) return false;
   if (now < inst.deadline) return false;
+  last_now_ = now;
   inst.state = ResultState::kTimedOut;
   ++counters_.results_timed_out;
+  if (tracer_)
+    tracer_->record(obs::TraceCat::kWorkunit, obs::TraceEv::kWuTimeout, now,
+                    static_cast<std::uint32_t>(result_id),
+                    inst.workunit_index);
   endgame_dirty_ = true;
   WorkunitRecord& rec = records_[inst.workunit_index];
   HCMD_ASSERT(rec.outstanding > 0);

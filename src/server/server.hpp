@@ -26,6 +26,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "packaging/workunit.hpp"
 #include "util/chunked_vector.hpp"
 #include "util/rng.hpp"
@@ -180,6 +182,13 @@ class ProjectServer {
   /// Returns true if a timeout actually occurred.
   bool handle_deadline(std::uint64_t result_id, double now);
 
+  /// Attaches telemetry (both optional, may be nullptr). The tracer gets
+  /// the workunit lifecycle stream; the registry gets the server's latency
+  /// and queue-depth histograms (ids interned here, once). Neither sink is
+  /// consulted by any decision path — instrumented and bare runs replay
+  /// bit-identically.
+  void set_instruments(obs::Tracer* tracer, obs::Registry* registry);
+
   /// True when every catalogue workunit is assimilated.
   bool complete() const {
     return counters_.workunits_completed == catalog_.size();
@@ -284,6 +293,10 @@ class ProjectServer {
   void push_reissue(std::uint32_t wu_index) {
     ++records_[wu_index].reissues_queued;
     reissue_queue_.push_back(wu_index);
+    if (tracer_)
+      tracer_->record(obs::TraceCat::kWorkunit, obs::TraceEv::kWuReissue,
+                      last_now_, wu_index,
+                      static_cast<std::uint32_t>(reissue_queue_.size()));
   }
   std::deque<std::uint32_t> reissue_queue_;
   /// Workunits whose redundancy regime wants a second initial copy; each
@@ -295,6 +308,15 @@ class ProjectServer {
   bool endgame_dirty_ = true;
   std::size_t next_unsent_ = 0;
   ServerCounters counters_;
+
+  // --- telemetry sinks (optional; decisions never read them) ---
+  obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_ = nullptr;
+  obs::MetricId hist_turnaround_;      ///< received - sent, seconds
+  obs::MetricId hist_reissue_depth_;   ///< re-issue queue depth per RPC
+  /// Time of the last RPC into the server: push_reissue has no `now`
+  /// parameter of its own, so reissue traces stamp the enclosing call's.
+  double last_now_ = 0.0;
 };
 
 }  // namespace hcmd::server

@@ -5,9 +5,15 @@ namespace hcmd::server {
 void TransitionerTimers::arm(std::uint64_t result_id, double deadline) {
   if (result_id >= timers_.size()) timers_.resize(result_id + 1);
   ProjectServer& server = server_;
+  obs::Tracer* tracer = tracer_;
   timers_[result_id] = sim_.schedule_at(
-      deadline, [&server, result_id, deadline] {
-        server.handle_deadline(result_id, deadline);
+      deadline, [&server, tracer, result_id, deadline] {
+        const bool timed_out = server.handle_deadline(result_id, deadline);
+        if (tracer)
+          tracer->record(obs::TraceCat::kServer,
+                         obs::TraceEv::kSrvTransitionerPass, deadline,
+                         static_cast<std::uint32_t>(result_id),
+                         timed_out ? 1u : 0u);
       });
 }
 

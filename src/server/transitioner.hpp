@@ -41,9 +41,14 @@ class TransitionerTimers {
   /// Deadline timers still pending (for tests / introspection).
   std::size_t armed() const;
 
+  /// Optional tracer for transitioner-pass events (each fired deadline
+  /// tick). Captured by value at arm() time; call before the first arm.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   sim::Simulation& sim_;
   ProjectServer& server_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<sim::EventHandle> timers_;  ///< indexed by result_id
 };
 

@@ -1,52 +1,42 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+
 namespace hcmd::sim {
 
 MetricSet::MetricSet(double bin_width, double horizon)
     : bin_width_(bin_width), horizon_(horizon), empty_(0.0, bin_width) {}
 
-void MetricSet::count(const std::string& name, std::uint64_t n) {
-  counters_[name] += n;
+util::TimeBinnedSeries& MetricSet::meter_series(std::string_view name) {
+  for (std::size_t i = 0; i < meter_names_.size(); ++i)
+    if (meter_names_[i] == name) return meters_[i];
+  // Registration path: a campaign registers a dozen series, so the linear
+  // scan above is cheaper than maintaining a second hash index.
+  meter_names_.emplace_back(name);
+  meters_.emplace_back(0.0, bin_width_);
+  meters_.back().reserve_through(horizon_);  // one allocation, up front
+  return meters_.back();
 }
 
-void MetricSet::meter(const std::string& name, SimTime t, double amount) {
-  meter_series(name).add(t, amount);
+const util::TimeBinnedSeries* MetricSet::find_series(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < meter_names_.size(); ++i)
+    if (meter_names_[i] == name) return &meters_[i];
+  return nullptr;
 }
 
-util::TimeBinnedSeries& MetricSet::meter_series(const std::string& name) {
-  auto it = meters_.find(name);
-  if (it == meters_.end()) {
-    it = meters_.emplace(name, util::TimeBinnedSeries(0.0, bin_width_)).first;
-    it->second.reserve_through(horizon_);  // one allocation, at registration
-  }
-  return it->second;
+const util::TimeBinnedSeries& MetricSet::series(std::string_view name) const {
+  const util::TimeBinnedSeries* s = find_series(name);
+  return s ? *s : empty_;
 }
 
-std::uint64_t MetricSet::counter(const std::string& name) const {
-  auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
-}
-
-const util::TimeBinnedSeries& MetricSet::series(const std::string& name) const {
-  auto it = meters_.find(name);
-  return it == meters_.end() ? empty_ : it->second;
-}
-
-bool MetricSet::has_series(const std::string& name) const {
-  return meters_.contains(name);
-}
-
-std::vector<std::string> MetricSet::counter_names() const {
-  std::vector<std::string> names;
-  names.reserve(counters_.size());
-  for (const auto& [k, v] : counters_) names.push_back(k);
-  return names;
+bool MetricSet::has_series(std::string_view name) const {
+  return find_series(name) != nullptr;
 }
 
 std::vector<std::string> MetricSet::series_names() const {
-  std::vector<std::string> names;
-  names.reserve(meters_.size());
-  for (const auto& [k, v] : meters_) names.push_back(k);
+  std::vector<std::string> names = meter_names_;
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -60,13 +50,20 @@ GaugeSampler::GaugeSampler(Simulation& simulation, SimTime start,
     values_.reserve(samples);
   }
   handle_ = simulation.schedule_periodic(
-      start, period, [this, fn = std::move(fn)](SimTime t) {
+      start, period, [this, horizon, fn = std::move(fn)](SimTime t) {
+        if (t > horizon) return false;  // retire past the planned run end
         times_.push_back(t);
         values_.push_back(fn());
         return true;
       });
 }
 
-void GaugeSampler::stop() { handle_.cancel(); }
+void GaugeSampler::stop() {
+  // Idempotent and safe after the event already fired or retired itself:
+  // cancel() is generation-checked, and the handle is nulled so repeated
+  // stops (or the destructor after an explicit stop) touch nothing.
+  handle_.cancel();
+  handle_ = EventHandle();
+}
 
 }  // namespace hcmd::sim

@@ -4,14 +4,23 @@
 // (CPU-seconds, bytes) into fixed-width time bins — the exact form the paper
 // reports (per-week CPU time, per-week result counts). Gauges sample a value
 // on a fixed cadence (e.g. number of connected hosts).
+//
+// MetricSet is now a thin adapter over obs::Registry: names intern once
+// into dense ids, counters live in the registry's lock-free slots and meter
+// series in an index-stable chunked store. The by-name API survives — it
+// takes std::string_view at the boundary (no temporary std::string per
+// call) and costs one hash lookup — but hot emitters should resolve a
+// handle once (`counter_id` / `meter_series`) and emit through it.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sim/simulation.hpp"
 #include "util/stats.hpp"
 
@@ -26,36 +35,72 @@ class MetricSet {
   /// registration, making appends allocation-free.
   explicit MetricSet(double bin_width, double horizon = 0.0);
 
-  void count(const std::string& name, std::uint64_t n = 1);
+  /// Interns (if needed) and returns the counter handle for `name`. Resolve
+  /// once; `count(id)` is then a single indexed add with no string hash.
+  obs::MetricId counter_id(std::string_view name) {
+    return registry_.intern_counter(name);
+  }
+
+  void count(std::string_view name, std::uint64_t n = 1) {
+    registry_.add(counter_id(name), n);
+  }
+  void count(obs::MetricId id, std::uint64_t n = 1) { registry_.add(id, n); }
+
   /// Adds `amount` of a continuous quantity at simulation time `t`.
-  void meter(const std::string& name, SimTime t, double amount);
+  void meter(std::string_view name, SimTime t, double amount) {
+    meter_series(name).add(t, amount);
+  }
 
   /// Registers (if needed) and returns the series for `name`. The reference
-  /// stays valid for the MetricSet's lifetime (map nodes are stable), so a
-  /// hot emitter resolves the name once and appends through the reference —
-  /// bypassing the per-call string lookup `meter` performs. Appending via
-  /// the reference and via `meter` are interchangeable.
-  util::TimeBinnedSeries& meter_series(const std::string& name);
+  /// stays valid for the MetricSet's lifetime (chunked storage is
+  /// index-stable), so a hot emitter resolves the name once and appends
+  /// through the reference — bypassing the per-call name lookup `meter`
+  /// performs. Appending via the reference and via `meter` are
+  /// interchangeable.
+  util::TimeBinnedSeries& meter_series(std::string_view name);
 
-  std::uint64_t counter(const std::string& name) const;
+  std::uint64_t counter(std::string_view name) const {
+    return registry_.total(name);
+  }
+  std::uint64_t counter(obs::MetricId id) const { return registry_.total(id); }
   /// Returns the series for `name`; an empty series if never metered.
-  const util::TimeBinnedSeries& series(const std::string& name) const;
-  bool has_series(const std::string& name) const;
+  const util::TimeBinnedSeries& series(std::string_view name) const;
+  bool has_series(std::string_view name) const;
 
-  std::vector<std::string> counter_names() const;
+  std::vector<std::string> counter_names() const {
+    return registry_.counter_names();
+  }
   std::vector<std::string> series_names() const;
 
   double bin_width() const { return bin_width_; }
 
+  /// The backing registry: shared with other instrumented components (the
+  /// server's latency histograms land here) and drained by the run report.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+
  private:
   double bin_width_;
   double horizon_;
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, util::TimeBinnedSeries> meters_;
+  obs::Registry registry_;
+  /// Meter series in registration order; deque storage is reference-stable,
+  /// so references handed out by meter_series survive later registrations.
+  /// Meters are a MetricSet-local namespace (time-binned series are a
+  /// simulation concept, not a registry one).
+  std::deque<util::TimeBinnedSeries> meters_;
+  std::vector<std::string> meter_names_;  ///< by slot, registration order
   util::TimeBinnedSeries empty_;
+
+  const util::TimeBinnedSeries* find_series(std::string_view name) const;
 };
 
 /// Samples `fn()` every `period` and records (t, value) pairs.
+///
+/// Lifecycle: sampling stops at the first of stop(), the sampler's
+/// destruction, or (when a finite `horizon` is given) the first tick past
+/// the horizon — after which the periodic event retires itself instead of
+/// riding the heap to the end of the run. stop() is idempotent and safe
+/// after the simulation has run past any of those points.
 class GaugeSampler {
  public:
   /// A finite `horizon` reserves the sample vectors for the whole run at
@@ -63,6 +108,12 @@ class GaugeSampler {
   GaugeSampler(Simulation& simulation, SimTime start, SimTime period,
                std::function<double()> fn,
                SimTime horizon = kTimeInfinity);
+
+  GaugeSampler(const GaugeSampler&) = delete;
+  GaugeSampler& operator=(const GaugeSampler&) = delete;
+  /// Cancels the pending tick: a destroyed sampler must never be reachable
+  /// from the event heap.
+  ~GaugeSampler() { stop(); }
 
   const std::vector<double>& times() const { return times_; }
   const std::vector<double>& values() const { return values_; }

@@ -1,0 +1,83 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace hcmd::obs {
+namespace {
+
+TEST(JsonWriter, ObjectAndArrayNesting) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("b").begin_array();
+  w.value(1);
+  w.value(2);
+  w.begin_object();
+  w.kv("c", true);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[1,2,{"c":true}]})");
+}
+
+TEST(JsonWriter, EmptyScopes) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("o").begin_object();
+  w.end_object();
+  w.key("a").begin_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"o":{},"a":[]})");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  JsonWriter w;
+  w.begin_array();
+  w.value("quote\" slash\\ newline\n tab\t bell\x01");
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\"quote\\\" slash\\\\ newline\\n tab\\t bell\\u0001\"]");
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(0.1);
+  w.value(1.0 / 3.0);
+  w.end_array();
+  // %.17g re-parses bit-exactly.
+  double a = 0.0, b = 0.0;
+  ASSERT_EQ(std::sscanf(w.str().c_str(), "[%lf,%lf]", &a, &b), 2);
+  EXPECT_EQ(a, 0.1);
+  EXPECT_EQ(b, 1.0 / 3.0);
+}
+
+TEST(JsonWriter, NonFiniteDoublesStayValidJson) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.end_array();
+  // NaN becomes null, infinities clamp — never bare `nan`/`inf` tokens.
+  EXPECT_EQ(w.str().find("nan"), std::string::npos);
+  EXPECT_EQ(w.str().find("inf"), std::string::npos);
+  EXPECT_NE(w.str().find("null"), std::string::npos);
+}
+
+TEST(JsonWriter, IntegerTypes) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("u", std::uint64_t{18446744073709551615ull});
+  w.kv("i", std::int64_t{-42});
+  w.kv("b", false);
+  w.key("n").null();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"u":18446744073709551615,"i":-42,"b":false,"n":null})");
+}
+
+}  // namespace
+}  // namespace hcmd::obs

@@ -1,0 +1,119 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hcmd::obs {
+namespace {
+
+Tracer::Options tiny(std::size_t capacity) {
+  Tracer::Options o;
+  o.capacity = capacity;
+  o.sample_every = {1, 1, 1, 1};
+  return o;
+}
+
+TEST(Tracer, RecordsAndSnapshotsInOrder) {
+  Tracer t(tiny(8));
+  t.record(TraceCat::kWorkunit, TraceEv::kWuIssue, 1.0, 10, 20, 3);
+  t.record(TraceCat::kWorkunit, TraceEv::kWuReturn, 2.0, 10, 20, 1);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].t, 1.0);
+  EXPECT_EQ(events[0].id, 10u);
+  EXPECT_EQ(events[0].arg, 20u);
+  EXPECT_EQ(events[0].extra, 3u);
+  EXPECT_EQ(events[1].ev, static_cast<std::uint8_t>(TraceEv::kWuReturn));
+  EXPECT_EQ(t.recorded(), 2u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RingKeepsNewestWhenFull) {
+  Tracer t(tiny(4));
+  for (std::uint32_t i = 0; i < 10; ++i)
+    t.record(TraceCat::kWorkunit, TraceEv::kWuIssue, i, i);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first snapshot of the survivors: ids 6, 7, 8, 9.
+  EXPECT_EQ(events.front().id, 6u);
+  EXPECT_EQ(events.back().id, 9u);
+}
+
+TEST(Tracer, CapacityRoundsToPowerOfTwo) {
+  Tracer t(tiny(5));
+  EXPECT_EQ(t.capacity(), 8u);
+}
+
+TEST(Tracer, SamplingKeepsEveryNth) {
+  Tracer::Options o;
+  o.capacity = 64;
+  o.sample_every = {1, 1, 4, 0};  // churn 1-in-4, server disabled
+  Tracer t(o);
+  for (std::uint32_t i = 0; i < 12; ++i)
+    t.record(TraceCat::kChurn, TraceEv::kDevOnline, i, i);
+  for (std::uint32_t i = 0; i < 7; ++i)
+    t.record(TraceCat::kServer, TraceEv::kSrvTransitionerPass, i, i);
+  EXPECT_EQ(t.seen(TraceCat::kChurn), 12u);
+  EXPECT_EQ(t.seen(TraceCat::kServer), 7u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 3u);  // churn 0, 4, 8; server suppressed
+  EXPECT_EQ(events[0].id, 0u);
+  EXPECT_EQ(events[1].id, 4u);
+  EXPECT_EQ(events[2].id, 8u);
+}
+
+TEST(Tracer, SamplingIsDeterministic) {
+  const auto run = [] {
+    Tracer::Options o;
+    o.capacity = 32;
+    o.sample_every = {1, 2, 3, 4};
+    Tracer t(o);
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      t.record(static_cast<TraceCat>(i % kTraceCatCount),
+               TraceEv::kWuIssue, i, i);
+    }
+    return t.jsonl();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Tracer, ChromeTraceShape) {
+  Tracer t(tiny(8));
+  t.record(TraceCat::kDevice, TraceEv::kDevJoin, 1.5, 7);
+  const std::string json = t.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dev_join\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"device\""), std::string::npos);
+  // 1.5 sim-seconds -> 1.5e6 trace microseconds.
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos);
+  // Document is an object that closes.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Tracer, JsonlOneLinePerEvent) {
+  Tracer t(tiny(8));
+  t.record(TraceCat::kWorkunit, TraceEv::kWuIssue, 0.5, 1);
+  t.record(TraceCat::kWorkunit, TraceEv::kWuReturn, 1.0, 1);
+  const std::string jsonl = t.jsonl();
+  std::size_t lines = 0;
+  for (char c : jsonl)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"ev\":\"wu_issue\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ev\":\"wu_return\""), std::string::npos);
+}
+
+TEST(Tracer, NamesCoverAllEnumerators) {
+  for (std::size_t i = 0; i < kTraceCatCount; ++i)
+    EXPECT_NE(std::string(trace_cat_name(static_cast<TraceCat>(i))), "?");
+  for (int e = 0; e <= static_cast<int>(TraceEv::kSrvEndgameRebuild); ++e)
+    EXPECT_NE(std::string(trace_ev_name(static_cast<TraceEv>(e))), "?");
+}
+
+}  // namespace
+}  // namespace hcmd::obs

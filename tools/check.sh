@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Pre-merge check: tier-1 test suite in the default build, then the same
-# suite under AddressSanitizer + UBSan.
+# Pre-merge check: tier-1 test suite in the default build, a telemetry
+# overhead smoke (BM_CampaignWeek with tracing on vs off), then the same
+# test suite under AddressSanitizer + UBSan.
 #
-#   tools/check.sh            # both passes
-#   tools/check.sh --fast     # tier-1 only (skip the sanitizer pass)
+#   tools/check.sh            # all passes
+#   tools/check.sh --fast     # tier-1 + overhead smoke (skip sanitizers)
 #
 # Build trees: build/ (default) and build-asan/ (HCMD_SANITIZE=ON); both are
 # configured on first use and reused afterwards.
@@ -26,6 +27,33 @@ run_suite() {
 
 echo "== tier-1 (default build) =="
 run_suite build
+
+echo "== telemetry overhead smoke =="
+# Tracing at default sampling must not slow the campaign week measurably.
+# The acceptance target is 1.05x; the gate here is a generous 1.5x so a
+# noisy shared-CI box does not flake the check — real regressions (a hash
+# lookup or allocation creeping back onto the record path) blow well past
+# that.
+bench="$repo/build/bench/bench_kernels"
+if [[ -x "$bench" ]]; then
+  overhead_json="$("$bench" \
+    --benchmark_filter='^BM_CampaignWeek$|^BM_CampaignWeekTelemetry$' \
+    --benchmark_format=json 2>/dev/null)"
+  python3 - "$overhead_json" <<'PY'
+import json, sys
+rows = {b["name"]: b["real_time"]
+        for b in json.loads(sys.argv[1])["benchmarks"]}
+base = rows["BM_CampaignWeek"]
+traced = rows["BM_CampaignWeekTelemetry"]
+ratio = traced / base
+print(f"BM_CampaignWeek {base/1e6:.2f} ms | telemetry {traced/1e6:.2f} ms "
+      f"| ratio {ratio:.3f}")
+if ratio > 1.5:
+    sys.exit(f"telemetry overhead ratio {ratio:.3f} exceeds 1.5x gate")
+PY
+else
+  echo "bench_kernels not built; skipping overhead smoke"
+fi
 
 if [[ "$fast" == 0 ]]; then
   echo "== tier-1 under ASan + UBSan =="

@@ -10,14 +10,25 @@
 //                                 closed-form Phase II projection (Table 3)
 //   dock [rec_atoms] [lig_atoms]  run the docking kernel on one couple
 //   calibrate                     replay the Grid'5000 calibration campaign
+//
+// campaign/phase2 observation flags:
+//   --report <file>       write the run-report JSON (paper series + telemetry)
+//   --trace <file>        write a Chrome trace_event JSON (Perfetto-loadable)
+//   --trace-jsonl <file>  write the trace as JSONL (grep/jq-friendly)
+//   --progress            print a live weekly progress ticker
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "analysis/projection.hpp"
 #include "core/campaign.hpp"
 #include "core/phase2.hpp"
+#include "core/run_report.hpp"
+#include "obs/trace.hpp"
 #include "dedicated/calibration.hpp"
 #include "docking/maxdo.hpp"
 #include "packaging/packager.hpp"
@@ -95,15 +106,106 @@ void print_campaign(const core::CampaignReport& r) {
               util::line_chart(r.hcmd_vftp_weekly, 70, 10).c_str());
 }
 
-int cmd_campaign(int denom, double hours) {
+/// Observation flags shared by `campaign` and `phase2`.
+struct RunOptions {
+  std::string report_path;
+  std::string trace_path;        ///< Chrome trace_event JSON
+  std::string trace_jsonl_path;  ///< one event per line
+  bool progress = false;
+};
+
+/// Splits `argv[start..)` into positional arguments and RunOptions flags.
+/// Returns false on a flag missing its value.
+bool parse_run_args(int argc, char** argv, int start, RunOptions& opts,
+                    std::vector<const char*>& positional) {
+  for (int i = start; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--progress") {
+      opts.progress = true;
+    } else if (a == "--report" || a == "--trace" || a == "--trace-jsonl") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hcmdgrid: %s needs a file argument\n",
+                     argv[i]);
+        return false;
+      }
+      const char* v = argv[++i];
+      if (a == "--report") opts.report_path = v;
+      else if (a == "--trace") opts.trace_path = v;
+      else opts.trace_jsonl_path = v;
+    } else if (a.size() >= 2 && a.substr(0, 2) == "--") {
+      // A typo like --reprot must not silently run a full campaign with
+      // the report dropped.
+      std::fprintf(stderr, "hcmdgrid: unknown flag %s\n", argv[i]);
+      return false;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  return true;
+}
+
+int write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "hcmdgrid: cannot open %s for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  const std::size_t n = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool ok = n == contents.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "hcmdgrid: short write to %s\n", path.c_str());
+  return ok ? 0 : 1;
+}
+
+/// Runs a campaign with the requested observation attached and writes the
+/// report/trace files.
+int run_observed(const core::CampaignConfig& config, const RunOptions& opts) {
+  std::optional<obs::Tracer> tracer;
+  if (!opts.trace_path.empty() || !opts.trace_jsonl_path.empty() ||
+      !opts.report_path.empty())
+    tracer.emplace();
+
+  core::CampaignInstruments instruments;
+  if (tracer) instruments.tracer = &*tracer;
+  if (opts.progress) {
+    instruments.on_week = [](const core::WeeklyProgress& p) {
+      std::printf("[week %5.1f] results %9llu | workunits %llu/%llu "
+                  "(%5.1f%%) | devices %zu | pending events %zu\n",
+                  p.week,
+                  static_cast<unsigned long long>(p.results_received),
+                  static_cast<unsigned long long>(p.workunits_completed),
+                  static_cast<unsigned long long>(p.workunits_total),
+                  p.workunits_total
+                      ? 100.0 * static_cast<double>(p.workunits_completed) /
+                            static_cast<double>(p.workunits_total)
+                      : 0.0,
+                  p.devices, p.pending_events);
+      std::fflush(stdout);
+    };
+  }
+
+  const core::CampaignReport report = core::run_campaign(config, instruments);
+  print_campaign(report);
+
+  int rc = 0;
+  if (!opts.report_path.empty())
+    rc |= write_file(opts.report_path,
+                     core::run_report_json(config, report, instruments.tracer));
+  if (!opts.trace_path.empty())
+    rc |= write_file(opts.trace_path, tracer->chrome_trace_json());
+  if (!opts.trace_jsonl_path.empty())
+    rc |= write_file(opts.trace_jsonl_path, tracer->jsonl());
+  return rc;
+}
+
+int cmd_campaign(int denom, double hours, const RunOptions& opts) {
   core::CampaignConfig config;
   config.scale = 1.0 / static_cast<double>(denom);
   config.packaging.target_hours = hours;
-  print_campaign(core::run_campaign(config));
-  return 0;
+  return run_observed(config, opts);
 }
 
-int cmd_phase2(double grid_vftp, int denom) {
+int cmd_phase2(double grid_vftp, int denom, const RunOptions& opts) {
   core::Phase2Scenario scenario;
   if (grid_vftp > 0.0) scenario.grid_vftp = grid_vftp;
   scenario.scale = 1.0 / static_cast<double>(denom);
@@ -111,8 +213,7 @@ int cmd_phase2(double grid_vftp, int denom) {
               "%.2fx phase I\n",
               scenario.grid_vftp, 100.0 * scenario.grid_share,
               scenario.work_ratio);
-  print_campaign(core::run_campaign(core::make_phase2_config(scenario)));
-  return 0;
+  return run_observed(core::make_phase2_config(scenario), opts);
 }
 
 int cmd_project(int argc, char** argv) {
@@ -180,11 +281,16 @@ int usage() {
                "usage: hcmdgrid <command> [args]\n"
                "  workload\n"
                "  package <hours>\n"
-               "  campaign [scale_denom=50] [target_hours=4]\n"
-               "  phase2 [grid_vftp=238920] [scale_denom=200]\n"
+               "  campaign [scale_denom=50] [target_hours=4] [obs flags]\n"
+               "  phase2 [grid_vftp=238920] [scale_denom=200] [obs flags]\n"
                "  project [proteins=4000] [cut=100] [weeks=40] [share=0.25]\n"
                "  dock [receptor_atoms=120] [ligand_atoms=80]\n"
-               "  calibrate\n");
+               "  calibrate\n"
+               "observation flags (campaign/phase2):\n"
+               "  --report <file>       run-report JSON (figures + telemetry)\n"
+               "  --trace <file>        Chrome trace_event JSON\n"
+               "  --trace-jsonl <file>  trace as JSON lines\n"
+               "  --progress            weekly progress ticker\n");
   return 2;
 }
 
@@ -197,12 +303,20 @@ int main(int argc, char** argv) {
     if (cmd == "workload") return cmd_workload();
     if (cmd == "package")
       return argc > 2 ? cmd_package(std::atof(argv[2])) : usage();
-    if (cmd == "campaign")
-      return cmd_campaign(argc > 2 ? std::atoi(argv[2]) : 50,
-                          argc > 3 ? std::atof(argv[3]) : 4.0);
-    if (cmd == "phase2")
-      return cmd_phase2(argc > 2 ? std::atof(argv[2]) : 0.0,
-                        argc > 3 ? std::atoi(argv[3]) : 200);
+    if (cmd == "campaign") {
+      RunOptions opts;
+      std::vector<const char*> pos;
+      if (!parse_run_args(argc, argv, 2, opts, pos)) return usage();
+      return cmd_campaign(!pos.empty() ? std::atoi(pos[0]) : 50,
+                          pos.size() > 1 ? std::atof(pos[1]) : 4.0, opts);
+    }
+    if (cmd == "phase2") {
+      RunOptions opts;
+      std::vector<const char*> pos;
+      if (!parse_run_args(argc, argv, 2, opts, pos)) return usage();
+      return cmd_phase2(!pos.empty() ? std::atof(pos[0]) : 0.0,
+                        pos.size() > 1 ? std::atoi(pos[1]) : 200, opts);
+    }
     if (cmd == "project") return cmd_project(argc - 2, argv + 2);
     if (cmd == "dock")
       return cmd_dock(argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 120,
