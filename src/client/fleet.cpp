@@ -38,6 +38,16 @@ void VolunteerFleet::reserve_devices(std::size_t n) {
   offline_at_.reserve(n);
   long_pause_due_.reserve(n);
   handles_.reserve(n);
+  if (faults_on()) {
+    uploads_.reserve(n);
+    backoff_attempts_.reserve(n);
+  }
+}
+
+void VolunteerFleet::set_fault_schedule(faults::FaultSchedule* faults) {
+  HCMD_ASSERT_MSG(specs_.empty(),
+                  "set_fault_schedule must precede add_device");
+  faults_ = faults;
 }
 
 void VolunteerFleet::reserve_runtimes(std::size_t n) {
@@ -57,6 +67,11 @@ std::uint32_t VolunteerFleet::add_device(const volunteer::DeviceSpec& spec,
   offline_at_.push_back(0.0);
   long_pause_due_.push_back(0);
   handles_.emplace_back();
+  if (faults_on()) {
+    uploads_.emplace_back();
+    backoff_attempts_.push_back(0);
+    if (faults_->is_straggler(d)) faults_->note_straggler(d);
+  }
   const double join = std::max(spec.join_time, sim_.now());
   schedule_at(join, d, Action::kJoin);
   return d;
@@ -71,6 +86,7 @@ void VolunteerFleet::dispatch(std::uint32_t d, Action action) {
     case Action::kPause: trigger_long_pause(d); break;
     case Action::kComplete: on_complete(d); break;
     case Action::kRetry: request_work(d); break;
+    case Action::kUploadRetry: retry_upload(d); break;
   }
 }
 
@@ -149,9 +165,34 @@ void VolunteerFleet::on_death(std::uint32_t d) {
   h.pause.cancel(sim_);
   h.online.cancel(sim_);
   h.retry.cancel(sim_);
+  if (faults_on()) {
+    // A buffered outbox dies with the device; the deadline recovers the WU.
+    h.upload.cancel(sim_);
+    PendingUpload& up = uploads_[d];
+    if (up.active) {
+      faults_->note_loss(sim_.now(), d, up.result_id);
+      up.active = false;
+    }
+  }
   // Any assigned workunit is silently dropped; the server learns about it
   // from the deadline.
   work_[d].active = false;
+}
+
+void VolunteerFleet::mass_churn(double death_fraction) {
+  if (!faults_on()) return;
+  std::uint32_t alive_before = 0;
+  std::uint32_t killed = 0;
+  for (std::uint32_t d = 0; d < static_cast<std::uint32_t>(phases_.size());
+       ++d) {
+    const Phase p = phases_[d];
+    if (p == Phase::kUnborn || p == Phase::kDead) continue;
+    ++alive_before;
+    if (!faults_->draw_churn_death(death_fraction)) continue;
+    on_death(d);
+    ++killed;
+  }
+  faults_->note_churn_spike(sim_.now(), killed, alive_before);
 }
 
 void VolunteerFleet::request_work(std::uint32_t d) {
@@ -161,6 +202,21 @@ void VolunteerFleet::request_work(std::uint32_t d) {
 
   const double share = schedule_.share_at(sim_.now());
   const bool want_hcmd = rngs_[d].bernoulli(share) && !project_.complete();
+
+  if (want_hcmd && faults_on() && faults_->server_down(sim_.now())) {
+    // Outage window: don't even reach the scheduler — back off with capped
+    // exponential retry (the device sits idle, like a real agent whose
+    // project is unreachable). The attempt counter resets on the first
+    // request that finds the server up again.
+    faults_->note_outage_denied(sim_.now(), d);
+    const std::uint32_t attempt = backoff_attempts_[d];
+    if (backoff_attempts_[d] < 0xFFFFu) ++backoff_attempts_[d];
+    faults_->note_backoff_retry(sim_.now(), d, attempt);
+    handles_[d].retry =
+        schedule_in(faults_->backoff_delay(attempt), d, Action::kRetry);
+    return;
+  }
+  if (want_hcmd && faults_on()) backoff_attempts_[d] = 0;
 
   if (want_hcmd) {
     auto assignment = project_.request_work(specs_[d].id, sim_.now());
@@ -210,7 +266,7 @@ void VolunteerFleet::begin_segment(std::uint32_t d) {
   HCMD_ASSERT(work.active);
   segment_start_[d] = sim_.now();
   const double remaining_ref = work.required_ref - work.progress_ref;
-  const double remaining_wall = remaining_ref / specs_[d].effective_speed();
+  const double remaining_wall = remaining_ref / device_speed(d);
   if (sim_.now() + remaining_wall < offline_at_[d]) {
     handles_[d].complete = schedule_in(remaining_wall, d, Action::kComplete);
   }
@@ -222,7 +278,7 @@ void VolunteerFleet::begin_segment(std::uint32_t d) {
   if (work.long_pause_at >= 0.0) {
     const double wall_to_pause =
         std::max(0.0, (work.long_pause_at - work.progress_ref) /
-                          specs_[d].effective_speed());
+                          device_speed(d));
     if (sim_.now() + wall_to_pause < offline_at_[d] &&
         wall_to_pause < remaining_wall) {
       handles_[d].pause = schedule_in(wall_to_pause, d, Action::kPause);
@@ -250,7 +306,7 @@ void VolunteerFleet::settle_segment(std::uint32_t d, bool interrupted) {
   HCMD_ASSERT(wall >= 0.0);
   if (wall > 0.0) {
     work.attached_wall += wall;
-    work.progress_ref += wall * specs_[d].effective_speed();
+    work.progress_ref += wall * device_speed(d);
 
     // Run-time accounting: the UD agent accrues wall-clock, the BOINC agent
     // accrues process CPU time.
@@ -287,30 +343,84 @@ void VolunteerFleet::on_complete(std::uint32_t d) {
         spec.reported_runtime(work.attached_wall, work.required_ref);
     report.reference_seconds = work.required_ref;
 
-    const std::uint64_t completed_before =
-        project_.counters().workunits_completed;
-    project_.report_result(work.result_id, sim_.now(), report);
-    // The result is in: retire its deadline tick eagerly instead of letting
-    // a dead timer ride the event heap for another week and a half. (A
-    // no-op for late uploads whose timer already fired.)
-    timers_.disarm(work.result_id);
-    hcmd_results_.add(sim_.now(), 1.0);
-    if (!report.computation_error) {
-      // Section 8's points scheme: runtime x agent benchmark score.
-      hcmd_credit_.add(sim_.now(),
-                       server::claimed_credit(spec, report.reported_runtime));
+    if (faults_on() && faults_->server_down(sim_.now())) {
+      // The scheduler is dark: keep the finished result in the agent's
+      // outbox and retry the upload with capped exponential backoff.
+      faults_->note_deferred_upload(sim_.now(), d);
+      PendingUpload& up = uploads_[d];
+      if (up.active) {
+        // The one-slot outbox already holds an undelivered result; the
+        // older one is lost (its deadline re-issues the workunit).
+        faults_->note_loss(sim_.now(), d, up.result_id);
+      }
+      up.report = report;
+      up.result_id = work.result_id;
+      up.attempts = 1;
+      up.active = true;
+      handles_[d].upload =
+          schedule_in(faults_->backoff_delay(0), d, Action::kUploadRetry);
+    } else {
+      deliver_result(d, work.result_id, report);
     }
-    if (project_.counters().workunits_completed > completed_before) {
-      hcmd_useful_results_.add(sim_.now(), 1.0);
-      hcmd_useful_ref_seconds_.add(sim_.now(), work.required_ref);
-    }
-    runtime_device_.push_back(d);
-    runtime_value_.push_back(report.reported_runtime);
   }
 
   work.active = false;
   phases_[d] = Phase::kIdle;
   request_work(d);
+}
+
+void VolunteerFleet::deliver_result(std::uint32_t d, std::uint64_t result_id,
+                                    server::ResultReport report) {
+  if (faults_on()) {
+    if (faults_->draw_loss()) {
+      // Dropped in flight: the server never sees it, and the deadline tick
+      // recovers the workunit via re-issue.
+      faults_->note_loss(sim_.now(), d, result_id);
+      return;
+    }
+    if (faults_->draw_corruption()) {
+      report.silent_error = true;
+      report.corruption_tag = faults_->draw_corruption_tag();
+      faults_->note_corrupt(sim_.now(), d, result_id);
+    }
+  }
+
+  const volunteer::DeviceSpec& spec = specs_[d];
+  const std::uint64_t completed_before =
+      project_.counters().workunits_completed;
+  project_.report_result(result_id, sim_.now(), report);
+  // The result is in: retire its deadline tick eagerly instead of letting
+  // a dead timer ride the event heap for another week and a half. (A
+  // no-op for late uploads whose timer already fired.)
+  timers_.disarm(result_id);
+  hcmd_results_.add(sim_.now(), 1.0);
+  if (!report.computation_error) {
+    // Section 8's points scheme: runtime x agent benchmark score.
+    hcmd_credit_.add(sim_.now(),
+                     server::claimed_credit(spec, report.reported_runtime));
+  }
+  if (project_.counters().workunits_completed > completed_before) {
+    hcmd_useful_results_.add(sim_.now(), 1.0);
+    hcmd_useful_ref_seconds_.add(sim_.now(), report.reference_seconds);
+  }
+  runtime_device_.push_back(d);
+  runtime_value_.push_back(report.reported_runtime);
+}
+
+void VolunteerFleet::retry_upload(std::uint32_t d) {
+  if (phases_[d] == Phase::kDead) return;
+  PendingUpload& up = uploads_[d];
+  if (!up.active) return;
+  if (faults_->server_down(sim_.now())) {
+    const std::uint32_t attempt = up.attempts;
+    if (up.attempts < 0xFFFFFFFFu) ++up.attempts;
+    faults_->note_backoff_retry(sim_.now(), d, attempt);
+    handles_[d].upload =
+        schedule_in(faults_->backoff_delay(attempt), d, Action::kUploadRetry);
+    return;
+  }
+  up.active = false;
+  deliver_result(d, up.result_id, up.report);
 }
 
 std::vector<double> VolunteerFleet::runtimes_by_device() const {

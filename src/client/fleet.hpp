@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "faults/schedule.hpp"
 #include "server/server.hpp"
 #include "server/share_schedule.hpp"
 #include "server/transitioner.hpp"
@@ -113,12 +114,23 @@ class VolunteerFleet {
   /// before the simulation runs; never read by any decision path.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches the campaign's fault schedule. Must be called before the
+  /// first add_device (per-device fault state is sized alongside the other
+  /// arrays). An inert schedule leaves every path bit-identical to a fleet
+  /// with no schedule at all.
+  void set_fault_schedule(faults::FaultSchedule* faults);
+
+  /// Correlated mass-churn spike: every alive device dies independently
+  /// with probability `death_fraction` (drawn from the fault stream).
+  /// No-op without an active fault schedule.
+  void mass_churn(double death_fraction);
+
  private:
   enum class Phase : std::uint8_t {
     kUnborn, kOffline, kIdle, kComputing, kDead
   };
   enum class Action : std::uint8_t {
-    kJoin, kOnline, kOffline, kDeath, kPause, kComplete, kRetry
+    kJoin, kOnline, kOffline, kDeath, kPause, kComplete, kRetry, kUploadRetry
   };
 
   struct WorkItem {
@@ -140,6 +152,17 @@ class VolunteerFleet {
     sim::CompactEventHandle pause;
     sim::CompactEventHandle online;
     sim::CompactEventHandle retry;
+    sim::CompactEventHandle upload;  ///< outage-deferred upload retry
+  };
+
+  /// A finished result buffered in the agent's outbox while the server is
+  /// down (one slot per device; a newer completion evicts — and loses — an
+  /// undelivered older one).
+  struct PendingUpload {
+    server::ResultReport report;
+    std::uint64_t result_id = 0;
+    std::uint32_t attempts = 0;
+    bool active = false;
   };
 
   /// The one callable type every fleet event schedules: 16 bytes, stored
@@ -169,6 +192,18 @@ class VolunteerFleet {
   void begin_segment(std::uint32_t d);
   void settle_segment(std::uint32_t d, bool interrupted);
   void on_complete(std::uint32_t d);
+  /// Hands a finished report to the server (fault loss/corruption draws
+  /// happen here); the faults-off path is the verbatim old on_complete tail.
+  void deliver_result(std::uint32_t d, std::uint64_t result_id,
+                      server::ResultReport report);
+  void retry_upload(std::uint32_t d);
+
+  bool faults_on() const { return faults_ != nullptr && faults_->active(); }
+  /// Effective speed including any straggler slowdown.
+  double device_speed(std::uint32_t d) const {
+    const double speed = specs_[d].effective_speed();
+    return faults_on() ? speed / faults_->slowdown(d) : speed;
+  }
 
   sim::Simulation& sim_;
   server::ProjectServer& project_;
@@ -177,6 +212,7 @@ class VolunteerFleet {
   sim::MetricSet& metrics_;
   AgentConfig config_;
   obs::Tracer* tracer_ = nullptr;
+  faults::FaultSchedule* faults_ = nullptr;
 
   // --- per-device state, dense, indexed by device ---
   std::vector<volunteer::DeviceSpec> specs_;
@@ -187,6 +223,9 @@ class VolunteerFleet {
   std::vector<double> offline_at_;
   std::vector<std::uint8_t> long_pause_due_;
   std::vector<Handles> handles_;
+  // --- fault-injection state; sized only when a schedule is active ---
+  std::vector<PendingUpload> uploads_;
+  std::vector<std::uint16_t> backoff_attempts_;  ///< work-request backoff
 
   // --- shared Fig. 8 collection, in completion order ---
   std::vector<std::uint32_t> runtime_device_;

@@ -36,6 +36,7 @@ void CampaignConfig::validate() const {
     if (util::days_between(start_date, s.date) < 0)
       throw ConfigError("CampaignConfig: snapshot before campaign start");
   }
+  faults.validate();
 }
 
 Workload build_workload(const CampaignConfig& config) {
@@ -159,6 +160,16 @@ CampaignReport run_campaign(const CampaignConfig& config,
   util::Rng fleet_rng = rng.fork("fleet");
   util::Rng agent_rng_root = rng.fork("agents");
 
+  // --- fault injection ---
+  // The schedule draws only from its own forked stream (fork() is const, so
+  // deriving it perturbs nothing), and an inert plan makes no draws and
+  // schedules no events: a faults-off run is bit-exact with a build that
+  // has no fault layer at all.
+  faults::FaultSchedule faults(config.faults, rng.fork("faults"));
+  faults.set_instruments(instruments.tracer, &metrics.registry());
+  project.set_fault_schedule(&faults);
+  timers.set_fault_schedule(&faults);
+
   // --- fleet construction ---
   const volunteer::WcgPopulationModel population(config.population);
   const double attached =
@@ -176,6 +187,7 @@ CampaignReport run_campaign(const CampaignConfig& config,
   client::VolunteerFleet fleet(simulation, project, timers, schedule,
                                metrics, config.agent);
   fleet.set_tracer(instruments.tracer);
+  fleet.set_fault_schedule(&faults);
   // Size the fleet's per-device arrays from the *analytic* expected arrival
   // count (initial cohort + growth + churn replacement means) — drawing the
   // estimate from the RNG would perturb the stream. The Fig. 8 buffer is
@@ -226,6 +238,28 @@ CampaignReport run_campaign(const CampaignConfig& config,
   // Warm-start the event arena near its expected high-water mark (each
   // live device keeps a few timers pending); growth past it is organic.
   simulation.reserve_events(fleet.size() * 2);
+
+  // --- fault plan events (only an *active* plan schedules anything) ---
+  if (faults.active()) {
+    for (const auto& spike : config.faults.churn_spikes) {
+      simulation.schedule_at(spike.time_seconds,
+                             [&fleet, f = spike.death_fraction] {
+                               fleet.mass_churn(f);
+                             });
+    }
+    // Outage boundary markers for the trace (pure observation).
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(config.faults.outages.size()); ++i) {
+      const faults::OutageWindow w = config.faults.outages[i];
+      simulation.schedule_at(w.begin_seconds, [&faults, i,
+                                               t = w.begin_seconds] {
+        faults.note_outage_boundary(t, /*begin=*/true, i);
+      });
+      simulation.schedule_at(w.end_seconds, [&faults, i, t = w.end_seconds] {
+        faults.note_outage_boundary(t, /*begin=*/false, i);
+      });
+    }
+  }
 
   // --- Fig. 7 snapshots ---
   std::vector<double> total_per_receptor =
@@ -342,6 +376,9 @@ CampaignReport run_campaign(const CampaignConfig& config,
   report.avg_wcg_vftp_whole = mean_of(report.wcg_vftp_weekly, 0, weeks);
 
   report.counters = project.counters();
+  report.faults.enabled = faults.active();
+  report.faults.plan = config.faults;
+  report.faults.counters = faults.counters();
   report.redundancy_factor = report.counters.redundancy_factor();
   report.useful_fraction = report.counters.useful_fraction();
   report.speeddown.reported_runtime_seconds =

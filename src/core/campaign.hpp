@@ -23,6 +23,7 @@
 #include "analysis/progression.hpp"
 #include "analysis/speeddown.hpp"
 #include "core/scenario.hpp"
+#include "faults/schedule.hpp"
 #include "obs/trace.hpp"
 #include "timing/mct_matrix.hpp"
 #include "util/stats.hpp"
@@ -118,6 +119,15 @@ struct CampaignReport {
   // --- telemetry snapshot (registry counters + histogram summaries) ---
   std::vector<TelemetryCounter> telemetry_counters;
   std::vector<TelemetryHistogram> telemetry_histograms;
+
+  /// Fault-injection summary: the plan that ran and what it injected.
+  /// `enabled` is false (and counters all zero) for a faults-off run.
+  struct FaultSummary {
+    bool enabled = false;
+    faults::FaultPlan plan;
+    faults::FaultCounters counters;
+  };
+  FaultSummary faults;
 
   /// Total received results rescaled to full size (paper: 5,418,010).
   double results_received_rescaled() const {

@@ -144,6 +144,47 @@ std::string run_report_json(const CampaignConfig& config,
   w.kv("reported_runtime_seconds", c.reported_runtime_seconds);
   w.end_object();
 
+  // --- fault injection: the plan that ran and what it injected ---
+  const auto& f = report.faults;
+  w.key("faults").begin_object();
+  w.kv("enabled", f.enabled);
+  w.key("plan").begin_object();
+  w.key("outage_windows_hours").begin_array();
+  for (const auto& o : f.plan.outages) {
+    w.begin_array();
+    w.value(o.begin_seconds / util::kSecondsPerHour);
+    w.value(o.end_seconds / util::kSecondsPerHour);
+    w.end_array();
+  }
+  w.end_array();
+  w.kv("corruption_rate", f.plan.corruption_rate);
+  w.kv("loss_rate", f.plan.loss_rate);
+  w.kv("straggler_fraction", f.plan.straggler_fraction);
+  w.kv("straggler_slowdown", f.plan.straggler_slowdown);
+  w.key("churn_spikes").begin_array();
+  for (const auto& s : f.plan.churn_spikes) {
+    w.begin_array();
+    w.value(s.time_seconds / util::kSecondsPerHour);
+    w.value(s.death_fraction);
+    w.end_array();
+  }
+  w.end_array();
+  w.kv("backoff_initial_seconds", f.plan.backoff_initial_seconds);
+  w.kv("backoff_cap_seconds", f.plan.backoff_cap_seconds);
+  w.end_object();
+  w.key("counters").begin_object();
+  w.kv("outage_denied_requests", f.counters.outage_denied_requests);
+  w.kv("deferred_uploads", f.counters.deferred_uploads);
+  w.kv("backoff_retries", f.counters.backoff_retries);
+  w.kv("deadline_deferrals", f.counters.deadline_deferrals);
+  w.kv("corrupted_results", f.counters.corrupted_results);
+  w.kv("lost_results", f.counters.lost_results);
+  w.kv("churn_spikes", f.counters.churn_spikes);
+  w.kv("churn_killed", f.counters.churn_killed);
+  w.kv("straggler_devices", f.counters.straggler_devices);
+  w.end_object();
+  w.end_object();
+
   // --- telemetry: registry counters + histogram summaries ---
   w.key("telemetry").begin_object();
   w.key("counters").begin_array();

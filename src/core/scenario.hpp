@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "client/fleet.hpp"
+#include "faults/plan.hpp"
 #include "packaging/packager.hpp"
 #include "proteins/generator.hpp"
 #include "server/server.hpp"
@@ -56,6 +57,10 @@ struct CampaignConfig {
   server::ShareScheduleParams share;
   server::ServerConfig server;
   client::AgentConfig agent;
+
+  /// Fault-injection plan (default: inert — no outages, no corruption, no
+  /// churn spikes; the run is bit-exact with a faults-free build).
+  faults::FaultPlan faults;
 
   util::CivilDate start_date = util::kHcmdStart;
   /// Hard stop for the simulation (the real campaign took 26 weeks; the

@@ -1,0 +1,211 @@
+#include "faults/plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace hcmd::faults {
+namespace {
+
+constexpr double kHour = 3600.0;
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+double parse_number(std::string_view token, int line_no) {
+  try {
+    std::size_t used = 0;
+    const std::string s(token);
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("fault plan line " + std::to_string(line_no) +
+                     ": expected a number, got '" + std::string(token) + "'");
+  }
+}
+
+/// Splits a value on whitespace into numeric fields.
+std::vector<double> parse_fields(std::string_view value, int line_no) {
+  std::vector<double> out;
+  std::istringstream is{std::string(value)};
+  std::string token;
+  while (is >> token) out.push_back(parse_number(token, line_no));
+  return out;
+}
+
+void expect_fields(const std::vector<double>& fields, std::size_t n,
+                   std::string_view key, int line_no) {
+  if (fields.size() != n) {
+    throw ParseError("fault plan line " + std::to_string(line_no) + ": '" +
+                     std::string(key) + "' takes " + std::to_string(n) +
+                     " value(s), got " + std::to_string(fields.size()));
+  }
+}
+
+struct Preset {
+  const char* name;
+  const char* text;
+};
+
+// Shipped presets; examples/faults/<name>.faults carries the same text so
+// the file format and the compiled-in plans cannot drift silently (a unit
+// test diffs them).
+constexpr Preset kPresets[] = {
+    {"outage-weekend",
+     "# A weekend-long server outage: the scheduler goes dark Friday\n"
+     "# evening of the first week and returns Monday morning. Clients back\n"
+     "# off with capped exponential retry; deadline processing resumes when\n"
+     "# the server does.\n"
+     "# outage = <begin_hours> <end_hours>\n"
+     "outage = 114 182\n"},
+    {"saboteur-1pct",
+     "# A hostile volunteer population: 1% of returned results are\n"
+     "# corrupted in flight (quorum validation must catch the mismatch and\n"
+     "# issue extra copies), 0.2% are silently lost (deadline timeout ->\n"
+     "# reissue), and 5% of devices crunch 4x slower than their spec.\n"
+     "corruption_rate = 0.01\n"
+     "loss_rate = 0.002\n"
+     "straggler_fraction = 0.05\n"
+     "straggler_slowdown = 4\n"},
+};
+
+const Preset* find_preset(std::string_view name) {
+  for (const Preset& p : kPresets)
+    if (name == p.name) return &p;
+  return nullptr;
+}
+
+}  // namespace
+
+bool FaultPlan::enabled() const {
+  return !outages.empty() || corruption_rate > 0.0 || loss_rate > 0.0 ||
+         (straggler_fraction > 0.0 && straggler_slowdown != 1.0) ||
+         !churn_spikes.empty();
+}
+
+void FaultPlan::validate() const {
+  const auto check_rate = [](double v, const char* what) {
+    if (!(v >= 0.0 && v <= 1.0))
+      throw ConfigError(std::string("fault plan: ") + what +
+                        " must be in [0, 1]");
+  };
+  check_rate(corruption_rate, "corruption_rate");
+  check_rate(loss_rate, "loss_rate");
+  check_rate(straggler_fraction, "straggler_fraction");
+  if (!(straggler_slowdown >= 1.0))
+    throw ConfigError("fault plan: straggler_slowdown must be >= 1");
+  for (const OutageWindow& w : outages) {
+    if (!(w.begin_seconds >= 0.0) || !(w.end_seconds > w.begin_seconds))
+      throw ConfigError("fault plan: outage windows need 0 <= begin < end");
+  }
+  for (const ChurnSpike& s : churn_spikes) {
+    if (!(s.time_seconds >= 0.0))
+      throw ConfigError("fault plan: churn_spike time must be >= 0");
+    check_rate(s.death_fraction, "churn_spike fraction");
+  }
+  if (!(backoff_initial_seconds > 0.0) ||
+      !(backoff_cap_seconds >= backoff_initial_seconds))
+    throw ConfigError(
+        "fault plan: backoff needs 0 < initial <= cap");
+}
+
+FaultPlan parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv = line;
+    if (const auto hash = sv.find('#'); hash != std::string_view::npos)
+      sv = sv.substr(0, hash);
+    sv = trim(sv);
+    if (sv.empty()) continue;
+    const auto eq = sv.find('=');
+    if (eq == std::string_view::npos)
+      throw ParseError("fault plan line " + std::to_string(line_no) +
+                       ": expected 'key = value', got '" + std::string(sv) +
+                       "'");
+    const std::string_view key = trim(sv.substr(0, eq));
+    const std::vector<double> fields = parse_fields(sv.substr(eq + 1), line_no);
+    if (key == "outage") {
+      expect_fields(fields, 2, key, line_no);
+      plan.outages.push_back({fields[0] * kHour, fields[1] * kHour});
+    } else if (key == "churn_spike") {
+      expect_fields(fields, 2, key, line_no);
+      plan.churn_spikes.push_back({fields[0] * kHour, fields[1]});
+    } else if (key == "corruption_rate") {
+      expect_fields(fields, 1, key, line_no);
+      plan.corruption_rate = fields[0];
+    } else if (key == "loss_rate") {
+      expect_fields(fields, 1, key, line_no);
+      plan.loss_rate = fields[0];
+    } else if (key == "straggler_fraction") {
+      expect_fields(fields, 1, key, line_no);
+      plan.straggler_fraction = fields[0];
+    } else if (key == "straggler_slowdown") {
+      expect_fields(fields, 1, key, line_no);
+      plan.straggler_slowdown = fields[0];
+    } else if (key == "backoff_initial_minutes") {
+      expect_fields(fields, 1, key, line_no);
+      plan.backoff_initial_seconds = fields[0] * 60.0;
+    } else if (key == "backoff_cap_hours") {
+      expect_fields(fields, 1, key, line_no);
+      plan.backoff_cap_seconds = fields[0] * kHour;
+    } else {
+      throw ParseError("fault plan line " + std::to_string(line_no) +
+                       ": unknown key '" + std::string(key) + "'");
+    }
+  }
+  std::sort(plan.outages.begin(), plan.outages.end(),
+            [](const OutageWindow& a, const OutageWindow& b) {
+              return a.begin_seconds < b.begin_seconds;
+            });
+  plan.validate();
+  return plan;
+}
+
+FaultPlan load_fault_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open fault plan file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_fault_plan(text.str());
+}
+
+const std::vector<std::string>& fault_preset_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const Preset& p : kPresets) out.emplace_back(p.name);
+    std::sort(out.begin(), out.end());
+    return out;
+  }();
+  return names;
+}
+
+bool is_fault_preset(std::string_view name) {
+  return find_preset(name) != nullptr;
+}
+
+FaultPlan fault_preset(std::string_view name) {
+  return parse_fault_plan(fault_preset_text(name));
+}
+
+std::string_view fault_preset_text(std::string_view name) {
+  const Preset* p = find_preset(name);
+  if (p == nullptr)
+    throw ConfigError("unknown fault preset: " + std::string(name));
+  return p->text;
+}
+
+}  // namespace hcmd::faults

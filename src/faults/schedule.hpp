@@ -1,0 +1,129 @@
+// Runtime fault injector driven by a FaultPlan.
+//
+// A `FaultSchedule` owns the dedicated fault RNG stream (forked off the
+// scenario seed under the "faults" tag) and answers the questions the
+// server, transitioner and fleet ask mid-run: is the server down right now,
+// should this returned result be corrupted or lost, how much slower is this
+// device, how long should a backed-off client wait. It also centralises the
+// observability: every injected fault bumps a local counter, a `fault.*`
+// registry metric and a `TraceCat::kFault` trace event.
+//
+// Determinism contract:
+//  - An inert schedule (empty plan) makes no RNG draws, schedules no events
+//    and emits nothing — wiring it through a campaign leaves the run
+//    bit-exact with a build that has no fault layer at all.
+//  - An active schedule draws only from its own stream, so two runs of the
+//    same scenario + plan + seed replay bit-identically, and changing the
+//    plan never perturbs the device/agent/server streams.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/plan.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace hcmd::faults {
+
+/// Totals for the run report's `faults` section.
+struct FaultCounters {
+  std::uint64_t outage_denied_requests = 0;  ///< work requests refused
+  std::uint64_t deferred_uploads = 0;        ///< returns buffered client-side
+  std::uint64_t backoff_retries = 0;         ///< retry events while down
+  std::uint64_t deadline_deferrals = 0;      ///< transitioner ticks postponed
+  std::uint64_t corrupted_results = 0;
+  std::uint64_t lost_results = 0;
+  std::uint64_t churn_spikes = 0;
+  std::uint64_t churn_killed = 0;
+  std::uint64_t straggler_devices = 0;
+};
+
+class FaultSchedule {
+ public:
+  /// Inert schedule: `active()` is false and every query is a no-op.
+  FaultSchedule() = default;
+
+  /// Validates the plan; `rng` must be a stream dedicated to fault draws
+  /// (campaigns pass `root_rng.fork("faults")`).
+  FaultSchedule(FaultPlan plan, util::Rng rng);
+
+  bool active() const { return active_; }
+  const FaultPlan& plan() const { return plan_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  /// Optional instrumentation; either pointer may be null.
+  void set_instruments(obs::Tracer* tracer, obs::Registry* registry);
+
+  // --- outage windows -----------------------------------------------------
+  /// True when `now` falls inside an outage window [begin, end).
+  bool server_down(double now) const;
+  /// End of the window containing `now`; `now` itself when the server is up.
+  double outage_end_after(double now) const;
+  /// Capped exponential backoff with deterministic jitter in [0.75, 1.25).
+  /// `attempt` counts prior failures (0 for the first retry).
+  double backoff_delay(std::uint32_t attempt);
+
+  // --- per-result draws (dedicated stream) --------------------------------
+  bool draw_corruption() { return rng_.bernoulli(plan_.corruption_rate); }
+  bool draw_loss() { return rng_.bernoulli(plan_.loss_rate); }
+  /// Unique nonzero tag for a corrupted payload. Two independently
+  /// corrupted quorum partners get different tags, so they can never
+  /// validate against each other.
+  std::uint64_t draw_corruption_tag();
+  bool draw_churn_death(double fraction) { return rng_.bernoulli(fraction); }
+
+  // --- straggler classification (event-stream independent) ----------------
+  /// Deterministic per-device membership: hash(seed, device) < fraction.
+  bool is_straggler(std::uint32_t device_id) const;
+  /// 1.0 for normal devices, plan.straggler_slowdown for stragglers.
+  double slowdown(std::uint32_t device_id) const {
+    return is_straggler(device_id) ? plan_.straggler_slowdown : 1.0;
+  }
+
+  // --- fault notifications (counter + metric + trace) ---------------------
+  void note_outage_denied(double now, std::uint32_t device_id);
+  void note_deferred_upload(double now, std::uint32_t device_id);
+  void note_backoff_retry(double now, std::uint32_t device_id,
+                          std::uint32_t attempt);
+  void note_deadline_deferred(double now, std::uint64_t result_id);
+  void note_corrupt(double now, std::uint32_t device_id,
+                    std::uint64_t result_id);
+  void note_loss(double now, std::uint32_t device_id, std::uint64_t result_id);
+  void note_churn_spike(double now, std::uint32_t killed,
+                        std::uint32_t alive_before);
+  void note_straggler(std::uint32_t device_id);
+  void note_outage_boundary(double now, bool begin, std::uint32_t window);
+
+ private:
+  void trace(obs::TraceEv ev, double t, std::uint32_t id,
+             std::uint32_t arg = 0, std::uint16_t extra = 0) {
+    if (tracer_ != nullptr)
+      tracer_->record(obs::TraceCat::kFault, ev, t, id, arg, extra);
+  }
+  void metric(obs::MetricId id, std::uint64_t n = 1) {
+    if (registry_ != nullptr) registry_->add(id, n);
+  }
+
+  FaultPlan plan_;
+  util::Rng rng_;
+  bool active_ = false;
+  std::uint64_t straggler_salt_ = 0;
+  std::uint64_t next_corruption_tag_ = 0;
+  FaultCounters counters_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_ = nullptr;
+  struct MetricIds {
+    obs::MetricId outage_denied{};
+    obs::MetricId deferred_uploads{};
+    obs::MetricId backoff_retries{};
+    obs::MetricId deadline_deferrals{};
+    obs::MetricId corrupted{};
+    obs::MetricId lost{};
+    obs::MetricId churn_killed{};
+    obs::MetricId stragglers{};
+  } ids_;
+};
+
+}  // namespace hcmd::faults

@@ -13,6 +13,7 @@ const char* trace_cat_name(TraceCat cat) {
     case TraceCat::kDevice: return "device";
     case TraceCat::kChurn: return "churn";
     case TraceCat::kServer: return "server";
+    case TraceCat::kFault: return "fault";
     case TraceCat::kCount: break;
   }
   return "?";
@@ -32,6 +33,16 @@ const char* trace_ev_name(TraceEv ev) {
     case TraceEv::kDevOffline: return "dev_offline";
     case TraceEv::kSrvTransitionerPass: return "transitioner_pass";
     case TraceEv::kSrvEndgameRebuild: return "endgame_rebuild";
+    case TraceEv::kFltOutageBegin: return "fault_outage_begin";
+    case TraceEv::kFltOutageEnd: return "fault_outage_end";
+    case TraceEv::kFltOutageDenied: return "fault_outage_denied";
+    case TraceEv::kFltUploadDeferred: return "fault_upload_deferred";
+    case TraceEv::kFltBackoffRetry: return "fault_backoff_retry";
+    case TraceEv::kFltDeadlineDeferred: return "fault_deadline_deferred";
+    case TraceEv::kFltCorrupt: return "fault_corrupt";
+    case TraceEv::kFltLoss: return "fault_loss";
+    case TraceEv::kFltChurnSpike: return "fault_churn_spike";
+    case TraceEv::kFltStraggler: return "fault_straggler";
   }
   return "?";
 }

@@ -31,6 +31,7 @@ enum class TraceCat : std::uint8_t {
   kDevice,        ///< rare device events (join, death, long pause)
   kChurn,         ///< per-attach-cycle device events (online/offline)
   kServer,        ///< transitioner passes, end-game rebuilds
+  kFault,         ///< injected faults (outages, corruption, loss, churn)
   kCount,
 };
 inline constexpr std::size_t kTraceCatCount =
@@ -49,6 +50,16 @@ enum class TraceEv : std::uint8_t {
   kDevOffline,
   kSrvTransitionerPass,
   kSrvEndgameRebuild,
+  kFltOutageBegin,       ///< id = outage window index
+  kFltOutageEnd,         ///< id = outage window index
+  kFltOutageDenied,      ///< id = device refused work
+  kFltUploadDeferred,    ///< id = device buffering its return
+  kFltBackoffRetry,      ///< id = device, extra = attempt number
+  kFltDeadlineDeferred,  ///< id = result whose timeout waits for the server
+  kFltCorrupt,           ///< id = result, arg = device
+  kFltLoss,              ///< id = result, arg = device
+  kFltChurnSpike,        ///< id = devices killed, arg = alive before
+  kFltStraggler,         ///< id = device classified as straggler
 };
 
 const char* trace_cat_name(TraceCat cat);
@@ -74,7 +85,7 @@ class Tracer {
     /// Per-category sampling: record every Nth event (0 disables the
     /// category entirely). Defaults keep every lifecycle event, thin the
     /// per-attach churn, and sample transitioner passes.
-    std::array<std::uint32_t, kTraceCatCount> sample_every{1, 1, 64, 16};
+    std::array<std::uint32_t, kTraceCatCount> sample_every{1, 1, 64, 16, 1};
   };
 
   Tracer() : Tracer(Options{}) {}

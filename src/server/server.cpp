@@ -61,6 +61,12 @@ std::uint64_t ProjectServer::issue(std::uint32_t wu_index,
 std::optional<Assignment> ProjectServer::request_work(std::uint32_t device_id,
                                                       double now) {
   last_now_ = now;
+  if (faults_ != nullptr && faults_->active() && faults_->server_down(now)) {
+    // Outage window: the scheduler is dark and issues nothing. The client
+    // side backs off and retries (see VolunteerFleet).
+    faults_->note_outage_denied(now, device_id);
+    return std::nullopt;
+  }
   if (registry_)
     registry_->observe(hist_reissue_depth_,
                        static_cast<double>(reissue_queue_.size()));
@@ -231,6 +237,7 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
   inst.received_time = now;
   inst.reported_runtime = report.reported_runtime;
   inst.silent_error = report.silent_error;
+  inst.corruption_tag = report.corruption_tag;
   if (registry_) registry_->observe(hist_turnaround_, now - inst.sent_time);
   // Trace the return once the instance's final state is known (the paths
   // below all end by returning inst.state).
@@ -294,7 +301,12 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
   ResultInstance& partner = results_[rec.pending_result];
   rec.pending_result = kNoPending;
   --counters_.results_pending;
-  if (partner.silent_error == inst.silent_error) {
+  // Results agree when both are clean, or both are corrupt *the same way*
+  // (same payload tag — the device model's deterministic per-workunit
+  // corruption uses tag 0, so two such copies collide; fault-injected
+  // corruption stamps unique tags and never matches).
+  if (partner.silent_error == inst.silent_error &&
+      partner.corruption_tag == inst.corruption_tag) {
     partner.state = ResultState::kValid;
     ++counters_.results_quorum_extra;
     inst.state = ResultState::kValid;

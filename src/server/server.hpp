@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "faults/schedule.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "packaging/workunit.hpp"
@@ -94,6 +95,12 @@ struct ResultReport {
   bool silent_error = false;
   double reported_runtime = 0.0;   ///< agent-accounted run time (seconds)
   double reference_seconds = 0.0;  ///< true reference CPU the WU required
+  /// Which wrong payload a silently-corrupt result carries (0 = the
+  /// device-model corruption, which is deterministic per workunit, so two
+  /// tag-0 corrupt copies agree). Fault injection stamps a unique nonzero
+  /// tag per corrupted return, so two independently corrupted quorum
+  /// partners can never validate against each other.
+  std::uint64_t corruption_tag = 0;
 };
 
 struct ResultInstance {
@@ -104,6 +111,7 @@ struct ResultInstance {
   double deadline = 0.0;
   double received_time = -1.0;  ///< < 0 while in progress
   double reported_runtime = 0.0;
+  std::uint64_t corruption_tag = 0;  ///< see ResultReport::corruption_tag
   bool silent_error = false;
   ResultState state = ResultState::kInProgress;
 };
@@ -188,6 +196,11 @@ class ProjectServer {
   /// consulted by any decision path — instrumented and bare runs replay
   /// bit-identically.
   void set_instruments(obs::Tracer* tracer, obs::Registry* registry);
+
+  /// Attaches the campaign's fault schedule (optional, may be nullptr).
+  /// While an outage window is open the scheduler refuses to issue work
+  /// (`request_work` returns nullopt). An inert schedule changes nothing.
+  void set_fault_schedule(faults::FaultSchedule* faults) { faults_ = faults; }
 
   /// True when every catalogue workunit is assimilated.
   bool complete() const {
@@ -308,6 +321,9 @@ class ProjectServer {
   bool endgame_dirty_ = true;
   std::size_t next_unsent_ = 0;
   ServerCounters counters_;
+
+  /// Optional fault injector; consulted only when active.
+  faults::FaultSchedule* faults_ = nullptr;
 
   // --- telemetry sinks (optional; decisions never read them) ---
   obs::Tracer* tracer_ = nullptr;

@@ -6,8 +6,19 @@ void TransitionerTimers::arm(std::uint64_t result_id, double deadline) {
   if (result_id >= timers_.size()) timers_.resize(result_id + 1);
   ProjectServer& server = server_;
   obs::Tracer* tracer = tracer_;
+  faults::FaultSchedule* faults = faults_;
   timers_[result_id] = sim_.schedule_at(
-      deadline, [&server, tracer, result_id, deadline] {
+      deadline, [this, &server, tracer, faults, result_id, deadline] {
+        if (faults != nullptr && faults->active() &&
+            faults->server_down(deadline)) {
+          // The server is dark: no transitioner pass runs. Re-arm the tick
+          // for the moment the outage lifts; the re-armed pass sees a time
+          // past the original deadline, so the timeout still registers then
+          // — unless the result was reported first, which disarms us.
+          faults->note_deadline_deferred(deadline, result_id);
+          arm(result_id, faults->outage_end_after(deadline));
+          return;
+        }
         const bool timed_out = server.handle_deadline(result_id, deadline);
         if (tracer)
           tracer->record(obs::TraceCat::kServer,

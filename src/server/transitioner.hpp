@@ -45,10 +45,17 @@ class TransitionerTimers {
   /// tick). Captured by value at arm() time; call before the first arm.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Optional fault schedule: a deadline tick that lands inside a server
+  /// outage window is deferred to the window's end (a dark server runs no
+  /// transitioner passes; timeouts are processed when it comes back).
+  /// Call before the first arm.
+  void set_fault_schedule(faults::FaultSchedule* faults) { faults_ = faults; }
+
  private:
   sim::Simulation& sim_;
   ProjectServer& server_;
   obs::Tracer* tracer_ = nullptr;
+  faults::FaultSchedule* faults_ = nullptr;
   std::vector<sim::EventHandle> timers_;  ///< indexed by result_id
 };
 

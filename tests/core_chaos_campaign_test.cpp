@@ -1,0 +1,88 @@
+// Chaos campaign: a scale-0.01 Phase I run under a compound fault plan —
+// a weekend server outage, 1% result corruption, background loss,
+// stragglers and a 10% churn spike — must still assimilate every workunit
+// with zero corrupt results accepted, and must replay bit-identically.
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/duration.hpp"
+
+namespace hcmd::core {
+namespace {
+
+using util::kSecondsPerHour;
+using util::kSecondsPerWeek;
+
+faults::FaultPlan chaos_plan() {
+  faults::FaultPlan plan;
+  // The scheduler goes dark from Friday evening to Monday morning of the
+  // first week (the outage-weekend preset's window).
+  plan.outages.push_back({114.0 * kSecondsPerHour, 182.0 * kSecondsPerHour});
+  plan.corruption_rate = 0.01;
+  plan.loss_rate = 0.002;
+  plan.straggler_fraction = 0.05;
+  plan.straggler_slowdown = 4.0;
+  // A tenth of the fleet walks away at the start of week 4.
+  plan.churn_spikes.push_back({4.0 * kSecondsPerWeek, 0.1});
+  return plan;
+}
+
+CampaignConfig chaos_config() {
+  CampaignConfig config;
+  config.scale = 0.01;
+  config.faults = chaos_plan();
+  // Quorum-2 validation for the whole run: with 1% corruption the range
+  // check alone would let corrupt singletons through, and the acceptance
+  // bar is zero corrupt assimilations.
+  config.server.validation.quorum2_until = 100.0 * kSecondsPerWeek;
+  // Full quorum-2 roughly doubles the work; give the run headroom over the
+  // ~26-week faults-free baseline.
+  config.max_weeks = 80.0;
+  return config;
+}
+
+TEST(ChaosCampaign, CompletesCleanlyUnderCompoundFaults) {
+  const CampaignReport report = run_campaign(chaos_config());
+
+  // Everything assimilated despite outage + corruption + loss + churn.
+  EXPECT_TRUE(report.completed);
+  EXPECT_LT(report.completion_weeks, 80.0);
+  EXPECT_EQ(report.counters.corrupt_assimilated, 0u);
+
+  // The plan actually fired, and the report says so.
+  EXPECT_TRUE(report.faults.enabled);
+  const auto& f = report.faults.counters;
+  EXPECT_GT(f.outage_denied_requests, 0u);
+  EXPECT_GT(f.deferred_uploads, 0u);
+  EXPECT_GT(f.backoff_retries, 0u);
+  EXPECT_GT(f.corrupted_results, 0u);
+  EXPECT_GT(f.lost_results, 0u);
+  EXPECT_GT(f.straggler_devices, 0u);
+  EXPECT_EQ(f.churn_spikes, 1u);
+  EXPECT_GT(f.churn_killed, 0u);
+
+  // Corruption was caught the quorum way: mismatches, not assimilations.
+  EXPECT_GT(report.counters.quorum_mismatches, 0u);
+  EXPECT_EQ(report.faults.plan.outages.size(), 1u);
+}
+
+TEST(ChaosCampaign, ReplaysBitIdentically) {
+  const CampaignReport a = run_campaign(chaos_config());
+  const CampaignReport b = run_campaign(chaos_config());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.completion_weeks, b.completion_weeks);  // bitwise, no NEAR
+  EXPECT_EQ(a.counters.results_sent, b.counters.results_sent);
+  EXPECT_EQ(a.counters.results_received, b.counters.results_received);
+  EXPECT_EQ(a.counters.results_valid, b.counters.results_valid);
+  EXPECT_EQ(a.counters.results_timed_out, b.counters.results_timed_out);
+  EXPECT_EQ(a.faults.counters.corrupted_results,
+            b.faults.counters.corrupted_results);
+  EXPECT_EQ(a.faults.counters.lost_results, b.faults.counters.lost_results);
+  EXPECT_EQ(a.faults.counters.churn_killed, b.faults.counters.churn_killed);
+  EXPECT_EQ(a.faults.counters.backoff_retries,
+            b.faults.counters.backoff_retries);
+}
+
+}  // namespace
+}  // namespace hcmd::core

@@ -1,0 +1,243 @@
+// End-to-end fault injection through the server/transitioner/fleet stack:
+// outage windows block issue and delivery, corruption is caught by quorum
+// validation, losses are recovered by deadline reissue, stragglers slow
+// down, churn spikes kill, and an inert schedule changes nothing at all.
+#include "faults/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "client/fleet.hpp"
+#include "util/duration.hpp"
+
+namespace hcmd::client {
+namespace {
+
+using util::kSecondsPerDay;
+using util::kSecondsPerHour;
+using util::kSecondsPerWeek;
+
+std::vector<packaging::Workunit> make_catalog(std::size_t n,
+                                              double ref_seconds) {
+  std::vector<packaging::Workunit> catalog;
+  for (std::size_t i = 0; i < n; ++i) {
+    packaging::Workunit wu;
+    wu.id = i;
+    wu.receptor = 0;
+    wu.ligand = 0;
+    wu.isep_begin = 0;
+    wu.isep_end = 10;
+    wu.reference_seconds = ref_seconds;
+    catalog.push_back(wu);
+  }
+  return catalog;
+}
+
+/// Like client_fleet_test's harness, plus a FaultSchedule wired through the
+/// whole stack (server issue path, transitioner deadlines, fleet).
+struct Harness {
+  sim::Simulation simulation;
+  sim::MetricSet metrics{kSecondsPerWeek};
+  faults::FaultSchedule faults;
+  server::ShareSchedule schedule;
+  server::ProjectServer project;
+  server::TransitionerTimers timers{simulation, project};
+  VolunteerFleet fleet;
+
+  explicit Harness(const faults::FaultPlan& plan, std::size_t workunits,
+                   double ref_seconds = 2.0 * 3600.0,
+                   server::ServerConfig server_cfg = plain_server_config())
+      : faults(plan, util::Rng(2007).fork("faults")),
+        schedule(always_hcmd()),
+        project(make_catalog(workunits, ref_seconds), server_cfg),
+        fleet(simulation, project, timers, schedule, metrics, AgentConfig{}) {
+    project.set_fault_schedule(&faults);
+    timers.set_fault_schedule(&faults);
+    fleet.set_fault_schedule(&faults);
+  }
+
+  /// Faults-free control harness (no schedule attached at all).
+  explicit Harness(std::size_t workunits)
+      : schedule(always_hcmd()),
+        project(make_catalog(workunits, 2.0 * 3600.0), plain_server_config()),
+        fleet(simulation, project, timers, schedule, metrics, AgentConfig{}) {}
+
+  static server::ServerConfig plain_server_config() {
+    server::ServerConfig cfg;
+    cfg.validation.quorum2_until = 0.0;
+    cfg.validation.spot_check_fraction = 0.0;
+    cfg.endgame_max_outstanding = 0;
+    return cfg;
+  }
+
+  static server::ShareScheduleParams always_hcmd() {
+    server::ShareScheduleParams p;
+    p.control_share = 1.0;
+    p.full_share = 1.0;
+    return p;
+  }
+
+  static volunteer::DeviceSpec reliable_device(std::uint32_t id) {
+    volunteer::DeviceSpec d;
+    d.id = id;
+    d.join_time = 0.0;
+    d.speed_factor = 1.0;
+    d.throttle = 1.0;
+    d.contention = 1.0;
+    d.screensaver_overhead = 1.0;
+    d.on_mean_seconds = 1e9;
+    d.off_mean_seconds = 60.0;
+    d.lifetime_seconds = 1e12;
+    d.error_rate = 0.0;
+    d.abandon_rate = 0.0;
+    return d;
+  }
+
+  std::uint32_t add(const volunteer::DeviceSpec& spec) {
+    return fleet.add_device(spec, util::Rng(1000 + spec.id));
+  }
+};
+
+// An inert plan wired through everything must reproduce the faults-free run
+// event for event: same issue times, same receipt times, same counters.
+TEST(FaultsInjection, InertScheduleIsBitExact) {
+  faults::FaultPlan inert;
+  Harness with(inert, 6);
+  Harness without(6);
+  ASSERT_FALSE(with.faults.active());
+  for (auto* h : {&with, &without}) {
+    h->add(Harness::reliable_device(0));
+    h->add(Harness::reliable_device(1));
+    h->simulation.run_until(4.0 * kSecondsPerWeek);
+  }
+  const auto& a = with.project.counters();
+  const auto& b = without.project.counters();
+  EXPECT_EQ(a.results_sent, b.results_sent);
+  EXPECT_EQ(a.results_received, b.results_received);
+  EXPECT_EQ(a.results_valid, b.results_valid);
+  ASSERT_EQ(a.results_sent, b.results_sent);
+  for (std::uint64_t i = 0; i < a.results_sent; ++i) {
+    EXPECT_DOUBLE_EQ(with.project.result(i).sent_time,
+                     without.project.result(i).sent_time);
+    EXPECT_DOUBLE_EQ(with.project.result(i).received_time,
+                     without.project.result(i).received_time);
+  }
+  EXPECT_EQ(with.faults.counters().outage_denied_requests, 0u);
+  EXPECT_EQ(with.faults.counters().lost_results, 0u);
+}
+
+TEST(FaultsInjection, OutageBlocksIssueAndDefersDelivery) {
+  faults::FaultPlan plan;
+  const double begin = 1.0 * kSecondsPerHour;
+  const double end = 5.0 * kSecondsPerHour;
+  plan.outages.push_back({begin, end});
+  plan.backoff_initial_seconds = 5.0 * 60.0;
+  plan.backoff_cap_seconds = 30.0 * 60.0;
+  Harness h(plan, 8);
+  h.add(Harness::reliable_device(0));
+  h.simulation.run_until(2.0 * kSecondsPerWeek);
+
+  // Full recovery: the catalogue still drains after the window.
+  EXPECT_TRUE(h.project.complete());
+  const auto& c = h.project.counters();
+  EXPECT_EQ(c.results_valid, 8u);
+
+  // Zero issues inside the window, and nothing received inside it either
+  // (the 2 h workunit finishing mid-outage sits in the client outbox).
+  for (std::uint64_t i = 0; i < c.results_sent; ++i) {
+    const auto& r = h.project.result(i);
+    EXPECT_FALSE(r.sent_time >= begin && r.sent_time < end)
+        << "result " << i << " issued mid-outage at " << r.sent_time;
+    if (r.received_time >= 0.0) {
+      EXPECT_FALSE(r.received_time >= begin && r.received_time < end)
+          << "result " << i << " received mid-outage at " << r.received_time;
+    }
+  }
+
+  // The device finished WU #1 around t=2h (inside the window): its upload
+  // was deferred and its next work request denied and backed off.
+  const auto& f = h.faults.counters();
+  EXPECT_GE(f.deferred_uploads, 1u);
+  EXPECT_GE(f.backoff_retries, 1u);
+  EXPECT_GE(f.outage_denied_requests, 1u);
+}
+
+TEST(FaultsInjection, CorruptionIsCaughtByQuorumAndNeverAssimilated) {
+  faults::FaultPlan plan;
+  plan.corruption_rate = 0.3;
+  server::ServerConfig cfg = Harness::plain_server_config();
+  cfg.validation.quorum2_until = 1e12;  // quorum-2 for the whole run
+  Harness h(plan, 20, 2.0 * 3600.0, cfg);
+  h.add(Harness::reliable_device(0));
+  h.add(Harness::reliable_device(1));
+  h.simulation.run_until(8.0 * kSecondsPerWeek);
+
+  EXPECT_TRUE(h.project.complete());
+  const auto& c = h.project.counters();
+  const auto& f = h.faults.counters();
+  EXPECT_GT(f.corrupted_results, 0u);
+  // Every corrupted return either mismatched a clean partner (quorum
+  // mismatch -> extra copy) or arrived after completion; none were accepted.
+  EXPECT_GT(c.quorum_mismatches, 0u);
+  EXPECT_EQ(c.corrupt_assimilated, 0u);
+  EXPECT_EQ(c.results_valid, 20u);
+  // Catching the corruption costs extra copies beyond plain quorum-2.
+  EXPECT_GT(c.results_sent, 40u);
+}
+
+TEST(FaultsInjection, LostResultsAreRecoveredByDeadlineReissue) {
+  faults::FaultPlan plan;
+  plan.loss_rate = 0.5;
+  server::ServerConfig cfg = Harness::plain_server_config();
+  cfg.deadline = 1.0 * kSecondsPerDay;  // keep the recovery cycle short
+  Harness h(plan, 5, 2.0 * 3600.0, cfg);
+  h.add(Harness::reliable_device(0));
+  h.simulation.run_until(6.0 * kSecondsPerWeek);
+
+  EXPECT_TRUE(h.project.complete());
+  const auto& c = h.project.counters();
+  const auto& f = h.faults.counters();
+  EXPECT_GT(f.lost_results, 0u);
+  // Each loss is invisible until its deadline passes.
+  EXPECT_GE(c.results_timed_out, f.lost_results);
+  EXPECT_EQ(c.results_valid, 5u);
+}
+
+TEST(FaultsInjection, StragglersRunSlower) {
+  faults::FaultPlan plan;
+  plan.straggler_fraction = 1.0;  // every device is a straggler
+  plan.straggler_slowdown = 4.0;
+  Harness h(plan, 1);
+  const std::uint32_t dev = h.add(Harness::reliable_device(0));
+  h.simulation.run_until(2.0 * kSecondsPerWeek);
+
+  EXPECT_EQ(h.faults.counters().straggler_devices, 1u);
+  // A 2 h reference workunit at 4x slowdown reports ~8 h of runtime.
+  const auto runtimes = h.fleet.reported_hcmd_runtimes(dev);
+  ASSERT_GE(runtimes.size(), 1u);
+  EXPECT_NEAR(runtimes[0], 8.0 * 3600.0, 600.0);
+}
+
+TEST(FaultsInjection, ChurnSpikeKillsAliveDevices) {
+  faults::FaultPlan plan;
+  plan.churn_spikes.push_back({1.0 * kSecondsPerDay, 1.0});
+  Harness h(plan, 1000);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    h.add(Harness::reliable_device(i));
+  h.simulation.run_until(1.0 * kSecondsPerDay);
+  // The campaign layer schedules spikes from the plan; at this level we
+  // fire the same entry point directly.
+  h.fleet.mass_churn(1.0);
+
+  const auto& f = h.faults.counters();
+  EXPECT_EQ(f.churn_spikes, 1u);
+  EXPECT_EQ(f.churn_killed, 10u);
+
+  // Everyone is dead: no further results ever arrive.
+  const std::uint64_t received = h.project.counters().results_received;
+  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  EXPECT_EQ(h.project.counters().results_received, received);
+  EXPECT_FALSE(h.project.complete());
+}
+
+}  // namespace
+}  // namespace hcmd::client

@@ -111,7 +111,7 @@ TEST(Tracer, JsonlOneLinePerEvent) {
 TEST(Tracer, NamesCoverAllEnumerators) {
   for (std::size_t i = 0; i < kTraceCatCount; ++i)
     EXPECT_NE(std::string(trace_cat_name(static_cast<TraceCat>(i))), "?");
-  for (int e = 0; e <= static_cast<int>(TraceEv::kSrvEndgameRebuild); ++e)
+  for (int e = 0; e <= static_cast<int>(TraceEv::kFltStraggler); ++e)
     EXPECT_NE(std::string(trace_ev_name(static_cast<TraceEv>(e))), "?");
 }
 

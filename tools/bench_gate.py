@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Runs the campaign-week and event-queue benchmarks from bench_kernels,
+compares each real_time against the committed BENCH_kernels.json snapshot
+and fails when any benchmark regresses past the gate ratio. The fresh JSON
+is written out so CI can upload it as an artifact (and so a maintainer can
+refresh the snapshot from a trusted box).
+
+Usage:
+  tools/bench_gate.py [--bench build/bench/bench_kernels]
+                      [--baseline BENCH_kernels.json]
+                      [--out bench_gate.json] [--gate 1.6]
+
+The gate is deliberately loose (1.6x): shared CI runners are noisy and the
+point is to catch order-of-magnitude regressions (an accidental O(n^2) in
+the event queue, a debug assert left in the docking kernel), not 5% drift.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Gated benchmarks: the two hot paths the roadmap cares about. Everything
+# else in the snapshot is informational.
+FILTER = "^BM_CampaignWeek$|^BM_EventQueue/"
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        b["name"]: b["real_time"]
+        for b in doc.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default="build/bench/bench_kernels",
+                    help="bench_kernels binary (default: %(default)s)")
+    ap.add_argument("--baseline", default="BENCH_kernels.json",
+                    help="committed snapshot to gate against")
+    ap.add_argument("--out", default="bench_gate.json",
+                    help="where to write the fresh benchmark JSON")
+    ap.add_argument("--gate", type=float, default=1.6,
+                    help="fail when real_time exceeds baseline * GATE")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.bench):
+        sys.exit(f"bench_gate: benchmark binary not found: {args.bench}")
+
+    cmd = [
+        args.bench,
+        f"--benchmark_filter={FILTER}",
+        f"--benchmark_out={args.out}",
+        "--benchmark_out_format=json",
+        "--benchmark_format=console",
+    ]
+    print("bench_gate:", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True)
+
+    baseline = load_rows(args.baseline)
+    fresh = load_rows(args.out)
+    if not fresh:
+        sys.exit("bench_gate: no benchmarks matched the filter")
+
+    failures = []
+    missing = []
+    for name in sorted(fresh):
+        now = fresh[name]
+        base = baseline.get(name)
+        if base is None:
+            # A new benchmark has no baseline yet; report it but let the
+            # run pass so adding benchmarks doesn't require a lockstep
+            # snapshot refresh.
+            missing.append(name)
+            print(f"  NEW    {name}: {now/1e6:.3f} ms (no baseline)")
+            continue
+        ratio = now / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > args.gate else "ok"
+        print(f"  {verdict:<6} {name}: {now/1e6:.3f} ms vs "
+              f"{base/1e6:.3f} ms baseline (x{ratio:.2f})")
+        if ratio > args.gate:
+            failures.append((name, ratio))
+
+    if missing:
+        print(f"bench_gate: {len(missing)} benchmark(s) missing from "
+              f"{args.baseline}; refresh the snapshot when convenient")
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        sys.exit(f"bench_gate: {len(failures)} benchmark(s) regressed past "
+                 f"x{args.gate} (worst: {worst[0]} at x{worst[1]:.2f})")
+    print(f"bench_gate: {len(fresh)} benchmark(s) within x{args.gate} gate")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,13 +36,18 @@ echo "== telemetry overhead smoke =="
 # that.
 bench="$repo/build/bench/bench_kernels"
 if [[ -x "$bench" ]]; then
-  overhead_json="$("$bench" \
+  # The JSON goes through a temp file, not argv: a full benchmark dump can
+  # exceed ARG_MAX and the kernel would kill the python3 exec with E2BIG.
+  overhead_json="$(mktemp)"
+  trap 'rm -f "$overhead_json"' EXIT
+  "$bench" \
     --benchmark_filter='^BM_CampaignWeek$|^BM_CampaignWeekTelemetry$' \
-    --benchmark_format=json 2>/dev/null)"
+    --benchmark_format=json >"$overhead_json" 2>/dev/null
   python3 - "$overhead_json" <<'PY'
 import json, sys
-rows = {b["name"]: b["real_time"]
-        for b in json.loads(sys.argv[1])["benchmarks"]}
+with open(sys.argv[1]) as f:
+    rows = {b["name"]: b["real_time"]
+            for b in json.load(f)["benchmarks"]}
 base = rows["BM_CampaignWeek"]
 traced = rows["BM_CampaignWeekTelemetry"]
 ratio = traced / base

@@ -16,6 +16,10 @@
 //   --trace <file>        write a Chrome trace_event JSON (Perfetto-loadable)
 //   --trace-jsonl <file>  write the trace as JSONL (grep/jq-friendly)
 //   --progress            print a live weekly progress ticker
+//   --faults <name|file>  inject a fault plan: a compiled-in preset name or
+//                         a plan file (see examples/faults/)
+//   --quorum2-weeks <w>   override how long quorum-2 validation runs
+//   --max-weeks <w>       override the simulation's hard stop
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +30,7 @@
 
 #include "analysis/projection.hpp"
 #include "core/campaign.hpp"
+#include "faults/plan.hpp"
 #include "core/phase2.hpp"
 #include "core/run_report.hpp"
 #include "obs/trace.hpp"
@@ -111,8 +116,42 @@ struct RunOptions {
   std::string report_path;
   std::string trace_path;        ///< Chrome trace_event JSON
   std::string trace_jsonl_path;  ///< one event per line
+  std::string faults_spec;       ///< preset name or plan-file path
+  double quorum2_weeks = -1.0;   ///< < 0: keep the scenario default
+  double max_weeks = -1.0;       ///< < 0: keep the scenario default
   bool progress = false;
+
+  /// Applies the config-overriding flags (chaos runs extend quorum-2 over
+  /// the whole campaign and raise the hard stop to cover the extra work).
+  void apply_overrides(core::CampaignConfig& config) const {
+    if (quorum2_weeks >= 0.0)
+      config.server.validation.quorum2_until =
+          quorum2_weeks * util::kSecondsPerWeek;
+    if (max_weeks >= 0.0) config.max_weeks = max_weeks;
+  }
 };
+
+/// Resolves `--faults <spec>` — preset names win over file paths so the
+/// documented presets always work regardless of the working directory.
+/// Returns false (after printing the preset list) when the spec is neither.
+bool resolve_faults(const std::string& spec, faults::FaultPlan& out) {
+  if (faults::is_fault_preset(spec)) {
+    out = faults::fault_preset(spec);
+    return true;
+  }
+  try {
+    out = faults::load_fault_plan(spec);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hcmdgrid: --faults %s: %s\n", spec.c_str(),
+                 e.what());
+    std::fprintf(stderr, "known presets:");
+    for (const std::string& name : faults::fault_preset_names())
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return false;
+  }
+}
 
 /// Splits `argv[start..)` into positional arguments and RunOptions flags.
 /// Returns false on a flag missing its value.
@@ -122,7 +161,8 @@ bool parse_run_args(int argc, char** argv, int start, RunOptions& opts,
     const std::string_view a = argv[i];
     if (a == "--progress") {
       opts.progress = true;
-    } else if (a == "--report" || a == "--trace" || a == "--trace-jsonl") {
+    } else if (a == "--report" || a == "--trace" || a == "--trace-jsonl" ||
+               a == "--faults") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "hcmdgrid: %s needs a file argument\n",
                      argv[i]);
@@ -131,7 +171,17 @@ bool parse_run_args(int argc, char** argv, int start, RunOptions& opts,
       const char* v = argv[++i];
       if (a == "--report") opts.report_path = v;
       else if (a == "--trace") opts.trace_path = v;
+      else if (a == "--faults") opts.faults_spec = v;
       else opts.trace_jsonl_path = v;
+    } else if (a == "--quorum2-weeks" || a == "--max-weeks") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hcmdgrid: %s needs a number argument\n",
+                     argv[i]);
+        return false;
+      }
+      const double v = std::atof(argv[++i]);
+      if (a == "--quorum2-weeks") opts.quorum2_weeks = v;
+      else opts.max_weeks = v;
     } else if (a.size() >= 2 && a.substr(0, 2) == "--") {
       // A typo like --reprot must not silently run a full campaign with
       // the report dropped.
@@ -202,6 +252,10 @@ int cmd_campaign(int denom, double hours, const RunOptions& opts) {
   core::CampaignConfig config;
   config.scale = 1.0 / static_cast<double>(denom);
   config.packaging.target_hours = hours;
+  if (!opts.faults_spec.empty() &&
+      !resolve_faults(opts.faults_spec, config.faults))
+    return 2;
+  opts.apply_overrides(config);
   return run_observed(config, opts);
 }
 
@@ -213,7 +267,12 @@ int cmd_phase2(double grid_vftp, int denom, const RunOptions& opts) {
               "%.2fx phase I\n",
               scenario.grid_vftp, 100.0 * scenario.grid_share,
               scenario.work_ratio);
-  return run_observed(core::make_phase2_config(scenario), opts);
+  core::CampaignConfig config = core::make_phase2_config(scenario);
+  if (!opts.faults_spec.empty() &&
+      !resolve_faults(opts.faults_spec, config.faults))
+    return 2;
+  opts.apply_overrides(config);
+  return run_observed(config, opts);
 }
 
 int cmd_project(int argc, char** argv) {
@@ -290,7 +349,11 @@ int usage() {
                "  --report <file>       run-report JSON (figures + telemetry)\n"
                "  --trace <file>        Chrome trace_event JSON\n"
                "  --trace-jsonl <file>  trace as JSON lines\n"
-               "  --progress            weekly progress ticker\n");
+               "  --progress            weekly progress ticker\n"
+               "  --faults <name|file>  fault-plan preset or file "
+               "(presets: outage-weekend, saboteur-1pct)\n"
+               "  --quorum2-weeks <w>   quorum-2 validation until week w\n"
+               "  --max-weeks <w>       hard stop for the simulation\n");
   return 2;
 }
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validates a run-report JSON (and optionally its Chrome trace).
+
+CI runs an instrumented scale-0.01 campaign and this script asserts the
+report carries every section downstream tooling depends on: the paper
+series (fig6a/fig6b/fig7/fig8/table2), the outcome block, telemetry, the
+fault-injection summary and — when a trace file is given — the trace-stream
+statistics plus a well-formed trace_event JSON.
+
+Usage:
+  tools/validate_report.py report.json [trace.json] [--chaos]
+
+--chaos additionally asserts the run injected faults and still finished
+clean: faults.enabled, non-empty fault counters, outcome.completed and
+zero corrupt results assimilated.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    sys.exit(f"validate_report: {msg}")
+
+
+def main():
+    argv = [a for a in sys.argv[1:] if a != "--chaos"]
+    chaos = "--chaos" in sys.argv[1:]
+    if not argv:
+        fail("usage: validate_report.py report.json [trace.json] [--chaos]")
+    report_path = argv[0]
+    trace_path = argv[1] if len(argv) > 1 else None
+
+    with open(report_path) as f:
+        report = json.load(f)
+
+    keys = ["config", "workload", "fig6a", "fig6b", "fig7", "fig8",
+            "table2", "outcome", "counters", "faults", "telemetry",
+            "self_profile"]
+    # The trace section only exists when the run was traced.
+    if trace_path:
+        keys.append("trace")
+    for key in keys:
+        if key not in report:
+            fail(f"{report_path} missing {key!r}")
+    if not report["fig6a"]["hcmd_vftp_weekly"]:
+        fail("fig6a series empty")
+
+    faults = report["faults"]
+    for key in ("enabled", "plan", "counters"):
+        if key not in faults:
+            fail(f"faults section missing {key!r}")
+
+    if chaos:
+        if not faults["enabled"]:
+            fail("--chaos: faults.enabled is false")
+        injected = sum(faults["counters"].values())
+        if injected == 0:
+            fail("--chaos: fault plan enabled but nothing was injected")
+        if not report["outcome"]["completed"]:
+            fail("--chaos: campaign did not complete")
+        if report["counters"]["corrupt_assimilated"] != 0:
+            fail("--chaos: corrupt results were assimilated "
+                 f"({report['counters']['corrupt_assimilated']})")
+        print(f"chaos ok: {injected} fault events injected, campaign "
+              f"completed in {report['outcome']['completion_weeks']:.1f} "
+              "weeks, no corrupt result assimilated")
+
+    if trace_path:
+        with open(trace_path) as f:
+            trace = json.load(f)
+        events = trace["traceEvents"]
+        if not events:
+            fail("trace has no events")
+        bad = [e for e in events if e["ph"] != "i"]
+        if bad:
+            fail(f"{len(bad)} trace events are not instants (ph != 'i')")
+        print(f"report sections ok; trace has {len(events)} events")
+    else:
+        print("report sections ok")
+
+
+if __name__ == "__main__":
+    main()
