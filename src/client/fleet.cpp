@@ -3,26 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
-#include "server/credit.hpp"
 #include "util/duration.hpp"
 #include "util/error.hpp"
 
 namespace hcmd::client {
 
 VolunteerFleet::VolunteerFleet(sim::Simulation& simulation,
-                               server::ProjectServer& project,
-                               server::TransitionerTimers& timers,
+                               UplinkMailbox& uplink,
                                const server::ShareSchedule& schedule,
                                sim::MetricSet& metrics, AgentConfig config)
-    : sim_(simulation), project_(project), timers_(timers),
-      schedule_(schedule), metrics_(metrics), config_(config),
-      hcmd_runtime_(metrics.meter_series(metric::kHcmdRuntime)),
-      wcg_runtime_(metrics.meter_series(metric::kWcgRuntime)),
-      hcmd_results_(metrics.meter_series(metric::kHcmdResults)),
-      hcmd_useful_results_(metrics.meter_series(metric::kHcmdUsefulResults)),
-      hcmd_useful_ref_seconds_(
-          metrics.meter_series(metric::kHcmdUsefulRefSeconds)),
-      hcmd_credit_(metrics.meter_series(metric::kHcmdCredit)),
+    : sim_(simulation), uplink_(uplink), schedule_(schedule),
+      metrics_(metrics), config_(config),
+      // Mirror the campaign meter geometry so the engine can merge the
+      // shard bins straight into the MetricSet series.
+      hcmd_runtime_(metrics.meter_series(metric::kHcmdRuntime).origin(),
+                    metrics.meter_series(metric::kHcmdRuntime).width()),
+      wcg_runtime_(metrics.meter_series(metric::kWcgRuntime).origin(),
+                   metrics.meter_series(metric::kWcgRuntime).width()),
       id_work_requests_(metrics.counter_id(metric::kWorkRequests)),
       id_work_denied_(metrics.counter_id(metric::kWorkDenied)),
       id_other_project_(metrics.counter_id(metric::kOtherProject)),
@@ -37,8 +34,12 @@ void VolunteerFleet::reserve_devices(std::size_t n) {
   segment_start_.reserve(n);
   offline_at_.reserve(n);
   long_pause_due_.reserve(n);
+  pending_request_.reserve(n);
+  msg_seq_.reserve(n);
   handles_.reserve(n);
   if (faults_on()) {
+    fault_rngs_.reserve(n);
+    corruption_seq_.reserve(n);
     uploads_.reserve(n);
     backoff_attempts_.reserve(n);
   }
@@ -50,13 +51,8 @@ void VolunteerFleet::set_fault_schedule(faults::FaultSchedule* faults) {
   faults_ = faults;
 }
 
-void VolunteerFleet::reserve_runtimes(std::size_t n) {
-  runtime_device_.reserve(n);
-  runtime_value_.reserve(n);
-}
-
 std::uint32_t VolunteerFleet::add_device(const volunteer::DeviceSpec& spec,
-                                         util::Rng rng) {
+                                         util::Rng rng, util::Rng fault_rng) {
   HCMD_ASSERT(spec.effective_speed() > 0.0);
   const auto d = static_cast<std::uint32_t>(specs_.size());
   specs_.push_back(spec);
@@ -66,11 +62,15 @@ std::uint32_t VolunteerFleet::add_device(const volunteer::DeviceSpec& spec,
   segment_start_.push_back(0.0);
   offline_at_.push_back(0.0);
   long_pause_due_.push_back(0);
+  pending_request_.push_back(0);
+  msg_seq_.push_back(0);
   handles_.emplace_back();
   if (faults_on()) {
+    fault_rngs_.push_back(fault_rng);
+    corruption_seq_.push_back(0);
     uploads_.emplace_back();
     backoff_attempts_.push_back(0);
-    if (faults_->is_straggler(d)) faults_->note_straggler(d);
+    if (faults_->is_straggler(spec.id)) faults_->note_straggler(spec.id);
   }
   const double join = std::max(spec.join_time, sim_.now());
   schedule_at(join, d, Action::kJoin);
@@ -170,85 +170,74 @@ void VolunteerFleet::on_death(std::uint32_t d) {
     h.upload.cancel(sim_);
     PendingUpload& up = uploads_[d];
     if (up.active) {
-      faults_->note_loss(sim_.now(), d, up.result_id);
+      faults_->note_loss(sim_.now(), specs_[d].id, up.result_id);
       up.active = false;
     }
   }
   // Any assigned workunit is silently dropped; the server learns about it
-  // from the deadline.
+  // from the deadline. An in-flight work request stays pending: the barrier
+  // answer finds the device dead and drops the assignment the same way.
   work_[d].active = false;
 }
 
-void VolunteerFleet::mass_churn(double death_fraction) {
-  if (!faults_on()) return;
-  std::uint32_t alive_before = 0;
-  std::uint32_t killed = 0;
+VolunteerFleet::ChurnResult VolunteerFleet::mass_churn(double death_fraction) {
+  ChurnResult r;
+  if (!faults_on()) return r;
   for (std::uint32_t d = 0; d < static_cast<std::uint32_t>(phases_.size());
        ++d) {
     const Phase p = phases_[d];
     if (p == Phase::kUnborn || p == Phase::kDead) continue;
-    ++alive_before;
-    if (!faults_->draw_churn_death(death_fraction)) continue;
+    ++r.alive_before;
+    // Drawn from the device's own fault stream: the spike's victim set is a
+    // per-device property, identical at any shard count.
+    if (!faults_->draw_churn_death(death_fraction, fault_rngs_[d])) continue;
     on_death(d);
-    ++killed;
+    ++r.killed;
   }
-  faults_->note_churn_spike(sim_.now(), killed, alive_before);
+  return r;
 }
 
 void VolunteerFleet::request_work(std::uint32_t d) {
   if (phases_[d] != Phase::kIdle) return;
   HCMD_ASSERT(!work_[d].active);
+  // An earlier request is still riding to the barrier; its answer will put
+  // the device back to work.
+  if (pending_request_[d]) return;
   metrics_.count(id_work_requests_);
 
   const double share = schedule_.share_at(sim_.now());
-  const bool want_hcmd = rngs_[d].bernoulli(share) && !project_.complete();
+  const bool want_hcmd = rngs_[d].bernoulli(share) && !server_complete_;
 
   if (want_hcmd && faults_on() && faults_->server_down(sim_.now())) {
     // Outage window: don't even reach the scheduler — back off with capped
     // exponential retry (the device sits idle, like a real agent whose
     // project is unreachable). The attempt counter resets on the first
     // request that finds the server up again.
-    faults_->note_outage_denied(sim_.now(), d);
+    faults_->note_outage_denied(sim_.now(), specs_[d].id);
     const std::uint32_t attempt = backoff_attempts_[d];
     if (backoff_attempts_[d] < 0xFFFFu) ++backoff_attempts_[d];
-    faults_->note_backoff_retry(sim_.now(), d, attempt);
-    handles_[d].retry =
-        schedule_in(faults_->backoff_delay(attempt), d, Action::kRetry);
+    faults_->note_backoff_retry(sim_.now(), specs_[d].id, attempt);
+    handles_[d].retry = schedule_in(
+        faults_->backoff_delay(attempt, fault_rngs_[d]), d, Action::kRetry);
     return;
   }
   if (want_hcmd && faults_on()) backoff_attempts_[d] = 0;
 
   if (want_hcmd) {
-    auto assignment = project_.request_work(specs_[d].id, sim_.now());
-    if (assignment.has_value()) {
-      WorkItem item;
-      item.active = true;
-      item.is_hcmd = true;
-      item.result_id = assignment->result_id;
-      item.required_ref = assignment->workunit.reference_seconds;
-      item.checkpoint_ref = assignment->workunit.reference_seconds /
-                            static_cast<double>(
-                                assignment->workunit.positions());
-      if (rngs_[d].bernoulli(specs_[d].abandon_rate))
-        item.long_pause_at = rngs_[d].uniform(0.0, item.required_ref);
-      work_[d] = item;
-      // Transitioner deadline tick, independent of this device's fate.
-      timers_.arm(item.result_id, assignment->deadline);
-      phases_[d] = Phase::kComputing;
-      begin_segment(d);
-      return;
-    }
-    if (!project_.complete()) {
-      // Everything is issued and outstanding; come back later.
-      metrics_.count(id_work_denied_);
-      const double retry =
-          config_.work_request_retry_hours * util::kSecondsPerHour;
-      handles_[d].retry = schedule_in(retry, d, Action::kRetry);
-      return;
-    }
-    // Campaign finished: fall through to another project's work.
+    pending_request_[d] = 1;
+    UplinkMessage m;
+    m.time = sim_.now();
+    m.seq = ++msg_seq_[d];
+    m.device = d;
+    m.kind = UplinkMessage::Kind::kWorkRequest;
+    uplink_.post(m);
+    return;
   }
 
+  start_other_project(d);
+}
+
+void VolunteerFleet::start_other_project(std::uint32_t d) {
   metrics_.count(id_other_project_);
   WorkItem item;
   item.active = true;
@@ -258,6 +247,55 @@ void VolunteerFleet::request_work(std::uint32_t d) {
   work_[d] = item;
   phases_[d] = Phase::kComputing;
   begin_segment(d);
+}
+
+void VolunteerFleet::deliver_assignment(std::uint32_t d,
+                                        const server::Assignment& assignment) {
+  HCMD_ASSERT(pending_request_[d]);
+  pending_request_[d] = 0;
+  if (phases_[d] == Phase::kDead) {
+    // Assigned to a corpse: silently dropped, exactly like a death right
+    // after a synchronous assignment. The deadline recovers the workunit.
+    return;
+  }
+  HCMD_ASSERT(!work_[d].active);
+  WorkItem item;
+  item.active = true;
+  item.is_hcmd = true;
+  item.result_id = assignment.result_id;
+  item.required_ref = assignment.workunit.reference_seconds;
+  item.checkpoint_ref = assignment.workunit.reference_seconds /
+                        static_cast<double>(assignment.workunit.positions());
+  if (rngs_[d].bernoulli(specs_[d].abandon_rate))
+    item.long_pause_at = rngs_[d].uniform(0.0, item.required_ref);
+  work_[d] = item;
+  if (phases_[d] == Phase::kIdle) {
+    phases_[d] = Phase::kComputing;
+    begin_segment(d);
+  }
+  // kOffline: the stored item starts when the device re-attaches (the
+  // go_online resume branch), like an agent fetching work right before the
+  // owner shut the machine down.
+}
+
+void VolunteerFleet::deliver_denial(std::uint32_t d, bool project_complete) {
+  HCMD_ASSERT(pending_request_[d]);
+  pending_request_[d] = 0;
+  if (phases_[d] == Phase::kDead) return;
+  if (project_complete) {
+    // Campaign finished while the request was in flight: the device turns
+    // to another project's work, matching the synchronous fall-through.
+    if (phases_[d] == Phase::kIdle) start_other_project(d);
+    return;
+  }
+  // Everything is issued and outstanding; come back later.
+  metrics_.count(id_work_denied_);
+  if (phases_[d] == Phase::kIdle) {
+    const double retry =
+        config_.work_request_retry_hours * util::kSecondsPerHour;
+    handles_[d].retry = schedule_in(retry, d, Action::kRetry);
+  }
+  // kOffline: the next go_online issues a fresh request anyway.
 }
 
 void VolunteerFleet::begin_segment(std::uint32_t d) {
@@ -346,21 +384,21 @@ void VolunteerFleet::on_complete(std::uint32_t d) {
     if (faults_on() && faults_->server_down(sim_.now())) {
       // The scheduler is dark: keep the finished result in the agent's
       // outbox and retry the upload with capped exponential backoff.
-      faults_->note_deferred_upload(sim_.now(), d);
+      faults_->note_deferred_upload(sim_.now(), specs_[d].id);
       PendingUpload& up = uploads_[d];
       if (up.active) {
         // The one-slot outbox already holds an undelivered result; the
         // older one is lost (its deadline re-issues the workunit).
-        faults_->note_loss(sim_.now(), d, up.result_id);
+        faults_->note_loss(sim_.now(), specs_[d].id, up.result_id);
       }
       up.report = report;
       up.result_id = work.result_id;
       up.attempts = 1;
       up.active = true;
-      handles_[d].upload =
-          schedule_in(faults_->backoff_delay(0), d, Action::kUploadRetry);
+      handles_[d].upload = schedule_in(
+          faults_->backoff_delay(0, fault_rngs_[d]), d, Action::kUploadRetry);
     } else {
-      deliver_result(d, work.result_id, report);
+      post_result(d, work.result_id, report);
     }
   }
 
@@ -369,42 +407,34 @@ void VolunteerFleet::on_complete(std::uint32_t d) {
   request_work(d);
 }
 
-void VolunteerFleet::deliver_result(std::uint32_t d, std::uint64_t result_id,
-                                    server::ResultReport report) {
+void VolunteerFleet::post_result(std::uint32_t d, std::uint64_t result_id,
+                                 server::ResultReport report) {
   if (faults_on()) {
-    if (faults_->draw_loss()) {
+    if (faults_->draw_loss(fault_rngs_[d])) {
       // Dropped in flight: the server never sees it, and the deadline tick
       // recovers the workunit via re-issue.
-      faults_->note_loss(sim_.now(), d, result_id);
+      faults_->note_loss(sim_.now(), specs_[d].id, result_id);
       return;
     }
-    if (faults_->draw_corruption()) {
+    if (faults_->draw_corruption(fault_rngs_[d])) {
       report.silent_error = true;
-      report.corruption_tag = faults_->draw_corruption_tag();
-      faults_->note_corrupt(sim_.now(), d, result_id);
+      // (global id, per-device counter): unique fleet-wide and independent
+      // of shard count, unlike a tag drawn from a shared stream.
+      report.corruption_tag =
+          (static_cast<std::uint64_t>(specs_[d].id) << 32) |
+          ++corruption_seq_[d];
+      faults_->note_corrupt(sim_.now(), specs_[d].id, result_id);
     }
   }
 
-  const volunteer::DeviceSpec& spec = specs_[d];
-  const std::uint64_t completed_before =
-      project_.counters().workunits_completed;
-  project_.report_result(result_id, sim_.now(), report);
-  // The result is in: retire its deadline tick eagerly instead of letting
-  // a dead timer ride the event heap for another week and a half. (A
-  // no-op for late uploads whose timer already fired.)
-  timers_.disarm(result_id);
-  hcmd_results_.add(sim_.now(), 1.0);
-  if (!report.computation_error) {
-    // Section 8's points scheme: runtime x agent benchmark score.
-    hcmd_credit_.add(sim_.now(),
-                     server::claimed_credit(spec, report.reported_runtime));
-  }
-  if (project_.counters().workunits_completed > completed_before) {
-    hcmd_useful_results_.add(sim_.now(), 1.0);
-    hcmd_useful_ref_seconds_.add(sim_.now(), report.reference_seconds);
-  }
-  runtime_device_.push_back(d);
-  runtime_value_.push_back(report.reported_runtime);
+  UplinkMessage m;
+  m.time = sim_.now();
+  m.seq = ++msg_seq_[d];
+  m.device = d;
+  m.kind = UplinkMessage::Kind::kResultReturn;
+  m.result_id = result_id;
+  m.report = report;
+  uplink_.post(m);
 }
 
 void VolunteerFleet::retry_upload(std::uint32_t d) {
@@ -414,37 +444,14 @@ void VolunteerFleet::retry_upload(std::uint32_t d) {
   if (faults_->server_down(sim_.now())) {
     const std::uint32_t attempt = up.attempts;
     if (up.attempts < 0xFFFFFFFFu) ++up.attempts;
-    faults_->note_backoff_retry(sim_.now(), d, attempt);
-    handles_[d].upload =
-        schedule_in(faults_->backoff_delay(attempt), d, Action::kUploadRetry);
+    faults_->note_backoff_retry(sim_.now(), specs_[d].id, attempt);
+    handles_[d].upload = schedule_in(
+        faults_->backoff_delay(attempt, fault_rngs_[d]), d,
+        Action::kUploadRetry);
     return;
   }
   up.active = false;
-  deliver_result(d, up.result_id, up.report);
-}
-
-std::vector<double> VolunteerFleet::runtimes_by_device() const {
-  // Counting sort by device index: the shared buffer is in global
-  // completion order; the per-agent collection this replaces concatenated
-  // device-local chronological lists in device order. The sort is stable,
-  // so within a device the chronological order is preserved and the
-  // concatenation — and every order-dependent summary over it — is
-  // bit-identical to the old layout.
-  std::vector<std::uint32_t> offsets(specs_.size() + 1, 0);
-  for (std::uint32_t d : runtime_device_) ++offsets[d + 1];
-  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
-  std::vector<double> out(runtime_value_.size());
-  for (std::size_t i = 0; i < runtime_device_.size(); ++i)
-    out[offsets[runtime_device_[i]]++] = runtime_value_[i];
-  return out;
-}
-
-std::vector<double> VolunteerFleet::reported_hcmd_runtimes(
-    std::uint32_t device) const {
-  std::vector<double> out;
-  for (std::size_t i = 0; i < runtime_device_.size(); ++i)
-    if (runtime_device_[i] == device) out.push_back(runtime_value_[i]);
-  return out;
+  post_result(d, up.result_id, up.report);
 }
 
 }  // namespace hcmd::client

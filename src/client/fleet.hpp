@@ -1,8 +1,7 @@
 // Volunteer fleet: the per-device state machines of the campaign
 // simulation, stored structure-of-arrays.
 //
-// Behaviour (unchanged from the original per-agent model) mirrors the
-// UD/BOINC agent the paper describes:
+// Behaviour mirrors the UD/BOINC agent the paper describes:
 //  * the agent alternates attached (crunching) and detached periods —
 //    volunteers "use only the idle time of the device";
 //  * on each work request the grid routes the device to HCMD with the
@@ -17,26 +16,35 @@
 //  * the device dies at the end of its lifetime, silently dropping any
 //    assigned work.
 //
+// Server interaction is asynchronous (the epoch-barrier engine model): a
+// device never calls the project server directly. Work requests and result
+// returns are posted into the shard's UplinkMailbox; the engine replays
+// them against the single logical server at the epoch barrier and answers
+// with deliver_assignment / deliver_denial. A device with a request in
+// flight sits idle (pending_request_) until the barrier responds — the
+// scheduler RPC latency the real agent also saw. Because a sequential run
+// (one shard) goes through the identical mailbox-and-barrier machinery,
+// sharded runs are bit-identical to it by construction.
+//
 // Layout: one VolunteerFleet owns every device's state in dense arrays
-// indexed by device id — phase, work item, RNG, event handles — instead of
-// one heap-allocated agent object per device. Scheduled callbacks all go
-// through a single 16-byte trampoline {fleet, device, action}: the event
-// engine stores one callable type, and a dispatch touches a handful of
-// dense arrays instead of a 400-byte object scattered per agent. The
-// transition logic itself is a verbatim port of the old VolunteerAgent —
-// RNG draw order and event scheduling order are identical, so campaign
-// runs replay bit-exactly against the per-agent implementation.
+// indexed by shard-local device index — phase, work item, RNG, event
+// handles — instead of one heap-allocated agent object per device.
+// Scheduled callbacks all go through a single 16-byte trampoline
+// {fleet, device, action}. Every RNG stream a device consumes (behaviour
+// stream, fault stream) is forked from the device's *global* id before the
+// fleet is partitioned, so shard count never changes a device's draws.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "client/uplink.hpp"
 #include "faults/schedule.hpp"
 #include "server/server.hpp"
 #include "server/share_schedule.hpp"
-#include "server/transitioner.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulation.hpp"
+#include "util/exact_sum.hpp"
 #include "util/rng.hpp"
 #include "volunteer/device.hpp"
 
@@ -71,12 +79,11 @@ inline constexpr const char* kDeviceDeaths = "fleet.device_deaths";
 
 class VolunteerFleet {
  public:
-  /// `timers` is the shared transitioner deadline book: it must outlive the
-  /// fleet (deadline ticks are independent of a device's fate — the device
-  /// may die with work assigned). The fleet resolves its metric series once
-  /// here, so the per-event meter appends skip the by-name lookup.
-  VolunteerFleet(sim::Simulation& simulation, server::ProjectServer& project,
-                 server::TransitionerTimers& timers,
+  /// The fleet posts all server traffic to `uplink` and accrues its
+  /// run-time meters into shard-local exact bins (merged by the engine).
+  /// Registry counters go through `metrics` directly — the registry's
+  /// striped counters are thread-safe and sum exactly at any shard count.
+  VolunteerFleet(sim::Simulation& simulation, UplinkMailbox& uplink,
                  const server::ShareSchedule& schedule,
                  sim::MetricSet& metrics, AgentConfig config = {});
 
@@ -86,44 +93,65 @@ class VolunteerFleet {
   /// Pre-sizes the per-device arrays for `n` devices (use the analytic
   /// expected fleet size; drawing it from an RNG would perturb the stream).
   void reserve_devices(std::size_t n);
-  /// Pre-sizes the shared Fig. 8 runtime buffer for `n` completions.
-  void reserve_runtimes(std::size_t n);
 
   /// Registers a device and schedules its join event; must be called before
-  /// the simulation runs past spec.join_time. Device index == order of
-  /// addition; `rng` is the device's private stream.
-  std::uint32_t add_device(const volunteer::DeviceSpec& spec, util::Rng rng);
+  /// the simulation runs past spec.join_time. The local index == order of
+  /// addition; `spec.id` is the device's global index. `rng` is the
+  /// device's behaviour stream and `fault_rng` its fault stream — both must
+  /// be forked from the global id so shard assignment cannot change them.
+  std::uint32_t add_device(const volunteer::DeviceSpec& spec, util::Rng rng,
+                           util::Rng fault_rng = util::Rng(0));
 
   std::size_t size() const { return specs_.size(); }
   const volunteer::DeviceSpec& spec(std::uint32_t device) const {
     return specs_[device];
   }
 
-  /// Fig. 8 distribution data: runtimes of completed HCMD workunits,
-  /// concatenated per device in device-index order with each device's
-  /// completions chronological — exactly the order the per-agent collection
-  /// produced, so downstream summaries stay bit-identical.
-  std::vector<double> runtimes_by_device() const;
-  /// Runtimes one device reported (chronological).
-  std::vector<double> reported_hcmd_runtimes(std::uint32_t device) const;
-  /// Total completed-HCMD runtime samples across the fleet.
-  std::size_t runtime_count() const { return runtime_value_.size(); }
-
   /// Optional tracer for the device-lifecycle stream (join/death/pause on
   /// the device category, online/offline on the churn category). Call
   /// before the simulation runs; never read by any decision path.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
-  /// Attaches the campaign's fault schedule. Must be called before the
-  /// first add_device (per-device fault state is sized alongside the other
+  /// Attaches this shard's fault schedule. Must be called before the first
+  /// add_device (per-device fault state is sized alongside the other
   /// arrays). An inert schedule leaves every path bit-identical to a fleet
   /// with no schedule at all.
   void set_fault_schedule(faults::FaultSchedule* faults);
 
-  /// Correlated mass-churn spike: every alive device dies independently
-  /// with probability `death_fraction` (drawn from the fault stream).
-  /// No-op without an active fault schedule.
-  void mass_churn(double death_fraction);
+  // --- engine barrier interface -------------------------------------------
+  /// Epoch-stable completion snapshot: updated by the engine at barriers
+  /// only, so every shard sees the same value throughout an epoch.
+  void set_project_complete(bool complete) { server_complete_ = complete; }
+
+  /// Answers a posted work request with an assignment. Called at the epoch
+  /// barrier (shard quiescent, sim clock == barrier time). A device that
+  /// died in the meantime drops the work silently (the deadline recovers
+  /// it); a device that went offline stores it and resumes on re-attach.
+  void deliver_assignment(std::uint32_t device,
+                          const server::Assignment& assignment);
+  /// Answers a posted work request with a denial. `project_complete` routes
+  /// the device to another project's work, mirroring the synchronous
+  /// fall-through of the old engine.
+  void deliver_denial(std::uint32_t device, bool project_complete);
+
+  /// Correlated mass-churn spike over this shard's slice: every alive
+  /// device dies independently with probability `death_fraction` (drawn
+  /// from its own fault stream). Returns the shard's tallies; the engine
+  /// aggregates across shards and notes the spike once.
+  struct ChurnResult {
+    std::uint32_t killed = 0;
+    std::uint32_t alive_before = 0;
+  };
+  ChurnResult mass_churn(double death_fraction);
+
+  /// Shard-local exact run-time meters (weekly bins). The engine merges
+  /// the shards and writes the totals into the campaign MetricSet.
+  const util::ExactBinnedSeries& hcmd_runtime_series() const {
+    return hcmd_runtime_;
+  }
+  const util::ExactBinnedSeries& wcg_runtime_series() const {
+    return wcg_runtime_;
+  }
 
  private:
   enum class Phase : std::uint8_t {
@@ -189,32 +217,34 @@ class VolunteerFleet {
   void on_death(std::uint32_t d);
   void trigger_long_pause(std::uint32_t d);
   void request_work(std::uint32_t d);
+  void start_other_project(std::uint32_t d);
   void begin_segment(std::uint32_t d);
   void settle_segment(std::uint32_t d, bool interrupted);
   void on_complete(std::uint32_t d);
-  /// Hands a finished report to the server (fault loss/corruption draws
-  /// happen here); the faults-off path is the verbatim old on_complete tail.
-  void deliver_result(std::uint32_t d, std::uint64_t result_id,
-                      server::ResultReport report);
+  /// Posts a finished report to the uplink (fault loss/corruption draws
+  /// happen here, from the device's own fault stream).
+  void post_result(std::uint32_t d, std::uint64_t result_id,
+                   server::ResultReport report);
   void retry_upload(std::uint32_t d);
 
   bool faults_on() const { return faults_ != nullptr && faults_->active(); }
-  /// Effective speed including any straggler slowdown.
+  /// Effective speed including any straggler slowdown (keyed by the global
+  /// device id: the classification must be shard-independent).
   double device_speed(std::uint32_t d) const {
     const double speed = specs_[d].effective_speed();
-    return faults_on() ? speed / faults_->slowdown(d) : speed;
+    return faults_on() ? speed / faults_->slowdown(specs_[d].id) : speed;
   }
 
   sim::Simulation& sim_;
-  server::ProjectServer& project_;
-  server::TransitionerTimers& timers_;
+  UplinkMailbox& uplink_;
   const server::ShareSchedule& schedule_;
   sim::MetricSet& metrics_;
   AgentConfig config_;
   obs::Tracer* tracer_ = nullptr;
   faults::FaultSchedule* faults_ = nullptr;
+  bool server_complete_ = false;
 
-  // --- per-device state, dense, indexed by device ---
+  // --- per-device state, dense, indexed by shard-local device index ---
   std::vector<volunteer::DeviceSpec> specs_;
   std::vector<util::Rng> rngs_;
   std::vector<Phase> phases_;
@@ -222,22 +252,18 @@ class VolunteerFleet {
   std::vector<double> segment_start_;
   std::vector<double> offline_at_;
   std::vector<std::uint8_t> long_pause_due_;
+  std::vector<std::uint8_t> pending_request_;
+  std::vector<std::uint64_t> msg_seq_;
   std::vector<Handles> handles_;
   // --- fault-injection state; sized only when a schedule is active ---
+  std::vector<util::Rng> fault_rngs_;
+  std::vector<std::uint32_t> corruption_seq_;
   std::vector<PendingUpload> uploads_;
   std::vector<std::uint16_t> backoff_attempts_;  ///< work-request backoff
 
-  // --- shared Fig. 8 collection, in completion order ---
-  std::vector<std::uint32_t> runtime_device_;
-  std::vector<double> runtime_value_;
-
-  // --- metric series, resolved once at construction ---
-  util::TimeBinnedSeries& hcmd_runtime_;
-  util::TimeBinnedSeries& wcg_runtime_;
-  util::TimeBinnedSeries& hcmd_results_;
-  util::TimeBinnedSeries& hcmd_useful_results_;
-  util::TimeBinnedSeries& hcmd_useful_ref_seconds_;
-  util::TimeBinnedSeries& hcmd_credit_;
+  // --- shard-local exact run-time meters (merged by the engine) ---
+  util::ExactBinnedSeries hcmd_runtime_;
+  util::ExactBinnedSeries wcg_runtime_;
 
   // --- counter ids, interned once at construction; count(id) on the hot
   // path is a single indexed atomic add, no string hash ---

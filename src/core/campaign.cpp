@@ -6,12 +6,11 @@
 #include <optional>
 
 #include "client/fleet.hpp"
+#include "core/shard_engine.hpp"
 #include "obs/profile.hpp"
 #include "server/credit.hpp"
-#include "server/transitioner.hpp"
 #include "dedicated/grid.hpp"
 #include "sim/metrics.hpp"
-#include "sim/simulation.hpp"
 #include "util/duration.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -32,6 +31,8 @@ void CampaignConfig::validate() const {
     throw ConfigError("CampaignConfig: max_weeks must be > 0");
   if (mct_target_mean_seconds <= 0.0)
     throw ConfigError("CampaignConfig: mct_target_mean_seconds must be > 0");
+  if (shards == 0)
+    throw ConfigError("CampaignConfig: shards must be >= 1");
   for (const auto& s : snapshots) {
     if (util::days_between(start_date, s.date) < 0)
       throw ConfigError("CampaignConfig: snapshot before campaign start");
@@ -149,9 +150,6 @@ CampaignReport run_campaign(const CampaignConfig& config,
   server_cfg.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
   server::ProjectServer project(std::move(catalog), server_cfg);
 
-  sim::Simulation simulation;
-  server::TransitionerTimers timers(simulation, project);
-  timers.set_tracer(instruments.tracer);
   // Metric bins for the whole horizon are reserved up front; the weekly
   // meter appends never allocate mid-run.
   sim::MetricSet metrics(kSecondsPerWeek, config.max_weeks * kSecondsPerWeek);
@@ -160,17 +158,10 @@ CampaignReport run_campaign(const CampaignConfig& config,
   util::Rng fleet_rng = rng.fork("fleet");
   util::Rng agent_rng_root = rng.fork("agents");
 
-  // --- fault injection ---
-  // The schedule draws only from its own forked stream (fork() is const, so
-  // deriving it perturbs nothing), and an inert plan makes no draws and
-  // schedules no events: a faults-off run is bit-exact with a build that
-  // has no fault layer at all.
-  faults::FaultSchedule faults(config.faults, rng.fork("faults"));
-  faults.set_instruments(instruments.tracer, &metrics.registry());
-  project.set_fault_schedule(&faults);
-  timers.set_fault_schedule(&faults);
-
-  // --- fleet construction ---
+  // --- fleet population ---
+  // The whole population is drawn before the engine exists: the shard bound
+  // (at most one shard per device) can then be validated exactly, before a
+  // misconfigured run allocates `shards` sub-simulations.
   const volunteer::WcgPopulationModel population(config.population);
   const double attached =
       volunteer::expected_attached_fraction(config.devices);
@@ -184,41 +175,24 @@ CampaignReport run_campaign(const CampaignConfig& config,
            attached;
   };
 
-  client::VolunteerFleet fleet(simulation, project, timers, schedule,
-                               metrics, config.agent);
-  fleet.set_tracer(instruments.tracer);
-  fleet.set_fault_schedule(&faults);
-  // Size the fleet's per-device arrays from the *analytic* expected arrival
-  // count (initial cohort + growth + churn replacement means) — drawing the
-  // estimate from the RNG would perturb the stream. The Fig. 8 buffer is
-  // sized from the catalogue and the nominal redundancy.
+  std::vector<volunteer::DeviceSpec> specs;
+  // Reserve from the *analytic* expected arrival count (initial cohort +
+  // growth + churn replacement means) — drawing the estimate from the RNG
+  // would perturb the stream.
   {
     double expected = std::max(0.0, target_devices(0.0));
     for (double day = 0.0; day < max_days; day += 1.0)
       expected +=
           std::max(0.0, target_devices(day + 1.0) - target_devices(day)) +
           target_devices(day) / config.devices.lifetime_mean_days;
-    fleet.reserve_devices(static_cast<std::size_t>(expected * 1.05) + 16);
-    // Fig. 8 buffer: one entry per received HCMD result. A completed run
-    // receives ~catalogue x nominal redundancy; a shorter horizon cannot
-    // receive more than roughly its linear share of that, so short bench
-    // runs do not pay the full-campaign reservation.
-    const double campaign_fraction =
-        std::min(1.0, config.max_weeks / kNominalCampaignWeeks);
-    fleet.reserve_runtimes(static_cast<std::size_t>(
-        static_cast<double>(project.catalog().size()) * 1.5 *
-            campaign_fraction +
-        1024.0));
+    specs.reserve(static_cast<std::size_t>(expected * 1.05) + 16);
   }
 
   std::uint32_t next_device_id = 0;
   auto add_device = [&](double join_seconds) {
     const double years = (day0 + join_seconds / kSecondsPerDay) / 365.0;
-    volunteer::DeviceSpec spec =
-        volunteer::make_device(next_device_id++, join_seconds, years,
-                               fleet_rng, config.devices);
-    fleet.add_device(spec,
-                     agent_rng_root.fork("agent-" + std::to_string(spec.id)));
+    specs.push_back(volunteer::make_device(next_device_id++, join_seconds,
+                                           years, fleet_rng, config.devices));
   };
 
   const auto initial = static_cast<std::uint64_t>(
@@ -234,32 +208,40 @@ CampaignReport run_campaign(const CampaignConfig& config,
     for (std::uint64_t i = 0; i < arrivals; ++i)
       add_device((day + fleet_rng.next_double()) * kSecondsPerDay);
   }
-  report.devices_simulated = fleet.size();
-  // Warm-start the event arena near its expected high-water mark (each
-  // live device keeps a few timers pending); growth past it is organic.
-  simulation.reserve_events(fleet.size() * 2);
+  report.devices_simulated = specs.size();
+  if (config.shards > specs.size())
+    throw ConfigError("CampaignConfig: shards (" +
+                      std::to_string(config.shards) +
+                      ") exceed the simulated device count (" +
+                      std::to_string(specs.size()) + ")");
 
-  // --- fault plan events (only an *active* plan schedules anything) ---
-  if (faults.active()) {
-    for (const auto& spike : config.faults.churn_spikes) {
-      simulation.schedule_at(spike.time_seconds,
-                             [&fleet, f = spike.death_fraction] {
-                               fleet.mass_churn(f);
-                             });
-    }
-    // Outage boundary markers for the trace (pure observation).
-    for (std::uint32_t i = 0;
-         i < static_cast<std::uint32_t>(config.faults.outages.size()); ++i) {
-      const faults::OutageWindow w = config.faults.outages[i];
-      simulation.schedule_at(w.begin_seconds, [&faults, i,
-                                               t = w.begin_seconds] {
-        faults.note_outage_boundary(t, /*begin=*/true, i);
-      });
-      simulation.schedule_at(w.end_seconds, [&faults, i, t = w.end_seconds] {
-        faults.note_outage_boundary(t, /*begin=*/false, i);
-      });
-    }
-  }
+  // --- engine ---
+  // The epoch-barrier engine owns the shard simulations, the transitioner
+  // deadline book and the whole fault layer (one schedule per shard plus a
+  // server-side instance, every one forked from the same dedicated stream,
+  // so they classify stragglers and see outage windows identically). An
+  // inert fault plan makes no draws and schedules nothing: a faults-off run
+  // is bit-exact with a build that has no fault layer at all.
+  ShardEngineOptions engine_opts;
+  engine_opts.shards = config.shards;
+  engine_opts.tracer = instruments.tracer;
+  engine_opts.agent = config.agent;
+  ShardEngine engine(project, schedule, metrics, config.faults,
+                     rng.fork("faults"), engine_opts);
+  engine.reserve_devices(specs.size());
+  // Fig. 8 buffer: one entry per received HCMD result. A completed run
+  // receives ~catalogue x nominal redundancy; a shorter horizon cannot
+  // receive more than roughly its linear share of that, so short bench
+  // runs do not pay the full-campaign reservation.
+  engine.reserve_runtimes(static_cast<std::size_t>(
+      static_cast<double>(project.catalog().size()) * 1.5 *
+          std::min(1.0, config.max_weeks / kNominalCampaignWeeks) +
+      1024.0));
+  for (const auto& spec : specs)
+    engine.add_device(spec,
+                      agent_rng_root.fork("agent-" + std::to_string(spec.id)));
+  // The specs live on inside the shard fleets; free the staging copy.
+  std::vector<volunteer::DeviceSpec>().swap(specs);
 
   // --- Fig. 7 snapshots ---
   std::vector<double> total_per_receptor =
@@ -281,7 +263,7 @@ CampaignReport run_campaign(const CampaignConfig& config,
     const double t = static_cast<double>(util::days_between(
                          config.start_date, snap.date)) *
                      kSecondsPerDay;
-    simulation.schedule_at(t, [&, label = snap.label, t] {
+    engine.schedule_control(t, [&, label = snap.label, t] {
       report.snapshots.push_back(analysis::make_snapshot(
           label, t,
           reorder(project.completed_reference_seconds_per_receptor(
@@ -290,48 +272,42 @@ CampaignReport run_campaign(const CampaignConfig& config,
     });
   }
 
-  // --- completion detection (daily tick) ---
-  double completion_time = -1.0;
-  simulation.schedule_periodic(kSecondsPerDay, kSecondsPerDay,
-                               [&](sim::SimTime t) {
-                                 if (project.complete()) {
-                                   completion_time = t;
-                                   return false;  // stop the tick
-                                 }
-                                 return true;
-                               });
-
   // --- run, chunked weekly so we can stop shortly after completion ---
   phase_zone.reset();
   const double max_seconds = config.max_weeks * kSecondsPerWeek;
-  while (simulation.now() < max_seconds) {
-    if (completion_time >= 0.0 &&
-        simulation.now() >= completion_time + kSecondsPerWeek)
+  while (engine.now() < max_seconds) {
+    const double done_at = engine.completion_time_daily();
+    if (done_at >= 0.0 && engine.now() >= done_at + kSecondsPerWeek)
       break;  // one drain week for late arrivals, then stop
     {
       obs::ScopedZone week_zone(kZoneWeek);
-      simulation.run_until(
-          std::min(max_seconds, simulation.now() + kSecondsPerWeek));
+      engine.run_until(std::min(max_seconds, engine.now() + kSecondsPerWeek));
     }
     if (instruments.on_week) {
-      // Outside the event loop and after the week's events drained: the
-      // callback observes a quiescent simulation and cannot perturb it.
+      // Between barriers and after the week's events drained: the callback
+      // observes a quiescent engine and cannot perturb it.
       WeeklyProgress progress;
-      progress.week = simulation.now() / kSecondsPerWeek;
+      progress.week = engine.now() / kSecondsPerWeek;
       progress.results_received = project.counters().results_received;
       progress.workunits_completed = project.counters().workunits_completed;
       progress.workunits_total = project.catalog().size();
-      progress.devices = fleet.size();
-      progress.pending_events = simulation.pending_events();
+      progress.devices = engine.device_count();
+      progress.pending_events = engine.pending_events();
       instruments.on_week(progress);
     }
   }
+  // Fold shard tracers and the exact per-shard run-time bins into the
+  // MetricSet before reduction reads the weekly series.
+  engine.finalize();
   phase_zone.emplace(kZoneReduce);
 
+  const double completion_time = engine.completion_time_daily();
   report.completed = completion_time >= 0.0;
   report.completion_weeks = report.completed
                                 ? completion_time / kSecondsPerWeek
                                 : config.max_weeks;
+  report.shards = config.shards;
+  report.events_processed = engine.processed_events();
 
   // --- series and aggregates ---
   const auto weeks = static_cast<std::size_t>(
@@ -376,9 +352,9 @@ CampaignReport run_campaign(const CampaignConfig& config,
   report.avg_wcg_vftp_whole = mean_of(report.wcg_vftp_weekly, 0, weeks);
 
   report.counters = project.counters();
-  report.faults.enabled = faults.active();
+  report.faults.enabled = engine.faults_active();
   report.faults.plan = config.faults;
-  report.faults.counters = faults.counters();
+  report.faults.counters = engine.fault_counters();
   report.redundancy_factor = report.counters.redundancy_factor();
   report.useful_fraction = report.counters.useful_fraction();
   report.speeddown.reported_runtime_seconds =
@@ -388,7 +364,7 @@ CampaignReport run_campaign(const CampaignConfig& config,
   report.speeddown.redundancy_factor = report.redundancy_factor;
 
   // --- Fig. 8: reported runtimes of completed HCMD workunits ---
-  const std::vector<double> runtimes = fleet.runtimes_by_device();
+  const std::vector<double> runtimes = engine.runtimes_by_device();
   report.runtime_summary = util::summarize(runtimes);
   for (double r : runtimes)
     report.runtime_hours_hist.add(r / util::kSecondsPerHour);

@@ -116,6 +116,12 @@ struct CampaignReport {
   // --- fleet ---
   std::size_t devices_simulated = 0;  ///< raw (scaled) device count
 
+  // --- engine ---
+  std::uint32_t shards = 1;  ///< fleet partitions the run used
+  /// Discrete events executed across all shard simulations — the
+  /// denominator of the bench throughput counters.
+  std::uint64_t events_processed = 0;
+
   // --- telemetry snapshot (registry counters + histogram summaries) ---
   std::vector<TelemetryCounter> telemetry_counters;
   std::vector<TelemetryHistogram> telemetry_histograms;

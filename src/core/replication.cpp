@@ -1,6 +1,8 @@
 #include "core/replication.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -45,7 +47,19 @@ ReplicationResult replicate_campaign(const CampaignConfig& config,
   result.replicas = replicas;
   result.reports.resize(replicas);
 
-  util::ThreadPool pool(threads);
+  // Each replica is itself a parallel program when config.shards > 1 (the
+  // sharded engine runs up to `shards` workers). Cap the replica-level
+  // fan-out so replicas x shards never oversubscribes the machine:
+  // `threads` (or the hardware count when 0) is treated as the *total*
+  // worker budget and divided by the per-replica shard parallelism.
+  std::size_t budget = threads;
+  if (budget == 0) {
+    budget = std::thread::hardware_concurrency();
+    if (budget == 0) budget = 1;
+  }
+  const std::size_t replica_workers = std::max<std::size_t>(
+      1, budget / std::max<std::size_t>(1, config.shards));
+  util::ThreadPool pool(std::min(replica_workers, replicas));
   util::parallel_for(pool, replicas, [&](std::size_t i) {
     CampaignConfig replica = config;
     replica.seed = base_seed + i;

@@ -123,6 +123,8 @@ std::string run_report_json(const CampaignConfig& config,
   w.kv("completion_weeks", report.completion_weeks);
   w.kv("devices_simulated",
        static_cast<std::uint64_t>(report.devices_simulated));
+  w.kv("shards", static_cast<std::uint64_t>(report.shards));
+  w.kv("events_processed", report.events_processed);
   w.end_object();
 
   // --- raw (scaled) server lifecycle counters ---

@@ -68,6 +68,12 @@ struct CampaignConfig {
   double max_weeks = 40.0;
   std::uint64_t seed = 2007;
 
+  /// Fleet partitions for the epoch-barrier engine (core/shard_engine.hpp).
+  /// Results are bit-identical at any shard count; more shards buy
+  /// wall-clock parallelism on big fleets. Must not exceed the device
+  /// count (checked at run time once the fleet size is known).
+  std::uint32_t shards = 1;
+
   /// Fig. 7 progression snapshot dates.
   std::vector<SnapshotSpec> snapshots = {
       {"2007-03-20", util::CivilDate{2007, 3, 20}},

@@ -1,0 +1,225 @@
+// Sharded epoch-barrier campaign engine.
+//
+// The sequential campaign ran one Simulation holding every device and every
+// server timer — single-threaded by construction, ~40 minutes for the
+// full-scale (290k-device, 26-week) Phase I run. This engine partitions the
+// fleet into K sub-simulations (shard = global id mod K) that advance
+// independently through fixed epoch windows and meet at a barrier where all
+// server interaction happens:
+//
+//   * while a shard advances, its devices never touch the ProjectServer —
+//     work requests and result returns go into the shard's UplinkMailbox
+//     (client/uplink.hpp) stamped with the simulation time they happened at;
+//   * at the epoch barrier T_b the engine drains every mailbox, merges the
+//     messages with the due deadline ticks (server/deadline_book.hpp) and
+//     the due control items (Fig. 7 snapshots, churn spikes, outage
+//     markers), and replays the union against the single logical server in
+//     ascending (time, lane, key) order, answering requests back into the
+//     shards (deliver_assignment / deliver_denial);
+//   * every ordering key is built from shard-count-independent quantities —
+//     message time, global device id, per-device sequence number, result id
+//     — and every RNG stream a device consumes is forked from its global
+//     id, so a run at K shards is bit-identical to the sequential engine
+//     (K = 1 runs through the identical mailbox-and-barrier machinery).
+//
+// The visible semantic change vs. the old synchronous engine is assignment
+// latency: a device that asks for work at time t starts crunching at the
+// next barrier (mean epoch/2, with hourly epochs ~30 simulated minutes) —
+// indistinguishable from a scheduler RPC queueing delay at fleet scale.
+//
+// Aggregation is shard-count-invariant by design: registry counters are
+// striped atomics (exact sums in any interleaving), weekly run-time meters
+// accumulate per shard in util::ExactSum bins (addition is exact, hence
+// associative — the merge cannot depend on the partition), and the fault
+// layer keeps one FaultSchedule instance per shard plus one server-side,
+// all forked identically, whose counters sum for the report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "client/fleet.hpp"
+#include "client/uplink.hpp"
+#include "faults/plan.hpp"
+#include "faults/schedule.hpp"
+#include "obs/trace.hpp"
+#include "server/deadline_book.hpp"
+#include "server/server.hpp"
+#include "server/share_schedule.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hcmd::core {
+
+struct ShardEngineOptions {
+  /// Number of fleet partitions (>= 1). One shard reproduces the sequential
+  /// engine exactly; any K produces bit-identical results.
+  std::uint32_t shards = 1;
+  /// Barrier spacing in simulation seconds. Must divide the run_until
+  /// targets the driver uses (the campaign advances in whole weeks; the
+  /// default hour divides a week 168 times).
+  double epoch_seconds = 3600.0;
+  /// Worker threads for K > 1 (0 = min(shards, hardware)). K == 1 always
+  /// runs inline on the caller thread. Thread count never affects results.
+  std::size_t threads = 0;
+  /// Main tracer (may be null). With one shard it is wired straight into
+  /// the fleet; with several, each shard records into a private tracer
+  /// (record() is not thread-safe) absorbed at finalize().
+  obs::Tracer* tracer = nullptr;
+  /// Agent behaviour knobs, forwarded to every shard's fleet.
+  client::AgentConfig agent;
+};
+
+class ShardEngine {
+ public:
+  /// The engine owns the shard simulations and fleets; the caller owns the
+  /// server, schedule and metrics. `faults_rng` must be the stream
+  /// dedicated to fault draws (campaigns pass root.fork("faults")); every
+  /// per-shard FaultSchedule instance is constructed from a copy, so
+  /// straggler classification and outage windows agree across shards.
+  ShardEngine(server::ProjectServer& project,
+              const server::ShareSchedule& schedule, sim::MetricSet& metrics,
+              const faults::FaultPlan& fault_plan, util::Rng faults_rng,
+              ShardEngineOptions options);
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  // --- population ---------------------------------------------------------
+  void reserve_devices(std::size_t n);
+  /// Pre-sizes the Fig. 8 runtime buffers (entries = received HCMD results).
+  void reserve_runtimes(std::size_t n);
+  /// Routes the device to shard spec.id % K. `rng` is the device's
+  /// behaviour stream (forked from the global id by the caller); the
+  /// engine forks the device's fault stream from its global id itself.
+  void add_device(const volunteer::DeviceSpec& spec, util::Rng rng);
+  std::size_t device_count() const { return device_count_; }
+
+  // --- engine-level control items -----------------------------------------
+  /// Runs `fn` in the barrier merge at time `t` — ordered against messages
+  /// and deadlines by time (control first among equals), so the callback
+  /// observes the server exactly as the sequential engine's event at `t`
+  /// did. Register before running past `t`.
+  void schedule_control(double t, std::function<void()> fn);
+
+  // --- run ----------------------------------------------------------------
+  /// Advances all shards to `until` in epoch steps, processing a barrier at
+  /// each epoch boundary. `until` must be a multiple of epoch_seconds
+  /// away from the current time (the campaign's weekly chunks are).
+  void run_until(double until);
+  double now() const { return now_; }
+
+  /// Raw simulation time at which the last workunit assimilated (< 0 while
+  /// incomplete).
+  double completion_time_raw() const { return completion_raw_; }
+  /// The sequential engine detected completion with a daily tick; this
+  /// reproduces that timestamp (first daily tick at or after the raw time).
+  double completion_time_daily() const;
+
+  /// Merges per-shard state into the caller-visible sinks: shard tracers
+  /// into the main tracer, exact weekly run-time bins into the MetricSet
+  /// meter series. Call once, after the last run_until.
+  void finalize();
+
+  // --- reduction accessors ------------------------------------------------
+  std::uint64_t processed_events() const;
+  std::size_t pending_events() const;
+  /// Fault tallies summed over the server-side instance and every shard.
+  faults::FaultCounters fault_counters() const;
+  bool faults_active() const { return server_faults_.active(); }
+
+  /// Reported runtimes of received HCMD results grouped by global device
+  /// id (stable within a device) — the Fig. 8 ordering contract.
+  std::vector<double> runtimes_by_device() const;
+  /// Chronological reported runtimes for one device (test helper).
+  std::vector<double> reported_hcmd_runtimes(std::uint32_t global_id) const;
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  const client::VolunteerFleet& fleet(std::uint32_t shard) const {
+    return shards_[shard]->fleet;
+  }
+  /// Armed transitioner deadlines (test introspection).
+  std::size_t deadlines_armed() const { return deadlines_.armed(); }
+
+ private:
+  struct Shard {
+    sim::Simulation sim;
+    client::UplinkMailbox mailbox;
+    faults::FaultSchedule faults;
+    client::VolunteerFleet fleet;
+    /// Private tracer when K > 1 and tracing is on (absorbed at finalize).
+    std::unique_ptr<obs::Tracer> own_tracer;
+
+    Shard(const server::ShareSchedule& schedule, sim::MetricSet& metrics,
+          const faults::FaultPlan& plan, const util::Rng& faults_rng,
+          obs::Tracer* tracer, const client::AgentConfig& agent);
+  };
+
+  struct ControlItem {
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< registration order breaks time ties
+    std::function<void()> fn;
+  };
+
+  /// Sort key for one drained uplink message: (time, global id, per-device
+  /// seq) is a strict total order built from shard-count-independent
+  /// quantities. shard/index locate the payload in its mailbox.
+  struct MessageRef {
+    double time = 0.0;
+    std::uint32_t gid = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t shard = 0;
+    std::uint32_t index = 0;
+  };
+
+  void advance_shards(double until);
+  void process_barrier(double t);
+  void process_message(std::uint32_t shard, const client::UplinkMessage& m);
+
+  server::ProjectServer& project_;
+  sim::MetricSet& metrics_;
+  ShardEngineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Server-side fault instance: deadline deferrals, outage/churn notes —
+  /// events that belong to the barrier, not to any shard.
+  faults::FaultSchedule server_faults_;
+  util::Rng faults_rng_;  ///< per-device fault streams fork from this
+  server::DeadlineBook deadlines_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< created lazily for K > 1
+
+  std::vector<ControlItem> controls_;  ///< sorted (time, seq); drained front
+  std::size_t next_control_ = 0;
+  /// Per-spike churn outcomes, slot spike*K + shard: each shard writes its
+  /// own slot while advancing; the spike's control item aggregates them.
+  std::vector<client::VolunteerFleet::ChurnResult> spike_results_;
+
+  // Barrier scratch, reused across epochs (no per-epoch allocation in
+  // steady state).
+  std::vector<server::DeadlineBook::Due> due_scratch_;
+  std::vector<MessageRef> msg_order_;
+
+  // Server-side weekly series (appended at barriers only, in merged order,
+  // so plain TimeBinnedSeries suffices).
+  util::TimeBinnedSeries& hcmd_results_;
+  util::TimeBinnedSeries& hcmd_useful_results_;
+  util::TimeBinnedSeries& hcmd_useful_ref_seconds_;
+  util::TimeBinnedSeries& hcmd_credit_;
+
+  // Fig. 8 buffers, keyed by global device id, in merged receive order.
+  std::vector<std::uint32_t> runtime_device_;
+  std::vector<double> runtime_value_;
+
+  double now_ = 0.0;
+  double completion_raw_ = -1.0;
+  std::size_t device_count_ = 0;
+  std::uint64_t next_control_seq_ = 0;
+  bool events_reserved_ = false;
+};
+
+}  // namespace hcmd::core

@@ -53,10 +53,15 @@ double FaultSchedule::outage_end_after(double now) const {
 }
 
 double FaultSchedule::backoff_delay(std::uint32_t attempt) {
+  return backoff_delay(attempt, rng_);
+}
+
+double FaultSchedule::backoff_delay(std::uint32_t attempt,
+                                    util::Rng& rng) const {
   const double scale = std::ldexp(1.0, static_cast<int>(std::min(attempt, 40u)));
   const double base =
       std::min(plan_.backoff_initial_seconds * scale, plan_.backoff_cap_seconds);
-  return base * rng_.uniform(0.75, 1.25);
+  return base * rng.uniform(0.75, 1.25);
 }
 
 std::uint64_t FaultSchedule::draw_corruption_tag() {

@@ -37,6 +37,22 @@ struct FaultCounters {
   std::uint64_t churn_spikes = 0;
   std::uint64_t churn_killed = 0;
   std::uint64_t straggler_devices = 0;
+
+  /// Field-wise accumulation: the sharded engine keeps one FaultSchedule
+  /// instance per shard (plus one server-side) and sums their tallies for
+  /// the run report.
+  FaultCounters& operator+=(const FaultCounters& o) {
+    outage_denied_requests += o.outage_denied_requests;
+    deferred_uploads += o.deferred_uploads;
+    backoff_retries += o.backoff_retries;
+    deadline_deferrals += o.deadline_deferrals;
+    corrupted_results += o.corrupted_results;
+    lost_results += o.lost_results;
+    churn_spikes += o.churn_spikes;
+    churn_killed += o.churn_killed;
+    straggler_devices += o.straggler_devices;
+    return *this;
+  }
 };
 
 class FaultSchedule {
@@ -63,6 +79,10 @@ class FaultSchedule {
   /// Capped exponential backoff with deterministic jitter in [0.75, 1.25).
   /// `attempt` counts prior failures (0 for the first retry).
   double backoff_delay(std::uint32_t attempt);
+  /// Same delay law, jitter drawn from the caller's stream. The sharded
+  /// fleet passes the device's own fault stream so the draw sequence is a
+  /// per-device property, independent of shard count.
+  double backoff_delay(std::uint32_t attempt, util::Rng& rng) const;
 
   // --- per-result draws (dedicated stream) --------------------------------
   bool draw_corruption() { return rng_.bernoulli(plan_.corruption_rate); }
@@ -72,6 +92,19 @@ class FaultSchedule {
   /// validate against each other.
   std::uint64_t draw_corruption_tag();
   bool draw_churn_death(double fraction) { return rng_.bernoulli(fraction); }
+
+  // --- per-result draws from a caller-owned stream ------------------------
+  // The shard-count-invariant siblings of the draws above: the plan supplies
+  // the rates, the device supplies the stream.
+  bool draw_corruption(util::Rng& rng) const {
+    return rng.bernoulli(plan_.corruption_rate);
+  }
+  bool draw_loss(util::Rng& rng) const {
+    return rng.bernoulli(plan_.loss_rate);
+  }
+  bool draw_churn_death(double fraction, util::Rng& rng) const {
+    return rng.bernoulli(fraction);
+  }
 
   // --- straggler classification (event-stream independent) ----------------
   /// Deterministic per-device membership: hash(seed, device) < fraction.

@@ -47,13 +47,24 @@ const char* trace_ev_name(TraceEv ev) {
   return "?";
 }
 
-Tracer::Tracer(Options options) {
+Tracer::Tracer(Options options) : options_(options) {
   HCMD_ASSERT_MSG(options.capacity > 0, "tracer ring capacity must be > 0");
   const std::size_t capacity = std::bit_ceil(options.capacity);
   ring_.resize(capacity);  // the one allocation; recording never allocates
   mask_ = capacity - 1;
   for (std::size_t i = 0; i < kTraceCatCount; ++i)
     cats_[i].every = options.sample_every[i];
+}
+
+void Tracer::absorb(const Tracer& other) {
+  for (const TraceEvent& e : other.snapshot()) {
+    ring_[static_cast<std::size_t>(head_) & mask_] = e;
+    ++head_;
+  }
+  // Sampling decisions were already taken per-shard; only fold the offered
+  // tallies so seen() stays the whole-run count.
+  for (std::size_t i = 0; i < kTraceCatCount; ++i)
+    cats_[i].seen += other.cats_[i].seen;
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {

@@ -91,6 +91,8 @@ class Tracer {
   Tracer() : Tracer(Options{}) {}
   explicit Tracer(Options options);
 
+  const Options& options() const { return options_; }
+
   /// Hot path: deterministic sampling check + one 24-byte store.
   void record(TraceCat cat, TraceEv ev, double t, std::uint32_t id,
               std::uint32_t arg = 0, std::uint16_t extra = 0) {
@@ -118,6 +120,13 @@ class Tracer {
   /// The retained events, oldest first.
   std::vector<TraceEvent> snapshot() const;
 
+  /// Folds another tracer's retained events and seen tallies into this one
+  /// (events append in `other`'s retained order; sampling already happened
+  /// on `other`'s side). The sharded engine gives each shard a private
+  /// tracer — record() is not thread-safe — and absorbs them at the end of
+  /// the run.
+  void absorb(const Tracer& other);
+
   /// Chrome trace_event JSON ({"traceEvents": [...]}); sim seconds become
   /// trace microseconds, one pid per run, one tid per category.
   std::string chrome_trace_json() const;
@@ -130,6 +139,7 @@ class Tracer {
     std::uint32_t every = 1;
   };
 
+  Options options_;
   std::vector<TraceEvent> ring_;
   std::size_t mask_ = 0;
   std::uint64_t head_ = 0;

@@ -1,0 +1,74 @@
+// Result-deadline bookkeeping for the epoch-barrier campaign engine.
+//
+// The sequential engine armed one simulation timer per issued result (see
+// the old TransitionerTimers); with the fleet partitioned into shards there
+// is no single event heap for server-side timers to live in, and a deadline
+// is a *server* event in any case — it must fire in the deterministic
+// barrier merge, not inside whichever shard happens to host the device.
+// DeadlineBook is therefore simulation-free: a min-heap of (deadline,
+// result id) plus an armed map, drained at each epoch barrier with
+// `pop_due`, which yields due deadlines in the same (time, id) order at any
+// shard count.
+//
+// Disarm is lazy (the heap entry stays; the armed map is authoritative), and
+// re-arming the same result at a later time — the transitioner's outage
+// deferral — supersedes the earlier entry because the armed map records the
+// time the entry was armed for.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace hcmd::server {
+
+class DeadlineBook {
+ public:
+  struct Due {
+    double time = 0.0;
+    std::uint64_t result_id = 0;
+  };
+
+  /// Arms (or re-arms, superseding) the deadline tick for a result.
+  void arm(std::uint64_t result_id, double deadline) {
+    armed_[result_id] = deadline;
+    heap_.push_back({deadline, result_id});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Retires a pending tick (no-op if it already fired or never existed).
+  void disarm(std::uint64_t result_id) { armed_.erase(result_id); }
+
+  std::size_t armed() const { return armed_.size(); }
+
+  /// Appends every armed deadline with time <= t to `out`, in ascending
+  /// (time, result id) order, and disarms them. Stale heap entries (lazily
+  /// disarmed or superseded by a re-arm) are dropped silently.
+  void pop_due(double t, std::vector<Due>& out) {
+    while (!heap_.empty() && heap_.front().time <= t) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      const Due due = heap_.back();
+      heap_.pop_back();
+      const auto it = armed_.find(due.result_id);
+      if (it == armed_.end() || it->second != due.time) continue;
+      armed_.erase(it);
+      out.push_back(due);
+    }
+  }
+
+ private:
+  /// Min-heap order with the id as tie-break, so equal-time deadlines pop
+  /// in a deterministic, shard-count-independent order.
+  struct Later {
+    bool operator()(const Due& a, const Due& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.result_id > b.result_id;
+    }
+  };
+
+  std::vector<Due> heap_;
+  std::unordered_map<std::uint64_t, double> armed_;
+};
+
+}  // namespace hcmd::server

@@ -1,0 +1,155 @@
+// Order-independent exact accumulation of non-negative doubles.
+//
+// The sharded campaign engine accumulates the weekly run-time meters
+// (hcmd/wcg VFTP bins) per shard and merges the partials at the end of the
+// run. Plain double partial sums would make the merged total depend on how
+// the fleet was partitioned — the grouping changes the rounding — so a run
+// at K shards would not be bit-identical to the sequential engine. ExactSum
+// removes the rounding entirely: it is a fixed-point superaccumulator
+// spanning the full double exponent range, so addition is exact and
+// therefore associative and commutative. `merge` adds two accumulators
+// limb-wise (also exact), and `round()` converts the exact value back to a
+// double with one deterministic low-to-high composition. Any grouping of
+// the same multiset of inputs yields the same limbs, hence the same double.
+//
+// Restricted to non-negative inputs (every campaign meter contribution is a
+// duration or a count), which keeps the limbs unsigned and carry handling
+// trivial. ~540 bytes per accumulator; add() is a frexp, two shifts and
+// four limb additions.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hcmd::util {
+
+class ExactSum {
+ public:
+  /// Adds a finite value >= 0. Exact: no rounding at any magnitude.
+  void add(double x) {
+    HCMD_ASSERT_MSG(x >= 0.0 && std::isfinite(x),
+                    "ExactSum requires finite non-negative inputs");
+    if (x == 0.0) return;
+    int exp2 = 0;
+    const double frac = std::frexp(x, &exp2);  // x = frac * 2^exp2, frac in [0.5, 1)
+    const auto mantissa =
+        static_cast<std::uint64_t>(std::ldexp(frac, kMantissaBits));
+    // x = mantissa * 2^(exp2 - kMantissaBits); lowest bit position of the
+    // mantissa, offset so the most negative representable bit lands at 0.
+    const int bit = exp2 - kMantissaBits + kBitBias;
+    const int limb = bit >> 5;
+    const int shift = bit & 31;
+    // Split the 53-bit mantissa into two 32-bit halves so the shifted
+    // chunks stay inside 64 bits (32 + 31 < 64).
+    const std::uint64_t lo = (mantissa & 0xFFFFFFFFu) << shift;
+    const std::uint64_t hi = (mantissa >> 32) << shift;
+    limbs_[limb] += lo & 0xFFFFFFFFu;
+    limbs_[limb + 1] += (lo >> 32) + (hi & 0xFFFFFFFFu);
+    limbs_[limb + 2] += hi >> 32;
+    if (++adds_ >= kNormalizeEvery) normalize();
+  }
+
+  /// Adds another accumulator. Exact and symmetric: merging shard partials
+  /// in any order produces the same state as accumulating sequentially.
+  void merge(const ExactSum& other) {
+    // Each limb holds < 2^33 after at most kNormalizeEvery buffered adds,
+    // so one pairwise merge cannot overflow; normalize afterwards to
+    // restore headroom for subsequent merges.
+    for (int i = 0; i < kLimbs; ++i) limbs_[i] += other.limbs_[i];
+    normalize();
+  }
+
+  /// The accumulated value, rounded once. Deterministic: composed from the
+  /// exact limb state in a fixed low-to-high order, so it depends only on
+  /// the multiset of inputs, never on add/merge grouping.
+  double round() const {
+    ExactSum tmp = *this;
+    tmp.normalize();
+    double acc = 0.0;
+    for (int i = 0; i < kLimbs; ++i) {
+      if (tmp.limbs_[i] == 0) continue;
+      acc += std::ldexp(static_cast<double>(tmp.limbs_[i]),
+                        32 * i - kBitBias);
+    }
+    return acc;
+  }
+
+  bool zero() const {
+    for (int i = 0; i < kLimbs; ++i)
+      if (limbs_[i] != 0) return false;
+    return true;
+  }
+
+ private:
+  static constexpr int kMantissaBits = 53;
+  /// frexp() of the smallest subnormal gives exp2 = -1073, and add()
+  /// deposits a full 53-bit mantissa window whose (zero) tail reaches down
+  /// to bit exp2 - 53: bias by 1073 + 53 so every deposit lands at a
+  /// non-negative limb index.
+  static constexpr int kBitBias = 1073 + kMantissaBits;
+  /// Bit positions -1074 .. 1023 plus carry headroom, in 32-bit limbs.
+  static constexpr int kLimbs = (kBitBias + 1024) / 32 + 3;
+  /// Each add deposits < 2^33 per limb; with 31 bits of limb headroom a
+  /// carry pass every 2^29 adds keeps every limb comfortably below 2^63.
+  static constexpr std::uint32_t kNormalizeEvery = 1u << 29;
+
+  void normalize() {
+    std::uint64_t carry = 0;
+    for (int i = 0; i < kLimbs; ++i) {
+      const std::uint64_t v = limbs_[i] + carry;
+      limbs_[i] = v & 0xFFFFFFFFu;
+      carry = v >> 32;
+    }
+    HCMD_ASSERT_MSG(carry == 0, "ExactSum overflow past 2^1024");
+    adds_ = 0;
+  }
+
+  std::uint64_t limbs_[kLimbs] = {};
+  std::uint32_t adds_ = 0;
+};
+
+/// Time-binned series backed by ExactSum bins: the exact-arithmetic sibling
+/// of util::TimeBinnedSeries, used for meters that accumulate concurrently
+/// on several shards and must merge to a partition-independent total.
+class ExactBinnedSeries {
+ public:
+  ExactBinnedSeries(double origin, double width) : origin_(origin),
+                                                   width_(width) {
+    HCMD_ASSERT(width > 0.0);
+  }
+
+  void add(double t, double amount) {
+    const auto i = index(t);
+    if (i >= bins_.size()) bins_.resize(i + 1);
+    bins_[i].add(amount);
+  }
+
+  void reserve_through(double t) { bins_.reserve(index(t) + 1); }
+
+  void merge(const ExactBinnedSeries& other) {
+    if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size());
+    for (std::size_t i = 0; i < other.bins_.size(); ++i)
+      bins_[i].merge(other.bins_[i]);
+  }
+
+  std::size_t size() const { return bins_.size(); }
+  double value(std::size_t i) const { return bins_.at(i).round(); }
+  double origin() const { return origin_; }
+  double width() const { return width_; }
+
+ private:
+  std::size_t index(double t) const {
+    const double offset = (t - origin_) / width_;
+    HCMD_ASSERT_MSG(offset >= 0.0, "sample before series origin");
+    return static_cast<std::size_t>(offset);
+  }
+
+  double origin_;
+  double width_;
+  std::vector<ExactSum> bins_;
+};
+
+}  // namespace hcmd::util

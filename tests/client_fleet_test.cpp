@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/shard_engine.hpp"
 #include "util/duration.hpp"
 
 namespace hcmd::client {
@@ -27,22 +28,32 @@ std::vector<packaging::Workunit> make_catalog(std::size_t n,
   return catalog;
 }
 
-/// Test harness: one simulation + server + schedule + a configurable fleet.
+/// Test harness: one epoch-barrier engine + server + schedule. The default
+/// single shard reproduces the sequential engine; `shards` exercises the
+/// partitioned path through the identical machinery.
 struct Harness {
-  sim::Simulation simulation;
   sim::MetricSet metrics{kSecondsPerWeek};
   server::ShareSchedule schedule;
   server::ProjectServer project;
-  server::TransitionerTimers timers{simulation, project};
-  VolunteerFleet fleet;
+  core::ShardEngine engine;
 
   explicit Harness(std::size_t workunits, double ref_seconds = 2.0 * 3600.0,
                    server::ServerConfig server_cfg = plain_server_config(),
                    server::ShareScheduleParams share = always_hcmd(),
-                   AgentConfig agent_cfg = {})
+                   AgentConfig agent_cfg = {}, std::uint32_t shards = 1)
       : schedule(share),
         project(make_catalog(workunits, ref_seconds), server_cfg),
-        fleet(simulation, project, timers, schedule, metrics, agent_cfg) {}
+        engine(project, schedule, metrics, faults::FaultPlan{},
+               util::Rng(2007).fork("faults"),
+               make_options(agent_cfg, shards)) {}
+
+  static core::ShardEngineOptions make_options(const AgentConfig& agent_cfg,
+                                               std::uint32_t shards) {
+    core::ShardEngineOptions o;
+    o.shards = shards;
+    o.agent = agent_cfg;
+    return o;
+  }
 
   static server::ServerConfig plain_server_config() {
     server::ServerConfig cfg;
@@ -76,15 +87,19 @@ struct Harness {
     return d;
   }
 
+  /// Returns the device's global id (the `reported_hcmd_runtimes` key).
   std::uint32_t add(const volunteer::DeviceSpec& spec) {
-    return fleet.add_device(spec, util::Rng(1000 + spec.id));
+    engine.add_device(spec, util::Rng(1000 + spec.id));
+    return spec.id;
   }
+
+  void run(double until) { engine.run_until(until); }
 };
 
 TEST(Fleet, ReliableDeviceDrainsCatalog) {
   Harness h(5);
   h.add(Harness::reliable_device(0));
-  h.simulation.run_until(4.0 * kSecondsPerWeek);
+  h.run(4.0 * kSecondsPerWeek);
   EXPECT_TRUE(h.project.complete());
   EXPECT_EQ(h.project.counters().results_valid, 5u);
   EXPECT_EQ(h.project.counters().results_invalid, 0u);
@@ -95,8 +110,8 @@ TEST(Fleet, UdReportedRuntimeReflectsEffectiveSpeed) {
   volunteer::DeviceSpec d = Harness::reliable_device(0);
   d.throttle = 0.5;  // effective speed 0.5 -> 4 h wall for a 2 h WU
   const std::uint32_t dev = h.add(d);
-  h.simulation.run_until(2.0 * kSecondsPerWeek);
-  const auto runtimes = h.fleet.reported_hcmd_runtimes(dev);
+  h.run(2.0 * kSecondsPerWeek);
+  const auto runtimes = h.engine.reported_hcmd_runtimes(dev);
   ASSERT_EQ(runtimes.size(), 1u);
   EXPECT_NEAR(runtimes[0], 4.0 * 3600.0, 60.0);
 }
@@ -107,8 +122,8 @@ TEST(Fleet, BoincAccountingReportsCpuTime) {
   d.speed_factor = 0.5;  // 2 h reference -> 4 h CPU on this device
   d.accounting = volunteer::AccountingMode::kBoincCpuTime;
   const std::uint32_t dev = h.add(d);
-  h.simulation.run_until(2.0 * kSecondsPerWeek);
-  const auto runtimes = h.fleet.reported_hcmd_runtimes(dev);
+  h.run(2.0 * kSecondsPerWeek);
+  const auto runtimes = h.engine.reported_hcmd_runtimes(dev);
   ASSERT_EQ(runtimes.size(), 1u);
   EXPECT_NEAR(runtimes[0], 4.0 * 3600.0, 60.0);
 }
@@ -116,7 +131,8 @@ TEST(Fleet, BoincAccountingReportsCpuTime) {
 TEST(Fleet, RuntimeMetricsAccumulate) {
   Harness h(3);
   h.add(Harness::reliable_device(0));
-  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  h.run(2.0 * kSecondsPerWeek);
+  h.engine.finalize();  // folds the exact run-time bins into the MetricSet
   const auto& hcmd_series = h.metrics.series(metric::kHcmdRuntime);
   const auto& wcg_series = h.metrics.series(metric::kWcgRuntime);
   ASSERT_GT(hcmd_series.size(), 0u);
@@ -136,7 +152,8 @@ TEST(Fleet, ShareZeroMeansOtherProjectsOnly) {
   share.full_share = 0.0;
   Harness h(2, 2.0 * 3600.0, Harness::plain_server_config(), share);
   h.add(Harness::reliable_device(0));
-  h.simulation.run_until(1.0 * kSecondsPerWeek);
+  h.run(1.0 * kSecondsPerWeek);
+  h.engine.finalize();
   EXPECT_FALSE(h.project.complete());
   EXPECT_EQ(h.project.counters().results_received, 0u);
   // But the device crunched other-project work the whole time.
@@ -151,7 +168,7 @@ TEST(Fleet, ErrorProneDeviceProducesInvalidResults) {
   volunteer::DeviceSpec d = Harness::reliable_device(0);
   d.error_rate = 1.0;  // every result invalid
   h.add(d);
-  h.simulation.run_until(1.0 * kSecondsPerWeek);
+  h.run(1.0 * kSecondsPerWeek);
   EXPECT_FALSE(h.project.complete());
   EXPECT_GT(h.project.counters().results_invalid, 0u);
   EXPECT_EQ(h.project.counters().results_valid, 0u);
@@ -165,19 +182,19 @@ TEST(Fleet, InterruptionsLoseCheckpointProgress) {
   Harness smooth(1, ref);
   volunteer::DeviceSpec ds = Harness::reliable_device(0);
   const std::uint32_t smooth_dev = smooth.add(ds);
-  smooth.simulation.run_until(6.0 * kSecondsPerWeek);
+  smooth.run(6.0 * kSecondsPerWeek);
 
   Harness choppy(1, ref);
   volunteer::DeviceSpec dc = Harness::reliable_device(0);
   dc.on_mean_seconds = 2.0 * 3600.0;  // interrupts every ~2 h
   dc.off_mean_seconds = 600.0;
   const std::uint32_t choppy_dev = choppy.add(dc);
-  choppy.simulation.run_until(6.0 * kSecondsPerWeek);
+  choppy.run(6.0 * kSecondsPerWeek);
 
   const auto smooth_runtimes =
-      smooth.fleet.reported_hcmd_runtimes(smooth_dev);
+      smooth.engine.reported_hcmd_runtimes(smooth_dev);
   const auto choppy_runtimes =
-      choppy.fleet.reported_hcmd_runtimes(choppy_dev);
+      choppy.engine.reported_hcmd_runtimes(choppy_dev);
   ASSERT_EQ(smooth_runtimes.size(), 1u);
   ASSERT_EQ(choppy_runtimes.size(), 1u);
   EXPECT_GT(choppy_runtimes[0], smooth_runtimes[0]);
@@ -188,12 +205,12 @@ TEST(Fleet, DeadDeviceWorkTimesOutAndIsReissued) {
   cfg.deadline = 2.0 * kSecondsPerDay;
   Harness h(1, 20.0 * 3600.0, cfg);
   volunteer::DeviceSpec mortal = Harness::reliable_device(0);
-  mortal.lifetime_seconds = 3600.0;  // dies one hour in, holding the WU
+  mortal.lifetime_seconds = 2.0 * 3600.0;  // dies early, holding the WU
   h.add(mortal);
   volunteer::DeviceSpec survivor = Harness::reliable_device(1);
   survivor.join_time = 3.0 * kSecondsPerDay;  // joins after the deadline
   h.add(survivor);
-  h.simulation.run_until(8.0 * kSecondsPerWeek);
+  h.run(8.0 * kSecondsPerWeek);
   EXPECT_TRUE(h.project.complete());
   EXPECT_EQ(h.project.counters().results_timed_out, 1u);
 }
@@ -210,7 +227,7 @@ TEST(Fleet, LongPauseLeadsToLateRedundantUpload) {
   volunteer::DeviceSpec helper = Harness::reliable_device(1);
   helper.join_time = 2.0 * kSecondsPerDay;
   h.add(helper);
-  h.simulation.run_until(30.0 * kSecondsPerWeek);
+  h.run(30.0 * kSecondsPerWeek);
   EXPECT_TRUE(h.project.complete());
   const auto& c = h.project.counters();
   EXPECT_EQ(c.results_timed_out, 1u);
@@ -222,7 +239,7 @@ TEST(Fleet, LongPauseLeadsToLateRedundantUpload) {
 TEST(Fleet, UsefulResultMetricsMatchServerCounters) {
   Harness h(4);
   h.add(Harness::reliable_device(0));
-  h.simulation.run_until(3.0 * kSecondsPerWeek);
+  h.run(3.0 * kSecondsPerWeek);
   const auto& useful = h.metrics.series(metric::kHcmdUsefulResults);
   double total = 0.0;
   for (std::size_t i = 0; i < useful.size(); ++i) total += useful.value(i);
@@ -234,29 +251,55 @@ TEST(Fleet, MultipleDevicesShareTheCatalog) {
   Harness h(20, 1.0 * 3600.0);
   for (std::uint32_t i = 0; i < 4; ++i)
     h.add(Harness::reliable_device(i));
-  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  h.run(2.0 * kSecondsPerWeek);
   EXPECT_TRUE(h.project.complete());
   // Every device got some work.
   for (std::uint32_t d = 0; d < 4; ++d)
-    EXPECT_GT(h.fleet.reported_hcmd_runtimes(d).size(), 0u);
+    EXPECT_GT(h.engine.reported_hcmd_runtimes(d).size(), 0u);
 }
 
 TEST(Fleet, RuntimesByDeviceConcatenatesPerDeviceChronologically) {
-  // Two interleaved devices: the shared completion-order buffer must come
-  // back out grouped by device, chronological within each device — the
-  // exact order the old per-agent vectors concatenated to.
+  // Two interleaved devices: the shared receive-order buffer must come back
+  // out grouped by device, chronological within each device — the exact
+  // order the old per-agent vectors concatenated to.
   Harness h(8, 1.0 * 3600.0);
   const std::uint32_t a = h.add(Harness::reliable_device(0));
   const std::uint32_t b = h.add(Harness::reliable_device(1));
-  h.simulation.run_until(2.0 * kSecondsPerWeek);
-  const auto by_a = h.fleet.reported_hcmd_runtimes(a);
-  const auto by_b = h.fleet.reported_hcmd_runtimes(b);
+  h.run(2.0 * kSecondsPerWeek);
+  const auto by_a = h.engine.reported_hcmd_runtimes(a);
+  const auto by_b = h.engine.reported_hcmd_runtimes(b);
   ASSERT_GT(by_a.size(), 0u);
   ASSERT_GT(by_b.size(), 0u);
   std::vector<double> expected = by_a;
   expected.insert(expected.end(), by_b.begin(), by_b.end());
-  EXPECT_EQ(h.fleet.runtimes_by_device(), expected);
-  EXPECT_EQ(h.fleet.runtime_count(), expected.size());
+  EXPECT_EQ(h.engine.runtimes_by_device(), expected);
+}
+
+TEST(Fleet, ShardedHarnessMatchesSequentialExactly) {
+  // The same four devices split over three shards must reproduce the
+  // single-shard run result for result: the engine's ordering keys are all
+  // built from shard-count-independent quantities.
+  Harness seq(12, 1.0 * 3600.0);
+  Harness par(12, 1.0 * 3600.0, Harness::plain_server_config(),
+              Harness::always_hcmd(), AgentConfig{}, /*shards=*/3);
+  for (auto* h : {&seq, &par}) {
+    for (std::uint32_t i = 0; i < 4; ++i)
+      h->add(Harness::reliable_device(i));
+    h->run(2.0 * kSecondsPerWeek);
+  }
+  EXPECT_EQ(par.engine.shard_count(), 3u);
+  const auto& a = seq.project.counters();
+  const auto& b = par.project.counters();
+  EXPECT_EQ(a.results_sent, b.results_sent);
+  EXPECT_EQ(a.results_received, b.results_received);
+  EXPECT_EQ(a.results_valid, b.results_valid);
+  EXPECT_EQ(seq.engine.runtimes_by_device(), par.engine.runtimes_by_device());
+  for (std::uint64_t i = 0; i < a.results_sent; ++i) {
+    EXPECT_DOUBLE_EQ(seq.project.result(i).sent_time,
+                     par.project.result(i).sent_time);
+    EXPECT_DOUBLE_EQ(seq.project.result(i).received_time,
+                     par.project.result(i).received_time);
+  }
 }
 
 }  // namespace

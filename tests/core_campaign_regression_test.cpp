@@ -1,9 +1,11 @@
 // Golden regression for the campaign headline numbers (F6a/F6b/T2 inputs):
 // the default-seed coarse campaign must reproduce these values *bit
-// exactly*. The constants were captured from the seed engine
-// (std::priority_queue + std::function events) before the pooled-arena /
-// indexed-heap rewrite, so any drift here means the DES core changed
-// dispatch order or timing — a determinism bug, not a tolerance issue.
+// exactly*. The constants were re-captured when the sharded epoch-barrier
+// engine replaced the synchronous transitioner (server RPCs now resolve at
+// hourly barriers and deadlines fire with hourly rather than daily
+// resolution — an intentional semantic change), so any drift here means
+// the engine changed dispatch order or timing — a determinism bug, not a
+// tolerance issue.
 //
 // If an intentional semantic change to the campaign model lands, re-capture
 // with a %.17g printf of the fields below and update the constants in the
@@ -28,12 +30,12 @@ TEST(CampaignGolden, LifecycleCountersBitExact) {
   const auto& r = golden_report();
   const auto& c = r.counters;
   EXPECT_EQ(r.devices_simulated, 2915u);
-  EXPECT_EQ(c.results_sent, 48183u);
-  EXPECT_EQ(c.results_received, 47795u);
+  EXPECT_EQ(c.results_sent, 48237u);
+  EXPECT_EQ(c.results_received, 47811u);
   EXPECT_EQ(c.results_valid, 34567u);
-  EXPECT_EQ(c.results_quorum_extra, 3528u);
-  EXPECT_EQ(c.results_invalid, 702u);
-  EXPECT_EQ(c.results_redundant, 8998u);
+  EXPECT_EQ(c.results_quorum_extra, 3530u);
+  EXPECT_EQ(c.results_invalid, 734u);
+  EXPECT_EQ(c.results_redundant, 8980u);
   EXPECT_EQ(c.results_timed_out, 1274u);
   EXPECT_EQ(c.results_pending, 0u);
   EXPECT_EQ(c.quorum_mismatches, 0u);
@@ -45,23 +47,23 @@ TEST(CampaignGolden, LifecycleCountersBitExact) {
 TEST(CampaignGolden, CompletionAndRuntimeAggregatesBitExact) {
   const auto& r = golden_report();
   // EXPECT_DOUBLE_EQ would allow 4 ulps; the requirement is bit-identity.
-  EXPECT_EQ(r.completion_weeks, 26.428571428571427);
-  EXPECT_EQ(r.counters.useful_reference_seconds, 449868784.90103674);
-  EXPECT_EQ(r.counters.reported_runtime_seconds, 2474099628.8389344);
-  EXPECT_EQ(r.runtime_summary.mean, 51764.821191316354);
-  EXPECT_EQ(r.runtime_summary.count, 47795u);
+  EXPECT_EQ(r.completion_weeks, 25.428571428571427);
+  EXPECT_EQ(r.counters.useful_reference_seconds, 449868784.9010374);
+  EXPECT_EQ(r.counters.reported_runtime_seconds, 2465283311.17629);
+  EXPECT_EQ(r.runtime_summary.mean, 51563.098683907003);
+  EXPECT_EQ(r.runtime_summary.count, 47811u);
 }
 
 TEST(CampaignGolden, VftpAndCreditSeriesBitExact) {
   const auto& r = golden_report();
-  EXPECT_EQ(r.avg_wcg_vftp_whole, 56202.131663948217);
-  EXPECT_EQ(r.avg_hcmd_vftp_whole, 15512.506947934324);
-  EXPECT_EQ(r.avg_hcmd_vftp_fullpower, 22790.655920413839);
-  EXPECT_EQ(r.total_credit, 81416886.649680674);
+  EXPECT_EQ(r.avg_wcg_vftp_whole, 55869.374238346973);
+  EXPECT_EQ(r.avg_hcmd_vftp_whole, 16043.688621537811);
+  EXPECT_EQ(r.avg_hcmd_vftp_fullpower, 24197.228945140163);
+  EXPECT_EQ(r.total_credit, 80674801.988260508);
   ASSERT_GT(r.hcmd_vftp_weekly.size(), 3u);
   ASSERT_GT(r.results_received_weekly.size(), 3u);
-  EXPECT_EQ(r.hcmd_vftp_weekly[3], 1690.7902416248728);
-  EXPECT_EQ(r.results_received_weekly[3], 19500.0);
+  EXPECT_EQ(r.hcmd_vftp_weekly[3], 1764.2503912872207);
+  EXPECT_EQ(r.results_received_weekly[3], 20500.0);
 }
 
 }  // namespace

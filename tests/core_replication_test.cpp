@@ -43,6 +43,29 @@ TEST(Replication, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(Replication, ComposesWithShardedRunsDeterministically) {
+  // replicas x shards: the replica fan-out divides its worker budget by the
+  // per-replica shard parallelism (no oversubscription), and sharding a
+  // replica never changes its report — the sharded replicated summary is
+  // bit-identical to the sequential one.
+  CampaignConfig sharded = tiny_config();
+  sharded.shards = 2;
+  const ReplicationResult a = replicate_campaign(tiny_config(), 2, 31, 2);
+  const ReplicationResult b = replicate_campaign(sharded, 2, 31, 2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(a.reports[i].counters.results_received,
+              b.reports[i].counters.results_received);
+    EXPECT_EQ(a.reports[i].counters.results_valid,
+              b.reports[i].counters.results_valid);
+    EXPECT_EQ(a.reports[i].completion_weeks, b.reports[i].completion_weeks);
+    EXPECT_EQ(b.reports[i].shards, 2u);
+  }
+  for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+    EXPECT_EQ(a.metrics[m].mean, b.metrics[m].mean) << a.metrics[m].name;
+    EXPECT_EQ(a.metrics[m].stddev, b.metrics[m].stddev) << a.metrics[m].name;
+  }
+}
+
 TEST(Replication, MetricLookup) {
   const ReplicationResult r = replicate_campaign(tiny_config(), 2, 5, 2);
   EXPECT_NO_THROW(r.metric("redundancy_factor"));

@@ -62,17 +62,17 @@ TEST(TraceDeterminism, TracingDoesNotPerturbGoldenNumbers) {
   const auto& r = first_run().report;
   const auto& c = r.counters;
   EXPECT_EQ(r.devices_simulated, 2915u);
-  EXPECT_EQ(c.results_sent, 48183u);
-  EXPECT_EQ(c.results_received, 47795u);
+  EXPECT_EQ(c.results_sent, 48237u);
+  EXPECT_EQ(c.results_received, 47811u);
   EXPECT_EQ(c.results_valid, 34567u);
   EXPECT_EQ(c.workunits_completed, 34567u);
-  EXPECT_EQ(r.completion_weeks, 26.428571428571427);
-  EXPECT_EQ(r.counters.useful_reference_seconds, 449868784.90103674);
-  EXPECT_EQ(r.counters.reported_runtime_seconds, 2474099628.8389344);
-  EXPECT_EQ(r.runtime_summary.mean, 51764.821191316354);
-  EXPECT_EQ(r.avg_wcg_vftp_whole, 56202.131663948217);
-  EXPECT_EQ(r.avg_hcmd_vftp_whole, 15512.506947934324);
-  EXPECT_EQ(r.total_credit, 81416886.649680674);
+  EXPECT_EQ(r.completion_weeks, 25.428571428571427);
+  EXPECT_EQ(r.counters.useful_reference_seconds, 449868784.9010374);
+  EXPECT_EQ(r.counters.reported_runtime_seconds, 2465283311.17629);
+  EXPECT_EQ(r.runtime_summary.mean, 51563.098683907003);
+  EXPECT_EQ(r.avg_wcg_vftp_whole, 55869.374238346973);
+  EXPECT_EQ(r.avg_hcmd_vftp_whole, 16043.688621537811);
+  EXPECT_EQ(r.total_credit, 80674801.988260508);
 }
 
 TEST(TraceDeterminism, TraceStreamCoversLifecycle) {

@@ -1,5 +1,5 @@
-// End-to-end fault injection through the server/transitioner/fleet stack:
-// outage windows block issue and delivery, corruption is caught by quorum
+// End-to-end fault injection through the server/engine/fleet stack: outage
+// windows block issue and delivery, corruption is caught by quorum
 // validation, losses are recovered by deadline reissue, stragglers slow
 // down, churn spikes kill, and an inert schedule changes nothing at all.
 #include "faults/schedule.hpp"
@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "client/fleet.hpp"
+#include "core/shard_engine.hpp"
 #include "util/duration.hpp"
 
 namespace hcmd::client {
@@ -32,34 +33,33 @@ std::vector<packaging::Workunit> make_catalog(std::size_t n,
   return catalog;
 }
 
-/// Like client_fleet_test's harness, plus a FaultSchedule wired through the
-/// whole stack (server issue path, transitioner deadlines, fleet).
+/// Like client_fleet_test's harness; the engine owns the fault layer (one
+/// schedule per shard plus the server-side instance) and schedules the
+/// plan's spike/outage events itself, exactly as the campaign layer runs.
 struct Harness {
-  sim::Simulation simulation;
   sim::MetricSet metrics{kSecondsPerWeek};
-  faults::FaultSchedule faults;
   server::ShareSchedule schedule;
   server::ProjectServer project;
-  server::TransitionerTimers timers{simulation, project};
-  VolunteerFleet fleet;
+  core::ShardEngine engine;
 
   explicit Harness(const faults::FaultPlan& plan, std::size_t workunits,
                    double ref_seconds = 2.0 * 3600.0,
-                   server::ServerConfig server_cfg = plain_server_config())
-      : faults(plan, util::Rng(2007).fork("faults")),
-        schedule(always_hcmd()),
-        project(make_catalog(workunits, ref_seconds), server_cfg),
-        fleet(simulation, project, timers, schedule, metrics, AgentConfig{}) {
-    project.set_fault_schedule(&faults);
-    timers.set_fault_schedule(&faults);
-    fleet.set_fault_schedule(&faults);
-  }
-
-  /// Faults-free control harness (no schedule attached at all).
-  explicit Harness(std::size_t workunits)
+                   server::ServerConfig server_cfg = plain_server_config(),
+                   std::uint32_t shards = 1)
       : schedule(always_hcmd()),
-        project(make_catalog(workunits, 2.0 * 3600.0), plain_server_config()),
-        fleet(simulation, project, timers, schedule, metrics, AgentConfig{}) {}
+        project(make_catalog(workunits, ref_seconds), server_cfg),
+        engine(project, schedule, metrics, plan,
+               util::Rng(2007).fork("faults"), make_options(shards)) {}
+
+  /// Faults-free control harness (an inert plan attaches nothing).
+  explicit Harness(std::size_t workunits)
+      : Harness(faults::FaultPlan{}, workunits) {}
+
+  static core::ShardEngineOptions make_options(std::uint32_t shards) {
+    core::ShardEngineOptions o;
+    o.shards = shards;
+    return o;
+  }
 
   static server::ServerConfig plain_server_config() {
     server::ServerConfig cfg;
@@ -93,7 +93,13 @@ struct Harness {
   }
 
   std::uint32_t add(const volunteer::DeviceSpec& spec) {
-    return fleet.add_device(spec, util::Rng(1000 + spec.id));
+    engine.add_device(spec, util::Rng(1000 + spec.id));
+    return spec.id;
+  }
+
+  void run(double until) { engine.run_until(until); }
+  faults::FaultCounters fault_counters() const {
+    return engine.fault_counters();
   }
 };
 
@@ -103,11 +109,11 @@ TEST(FaultsInjection, InertScheduleIsBitExact) {
   faults::FaultPlan inert;
   Harness with(inert, 6);
   Harness without(6);
-  ASSERT_FALSE(with.faults.active());
+  ASSERT_FALSE(with.engine.faults_active());
   for (auto* h : {&with, &without}) {
     h->add(Harness::reliable_device(0));
     h->add(Harness::reliable_device(1));
-    h->simulation.run_until(4.0 * kSecondsPerWeek);
+    h->run(4.0 * kSecondsPerWeek);
   }
   const auto& a = with.project.counters();
   const auto& b = without.project.counters();
@@ -121,8 +127,8 @@ TEST(FaultsInjection, InertScheduleIsBitExact) {
     EXPECT_DOUBLE_EQ(with.project.result(i).received_time,
                      without.project.result(i).received_time);
   }
-  EXPECT_EQ(with.faults.counters().outage_denied_requests, 0u);
-  EXPECT_EQ(with.faults.counters().lost_results, 0u);
+  EXPECT_EQ(with.fault_counters().outage_denied_requests, 0u);
+  EXPECT_EQ(with.fault_counters().lost_results, 0u);
 }
 
 TEST(FaultsInjection, OutageBlocksIssueAndDefersDelivery) {
@@ -134,7 +140,7 @@ TEST(FaultsInjection, OutageBlocksIssueAndDefersDelivery) {
   plan.backoff_cap_seconds = 30.0 * 60.0;
   Harness h(plan, 8);
   h.add(Harness::reliable_device(0));
-  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  h.run(2.0 * kSecondsPerWeek);
 
   // Full recovery: the catalogue still drains after the window.
   EXPECT_TRUE(h.project.complete());
@@ -153,9 +159,9 @@ TEST(FaultsInjection, OutageBlocksIssueAndDefersDelivery) {
     }
   }
 
-  // The device finished WU #1 around t=2h (inside the window): its upload
-  // was deferred and its next work request denied and backed off.
-  const auto& f = h.faults.counters();
+  // The device finished a workunit inside the window: its upload was
+  // deferred and its next work request denied and backed off.
+  const auto f = h.fault_counters();
   EXPECT_GE(f.deferred_uploads, 1u);
   EXPECT_GE(f.backoff_retries, 1u);
   EXPECT_GE(f.outage_denied_requests, 1u);
@@ -169,11 +175,11 @@ TEST(FaultsInjection, CorruptionIsCaughtByQuorumAndNeverAssimilated) {
   Harness h(plan, 20, 2.0 * 3600.0, cfg);
   h.add(Harness::reliable_device(0));
   h.add(Harness::reliable_device(1));
-  h.simulation.run_until(8.0 * kSecondsPerWeek);
+  h.run(8.0 * kSecondsPerWeek);
 
   EXPECT_TRUE(h.project.complete());
   const auto& c = h.project.counters();
-  const auto& f = h.faults.counters();
+  const auto f = h.fault_counters();
   EXPECT_GT(f.corrupted_results, 0u);
   // Every corrupted return either mismatched a clean partner (quorum
   // mismatch -> extra copy) or arrived after completion; none were accepted.
@@ -191,11 +197,11 @@ TEST(FaultsInjection, LostResultsAreRecoveredByDeadlineReissue) {
   cfg.deadline = 1.0 * kSecondsPerDay;  // keep the recovery cycle short
   Harness h(plan, 5, 2.0 * 3600.0, cfg);
   h.add(Harness::reliable_device(0));
-  h.simulation.run_until(6.0 * kSecondsPerWeek);
+  h.run(6.0 * kSecondsPerWeek);
 
   EXPECT_TRUE(h.project.complete());
   const auto& c = h.project.counters();
-  const auto& f = h.faults.counters();
+  const auto f = h.fault_counters();
   EXPECT_GT(f.lost_results, 0u);
   // Each loss is invisible until its deadline passes.
   EXPECT_GE(c.results_timed_out, f.lost_results);
@@ -208,11 +214,11 @@ TEST(FaultsInjection, StragglersRunSlower) {
   plan.straggler_slowdown = 4.0;
   Harness h(plan, 1);
   const std::uint32_t dev = h.add(Harness::reliable_device(0));
-  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  h.run(2.0 * kSecondsPerWeek);
 
-  EXPECT_EQ(h.faults.counters().straggler_devices, 1u);
+  EXPECT_EQ(h.fault_counters().straggler_devices, 1u);
   // A 2 h reference workunit at 4x slowdown reports ~8 h of runtime.
-  const auto runtimes = h.fleet.reported_hcmd_runtimes(dev);
+  const auto runtimes = h.engine.reported_hcmd_runtimes(dev);
   ASSERT_GE(runtimes.size(), 1u);
   EXPECT_NEAR(runtimes[0], 8.0 * 3600.0, 600.0);
 }
@@ -223,20 +229,62 @@ TEST(FaultsInjection, ChurnSpikeKillsAliveDevices) {
   Harness h(plan, 1000);
   for (std::uint32_t i = 0; i < 10; ++i)
     h.add(Harness::reliable_device(i));
-  h.simulation.run_until(1.0 * kSecondsPerDay);
-  // The campaign layer schedules spikes from the plan; at this level we
-  // fire the same entry point directly.
-  h.fleet.mass_churn(1.0);
+  // The engine schedules the spike from the plan; running past its time
+  // fires the per-shard kills and the single fleet-wide spike note.
+  h.run(1.0 * kSecondsPerDay);
 
-  const auto& f = h.faults.counters();
+  const auto f = h.fault_counters();
   EXPECT_EQ(f.churn_spikes, 1u);
   EXPECT_EQ(f.churn_killed, 10u);
 
   // Everyone is dead: no further results ever arrive.
   const std::uint64_t received = h.project.counters().results_received;
-  h.simulation.run_until(2.0 * kSecondsPerWeek);
+  h.run(2.0 * kSecondsPerWeek);
   EXPECT_EQ(h.project.counters().results_received, received);
   EXPECT_FALSE(h.project.complete());
+}
+
+TEST(FaultsInjection, ShardedChaosMatchesSequentialExactly) {
+  // The full fault family at K = 1 vs K = 4: per-device fault streams fork
+  // from global ids and the spike/outage events replay in the same merged
+  // order, so every counter and result timestamp matches bit for bit.
+  faults::FaultPlan plan;
+  plan.corruption_rate = 0.1;
+  plan.loss_rate = 0.1;
+  plan.straggler_fraction = 0.3;
+  plan.straggler_slowdown = 3.0;
+  plan.outages.push_back({30.0 * kSecondsPerHour, 40.0 * kSecondsPerHour});
+  plan.churn_spikes.push_back({2.0 * kSecondsPerDay, 0.4});
+  server::ServerConfig cfg = Harness::plain_server_config();
+  cfg.validation.quorum2_until = 1e12;
+  Harness seq(plan, 30, 2.0 * 3600.0, cfg);
+  Harness par(plan, 30, 2.0 * 3600.0, cfg, /*shards=*/4);
+  for (auto* h : {&seq, &par}) {
+    for (std::uint32_t i = 0; i < 9; ++i)
+      h->add(Harness::reliable_device(i));
+    h->run(6.0 * kSecondsPerWeek);
+  }
+  const auto& a = seq.project.counters();
+  const auto& b = par.project.counters();
+  EXPECT_EQ(a.results_sent, b.results_sent);
+  EXPECT_EQ(a.results_received, b.results_received);
+  EXPECT_EQ(a.results_valid, b.results_valid);
+  EXPECT_EQ(a.results_timed_out, b.results_timed_out);
+  EXPECT_EQ(a.quorum_mismatches, b.quorum_mismatches);
+  const auto fa = seq.fault_counters();
+  const auto fb = par.fault_counters();
+  EXPECT_EQ(fa.corrupted_results, fb.corrupted_results);
+  EXPECT_EQ(fa.lost_results, fb.lost_results);
+  EXPECT_EQ(fa.churn_killed, fb.churn_killed);
+  EXPECT_EQ(fa.churn_spikes, fb.churn_spikes);
+  EXPECT_EQ(fa.straggler_devices, fb.straggler_devices);
+  ASSERT_EQ(a.results_sent, b.results_sent);
+  for (std::uint64_t i = 0; i < a.results_sent; ++i) {
+    EXPECT_DOUBLE_EQ(seq.project.result(i).sent_time,
+                     par.project.result(i).sent_time);
+    EXPECT_DOUBLE_EQ(seq.project.result(i).received_time,
+                     par.project.result(i).received_time);
+  }
 }
 
 }  // namespace

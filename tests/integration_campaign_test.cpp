@@ -156,6 +156,18 @@ TEST(Campaign, ConfigValidation) {
   config = {};
   config.snapshots = {{"bad", util::CivilDate{2006, 1, 1}}};
   EXPECT_THROW(run_campaign(config), hcmd::ConfigError);
+  config = {};
+  config.shards = 0;
+  EXPECT_THROW(run_campaign(config), hcmd::ConfigError);
+}
+
+TEST(Campaign, RejectsMoreShardsThanDevices) {
+  // Only detectable after the population model has run; the engine must
+  // not be built (let alone run) for such a config.
+  CampaignConfig config;
+  config.scale = 0.002;
+  config.shards = 100'000;  // a 1/500-scale fleet is ~600 devices
+  EXPECT_THROW(run_campaign(config), hcmd::ConfigError);
 }
 
 TEST(Campaign, BuildWorkloadExposesPieces) {

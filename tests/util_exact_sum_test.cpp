@@ -1,0 +1,138 @@
+#include "util/exact_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hcmd::util {
+namespace {
+
+TEST(ExactSum, MatchesPlainSumForSmallExactCases) {
+  ExactSum s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(0.25);
+  EXPECT_EQ(s.round(), 3.25);
+  EXPECT_FALSE(s.zero());
+}
+
+TEST(ExactSum, EmptyIsZero) {
+  ExactSum s;
+  EXPECT_TRUE(s.zero());
+  EXPECT_EQ(s.round(), 0.0);
+  s.add(0.0);
+  EXPECT_TRUE(s.zero());
+}
+
+TEST(ExactSum, OrderIndependent) {
+  // A wide magnitude spread where plain left-to-right double summation is
+  // order-dependent; the exact accumulator must not be.
+  Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 10'000; ++i)
+    xs.push_back(rng.uniform(0.0, 1.0) *
+                 std::ldexp(1.0, static_cast<int>(rng.uniform_int(0, 120)) - 60));
+
+  ExactSum forward;
+  for (double x : xs) forward.add(x);
+
+  std::vector<double> rev(xs.rbegin(), xs.rend());
+  ExactSum backward;
+  for (double x : rev) backward.add(x);
+
+  EXPECT_EQ(forward.round(), backward.round());
+}
+
+TEST(ExactSum, MergeEqualsSequentialAtAnyPartition) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 5'000; ++i)
+    xs.push_back(rng.exponential(3600.0));
+
+  ExactSum sequential;
+  for (double x : xs) sequential.add(x);
+
+  for (std::size_t shards : {2u, 3u, 7u, 64u}) {
+    std::vector<ExactSum> parts(shards);
+    for (std::size_t i = 0; i < xs.size(); ++i) parts[i % shards].add(xs[i]);
+    ExactSum merged;
+    for (const auto& p : parts) merged.merge(p);
+    EXPECT_EQ(merged.round(), sequential.round()) << shards << " shards";
+  }
+}
+
+TEST(ExactSum, ExactAcrossMagnitudeCancellationScale) {
+  // 2^60 followed by 2^-40 added a million times: a double accumulator
+  // would drop every small term; the exact one keeps all of them.
+  ExactSum s;
+  s.add(std::ldexp(1.0, 60));
+  const double tiny = std::ldexp(1.0, -40);
+  for (int i = 0; i < 1'000'000; ++i) s.add(tiny);
+  const double expect = std::ldexp(1.0, 60) + 1'000'000.0 * tiny;
+  EXPECT_EQ(s.round(), expect);
+}
+
+TEST(ExactSum, HandlesSubnormalsAndHugeValues) {
+  ExactSum s;
+  s.add(std::numeric_limits<double>::denorm_min());
+  s.add(std::numeric_limits<double>::max() / 4.0);
+  EXPECT_FALSE(s.zero());
+  EXPECT_GT(s.round(), 0.0);
+
+  ExactSum tiny_only;
+  tiny_only.add(std::numeric_limits<double>::denorm_min());
+  tiny_only.add(std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(tiny_only.round(), 2.0 * std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ExactSum, RejectsNegativeAndNonFinite) {
+  ExactSum s;
+  EXPECT_THROW(s.add(-1.0), std::logic_error);
+  EXPECT_THROW(s.add(std::numeric_limits<double>::infinity()),
+               std::logic_error);
+}
+
+TEST(ExactBinnedSeries, BinsAndMergesLikeTimeBinnedSeries) {
+  const double week = 604'800.0;
+  ExactBinnedSeries a(0.0, week);
+  ExactBinnedSeries b(0.0, week);
+  a.add(100.0, 1.5);
+  a.add(week + 1.0, 2.0);
+  b.add(200.0, 0.5);
+  b.add(2.5 * week, 4.0);
+  a.merge(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.value(0), 2.0);
+  EXPECT_EQ(a.value(1), 2.0);
+  EXPECT_EQ(a.value(2), 4.0);
+}
+
+TEST(ExactBinnedSeries, ShardedAccumulationIsPartitionInvariant) {
+  const double week = 604'800.0;
+  Rng rng(2007);
+  struct Sample { double t, x; };
+  std::vector<Sample> samples;
+  for (int i = 0; i < 20'000; ++i)
+    samples.push_back({rng.uniform(0.0, 26.0 * week), rng.exponential(7200.0)});
+
+  ExactBinnedSeries sequential(0.0, week);
+  for (const auto& s : samples) sequential.add(s.t, s.x);
+
+  for (std::size_t shards : {2u, 4u, 7u}) {
+    std::vector<ExactBinnedSeries> parts(shards, ExactBinnedSeries(0.0, week));
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      parts[i % shards].add(samples[i].t, samples[i].x);
+    ExactBinnedSeries merged(0.0, week);
+    for (const auto& p : parts) merged.merge(p);
+    ASSERT_EQ(merged.size(), sequential.size());
+    for (std::size_t i = 0; i < merged.size(); ++i)
+      EXPECT_EQ(merged.value(i), sequential.value(i)) << "bin " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hcmd::util

@@ -22,9 +22,11 @@ import os
 import subprocess
 import sys
 
-# Gated benchmarks: the two hot paths the roadmap cares about. Everything
-# else in the snapshot is informational.
-FILTER = "^BM_CampaignWeek$|^BM_EventQueue/"
+# Gated benchmarks: the hot paths the roadmap cares about — the campaign
+# week, the event queue, and the sharded full-campaign rows (shards:1 vs
+# shards:8 at quarter scale; the ratio between them is the parallel-engine
+# acceptance metric). Everything else in the snapshot is informational.
+FILTER = "^BM_CampaignWeek$|^BM_EventQueue/|^BM_CampaignSharded/"
 
 
 def load_rows(path):

@@ -40,6 +40,7 @@
 #include "results/storage.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/duration.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -119,6 +120,7 @@ struct RunOptions {
   std::string faults_spec;       ///< preset name or plan-file path
   double quorum2_weeks = -1.0;   ///< < 0: keep the scenario default
   double max_weeks = -1.0;       ///< < 0: keep the scenario default
+  long shards = -1;              ///< < 0: keep the scenario default
   bool progress = false;
 
   /// Applies the config-overriding flags (chaos runs extend quorum-2 over
@@ -128,6 +130,9 @@ struct RunOptions {
       config.server.validation.quorum2_until =
           quorum2_weeks * util::kSecondsPerWeek;
     if (max_weeks >= 0.0) config.max_weeks = max_weeks;
+    // Out-of-domain values (0, or more shards than devices) are passed
+    // through for config validation to reject with a clear message.
+    if (shards >= 0) config.shards = static_cast<std::uint32_t>(shards);
   }
 };
 
@@ -173,15 +178,19 @@ bool parse_run_args(int argc, char** argv, int start, RunOptions& opts,
       else if (a == "--trace") opts.trace_path = v;
       else if (a == "--faults") opts.faults_spec = v;
       else opts.trace_jsonl_path = v;
-    } else if (a == "--quorum2-weeks" || a == "--max-weeks") {
+    } else if (a == "--quorum2-weeks" || a == "--max-weeks" ||
+               a == "--shards") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "hcmdgrid: %s needs a number argument\n",
                      argv[i]);
         return false;
       }
-      const double v = std::atof(argv[++i]);
-      if (a == "--quorum2-weeks") opts.quorum2_weeks = v;
-      else opts.max_weeks = v;
+      if (a == "--shards") opts.shards = std::atol(argv[++i]);
+      else {
+        const double v = std::atof(argv[++i]);
+        if (a == "--quorum2-weeks") opts.quorum2_weeks = v;
+        else opts.max_weeks = v;
+      }
     } else if (a.size() >= 2 && a.substr(0, 2) == "--") {
       // A typo like --reprot must not silently run a full campaign with
       // the report dropped.
@@ -353,7 +362,10 @@ int usage() {
                "  --faults <name|file>  fault-plan preset or file "
                "(presets: outage-weekend, saboteur-1pct)\n"
                "  --quorum2-weeks <w>   quorum-2 validation until week w\n"
-               "  --max-weeks <w>       hard stop for the simulation\n");
+               "  --max-weeks <w>       hard stop for the simulation\n"
+               "  --shards <n>          fleet partitions (parallel engine; "
+               "results are\n"
+               "                        bit-identical at any shard count)\n");
   return 2;
 }
 
@@ -385,6 +397,10 @@ int main(int argc, char** argv) {
       return cmd_dock(argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 120,
                       argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 80);
     if (cmd == "calibrate") return cmd_calibrate();
+  } catch (const hcmd::ConfigError& e) {
+    // Bad configuration is a usage error, distinct from runtime failure.
+    std::fprintf(stderr, "hcmdgrid: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hcmdgrid: %s\n", e.what());
     return 1;

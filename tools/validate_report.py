@@ -45,6 +45,15 @@ def main():
     if not report["fig6a"]["hcmd_vftp_weekly"]:
         fail("fig6a series empty")
 
+    outcome = report["outcome"]
+    for key in ("shards", "events_processed"):
+        if key not in outcome:
+            fail(f"outcome block missing {key!r}")
+    if outcome["shards"] < 1:
+        fail(f"outcome.shards must be >= 1, got {outcome['shards']}")
+    if outcome["events_processed"] <= 0:
+        fail("outcome.events_processed is zero: the engine ran no events")
+
     faults = report["faults"]
     for key in ("enabled", "plan", "counters"):
         if key not in faults:
