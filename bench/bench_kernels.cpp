@@ -219,17 +219,67 @@ BENCHMARK(BM_Minimize)
     ->Args({0, 1200})
     ->Args({1, 1200});
 
-// One full MaxDo starting position (all 21 rotation couples), flat
-// reference backend (arg 0) vs the engine's cell-list backend (arg 1).
+// Lockstep batch minimisation vs B sequential scalar minimisations over
+// the same starts (batch:0 = scalar loop, batch:1 = minimize_batch). The
+// batch/scalar ratio at a given (atoms, lanes) is the SIMD amortisation
+// win: one receptor traversal serves all lanes, and results are
+// bit-identical either way (docking_batch_test enforces it).
+void BM_MinimizeBatch(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const auto n_atoms = static_cast<std::uint32_t>(state.range(1));
+  const auto lanes = static_cast<std::size_t>(state.range(2));
+  const auto receptor = proteins::generate_protein(1, n_atoms, 1.0, 13);
+  const auto ligand = proteins::generate_protein(2, 60, 1.1, 14);
+  const docking::DockingEngine engine(receptor, ligand,
+                                      docking::EnergyParams{});
+  docking::MinimizerParams params;
+  params.max_iterations = 10;
+  std::vector<proteins::Dof6> starts(lanes);
+  for (std::size_t b = 0; b < lanes; ++b) {
+    starts[b].x = receptor.bounding_radius() * 0.6;
+    starts[b].gamma = 0.6 * static_cast<double>(b);  // the 10 gamma starts
+  }
+  std::vector<docking::MinimizationResult> results(lanes);
+  if (batched) {
+    docking::BatchMinimizerWork work;
+    work.scratch = engine.make_batch_scratch(12 * lanes);
+    for (auto _ : state) {
+      docking::minimize_batch(engine, starts, params, work, results);
+      benchmark::DoNotOptimize(results.data());
+    }
+  } else {
+    auto scratch = engine.make_scratch();
+    for (auto _ : state) {
+      for (std::size_t b = 0; b < lanes; ++b)
+        results[b] = docking::minimize(engine, starts[b], params, scratch);
+      benchmark::DoNotOptimize(results.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_MinimizeBatch)
+    ->ArgNames({"batch", "atoms", "lanes"})
+    ->Args({0, 400, 10})
+    ->Args({1, 400, 10})
+    ->Args({0, 1200, 10})
+    ->Args({1, 1200, 10});
+
+// One full MaxDo starting position (all 21 rotation couples, the paper's
+// 10 gamma starts each): flat reference backend (engine 0) vs the engine's
+// cell-list backend (engine 1), scalar gamma loop (batch 0) vs lockstep
+// gamma batching (batch 1). The batch:1/batch:0 cell-list ratio at 1200
+// atoms is the PR's acceptance metric, snapshotted in BENCH_kernels.json.
 void BM_MaxDoPosition(benchmark::State& state) {
-  const auto receptor = proteins::generate_protein(1, 400, 1.0, 13);
+  const auto n_atoms = static_cast<std::uint32_t>(state.range(1));
+  const auto receptor = proteins::generate_protein(1, n_atoms, 1.0, 13);
   const auto ligand = proteins::generate_protein(2, 60, 1.1, 14);
   docking::MaxDoParams params;
   params.minimizer.max_iterations = 5;
-  params.gamma_steps = 2;
   params.engine.backend = state.range(0) != 0
                               ? docking::EnergyBackend::kCellList
                               : docking::EnergyBackend::kFlat;
+  params.batch_gamma = state.range(2) != 0;
   docking::MaxDoProgram program(receptor, ligand, params);
   docking::MaxDoTask task;
   task.isep_begin = 0;
@@ -242,7 +292,13 @@ void BM_MaxDoPosition(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(task.rotations()));
 }
-BENCHMARK(BM_MaxDoPosition)->ArgNames({"engine"})->Arg(0)->Arg(1);
+BENCHMARK(BM_MaxDoPosition)
+    ->ArgNames({"engine", "atoms", "batch"})
+    ->Args({0, 400, 0})
+    ->Args({1, 400, 0})
+    ->Args({1, 400, 1})
+    ->Args({1, 1200, 0})
+    ->Args({1, 1200, 1});
 
 // A callable sized like the simulator's own (the agent and transitioner
 // lambdas capture 24-40 bytes: an object pointer plus ids and a deadline).

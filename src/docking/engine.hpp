@@ -17,6 +17,17 @@
 //    ligand positions, reused across evaluations instead of re-allocating
 //    per call. The engine itself is immutable after construction and safe
 //    to share across threads — each thread brings its own Scratch.
+//  * Batched path: energy_batch() evaluates B poses with the pose index as
+//    the SIMD lane. Lanes are grouped into tiles of nearby poses (the 12
+//    finite-difference probes of one descent step); each tile is
+//    transformed into a struct-of-lanes layout (atom i, tile lane b at
+//    [i*width + b]) so the inner loop reads contiguous lane arrays with no
+//    gathers, and every receptor atom/cell visited is amortised over the
+//    tile. A tile of one lane routes through the scalar kernel itself.
+//    Vectorisation is across poses, never across atoms: each lane
+//    accumulates exactly the scalar path's (ligand atom, receptor atom)
+//    term sequence, so batched results are bit-identical to energy() per
+//    lane on both backends.
 //
 // Backends produce identical within-cutoff pair sets and identical per-pair
 // formulas; totals differ only by floating-point summation order and the
@@ -56,6 +67,37 @@ class DockingEngine {
     std::vector<double> x, y, z;
   };
 
+  /// Per-caller mutable state for the batched path. energy_batch() groups
+  /// the poses into tiles of nearby lanes and transforms one tile at a
+  /// time into x/y/z in tile-major layout (atom i of tile lane b at
+  /// [i * width + b]), so the pose dimension is the contiguous SIMD axis
+  /// and the kernel streams exactly the tile's coordinates — no strided
+  /// reads across unrelated lanes. Accumulators and counters are per
+  /// batch lane. Obtain via make_batch_scratch() pre-sized for the widest
+  /// batch a caller will evaluate; energy_batch() re-sizes on mismatch,
+  /// so one scratch serves varying batch widths.
+  struct BatchScratch {
+    std::size_t lanes = 0;  ///< capacity: widest batch sized so far
+    std::vector<double> x, y, z;   ///< nl * width of the current tile
+    std::vector<double> lj, elec;  ///< per-lane accumulators
+    /// Per-lane squared distances for the current pair (the vectorised
+    /// distance pass runs for every inspected pair; the expensive term
+    /// pass is skipped when no lane is within the cutoff, mirroring the
+    /// scalar path's early-out).
+    std::vector<double> r2;
+    /// Per-lane within-cutoff tallies, accumulated as doubles so the
+    /// count rides in the same vector lanes as the energy terms (exact:
+    /// counts stay far below 2^53). Converted into `within` per batch.
+    std::vector<double> within_acc;
+    /// Per-lane pair counters, matching the scalar path's bookkeeping
+    /// exactly (summed into the WorkCounter once per batch).
+    std::vector<std::uint64_t> inspected, within;
+    /// Cell backend only: per-tile-lane clamped 3x3x3 windows and, per
+    /// (y, z) row of the union walk, the per-lane fused x-slice bounds.
+    std::vector<std::int32_t> wx0, wx1, wy0, wy1, wz0, wz1;
+    std::vector<std::uint32_t> row_begin, row_end;
+  };
+
   /// Copies both proteins into SoA form; the references need not outlive
   /// the engine. Throws ConfigError for non-positive cutoff.
   DockingEngine(const proteins::ReducedProtein& receptor,
@@ -74,28 +116,57 @@ class DockingEngine {
   }
 
   Scratch make_scratch() const;
+  BatchScratch make_batch_scratch(std::size_t lanes) const;
 
   /// Interaction energy of the ligand placed by `pose`. Thread-safe: all
-  /// mutable state lives in `scratch`.
+  /// mutable state lives in `scratch`. Callers must thread a reused
+  /// Scratch — there is deliberately no allocating convenience overload.
   InteractionEnergy energy(const proteins::RigidTransform& pose,
                            Scratch& scratch,
                            WorkCounter* work = nullptr) const;
 
-  /// Convenience overload for one-off evaluations (allocates a Scratch).
-  InteractionEnergy energy(const proteins::RigidTransform& pose,
-                           WorkCounter* work = nullptr) const;
+  /// Evaluates `count` poses in lockstep: one receptor traversal (flat
+  /// sweep or cell walk) serves all lanes. out[b] is bit-identical to
+  /// energy(poses[b], ...) — per-lane accumulation order matches the
+  /// scalar path exactly — and counters are flushed into `work` once per
+  /// batch, not per pose. Thread-safe with a per-caller scratch.
+  void energy_batch(const proteins::RigidTransform* poses, std::size_t count,
+                    BatchScratch& scratch, InteractionEnergy* out,
+                    WorkCounter* work = nullptr) const;
 
  private:
   void build_cell_grid(const std::vector<proteins::PseudoAtom>& atoms);
   std::size_t flat_cell(int x, int y, int z) const {
     return (static_cast<std::size_t>(z) * ny_ + y) * nx_ + x;
   }
-  InteractionEnergy accumulate_flat(const Scratch& s,
-                                    std::uint64_t* inspected,
+  // Scalar kernels over one contiguous world-frame ligand (x/y/z, nl
+  // doubles each). Shared verbatim by energy() and by width-1 batch
+  // tiles, which is what makes those tiles bit-identical by construction.
+  InteractionEnergy accumulate_flat(const double* x, const double* y,
+                                    const double* z, std::uint64_t* inspected,
                                     std::uint64_t* within) const;
-  InteractionEnergy accumulate_cells(const Scratch& s,
-                                     std::uint64_t* inspected,
+  InteractionEnergy accumulate_cells(const double* x, const double* y,
+                                     const double* z, std::uint64_t* inspected,
                                      std::uint64_t* within) const;
+  // Masked kernels over one tile of `width` lanes in tile-major layout
+  // (atom i, tile lane b at x[i * width + b]); per-lane accumulators and
+  // counters live at scratch index lane0 + b. `prune2` is the squared
+  // tile-wide prune radius (cutoff + lane-0 displacement slack): one
+  // lane-0 distance beyond it proves every lane is outside the cutoff,
+  // so the per-lane passes are skipped wholesale. The cell variant walks
+  // the union of the tile's windows once with per-lane masks.
+  // energy_batch() groups lanes into tiles of nearby poses, so the union
+  // stays close to each member's own window; which lanes share a tile
+  // cannot affect results (per-lane sums are independent and
+  // order-preserving).
+  void batch_accumulate_flat(BatchScratch& s, const double* x,
+                             const double* y, const double* z,
+                             std::size_t lane0, std::size_t width,
+                             double prune2) const;
+  void batch_accumulate_cells(BatchScratch& s, const double* x,
+                              const double* y, const double* z,
+                              std::size_t lane0, std::size_t width,
+                              double prune2) const;
 
   EnergyParams params_;
   EngineConfig config_;
@@ -105,6 +176,10 @@ class DockingEngine {
   std::vector<double> rx_, ry_, rz_, rrad_, rseps_, rq_;
   // Ligand SoA in the ligand's local frame.
   std::vector<double> lx_, ly_, lz_, lrad_, lseps_, lq_;
+  // Max ligand-atom distance from the local origin: bounds how far any
+  // atom can move between two poses, used to tile batch lanes by pose
+  // proximity.
+  double lig_radius_ = 0.0;
 
   // Cell grid (cell backend only): CSR over the permuted receptor order.
   proteins::Vec3 origin_;

@@ -51,17 +51,37 @@ MaxDoProgram::~MaxDoProgram() = default;
 
 DockingRecord MaxDoProgram::compute_rotation(std::uint32_t isep,
                                              std::uint32_t irot,
-                                             DockingEngine::Scratch& scratch,
+                                             Workspace& ws,
                                              WorkCounter& work) const {
-  DockingRecord best_record;
-  bool have_best = false;
-  for (std::uint32_t ig = 0; ig < params_.gamma_steps; ++ig) {
+  const std::uint32_t n_gamma = params_.gamma_steps;
+  ws.starts.resize(n_gamma);
+  for (std::uint32_t ig = 0; ig < n_gamma; ++ig) {
     proteins::Dof6 start = orientations_.orientation(irot, ig);
     start.x = positions_[isep].x;
     start.y = positions_[isep].y;
     start.z = positions_[isep].z;
-    const MinimizationResult res =
-        minimize(engine_, start, params_.minimizer, scratch, &work);
+    ws.starts[ig] = start;
+  }
+
+  ws.results.resize(n_gamma);
+  if (params_.batch_gamma) {
+    // One lockstep batch: the gamma starts are the SIMD lanes, so each
+    // minimiser iteration costs two receptor traversals for all of them.
+    minimize_batch(engine_, ws.starts, params_.minimizer, ws.batch,
+                   ws.results, &work);
+  } else {
+    for (std::uint32_t ig = 0; ig < n_gamma; ++ig)
+      ws.results[ig] =
+          minimize(engine_, ws.starts[ig], params_.minimizer, ws.scratch,
+                   &work);
+  }
+
+  // Best-over-gamma selection, in gamma order with a strict '<' — shared
+  // by both paths, and bit-stable because the per-gamma energies are.
+  DockingRecord best_record;
+  bool have_best = false;
+  for (std::uint32_t ig = 0; ig < n_gamma; ++ig) {
+    const MinimizationResult& res = ws.results[ig];
     if (!have_best || res.energy.total() < best_record.etot()) {
       best_record.isep = isep;
       best_record.irot = irot;
@@ -84,9 +104,23 @@ RunStatus MaxDoProgram::run(const MaxDoTask& task, MaxDoCheckpoint& state,
     throw ConfigError("MaxDoProgram: irot range outside [0, 21]");
   if (state.next_isep < task.isep_begin) state.next_isep = task.isep_begin;
 
-  // Serial runs reuse one scratch for the whole task; parallel workers each
-  // allocate their own per chunk inside the loop below.
-  DockingEngine::Scratch serial_scratch = engine_.make_scratch();
+  // Reusable per-worker state, hoisted out of the position loop: serial
+  // runs share one workspace; the pool fan-out gives every rotation slot
+  // its own (tasks for slot r only ever touch ws[r], so no worker races
+  // and nothing is allocated per position). The batch scratch is pre-sized
+  // for the widest fused evaluation (12 probes x gamma lanes).
+  const std::uint32_t nrot = task.rotations();
+  const bool fan_out = pool_ != nullptr && nrot > 1;
+  std::vector<Workspace> ws(fan_out ? nrot : 1);
+  for (auto& w : ws) {
+    w.scratch = engine_.make_scratch();
+    w.batch.scratch = engine_.make_batch_scratch(
+        12 * static_cast<std::size_t>(params_.gamma_steps));
+    w.starts.reserve(params_.gamma_steps);
+    w.results.reserve(params_.gamma_steps);
+  }
+  std::vector<DockingRecord> position_records(nrot);
+  std::vector<WorkCounter> rot_work(fan_out ? nrot : 0);
 
   for (std::uint32_t isep = state.next_isep; isep < task.isep_end; ++isep) {
     // Compute all rotation couples for this starting position. No partial
@@ -100,24 +134,21 @@ RunStatus MaxDoProgram::run(const MaxDoTask& task, MaxDoCheckpoint& state,
     // identical, self-contained FP computation regardless of which thread
     // runs it. WorkCounters are gathered per rotation and summed after the
     // barrier — integer sums are order independent.
-    const std::uint32_t nrot = task.rotations();
-    std::vector<DockingRecord> position_records(nrot);
-    if (pool_ != nullptr && nrot > 1) {
-      std::vector<WorkCounter> rot_work(nrot);
+    if (fan_out) {
+      for (auto& w : rot_work) w = WorkCounter{};
       util::parallel_for(
           *pool_, nrot,
           [&](std::size_t r) {
-            DockingEngine::Scratch scratch = engine_.make_scratch();
             position_records[r] = compute_rotation(
                 isep, task.irot_begin + static_cast<std::uint32_t>(r),
-                scratch, rot_work[r]);
+                ws[r], rot_work[r]);
           },
           util::parallel_grain(nrot, pool_->size()));
       for (const auto& w : rot_work) work_ += w;
     } else {
       for (std::uint32_t r = 0; r < nrot; ++r)
         position_records[r] = compute_rotation(isep, task.irot_begin + r,
-                                               serial_scratch, work_);
+                                               ws[0], work_);
     }
 
     // Checkpoint boundary: commit the finished position atomically.

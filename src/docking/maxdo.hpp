@@ -67,6 +67,13 @@ struct MaxDoParams {
   /// land in a slot indexed by irot, and counters are summed after the
   /// barrier.
   std::uint32_t threads = 1;
+  /// Run the gamma starts of each (isep, irot) as one lockstep SIMD batch
+  /// (lane = gamma start) instead of sequential scalar minimisations. The
+  /// batched path is bit-identical to the scalar one by construction —
+  /// checkpoints do not change — so this is on by default; the toggle
+  /// exists for A/B benchmarking and the bit-identity tests. Composes with
+  /// `threads` (irot fan-out on top of gamma batching).
+  bool batch_gamma = true;
 };
 
 /// Resumable program state. Serialisable so the volunteer agent model (and
@@ -111,10 +118,23 @@ class MaxDoProgram {
   const MaxDoParams& params() const { return params_; }
 
  private:
-  /// Computes the best-over-gamma record for one (isep, irot) start.
+  /// Per-worker reusable state: the scalar scratch, the batch-minimiser
+  /// buffers and the gamma start/result arrays. Allocated once per run()
+  /// (one per rotation slot when a pool fans out) and reused across every
+  /// starting position, so the per-(isep, irot) computation is
+  /// allocation-free in steady state.
+  struct Workspace {
+    DockingEngine::Scratch scratch;
+    BatchMinimizerWork batch;
+    std::vector<proteins::Dof6> starts;
+    std::vector<MinimizationResult> results;
+  };
+
+  /// Computes the best-over-gamma record for one (isep, irot) start. The
+  /// gamma starts run as one minimize_batch when params_.batch_gamma is
+  /// set; the best-record selection is identical either way.
   DockingRecord compute_rotation(std::uint32_t isep, std::uint32_t irot,
-                                 DockingEngine::Scratch& scratch,
-                                 WorkCounter& work) const;
+                                 Workspace& ws, WorkCounter& work) const;
 
   const proteins::ReducedProtein& receptor_;
   const proteins::ReducedProtein& ligand_;

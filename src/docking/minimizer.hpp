@@ -4,9 +4,24 @@
 // starting positions and orientations"; this is the per-start minimiser.
 // Deterministic (fixed iteration budget, no randomness) so property 1 of
 // Section 4.1 — reproducible computing time — holds exactly.
+//
+// Two drivers share one step-control policy (StepControl) and one
+// trial-step construction, so they cannot drift:
+//
+//  * minimize(): one adaptive-steepest-descent instance, ~13 energy
+//    evaluations per iteration (6 DOF x 2 central differences + the trial).
+//  * minimize_batch(): B independent instances advanced in lockstep with
+//    per-lane active masks. Each iteration folds the 12 gradient probes of
+//    every active lane into one DockingEngine::energy_batch call and the
+//    surviving lanes' trial steps into a second, so the receptor traversal
+//    cost is amortised across lanes. Per-lane results are bit-identical to
+//    B scalar minimize() calls (the energy lanes are bit-identical and the
+//    step-control arithmetic is shared).
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "docking/energy.hpp"
 #include "docking/engine.hpp"
@@ -38,9 +53,36 @@ struct MinimizationResult {
   bool converged = false;     ///< true if tolerance reached before budget
 };
 
+/// Adaptive step-size state shared by the scalar and batch minimisers: the
+/// single source of truth for how steps grow, shrink and decide
+/// convergence. One instance per descent (per lane in the batch driver).
+struct StepControl {
+  double tstep = 0.0;  ///< current translation step (Angstrom)
+  double rstep = 0.0;  ///< current rotation step (radians)
+
+  StepControl() = default;
+  explicit StepControl(const MinimizerParams& p)
+      : tstep(p.translation_step), rstep(p.rotation_step) {}
+
+  /// Trial accepted: grow both steps. Returns true when the energy gain
+  /// fell below the tolerance (converged).
+  bool accept(const MinimizerParams& p, double gain) {
+    tstep *= p.grow;
+    rstep *= p.grow;
+    return gain < p.energy_tolerance;
+  }
+  /// Trial rejected: shrink both steps. Returns true when both fell below
+  /// their finite-difference deltas (converged).
+  bool reject(const MinimizerParams& p) {
+    tstep *= p.shrink;
+    rstep *= p.shrink;
+    return tstep < p.translation_delta && rstep < p.rotation_delta;
+  }
+};
+
 /// Minimises the interaction energy starting from `start`, evaluating via
 /// the reference flat sweep. Work performed is accumulated into `work` when
-/// non-null.
+/// non-null (flushed once per minimisation, not per evaluation).
 MinimizationResult minimize(const proteins::ReducedProtein& receptor,
                             const proteins::ReducedProtein& ligand,
                             const proteins::Dof6& start,
@@ -49,20 +91,41 @@ MinimizationResult minimize(const proteins::ReducedProtein& receptor,
                             WorkCounter* work = nullptr);
 
 /// Engine-backed minimisation: each of the ~13 evaluations per iteration
-/// (6 DOF x 2 central differences + the trial step) reuses `scratch` for
-/// the transformed ligand positions and goes through the engine's selected
-/// backend (cell-list pruning by default). Thread-safe when each caller
-/// brings its own scratch.
+/// reuses `scratch` for the transformed ligand positions and goes through
+/// the engine's selected backend (cell-list pruning by default).
+/// Thread-safe when each caller brings its own scratch.
 MinimizationResult minimize(const DockingEngine& engine,
                             const proteins::Dof6& start,
                             const MinimizerParams& params,
                             DockingEngine::Scratch& scratch,
                             WorkCounter* work = nullptr);
 
-/// Convenience overload that allocates a fresh scratch.
-MinimizationResult minimize(const DockingEngine& engine,
-                            const proteins::Dof6& start,
-                            const MinimizerParams& params,
-                            WorkCounter* work = nullptr);
+/// Reusable buffers for minimize_batch(): the engine-side BatchScratch plus
+/// the minimiser's fused probe/trial pose buffers and per-lane state.
+/// Create one per worker (sized via DockingEngine::make_batch_scratch for
+/// 12x the lane count, the widest fused evaluation) and reuse across
+/// batches — steady-state minimisation then performs no allocations.
+struct BatchMinimizerWork {
+  DockingEngine::BatchScratch scratch;
+  std::vector<proteins::RigidTransform> poses;  ///< fused probe/trial buffer
+  std::vector<InteractionEnergy> energies;
+  std::vector<proteins::Dof6> pose;    ///< per-lane current pose
+  std::vector<proteins::Dof6> trial;   ///< per-lane trial pose
+  std::vector<StepControl> control;
+  std::vector<double> best;
+  std::vector<std::uint8_t> done;
+  std::vector<std::uint32_t> active;      ///< active lane ids, ascending
+  std::vector<std::uint32_t> trial_lane;  ///< trial slot -> lane id
+};
+
+/// Lockstep batch minimisation of `starts.size()` independent descents.
+/// results[b] is bit-identical to minimize(engine, starts[b], params, ...):
+/// lanes converge (or exhaust the budget) individually and drop out of the
+/// active set; work counters are flushed into `work` once per batch.
+void minimize_batch(const DockingEngine& engine,
+                    std::span<const proteins::Dof6> starts,
+                    const MinimizerParams& params, BatchMinimizerWork& batch,
+                    std::span<MinimizationResult> results,
+                    WorkCounter* work = nullptr);
 
 }  // namespace hcmd::docking

@@ -68,8 +68,10 @@ TEST(Engine, NominalWorkIsBackendIndependent) {
   Dof6 pose;
   pose.x = receptor.bounding_radius() + 2.0;
   WorkCounter flat_work, cell_work, reference_work;
-  flat.energy(pose.to_transform(), &flat_work);
-  cells.energy(pose.to_transform(), &cell_work);
+  DockingEngine::Scratch flat_scratch = flat.make_scratch();
+  DockingEngine::Scratch cell_scratch = cells.make_scratch();
+  flat.energy(pose.to_transform(), flat_scratch, &flat_work);
+  cells.energy(pose.to_transform(), cell_scratch, &cell_work);
   interaction_energy(receptor, ligand, pose.to_transform(), params,
                      &reference_work);
   EXPECT_EQ(flat_work.pair_terms, reference_work.pair_terms);
@@ -89,7 +91,8 @@ TEST(Engine, PoseFullyOutsideReceptorBoxIsZero) {
   Dof6 pose;
   pose.x = receptor.bounding_radius() + ligand.bounding_radius() +
            3.0 * params.cutoff;
-  const auto e = engine.energy(pose.to_transform());
+  DockingEngine::Scratch scratch = engine.make_scratch();
+  const auto e = engine.energy(pose.to_transform(), scratch);
   EXPECT_DOUBLE_EQ(e.lj, 0.0);
   EXPECT_DOUBLE_EQ(e.elec, 0.0);
 }
@@ -117,6 +120,8 @@ TEST_P(EngineEquivalenceSweep, AllBackendsAgree) {
                                   {EnergyBackend::kFlat});
   const DockingEngine engine_cells(receptor, ligand, params,
                                    {EnergyBackend::kCellList});
+  DockingEngine::Scratch flat_scratch = engine_flat.make_scratch();
+  DockingEngine::Scratch cell_scratch = engine_cells.make_scratch();
 
   util::Rng rng(4000 + static_cast<std::uint64_t>(c.pose_seed));
   for (int k = 0; k < 4; ++k) {
@@ -135,8 +140,9 @@ TEST_P(EngineEquivalenceSweep, AllBackendsAgree) {
                                               pose.to_transform(), params);
     const auto via_grid =
         grid.interaction_energy(ligand, pose.to_transform(), params);
-    const auto via_flat = engine_flat.energy(pose.to_transform());
-    const auto via_cells = engine_cells.energy(pose.to_transform());
+    const auto via_flat = engine_flat.energy(pose.to_transform(), flat_scratch);
+    const auto via_cells =
+        engine_cells.energy(pose.to_transform(), cell_scratch);
 
     expect_energies_near(reference, via_grid, 1e-9);
     expect_energies_near(reference, via_flat, 1e-9);
@@ -161,7 +167,8 @@ TEST(EngineMinimize, DeterministicAndImproving) {
   params.max_iterations = 15;
 
   DockingEngine::Scratch scratch = engine.make_scratch();
-  const double start_energy = engine.energy(start.to_transform()).total();
+  const double start_energy =
+      engine.energy(start.to_transform(), scratch).total();
   const MinimizationResult a = minimize(engine, start, params, scratch);
   const MinimizationResult b = minimize(engine, start, params, scratch);
   EXPECT_LE(a.energy.total(), start_energy);
@@ -179,7 +186,8 @@ TEST(EngineMinimize, WorkCounterMatchesEvaluationCount) {
   MinimizerParams params;
   params.max_iterations = 5;
   WorkCounter work;
-  minimize(engine, start, params, &work);
+  DockingEngine::Scratch scratch = engine.make_scratch();
+  minimize(engine, start, params, scratch, &work);
   // 1 initial eval + per iteration: 12 gradient evals + 1 trial eval.
   EXPECT_GE(work.evaluations, 1u + 13u);
   EXPECT_LE(work.evaluations, 1u + 13u * 5u);

@@ -57,6 +57,24 @@ TEST_P(ParallelMaxDoBackends, CheckpointBytesMatchSerial) {
   EXPECT_EQ(run_to_bytes(f, serial, task), run_to_bytes(f, parallel, task));
 }
 
+TEST_P(ParallelMaxDoBackends, BatchedGammaUnderThreadsMatchesScalarSerial) {
+  // The strongest determinism cross-check: SIMD gamma batching *and* the
+  // irot thread fan-out together, against the plain scalar serial loop.
+  Fixture f;
+  f.params.engine.backend = GetParam();
+  f.params.gamma_steps = 4;
+  MaxDoTask task{0, 2, 0, proteins::kNumRotationCouples};
+
+  MaxDoParams reference = f.params;
+  reference.threads = 1;
+  reference.batch_gamma = false;
+  MaxDoParams fast = f.params;
+  fast.threads = 4;
+  fast.batch_gamma = true;
+
+  EXPECT_EQ(run_to_bytes(f, reference, task), run_to_bytes(f, fast, task));
+}
+
 TEST_P(ParallelMaxDoBackends, InterruptResumeMatchesSerialUninterrupted) {
   Fixture f;
   f.params.engine.backend = GetParam();
