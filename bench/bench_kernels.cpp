@@ -3,12 +3,19 @@
 // packaging stream.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <queue>
+#include <vector>
 
 #include "bench_memory.hpp"
+#include "client/wire.hpp"
+#include "server/net.hpp"
+#include "server/service.hpp"
 #include "core/campaign.hpp"
 #include "docking/cell_list.hpp"
 #include "docking/engine.hpp"
@@ -666,5 +673,85 @@ void BM_MctMatrixBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MctMatrixBuild);
+
+// ---------------------------------------------------------------------------
+// Grid service over real sockets: the `hcmdgrid serve` path end to end on
+// localhost. Both rows drive a pipelined wire client (256 devices on one
+// connection) against a 2-worker server, the deployment shape the serve
+// smoke test uses. BM_ServeThroughput reports wall time per RPC burst
+// (items/s is the req/s headline the gate gates); BM_ServeIssueP99 reports
+// the p99 round-trip of each burst via manual time, so the gated number is
+// the latency SLO itself rather than the mean.
+// ---------------------------------------------------------------------------
+server::ServiceConfig bench_serve_config() {
+  server::ServiceConfig config;
+  config.server.validation.quorum2_until = 0.0;
+  config.server.validation.spot_check_fraction = 0.0;
+  return config;
+}
+
+void BM_ServeThroughput(benchmark::State& state) {
+  constexpr std::uint32_t kDevices = 256;
+  constexpr std::uint32_t kBurst = 1024;
+  server::GridServer grid(server::synthetic_catalog(400'000, 4.0),
+                          bench_serve_config(), server::NetOptions{});
+  grid.start();
+  client::WireClient wire("127.0.0.1", grid.port());
+  std::uint64_t seq = 1;
+  std::uint64_t served = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < kBurst; ++i) {
+      server::proto::RequestWork m;
+      m.device = i % kDevices;
+      m.seq = seq++;
+      wire.queue(m);
+    }
+    wire.flush();
+    for (std::uint32_t i = 0; i < kBurst; ++i) {
+      benchmark::DoNotOptimize(wire.recv_reply());
+    }
+    served += kBurst;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+  grid.stop();
+}
+BENCHMARK(BM_ServeThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_ServeIssueP99(benchmark::State& state) {
+  constexpr std::uint32_t kDevices = 256;
+  constexpr std::uint32_t kProbe = 512;
+  server::GridServer grid(server::synthetic_catalog(400'000, 4.0),
+                          bench_serve_config(), server::NetOptions{});
+  grid.start();
+  client::WireClient wire("127.0.0.1", grid.port());
+  std::uint64_t seq = 1;
+  std::vector<double> rtts;
+  rtts.reserve(kProbe);
+  for (auto _ : state) {
+    rtts.clear();
+    const auto burst_start = std::chrono::steady_clock::now();
+    for (std::uint32_t i = 0; i < kProbe; ++i) {
+      server::proto::RequestWork m;
+      m.device = i % kDevices;
+      m.seq = seq++;
+      wire.queue(m);
+    }
+    wire.flush();
+    for (std::uint32_t i = 0; i < kProbe; ++i) {
+      benchmark::DoNotOptimize(wire.recv_reply());
+      rtts.push_back(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - burst_start)
+                         .count());
+    }
+    // Manual time = the burst's p99 round trip: the gated figure is the
+    // latency SLO, not the mean.
+    std::sort(rtts.begin(), rtts.end());
+    state.SetIterationTime(rtts[(kProbe * 99) / 100]);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kProbe));
+  grid.stop();
+}
+BENCHMARK(BM_ServeIssueP99)->UseManualTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,84 @@
+// Client-farm load generator for `hcmdgrid loadgen`.
+//
+// Replays the fleet model's client behaviour as real socket traffic: a farm
+// of simulated devices (speeds drawn from the volunteer device model) runs
+// the closed request -> compute -> report loop against a live grid server,
+// with the fault plan's client-side behaviour wired in:
+//
+//   * loss draws silently drop a finished result before it is sent (the
+//     server's deadline re-issue must recover the workunit);
+//   * corruption draws flip the result payload and stamp a unique nonzero
+//     tag, so two independently corrupted quorum copies can never validate
+//     against each other (same contract as the simulated fleet);
+//   * a Busy response (server outage window) puts the device on the exact
+//     capped-exponential backoff law the simulated fleet uses —
+//     FaultSchedule::backoff_delay(attempt, device_rng) — with unsent
+//     reports buffered client-side for retry, mirroring the in-process
+//     deferred-upload model.
+//
+// Each connection thread pipelines its whole device subset on one socket
+// (one in-flight RPC per device, many devices per connection), measures
+// per-RPC round-trip latency into thread-local obs::LogHistograms, and the
+// run merges them into the issue/report distributions of the JSON summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faults/plan.hpp"
+#include "obs/registry.hpp"
+#include "server/protocol.hpp"
+
+namespace hcmd::client {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< required
+  /// Simulated devices, partitioned across the connections.
+  std::uint32_t devices = 256;
+  /// Client threads; each owns one socket and devices/connections devices.
+  std::uint32_t connections = 4;
+  /// Wall-clock run length.
+  double duration_seconds = 5.0;
+  /// Service seconds per wall second; must match the server's so backoff
+  /// delays land inside the same (scaled) outage windows.
+  double time_scale = 1.0;
+  /// Client-side fault behaviour (loss/corruption rates, backoff law).
+  faults::FaultPlan faults;
+  std::uint64_t seed = 0x10adf0e;
+};
+
+struct LoadgenReport {
+  std::uint64_t requests_sent = 0;  ///< frames written
+  std::uint64_t replies = 0;        ///< frames received (completed RPCs)
+  std::uint64_t assignments = 0;
+  std::uint64_t no_work = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t duplicate_acks = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t reports_lost = 0;       ///< loss draws (result never sent)
+  std::uint64_t reports_corrupted = 0;  ///< corruption draws
+  std::uint64_t backoff_waits = 0;      ///< Busy responses honoured
+  std::uint64_t deferred_uploads = 0;   ///< reports buffered through an outage
+  double wall_seconds = 0.0;
+  /// Completed RPCs (replies) per wall second — the headline figure.
+  double requests_per_sec = 0.0;
+  /// Round-trip wall latency, request_work send -> scheduler response.
+  obs::LogHistogram issue_latency;
+  /// Round-trip wall latency, report_result send -> ack.
+  obs::LogHistogram report_latency;
+  /// Server-side view, fetched with a final get_status RPC.
+  server::proto::Status server_status;
+};
+
+/// Runs the farm (blocking). Throws ConfigError on bad options or when the
+/// server is unreachable.
+LoadgenReport run_loadgen(const LoadgenOptions& options);
+
+/// The summary document `hcmdgrid loadgen --out` writes
+/// (tools/validate_report.py --serve checks its shape).
+std::string loadgen_json(const LoadgenOptions& options,
+                         const LoadgenReport& report);
+
+}  // namespace hcmd::client

@@ -178,16 +178,15 @@ void ShardEngine::process_barrier(double t) {
     const auto& msgs = shards_[s]->mailbox.messages();
     for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(msgs.size());
          ++i) {
-      msg_order_.push_back({msgs[i].time,
-                            shards_[s]->fleet.spec(msgs[i].device).id,
-                            msgs[i].seq, s, i});
+      msg_order_.push_back(
+          {{msgs[i].time, server::MergeLane::kMessage,
+            shards_[s]->fleet.spec(msgs[i].device).id, msgs[i].seq},
+           s, i});
     }
   }
   std::sort(msg_order_.begin(), msg_order_.end(),
             [](const MessageRef& a, const MessageRef& b) {
-              if (a.time != b.time) return a.time < b.time;
-              if (a.gid != b.gid) return a.gid < b.gid;
-              return a.seq < b.seq;
+              return server::merge_before(a.key, b.key);
             });
 
   // --- deadlines due this epoch, ascending (time, id) ---
@@ -208,7 +207,7 @@ void ShardEngine::process_barrier(double t) {
     if (!has_c && !has_d && !has_m) break;
     const double tc = has_c ? controls_[next_control_].time : kTimeInfinity;
     const double td = has_d ? due_scratch_[di].time : kTimeInfinity;
-    const double tm = has_m ? msg_order_[mi].time : kTimeInfinity;
+    const double tm = has_m ? msg_order_[mi].key.time : kTimeInfinity;
 
     if (has_c && tc <= td && tc <= tm) {
       controls_[next_control_++].fn();

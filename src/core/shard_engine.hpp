@@ -46,6 +46,7 @@
 #include "faults/schedule.hpp"
 #include "obs/trace.hpp"
 #include "server/deadline_book.hpp"
+#include "server/merge_order.hpp"
 #include "server/server.hpp"
 #include "server/share_schedule.hpp"
 #include "sim/metrics.hpp"
@@ -167,13 +168,11 @@ class ShardEngine {
     std::function<void()> fn;
   };
 
-  /// Sort key for one drained uplink message: (time, global id, per-device
-  /// seq) is a strict total order built from shard-count-independent
-  /// quantities. shard/index locate the payload in its mailbox.
+  /// Sort key for one drained uplink message: the shared merge order
+  /// (server/merge_order.hpp) over shard-count-independent quantities.
+  /// shard/index locate the payload in its mailbox.
   struct MessageRef {
-    double time = 0.0;
-    std::uint32_t gid = 0;
-    std::uint64_t seq = 0;
+    server::MergeKey key;
     std::uint32_t shard = 0;
     std::uint32_t index = 0;
   };

@@ -76,6 +76,17 @@ class LogHistogram {
   static double bin_lo(std::size_t bin);
   const std::array<std::uint64_t, kBins>& counts() const { return counts_; }
 
+  /// Folds another histogram in (bin-wise; min/max/sum/count combine
+  /// exactly). Lets per-thread recorders merge into one distribution.
+  void merge(const LogHistogram& o) {
+    for (std::size_t i = 0; i < kBins; ++i) counts_[i] += o.counts_[i];
+    if (o.n_ == 0) return;
+    min_ = (n_ == 0 || o.min_ < min_) ? o.min_ : min_;
+    max_ = (n_ == 0 || o.max_ > max_) ? o.max_ : max_;
+    n_ += o.n_;
+    sum_ += o.sum_;
+  }
+
  private:
   std::array<std::uint64_t, kBins> counts_{};
   std::uint64_t n_ = 0;

@@ -1,0 +1,460 @@
+#include "server/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/buffer_pool.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::server {
+
+namespace {
+
+// epoll user-data tags: connection slots are small indices, the two
+// singleton fds get values no slot can reach.
+constexpr std::uint64_t kListenTag = ~std::uint64_t{0};
+constexpr std::uint64_t kEventTag = ~std::uint64_t{0} - 1;
+
+constexpr int kPollMillis = 1;     ///< bounds MPSC gaps + idle deadline lag
+constexpr int kMaxEpollEvents = 64;
+
+std::uint64_t make_token(std::uint32_t worker, std::uint32_t gen,
+                         std::uint32_t slot) {
+  return (static_cast<std::uint64_t>(worker) << 48) |
+         (static_cast<std::uint64_t>(gen & 0xFFFFu) << 32) | slot;
+}
+
+void drain_eventfd(int fd) {
+  std::uint64_t v = 0;
+  // Non-blocking; EAGAIN just means nobody signalled since the last drain.
+  while (::read(fd, &v, sizeof v) == static_cast<ssize_t>(sizeof v)) {
+  }
+}
+
+void signal_eventfd(int fd) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof one);
+}
+
+}  // namespace
+
+struct GridServer::Worker {
+  std::uint32_t index = 0;
+  GridServer* server = nullptr;
+  int epoll_fd = -1;
+  int event_fd = -1;
+  util::MpscQueue<WireRequest> uplink;      ///< worker -> service
+  util::MpscQueue<WireResponse> downlink;   ///< service -> worker
+  util::BufferPool pool;
+  std::thread thread;
+
+  struct Conn {
+    int fd = -1;
+    std::uint32_t gen = 0;
+    bool open = false;
+    bool want_write = false;
+    std::vector<std::uint8_t> rbuf;
+    std::size_t roff = 0;
+    std::vector<std::uint8_t> wbuf;
+    std::size_t woff = 0;
+  };
+  std::vector<Conn> conns;
+  std::vector<std::uint32_t> free_slots;
+  std::vector<WireResponse> downlink_scratch;
+
+  std::uint32_t alloc_slot() {
+    if (!free_slots.empty()) {
+      const std::uint32_t s = free_slots.back();
+      free_slots.pop_back();
+      return s;
+    }
+    conns.emplace_back();
+    return static_cast<std::uint32_t>(conns.size() - 1);
+  }
+
+  void open_conn(int fd) {
+    const std::uint32_t slot = alloc_slot();
+    Conn& c = conns[slot];
+    c.fd = fd;
+    c.open = true;
+    c.want_write = false;
+    c.rbuf = pool.acquire();
+    c.roff = 0;
+    c.wbuf = pool.acquire();
+    c.woff = 0;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = slot;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  void close_conn(std::uint32_t slot) {
+    Conn& c = conns[slot];
+    if (!c.open) return;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+    c.open = false;
+    ++c.gen;  // responses in flight for the old incarnation get dropped
+    pool.release(std::move(c.rbuf));
+    pool.release(std::move(c.wbuf));
+    c.rbuf.clear();
+    c.wbuf.clear();
+    c.roff = c.woff = 0;
+    free_slots.push_back(slot);
+    server->closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Tries to push the connection's write buffer out; arms/disarms
+  /// EPOLLOUT as needed. Closes on a hard error.
+  void flush(std::uint32_t slot) {
+    Conn& c = conns[slot];
+    while (c.woff < c.wbuf.size()) {
+      const ssize_t n =
+          ::send(c.fd, c.wbuf.data() + c.woff, c.wbuf.size() - c.woff,
+                 MSG_NOSIGNAL);
+      if (n > 0) {
+        c.woff += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      close_conn(slot);
+      return;
+    }
+    const bool drained = c.woff == c.wbuf.size();
+    if (drained) {
+      c.wbuf.clear();
+      c.woff = 0;
+    }
+    if (drained == c.want_write) {
+      c.want_write = !drained;
+      epoll_event ev{};
+      ev.events = EPOLLIN | (c.want_write ? EPOLLOUT : 0u);
+      ev.data.u64 = slot;
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+    }
+  }
+};
+
+GridServer::GridServer(std::vector<packaging::Workunit> catalog,
+                       ServiceConfig service, NetOptions net)
+    : service_(std::move(catalog), std::move(service)), net_(std::move(net)) {
+  if (net_.workers == 0) net_.workers = 1;
+  if (!(net_.time_scale > 0.0))
+    throw ConfigError("serve: time_scale must be positive");
+}
+
+GridServer::~GridServer() { stop(); }
+
+double GridServer::now_seconds() const {
+  const auto dt = std::chrono::steady_clock::now() - start_time_;
+  return std::chrono::duration<double>(dt).count() * net_.time_scale;
+}
+
+GridServer::Stats GridServer::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.closed = closed_.load(std::memory_order_relaxed);
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.frames_out = frames_out_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void GridServer::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    throw ConfigError(std::string("serve: socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(net_.port);
+  if (::inet_pton(AF_INET, net_.listen.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ConfigError("serve: bad listen address '" + net_.listen + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 512) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ConfigError("serve: bind " + net_.listen + ":" +
+                      std::to_string(net_.port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+
+  service_event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+
+  start_time_ = std::chrono::steady_clock::now();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+
+  workers_.clear();
+  for (std::uint32_t i = 0; i < net_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    w->server = this;
+    w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    w->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.u64 = kListenTag;
+    ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    ev = epoll_event{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kEventTag;
+    ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->event_fd, &ev);
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { worker_loop(*raw); });
+  }
+  service_thread_ = std::thread([this] { service_loop(); });
+}
+
+void GridServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  signal_eventfd(service_event_fd_);
+  for (auto& w : workers_) signal_eventfd(w->event_fd);
+
+  if (service_thread_.joinable()) service_thread_.join();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+
+  for (auto& w : workers_) {
+    for (std::uint32_t s = 0; s < w->conns.size(); ++s)
+      if (w->conns[s].open) w->close_conn(s);
+    ::close(w->event_fd);
+    ::close(w->epoll_fd);
+  }
+  workers_.clear();
+  ::close(service_event_fd_);
+  service_event_fd_ = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void GridServer::wake_service() { signal_eventfd(service_event_fd_); }
+
+void GridServer::accept_ready(Worker& w) {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a racing worker took it
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    w.open_conn(fd);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// Decodes one framed request into a WireRequest. Returns false (and sets
+/// `code`) for response verbs or unknown verbs; throws ParseError on a bad
+/// payload for a known request verb.
+bool decode_request(const proto::Frame& f, WireRequest& m,
+                    proto::ErrorCode& code) {
+  switch (f.verb) {
+    case proto::Verb::kRequestWork: {
+      const proto::RequestWork r = proto::decode_request_work(f);
+      m.verb = f.verb;
+      m.device = r.device;
+      m.seq = r.seq;
+      return true;
+    }
+    case proto::Verb::kReportResult: {
+      const proto::ReportResult r = proto::decode_report_result(f);
+      m.verb = f.verb;
+      m.device = r.device;
+      m.seq = r.seq;
+      m.result_id = r.result_id;
+      m.reported_runtime = r.reported_runtime;
+      m.reference_seconds = r.reference_seconds;
+      m.corruption_tag = r.corruption_tag;
+      m.computation_error = r.computation_error;
+      m.silent_error = r.silent_error;
+      return true;
+    }
+    case proto::Verb::kGetStatus: {
+      const proto::GetStatus r = proto::decode_get_status(f);
+      m.verb = f.verb;
+      m.device = r.device;
+      m.seq = r.seq;
+      return true;
+    }
+    default:
+      code = proto::ErrorCode::kUnknownVerb;
+      return false;
+  }
+}
+
+}  // namespace
+
+void GridServer::worker_loop(Worker& w) {
+  epoll_event events[kMaxEpollEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Route finished responses back to their connections first: the service
+    // may have signalled while we were busy, and the queue may also hold
+    // entries pushed inside the Vyukov visibility window — the poll timeout
+    // below bounds that stall.
+    w.downlink_scratch.clear();
+    w.downlink.drain(w.downlink_scratch);
+    for (WireResponse& r : w.downlink_scratch) {
+      const auto slot = static_cast<std::uint32_t>(r.conn & 0xFFFFFFFFu);
+      const auto gen = static_cast<std::uint32_t>((r.conn >> 32) & 0xFFFFu);
+      if (slot >= w.conns.size()) continue;
+      Worker::Conn& c = w.conns[slot];
+      if (!c.open || (c.gen & 0xFFFFu) != gen) continue;  // conn died
+      c.wbuf.insert(c.wbuf.end(), r.bytes.begin(), r.bytes.end());
+      frames_out_.fetch_add(1, std::memory_order_relaxed);
+      w.flush(slot);
+    }
+
+    const int n = ::epoll_wait(w.epoll_fd, events, kMaxEpollEvents,
+                               kPollMillis);
+    bool pushed = false;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        accept_ready(w);
+        continue;
+      }
+      if (tag == kEventTag) {
+        drain_eventfd(w.event_fd);
+        continue;
+      }
+      const auto slot = static_cast<std::uint32_t>(tag);
+      if (slot >= w.conns.size() || !w.conns[slot].open) continue;
+      Worker::Conn& c = w.conns[slot];
+
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        w.close_conn(slot);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) w.flush(slot);
+      if (!c.open || !(events[i].events & EPOLLIN)) continue;
+
+      // --- read everything available ---
+      bool closed = false;
+      while (true) {
+        const std::size_t old = c.rbuf.size();
+        c.rbuf.resize(old + 4096);
+        const ssize_t r = ::read(c.fd, c.rbuf.data() + old, 4096);
+        if (r > 0) {
+          c.rbuf.resize(old + static_cast<std::size_t>(r));
+          continue;
+        }
+        c.rbuf.resize(old);
+        if (r == 0) {
+          closed = true;
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          closed = true;
+        }
+        break;
+      }
+
+      // --- slice and dispatch complete frames ---
+      try {
+        while (true) {
+          std::size_t off = c.roff;
+          const std::optional<proto::Frame> f =
+              proto::try_extract(c.rbuf, off);
+          if (!f.has_value()) break;
+          c.roff = off;
+          frames_in_.fetch_add(1, std::memory_order_relaxed);
+          WireRequest m;
+          proto::ErrorCode code = proto::ErrorCode::kUnknownVerb;
+          bool ok = false;
+          try {
+            ok = decode_request(*f, m, code);
+          } catch (const ParseError&) {
+            code = proto::ErrorCode::kBadFrame;
+          }
+          if (ok) {
+            m.time = now_seconds();
+            m.conn = make_token(w.index, w.conns[slot].gen, slot);
+            w.uplink.push(std::move(m));
+            pushed = true;
+          } else {
+            // Framing is intact — answer locally and keep the stream.
+            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+            proto::ErrorMsg e;
+            e.code = code;
+            proto::encode(e, c.wbuf);
+            frames_out_.fetch_add(1, std::memory_order_relaxed);
+            w.flush(slot);
+            if (!c.open) break;
+          }
+        }
+      } catch (const ParseError&) {
+        // Length prefix is garbage: byte sync is unrecoverable.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        w.close_conn(slot);
+      }
+
+      if (c.open && c.roff > 0 &&
+          (c.roff == c.rbuf.size() || c.roff >= 65536)) {
+        c.rbuf.erase(c.rbuf.begin(),
+                     c.rbuf.begin() + static_cast<std::ptrdiff_t>(c.roff));
+        c.roff = 0;
+      }
+      if (closed && c.open) w.close_conn(slot);
+    }
+    if (pushed) wake_service();
+  }
+}
+
+void GridServer::service_loop() {
+  std::vector<WireRequest> batch;
+  std::vector<WireResponse> out;
+  std::vector<bool> touched(workers_.size(), false);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd p{service_event_fd_, POLLIN, 0};
+    ::poll(&p, 1, kPollMillis);
+    if (p.revents & POLLIN) drain_eventfd(service_event_fd_);
+
+    batch.clear();
+    out.clear();
+    for (auto& w : workers_) w->uplink.drain(batch);
+
+    // Run even on an empty batch: the deadline lane must tick on a server
+    // nobody is talking to.
+    service_.process_batch(batch, now_seconds(), out);
+    if (out.empty()) continue;
+
+    std::fill(touched.begin(), touched.end(), false);
+    for (WireResponse& r : out) {
+      const auto wi = static_cast<std::uint32_t>(r.conn >> 48);
+      if (wi >= workers_.size()) continue;
+      workers_[wi]->downlink.push(std::move(r));
+      touched[wi] = true;
+    }
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      if (touched[i]) signal_eventfd(workers_[i]->event_fd);
+  }
+}
+
+}  // namespace hcmd::server

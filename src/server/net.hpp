@@ -1,0 +1,133 @@
+// GridServer: the network front end of `hcmdgrid serve`.
+//
+// Threading model (one logical server, N+2 threads):
+//
+//   N worker threads   each owns an epoll instance, an eventfd, a buffer
+//                      pool and a set of non-blocking connections. The
+//                      shared listening socket is registered in every
+//                      worker's epoll (EPOLLEXCLUSIVE), so the kernel
+//                      spreads accepts without a handoff queue and a
+//                      connection lives its whole life on one worker.
+//                      Workers do IO and framing only: they slice frames
+//                      out of the read buffer, decode request verbs into
+//                      WireRequests stamped with the arrival time, and push
+//                      them onto their own MPSC uplink queue. They never
+//                      touch the workunit store.
+//
+//   1 service thread   drains every worker's uplink queue, replays the
+//                      union through GridService::process_batch — the
+//                      deterministic (time, lane, device, seq) merge the
+//                      epoch-barrier engine proved out — and routes the
+//                      encoded responses back through per-worker MPSC
+//                      downlink queues, kicking each worker's eventfd.
+//
+//   (the caller)       start()/stop() and inspection.
+//
+// Wakeups are edge-ish but every blocking point has a ~1 ms timeout: the
+// Vyukov queue's push window (an in-flight push is momentarily invisible to
+// the consumer) and the deadline lane (ticks must fire on a quiet server)
+// are both bounded by one poll interval instead of requiring a fence or a
+// timer fd per deadline.
+//
+// All sockets are non-blocking; partial writes park the remainder in the
+// connection's write buffer and arm EPOLLOUT until it drains. A framing
+// error (bad length prefix) kills the connection — byte sync is gone; a
+// decodable frame with a bad payload or a response verb gets a kError reply
+// and the stream continues.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.hpp"
+#include "util/mpsc_queue.hpp"
+
+namespace hcmd::server {
+
+struct NetOptions {
+  std::string listen = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the real one back with port().
+  std::uint16_t port = 0;
+  /// Event-loop threads (clamped to >= 1).
+  std::uint32_t workers = 2;
+  /// Service seconds per wall-clock second. Lets a wire test replay a
+  /// multi-day fault plan (outage windows, deadlines) in real minutes.
+  double time_scale = 1.0;
+};
+
+class GridServer {
+ public:
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t frames_out = 0;
+    /// Local error replies (bad payload, response verb from a client) plus
+    /// connections dropped for a broken length prefix.
+    std::uint64_t protocol_errors = 0;
+  };
+
+  GridServer(std::vector<packaging::Workunit> catalog, ServiceConfig service,
+             NetOptions net);
+  ~GridServer();
+
+  GridServer(const GridServer&) = delete;
+  GridServer& operator=(const GridServer&) = delete;
+
+  /// Binds, listens and launches the threads. Throws ConfigError when the
+  /// address is unparseable or the bind fails.
+  void start();
+
+  /// Stops the threads, closes every socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Actual bound port (after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Wall clock -> service seconds since start(), scaled by time_scale.
+  double now_seconds() const;
+
+  /// The RPC layer. Single-threaded on the service thread while running —
+  /// callers may only touch it before start() or after stop(), except for
+  /// Registry counter reads (atomic by design).
+  GridService& service() { return service_; }
+  const GridService& service() const { return service_; }
+
+  Stats stats() const;
+
+ private:
+  struct Worker;
+
+  void accept_ready(Worker& w);
+  void worker_loop(Worker& w);
+  void service_loop();
+  void wake_service();
+
+  GridService service_;
+  NetOptions net_;
+
+  int listen_fd_ = -1;
+  int service_event_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::chrono::steady_clock::time_point start_time_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread service_thread_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace hcmd::server

@@ -1,0 +1,369 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace hcmd::server::proto {
+
+namespace {
+
+/// Appends little-endian scalars to a byte vector.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {
+    // Length placeholder, patched by finish().
+    frame_start_ = out_.size();
+    out_.insert(out_.end(), 4, 0);
+  }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  void finish() {
+    const std::size_t body = out_.size() - frame_start_ - 4;
+    HCMD_ASSERT_MSG(body > 0 && body <= kMaxFrameBytes,
+                    "frame body out of range");
+    const auto len = static_cast<std::uint32_t>(body);
+    for (int i = 0; i < 4; ++i)
+      out_[frame_start_ + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(len >> (8 * i));
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::size_t frame_start_;
+};
+
+/// Reads little-endian scalars from a frame payload; throws on underrun
+/// and requires the payload to be fully consumed (no trailing bytes — a
+/// layout mismatch between peers must fail loudly, not silently truncate).
+class Reader {
+ public:
+  Reader(const Frame& f, const char* what)
+      : p_(f.payload), n_(f.size), what_(what) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return p_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        p_[pos_] | (static_cast<std::uint16_t>(p_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(p_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(p_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  void done() const {
+    if (pos_ != n_)
+      throw ParseError(std::string(what_) + ": trailing bytes in payload");
+  }
+
+ private:
+  void need(std::size_t k) const {
+    if (pos_ + k > n_)
+      throw ParseError(std::string(what_) + ": truncated payload");
+  }
+
+  const std::uint8_t* p_;
+  std::size_t pos_ = 0;
+  std::size_t n_;
+  const char* what_;
+};
+
+void check_verb(const Frame& f, Verb expect, const char* what) {
+  if (f.verb != expect)
+    throw ParseError(std::string(what) + ": wrong verb");
+}
+
+}  // namespace
+
+std::optional<Frame> try_extract(const std::vector<std::uint8_t>& buf,
+                                 std::size_t& offset) {
+  if (buf.size() - offset < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(buf[offset + static_cast<std::size_t>(i)])
+           << (8 * i);
+  if (len == 0 || len > kMaxFrameBytes)
+    throw ParseError("frame length " + std::to_string(len) +
+                     " outside (0, " + std::to_string(kMaxFrameBytes) + "]");
+  if (buf.size() - offset < 4 + static_cast<std::size_t>(len))
+    return std::nullopt;
+  Frame f;
+  f.verb = static_cast<Verb>(buf[offset + 4]);
+  f.payload = buf.data() + offset + 5;
+  f.size = len - 1;
+  offset += 4 + static_cast<std::size_t>(len);
+  return f;
+}
+
+// --- encoders --------------------------------------------------------------
+
+void encode(const RequestWork& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kRequestWork));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.finish();
+}
+
+void encode(const ReportResult& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kReportResult));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.u64(m.result_id);
+  w.f64(m.reported_runtime);
+  w.f64(m.reference_seconds);
+  w.u64(m.corruption_tag);
+  w.u8(static_cast<std::uint8_t>((m.computation_error ? 1u : 0u) |
+                                 (m.silent_error ? 2u : 0u)));
+  w.finish();
+}
+
+void encode(const GetStatus& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kGetStatus));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.finish();
+}
+
+void encode(const Assignment& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kAssignment));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.u64(m.result_id);
+  w.u32(m.workunit);
+  w.u16(m.receptor);
+  w.u16(m.ligand);
+  w.u32(m.isep_begin);
+  w.u32(m.isep_end);
+  w.f64(m.reference_seconds);
+  w.f64(m.deadline);
+  w.finish();
+}
+
+void encode(const NoWork& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kNoWork));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.u8(m.project_complete ? 1 : 0);
+  w.finish();
+}
+
+void encode(const Busy& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kBusy));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.f64(m.retry_after);
+  w.finish();
+}
+
+void encode(const ReportAck& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kReportAck));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.u8(static_cast<std::uint8_t>(m.state));
+  w.u8(m.duplicate ? 1 : 0);
+  w.finish();
+}
+
+void encode(const Status& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kStatus));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.u64(m.results_sent);
+  w.u64(m.results_received);
+  w.u64(m.results_valid);
+  w.u64(m.results_invalid);
+  w.u64(m.results_timed_out);
+  w.u64(m.workunits_completed);
+  w.u64(m.workunits_total);
+  w.u64(m.outage_denied);
+  w.u64(m.rpc_requests);
+  w.f64(m.now);
+  w.u8(m.complete ? 1 : 0);
+  w.finish();
+}
+
+void encode(const ErrorMsg& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kError));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.u8(static_cast<std::uint8_t>(m.code));
+  w.finish();
+}
+
+// --- decoders --------------------------------------------------------------
+
+RequestWork decode_request_work(const Frame& f) {
+  check_verb(f, Verb::kRequestWork, "request_work");
+  Reader r(f, "request_work");
+  RequestWork m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  r.done();
+  return m;
+}
+
+ReportResult decode_report_result(const Frame& f) {
+  check_verb(f, Verb::kReportResult, "report_result");
+  Reader r(f, "report_result");
+  ReportResult m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  m.result_id = r.u64();
+  m.reported_runtime = r.f64();
+  m.reference_seconds = r.f64();
+  m.corruption_tag = r.u64();
+  const std::uint8_t flags = r.u8();
+  m.computation_error = (flags & 1u) != 0;
+  m.silent_error = (flags & 2u) != 0;
+  r.done();
+  return m;
+}
+
+GetStatus decode_get_status(const Frame& f) {
+  check_verb(f, Verb::kGetStatus, "get_status");
+  Reader r(f, "get_status");
+  GetStatus m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  r.done();
+  return m;
+}
+
+Assignment decode_assignment(const Frame& f) {
+  check_verb(f, Verb::kAssignment, "assignment");
+  Reader r(f, "assignment");
+  Assignment m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  m.result_id = r.u64();
+  m.workunit = r.u32();
+  m.receptor = r.u16();
+  m.ligand = r.u16();
+  m.isep_begin = r.u32();
+  m.isep_end = r.u32();
+  m.reference_seconds = r.f64();
+  m.deadline = r.f64();
+  r.done();
+  return m;
+}
+
+NoWork decode_no_work(const Frame& f) {
+  check_verb(f, Verb::kNoWork, "no_work");
+  Reader r(f, "no_work");
+  NoWork m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  m.project_complete = r.u8() != 0;
+  r.done();
+  return m;
+}
+
+Busy decode_busy(const Frame& f) {
+  check_verb(f, Verb::kBusy, "busy");
+  Reader r(f, "busy");
+  Busy m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  m.retry_after = r.f64();
+  r.done();
+  return m;
+}
+
+ReportAck decode_report_ack(const Frame& f) {
+  check_verb(f, Verb::kReportAck, "report_ack");
+  Reader r(f, "report_ack");
+  ReportAck m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  m.state = static_cast<server::ResultState>(r.u8());
+  m.duplicate = r.u8() != 0;
+  r.done();
+  return m;
+}
+
+Status decode_status(const Frame& f) {
+  check_verb(f, Verb::kStatus, "status");
+  Reader r(f, "status");
+  Status m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  m.results_sent = r.u64();
+  m.results_received = r.u64();
+  m.results_valid = r.u64();
+  m.results_invalid = r.u64();
+  m.results_timed_out = r.u64();
+  m.workunits_completed = r.u64();
+  m.workunits_total = r.u64();
+  m.outage_denied = r.u64();
+  m.rpc_requests = r.u64();
+  m.now = r.f64();
+  m.complete = r.u8() != 0;
+  r.done();
+  return m;
+}
+
+ErrorMsg decode_error(const Frame& f) {
+  check_verb(f, Verb::kError, "error");
+  Reader r(f, "error");
+  ErrorMsg m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  m.code = static_cast<ErrorCode>(r.u8());
+  r.done();
+  return m;
+}
+
+}  // namespace hcmd::server::proto

@@ -1,0 +1,199 @@
+// Compact length-prefixed binary RPC protocol for the grid service.
+//
+// Frame layout (all integers little-endian, doubles IEEE-754 binary64):
+//
+//   u32 length      bytes that follow (verb byte + payload); 0 < length
+//                   <= kMaxFrameBytes
+//   u8  verb        one of proto::Verb
+//   ...payload      fixed layout per verb, below
+//
+// Every message — request or response — starts its payload with the
+// (device, seq) pair: clients stamp requests with a per-device monotone
+// sequence number (the same counter the simulated fleet's UplinkMessage
+// carries) and the server echoes both back, so a client may pipeline
+// many devices' requests on one connection and match responses without
+// assuming arrival order. (The service drains workers' queues in merged
+// (time, lane, device, seq) order, not per-connection order.)
+//
+// Requests                         Responses
+//   kRequestWork  {device, seq}      kAssignment {device, seq, result_id,
+//   kReportResult {device, seq,                   workunit, receptor, ligand,
+//                  result_id,                     isep_begin, isep_end,
+//                  runtime, ref,                  reference_seconds, deadline}
+//                  corruption_tag,   kNoWork     {device, seq, complete}
+//                  flags}            kBusy       {device, seq, retry_after}
+//   kGetStatus    {device, seq}      kReportAck  {device, seq, state,
+//                                                 duplicate}
+//                                    kStatus     {device, seq, counters...,
+//                                                 now, complete}
+//                                    kError      {device, seq, code}
+//
+// Encoding and decoding are branchy-but-trivial byte shifts (no struct
+// punning, so the wire format is identical on any host endianness).
+// Decoders throw hcmd::ParseError on truncated or malformed payloads; the
+// frame extractor rejects oversized lengths before buffering, which is the
+// only flood-control a length-prefixed protocol needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "server/server.hpp"
+
+namespace hcmd::server::proto {
+
+/// Hard ceiling on (verb + payload) size. Every real frame is < 100 bytes;
+/// anything bigger is a corrupt or hostile stream.
+inline constexpr std::uint32_t kMaxFrameBytes = 4096;
+
+enum class Verb : std::uint8_t {
+  kRequestWork = 1,
+  kReportResult = 2,
+  kGetStatus = 3,
+  kAssignment = 4,
+  kNoWork = 5,
+  kBusy = 6,
+  kReportAck = 7,
+  kStatus = 8,
+  kError = 9,
+};
+
+enum class ErrorCode : std::uint8_t {
+  kBadFrame = 1,       ///< undecodable payload
+  kUnknownVerb = 2,
+  kUnknownResult = 3,  ///< report for a result id never issued
+};
+
+// --- message structs -------------------------------------------------------
+
+struct RequestWork {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+};
+
+struct ReportResult {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t result_id = 0;
+  double reported_runtime = 0.0;
+  double reference_seconds = 0.0;
+  std::uint64_t corruption_tag = 0;
+  bool computation_error = false;
+  bool silent_error = false;
+
+  server::ResultReport to_report() const {
+    server::ResultReport r;
+    r.computation_error = computation_error;
+    r.silent_error = silent_error;
+    r.reported_runtime = reported_runtime;
+    r.reference_seconds = reference_seconds;
+    r.corruption_tag = corruption_tag;
+    return r;
+  }
+};
+
+struct GetStatus {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+};
+
+struct Assignment {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t result_id = 0;
+  std::uint32_t workunit = 0;
+  std::uint16_t receptor = 0;
+  std::uint16_t ligand = 0;
+  std::uint32_t isep_begin = 0;
+  std::uint32_t isep_end = 0;
+  double reference_seconds = 0.0;
+  double deadline = 0.0;
+};
+
+struct NoWork {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  bool project_complete = false;
+};
+
+struct Busy {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  /// Hint: seconds (service time) until the outage window closes.
+  double retry_after = 0.0;
+};
+
+struct ReportAck {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  server::ResultState state = server::ResultState::kInProgress;
+  /// True when this return was a replay of an already-received result (a
+  /// network retry after a lost ack): the server state did not change.
+  bool duplicate = false;
+};
+
+struct Status {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t results_sent = 0;
+  std::uint64_t results_received = 0;
+  std::uint64_t results_valid = 0;
+  std::uint64_t results_invalid = 0;
+  std::uint64_t results_timed_out = 0;
+  std::uint64_t workunits_completed = 0;
+  std::uint64_t workunits_total = 0;
+  std::uint64_t outage_denied = 0;
+  std::uint64_t rpc_requests = 0;
+  double now = 0.0;  ///< service time, seconds since server start
+  bool complete = false;
+};
+
+struct ErrorMsg {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  ErrorCode code = ErrorCode::kBadFrame;
+};
+
+// --- framing ---------------------------------------------------------------
+
+/// A complete frame sliced out of a receive buffer. `payload` points into
+/// the caller's buffer and excludes the verb byte.
+struct Frame {
+  Verb verb = Verb::kError;
+  const std::uint8_t* payload = nullptr;
+  std::size_t size = 0;
+};
+
+/// Tries to slice one complete frame starting at `buf[offset]`. Returns
+/// nullopt when more bytes are needed; on success advances `offset` past
+/// the frame. Throws ParseError on a zero or oversized length prefix.
+std::optional<Frame> try_extract(const std::vector<std::uint8_t>& buf,
+                                 std::size_t& offset);
+
+// --- encoders (append one frame to `out`) ----------------------------------
+
+void encode(const RequestWork& m, std::vector<std::uint8_t>& out);
+void encode(const ReportResult& m, std::vector<std::uint8_t>& out);
+void encode(const GetStatus& m, std::vector<std::uint8_t>& out);
+void encode(const Assignment& m, std::vector<std::uint8_t>& out);
+void encode(const NoWork& m, std::vector<std::uint8_t>& out);
+void encode(const Busy& m, std::vector<std::uint8_t>& out);
+void encode(const ReportAck& m, std::vector<std::uint8_t>& out);
+void encode(const Status& m, std::vector<std::uint8_t>& out);
+void encode(const ErrorMsg& m, std::vector<std::uint8_t>& out);
+
+// --- decoders (throw ParseError on size/layout mismatch) -------------------
+
+RequestWork decode_request_work(const Frame& f);
+ReportResult decode_report_result(const Frame& f);
+GetStatus decode_get_status(const Frame& f);
+Assignment decode_assignment(const Frame& f);
+NoWork decode_no_work(const Frame& f);
+Busy decode_busy(const Frame& f);
+ReportAck decode_report_ack(const Frame& f);
+Status decode_status(const Frame& f);
+ErrorMsg decode_error(const Frame& f);
+
+}  // namespace hcmd::server::proto

@@ -1,0 +1,275 @@
+#include "server/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace hcmd::server {
+
+GridService::GridService(std::vector<packaging::Workunit> catalog,
+                         ServiceConfig config)
+    : config_(std::move(config)),
+      project_(std::move(catalog), config_.server),
+      faults_(config_.faults, util::Rng(config_.seed).fork("faults")) {
+  if (config_.max_devices == 0)
+    throw ConfigError("service: max_devices must be positive");
+  faults_.set_instruments(nullptr, &registry_);
+  project_.set_instruments(nullptr, &registry_);
+  // The fault schedule is deliberately NOT attached to the project server:
+  // the service refuses outage-window traffic itself (so it can answer with
+  // an explicit Busy + retry-after instead of an indistinguishable NoWork)
+  // and notes the denial exactly once, the way request_work would have.
+  ctr_requests_ = registry_.intern_counter("rpc.requests");
+  ctr_assignments_ = registry_.intern_counter("rpc.assignments");
+  ctr_no_work_ = registry_.intern_counter("rpc.no_work");
+  ctr_busy_ = registry_.intern_counter("rpc.busy");
+  ctr_reports_ = registry_.intern_counter("rpc.reports");
+  ctr_duplicate_reports_ = registry_.intern_counter("rpc.duplicate_reports");
+  ctr_status_ = registry_.intern_counter("rpc.status");
+  ctr_errors_ = registry_.intern_counter("rpc.errors");
+  hist_issue_wait_ = registry_.intern_histogram("rpc.issue_wait_seconds");
+}
+
+void GridService::process_batch(std::vector<WireRequest>& batch, double now,
+                                std::vector<WireResponse>& out) {
+  std::sort(batch.begin(), batch.end(),
+            [](const WireRequest& a, const WireRequest& b) {
+              return merge_before(a.key(), b.key());
+            });
+
+  due_scratch_.clear();
+  deadlines_.pop_due(now, due_scratch_);
+
+  // Two-pointer merge of the deadline lane against the message lane — the
+  // same replay loop the sharded engine runs at its epoch barrier, minus the
+  // control lane (wire mode has no scripted control events).
+  const bool outages_possible = faults_.active();
+  std::size_t di = 0;
+  std::size_t mi = 0;
+  while (di < due_scratch_.size() || mi < batch.size()) {
+    bool take_deadline;
+    if (di == due_scratch_.size()) {
+      take_deadline = false;
+    } else if (mi == batch.size()) {
+      take_deadline = true;
+    } else {
+      // Equal-time tie: lane order puts the deadline tick first, mirroring
+      // the barrier's td <= tm convention.
+      take_deadline = due_scratch_[di].time <= batch[mi].time;
+    }
+
+    if (take_deadline) {
+      const DeadlineBook::Due due = due_scratch_[di++];
+      if (outages_possible && faults_.server_down(due.time)) {
+        // The server is dark: no transitioner pass runs. Defer the tick to
+        // the moment the outage lifts (same policy as the epoch barrier):
+        // the deferred pass sees a time past the original deadline, so the
+        // timeout still registers then — unless the result is reported
+        // first, which disarms it.
+        faults_.note_deadline_deferred(due.time, due.result_id);
+        const double resume = faults_.outage_end_after(due.time);
+        if (resume <= now) {
+          const DeadlineBook::Due moved{resume, due.result_id};
+          auto pos = std::upper_bound(
+              due_scratch_.begin() + static_cast<std::ptrdiff_t>(di),
+              due_scratch_.end(), moved,
+              [](const DeadlineBook::Due& a, const DeadlineBook::Due& b) {
+                if (a.time != b.time) return a.time < b.time;
+                return a.result_id < b.result_id;
+              });
+          due_scratch_.insert(pos, moved);
+        } else {
+          deadlines_.arm(due.result_id, resume);
+        }
+        continue;
+      }
+      project_.handle_deadline(due.result_id, due.time);
+      continue;
+    }
+
+    const WireRequest& m = batch[mi++];
+    apply(m, out);
+    if (m.verb == proto::Verb::kRequestWork)
+      registry_.observe(hist_issue_wait_, std::max(0.0, now - m.time));
+  }
+
+  now_ = std::max(now_, now);
+}
+
+WireResponse GridService::handle(const WireRequest& request) {
+  std::vector<WireRequest> batch{request};
+  std::vector<WireResponse> out;
+  process_batch(batch, request.time, out);
+  HCMD_ASSERT(out.size() == 1);
+  return std::move(out.front());
+}
+
+void GridService::respond_busy(const WireRequest& m,
+                               std::vector<WireResponse>& out) {
+  registry_.add(ctr_busy_);
+  proto::Busy busy;
+  busy.device = m.device;
+  busy.seq = m.seq;
+  busy.retry_after = faults_.outage_end_after(m.time) - m.time;
+  out.emplace_back();
+  out.back().conn = m.conn;
+  proto::encode(busy, out.back().bytes);
+}
+
+void GridService::apply(const WireRequest& m, std::vector<WireResponse>& out) {
+  ++rpc_requests_;
+  registry_.add(ctr_requests_);
+  out.reserve(out.size() + 1);
+
+  const auto error = [&](proto::ErrorCode code) {
+    registry_.add(ctr_errors_);
+    proto::ErrorMsg e;
+    e.device = m.device;
+    e.seq = m.seq;
+    e.code = code;
+    out.emplace_back();
+    out.back().conn = m.conn;
+    proto::encode(e, out.back().bytes);
+  };
+
+  if (m.device >= config_.max_devices &&
+      m.verb != proto::Verb::kGetStatus) {
+    error(proto::ErrorCode::kBadFrame);
+    return;
+  }
+
+  switch (m.verb) {
+    case proto::Verb::kRequestWork: {
+      if (faults_.active() && faults_.server_down(m.time)) {
+        // Same refusal, same counter, as the in-process scheduler's
+        // nullopt path — but explicit on the wire so the client can
+        // distinguish "come back after the outage" from "no work left".
+        faults_.note_outage_denied(m.time, m.device);
+        respond_busy(m, out);
+        return;
+      }
+      const std::optional<Assignment> a = project_.request_work(m.device, m.time);
+      if (a.has_value()) {
+        registry_.add(ctr_assignments_);
+        deadlines_.arm(a->result_id, a->deadline);
+        proto::Assignment wire;
+        wire.device = m.device;
+        wire.seq = m.seq;
+        wire.result_id = a->result_id;
+        wire.workunit = a->workunit.id;
+        wire.receptor = a->workunit.receptor;
+        wire.ligand = a->workunit.ligand;
+        wire.isep_begin = a->workunit.isep_begin;
+        wire.isep_end = a->workunit.isep_end;
+        wire.reference_seconds = a->workunit.reference_seconds;
+        wire.deadline = a->deadline;
+        out.emplace_back();
+        out.back().conn = m.conn;
+        proto::encode(wire, out.back().bytes);
+      } else {
+        registry_.add(ctr_no_work_);
+        proto::NoWork wire;
+        wire.device = m.device;
+        wire.seq = m.seq;
+        wire.project_complete = project_.complete();
+        out.emplace_back();
+        out.back().conn = m.conn;
+        proto::encode(wire, out.back().bytes);
+      }
+      return;
+    }
+
+    case proto::Verb::kReportResult: {
+      if (faults_.active() && faults_.server_down(m.time)) {
+        // A dark server cannot accept returns either; the simulated fleet
+        // buffers its upload client-side and retries, and a wire client
+        // must do the same.
+        respond_busy(m, out);
+        return;
+      }
+      if (m.result_id >= project_.counters().results_sent) {
+        error(proto::ErrorCode::kUnknownResult);
+        return;
+      }
+      registry_.add(ctr_reports_);
+      server::ResultReport report;
+      report.computation_error = m.computation_error;
+      report.silent_error = m.silent_error;
+      report.reported_runtime = m.reported_runtime;
+      report.reference_seconds = m.reference_seconds;
+      report.corruption_tag = m.corruption_tag;
+      bool duplicate = false;
+      const ResultState state =
+          project_.report_result_idempotent(m.result_id, m.time, report,
+                                            &duplicate);
+      if (duplicate) {
+        registry_.add(ctr_duplicate_reports_);
+      } else {
+        // The result is in: retire its deadline tick eagerly (no-op for
+        // late uploads whose tick already fired).
+        deadlines_.disarm(m.result_id);
+      }
+      proto::ReportAck ack;
+      ack.device = m.device;
+      ack.seq = m.seq;
+      ack.state = state;
+      ack.duplicate = duplicate;
+      out.emplace_back();
+      out.back().conn = m.conn;
+      proto::encode(ack, out.back().bytes);
+      return;
+    }
+
+    case proto::Verb::kGetStatus: {
+      registry_.add(ctr_status_);
+      const ServerCounters& c = project_.counters();
+      proto::Status s;
+      s.device = m.device;
+      s.seq = m.seq;
+      s.results_sent = c.results_sent;
+      s.results_received = c.results_received;
+      s.results_valid = c.results_valid;
+      s.results_invalid = c.results_invalid;
+      s.results_timed_out = c.results_timed_out;
+      s.workunits_completed = c.workunits_completed;
+      s.workunits_total = project_.catalog().size();
+      s.outage_denied = faults_.counters().outage_denied_requests;
+      s.rpc_requests = rpc_requests_;
+      s.now = std::max(now_, m.time);
+      s.complete = project_.complete();
+      out.emplace_back();
+      out.back().conn = m.conn;
+      proto::encode(s, out.back().bytes);
+      return;
+    }
+
+    default:
+      error(proto::ErrorCode::kUnknownVerb);
+      return;
+  }
+}
+
+std::vector<packaging::Workunit> synthetic_catalog(std::uint32_t count,
+                                                   double target_hours) {
+  std::vector<packaging::Workunit> catalog;
+  catalog.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    packaging::Workunit wu;
+    wu.id = i;
+    wu.receptor = static_cast<std::uint16_t>(i % 168);
+    wu.ligand = static_cast<std::uint16_t>((i / 168) % 168);
+    wu.isep_begin = 0;
+    wu.isep_end = 64;
+    // Deterministic ±25 % spread around the target cost, cycling every 16
+    // workunits — enough heterogeneity to exercise validation paths without
+    // paying for protein generation + calibration at server start.
+    const double spread =
+        0.75 + 0.5 * static_cast<double>(i % 16) / 15.0;
+    wu.reference_seconds = target_hours * 3600.0 * spread;
+    catalog.push_back(wu);
+  }
+  return catalog;
+}
+
+}  // namespace hcmd::server

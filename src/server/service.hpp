@@ -1,0 +1,143 @@
+// GridService: the wire-mode RPC semantics over the in-process ProjectServer.
+//
+// The network layer (server/net.hpp) owns sockets and threads; this class
+// owns meaning. It is single-threaded by contract — only the dedicated
+// service thread calls into it — and processes traffic in *batches*: the
+// net layer drains every worker's MPSC uplink queue, hands the batch over,
+// and the service replays it in the same deterministic (time, lane, key)
+// merge order the sharded campaign engine uses at its epoch barriers
+// (server/merge_order.hpp):
+//
+//   lane 1: result-deadline ticks due in this batch window (DeadlineBook —
+//           the same component the epoch barrier drains);
+//   lane 2: RPC messages, keyed by (global device id, per-device seq).
+//
+// So wire mode is a frontend over the identical store + merge machinery the
+// simulator proved out, not a second scheduler: given the same (time,
+// device, seq)-stamped traffic, the service applies it to the
+// WorkunitRecord store in the same order a simulation barrier would.
+//
+// Wire-specific semantics on top of the in-process calls:
+//   * outage windows (fault plan) refuse work with an explicit kBusy +
+//     retry-after response instead of the in-process nullopt — and refuse
+//     result returns the same way (the sim fleet buffers uploads client-side
+//     during an outage; a wire client must do the same);
+//   * result returns go through report_result_idempotent: a duplicate
+//     return (network retry after a lost ack) is acked with the state the
+//     instance already ended in and moves no counter or quorum slot;
+//   * issue latency (request arrival -> handled) is recorded into an obs::
+//     histogram; every verb bumps an interned counter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/plan.hpp"
+#include "faults/schedule.hpp"
+#include "obs/registry.hpp"
+#include "server/deadline_book.hpp"
+#include "server/merge_order.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "util/rng.hpp"
+
+namespace hcmd::server {
+
+struct ServiceConfig {
+  ServerConfig server;
+  faults::FaultPlan faults;
+  /// Devices with ids >= this are rejected (kBadFrame) instead of growing
+  /// the per-device history arrays without bound on hostile input.
+  std::uint32_t max_devices = 1u << 24;
+  std::uint64_t seed = 0x5e44e3;
+};
+
+/// One decoded RPC as it travels from a network worker to the service
+/// thread. `conn` is an opaque routing token the net layer uses to find the
+/// connection again; `time` is the arrival stamp in service seconds.
+struct WireRequest {
+  double time = 0.0;
+  std::uint64_t conn = 0;
+  proto::Verb verb = proto::Verb::kRequestWork;
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  // --- kReportResult payload ---
+  std::uint64_t result_id = 0;
+  double reported_runtime = 0.0;
+  double reference_seconds = 0.0;
+  std::uint64_t corruption_tag = 0;
+  bool computation_error = false;
+  bool silent_error = false;
+
+  MergeKey key() const { return {time, MergeLane::kMessage, device, seq}; }
+};
+
+/// One encoded response frame, routed back by connection token.
+struct WireResponse {
+  std::uint64_t conn = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+class GridService {
+ public:
+  /// The catalogue must already be in launch order, exactly as for a
+  /// direct ProjectServer. Throws ConfigError on bad config (empty
+  /// catalogue, invalid fault plan, ...).
+  GridService(std::vector<packaging::Workunit> catalog, ServiceConfig config);
+
+  GridService(const GridService&) = delete;
+  GridService& operator=(const GridService&) = delete;
+
+  /// Replays `batch` against the server in merge order, interleaved with
+  /// the deadline ticks due by `now`, and appends one response per request
+  /// to `out`. The batch vector is sorted in place.
+  void process_batch(std::vector<WireRequest>& batch, double now,
+                     std::vector<WireResponse>& out);
+
+  /// Single-request convenience (tests): merge-orders a batch of one.
+  WireResponse handle(const WireRequest& request);
+
+  // --- introspection -------------------------------------------------------
+  const ProjectServer& project() const { return project_; }
+  ProjectServer& project() { return project_; }
+  const faults::FaultSchedule& fault_schedule() const { return faults_; }
+  obs::Registry& registry() { return registry_; }
+  std::uint64_t rpc_requests() const { return rpc_requests_; }
+  std::size_t deadlines_armed() const { return deadlines_.armed(); }
+  double last_batch_time() const { return now_; }
+
+ private:
+  void apply(const WireRequest& m, std::vector<WireResponse>& out);
+  void respond_busy(const WireRequest& m, std::vector<WireResponse>& out);
+
+  ServiceConfig config_;
+  ProjectServer project_;
+  faults::FaultSchedule faults_;
+  DeadlineBook deadlines_;
+  obs::Registry registry_;
+  double now_ = 0.0;
+  std::uint64_t rpc_requests_ = 0;
+
+  // Batch scratch, reused across drains.
+  std::vector<DeadlineBook::Due> due_scratch_;
+
+  // Interned once at construction; the hot path is indexed adds only.
+  obs::MetricId ctr_requests_;
+  obs::MetricId ctr_assignments_;
+  obs::MetricId ctr_no_work_;
+  obs::MetricId ctr_busy_;
+  obs::MetricId ctr_reports_;
+  obs::MetricId ctr_duplicate_reports_;
+  obs::MetricId ctr_status_;
+  obs::MetricId ctr_errors_;
+  obs::MetricId hist_issue_wait_;  ///< arrival -> handled, seconds
+};
+
+/// Deterministic synthetic catalogue for service benchmarking: `count`
+/// workunits whose reference cost cycles through a small spread around
+/// `target_hours` (the packaged Phase I shape without paying for protein
+/// generation + calibration at server start).
+std::vector<packaging::Workunit> synthetic_catalog(std::uint32_t count,
+                                                   double target_hours);
+
+}  // namespace hcmd::server

@@ -1,0 +1,57 @@
+// Byte-buffer free list for per-connection network IO.
+//
+// A grid-service worker churns through connections (the load generator
+// opens and closes farms of them); each connection needs a read buffer and
+// a write buffer that have usually grown to their steady-state size after a
+// few frames. Returning those vectors to a pool instead of freeing them
+// keeps the per-accept cost at two pops and preserves the grown capacity —
+// the classic slab behaviour without a custom allocator.
+//
+// Single-threaded by design: each worker owns one pool (connections never
+// migrate between workers), so there is no locking to get wrong.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hcmd::util {
+
+class BufferPool {
+ public:
+  using Buffer = std::vector<std::uint8_t>;
+
+  explicit BufferPool(std::size_t initial_capacity = 4096)
+      : initial_capacity_(initial_capacity) {}
+
+  /// Hands out an empty buffer (recycled capacity when available).
+  Buffer acquire() {
+    if (free_.empty()) {
+      Buffer b;
+      b.reserve(initial_capacity_);
+      return b;
+    }
+    Buffer b = std::move(free_.back());
+    free_.pop_back();
+    b.clear();
+    return b;
+  }
+
+  /// Takes a buffer back. Oversized one-off buffers (a burst frame) are
+  /// dropped rather than pinned in the pool forever.
+  void release(Buffer b) {
+    if (b.capacity() > kMaxPooledCapacity) return;
+    free_.push_back(std::move(b));
+  }
+
+  std::size_t pooled() const { return free_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxPooledCapacity = 1u << 20;
+
+  std::size_t initial_capacity_;
+  std::vector<Buffer> free_;
+};
+
+}  // namespace hcmd::util

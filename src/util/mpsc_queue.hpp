@@ -1,0 +1,101 @@
+// Unbounded multi-producer single-consumer queue (Vyukov's intrusive
+// exchange design, non-intrusive variant).
+//
+// The grid service's uplink path: every network worker thread pushes decoded
+// RPCs into a queue that the single service thread drains. Producers are
+// lock-free (one atomic exchange per push, never a CAS loop, no contention
+// window that can make a producer spin); the consumer pops without atomics
+// on the fast path. FIFO order is guaranteed *per producer* — exactly the
+// per-device monotone-sequence contract the epoch-barrier merge already
+// relies on; the consumer re-establishes the global (time, lane, key) total
+// order by sorting each drained batch (see server/merge_order.hpp).
+//
+// Progress caveat (inherent to the algorithm): between a producer's
+// exchange and its release-store of `next` the consumer observes the queue
+// as empty even though a later push by another producer is already linked
+// behind the gap. Consumers must therefore never rely on pop() == false
+// meaning "nothing pending forever" — the service loop always re-drains
+// after its wakeup timeout, which bounds the stall at one poll interval.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hcmd::util {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    // Single-threaded by the time a queue dies: drain the live entries,
+    // then free the stub.
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Any thread. Wait-free: one allocation, one exchange, one store.
+  void push(T value) {
+    Node* n = new Node(std::move(value));
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Consumer thread only. Returns false when the queue is (observably)
+  /// empty — see the progress caveat above.
+  bool pop(T& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return true;
+  }
+
+  /// Consumer thread only: appends every poppable entry to `out` and
+  /// returns how many were moved.
+  std::size_t drain(std::vector<T>& out) {
+    std::size_t n = 0;
+    T item;
+    while (pop(item)) {
+      out.push_back(std::move(item));
+      ++n;
+    }
+    return n;
+  }
+
+  /// Consumer-side emptiness probe (same caveat as pop).
+  bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  /// Producer side. Padded away from the consumer's tail pointer so a
+  /// pushing worker never bounces the cache line the service thread walks.
+  alignas(64) std::atomic<Node*> head_;
+  alignas(64) Node* tail_;
+};
+
+}  // namespace hcmd::util

@@ -1,0 +1,259 @@
+// Wire protocol codec: round-trips for every verb, framing across partial
+// buffers, and loud failure on truncated/oversized/trailing-byte payloads.
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+using namespace hcmd::server;
+namespace proto = hcmd::server::proto;
+
+proto::Frame extract_one(const std::vector<std::uint8_t>& buf) {
+  std::size_t off = 0;
+  const std::optional<proto::Frame> f = proto::try_extract(buf, off);
+  EXPECT_TRUE(f.has_value());
+  EXPECT_EQ(off, buf.size());
+  return *f;
+}
+
+TEST(Protocol, RequestWorkRoundTrip) {
+  proto::RequestWork m;
+  m.device = 0xDEADBEEFu;
+  m.seq = 0x0123456789ABCDEFull;
+  std::vector<std::uint8_t> buf;
+  proto::encode(m, buf);
+  const proto::RequestWork d = proto::decode_request_work(extract_one(buf));
+  EXPECT_EQ(d.device, m.device);
+  EXPECT_EQ(d.seq, m.seq);
+}
+
+TEST(Protocol, ReportResultRoundTrip) {
+  proto::ReportResult m;
+  m.device = 7;
+  m.seq = 9001;
+  m.result_id = 123456789;
+  m.reported_runtime = 86400.125;
+  m.reference_seconds = 14400.0;
+  m.corruption_tag = (7ull << 32) | 3u;
+  m.computation_error = false;
+  m.silent_error = true;
+  std::vector<std::uint8_t> buf;
+  proto::encode(m, buf);
+  const proto::ReportResult d = proto::decode_report_result(extract_one(buf));
+  EXPECT_EQ(d.device, m.device);
+  EXPECT_EQ(d.seq, m.seq);
+  EXPECT_EQ(d.result_id, m.result_id);
+  EXPECT_EQ(d.reported_runtime, m.reported_runtime);
+  EXPECT_EQ(d.reference_seconds, m.reference_seconds);
+  EXPECT_EQ(d.corruption_tag, m.corruption_tag);
+  EXPECT_EQ(d.computation_error, m.computation_error);
+  EXPECT_EQ(d.silent_error, m.silent_error);
+
+  // The ResultReport bridge carries every field the validator reads.
+  const ResultReport r = d.to_report();
+  EXPECT_EQ(r.silent_error, m.silent_error);
+  EXPECT_EQ(r.corruption_tag, m.corruption_tag);
+  EXPECT_EQ(r.reported_runtime, m.reported_runtime);
+}
+
+TEST(Protocol, AssignmentRoundTrip) {
+  proto::Assignment m;
+  m.device = 3;
+  m.seq = 44;
+  m.result_id = 991;
+  m.workunit = 123456;
+  m.receptor = 167;
+  m.ligand = 42;
+  m.isep_begin = 100;
+  m.isep_end = 164;
+  m.reference_seconds = 14400.5;
+  m.deadline = 864000.0;
+  std::vector<std::uint8_t> buf;
+  proto::encode(m, buf);
+  const proto::Assignment d = proto::decode_assignment(extract_one(buf));
+  EXPECT_EQ(d.workunit, m.workunit);
+  EXPECT_EQ(d.receptor, m.receptor);
+  EXPECT_EQ(d.ligand, m.ligand);
+  EXPECT_EQ(d.isep_begin, m.isep_begin);
+  EXPECT_EQ(d.isep_end, m.isep_end);
+  EXPECT_EQ(d.reference_seconds, m.reference_seconds);
+  EXPECT_EQ(d.deadline, m.deadline);
+}
+
+TEST(Protocol, SmallMessageRoundTrips) {
+  std::vector<std::uint8_t> buf;
+
+  proto::NoWork nw;
+  nw.device = 1;
+  nw.seq = 2;
+  nw.project_complete = true;
+  proto::encode(nw, buf);
+  EXPECT_TRUE(proto::decode_no_work(extract_one(buf)).project_complete);
+  buf.clear();
+
+  proto::Busy busy;
+  busy.device = 5;
+  busy.seq = 6;
+  busy.retry_after = 245000.0;
+  proto::encode(busy, buf);
+  EXPECT_EQ(proto::decode_busy(extract_one(buf)).retry_after, 245000.0);
+  buf.clear();
+
+  proto::ReportAck ack;
+  ack.device = 8;
+  ack.seq = 9;
+  ack.state = ResultState::kRedundant;
+  ack.duplicate = true;
+  proto::encode(ack, buf);
+  const proto::ReportAck dack = proto::decode_report_ack(extract_one(buf));
+  EXPECT_EQ(dack.state, ResultState::kRedundant);
+  EXPECT_TRUE(dack.duplicate);
+  buf.clear();
+
+  proto::ErrorMsg err;
+  err.device = 10;
+  err.seq = 11;
+  err.code = proto::ErrorCode::kUnknownResult;
+  proto::encode(err, buf);
+  EXPECT_EQ(proto::decode_error(extract_one(buf)).code,
+            proto::ErrorCode::kUnknownResult);
+}
+
+TEST(Protocol, StatusRoundTrip) {
+  proto::Status m;
+  m.device = 0;
+  m.seq = 1;
+  m.results_sent = 10;
+  m.results_received = 9;
+  m.results_valid = 8;
+  m.results_invalid = 1;
+  m.results_timed_out = 2;
+  m.workunits_completed = 7;
+  m.workunits_total = 100;
+  m.outage_denied = 3;
+  m.rpc_requests = 20;
+  m.now = 1234.5;
+  m.complete = false;
+  std::vector<std::uint8_t> buf;
+  proto::encode(m, buf);
+  const proto::Status d = proto::decode_status(extract_one(buf));
+  EXPECT_EQ(d.results_sent, 10u);
+  EXPECT_EQ(d.results_received, 9u);
+  EXPECT_EQ(d.workunits_total, 100u);
+  EXPECT_EQ(d.outage_denied, 3u);
+  EXPECT_EQ(d.rpc_requests, 20u);
+  EXPECT_EQ(d.now, 1234.5);
+}
+
+// A streaming peer delivers bytes in arbitrary chunks: feeding the buffer
+// one byte at a time must yield exactly the encoded frames, in order.
+TEST(Protocol, ByteAtATimeFraming) {
+  std::vector<std::uint8_t> stream;
+  proto::RequestWork a;
+  a.device = 1;
+  a.seq = 1;
+  proto::encode(a, stream);
+  proto::GetStatus b;
+  b.device = 2;
+  b.seq = 2;
+  proto::encode(b, stream);
+
+  std::vector<std::uint8_t> buf;
+  std::size_t off = 0;
+  int frames = 0;
+  for (const std::uint8_t byte : stream) {
+    buf.push_back(byte);
+    while (true) {
+      const std::optional<proto::Frame> f = proto::try_extract(buf, off);
+      if (!f.has_value()) break;
+      ++frames;
+      if (frames == 1)
+        EXPECT_EQ(proto::decode_request_work(*f).device, 1u);
+      else
+        EXPECT_EQ(proto::decode_get_status(*f).device, 2u);
+    }
+  }
+  EXPECT_EQ(frames, 2);
+  EXPECT_EQ(off, stream.size());
+}
+
+TEST(Protocol, RejectsZeroAndOversizedLengths) {
+  // Zero length prefix.
+  std::vector<std::uint8_t> zero{0, 0, 0, 0};
+  std::size_t off = 0;
+  EXPECT_THROW(proto::try_extract(zero, off), hcmd::ParseError);
+
+  // Length beyond kMaxFrameBytes — rejected before buffering, which is the
+  // flood control of a length-prefixed protocol.
+  const std::uint32_t big = proto::kMaxFrameBytes + 1;
+  std::vector<std::uint8_t> huge{
+      static_cast<std::uint8_t>(big), static_cast<std::uint8_t>(big >> 8),
+      static_cast<std::uint8_t>(big >> 16),
+      static_cast<std::uint8_t>(big >> 24)};
+  off = 0;
+  EXPECT_THROW(proto::try_extract(huge, off), hcmd::ParseError);
+}
+
+TEST(Protocol, TruncatedPayloadThrows) {
+  std::vector<std::uint8_t> buf;
+  proto::ReportResult m;
+  proto::encode(m, buf);
+  // Shrink the payload but fix up the length prefix so the frame extracts.
+  buf.resize(buf.size() - 8);
+  const std::uint32_t len = static_cast<std::uint32_t>(buf.size() - 4);
+  for (int i = 0; i < 4; ++i)
+    buf[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(len >> (8 * i));
+  std::size_t off = 0;
+  const std::optional<proto::Frame> f = proto::try_extract(buf, off);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_THROW(proto::decode_report_result(*f), hcmd::ParseError);
+}
+
+TEST(Protocol, TrailingBytesThrow) {
+  // A layout mismatch between peers must fail loudly, not silently ignore
+  // the extra fields.
+  std::vector<std::uint8_t> buf;
+  proto::RequestWork m;
+  proto::encode(m, buf);
+  buf.push_back(0xAA);  // extra payload byte
+  const std::uint32_t len = static_cast<std::uint32_t>(buf.size() - 4);
+  for (int i = 0; i < 4; ++i)
+    buf[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(len >> (8 * i));
+  std::size_t off = 0;
+  const std::optional<proto::Frame> f = proto::try_extract(buf, off);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_THROW(proto::decode_request_work(*f), hcmd::ParseError);
+}
+
+TEST(Protocol, WrongVerbThrows) {
+  std::vector<std::uint8_t> buf;
+  proto::RequestWork m;
+  proto::encode(m, buf);
+  EXPECT_THROW(proto::decode_get_status(extract_one(buf)), hcmd::ParseError);
+}
+
+TEST(Protocol, IncompleteFrameReturnsNullopt) {
+  std::vector<std::uint8_t> buf;
+  proto::Assignment m;
+  proto::encode(m, buf);
+  const std::size_t full = buf.size();
+  for (std::size_t cut = 0; cut < full; ++cut) {
+    std::vector<std::uint8_t> part(buf.begin(),
+                                   buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    std::size_t off = 0;
+    if (cut < 4) {
+      EXPECT_FALSE(proto::try_extract(part, off).has_value());
+    } else {
+      EXPECT_FALSE(proto::try_extract(part, off).has_value());
+      EXPECT_EQ(off, 0u);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,318 @@
+// GridService: wire-mode RPC semantics over the in-process ProjectServer —
+// assignment/report round trips, duplicate-report idempotency (the full
+// ServerCounters snapshot is pinned), outage-window refusal with retry-after,
+// deadline deferral through outages, and merge-order determinism.
+#include "server/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace hcmd::server;
+namespace proto = hcmd::server::proto;
+
+ServiceConfig quorum1_config() {
+  ServiceConfig config;
+  config.server.validation.quorum2_until = 0.0;
+  config.server.validation.spot_check_fraction = 0.0;
+  return config;
+}
+
+WireRequest request_work(std::uint32_t device, std::uint64_t seq, double t) {
+  WireRequest m;
+  m.verb = proto::Verb::kRequestWork;
+  m.device = device;
+  m.seq = seq;
+  m.time = t;
+  return m;
+}
+
+WireRequest report(std::uint32_t device, std::uint64_t seq, double t,
+                   const proto::Assignment& a) {
+  WireRequest m;
+  m.verb = proto::Verb::kReportResult;
+  m.device = device;
+  m.seq = seq;
+  m.time = t;
+  m.result_id = a.result_id;
+  m.reported_runtime = a.reference_seconds / 0.25;
+  m.reference_seconds = a.reference_seconds;
+  return m;
+}
+
+proto::Frame sole_frame(const WireResponse& r) {
+  std::size_t off = 0;
+  const std::optional<proto::Frame> f = proto::try_extract(r.bytes, off);
+  EXPECT_TRUE(f.has_value());
+  EXPECT_EQ(off, r.bytes.size());
+  return *f;
+}
+
+bool counters_equal(const ServerCounters& a, const ServerCounters& b) {
+  return std::memcmp(&a, &b, sizeof(ServerCounters)) == 0;
+}
+
+TEST(GridService, AssignmentRoundTripEchoesRouting) {
+  GridService svc(synthetic_catalog(16, 4.0), quorum1_config());
+  const WireResponse r = svc.handle(request_work(3, 17, 5.0));
+  const proto::Assignment a = proto::decode_assignment(sole_frame(r));
+  EXPECT_EQ(a.device, 3u);
+  EXPECT_EQ(a.seq, 17u);
+  EXPECT_EQ(a.workunit, 0u);  // catalogue order
+  EXPECT_GT(a.reference_seconds, 0.0);
+  EXPECT_GT(a.deadline, 5.0);
+  EXPECT_EQ(svc.deadlines_armed(), 1u);
+  EXPECT_EQ(svc.registry().total("rpc.assignments"), 1u);
+  EXPECT_EQ(svc.rpc_requests(), 1u);
+}
+
+TEST(GridService, ReportCompletesWorkunitAndDisarmsDeadline) {
+  GridService svc(synthetic_catalog(4, 4.0), quorum1_config());
+  const proto::Assignment a = proto::decode_assignment(
+      sole_frame(svc.handle(request_work(0, 1, 0.0))));
+  ASSERT_EQ(svc.deadlines_armed(), 1u);
+
+  const WireResponse r = svc.handle(report(0, 2, 100.0, a));
+  const proto::ReportAck ack = proto::decode_report_ack(sole_frame(r));
+  EXPECT_EQ(ack.state, ResultState::kValid);
+  EXPECT_FALSE(ack.duplicate);
+  EXPECT_EQ(svc.deadlines_armed(), 0u);
+  EXPECT_EQ(svc.project().counters().workunits_completed, 1u);
+}
+
+// Satellite: a replayed report_result (network retry after a lost ack) must
+// not move ANY server state — the whole counters struct is pinned.
+TEST(GridService, DuplicateReportIsIdempotent) {
+  GridService svc(synthetic_catalog(4, 4.0), quorum1_config());
+  const proto::Assignment a = proto::decode_assignment(
+      sole_frame(svc.handle(request_work(0, 1, 0.0))));
+
+  const WireRequest first = report(0, 2, 100.0, a);
+  const proto::ReportAck ack1 =
+      proto::decode_report_ack(sole_frame(svc.handle(first)));
+  EXPECT_EQ(ack1.state, ResultState::kValid);
+  EXPECT_FALSE(ack1.duplicate);
+
+  const ServerCounters snapshot = svc.project().counters();
+  const std::uint64_t reports_before = svc.registry().total("rpc.reports");
+
+  // The client re-sends the identical return with a fresh seq (its ack got
+  // lost). The ack must carry the terminal state and the duplicate bit, and
+  // the server must not double-count anything.
+  WireRequest replay = first;
+  replay.seq = 3;
+  replay.time = 150.0;
+  const proto::ReportAck ack2 =
+      proto::decode_report_ack(sole_frame(svc.handle(replay)));
+  EXPECT_EQ(ack2.state, ResultState::kValid);
+  EXPECT_TRUE(ack2.duplicate);
+  EXPECT_TRUE(counters_equal(snapshot, svc.project().counters()))
+      << "a replayed return moved a server counter";
+  EXPECT_EQ(svc.registry().total("rpc.duplicate_reports"), 1u);
+  EXPECT_EQ(svc.registry().total("rpc.reports"), reports_before + 1);
+
+  // And a third replay is just as inert.
+  replay.seq = 4;
+  replay.time = 200.0;
+  const proto::ReportAck ack3 =
+      proto::decode_report_ack(sole_frame(svc.handle(replay)));
+  EXPECT_TRUE(ack3.duplicate);
+  EXPECT_TRUE(counters_equal(snapshot, svc.project().counters()));
+}
+
+// Quorum-2 regime: the first clean result parks in kPendingValidation; a
+// replay while pending must not be treated as the quorum partner.
+TEST(GridService, DuplicateReportCannotFillItsOwnQuorum) {
+  ServiceConfig config;  // default: quorum-2 early campaign
+  GridService svc(synthetic_catalog(4, 4.0), config);
+  const proto::Assignment a = proto::decode_assignment(
+      sole_frame(svc.handle(request_work(0, 1, 0.0))));
+
+  const WireRequest first = report(0, 2, 100.0, a);
+  const proto::ReportAck ack1 =
+      proto::decode_report_ack(sole_frame(svc.handle(first)));
+  EXPECT_EQ(ack1.state, ResultState::kPendingValidation);
+
+  const ServerCounters snapshot = svc.project().counters();
+  EXPECT_EQ(snapshot.results_pending, 1u);
+  EXPECT_EQ(snapshot.workunits_completed, 0u);
+
+  WireRequest replay = first;
+  replay.seq = 3;
+  replay.time = 150.0;
+  const proto::ReportAck ack2 =
+      proto::decode_report_ack(sole_frame(svc.handle(replay)));
+  EXPECT_TRUE(ack2.duplicate);
+  EXPECT_EQ(ack2.state, ResultState::kPendingValidation);
+  EXPECT_TRUE(counters_equal(snapshot, svc.project().counters()))
+      << "a replay filled its own quorum";
+}
+
+TEST(GridService, UnknownResultAndVerbAndDeviceGetErrors) {
+  ServiceConfig config = quorum1_config();
+  config.max_devices = 1024;
+  GridService svc(synthetic_catalog(4, 4.0), config);
+
+  // Report for a result id never issued.
+  WireRequest m;
+  m.verb = proto::Verb::kReportResult;
+  m.device = 1;
+  m.seq = 1;
+  m.result_id = 999;
+  const proto::ErrorMsg e1 = proto::decode_error(sole_frame(svc.handle(m)));
+  EXPECT_EQ(e1.code, proto::ErrorCode::kUnknownResult);
+
+  // A response verb arriving as a request.
+  WireRequest bad;
+  bad.verb = proto::Verb::kAssignment;
+  bad.device = 1;
+  bad.seq = 2;
+  const proto::ErrorMsg e2 = proto::decode_error(sole_frame(svc.handle(bad)));
+  EXPECT_EQ(e2.code, proto::ErrorCode::kUnknownVerb);
+
+  // A device id past the configured ceiling must not grow server state.
+  const proto::ErrorMsg e3 = proto::decode_error(
+      sole_frame(svc.handle(request_work(4096, 1, 0.0))));
+  EXPECT_EQ(e3.code, proto::ErrorCode::kBadFrame);
+  EXPECT_EQ(svc.project().counters().results_sent, 0u);
+  EXPECT_EQ(svc.registry().total("rpc.errors"), 3u);
+}
+
+// Satellite: outage windows refuse issue over the wire exactly as
+// in-process — explicit Busy with the window's remaining time, the same
+// outage_denied counter the nullopt path bumps, and reports refused too.
+TEST(GridService, OutageWindowRefusesIssueWithRetryAfter) {
+  ServiceConfig config = quorum1_config();
+  hcmd::faults::OutageWindow w;
+  w.begin_seconds = 100.0;
+  w.end_seconds = 250.0;
+  config.faults.outages.push_back(w);
+  GridService svc(synthetic_catalog(8, 4.0), config);
+
+  // Before the window: work flows.
+  const proto::Assignment a = proto::decode_assignment(
+      sole_frame(svc.handle(request_work(0, 1, 50.0))));
+
+  // Inside the window: issue refused with the exact remaining time.
+  const proto::Busy busy = proto::decode_busy(
+      sole_frame(svc.handle(request_work(1, 1, 150.0))));
+  EXPECT_EQ(busy.device, 1u);
+  EXPECT_DOUBLE_EQ(busy.retry_after, 100.0);  // 250 - 150
+  EXPECT_EQ(svc.fault_schedule().counters().outage_denied_requests, 1u);
+  EXPECT_EQ(svc.registry().total("fault.outage_denied"), 1u);
+  EXPECT_EQ(svc.registry().total("rpc.busy"), 1u);
+  EXPECT_EQ(svc.project().counters().results_sent, 1u);  // nothing issued
+
+  // Returns are refused too (the client buffers the upload).
+  const proto::Busy busy2 =
+      proto::decode_busy(sole_frame(svc.handle(report(0, 2, 160.0, a))));
+  EXPECT_DOUBLE_EQ(busy2.retry_after, 90.0);
+  EXPECT_EQ(svc.project().counters().results_received, 0u);
+
+  // After the window both flow again.
+  const proto::ReportAck ack = proto::decode_report_ack(
+      sole_frame(svc.handle(report(0, 3, 260.0, a))));
+  EXPECT_EQ(ack.state, ResultState::kValid);
+  proto::decode_assignment(sole_frame(svc.handle(request_work(1, 2, 261.0))));
+}
+
+// Deadline ticks falling inside an outage defer to the window's end — the
+// same transitioner policy the epoch-barrier engine applies.
+TEST(GridService, DeadlineTickDefersThroughOutage) {
+  ServiceConfig config = quorum1_config();
+  config.server.deadline = 100.0;  // assignment at t=0 -> deadline t=100
+  hcmd::faults::OutageWindow w;
+  w.begin_seconds = 50.0;
+  w.end_seconds = 300.0;
+  config.faults.outages.push_back(w);
+  GridService svc(synthetic_catalog(4, 4.0), config);
+
+  proto::decode_assignment(sole_frame(svc.handle(request_work(0, 1, 0.0))));
+  ASSERT_EQ(svc.deadlines_armed(), 1u);
+
+  // Drive time past the nominal deadline but inside the outage: the tick
+  // must defer, not fire.
+  std::vector<WireRequest> empty;
+  std::vector<WireResponse> out;
+  svc.process_batch(empty, 150.0, out);
+  EXPECT_EQ(svc.project().counters().results_timed_out, 0u);
+  EXPECT_EQ(svc.fault_schedule().counters().deadline_deferrals, 1u);
+  EXPECT_EQ(svc.deadlines_armed(), 1u);  // re-armed at the window end
+
+  // Past the window end the deferred tick fires and the workunit re-issues.
+  svc.process_batch(empty, 301.0, out);
+  EXPECT_EQ(svc.project().counters().results_timed_out, 1u);
+  EXPECT_EQ(svc.deadlines_armed(), 0u);
+}
+
+// The service replays a batch in (time, lane, device, seq) order: any
+// arrival interleaving of the same stamped traffic produces the identical
+// issue sequence.
+TEST(GridService, BatchReplayIsArrivalOrderInvariant) {
+  auto run = [](unsigned shuffle_seed) {
+    GridService svc(synthetic_catalog(64, 4.0), quorum1_config());
+    std::vector<WireRequest> batch;
+    for (std::uint32_t d = 0; d < 8; ++d)
+      for (std::uint64_t s = 1; s <= 4; ++s)
+        batch.push_back(request_work(d, s, 10.0 + static_cast<double>(s)));
+    std::shuffle(batch.begin(), batch.end(), std::mt19937(shuffle_seed));
+    std::vector<WireResponse> out;
+    svc.process_batch(batch, 20.0, out);
+    // Map (device, seq) -> workunit id.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> issued;
+    for (const WireResponse& r : out) {
+      std::size_t off = 0;
+      const proto::Frame f = *proto::try_extract(r.bytes, off);
+      const proto::Assignment a = proto::decode_assignment(f);
+      issued.emplace_back((static_cast<std::uint64_t>(a.device) << 32) | a.seq,
+                          a.workunit);
+    }
+    std::sort(issued.begin(), issued.end());
+    return issued;
+  };
+
+  const auto a = run(1);
+  const auto b = run(2);
+  const auto c = run(3);
+  ASSERT_EQ(a.size(), 32u);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(GridService, StatusReportsCountersAndProgress) {
+  GridService svc(synthetic_catalog(2, 4.0), quorum1_config());
+  const proto::Assignment a = proto::decode_assignment(
+      sole_frame(svc.handle(request_work(0, 1, 0.0))));
+  proto::decode_report_ack(sole_frame(svc.handle(report(0, 2, 10.0, a))));
+
+  WireRequest q;
+  q.verb = proto::Verb::kGetStatus;
+  q.device = 0;
+  q.seq = 3;
+  q.time = 20.0;
+  const proto::Status s = proto::decode_status(sole_frame(svc.handle(q)));
+  EXPECT_EQ(s.results_sent, 1u);
+  EXPECT_EQ(s.results_received, 1u);
+  EXPECT_EQ(s.results_valid, 1u);
+  EXPECT_EQ(s.workunits_completed, 1u);
+  EXPECT_EQ(s.workunits_total, 2u);
+  EXPECT_EQ(s.rpc_requests, 3u);
+  EXPECT_FALSE(s.complete);
+}
+
+TEST(GridService, RejectsBadConfig) {
+  ServiceConfig config = quorum1_config();
+  config.max_devices = 0;
+  EXPECT_THROW(GridService(synthetic_catalog(2, 4.0), config),
+               hcmd::ConfigError);
+}
+
+}  // namespace

@@ -25,11 +25,14 @@ import sys
 # Gated benchmarks: the hot paths the roadmap cares about — the campaign
 # week, the event queue, the sharded full-campaign rows (shards:1 vs
 # shards:8 at quarter scale; the ratio between them is the parallel-engine
-# acceptance metric), and the batched docking rows (batch:0 vs batch:1;
-# same-run ratio below is the batched-kernel acceptance metric).
+# acceptance metric), the batched docking rows (batch:0 vs batch:1;
+# same-run ratio below is the batched-kernel acceptance metric), and the
+# grid-service wire rows (BM_ServeThroughput is the req/s headline,
+# BM_ServeIssueP99 is the latency SLO — its real_time IS the burst p99).
 # Everything else in the snapshot is informational.
 FILTER = ("^BM_CampaignWeek$|^BM_EventQueue/|^BM_CampaignSharded/"
-          "|^BM_MaxDoPosition/|^BM_MinimizeBatch/")
+          "|^BM_MaxDoPosition/|^BM_MinimizeBatch/"
+          "|^BM_ServeThroughput$|^BM_ServeIssueP99/")
 
 # Same-run speedup floors: (scalar row, batched row, minimum ratio). The
 # two rows come from the same process on the same box, so machine speed

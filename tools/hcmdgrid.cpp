@@ -20,17 +20,24 @@
 //                         a plan file (see examples/faults/)
 //   --quorum2-weeks <w>   override how long quorum-2 validation runs
 //   --max-weeks <w>       override the simulation's hard stop
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "analysis/projection.hpp"
+#include "client/loadgen.hpp"
 #include "core/campaign.hpp"
 #include "faults/plan.hpp"
+#include "server/net.hpp"
+#include "server/service.hpp"
 #include "core/phase2.hpp"
 #include "core/run_report.hpp"
 #include "obs/trace.hpp"
@@ -344,6 +351,246 @@ int cmd_calibrate() {
   return 0;
 }
 
+// --- grid service mode -----------------------------------------------------
+
+void serve_usage() {
+  std::fprintf(
+      stderr,
+      "usage: hcmdgrid serve [flags]\n"
+      "  --listen <addr>      IPv4 listen address (default 127.0.0.1)\n"
+      "  --port <n>           TCP port; 0 picks an ephemeral port, printed "
+      "at start (default 0)\n"
+      "  --workers <n>        network event-loop threads (default 2)\n"
+      "  --duration <secs>    wall-clock lifetime; 0 serves until killed "
+      "(default 10)\n"
+      "  --time-scale <x>     service seconds per wall second (default 1)\n"
+      "  --workunits <n>      synthetic catalogue size (default 100000)\n"
+      "  --target-hours <h>   per-workunit reference cost (default 4)\n"
+      "  --faults <name|file> fault plan; outage windows refuse work over "
+      "the wire\n"
+      "  --seed <n>           validation/spot-check RNG seed\n");
+}
+
+void loadgen_usage() {
+  std::fprintf(
+      stderr,
+      "usage: hcmdgrid loadgen --port <n> [flags]\n"
+      "  --host <addr>        server IPv4 address (default 127.0.0.1)\n"
+      "  --port <n>           server TCP port (required)\n"
+      "  --devices <n>        simulated devices (default 256)\n"
+      "  --connections <n>    client threads / sockets (default 4)\n"
+      "  --duration <secs>    wall-clock run length (default 5)\n"
+      "  --time-scale <x>     service seconds per wall second; match the "
+      "server's (default 1)\n"
+      "  --faults <name|file> client-side fault plan (loss, corruption, "
+      "backoff law)\n"
+      "  --seed <n>           device-farm RNG seed\n"
+      "  --out <file>         write the JSON summary "
+      "(tools/validate_report.py --serve)\n");
+}
+
+/// Strict numeric flag parsing: the whole token must parse and land in
+/// range. Bad input prints the subcommand usage and throws ConfigError, so
+/// `hcmdgrid serve --port banana` exits 2 like every other usage error.
+long parse_long_flag(const char* flag, const char* v, long lo, long hi,
+                     void (*usage_fn)()) {
+  char* end = nullptr;
+  errno = 0;
+  const long x = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || x < lo || x > hi) {
+    usage_fn();
+    throw ConfigError(std::string(flag) + " " + v + ": expected an integer in [" +
+                      std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return x;
+}
+
+double parse_double_flag(const char* flag, const char* v, void (*usage_fn)()) {
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  if (end == v || *end != '\0') {
+    usage_fn();
+    throw ConfigError(std::string(flag) + " " + v + ": expected a number");
+  }
+  return x;
+}
+
+const char* flag_value(int argc, char** argv, int& i, void (*usage_fn)()) {
+  if (i + 1 >= argc) {
+    usage_fn();
+    throw ConfigError(std::string(argv[i]) + " needs a value");
+  }
+  return argv[++i];
+}
+
+int cmd_serve(int argc, char** argv) {
+  server::NetOptions net;
+  server::ServiceConfig config;
+  // Serve-mode default: range-check validation only — the throughput
+  // configuration. (Quorum work still happens when a fault plan corrupts
+  // results: the spot-check path is driven by the catalogue, not time.)
+  config.server.validation.quorum2_until = 0.0;
+  config.server.validation.spot_check_fraction = 0.0;
+  double duration = 10.0;
+  long workunits = 100000;
+  double target_hours = 4.0;
+  std::string faults_spec;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--listen") {
+      net.listen = flag_value(argc, argv, i, serve_usage);
+    } else if (a == "--port") {
+      net.port = static_cast<std::uint16_t>(
+          parse_long_flag("--port", flag_value(argc, argv, i, serve_usage), 0,
+                          65535, serve_usage));
+    } else if (a == "--workers") {
+      net.workers = static_cast<std::uint32_t>(
+          parse_long_flag("--workers", flag_value(argc, argv, i, serve_usage),
+                          1, 1024, serve_usage));
+    } else if (a == "--duration") {
+      duration = parse_double_flag(
+          "--duration", flag_value(argc, argv, i, serve_usage), serve_usage);
+      if (duration < 0.0) {
+        serve_usage();
+        throw ConfigError("--duration must be >= 0");
+      }
+    } else if (a == "--time-scale") {
+      net.time_scale = parse_double_flag(
+          "--time-scale", flag_value(argc, argv, i, serve_usage), serve_usage);
+    } else if (a == "--workunits") {
+      workunits = parse_long_flag("--workunits",
+                                  flag_value(argc, argv, i, serve_usage), 1,
+                                  100000000, serve_usage);
+    } else if (a == "--target-hours") {
+      target_hours = parse_double_flag(
+          "--target-hours", flag_value(argc, argv, i, serve_usage),
+          serve_usage);
+    } else if (a == "--faults") {
+      faults_spec = flag_value(argc, argv, i, serve_usage);
+    } else if (a == "--seed") {
+      config.seed = static_cast<std::uint64_t>(
+          parse_long_flag("--seed", flag_value(argc, argv, i, serve_usage), 0,
+                          std::numeric_limits<long>::max(), serve_usage));
+    } else {
+      serve_usage();
+      throw ConfigError("unknown serve flag " + std::string(a));
+    }
+  }
+  if (!faults_spec.empty() && !resolve_faults(faults_spec, config.faults))
+    return 2;
+
+  server::GridServer grid(
+      server::synthetic_catalog(static_cast<std::uint32_t>(workunits),
+                                target_hours),
+      std::move(config), net);
+  grid.start();
+  std::printf("serving on %s:%u (%u workers, %ld workunits)\n",
+              net.listen.c_str(), grid.port(), net.workers, workunits);
+  std::fflush(stdout);
+
+  if (duration > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+  } else {
+    while (true) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+  grid.stop();
+
+  const server::GridServer::Stats s = grid.stats();
+  const auto& counters = grid.service().project().counters();
+  std::printf("served %llu frames in / %llu out over %llu connections "
+              "(%llu protocol errors)\n",
+              static_cast<unsigned long long>(s.frames_in),
+              static_cast<unsigned long long>(s.frames_out),
+              static_cast<unsigned long long>(s.accepted),
+              static_cast<unsigned long long>(s.protocol_errors));
+  std::printf("results: %llu sent, %llu received, %llu workunits completed\n",
+              static_cast<unsigned long long>(counters.results_sent),
+              static_cast<unsigned long long>(counters.results_received),
+              static_cast<unsigned long long>(counters.workunits_completed));
+  return 0;
+}
+
+int cmd_loadgen(int argc, char** argv) {
+  client::LoadgenOptions options;
+  std::string faults_spec;
+  std::string out_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--host") {
+      options.host = flag_value(argc, argv, i, loadgen_usage);
+    } else if (a == "--port") {
+      options.port = static_cast<std::uint16_t>(
+          parse_long_flag("--port", flag_value(argc, argv, i, loadgen_usage),
+                          1, 65535, loadgen_usage));
+    } else if (a == "--devices") {
+      options.devices = static_cast<std::uint32_t>(parse_long_flag(
+          "--devices", flag_value(argc, argv, i, loadgen_usage), 1, 10000000,
+          loadgen_usage));
+    } else if (a == "--connections") {
+      options.connections = static_cast<std::uint32_t>(parse_long_flag(
+          "--connections", flag_value(argc, argv, i, loadgen_usage), 1, 4096,
+          loadgen_usage));
+    } else if (a == "--duration") {
+      options.duration_seconds = parse_double_flag(
+          "--duration", flag_value(argc, argv, i, loadgen_usage),
+          loadgen_usage);
+    } else if (a == "--time-scale") {
+      options.time_scale = parse_double_flag(
+          "--time-scale", flag_value(argc, argv, i, loadgen_usage),
+          loadgen_usage);
+    } else if (a == "--faults") {
+      faults_spec = flag_value(argc, argv, i, loadgen_usage);
+    } else if (a == "--seed") {
+      options.seed = static_cast<std::uint64_t>(parse_long_flag(
+          "--seed", flag_value(argc, argv, i, loadgen_usage), 0,
+          std::numeric_limits<long>::max(), loadgen_usage));
+    } else if (a == "--out") {
+      out_path = flag_value(argc, argv, i, loadgen_usage);
+    } else {
+      loadgen_usage();
+      throw ConfigError("unknown loadgen flag " + std::string(a));
+    }
+  }
+  if (options.port == 0) {
+    loadgen_usage();
+    throw ConfigError("--port is required");
+  }
+  if (!faults_spec.empty() && !resolve_faults(faults_spec, options.faults))
+    return 2;
+
+  const client::LoadgenReport report = client::run_loadgen(options);
+  std::printf("%llu RPCs in %.2f s -> %.0f req/s\n",
+              static_cast<unsigned long long>(report.replies),
+              report.wall_seconds, report.requests_per_sec);
+  std::printf("issue latency: p50 %.3f ms, p99 %.3f ms, p999 %.3f ms "
+              "(%llu samples)\n",
+              1e3 * report.issue_latency.quantile(0.50),
+              1e3 * report.issue_latency.quantile(0.99),
+              1e3 * report.issue_latency.quantile(0.999),
+              static_cast<unsigned long long>(report.issue_latency.total()));
+  std::printf("outcomes: %llu assignments, %llu no-work, %llu busy, "
+              "%llu acks (%llu dup), %llu errors\n",
+              static_cast<unsigned long long>(report.assignments),
+              static_cast<unsigned long long>(report.no_work),
+              static_cast<unsigned long long>(report.busy),
+              static_cast<unsigned long long>(report.acks),
+              static_cast<unsigned long long>(report.duplicate_acks),
+              static_cast<unsigned long long>(report.errors));
+  if (report.reports_lost + report.reports_corrupted + report.backoff_waits >
+      0)
+    std::printf("faults: %llu lost, %llu corrupted, %llu backoff waits, "
+                "%llu deferred uploads\n",
+                static_cast<unsigned long long>(report.reports_lost),
+                static_cast<unsigned long long>(report.reports_corrupted),
+                static_cast<unsigned long long>(report.backoff_waits),
+                static_cast<unsigned long long>(report.deferred_uploads));
+  if (!out_path.empty())
+    return write_file(out_path, client::loadgen_json(options, report));
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: hcmdgrid <command> [args]\n"
@@ -354,6 +601,9 @@ int usage() {
                "  project [proteins=4000] [cut=100] [weeks=40] [share=0.25]\n"
                "  dock [receptor_atoms=120] [ligand_atoms=80]\n"
                "  calibrate\n"
+               "  serve [flags]         network grid server (serve --help)\n"
+               "  loadgen [flags]       client-farm load generator "
+               "(loadgen --help)\n"
                "observation flags (campaign/phase2):\n"
                "  --report <file>       run-report JSON (figures + telemetry)\n"
                "  --trace <file>        Chrome trace_event JSON\n"
@@ -397,6 +647,20 @@ int main(int argc, char** argv) {
       return cmd_dock(argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 120,
                       argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 80);
     if (cmd == "calibrate") return cmd_calibrate();
+    if (cmd == "serve") {
+      if (argc > 2 && std::string_view(argv[2]) == "--help") {
+        serve_usage();
+        return 0;
+      }
+      return cmd_serve(argc, argv);
+    }
+    if (cmd == "loadgen") {
+      if (argc > 2 && std::string_view(argv[2]) == "--help") {
+        loadgen_usage();
+        return 0;
+      }
+      return cmd_loadgen(argc, argv);
+    }
   } catch (const hcmd::ConfigError& e) {
     // Bad configuration is a usage error, distinct from runtime failure.
     std::fprintf(stderr, "hcmdgrid: %s\n", e.what());

@@ -9,10 +9,17 @@ statistics plus a well-formed trace_event JSON.
 
 Usage:
   tools/validate_report.py report.json [trace.json] [--chaos]
+  tools/validate_report.py loadgen.json --serve
 
 --chaos additionally asserts the run injected faults and still finished
 clean: faults.enabled, non-empty fault counters, outcome.completed and
 zero corrupt results assimilated.
+
+--serve validates a `hcmdgrid loadgen --out` summary instead of a campaign
+report: traffic actually flowed (requests, replies, req/s all positive),
+the latency quantiles are ordered (p50 <= p99 <= p999 <= max), the outcome
+tallies are consistent with the reply total, and the server block echoes a
+live scheduler (rpc_requests covers the client's replies).
 """
 import json
 import sys
@@ -22,11 +29,67 @@ def fail(msg):
     sys.exit(f"validate_report: {msg}")
 
 
+def validate_serve(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("kind") != "loadgen":
+        fail(f"{path} is not a loadgen summary (kind={doc.get('kind')!r})")
+    for key in ("options", "wall_seconds", "requests_total", "replies_total",
+                "requests_per_sec", "outcomes", "faults", "latency",
+                "server"):
+        if key not in doc:
+            fail(f"{path} missing {key!r}")
+    if doc["requests_total"] <= 0:
+        fail("--serve: no requests were sent")
+    if doc["replies_total"] <= 0:
+        fail("--serve: no replies were received")
+    if doc["requests_per_sec"] <= 0:
+        fail("--serve: requests_per_sec is not positive")
+
+    outcomes = doc["outcomes"]
+    replies = sum(outcomes[k] for k in
+                  ("assignments", "no_work", "busy", "acks", "errors"))
+    if replies != doc["replies_total"]:
+        fail(f"--serve: outcome tallies ({replies}) != replies_total "
+             f"({doc['replies_total']})")
+    if outcomes["errors"] != 0:
+        fail(f"--serve: {outcomes['errors']} protocol error replies")
+
+    for name in ("issue", "report"):
+        h = doc["latency"][name]
+        if h["count"] == 0:
+            continue  # an outage-only run may never see an ack
+        quantiles = [h["p50_seconds"], h["p90_seconds"], h["p99_seconds"],
+                     h["p999_seconds"]]
+        if any(q < 0 for q in quantiles):
+            fail(f"--serve: negative {name} latency quantile")
+        if sorted(quantiles) != quantiles:
+            fail(f"--serve: {name} latency quantiles are not monotone: "
+                 f"{quantiles}")
+        if h["max_seconds"] + 1e-12 < h["p50_seconds"]:
+            fail(f"--serve: {name} max below p50")
+
+    server = doc["server"]
+    if server["rpc_requests"] < doc["replies_total"]:
+        fail("--serve: server rpc_requests below the client's reply count")
+    if server["results_received"] > server["results_sent"]:
+        fail("--serve: server received more results than it issued")
+
+    print(f"serve summary ok: {doc['replies_total']} RPCs at "
+          f"{doc['requests_per_sec']:.0f} req/s, issue p99 "
+          f"{doc['latency']['issue']['p99_seconds'] * 1e3:.3f} ms")
+
+
 def main():
-    argv = [a for a in sys.argv[1:] if a != "--chaos"]
+    argv = [a for a in sys.argv[1:] if a not in ("--chaos", "--serve")]
     chaos = "--chaos" in sys.argv[1:]
+    serve = "--serve" in sys.argv[1:]
     if not argv:
-        fail("usage: validate_report.py report.json [trace.json] [--chaos]")
+        fail("usage: validate_report.py report.json [trace.json] "
+             "[--chaos] | loadgen.json --serve")
+    if serve:
+        validate_serve(argv[0])
+        return
     report_path = argv[0]
     trace_path = argv[1] if len(argv) > 1 else None
 
