@@ -57,8 +57,13 @@ struct ThreadStats {
   std::uint64_t backoff_waits = 0;
   std::uint64_t deferred_uploads = 0;
   std::uint64_t requests_sent = 0;
+  std::uint64_t span_replies = 0;
   obs::LogHistogram issue_latency;
   obs::LogHistogram report_latency;
+  obs::LogHistogram span_queue_wait;
+  obs::LogHistogram span_service;
+  obs::LogHistogram span_total;
+  obs::LogHistogram net_residual;
 };
 
 class FarmThread {
@@ -104,6 +109,7 @@ class FarmThread {
           proto::RequestWork req;
           req.device = d.gid;
           req.seq = ++d.seq;
+          if (options_.spans) req.flags = proto::kFlagWantSpan;
           client.queue(req);
           d.phase = Device::Phase::kAwaitWork;
         }
@@ -144,6 +150,20 @@ class FarmThread {
     Device& d = *dp;
     const double rtt = w - d.send_wall;
     const double now = w * options_.time_scale;
+
+    if (const std::optional<proto::SpanBlock> span = r.span()) {
+      // Span stamps tick in service seconds; divide back to wall seconds so
+      // the stage histograms are comparable with the rtt distributions.
+      const double inv = 1.0 / options_.time_scale;
+      const double queue_wait = (span->t_dequeue - span->t_read) * inv;
+      const double service = (span->t_decision - span->t_dequeue) * inv;
+      const double total = (span->t_decision - span->t_read) * inv;
+      ++stats_.span_replies;
+      stats_.span_queue_wait.record(queue_wait);
+      stats_.span_service.record(service);
+      stats_.span_total.record(total);
+      stats_.net_residual.record(std::max(0.0, rtt - total));
+    }
 
     switch (r.verb) {
       case proto::Verb::kAssignment: {
@@ -220,11 +240,12 @@ class FarmThread {
     // Buffer for the Busy/retry path before sending: the ack may be an
     // outage refusal and the report must survive to the retry.
     d.pending = report;
+    if (options_.spans) d.pending.flags = proto::kFlagWantSpan;
     d.pending_report = true;
     d.phase = Device::Phase::kAwaitAck;
     d.send_wall = wall();
     ++stats_.requests_sent;
-    pending_out_->queue(report);
+    pending_out_->queue(d.pending);
     pending_out_->flush();
   }
 
@@ -329,8 +350,13 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
     report.reports_corrupted += s.reports_corrupted;
     report.backoff_waits += s.backoff_waits;
     report.deferred_uploads += s.deferred_uploads;
+    report.span_replies += s.span_replies;
     report.issue_latency.merge(s.issue_latency);
     report.report_latency.merge(s.report_latency);
+    report.span_queue_wait.merge(s.span_queue_wait);
+    report.span_service.merge(s.span_service);
+    report.span_total.merge(s.span_total);
+    report.net_residual.merge(s.net_residual);
   }
   report.wall_seconds = wall_seconds;
   report.requests_per_sec =
@@ -365,6 +391,7 @@ std::string loadgen_json(const LoadgenOptions& options,
   w.kv("connections", static_cast<std::uint64_t>(options.connections));
   w.kv("duration_seconds", options.duration_seconds);
   w.kv("time_scale", options.time_scale);
+  w.kv("spans", options.spans);
   w.kv("seed", options.seed);
   w.end_object();
 
@@ -396,6 +423,21 @@ std::string loadgen_json(const LoadgenOptions& options,
   emit_histogram(w, report.report_latency);
   w.end_object();
 
+  // Server-side stage breakdown from the span echoes (wall seconds). The
+  // section is present whenever spans were requested, even if the server
+  // declined every echo (span_replies == 0 flags that case).
+  w.key("server_spans").begin_object();
+  w.kv("span_replies", report.span_replies);
+  w.key("queue_wait");
+  emit_histogram(w, report.span_queue_wait);
+  w.key("service");
+  emit_histogram(w, report.span_service);
+  w.key("total");
+  emit_histogram(w, report.span_total);
+  w.key("net_residual");
+  emit_histogram(w, report.net_residual);
+  w.end_object();
+
   const proto::Status& s = report.server_status;
   w.key("server").begin_object();
   w.kv("results_sent", s.results_sent);
@@ -407,6 +449,16 @@ std::string loadgen_json(const LoadgenOptions& options,
   w.kv("workunits_total", s.workunits_total);
   w.kv("outage_denied", s.outage_denied);
   w.kv("rpc_requests", s.rpc_requests);
+  w.kv("uptime_seconds", s.uptime_seconds);
+  w.key("rpc").begin_object();
+  w.kv("assignments", s.rpc_assignments);
+  w.kv("no_work", s.rpc_no_work);
+  w.kv("busy", s.rpc_busy);
+  w.kv("reports", s.rpc_reports);
+  w.kv("duplicate_reports", s.rpc_duplicate_reports);
+  w.kv("status", s.rpc_status);
+  w.kv("errors", s.rpc_errors);
+  w.end_object();
   w.kv("now_seconds", s.now);
   w.kv("complete", s.complete);
   w.end_object();

@@ -45,6 +45,9 @@ struct LoadgenOptions {
   double time_scale = 1.0;
   /// Client-side fault behaviour (loss/corruption rates, backoff law).
   faults::FaultPlan faults;
+  /// Ask the server to echo per-RPC span blocks (kFlagWantSpan) and fold
+  /// them into the server_spans breakdown of the JSON summary.
+  bool spans = true;
   std::uint64_t seed = 0x10adf0e;
 };
 
@@ -68,6 +71,15 @@ struct LoadgenReport {
   obs::LogHistogram issue_latency;
   /// Round-trip wall latency, report_result send -> ack.
   obs::LogHistogram report_latency;
+  /// Replies that carried a server span echo.
+  std::uint64_t span_replies = 0;
+  /// Server-side stage breakdown from the span echoes, converted to wall
+  /// seconds (span stamps tick in service seconds = wall * time_scale).
+  obs::LogHistogram span_queue_wait;  ///< epoll read -> service dequeue
+  obs::LogHistogram span_service;     ///< service dequeue -> decision
+  obs::LogHistogram span_total;       ///< epoll read -> decision
+  /// rtt minus the server-side total: wire + client-side queueing.
+  obs::LogHistogram net_residual;
   /// Server-side view, fetched with a final get_status RPC.
   server::proto::Status server_status;
 };

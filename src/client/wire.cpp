@@ -118,6 +118,16 @@ bool WireClient::extract(WireReply& out) {
       out.device = out.error.device;
       out.seq = out.error.seq;
       return true;
+    case proto::Verb::kMetrics:
+      out.metrics = proto::decode_metrics(*f);
+      out.device = out.metrics.device;
+      out.seq = out.metrics.seq;
+      return true;
+    case proto::Verb::kDiagnosticsAck:
+      out.diagnostics = proto::decode_diagnostics_ack(*f);
+      out.device = out.diagnostics.device;
+      out.seq = out.diagnostics.seq;
+      return true;
     default:
       throw ParseError("wire: request verb in a response stream");
   }

@@ -36,6 +36,21 @@ struct WireReply {
   proto::ReportAck ack;
   proto::Status status;
   proto::ErrorMsg error;
+  proto::Metrics metrics;
+  proto::DiagnosticsAck diagnostics;
+
+  /// The server-side span echo of whichever message is live (present only
+  /// when the request set proto::kFlagWantSpan and the server has spans on).
+  std::optional<proto::SpanBlock> span() const {
+    switch (verb) {
+      case proto::Verb::kAssignment: return assignment.span;
+      case proto::Verb::kNoWork: return no_work.span;
+      case proto::Verb::kBusy: return busy.span;
+      case proto::Verb::kReportAck: return ack.span;
+      case proto::Verb::kStatus: return status.span;
+      default: return std::nullopt;
+    }
+  }
 };
 
 class WireClient {
@@ -51,6 +66,8 @@ class WireClient {
   void queue(const proto::RequestWork& m) { enqueue(m); }
   void queue(const proto::ReportResult& m) { enqueue(m); }
   void queue(const proto::GetStatus& m) { enqueue(m); }
+  void queue(const proto::GetMetrics& m) { enqueue(m); }
+  void queue(const proto::DumpDiagnostics& m) { enqueue(m); }
 
   /// Writes every queued frame (blocking until the kernel takes them).
   void flush();

@@ -1,0 +1,143 @@
+#include "obs/exposition.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace hcmd::obs {
+namespace {
+
+// Prometheus floats: plain %.17g round-trips every double and the text
+// format accepts the full C float syntax, so no special casing needed.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+template <typename T>
+std::vector<const std::pair<std::string, T>*> sorted_view(
+    const std::vector<std::pair<std::string, T>>& entries) {
+  std::vector<const std::pair<std::string, T>*> view;
+  view.reserve(entries.size());
+  for (const auto& e : entries) view.push_back(&e);
+  std::sort(view.begin(), view.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return view;
+}
+
+}  // namespace
+
+void Exposition::add_counter(std::string_view name, std::uint64_t value) {
+  for (auto& [n, v] : counters_)
+    if (n == name) {
+      v += value;
+      return;
+    }
+  counters_.emplace_back(std::string(name), value);
+}
+
+void Exposition::add_gauge(std::string_view name, double value) {
+  for (auto& [n, v] : gauges_)
+    if (n == name) {
+      v = value;
+      return;
+    }
+  gauges_.emplace_back(std::string(name), value);
+}
+
+void Exposition::add_histogram(std::string_view name, const LogHistogram& h) {
+  for (auto& [n, v] : histograms_)
+    if (n == name) {
+      v.merge(h);
+      return;
+    }
+  histograms_.emplace_back(std::string(name), LogHistogram{});
+  histograms_.back().second.merge(h);
+}
+
+void Exposition::absorb(const Registry& r) {
+  for (const std::string& name : r.counter_names())
+    add_counter(name, r.total(name));
+  for (const std::string& name : r.histogram_names()) {
+    const LogHistogram* h = r.histogram(r.find(name));
+    if (h != nullptr) add_histogram(name, *h);
+  }
+}
+
+std::string Exposition::sanitize(std::string_view prefix,
+                                 std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + name.size());
+  out.append(prefix);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string Exposition::prometheus(std::string_view prefix) const {
+  std::string out;
+  out.reserve(4096);
+  for (const auto* e : sorted_view(counters_)) {
+    const std::string series = sanitize(prefix, e->first) + "_total";
+    out += "# TYPE " + series + " counter\n";
+    out += series + " " + std::to_string(e->second) + "\n";
+  }
+  for (const auto* e : sorted_view(gauges_)) {
+    const std::string series = sanitize(prefix, e->first);
+    out += "# TYPE " + series + " gauge\n";
+    out += series + " " + fmt_double(e->second) + "\n";
+  }
+  // Histograms render as summaries: the log bins already are quantile
+  // sketches, and summary quantile labels keep the scrape small (a
+  // 256-bucket Prometheus histogram per verb per stage would not).
+  static constexpr std::pair<const char*, double> kQuantiles[] = {
+      {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}};
+  for (const auto* e : sorted_view(histograms_)) {
+    const std::string series = sanitize(prefix, e->first);
+    const LogHistogram& h = e->second;
+    out += "# TYPE " + series + " summary\n";
+    for (const auto& [label, p] : kQuantiles) {
+      out += series + "{quantile=\"" + label + "\"} " +
+             fmt_double(h.quantile(p)) + "\n";
+    }
+    out += series + "_sum " + fmt_double(h.sum()) + "\n";
+    out += series + "_count " + std::to_string(h.total()) + "\n";
+  }
+  return out;
+}
+
+std::string Exposition::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("kind", "hcmd-metrics-snapshot");
+  w.key("counters").begin_object();
+  for (const auto* e : sorted_view(counters_)) w.kv(e->first, e->second);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto* e : sorted_view(gauges_)) w.kv(e->first, e->second);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto* e : sorted_view(histograms_)) {
+    const LogHistogram& h = e->second;
+    w.key(e->first).begin_object();
+    w.kv("count", h.total());
+    w.kv("mean", h.mean());
+    w.kv("min", h.min());
+    w.kv("max", h.max());
+    w.kv("p50", h.quantile(0.50));
+    w.kv("p90", h.quantile(0.90));
+    w.kv("p99", h.quantile(0.99));
+    w.kv("p999", h.quantile(0.999));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace hcmd::obs

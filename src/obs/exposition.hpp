@@ -1,0 +1,61 @@
+// Metrics exposition: renders an obs::Registry (plus ad-hoc gauges and
+// merged histograms) into the two formats scrape tooling expects:
+//
+//   * Prometheus text exposition format (version 0.0.4): counters become
+//     `<prefix><name>_total`, histograms become summaries with quantile
+//     labels plus `_sum`/`_count`, gauges pass through. Metric names are
+//     sanitised (every character outside [a-zA-Z0-9_] becomes '_'), so the
+//     dotted registry names ("rpc.issue_wait_seconds") come out as legal
+//     Prometheus series.
+//   * a JSON snapshot (counters/gauges/histograms objects), the jq-friendly
+//     form the diagnostics tooling consumes.
+//
+// An Exposition is a *merge point*, not live storage: callers absorb one or
+// more registries (and any out-of-registry data such as per-worker
+// histograms merged under their own locks) into it, then render. Output
+// ordering is deterministic — entries render sorted by sanitised name — so
+// two snapshots of identical state are byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace hcmd::obs {
+
+class Exposition {
+ public:
+  /// Adds one counter sample. Later adds under the same name accumulate.
+  void add_counter(std::string_view name, std::uint64_t value);
+  /// Adds (or overwrites) one gauge sample.
+  void add_gauge(std::string_view name, double value);
+  /// Merges `h` into the histogram registered under `name`.
+  void add_histogram(std::string_view name, const LogHistogram& h);
+
+  /// Folds every counter and histogram of `r` in.
+  void absorb(const Registry& r);
+
+  /// Prometheus text format; `prefix` namespaces every series.
+  std::string prometheus(std::string_view prefix = "hcmd_") const;
+  /// JSON snapshot ({"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}).
+  std::string json() const;
+
+  /// Prometheus-legal series name: `prefix` + `name` with every character
+  /// outside [a-zA-Z0-9_] replaced by '_'.
+  static std::string sanitize(std::string_view prefix, std::string_view name);
+
+ private:
+  template <typename T>
+  using Entries = std::vector<std::pair<std::string, T>>;
+
+  Entries<std::uint64_t> counters_;
+  Entries<double> gauges_;
+  Entries<LogHistogram> histograms_;
+};
+
+}  // namespace hcmd::obs

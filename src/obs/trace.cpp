@@ -14,6 +14,7 @@ const char* trace_cat_name(TraceCat cat) {
     case TraceCat::kChurn: return "churn";
     case TraceCat::kServer: return "server";
     case TraceCat::kFault: return "fault";
+    case TraceCat::kRpc: return "rpc";
     case TraceCat::kCount: break;
   }
   return "?";
@@ -43,6 +44,9 @@ const char* trace_ev_name(TraceEv ev) {
     case TraceEv::kFltLoss: return "fault_loss";
     case TraceEv::kFltChurnSpike: return "fault_churn_spike";
     case TraceEv::kFltStraggler: return "fault_straggler";
+    case TraceEv::kRpcAdmit: return "rpc_admit";
+    case TraceEv::kRpcDecide: return "rpc_decide";
+    case TraceEv::kRpcWrite: return "rpc_write";
   }
   return "?";
 }

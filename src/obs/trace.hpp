@@ -32,6 +32,7 @@ enum class TraceCat : std::uint8_t {
   kChurn,         ///< per-attach-cycle device events (online/offline)
   kServer,        ///< transitioner passes, end-game rebuilds
   kFault,         ///< injected faults (outages, corruption, loss, churn)
+  kRpc,           ///< live-server RPC spans (admit, decide, reply written)
   kCount,
 };
 inline constexpr std::size_t kTraceCatCount =
@@ -60,6 +61,9 @@ enum class TraceEv : std::uint8_t {
   kFltLoss,              ///< id = result, arg = device
   kFltChurnSpike,        ///< id = devices killed, arg = alive before
   kFltStraggler,         ///< id = device classified as straggler
+  kRpcAdmit,   ///< id = device, arg = conn token low bits, extra = verb
+  kRpcDecide,  ///< id = device, arg = queue-wait µs, extra = verb
+  kRpcWrite,   ///< id = device, arg = write µs, extra = verb
 };
 
 const char* trace_cat_name(TraceCat cat);
@@ -85,7 +89,8 @@ class Tracer {
     /// Per-category sampling: record every Nth event (0 disables the
     /// category entirely). Defaults keep every lifecycle event, thin the
     /// per-attach churn, and sample transitioner passes.
-    std::array<std::uint32_t, kTraceCatCount> sample_every{1, 1, 64, 16, 1};
+    std::array<std::uint32_t, kTraceCatCount> sample_every{1, 1, 64,
+                                                           16, 1, 1};
   };
 
   Tracer() : Tracer(Options{}) {}

@@ -40,10 +40,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "server/service.hpp"
 #include "util/mpsc_queue.hpp"
 
@@ -58,6 +60,18 @@ struct NetOptions {
   /// Service seconds per wall-clock second. Lets a wire test replay a
   /// multi-day fault plan (outage windows, deadlines) in real minutes.
   double time_scale = 1.0;
+  /// Plain-HTTP metrics listener ("GET /metrics" -> Prometheus text,
+  /// "GET /metrics.json" -> JSON snapshot). -1 disables; 0 binds an
+  /// ephemeral port (read back with metrics_port()).
+  std::int32_t metrics_port = -1;
+  /// Wall seconds between in-server metric snapshots (the strings the HTTP
+  /// listener serves, plus the SLO burn computation). <= 0 disables the
+  /// snapshotter; it is forced on (at 1 s) when metrics_port is set.
+  double snapshot_period = 1.0;
+  /// Per-worker flight-recorder ring capacity, in span events.
+  std::size_t flight_capacity = std::size_t{1} << 14;
+  /// Flight-record dumps are written as `<prefix>-<epoch-ms>.jsonl`.
+  std::string flight_prefix = "flight";
 };
 
 class GridServer {
@@ -90,6 +104,8 @@ class GridServer {
 
   /// Actual bound port (after start()).
   std::uint16_t port() const { return port_; }
+  /// Actual bound metrics port (after start(); 0 when the listener is off).
+  std::uint16_t metrics_port() const { return metrics_port_; }
 
   /// Wall clock -> service seconds since start(), scaled by time_scale.
   double now_seconds() const;
@@ -102,26 +118,68 @@ class GridServer {
 
   Stats stats() const;
 
+  /// The most recent snapshotter output (thread-safe; empty until the
+  /// first snapshot fires). `json` selects the JSON form.
+  std::string snapshot_text(bool json = false) const;
+
+  struct FlightDump {
+    std::string path;
+    std::uint64_t events = 0;
+  };
+
+  /// Merges the per-worker flight-recorder rings and the service tracer
+  /// into one timestamped JSONL file (`<flight_prefix>-<epoch-ms>.jsonl`).
+  /// Safe from the service thread while running (the dump_diagnostics verb
+  /// routes here) and from any thread once stopped — stop() folds the rings
+  /// into a final merge before tearing the workers down. Returns an empty
+  /// path when the file cannot be written.
+  FlightDump dump_flight_record();
+
  private:
   struct Worker;
 
   void accept_ready(Worker& w);
   void worker_loop(Worker& w);
   void service_loop();
+  void metrics_loop();
   void wake_service();
+  /// Builds the full exposition (service registry + worker-side write
+  /// histograms + net stats + SLO burn). Service thread only while running.
+  std::string render_metrics(proto::MetricsFormat format);
+  void merge_flight(obs::Tracer& into);
 
   GridService service_;
   NetOptions net_;
 
   int listen_fd_ = -1;
   int service_event_fd_ = -1;
+  int metrics_fd_ = -1;
   std::uint16_t port_ = 0;
+  std::uint16_t metrics_port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::chrono::steady_clock::time_point start_time_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread service_thread_;
+  std::thread metrics_thread_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::string snapshot_prom_;
+  std::string snapshot_json_;
+
+  /// Post-stop merge of every flight ring, so diagnostics survive teardown.
+  obs::Tracer flight_merged_{[] {
+    obs::Tracer::Options o;
+    o.capacity = 2;  // replaced by the real merge in stop()
+    return o;
+  }()};
+  bool flight_final_ = false;  ///< flight_merged_ holds the post-stop merge
+
+  /// Cached service_.config().spans: the workers' per-frame test.
+  bool spans_ = true;
+  /// Cached service_.config().span_sample_every: 1-in-N span statistics.
+  std::uint32_t span_every_ = 16;
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> closed_{0};

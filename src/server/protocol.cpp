@@ -1,6 +1,7 @@
 #include "server/protocol.hpp"
 
 #include <cstring>
+#include <string_view>
 
 #include "util/error.hpp"
 
@@ -34,6 +35,19 @@ class Writer {
     std::uint64_t bits;
     std::memcpy(&bits, &v, sizeof bits);
     u64(bits);
+  }
+  /// u32 length + raw bytes (the variable-size payloads of 1.1 verbs).
+  void bytes(std::string_view v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    out_.insert(out_.end(), v.begin(), v.end());
+  }
+  /// Optional 32-byte response tail (protocol 1.1 span echo).
+  void span(const std::optional<SpanBlock>& s) {
+    if (!s) return;
+    f64(s->t_read);
+    f64(s->t_enqueue);
+    f64(s->t_dequeue);
+    f64(s->t_decision);
   }
 
   void finish() {
@@ -94,6 +108,31 @@ class Reader {
     std::memcpy(&v, &bits, sizeof v);
     return v;
   }
+  std::string bytes() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string v(reinterpret_cast<const char*>(p_ + pos_), len);
+    pos_ += len;
+    return v;
+  }
+
+  std::size_t remaining() const { return n_ - pos_; }
+
+  /// Optional trailing flags byte on 1.1 requests: exactly one byte left
+  /// means flags; zero means a 1.0 frame; anything else is a layout
+  /// mismatch that done() will reject.
+  std::uint8_t tail_flags() { return remaining() == 1 ? u8() : 0; }
+
+  /// Optional trailing span block on 1.1 responses (32 bytes or absent).
+  std::optional<SpanBlock> tail_span() {
+    if (remaining() != sizeof(double) * 4) return std::nullopt;
+    SpanBlock s;
+    s.t_read = f64();
+    s.t_enqueue = f64();
+    s.t_dequeue = f64();
+    s.t_decision = f64();
+    return s;
+  }
 
   void done() const {
     if (pos_ != n_)
@@ -146,6 +185,7 @@ void encode(const RequestWork& m, std::vector<std::uint8_t>& out) {
   w.u8(static_cast<std::uint8_t>(Verb::kRequestWork));
   w.u32(m.device);
   w.u64(m.seq);
+  if (m.flags != 0) w.u8(m.flags);
   w.finish();
 }
 
@@ -160,6 +200,7 @@ void encode(const ReportResult& m, std::vector<std::uint8_t>& out) {
   w.u64(m.corruption_tag);
   w.u8(static_cast<std::uint8_t>((m.computation_error ? 1u : 0u) |
                                  (m.silent_error ? 2u : 0u)));
+  if (m.flags != 0) w.u8(m.flags);
   w.finish();
 }
 
@@ -168,6 +209,7 @@ void encode(const GetStatus& m, std::vector<std::uint8_t>& out) {
   w.u8(static_cast<std::uint8_t>(Verb::kGetStatus));
   w.u32(m.device);
   w.u64(m.seq);
+  if (m.flags != 0) w.u8(m.flags);
   w.finish();
 }
 
@@ -184,6 +226,7 @@ void encode(const Assignment& m, std::vector<std::uint8_t>& out) {
   w.u32(m.isep_end);
   w.f64(m.reference_seconds);
   w.f64(m.deadline);
+  w.span(m.span);
   w.finish();
 }
 
@@ -193,6 +236,7 @@ void encode(const NoWork& m, std::vector<std::uint8_t>& out) {
   w.u32(m.device);
   w.u64(m.seq);
   w.u8(m.project_complete ? 1 : 0);
+  w.span(m.span);
   w.finish();
 }
 
@@ -202,6 +246,7 @@ void encode(const Busy& m, std::vector<std::uint8_t>& out) {
   w.u32(m.device);
   w.u64(m.seq);
   w.f64(m.retry_after);
+  w.span(m.span);
   w.finish();
 }
 
@@ -212,6 +257,7 @@ void encode(const ReportAck& m, std::vector<std::uint8_t>& out) {
   w.u64(m.seq);
   w.u8(static_cast<std::uint8_t>(m.state));
   w.u8(m.duplicate ? 1 : 0);
+  w.span(m.span);
   w.finish();
 }
 
@@ -231,6 +277,15 @@ void encode(const Status& m, std::vector<std::uint8_t>& out) {
   w.u64(m.rpc_requests);
   w.f64(m.now);
   w.u8(m.complete ? 1 : 0);
+  w.f64(m.uptime_seconds);
+  w.u64(m.rpc_assignments);
+  w.u64(m.rpc_no_work);
+  w.u64(m.rpc_busy);
+  w.u64(m.rpc_reports);
+  w.u64(m.rpc_duplicate_reports);
+  w.u64(m.rpc_status);
+  w.u64(m.rpc_errors);
+  w.span(m.span);
   w.finish();
 }
 
@@ -243,6 +298,43 @@ void encode(const ErrorMsg& m, std::vector<std::uint8_t>& out) {
   w.finish();
 }
 
+void encode(const GetMetrics& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kGetMetrics));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.u8(static_cast<std::uint8_t>(m.format));
+  w.finish();
+}
+
+void encode(const Metrics& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kMetrics));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.u8(static_cast<std::uint8_t>(m.format));
+  w.bytes(m.text);
+  w.finish();
+}
+
+void encode(const DumpDiagnostics& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kDumpDiagnostics));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.finish();
+}
+
+void encode(const DiagnosticsAck& m, std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(Verb::kDiagnosticsAck));
+  w.u32(m.device);
+  w.u64(m.seq);
+  w.u64(m.events);
+  w.bytes(m.path);
+  w.finish();
+}
+
 // --- decoders --------------------------------------------------------------
 
 RequestWork decode_request_work(const Frame& f) {
@@ -251,6 +343,7 @@ RequestWork decode_request_work(const Frame& f) {
   RequestWork m;
   m.device = r.u32();
   m.seq = r.u64();
+  m.flags = r.tail_flags();
   r.done();
   return m;
 }
@@ -268,6 +361,7 @@ ReportResult decode_report_result(const Frame& f) {
   const std::uint8_t flags = r.u8();
   m.computation_error = (flags & 1u) != 0;
   m.silent_error = (flags & 2u) != 0;
+  m.flags = r.tail_flags();
   r.done();
   return m;
 }
@@ -278,6 +372,7 @@ GetStatus decode_get_status(const Frame& f) {
   GetStatus m;
   m.device = r.u32();
   m.seq = r.u64();
+  m.flags = r.tail_flags();
   r.done();
   return m;
 }
@@ -296,6 +391,7 @@ Assignment decode_assignment(const Frame& f) {
   m.isep_end = r.u32();
   m.reference_seconds = r.f64();
   m.deadline = r.f64();
+  m.span = r.tail_span();
   r.done();
   return m;
 }
@@ -307,6 +403,7 @@ NoWork decode_no_work(const Frame& f) {
   m.device = r.u32();
   m.seq = r.u64();
   m.project_complete = r.u8() != 0;
+  m.span = r.tail_span();
   r.done();
   return m;
 }
@@ -318,6 +415,7 @@ Busy decode_busy(const Frame& f) {
   m.device = r.u32();
   m.seq = r.u64();
   m.retry_after = r.f64();
+  m.span = r.tail_span();
   r.done();
   return m;
 }
@@ -330,6 +428,7 @@ ReportAck decode_report_ack(const Frame& f) {
   m.seq = r.u64();
   m.state = static_cast<server::ResultState>(r.u8());
   m.duplicate = r.u8() != 0;
+  m.span = r.tail_span();
   r.done();
   return m;
 }
@@ -351,6 +450,15 @@ Status decode_status(const Frame& f) {
   m.rpc_requests = r.u64();
   m.now = r.f64();
   m.complete = r.u8() != 0;
+  m.uptime_seconds = r.f64();
+  m.rpc_assignments = r.u64();
+  m.rpc_no_work = r.u64();
+  m.rpc_busy = r.u64();
+  m.rpc_reports = r.u64();
+  m.rpc_duplicate_reports = r.u64();
+  m.rpc_status = r.u64();
+  m.rpc_errors = r.u64();
+  m.span = r.tail_span();
   r.done();
   return m;
 }
@@ -362,6 +470,51 @@ ErrorMsg decode_error(const Frame& f) {
   m.device = r.u32();
   m.seq = r.u64();
   m.code = static_cast<ErrorCode>(r.u8());
+  r.done();
+  return m;
+}
+
+GetMetrics decode_get_metrics(const Frame& f) {
+  check_verb(f, Verb::kGetMetrics, "get_metrics");
+  Reader r(f, "get_metrics");
+  GetMetrics m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  m.format = static_cast<MetricsFormat>(r.u8());
+  r.done();
+  return m;
+}
+
+Metrics decode_metrics(const Frame& f) {
+  check_verb(f, Verb::kMetrics, "metrics");
+  Reader r(f, "metrics");
+  Metrics m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  m.format = static_cast<MetricsFormat>(r.u8());
+  m.text = r.bytes();
+  r.done();
+  return m;
+}
+
+DumpDiagnostics decode_dump_diagnostics(const Frame& f) {
+  check_verb(f, Verb::kDumpDiagnostics, "dump_diagnostics");
+  Reader r(f, "dump_diagnostics");
+  DumpDiagnostics m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  r.done();
+  return m;
+}
+
+DiagnosticsAck decode_diagnostics_ack(const Frame& f) {
+  check_verb(f, Verb::kDiagnosticsAck, "diagnostics_ack");
+  Reader r(f, "diagnostics_ack");
+  DiagnosticsAck m;
+  m.device = r.u32();
+  m.seq = r.u64();
+  m.events = r.u64();
+  m.path = r.bytes();
   r.done();
   return m;
 }

@@ -23,10 +23,21 @@
 //                  corruption_tag,   kNoWork     {device, seq, complete}
 //                  flags}            kBusy       {device, seq, retry_after}
 //   kGetStatus    {device, seq}      kReportAck  {device, seq, state,
-//                                                 duplicate}
-//                                    kStatus     {device, seq, counters...,
-//                                                 now, complete}
+//   kGetMetrics   {device, seq,                   duplicate}
+//                  format}           kStatus     {device, seq, counters...,
+//   kDumpDiagnostics {device, seq}                now, complete}
 //                                    kError      {device, seq, code}
+//                                    kMetrics    {device, seq, format, text}
+//                                    kDiagnosticsAck {device, seq, events,
+//                                                     path}
+//
+// Protocol 1.1 (this header) adds two *optional tails* to the 1.0 layouts:
+// the three fleet request verbs may append one flags byte (bit 0 =
+// kFlagWantSpan), and the five fleet responses may append a 32-byte span
+// block (the server-side RPC timeline). Both tails are omitted when unset,
+// so a 1.0 peer's byte streams are valid 1.1 streams and a 1.0 decoder
+// never sees the tails it does not know. kGetMetrics/kDumpDiagnostics are
+// new verbs, which 1.0 servers answer with kError{kUnknownVerb}.
 //
 // Encoding and decoding are branchy-but-trivial byte shifts (no struct
 // punning, so the wire format is identical on any host endianness).
@@ -38,15 +49,23 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "server/server.hpp"
 
 namespace hcmd::server::proto {
 
-/// Hard ceiling on (verb + payload) size. Every real frame is < 100 bytes;
-/// anything bigger is a corrupt or hostile stream.
-inline constexpr std::uint32_t kMaxFrameBytes = 4096;
+/// Protocol revision spoken by this build. The minor bumps when optional
+/// tails or new verbs are added (1.0 streams stay decodable); the major
+/// would bump on a breaking relayout.
+inline constexpr std::uint8_t kProtocolMajor = 1;
+inline constexpr std::uint8_t kProtocolMinor = 1;
+
+/// Hard ceiling on (verb + payload) size. Fleet frames are < 150 bytes, but
+/// a kMetrics reply carries a whole exposition text; anything bigger than
+/// this is a corrupt or hostile stream.
+inline constexpr std::uint32_t kMaxFrameBytes = 65536;
 
 enum class Verb : std::uint8_t {
   kRequestWork = 1,
@@ -58,6 +77,10 @@ enum class Verb : std::uint8_t {
   kReportAck = 7,
   kStatus = 8,
   kError = 9,
+  kGetMetrics = 10,       ///< protocol 1.1
+  kMetrics = 11,          ///< protocol 1.1
+  kDumpDiagnostics = 12,  ///< protocol 1.1
+  kDiagnosticsAck = 13,   ///< protocol 1.1
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -66,11 +89,34 @@ enum class ErrorCode : std::uint8_t {
   kUnknownResult = 3,  ///< report for a result id never issued
 };
 
+/// Request flag bits (the optional trailing byte on the fleet verbs).
+inline constexpr std::uint8_t kFlagWantSpan = 0x01;
+
+enum class MetricsFormat : std::uint8_t {
+  kPrometheus = 0,
+  kJson = 1,
+};
+
+/// Server-side RPC timeline, echoed (on request) as an optional trailing
+/// block in fleet responses. All stamps share the service clock, so the
+/// client can difference them: queue wait = t_dequeue - t_read, service
+/// time = t_decision - t_dequeue, server total = t_decision - t_read.
+/// Reply write time cannot appear here — the block is encoded before the
+/// reply is written — so the write stage lives only in server histograms.
+struct SpanBlock {
+  double t_read = 0.0;      ///< request fully read off the socket
+  double t_enqueue = 0.0;   ///< pushed onto the worker's uplink queue
+  double t_dequeue = 0.0;   ///< drained by the service thread
+  double t_decision = 0.0;  ///< reply encoded
+};
+
 // --- message structs -------------------------------------------------------
 
 struct RequestWork {
   std::uint32_t device = 0;
   std::uint64_t seq = 0;
+  /// kFlag* bits; encoded only when nonzero (1.0-compatible).
+  std::uint8_t flags = 0;
 };
 
 struct ReportResult {
@@ -82,6 +128,8 @@ struct ReportResult {
   std::uint64_t corruption_tag = 0;
   bool computation_error = false;
   bool silent_error = false;
+  /// kFlag* bits; encoded only when nonzero (1.0-compatible).
+  std::uint8_t flags = 0;
 
   server::ResultReport to_report() const {
     server::ResultReport r;
@@ -97,6 +145,8 @@ struct ReportResult {
 struct GetStatus {
   std::uint32_t device = 0;
   std::uint64_t seq = 0;
+  /// kFlag* bits; encoded only when nonzero (1.0-compatible).
+  std::uint8_t flags = 0;
 };
 
 struct Assignment {
@@ -110,12 +160,14 @@ struct Assignment {
   std::uint32_t isep_end = 0;
   double reference_seconds = 0.0;
   double deadline = 0.0;
+  std::optional<SpanBlock> span;  ///< only when the request set kFlagWantSpan
 };
 
 struct NoWork {
   std::uint32_t device = 0;
   std::uint64_t seq = 0;
   bool project_complete = false;
+  std::optional<SpanBlock> span;
 };
 
 struct Busy {
@@ -123,6 +175,7 @@ struct Busy {
   std::uint64_t seq = 0;
   /// Hint: seconds (service time) until the outage window closes.
   double retry_after = 0.0;
+  std::optional<SpanBlock> span;
 };
 
 struct ReportAck {
@@ -132,6 +185,7 @@ struct ReportAck {
   /// True when this return was a replay of an already-received result (a
   /// network retry after a lost ack): the server state did not change.
   bool duplicate = false;
+  std::optional<SpanBlock> span;
 };
 
 struct Status {
@@ -148,12 +202,50 @@ struct Status {
   std::uint64_t rpc_requests = 0;
   double now = 0.0;  ///< service time, seconds since server start
   bool complete = false;
+  // Protocol 1.1 additions (fixed fields — client and server rev together;
+  // the optional-tail machinery is reserved for per-request opt-ins).
+  double uptime_seconds = 0.0;  ///< wall-clock seconds since server start
+  std::uint64_t rpc_assignments = 0;
+  std::uint64_t rpc_no_work = 0;
+  std::uint64_t rpc_busy = 0;
+  std::uint64_t rpc_reports = 0;
+  std::uint64_t rpc_duplicate_reports = 0;
+  std::uint64_t rpc_status = 0;
+  std::uint64_t rpc_errors = 0;
+  std::optional<SpanBlock> span;
 };
 
 struct ErrorMsg {
   std::uint32_t device = 0;
   std::uint64_t seq = 0;
   ErrorCode code = ErrorCode::kBadFrame;
+};
+
+struct GetMetrics {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  MetricsFormat format = MetricsFormat::kPrometheus;
+};
+
+struct Metrics {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  MetricsFormat format = MetricsFormat::kPrometheus;
+  /// Rendered exposition text; the server clamps it so the frame fits
+  /// kMaxFrameBytes.
+  std::string text;
+};
+
+struct DumpDiagnostics {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+};
+
+struct DiagnosticsAck {
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t events = 0;  ///< trace events written to the flight file
+  std::string path;          ///< server-local path of the JSONL dump
 };
 
 // --- framing ---------------------------------------------------------------
@@ -183,6 +275,10 @@ void encode(const Busy& m, std::vector<std::uint8_t>& out);
 void encode(const ReportAck& m, std::vector<std::uint8_t>& out);
 void encode(const Status& m, std::vector<std::uint8_t>& out);
 void encode(const ErrorMsg& m, std::vector<std::uint8_t>& out);
+void encode(const GetMetrics& m, std::vector<std::uint8_t>& out);
+void encode(const Metrics& m, std::vector<std::uint8_t>& out);
+void encode(const DumpDiagnostics& m, std::vector<std::uint8_t>& out);
+void encode(const DiagnosticsAck& m, std::vector<std::uint8_t>& out);
 
 // --- decoders (throw ParseError on size/layout mismatch) -------------------
 
@@ -195,5 +291,9 @@ Busy decode_busy(const Frame& f);
 ReportAck decode_report_ack(const Frame& f);
 Status decode_status(const Frame& f);
 ErrorMsg decode_error(const Frame& f);
+GetMetrics decode_get_metrics(const Frame& f);
+Metrics decode_metrics(const Frame& f);
+DumpDiagnostics decode_dump_diagnostics(const Frame& f);
+DiagnosticsAck decode_diagnostics_ack(const Frame& f);
 
 }  // namespace hcmd::server::proto

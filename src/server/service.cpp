@@ -1,19 +1,54 @@
 #include "server/service.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <string>
 #include <utility>
 
+#include "obs/exposition.hpp"
 #include "util/error.hpp"
 
 namespace hcmd::server {
+
+RpcClass rpc_class(proto::Verb request_verb) {
+  switch (request_verb) {
+    case proto::Verb::kRequestWork: return RpcClass::kRequestWork;
+    case proto::Verb::kReportResult: return RpcClass::kReport;
+    case proto::Verb::kGetStatus: return RpcClass::kStatus;
+    default: return RpcClass::kOther;
+  }
+}
+
+const char* rpc_class_name(RpcClass c) {
+  switch (c) {
+    case RpcClass::kRequestWork: return "request_work";
+    case RpcClass::kReport: return "report";
+    case RpcClass::kStatus: return "status";
+    case RpcClass::kOther: return "other";
+    case RpcClass::kCount: break;
+  }
+  return "?";
+}
 
 GridService::GridService(std::vector<packaging::Workunit> catalog,
                          ServiceConfig config)
     : config_(std::move(config)),
       project_(std::move(catalog), config_.server),
-      faults_(config_.faults, util::Rng(config_.seed).fork("faults")) {
+      faults_(config_.faults, util::Rng(config_.seed).fork("faults")),
+      tracer_([&] {
+        obs::Tracer::Options o;
+        o.capacity = config_.trace_capacity;
+        // The service ring is dedicated to RPC decisions; every other
+        // category is recorded by the owners of those events.
+        o.sample_every = {0, 0, 0, 0, 0, 1};
+        return o;
+      }()) {
   if (config_.max_devices == 0)
     throw ConfigError("service: max_devices must be positive");
+  if (config_.slo_latency_seconds <= 0.0)
+    throw ConfigError("service: slo_latency_seconds must be positive");
+  if (config_.slo_budget_fraction <= 0.0 || config_.slo_budget_fraction > 1.0)
+    throw ConfigError("service: slo_budget_fraction must be in (0, 1]");
   faults_.set_instruments(nullptr, &registry_);
   project_.set_instruments(nullptr, &registry_);
   // The fault schedule is deliberately NOT attached to the project server:
@@ -28,11 +63,22 @@ GridService::GridService(std::vector<packaging::Workunit> catalog,
   ctr_duplicate_reports_ = registry_.intern_counter("rpc.duplicate_reports");
   ctr_status_ = registry_.intern_counter("rpc.status");
   ctr_errors_ = registry_.intern_counter("rpc.errors");
+  ctr_metrics_ = registry_.intern_counter("rpc.metrics");
+  ctr_diagnostics_ = registry_.intern_counter("rpc.diagnostics");
+  ctr_slo_violations_ = registry_.intern_counter("slo.latency_violations");
   hist_issue_wait_ = registry_.intern_histogram("rpc.issue_wait_seconds");
+  for (std::size_t c = 0; c < kRpcClassCount; ++c) {
+    const std::string base =
+        std::string("rpc.") + rpc_class_name(static_cast<RpcClass>(c));
+    hist_queue_wait_[c] =
+        registry_.intern_histogram(base + ".queue_wait_seconds");
+    hist_service_[c] = registry_.intern_histogram(base + ".service_seconds");
+  }
 }
 
 void GridService::process_batch(std::vector<WireRequest>& batch, double now,
                                 std::vector<WireResponse>& out) {
+  dequeue_time_ = now;
   std::sort(batch.begin(), batch.end(),
             [](const WireRequest& a, const WireRequest& b) {
               return merge_before(a.key(), b.key());
@@ -105,6 +151,62 @@ WireResponse GridService::handle(const WireRequest& request) {
   return std::move(out.front());
 }
 
+// Out of line and non-template on purpose: this is the 1-in-N slow path.
+// send<Msg>() keeps only the countdown decrement and the SLO compare
+// inline; the histogram binning and tracer store live here so the
+// per-reply fast path is a predicted-not-taken branch, not a call.
+__attribute__((noinline)) void GridService::note_span(const WireRequest& m,
+                                                      double t_read,
+                                                      double t_deq,
+                                                      double t_dec) {
+  span_countdown_ = config_.span_sample_every;
+  const auto cls = static_cast<std::size_t>(rpc_class(m.verb));
+  registry_.observe(hist_queue_wait_[cls], t_deq - t_read);
+  registry_.observe(hist_service_[cls], t_dec - t_deq);
+  const double wait_us = (t_deq - t_read) * 1e6;
+  tracer_.record(
+      obs::TraceCat::kRpc, obs::TraceEv::kRpcDecide, t_dec, m.device,
+      static_cast<std::uint32_t>(std::min(wait_us, 4.0e9)),
+      static_cast<std::uint16_t>(m.verb));
+}
+
+template <typename Msg>
+void GridService::send(const WireRequest& m, std::vector<WireResponse>& out,
+                       Msg msg) {
+  // Monotone re-clamp of the timeline: directly-constructed requests may
+  // carry a zero t_enqueue, and the injected wall clock may race the batch
+  // stamp by a cycle; the published span is always ordered.
+  const double t_read = m.time;
+  const double t_enq = std::max(m.t_enqueue, t_read);
+  const double t_deq = std::max(dequeue_time_, t_enq);
+  const double t_dec =
+      std::max(clock_ ? clock_() : dequeue_time_, t_deq);
+
+  if (config_.spans) {
+    // Exact lane: the SLO ledger is a compare on stamps already in hand.
+    if (m.verb == proto::Verb::kRequestWork &&
+        t_dec - t_read > config_.slo_latency_seconds)
+      registry_.add(ctr_slo_violations_);
+    // Sampled lane: countdown instead of modulo (no divide per RPC); the
+    // slow path resets the cursor and records.
+    if (config_.span_sample_every != 0 && --span_countdown_ == 0)
+      note_span(m, t_read, t_deq, t_dec);
+    if constexpr (requires { msg.span; }) {
+      if ((m.flags & proto::kFlagWantSpan) != 0)
+        msg.span = proto::SpanBlock{t_read, t_enq, t_deq, t_dec};
+    }
+  }
+
+  out.emplace_back();
+  WireResponse& r = out.back();
+  r.conn = m.conn;
+  r.verb = m.verb;  // the *request* verb: the write-time attribution key
+  r.device = m.device;
+  r.seq = m.seq;
+  r.t_decision = t_dec;
+  proto::encode(msg, r.bytes);
+}
+
 void GridService::respond_busy(const WireRequest& m,
                                std::vector<WireResponse>& out) {
   registry_.add(ctr_busy_);
@@ -112,9 +214,28 @@ void GridService::respond_busy(const WireRequest& m,
   busy.device = m.device;
   busy.seq = m.seq;
   busy.retry_after = faults_.outage_end_after(m.time) - m.time;
-  out.emplace_back();
-  out.back().conn = m.conn;
-  proto::encode(busy, out.back().bytes);
+  send(m, out, busy);
+}
+
+std::string GridService::default_metrics(proto::MetricsFormat format) const {
+  obs::Exposition e;
+  e.absorb(registry_);
+  return format == proto::MetricsFormat::kJson ? e.json() : e.prometheus();
+}
+
+std::pair<std::string, std::uint64_t>
+GridService::default_diagnostics_dump() {
+  // Deterministic name keyed by service time: the fallback sink is for
+  // direct (netless) use, where there is exactly one dumper.
+  const std::string path =
+      "flight-service-" +
+      std::to_string(static_cast<std::uint64_t>(now_ * 1000.0)) + ".jsonl";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return {"", 0};
+  const std::uint64_t events =
+      std::min<std::uint64_t>(tracer_.recorded(), tracer_.capacity());
+  out << tracer_.jsonl();
+  return {path, events};
 }
 
 void GridService::apply(const WireRequest& m, std::vector<WireResponse>& out) {
@@ -128,9 +249,7 @@ void GridService::apply(const WireRequest& m, std::vector<WireResponse>& out) {
     e.device = m.device;
     e.seq = m.seq;
     e.code = code;
-    out.emplace_back();
-    out.back().conn = m.conn;
-    proto::encode(e, out.back().bytes);
+    send(m, out, e);
   };
 
   if (m.device >= config_.max_devices &&
@@ -164,18 +283,14 @@ void GridService::apply(const WireRequest& m, std::vector<WireResponse>& out) {
         wire.isep_end = a->workunit.isep_end;
         wire.reference_seconds = a->workunit.reference_seconds;
         wire.deadline = a->deadline;
-        out.emplace_back();
-        out.back().conn = m.conn;
-        proto::encode(wire, out.back().bytes);
+        send(m, out, wire);
       } else {
         registry_.add(ctr_no_work_);
         proto::NoWork wire;
         wire.device = m.device;
         wire.seq = m.seq;
         wire.project_complete = project_.complete();
-        out.emplace_back();
-        out.back().conn = m.conn;
-        proto::encode(wire, out.back().bytes);
+        send(m, out, wire);
       }
       return;
     }
@@ -215,9 +330,7 @@ void GridService::apply(const WireRequest& m, std::vector<WireResponse>& out) {
       ack.seq = m.seq;
       ack.state = state;
       ack.duplicate = duplicate;
-      out.emplace_back();
-      out.back().conn = m.conn;
-      proto::encode(ack, out.back().bytes);
+      send(m, out, ack);
       return;
     }
 
@@ -238,9 +351,47 @@ void GridService::apply(const WireRequest& m, std::vector<WireResponse>& out) {
       s.rpc_requests = rpc_requests_;
       s.now = std::max(now_, m.time);
       s.complete = project_.complete();
-      out.emplace_back();
-      out.back().conn = m.conn;
-      proto::encode(s, out.back().bytes);
+      s.uptime_seconds =
+          time_scale_ > 0.0 ? s.now / time_scale_ : s.now;
+      s.rpc_assignments = registry_.total(ctr_assignments_);
+      s.rpc_no_work = registry_.total(ctr_no_work_);
+      s.rpc_busy = registry_.total(ctr_busy_);
+      s.rpc_reports = registry_.total(ctr_reports_);
+      s.rpc_duplicate_reports = registry_.total(ctr_duplicate_reports_);
+      s.rpc_status = registry_.total(ctr_status_);
+      s.rpc_errors = registry_.total(ctr_errors_);
+      send(m, out, s);
+      return;
+    }
+
+    case proto::Verb::kGetMetrics: {
+      registry_.add(ctr_metrics_);
+      proto::Metrics reply;
+      reply.device = m.device;
+      reply.seq = m.seq;
+      reply.format = m.metrics_format;
+      reply.text = metrics_provider_ ? metrics_provider_(m.metrics_format)
+                                     : default_metrics(m.metrics_format);
+      // Keep the frame under the protocol cap: verb + fixed fields + the
+      // length-prefixed text must fit kMaxFrameBytes.
+      constexpr std::size_t kHeadroom = 64;
+      if (reply.text.size() > proto::kMaxFrameBytes - kHeadroom)
+        reply.text.resize(proto::kMaxFrameBytes - kHeadroom);
+      send(m, out, reply);
+      return;
+    }
+
+    case proto::Verb::kDumpDiagnostics: {
+      registry_.add(ctr_diagnostics_);
+      const std::pair<std::string, std::uint64_t> dumped =
+          diagnostics_sink_ ? diagnostics_sink_()
+                            : default_diagnostics_dump();
+      proto::DiagnosticsAck ack;
+      ack.device = m.device;
+      ack.seq = m.seq;
+      ack.events = dumped.second;
+      ack.path = dumped.first;
+      send(m, out, ack);
       return;
     }
 

@@ -29,12 +29,17 @@
 //     histogram; every verb bumps an interned counter.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "faults/plan.hpp"
 #include "faults/schedule.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "server/deadline_book.hpp"
 #include "server/merge_order.hpp"
 #include "server/protocol.hpp"
@@ -50,17 +55,43 @@ struct ServiceConfig {
   /// the per-device history arrays without bound on hostile input.
   std::uint32_t max_devices = 1u << 24;
   std::uint64_t seed = 0x5e44e3;
+  /// Per-RPC span accounting: stage histograms, SLO tracking, and the span
+  /// echo for clients that set kFlagWantSpan. Off = zero per-request cost
+  /// beyond the existing counters (the bench gate's control arm).
+  bool spans = true;
+  /// Latency objective for request_work (server-side total, service
+  /// seconds) and the error-budget fraction it may miss; the snapshotter
+  /// turns these into an SLO burn gauge.
+  double slo_latency_seconds = 0.005;
+  double slo_budget_fraction = 0.001;
+  /// Deterministic 1-in-N sampling for the span *statistics* (stage
+  /// histograms and flight-recorder events). Counters, the SLO violation
+  /// count and per-request span echoes stay exact regardless — sampling
+  /// only thins the distribution estimates, which converge fine from a
+  /// 1/16 systematic sample at any realistic request rate, and it is what
+  /// keeps spans-on within the 1.05x throughput gate. 1 records every
+  /// RPC; 0 disables the statistics entirely (echoes still work).
+  std::uint32_t span_sample_every = 16;
+  /// Flight-recorder ring size (events) for the service-side tracer.
+  std::size_t trace_capacity = std::size_t{1} << 14;
 };
 
 /// One decoded RPC as it travels from a network worker to the service
 /// thread. `conn` is an opaque routing token the net layer uses to find the
 /// connection again; `time` is the arrival stamp in service seconds.
 struct WireRequest {
-  double time = 0.0;
+  double time = 0.0;  ///< span stamp: request fully read (t_read)
   std::uint64_t conn = 0;
   proto::Verb verb = proto::Verb::kRequestWork;
   std::uint32_t device = 0;
   std::uint64_t seq = 0;
+  /// Span stamp: pushed onto the uplink queue. Defaults to `time` so
+  /// directly-constructed requests (tests, benches) carry a zero-width
+  /// enqueue stage rather than a bogus one. 0.0 also works: the span
+  /// echo re-clamps.
+  double t_enqueue = 0.0;
+  /// proto::kFlag* bits from the request's optional tail.
+  std::uint8_t flags = 0;
   // --- kReportResult payload ---
   std::uint64_t result_id = 0;
   double reported_runtime = 0.0;
@@ -68,15 +99,40 @@ struct WireRequest {
   std::uint64_t corruption_tag = 0;
   bool computation_error = false;
   bool silent_error = false;
+  // --- kGetMetrics payload ---
+  proto::MetricsFormat metrics_format = proto::MetricsFormat::kPrometheus;
 
   MergeKey key() const { return {time, MergeLane::kMessage, device, seq}; }
 };
 
-/// One encoded response frame, routed back by connection token.
+/// One encoded response frame, routed back by connection token. The verb /
+/// device / seq / decision-stamp echo lets the net layer attribute the
+/// reply's write time to the right per-verb histogram and flight events
+/// without re-decoding its own bytes.
 struct WireResponse {
   std::uint64_t conn = 0;
+  proto::Verb verb = proto::Verb::kError;
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+  double t_decision = 0.0;
   std::vector<std::uint8_t> bytes;
 };
+
+/// Stage-histogram bucketing for span accounting: one histogram set per
+/// request class, not per raw verb (error replies fold into the class of
+/// the verb that caused them).
+enum class RpcClass : std::uint8_t {
+  kRequestWork = 0,
+  kReport,
+  kStatus,
+  kOther,  ///< admin verbs (metrics, diagnostics) and unknown verbs
+  kCount,
+};
+inline constexpr std::size_t kRpcClassCount =
+    static_cast<std::size_t>(RpcClass::kCount);
+
+RpcClass rpc_class(proto::Verb request_verb);
+const char* rpc_class_name(RpcClass c);
 
 class GridService {
  public:
@@ -97,11 +153,39 @@ class GridService {
   /// Single-request convenience (tests): merge-orders a batch of one.
   WireResponse handle(const WireRequest& request);
 
+  // --- live-observability wiring (all single-threaded, like the rest) ------
+
+  /// Decision-stamp source (service seconds). Defaults to the batch
+  /// dequeue time, which keeps direct/test use deterministic; the net
+  /// layer injects its wall×scale clock so service_seconds is real.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+  /// Answers kGetMetrics. The net layer injects its snapshotter (which
+  /// merges worker-side data in); without one the service renders its own
+  /// registry.
+  void set_metrics_provider(
+      std::function<std::string(proto::MetricsFormat)> provider) {
+    metrics_provider_ = std::move(provider);
+  }
+  /// Answers kDumpDiagnostics with (path, events). The net layer injects
+  /// the merged flight-record dump; without one the service dumps its own
+  /// tracer ring.
+  void set_diagnostics_sink(
+      std::function<std::pair<std::string, std::uint64_t>()> sink) {
+    diagnostics_sink_ = std::move(sink);
+  }
+  /// Service-seconds per wall-second (the net layer's time_scale), used to
+  /// report wall-clock uptime in get_status. 1.0 when unset.
+  void set_time_scale(double scale) { time_scale_ = scale; }
+
   // --- introspection -------------------------------------------------------
+  const ServiceConfig& config() const { return config_; }
   const ProjectServer& project() const { return project_; }
   ProjectServer& project() { return project_; }
   const faults::FaultSchedule& fault_schedule() const { return faults_; }
   obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
   std::uint64_t rpc_requests() const { return rpc_requests_; }
   std::size_t deadlines_armed() const { return deadlines_.armed(); }
   double last_batch_time() const { return now_; }
@@ -109,14 +193,32 @@ class GridService {
  private:
   void apply(const WireRequest& m, std::vector<WireResponse>& out);
   void respond_busy(const WireRequest& m, std::vector<WireResponse>& out);
+  /// The sampled span slow path (stage histogram observes + flight
+  /// event): runs 1-in-span_sample_every sends and resets the countdown.
+  /// Out of line to keep send<Msg>()'s per-reply code to the cursor
+  /// decrement and the SLO compare.
+  void note_span(const WireRequest& m, double t_read, double t_deq,
+                 double t_dec);
+
+  template <typename Msg>
+  void send(const WireRequest& m, std::vector<WireResponse>& out, Msg msg);
+  std::string default_metrics(proto::MetricsFormat format) const;
+  std::pair<std::string, std::uint64_t> default_diagnostics_dump();
 
   ServiceConfig config_;
   ProjectServer project_;
   faults::FaultSchedule faults_;
   DeadlineBook deadlines_;
   obs::Registry registry_;
+  obs::Tracer tracer_;
+  std::function<double()> clock_;
+  std::function<std::string(proto::MetricsFormat)> metrics_provider_;
+  std::function<std::pair<std::string, std::uint64_t>()> diagnostics_sink_;
+  double time_scale_ = 1.0;
   double now_ = 0.0;
+  double dequeue_time_ = 0.0;  ///< current batch's drain stamp (t_dequeue)
   std::uint64_t rpc_requests_ = 0;
+  std::uint32_t span_countdown_ = 1;  ///< 1-in-span_sample_every cursor
 
   // Batch scratch, reused across drains.
   std::vector<DeadlineBook::Due> due_scratch_;
@@ -130,7 +232,13 @@ class GridService {
   obs::MetricId ctr_duplicate_reports_;
   obs::MetricId ctr_status_;
   obs::MetricId ctr_errors_;
+  obs::MetricId ctr_metrics_;
+  obs::MetricId ctr_diagnostics_;
+  obs::MetricId ctr_slo_violations_;
   obs::MetricId hist_issue_wait_;  ///< arrival -> handled, seconds
+  // Per-class span stage histograms (single-writer, service thread only).
+  std::array<obs::MetricId, kRpcClassCount> hist_queue_wait_{};
+  std::array<obs::MetricId, kRpcClassCount> hist_service_{};
 };
 
 /// Deterministic synthetic catalogue for service benchmarking: `count`

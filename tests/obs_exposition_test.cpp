@@ -1,0 +1,123 @@
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hcmd::obs {
+namespace {
+
+TEST(Exposition, SanitizeMapsDotsToUnderscores) {
+  EXPECT_EQ(Exposition::sanitize("hcmd_", "rpc.issue_wait_seconds"),
+            "hcmd_rpc_issue_wait_seconds");
+  EXPECT_EQ(Exposition::sanitize("", "a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(Exposition::sanitize("p_", "ok_name9"), "p_ok_name9");
+}
+
+TEST(Exposition, CountersAccumulateAndRenderSorted) {
+  Exposition e;
+  e.add_counter("zeta", 2);
+  e.add_counter("alpha", 40);
+  e.add_counter("alpha", 2);
+  const std::string text = e.prometheus("t_");
+  const std::string expected =
+      "# TYPE t_alpha_total counter\n"
+      "t_alpha_total 42\n"
+      "# TYPE t_zeta_total counter\n"
+      "t_zeta_total 2\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(Exposition, GaugesOverwriteNotAccumulate) {
+  Exposition e;
+  e.add_gauge("temp", 1.5);
+  e.add_gauge("temp", 2.5);
+  const std::string text = e.prometheus("t_");
+  EXPECT_NE(text.find("# TYPE t_temp gauge\nt_temp 2.5\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("1.5"), std::string::npos);
+}
+
+TEST(Exposition, HistogramRendersSummaryWithQuantiles) {
+  Exposition e;
+  LogHistogram h;
+  h.record(1.0);
+  h.record(2.0);
+  e.add_histogram("lat.seconds", h);
+  const std::string text = e.prometheus("t_");
+  EXPECT_NE(text.find("# TYPE t_lat_seconds summary"), std::string::npos);
+  for (const char* q : {"0.5", "0.9", "0.99", "0.999"})
+    EXPECT_NE(text.find("t_lat_seconds{quantile=\"" + std::string(q) +
+                        "\"} "),
+              std::string::npos)
+        << q;
+  EXPECT_NE(text.find("t_lat_seconds_sum 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_seconds_count 2\n"), std::string::npos);
+}
+
+TEST(Exposition, AddHistogramMergesUnderOneName) {
+  Exposition e;
+  LogHistogram a;
+  a.record(1.0);
+  LogHistogram b;
+  b.record(3.0);
+  e.add_histogram("h", a);
+  e.add_histogram("h", b);
+  const std::string text = e.prometheus("t_");
+  EXPECT_NE(text.find("t_h_sum 4\n"), std::string::npos);
+  EXPECT_NE(text.find("t_h_count 2\n"), std::string::npos);
+}
+
+TEST(Exposition, AbsorbPullsRegistryCountersAndHistograms) {
+  Registry r;
+  r.add(r.intern_counter("hits"), 7);
+  r.observe(r.intern_histogram("wait"), 0.5);
+  Exposition e;
+  e.absorb(r);
+  const std::string text = e.prometheus("t_");
+  EXPECT_NE(text.find("t_hits_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_count 1\n"), std::string::npos);
+}
+
+TEST(Exposition, DeterministicOutput) {
+  // Two expositions built from identical state render byte-identically —
+  // the snapshotter depends on this for cheap change detection.
+  auto build = [] {
+    Exposition e;
+    e.add_counter("b", 1);
+    e.add_counter("a", 2);
+    e.add_gauge("g", 3.25);
+    LogHistogram h;
+    h.record(0.125);
+    e.add_histogram("lat", h);
+    return e;
+  };
+  EXPECT_EQ(build().prometheus(), build().prometheus());
+  EXPECT_EQ(build().json(), build().json());
+}
+
+TEST(Exposition, JsonSnapshotShape) {
+  Exposition e;
+  e.add_counter("hits", 3);
+  e.add_gauge("scale", 2.0);
+  LogHistogram h;
+  h.record(1.0);
+  e.add_histogram("lat", h);
+  const std::string doc = e.json();
+  EXPECT_NE(doc.find("\"kind\":\"hcmd-metrics-snapshot\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"hits\":3"), std::string::npos);
+  EXPECT_NE(doc.find("\"scale\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"lat\":{\"count\":1"), std::string::npos);
+}
+
+TEST(Exposition, EmptyRendersEmpty) {
+  const Exposition e;
+  EXPECT_EQ(e.prometheus(), "");
+  const std::string doc = e.json();
+  EXPECT_NE(doc.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\":{}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcmd::obs

@@ -140,6 +140,85 @@ TEST(LogHistogramTest, EmptyIsAllZero) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 
+TEST(LogHistogramTest, MergeMatchesSingleRecorderBinExactly) {
+  // Splitting a sample stream across two recorders and merging must be
+  // indistinguishable from one recorder seeing everything: same bins, same
+  // count, same min/max, same quantiles.
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram whole;
+  for (int i = 0; i < 997; ++i) {
+    // Spread over ~9 decades so many distinct bins are hit.
+    const double v = 1e-6 * std::pow(1.31, i % 75);
+    whole.record(v);
+    ((i % 3 == 0) ? a : b).record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.counts(), whole.counts());
+  EXPECT_EQ(a.total(), whole.total());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  // The sums accumulate in a different order; allow rounding drift only.
+  EXPECT_NEAR(a.sum(), whole.sum(), 1e-9 * whole.sum());
+  for (const double p : {0.0, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(a.quantile(p), whole.quantile(p)) << "p=" << p;
+}
+
+TEST(LogHistogramTest, MergeEmptyIsIdentity) {
+  LogHistogram h;
+  h.record(3.0);
+  h.record(5.0);
+  const LogHistogram empty;
+  h.merge(empty);  // no-op: stats unchanged
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.0);
+
+  LogHistogram into;
+  into.merge(h);  // merge into empty adopts the source's stats
+  EXPECT_EQ(into.counts(), h.counts());
+  EXPECT_EQ(into.total(), 2u);
+  EXPECT_DOUBLE_EQ(into.min(), 3.0);
+  EXPECT_DOUBLE_EQ(into.max(), 5.0);
+
+  LogHistogram both_empty;
+  both_empty.merge(empty);
+  EXPECT_EQ(both_empty.total(), 0u);
+  EXPECT_DOUBLE_EQ(both_empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(both_empty.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogramTest, SelfMergeDoubles) {
+  LogHistogram h;
+  h.record(1.0);
+  h.record(8.0);
+  h.merge(h);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 18.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  std::uint64_t binned = 0;
+  for (std::uint64_t c : h.counts()) binned += c;
+  EXPECT_EQ(binned, 4u);
+}
+
+TEST(LogHistogramTest, MergeCombinesClampedEdgeBins) {
+  // Out-of-range samples clamp to the edge bins; merging two histograms
+  // that clamped on opposite ends keeps both edges and the true min/max.
+  LogHistogram lo;
+  lo.record(0.0);     // below range
+  lo.record(-2.0);    // negative clamps to zero before the stats
+  LogHistogram hi;
+  hi.record(1e300);   // above range
+  lo.merge(hi);
+  EXPECT_EQ(lo.total(), 3u);
+  EXPECT_DOUBLE_EQ(lo.min(), 0.0);
+  EXPECT_DOUBLE_EQ(lo.max(), 1e300);
+  EXPECT_EQ(lo.counts().front(), 2u);
+  EXPECT_EQ(lo.counts().back(), 1u);
+}
+
 TEST(Registry, HistogramObserve) {
   Registry r;
   const MetricId id = r.intern_histogram("latency");

@@ -215,20 +215,199 @@ TEST(Protocol, TruncatedPayloadThrows) {
   EXPECT_THROW(proto::decode_report_result(*f), hcmd::ParseError);
 }
 
-TEST(Protocol, TrailingBytesThrow) {
-  // A layout mismatch between peers must fail loudly, not silently ignore
-  // the extra fields.
-  std::vector<std::uint8_t> buf;
-  proto::RequestWork m;
-  proto::encode(m, buf);
-  buf.push_back(0xAA);  // extra payload byte
+/// Appends `extra` raw bytes to the encoded frame in `buf` and patches the
+/// length prefix so the frame still extracts.
+proto::Frame widen_frame(std::vector<std::uint8_t>& buf,
+                         std::initializer_list<std::uint8_t> extra) {
+  for (const std::uint8_t b : extra) buf.push_back(b);
   const std::uint32_t len = static_cast<std::uint32_t>(buf.size() - 4);
   for (int i = 0; i < 4; ++i)
     buf[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(len >> (8 * i));
   std::size_t off = 0;
   const std::optional<proto::Frame> f = proto::try_extract(buf, off);
-  ASSERT_TRUE(f.has_value());
-  EXPECT_THROW(proto::decode_request_work(*f), hcmd::ParseError);
+  EXPECT_TRUE(f.has_value());
+  return *f;
+}
+
+TEST(Protocol, TrailingBytesThrow) {
+  // A layout mismatch between peers must fail loudly, not silently ignore
+  // the extra fields. One trailing byte on a request is the 1.1 flags tail
+  // (tested separately); two junk bytes fit no known tail and must throw.
+  std::vector<std::uint8_t> buf;
+  proto::RequestWork m;
+  const proto::Frame f = widen_frame((proto::encode(m, buf), buf),
+                                     {0xAA, 0xBB});
+  EXPECT_THROW(proto::decode_request_work(f), hcmd::ParseError);
+
+  // Responses accept only the exact 32-byte span tail: any other trailing
+  // size is a layout mismatch.
+  std::vector<std::uint8_t> rbuf;
+  proto::NoWork nw;
+  const proto::Frame rf = widen_frame((proto::encode(nw, rbuf), rbuf),
+                                      {1, 2, 3});
+  EXPECT_THROW(proto::decode_no_work(rf), hcmd::ParseError);
+}
+
+TEST(Protocol, OneTrailingByteIsTheFlagsTail) {
+  // A 1.1 peer appending a flags byte decodes on this build; a 1.0-encoded
+  // frame (no tail) decodes with flags == 0. That pair is the compat
+  // contract.
+  std::vector<std::uint8_t> buf;
+  proto::RequestWork m;
+  const proto::Frame f = widen_frame((proto::encode(m, buf), buf),
+                                     {proto::kFlagWantSpan});
+  EXPECT_EQ(proto::decode_request_work(f).flags, proto::kFlagWantSpan);
+}
+
+TEST(Protocol, FlagsRoundTripOnRequestVerbs) {
+  std::vector<std::uint8_t> buf;
+  proto::RequestWork rw;
+  rw.flags = proto::kFlagWantSpan;
+  proto::encode(rw, buf);
+  EXPECT_EQ(proto::decode_request_work(extract_one(buf)).flags,
+            proto::kFlagWantSpan);
+  buf.clear();
+
+  proto::ReportResult rr;
+  rr.flags = proto::kFlagWantSpan;
+  proto::encode(rr, buf);
+  EXPECT_EQ(proto::decode_report_result(extract_one(buf)).flags,
+            proto::kFlagWantSpan);
+  buf.clear();
+
+  proto::GetStatus gs;
+  gs.flags = proto::kFlagWantSpan;
+  proto::encode(gs, buf);
+  EXPECT_EQ(proto::decode_get_status(extract_one(buf)).flags,
+            proto::kFlagWantSpan);
+}
+
+TEST(Protocol, FlaglessEncodingIsByteIdenticalToProtocol10) {
+  // flags == 0 must encode to the 1.0 frame layout, byte for byte lengths:
+  // 4 (len) + 1 (verb) + payload. These sizes are pinned so a silent tail
+  // can never sneak into the default encoding.
+  std::vector<std::uint8_t> buf;
+  proto::RequestWork rw;
+  proto::encode(rw, buf);
+  EXPECT_EQ(buf.size(), 4u + 1u + 12u);  // device u32 + seq u64
+  buf.clear();
+  proto::GetStatus gs;
+  proto::encode(gs, buf);
+  EXPECT_EQ(buf.size(), 4u + 1u + 12u);
+  buf.clear();
+  proto::NoWork nw;
+  proto::encode(nw, buf);
+  EXPECT_EQ(buf.size(), 4u + 1u + 13u);  // device + seq + bool
+}
+
+TEST(Protocol, SpanBlockRoundTripsOnFleetResponses) {
+  const proto::SpanBlock span{1.5, 1.625, 2.0, 2.25};
+  std::vector<std::uint8_t> buf;
+
+  proto::Assignment a;
+  a.device = 3;
+  a.seq = 4;
+  a.span = span;
+  proto::encode(a, buf);
+  const proto::Assignment da = proto::decode_assignment(extract_one(buf));
+  ASSERT_TRUE(da.span.has_value());
+  EXPECT_EQ(da.span->t_read, 1.5);
+  EXPECT_EQ(da.span->t_enqueue, 1.625);
+  EXPECT_EQ(da.span->t_dequeue, 2.0);
+  EXPECT_EQ(da.span->t_decision, 2.25);
+  buf.clear();
+
+  proto::Busy b;
+  b.retry_after = 60.0;
+  b.span = span;
+  proto::encode(b, buf);
+  const proto::Busy db = proto::decode_busy(extract_one(buf));
+  ASSERT_TRUE(db.span.has_value());
+  EXPECT_EQ(db.span->t_decision, 2.25);
+  EXPECT_EQ(db.retry_after, 60.0);
+  buf.clear();
+
+  // Absent span stays absent.
+  proto::ReportAck ack;
+  proto::encode(ack, buf);
+  EXPECT_FALSE(proto::decode_report_ack(extract_one(buf)).span.has_value());
+}
+
+TEST(Protocol, StatusExtendedFieldsRoundTrip) {
+  proto::Status m;
+  m.uptime_seconds = 12.5;
+  m.rpc_assignments = 1;
+  m.rpc_no_work = 2;
+  m.rpc_busy = 3;
+  m.rpc_reports = 4;
+  m.rpc_duplicate_reports = 5;
+  m.rpc_status = 6;
+  m.rpc_errors = 7;
+  m.span = proto::SpanBlock{0.5, 0.5, 1.0, 1.5};
+  std::vector<std::uint8_t> buf;
+  proto::encode(m, buf);
+  const proto::Status d = proto::decode_status(extract_one(buf));
+  EXPECT_EQ(d.uptime_seconds, 12.5);
+  EXPECT_EQ(d.rpc_assignments, 1u);
+  EXPECT_EQ(d.rpc_no_work, 2u);
+  EXPECT_EQ(d.rpc_busy, 3u);
+  EXPECT_EQ(d.rpc_reports, 4u);
+  EXPECT_EQ(d.rpc_duplicate_reports, 5u);
+  EXPECT_EQ(d.rpc_status, 6u);
+  EXPECT_EQ(d.rpc_errors, 7u);
+  ASSERT_TRUE(d.span.has_value());
+  EXPECT_EQ(d.span->t_dequeue, 1.0);
+}
+
+TEST(Protocol, MetricsVerbsRoundTrip) {
+  std::vector<std::uint8_t> buf;
+
+  proto::GetMetrics gm;
+  gm.device = 1;
+  gm.seq = 2;
+  gm.format = proto::MetricsFormat::kJson;
+  proto::encode(gm, buf);
+  const proto::GetMetrics dgm = proto::decode_get_metrics(extract_one(buf));
+  EXPECT_EQ(dgm.device, 1u);
+  EXPECT_EQ(dgm.seq, 2u);
+  EXPECT_EQ(dgm.format, proto::MetricsFormat::kJson);
+  buf.clear();
+
+  proto::Metrics me;
+  me.device = 1;
+  me.seq = 2;
+  me.format = proto::MetricsFormat::kPrometheus;
+  me.text = "# TYPE hcmd_rpc_requests_total counter\n"
+            "hcmd_rpc_requests_total 9\n";
+  proto::encode(me, buf);
+  const proto::Metrics dme = proto::decode_metrics(extract_one(buf));
+  EXPECT_EQ(dme.format, proto::MetricsFormat::kPrometheus);
+  EXPECT_EQ(dme.text, me.text);
+}
+
+TEST(Protocol, DiagnosticsVerbsRoundTrip) {
+  std::vector<std::uint8_t> buf;
+
+  proto::DumpDiagnostics dd;
+  dd.device = 9;
+  dd.seq = 10;
+  proto::encode(dd, buf);
+  const proto::DumpDiagnostics ddd =
+      proto::decode_dump_diagnostics(extract_one(buf));
+  EXPECT_EQ(ddd.device, 9u);
+  EXPECT_EQ(ddd.seq, 10u);
+  buf.clear();
+
+  proto::DiagnosticsAck da;
+  da.device = 9;
+  da.seq = 10;
+  da.events = 16384;
+  da.path = "flight-1234.jsonl";
+  proto::encode(da, buf);
+  const proto::DiagnosticsAck dda =
+      proto::decode_diagnostics_ack(extract_one(buf));
+  EXPECT_EQ(dda.events, 16384u);
+  EXPECT_EQ(dda.path, "flight-1234.jsonl");
 }
 
 TEST(Protocol, WrongVerbThrows) {

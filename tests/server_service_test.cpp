@@ -313,6 +313,185 @@ TEST(GridService, RejectsBadConfig) {
   config.max_devices = 0;
   EXPECT_THROW(GridService(synthetic_catalog(2, 4.0), config),
                hcmd::ConfigError);
+
+  ServiceConfig slo = quorum1_config();
+  slo.slo_latency_seconds = 0.0;
+  EXPECT_THROW(GridService(synthetic_catalog(2, 4.0), slo),
+               hcmd::ConfigError);
+
+  ServiceConfig burn = quorum1_config();
+  burn.slo_budget_fraction = -0.5;
+  EXPECT_THROW(GridService(synthetic_catalog(2, 4.0), burn),
+               hcmd::ConfigError);
+}
+
+TEST(GridService, SpanEchoFollowsTheRequestFlag) {
+  ServiceConfig config = quorum1_config();
+  config.span_sample_every = 1;  // record every RPC: totals are exact below
+  GridService svc(synthetic_catalog(8, 4.0), config);
+
+  // Without the flag: no tail, a 1.0 client sees the 1.0 frame.
+  const proto::Assignment plain = proto::decode_assignment(
+      sole_frame(svc.handle(request_work(0, 1, 5.0))));
+  EXPECT_FALSE(plain.span.has_value());
+
+  // With the flag: a monotone server-side timeline comes back.
+  WireRequest m = request_work(1, 2, 6.0);
+  m.flags = proto::kFlagWantSpan;
+  m.t_enqueue = 6.0009765625;
+  const proto::Assignment a =
+      proto::decode_assignment(sole_frame(svc.handle(m)));
+  ASSERT_TRUE(a.span.has_value());
+  EXPECT_EQ(a.span->t_read, 6.0);
+  EXPECT_EQ(a.span->t_enqueue, 6.0009765625);
+  EXPECT_GE(a.span->t_dequeue, a.span->t_enqueue);
+  EXPECT_GE(a.span->t_decision, a.span->t_dequeue);
+
+  // The stage histograms saw the request-work class.
+  const auto* queue_wait =
+      svc.registry().histogram(
+          svc.registry().find("rpc.request_work.queue_wait_seconds"));
+  ASSERT_NE(queue_wait, nullptr);
+  EXPECT_EQ(queue_wait->total(), 2u);
+}
+
+TEST(GridService, SpanSamplingThinsStatisticsButNotTheExactLanes) {
+  ServiceConfig config = quorum1_config();
+  config.span_sample_every = 4;
+  GridService svc(synthetic_catalog(16, 4.0), config);
+  for (std::uint64_t s = 1; s <= 8; ++s) {
+    WireRequest m = request_work(0, s, 5.0 + static_cast<double>(s));
+    m.flags = proto::kFlagWantSpan;
+    const proto::Frame f = sole_frame(svc.handle(m));
+    // Exact lane: the echo answers every flagged request, sampled or not.
+    EXPECT_TRUE(proto::decode_assignment(f).span.has_value());
+  }
+  // Exact lane: every verb still bumps its counter.
+  EXPECT_EQ(svc.registry().total("rpc.requests"), 8u);
+  // Sampled lane: the countdown starts at 1 (the first send always
+  // records), so 8 sends at 1-in-4 hit sends #1 and #5.
+  const auto* queue_wait =
+      svc.registry().histogram(
+          svc.registry().find("rpc.request_work.queue_wait_seconds"));
+  ASSERT_NE(queue_wait, nullptr);
+  EXPECT_EQ(queue_wait->total(), 2u);
+}
+
+TEST(GridService, SpansOffDisablesEchoAndStageHistograms) {
+  ServiceConfig config = quorum1_config();
+  config.spans = false;
+  GridService svc(synthetic_catalog(8, 4.0), config);
+  WireRequest m = request_work(0, 1, 5.0);
+  m.flags = proto::kFlagWantSpan;  // the client may still ask
+  const proto::Assignment a =
+      proto::decode_assignment(sole_frame(svc.handle(m)));
+  EXPECT_FALSE(a.span.has_value());
+  const auto* queue_wait =
+      svc.registry().histogram(
+          svc.registry().find("rpc.request_work.queue_wait_seconds"));
+  ASSERT_NE(queue_wait, nullptr);
+  EXPECT_EQ(queue_wait->total(), 0u);
+}
+
+TEST(GridService, SloViolationsCountAgainstTheObjective) {
+  ServiceConfig config = quorum1_config();
+  config.slo_latency_seconds = 1.0;
+  GridService svc(synthetic_catalog(8, 4.0), config);
+
+  // Decision clock pinned 2 s after arrival: every request_work blows the
+  // 1 s objective.
+  svc.set_clock([] { return 12.0; });
+  svc.handle(request_work(0, 1, 10.0));
+  EXPECT_EQ(svc.registry().total("slo.latency_violations"), 1u);
+
+  // Within the objective: no violation.
+  svc.set_clock([] { return 12.5; });
+  svc.handle(request_work(1, 2, 12.0));
+  EXPECT_EQ(svc.registry().total("slo.latency_violations"), 1u);
+
+  // Reports are not part of the issue-latency SLO.
+  svc.set_clock([] { return 100.0; });
+  WireRequest q;
+  q.verb = proto::Verb::kGetStatus;
+  q.device = 0;
+  q.seq = 3;
+  q.time = 50.0;
+  svc.handle(q);
+  EXPECT_EQ(svc.registry().total("slo.latency_violations"), 1u);
+}
+
+TEST(GridService, StatusCarriesUptimeAndPerVerbCounters) {
+  GridService svc(synthetic_catalog(2, 4.0), quorum1_config());
+  svc.set_time_scale(10.0);  // 10 service seconds per wall second
+  const proto::Assignment a = proto::decode_assignment(
+      sole_frame(svc.handle(request_work(0, 1, 0.0))));
+  proto::decode_report_ack(sole_frame(svc.handle(report(0, 2, 10.0, a))));
+  svc.handle(request_work(1, 3, 20.0));
+
+  WireRequest q;
+  q.verb = proto::Verb::kGetStatus;
+  q.device = 0;
+  q.seq = 4;
+  q.time = 30.0;
+  const proto::Status s = proto::decode_status(sole_frame(svc.handle(q)));
+  EXPECT_DOUBLE_EQ(s.uptime_seconds, 3.0);  // 30 service s / scale 10
+  EXPECT_EQ(s.rpc_assignments, 2u);
+  EXPECT_EQ(s.rpc_no_work, 0u);
+  EXPECT_EQ(s.rpc_reports, 1u);
+  EXPECT_EQ(s.rpc_duplicate_reports, 0u);
+  EXPECT_EQ(s.rpc_status, 1u);
+  EXPECT_EQ(s.rpc_errors, 0u);
+}
+
+TEST(GridService, GetMetricsRendersTheRegistry) {
+  GridService svc(synthetic_catalog(4, 4.0), quorum1_config());
+  svc.handle(request_work(0, 1, 0.0));
+
+  WireRequest q;
+  q.verb = proto::Verb::kGetMetrics;
+  q.device = 0;
+  q.seq = 2;
+  q.time = 1.0;
+  q.metrics_format = proto::MetricsFormat::kPrometheus;
+  const proto::Metrics m = proto::decode_metrics(sole_frame(svc.handle(q)));
+  EXPECT_EQ(m.device, 0u);
+  EXPECT_EQ(m.seq, 2u);
+  EXPECT_EQ(m.format, proto::MetricsFormat::kPrometheus);
+  EXPECT_NE(m.text.find("hcmd_rpc_requests_total 2"), std::string::npos)
+      << m.text;
+
+  q.seq = 3;
+  q.metrics_format = proto::MetricsFormat::kJson;
+  const proto::Metrics j = proto::decode_metrics(sole_frame(svc.handle(q)));
+  EXPECT_NE(j.text.find("\"kind\":\"hcmd-metrics-snapshot\""),
+            std::string::npos);
+  EXPECT_EQ(svc.registry().total("rpc.metrics"), 2u);
+
+  // A custom provider (the GridServer wires one that folds in worker-side
+  // histograms) takes over rendering.
+  svc.set_metrics_provider(
+      [](proto::MetricsFormat) { return std::string("custom"); });
+  q.seq = 4;
+  EXPECT_EQ(proto::decode_metrics(sole_frame(svc.handle(q))).text, "custom");
+}
+
+TEST(GridService, DumpDiagnosticsUsesTheInjectedSink) {
+  GridService svc(synthetic_catalog(4, 4.0), quorum1_config());
+  svc.set_diagnostics_sink(
+      [] { return std::make_pair(std::string("flight-test.jsonl"),
+                                 std::uint64_t{42}); });
+  WireRequest q;
+  q.verb = proto::Verb::kDumpDiagnostics;
+  q.device = 7;
+  q.seq = 8;
+  q.time = 1.0;
+  const proto::DiagnosticsAck ack =
+      proto::decode_diagnostics_ack(sole_frame(svc.handle(q)));
+  EXPECT_EQ(ack.device, 7u);
+  EXPECT_EQ(ack.seq, 8u);
+  EXPECT_EQ(ack.path, "flight-test.jsonl");
+  EXPECT_EQ(ack.events, 42u);
+  EXPECT_EQ(svc.registry().total("rpc.diagnostics"), 1u);
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <thread>
 #include <vector>
@@ -60,9 +62,14 @@ class WireTest : public ::testing::Test {
   void start_server(std::size_t workunits, ServiceConfig config,
                     double time_scale = 1.0) {
     NetOptions net;
+    net.time_scale = time_scale;
+    start_server_with(workunits, std::move(config), net);
+  }
+
+  void start_server_with(std::size_t workunits, ServiceConfig config,
+                         NetOptions net) {
     net.port = 0;  // ephemeral
     net.workers = 2;
-    net.time_scale = time_scale;
     server_ = std::make_unique<GridServer>(
         synthetic_catalog(workunits, 4.0), std::move(config), net);
     server_->start();
@@ -362,6 +369,155 @@ TEST_F(WireTest, LoadgenDrainsCatalog) {
   const std::string json = client::loadgen_json(opts, report);
   EXPECT_NE(json.find("\"requests_per_sec\""), std::string::npos);
   EXPECT_NE(json.find("\"kind\":\"loadgen\""), std::string::npos);
+  // Spans default on: every scheduler/ack reply carried an echo, and the
+  // JSON surfaces the server_spans stage breakdown.
+  EXPECT_EQ(report.span_replies, report.replies);
+  EXPECT_EQ(report.span_total.total(), report.replies);
+  EXPECT_NE(json.find("\"server_spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+  EXPECT_GT(report.server_status.uptime_seconds, 0.0);
+  EXPECT_GE(report.server_status.rpc_assignments, 512u);
+}
+
+TEST_F(WireTest, SpanEchoOverTheWire) {
+  start_server(8, quorum1_config());
+  WireClient c("127.0.0.1", server_->port());
+
+  // Flagless request: the 1.0 frame comes back, no tail.
+  c.queue(request_work(0, 1));
+  c.flush();
+  const WireReply plain = c.recv_reply();
+  ASSERT_EQ(plain.verb, proto::Verb::kAssignment);
+  EXPECT_FALSE(plain.span().has_value());
+
+  // Flagged request: a monotone server-side timeline in service seconds.
+  proto::RequestWork m = request_work(1, 2);
+  m.flags = proto::kFlagWantSpan;
+  c.queue(m);
+  c.flush();
+  const WireReply r = c.recv_reply();
+  ASSERT_EQ(r.verb, proto::Verb::kAssignment);
+  const std::optional<proto::SpanBlock> span = r.span();
+  ASSERT_TRUE(span.has_value());
+  EXPECT_GE(span->t_enqueue, span->t_read);
+  EXPECT_GE(span->t_dequeue, span->t_enqueue);
+  EXPECT_GE(span->t_decision, span->t_dequeue);
+  EXPECT_GE(span->t_read, 0.0);
+}
+
+TEST_F(WireTest, GetMetricsOverTheWire) {
+  start_server(8, quorum1_config());
+  WireClient c("127.0.0.1", server_->port());
+  c.queue(request_work(0, 1));
+  c.flush();
+  ASSERT_EQ(c.recv_reply().verb, proto::Verb::kAssignment);
+
+  proto::GetMetrics q;
+  q.device = 0;
+  q.seq = 2;
+  q.format = proto::MetricsFormat::kPrometheus;
+  c.queue(q);
+  c.flush();
+  const WireReply r = c.recv_reply();
+  ASSERT_EQ(r.verb, proto::Verb::kMetrics);
+  EXPECT_EQ(r.metrics.format, proto::MetricsFormat::kPrometheus);
+  EXPECT_NE(r.metrics.text.find("hcmd_rpc_requests_total"),
+            std::string::npos);
+  EXPECT_NE(r.metrics.text.find("hcmd_net_frames_in_total"),
+            std::string::npos);
+  EXPECT_LE(r.metrics.text.size() + 64, proto::kMaxFrameBytes);
+
+  q.seq = 3;
+  q.format = proto::MetricsFormat::kJson;
+  c.queue(q);
+  c.flush();
+  const WireReply j = c.recv_reply();
+  ASSERT_EQ(j.verb, proto::Verb::kMetrics);
+  EXPECT_NE(j.metrics.text.find("\"hcmd-metrics-snapshot\""),
+            std::string::npos);
+}
+
+TEST_F(WireTest, DumpDiagnosticsOverTheWire) {
+  NetOptions net;
+  net.flight_prefix = "/tmp/hcmd-wiretest-flight";
+  start_server_with(8, quorum1_config(), net);
+  WireClient c("127.0.0.1", server_->port());
+  c.queue(request_work(0, 1));
+  c.flush();
+  ASSERT_EQ(c.recv_reply().verb, proto::Verb::kAssignment);
+
+  proto::DumpDiagnostics q;
+  q.device = 0;
+  q.seq = 2;
+  c.queue(q);
+  c.flush();
+  const WireReply r = c.recv_reply();
+  ASSERT_EQ(r.verb, proto::Verb::kDiagnosticsAck);
+  EXPECT_EQ(r.diagnostics.device, 0u);
+  EXPECT_EQ(r.diagnostics.seq, 2u);
+  ASSERT_FALSE(r.diagnostics.path.empty());
+  EXPECT_EQ(r.diagnostics.path.rfind("/tmp/hcmd-wiretest-flight-", 0), 0u);
+  EXPECT_GT(r.diagnostics.events, 0u);
+
+  // The dump is a readable JSONL file with at least one rpc event.
+  std::ifstream in(r.diagnostics.path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  bool saw_rpc = false;
+  std::uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (line.find("\"cat\":\"rpc\"") != std::string::npos) saw_rpc = true;
+  }
+  EXPECT_EQ(lines, r.diagnostics.events);
+  EXPECT_TRUE(saw_rpc);
+  in.close();
+  std::remove(r.diagnostics.path.c_str());
+}
+
+TEST_F(WireTest, HttpMetricsListenerServesSnapshots) {
+  NetOptions net;
+  net.metrics_port = 0;      // ephemeral
+  net.snapshot_period = 0.05;
+  start_server_with(8, quorum1_config(), net);
+  ASSERT_NE(server_->metrics_port(), 0u);
+
+  WireClient c("127.0.0.1", server_->port());
+  c.queue(request_work(0, 1));
+  c.flush();
+  ASSERT_EQ(c.recv_reply().verb, proto::Verb::kAssignment);
+
+  // One-shot HTTP/1.0 GET against the metrics listener.
+  const auto http_get = [&](const std::string& target) {
+    WireClient raw("127.0.0.1", server_->metrics_port());
+    const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+    ::send(raw.fd(), req.data(), req.size(), MSG_NOSIGNAL);
+    std::string response;
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(raw.fd(), buf, sizeof buf, 0);
+      if (n <= 0) break;
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+    return response;
+  };
+
+  // The first snapshot fires one period after start; poll until it lands.
+  std::string response;
+  for (int i = 0; i < 100; ++i) {
+    response = http_get("/metrics");
+    if (response.find("hcmd_rpc_requests_total") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("hcmd_rpc_requests_total"), std::string::npos);
+
+  const std::string json = http_get("/metrics.json");
+  EXPECT_NE(json.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(json.find("hcmd-metrics-snapshot"), std::string::npos);
+
+  const std::string missing = http_get("/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
 }
 
 }  // namespace

@@ -32,7 +32,7 @@ import sys
 # Everything else in the snapshot is informational.
 FILTER = ("^BM_CampaignWeek$|^BM_EventQueue/|^BM_CampaignSharded/"
           "|^BM_MaxDoPosition/|^BM_MinimizeBatch/"
-          "|^BM_ServeThroughput$|^BM_ServeIssueP99/")
+          "|^BM_ServeThroughput/|^BM_ServeIssueP99/")
 
 # Same-run speedup floors: (scalar row, batched row, minimum ratio). The
 # two rows come from the same process on the same box, so machine speed
@@ -47,12 +47,27 @@ SPEEDUPS = [
      "BM_MinimizeBatch/batch:1/atoms:1200/lanes:10", 1.3),
 ]
 
+# Same-run overhead ceilings: (control row, instrumented row, max ratio).
+# The instrumented row may cost at most `ceiling` times the control row.
+# Used for the span/snapshotter observability path: spans:1 carries the
+# per-RPC stage histograms, flight-recorder events, span echoes and a
+# 0.25 s snapshotter, and must stay within 5% of spans:0.
+OVERHEADS = [
+    ("BM_ServeThroughput/spans:0/iterations:150",
+     "BM_ServeThroughput/spans:1/iterations:150", 1.05),
+]
+
+
+# real_time is reported in each benchmark's own time_unit; normalise to
+# nanoseconds so ratios and the printed milliseconds are unit-safe.
+_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
 
 def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
     return {
-        b["name"]: b["real_time"]
+        b["name"]: b["real_time"] * _NS.get(b.get("time_unit", "ns"), 1.0)
         for b in doc.get("benchmarks", [])
         if b.get("run_type", "iteration") == "iteration"
     }
@@ -88,6 +103,8 @@ def main():
     if not fresh:
         sys.exit("bench_gate: no benchmarks matched the filter")
 
+    # Each failure is a full sentence with the measured numbers, so a red CI
+    # run shows the baseline and current values without re-opening the JSON.
     failures = []
     missing = []
     for name in sorted(fresh):
@@ -105,7 +122,9 @@ def main():
         print(f"  {verdict:<6} {name}: {now/1e6:.3f} ms vs "
               f"{base/1e6:.3f} ms baseline (x{ratio:.2f})")
         if ratio > args.gate:
-            failures.append((name, ratio))
+            failures.append(f"{name}: baseline {base/1e6:.3f} ms, "
+                            f"current {now/1e6:.3f} ms "
+                            f"(x{ratio:.2f} > gate x{args.gate})")
 
     if missing:
         print(f"bench_gate: {len(missing)} benchmark(s) missing from "
@@ -115,8 +134,7 @@ def main():
         scalar_t = fresh.get(scalar_name)
         batch_t = fresh.get(batch_name)
         if scalar_t is None or batch_t is None or batch_t <= 0:
-            failures.append((f"{batch_name} (speedup row missing)",
-                             float("inf")))
+            failures.append(f"{batch_name}: speedup row missing from run")
             print(f"  FAIL   speedup {batch_name}: row missing from run")
             continue
         ratio = scalar_t / batch_t
@@ -124,12 +142,32 @@ def main():
         print(f"  {verdict:<6} speedup {batch_name}: x{ratio:.2f} vs "
               f"scalar (floor x{floor})")
         if ratio < floor:
-            failures.append((f"{batch_name} (speedup x{ratio:.2f} < "
-                             f"x{floor})", ratio))
+            failures.append(f"{batch_name}: scalar {scalar_t/1e6:.3f} ms, "
+                            f"batched {batch_t/1e6:.3f} ms "
+                            f"(speedup x{ratio:.2f} < floor x{floor})")
+
+    for control_name, instr_name, ceiling in OVERHEADS:
+        control_t = fresh.get(control_name)
+        instr_t = fresh.get(instr_name)
+        if control_t is None or instr_t is None or control_t <= 0:
+            failures.append(f"{instr_name}: overhead row missing from run")
+            print(f"  FAIL   overhead {instr_name}: row missing from run")
+            continue
+        ratio = instr_t / control_t
+        verdict = "FAIL" if ratio > ceiling else "ok"
+        print(f"  {verdict:<6} overhead {instr_name}: x{ratio:.2f} vs "
+              f"{control_name} (ceiling x{ceiling})")
+        if ratio > ceiling:
+            failures.append(f"{instr_name}: control {control_t/1e6:.3f} ms, "
+                            f"instrumented {instr_t/1e6:.3f} ms "
+                            f"(overhead x{ratio:.2f} > ceiling x{ceiling})")
+
     if failures:
-        worst = max(failures, key=lambda f: f[1])
-        sys.exit(f"bench_gate: {len(failures)} benchmark(s) regressed past "
-                 f"x{args.gate} (worst: {worst[0]} at x{worst[1]:.2f})")
+        print(f"bench_gate: {len(failures)} check(s) failed:")
+        for detail in failures:
+            print(f"  {detail}")
+        sys.exit(f"bench_gate: {len(failures)} benchmark check(s) failed "
+                 f"(details above)")
     print(f"bench_gate: {len(fresh)} benchmark(s) within x{args.gate} gate")
 
 

@@ -22,9 +22,11 @@
 //   --max-weeks <w>       override the simulation's hard stop
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <limits>
 #include <optional>
 #include <string>
@@ -353,6 +355,31 @@ int cmd_calibrate() {
 
 // --- grid service mode -----------------------------------------------------
 
+/// SIGTERM/SIGINT land here; the serve loop polls it every 100 ms, stops the
+/// server cleanly and dumps the flight record.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void handle_stop_signal(int sig) { g_stop_signal = sig; }
+
+/// Crash path: std::terminate (uncaught exception, broken invariant) dumps
+/// the flight record before aborting so the last seconds of RPC activity
+/// survive the corpse. Best effort — the merge may race a live worker.
+server::GridServer* g_serve_grid = nullptr;
+
+[[noreturn]] void serve_terminate_handler() {
+  server::GridServer* grid = g_serve_grid;
+  g_serve_grid = nullptr;  // never recurse through a second terminate
+  if (grid != nullptr) {
+    const server::GridServer::FlightDump dump = grid->dump_flight_record();
+    if (!dump.path.empty())
+      std::fprintf(stderr, "hcmdgrid: terminating; flight record %s "
+                   "(%llu events)\n",
+                   dump.path.c_str(),
+                   static_cast<unsigned long long>(dump.events));
+  }
+  std::abort();
+}
+
 void serve_usage() {
   std::fprintf(
       stderr,
@@ -368,7 +395,18 @@ void serve_usage() {
       "  --target-hours <h>   per-workunit reference cost (default 4)\n"
       "  --faults <name|file> fault plan; outage windows refuse work over "
       "the wire\n"
-      "  --seed <n>           validation/spot-check RNG seed\n");
+      "  --seed <n>           validation/spot-check RNG seed\n"
+      "  --metrics-port <n>   plain-HTTP metrics listener (GET /metrics, "
+      "/metrics.json); 0 picks an ephemeral port (default off)\n"
+      "  --snapshot-period <s> wall seconds between metric snapshots; 0 "
+      "disables (default 1)\n"
+      "  --slo-latency <s>    request_work latency objective in service "
+      "seconds (default 0.005)\n"
+      "  --no-spans           disable per-RPC span timing (stage histograms, "
+      "span echoes, flight events)\n"
+      "  --flight-prefix <p>  flight-record dumps go to <p>-<epoch-ms>.jsonl "
+      "(default flight)\n"
+      "SIGTERM/SIGINT stop the server cleanly and dump the flight record.\n");
 }
 
 void loadgen_usage() {
@@ -385,6 +423,8 @@ void loadgen_usage() {
       "  --faults <name|file> client-side fault plan (loss, corruption, "
       "backoff law)\n"
       "  --seed <n>           device-farm RNG seed\n"
+      "  --spans <0|1>        request server-side span echoes per RPC "
+      "(default 1)\n"
       "  --out <file>         write the JSON summary "
       "(tools/validate_report.py --serve)\n");
 }
@@ -472,6 +512,22 @@ int cmd_serve(int argc, char** argv) {
       config.seed = static_cast<std::uint64_t>(
           parse_long_flag("--seed", flag_value(argc, argv, i, serve_usage), 0,
                           std::numeric_limits<long>::max(), serve_usage));
+    } else if (a == "--metrics-port") {
+      net.metrics_port = static_cast<std::int32_t>(parse_long_flag(
+          "--metrics-port", flag_value(argc, argv, i, serve_usage), 0, 65535,
+          serve_usage));
+    } else if (a == "--snapshot-period") {
+      net.snapshot_period = parse_double_flag(
+          "--snapshot-period", flag_value(argc, argv, i, serve_usage),
+          serve_usage);
+    } else if (a == "--slo-latency") {
+      config.slo_latency_seconds = parse_double_flag(
+          "--slo-latency", flag_value(argc, argv, i, serve_usage),
+          serve_usage);
+    } else if (a == "--no-spans") {
+      config.spans = false;
+    } else if (a == "--flight-prefix") {
+      net.flight_prefix = flag_value(argc, argv, i, serve_usage);
     } else {
       serve_usage();
       throw ConfigError("unknown serve flag " + std::string(a));
@@ -487,14 +543,44 @@ int cmd_serve(int argc, char** argv) {
   grid.start();
   std::printf("serving on %s:%u (%u workers, %ld workunits)\n",
               net.listen.c_str(), grid.port(), net.workers, workunits);
+  if (grid.metrics_port() != 0)
+    std::printf("metrics on http://%s:%u/metrics\n", net.listen.c_str(),
+                grid.metrics_port());
   std::fflush(stdout);
 
-  if (duration > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(duration));
-  } else {
-    while (true) std::this_thread::sleep_for(std::chrono::seconds(3600));
-  }
+  // Clean-shutdown signals and the crash-path flight dump. The handlers are
+  // restored implicitly at exit; g_serve_grid is cleared before `grid` dies.
+  g_stop_signal = 0;
+  g_serve_grid = &grid;
+  const std::terminate_handler prev_terminate =
+      std::set_terminate(serve_terminate_handler);
+  struct sigaction sa {};
+  sa.sa_handler = handle_stop_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(duration));
+  while (g_stop_signal == 0 &&
+         (duration <= 0.0 || std::chrono::steady_clock::now() < deadline))
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   grid.stop();
+  g_serve_grid = nullptr;
+  std::set_terminate(prev_terminate);
+
+  if (g_stop_signal != 0) {
+    std::printf("caught %s; stopped\n",
+                g_stop_signal == SIGTERM ? "SIGTERM" : "SIGINT");
+    const server::GridServer::FlightDump dump = grid.dump_flight_record();
+    if (!dump.path.empty())
+      std::printf("flight record: %s (%llu events)\n", dump.path.c_str(),
+                  static_cast<unsigned long long>(dump.events));
+    else
+      std::fprintf(stderr, "hcmdgrid: flight-record dump failed\n");
+  }
 
   const server::GridServer::Stats s = grid.stats();
   const auto& counters = grid.service().project().counters();
@@ -546,6 +632,10 @@ int cmd_loadgen(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(parse_long_flag(
           "--seed", flag_value(argc, argv, i, loadgen_usage), 0,
           std::numeric_limits<long>::max(), loadgen_usage));
+    } else if (a == "--spans") {
+      options.spans = parse_long_flag("--spans",
+                                      flag_value(argc, argv, i, loadgen_usage),
+                                      0, 1, loadgen_usage) != 0;
     } else if (a == "--out") {
       out_path = flag_value(argc, argv, i, loadgen_usage);
     } else {
@@ -570,6 +660,13 @@ int cmd_loadgen(int argc, char** argv) {
               1e3 * report.issue_latency.quantile(0.99),
               1e3 * report.issue_latency.quantile(0.999),
               static_cast<unsigned long long>(report.issue_latency.total()));
+  if (report.span_replies > 0)
+    std::printf("server stages: queue-wait p50 %.3f ms, service p50 %.3f ms, "
+                "net residual p50 %.3f ms (%llu span echoes)\n",
+                1e3 * report.span_queue_wait.quantile(0.50),
+                1e3 * report.span_service.quantile(0.50),
+                1e3 * report.net_residual.quantile(0.50),
+                static_cast<unsigned long long>(report.span_replies));
   std::printf("outcomes: %llu assignments, %llu no-work, %llu busy, "
               "%llu acks (%llu dup), %llu errors\n",
               static_cast<unsigned long long>(report.assignments),

@@ -10,6 +10,8 @@ statistics plus a well-formed trace_event JSON.
 Usage:
   tools/validate_report.py report.json [trace.json] [--chaos]
   tools/validate_report.py loadgen.json --serve
+  tools/validate_report.py metrics.txt --metrics
+  tools/validate_report.py flight.jsonl --flight
 
 --chaos additionally asserts the run injected faults and still finished
 clean: faults.enabled, non-empty fault counters, outcome.completed and
@@ -18,8 +20,19 @@ zero corrupt results assimilated.
 --serve validates a `hcmdgrid loadgen --out` summary instead of a campaign
 report: traffic actually flowed (requests, replies, req/s all positive),
 the latency quantiles are ordered (p50 <= p99 <= p999 <= max), the outcome
-tallies are consistent with the reply total, and the server block echoes a
-live scheduler (rpc_requests covers the client's replies).
+tallies are consistent with the reply total, the server block echoes a
+live scheduler (rpc_requests covers the client's replies, uptime and
+per-verb counters are sane), and the server_spans stage breakdown holds
+together (monotone per-stage quantiles, queue-wait <= total, stage means
+summing to the end-to-end mean).
+
+--metrics validates a scraped Prometheus exposition (`GET /metrics`):
+every line parses, and the hcmd_rpc_requests_total counter is present and
+positive.
+
+--flight validates a flight-recorder JSONL dump: every line is a JSON
+object with t/cat/ev/id fields and at least one rpc-category event made it
+into the ring.
 """
 import json
 import sys
@@ -27,6 +40,18 @@ import sys
 
 def fail(msg):
     sys.exit(f"validate_report: {msg}")
+
+
+def check_quantiles(h, what):
+    """Asserts one emitted histogram object has ordered, sane quantiles."""
+    quantiles = [h["p50_seconds"], h["p90_seconds"], h["p99_seconds"],
+                 h["p999_seconds"]]
+    if any(q < 0 for q in quantiles):
+        fail(f"--serve: negative {what} quantile")
+    if sorted(quantiles) != quantiles:
+        fail(f"--serve: {what} quantiles are not monotone: {quantiles}")
+    if h["max_seconds"] + 1e-12 < h["p50_seconds"]:
+        fail(f"--serve: {what} max below p50")
 
 
 def validate_serve(path):
@@ -59,36 +84,139 @@ def validate_serve(path):
         h = doc["latency"][name]
         if h["count"] == 0:
             continue  # an outage-only run may never see an ack
-        quantiles = [h["p50_seconds"], h["p90_seconds"], h["p99_seconds"],
-                     h["p999_seconds"]]
-        if any(q < 0 for q in quantiles):
-            fail(f"--serve: negative {name} latency quantile")
-        if sorted(quantiles) != quantiles:
-            fail(f"--serve: {name} latency quantiles are not monotone: "
-                 f"{quantiles}")
-        if h["max_seconds"] + 1e-12 < h["p50_seconds"]:
-            fail(f"--serve: {name} max below p50")
+        check_quantiles(h, f"{name} latency")
+
+    spans = doc.get("server_spans")
+    if spans is None:
+        fail("--serve: missing server_spans section")
+    if doc["options"].get("spans", False) and spans["span_replies"] > 0:
+        for stage in ("queue_wait", "service", "total", "net_residual"):
+            check_quantiles(spans[stage], f"span stage {stage}")
+        qw, sv, tot = (spans["queue_wait"], spans["service"], spans["total"])
+        if qw["p50_seconds"] > tot["p50_seconds"] + 1e-9:
+            fail("--serve: span queue_wait p50 above total p50")
+        if sv["p50_seconds"] > tot["p50_seconds"] + 1e-9:
+            fail("--serve: span service p50 above total p50")
+        # Per sample, queue_wait + service == total exactly, so the means
+        # (exact running sums / count) must add up to rounding error.
+        mean_sum = qw["mean_seconds"] + sv["mean_seconds"]
+        if abs(mean_sum - tot["mean_seconds"]) > \
+                1e-6 * max(tot["mean_seconds"], 1e-9):
+            fail(f"--serve: span stage means ({mean_sum:.9f}) do not sum "
+                 f"to the total mean ({tot['mean_seconds']:.9f})")
+        # The server-side total is one component of the measured round
+        # trip, so its p50 cannot plausibly exceed the end-to-end tail.
+        rtt_tail = max(doc["latency"]["issue"]["p999_seconds"],
+                       doc["latency"]["report"]["p999_seconds"])
+        if tot["p50_seconds"] > rtt_tail + 1e-9:
+            fail(f"--serve: span total p50 ({tot['p50_seconds']:.6f}s) "
+                 f"above the end-to-end p999 ({rtt_tail:.6f}s)")
 
     server = doc["server"]
     if server["rpc_requests"] < doc["replies_total"]:
         fail("--serve: server rpc_requests below the client's reply count")
     if server["results_received"] > server["results_sent"]:
         fail("--serve: server received more results than it issued")
+    if server["uptime_seconds"] <= 0:
+        fail("--serve: server uptime_seconds is not positive")
+    rpc = server["rpc"]
+    # The server may have served other clients too, so its per-verb totals
+    # are lower-bounded (never exactly matched) by this client's outcomes.
+    for server_key, client_key in (("assignments", "assignments"),
+                                   ("no_work", "no_work"),
+                                   ("busy", "busy"),
+                                   ("reports", "acks")):
+        if rpc[server_key] < outcomes[client_key]:
+            fail(f"--serve: server rpc.{server_key} ({rpc[server_key]}) "
+                 f"below the client's {client_key} ({outcomes[client_key]})")
+    per_verb = (rpc["assignments"] + rpc["no_work"] + rpc["busy"] +
+                rpc["reports"] + rpc["status"] + rpc["errors"])
+    if per_verb > server["rpc_requests"]:
+        fail(f"--serve: per-verb counters ({per_verb}) exceed rpc_requests "
+             f"({server['rpc_requests']})")
 
     print(f"serve summary ok: {doc['replies_total']} RPCs at "
           f"{doc['requests_per_sec']:.0f} req/s, issue p99 "
-          f"{doc['latency']['issue']['p99_seconds'] * 1e3:.3f} ms")
+          f"{doc['latency']['issue']['p99_seconds'] * 1e3:.3f} ms, "
+          f"{spans['span_replies']} span echoes")
+
+
+def validate_metrics(path):
+    with open(path) as f:
+        text = f.read()
+    if not text.strip():
+        fail(f"--metrics: {path} is empty")
+    values = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("#"):
+            continue
+        # Exposition lines are `name value` or `name{labels} value`.
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            fail(f"--metrics: line {lineno} is not 'series value': {line!r}")
+        series, value = parts
+        try:
+            values[series] = float(value)
+        except ValueError:
+            fail(f"--metrics: line {lineno} has a non-numeric value: "
+                 f"{line!r}")
+        name = series.split("{", 1)[0]
+        if not all(c.isalnum() or c == "_" for c in name):
+            fail(f"--metrics: line {lineno} has a bad series name: {name!r}")
+    requests = values.get("hcmd_rpc_requests_total")
+    if requests is None:
+        fail("--metrics: hcmd_rpc_requests_total is missing")
+    if requests <= 0:
+        fail("--metrics: hcmd_rpc_requests_total is zero — the scrape saw "
+             "no traffic")
+    print(f"metrics ok: {len(values)} series, "
+          f"{int(requests)} RPCs served at scrape time")
+
+
+def validate_flight(path):
+    rpc_events = 0
+    total = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"--flight: line {lineno} is not JSON: {e}")
+            for key in ("t", "cat", "ev", "id"):
+                if key not in event:
+                    fail(f"--flight: line {lineno} missing {key!r}")
+            total += 1
+            if event["cat"] == "rpc":
+                rpc_events += 1
+    if total == 0:
+        fail(f"--flight: {path} has no events")
+    if rpc_events == 0:
+        fail("--flight: no rpc-category events in the flight record")
+    print(f"flight record ok: {total} events, {rpc_events} rpc spans")
 
 
 def main():
-    argv = [a for a in sys.argv[1:] if a not in ("--chaos", "--serve")]
+    flags = ("--chaos", "--serve", "--metrics", "--flight")
+    argv = [a for a in sys.argv[1:] if a not in flags]
     chaos = "--chaos" in sys.argv[1:]
     serve = "--serve" in sys.argv[1:]
+    metrics = "--metrics" in sys.argv[1:]
+    flight = "--flight" in sys.argv[1:]
     if not argv:
         fail("usage: validate_report.py report.json [trace.json] "
-             "[--chaos] | loadgen.json --serve")
+             "[--chaos] | loadgen.json --serve | metrics.txt --metrics "
+             "| flight.jsonl --flight")
     if serve:
         validate_serve(argv[0])
+        return
+    if metrics:
+        validate_metrics(argv[0])
+        return
+    if flight:
+        validate_flight(argv[0])
         return
     report_path = argv[0]
     trace_path = argv[1] if len(argv) > 1 else None
