@@ -71,6 +71,7 @@ std::uint32_t VolunteerFleet::add_device(const volunteer::DeviceSpec& spec,
     uploads_.emplace_back();
     backoff_attempts_.push_back(0);
     if (faults_->is_straggler(spec.id)) faults_->note_straggler(spec.id);
+    if (faults_->is_saboteur(spec.id)) faults_->note_saboteur(spec.id);
   }
   const double join = std::max(spec.join_time, sim_.now());
   schedule_at(join, d, Action::kJoin);
@@ -424,6 +425,17 @@ void VolunteerFleet::post_result(std::uint32_t d, std::uint64_t result_id,
           (static_cast<std::uint64_t>(specs_[d].id) << 32) |
           ++corruption_seq_[d];
       faults_->note_corrupt(sim_.now(), specs_[d].id, result_id);
+    }
+    if (!report.silent_error && faults_->is_saboteur(specs_[d].id) &&
+        faults_->draw_saboteur_corruption(fault_rngs_[d])) {
+      // A hostile host corrupts its own payload. Tags follow the same
+      // (global id, per-device counter) scheme, so two saboteur copies of
+      // the same workunit still never agree with each other.
+      report.silent_error = true;
+      report.corruption_tag =
+          (static_cast<std::uint64_t>(specs_[d].id) << 32) |
+          ++corruption_seq_[d];
+      faults_->note_saboteur_corrupt(sim_.now(), specs_[d].id, result_id);
     }
   }
 

@@ -11,6 +11,7 @@
 #include "client/wire.hpp"
 #include "faults/schedule.hpp"
 #include "obs/json.hpp"
+#include "server/validation_policy.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "volunteer/device.hpp"
@@ -185,6 +186,14 @@ class FarmThread {
           break;
         }
         if (faults_.draw_corruption(d.rng)) {
+          report.silent_error = true;
+          report.corruption_tag =
+              (static_cast<std::uint64_t>(d.gid) << 32) |
+              ++d.corruption_counter;
+          ++stats_.reports_corrupted;
+        }
+        if (!report.silent_error && faults_.is_saboteur(d.gid) &&
+            faults_.draw_saboteur_corruption(d.rng)) {
           report.silent_error = true;
           report.corruption_tag =
               (static_cast<std::uint64_t>(d.gid) << 32) |
@@ -440,6 +449,8 @@ std::string loadgen_json(const LoadgenOptions& options,
 
   const proto::Status& s = report.server_status;
   w.key("server").begin_object();
+  w.kv("policy",
+       server::policy_kind_name(static_cast<server::PolicyKind>(s.policy)));
   w.kv("results_sent", s.results_sent);
   w.kv("results_received", s.results_received);
   w.kv("results_valid", s.results_valid);

@@ -355,6 +355,12 @@ CampaignReport run_campaign(const CampaignConfig& config,
   report.faults.enabled = engine.faults_active();
   report.faults.plan = config.faults;
   report.faults.counters = engine.fault_counters();
+  report.validation.policy = project.policy().summary();
+  report.validation.corruption_injected =
+      report.faults.counters.corrupted_results +
+      report.faults.counters.saboteur_corrupted_results;
+  report.validation.corruption_assimilated =
+      report.counters.corrupt_assimilated;
   report.redundancy_factor = report.counters.redundancy_factor();
   report.useful_fraction = report.counters.useful_fraction();
   report.speeddown.reported_runtime_seconds =

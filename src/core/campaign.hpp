@@ -135,6 +135,17 @@ struct CampaignReport {
   };
   FaultSummary faults;
 
+  /// Validation-policy summary: which policy ran, its decision tallies and
+  /// reputation-ledger state, plus corruption leakage scored against the
+  /// fault schedule's ground-truth tags (injected = results the fault layer
+  /// corrupted, assimilated = corrupt results validation failed to catch).
+  struct ValidationSummary {
+    server::PolicySummary policy;
+    std::uint64_t corruption_injected = 0;
+    std::uint64_t corruption_assimilated = 0;
+  };
+  ValidationSummary validation;
+
   /// Total received results rescaled to full size (paper: 5,418,010).
   double results_received_rescaled() const {
     return static_cast<double>(counters.results_received) / scale;

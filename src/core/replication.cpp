@@ -101,6 +101,18 @@ ReplicationResult replicate_campaign(const CampaignConfig& config,
   collect("mean_runtime_hours", [](const CampaignReport& r) {
     return r.runtime_summary.mean / 3600.0;
   });
+  collect("spot_check_rate", [](const CampaignReport& r) {
+    return r.validation.policy.spot_check_rate();
+  });
+  collect("quorum2_rate", [](const CampaignReport& r) {
+    return r.validation.policy.quorum2_rate();
+  });
+  collect("corruption_injected", [](const CampaignReport& r) {
+    return static_cast<double>(r.validation.corruption_injected);
+  });
+  collect("corruption_assimilated", [](const CampaignReport& r) {
+    return static_cast<double>(r.validation.corruption_assimilated);
+  });
   return result;
 }
 

@@ -41,6 +41,7 @@ std::string run_report_json(const CampaignConfig& config,
   write_date(w, "start_date", config.start_date);
   w.kv("mct_target_mean_seconds", config.mct_target_mean_seconds);
   w.kv("packaging_target_hours", config.packaging.target_hours);
+  w.kv("policy", server::policy_kind_name(config.server.policy));
   w.kv("quorum2_until_weeks",
        config.server.validation.quorum2_until / util::kSecondsPerWeek);
   w.kv("spot_check_fraction", config.server.validation.spot_check_fraction);
@@ -163,6 +164,8 @@ std::string run_report_json(const CampaignConfig& config,
   w.kv("loss_rate", f.plan.loss_rate);
   w.kv("straggler_fraction", f.plan.straggler_fraction);
   w.kv("straggler_slowdown", f.plan.straggler_slowdown);
+  w.kv("saboteur_fraction", f.plan.saboteur_fraction);
+  w.kv("saboteur_corruption_rate", f.plan.saboteur_corruption_rate);
   w.key("churn_spikes").begin_array();
   for (const auto& s : f.plan.churn_spikes) {
     w.begin_array();
@@ -184,7 +187,40 @@ std::string run_report_json(const CampaignConfig& config,
   w.kv("churn_spikes", f.counters.churn_spikes);
   w.kv("churn_killed", f.counters.churn_killed);
   w.kv("straggler_devices", f.counters.straggler_devices);
+  w.kv("saboteur_devices", f.counters.saboteur_devices);
+  w.kv("saboteur_corrupted_results",
+       f.counters.saboteur_corrupted_results);
   w.end_object();
+  w.end_object();
+
+  // --- validation policy: regime decisions, trust ledger, leakage ---
+  const auto& v = report.validation;
+  w.key("validation").begin_object();
+  w.kv("policy", v.policy.name);
+  w.kv("redundancy_factor", report.redundancy_factor);
+  w.kv("spot_check_rate", v.policy.spot_check_rate());
+  w.kv("quorum2_rate", v.policy.quorum2_rate());
+  w.key("counters").begin_object();
+  w.kv("decisions", v.policy.counters.decisions);
+  w.kv("quorum2_decisions", v.policy.counters.quorum2_decisions);
+  w.kv("spot_checks", v.policy.counters.spot_checks);
+  w.kv("solo_issues", v.policy.counters.solo_issues);
+  w.kv("escalations", v.policy.counters.escalations);
+  w.kv("trust_promotions", v.policy.counters.trust_promotions);
+  w.kv("trust_demotions", v.policy.counters.trust_demotions);
+  w.end_object();
+  w.kv("devices_tracked", v.policy.devices_tracked);
+  w.kv("devices_trusted", v.policy.devices_trusted);
+  w.kv("mean_score", v.policy.mean_score);
+  // Leakage scored against the fault layer's ground-truth corruption tags:
+  // injected results that validation assimilated anyway.
+  w.kv("corruption_injected", v.corruption_injected);
+  w.kv("corruption_assimilated", v.corruption_assimilated);
+  w.kv("leakage_fraction",
+       v.corruption_injected == 0
+           ? 0.0
+           : static_cast<double>(v.corruption_assimilated) /
+                 static_cast<double>(v.corruption_injected));
   w.end_object();
 
   // --- telemetry: registry counters + histogram summaries ---
@@ -236,6 +272,67 @@ std::string run_report_json(const CampaignConfig& config,
     w.kv("total_ms", static_cast<double>(z.total_ns) / 1e6);
     w.kv("mean_us", z.mean_us());
     w.kv("max_ms", static_cast<double>(z.max_ns) / 1e6);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.take();
+}
+
+std::string replication_report_json(const CampaignConfig& config,
+                                    const ReplicationResult& result) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "hcmd-replication/1");
+
+  w.key("config").begin_object();
+  w.kv("scale", config.scale);
+  w.kv("max_weeks", config.max_weeks);
+  w.kv("policy", server::policy_kind_name(config.server.policy));
+  w.kv("quorum2_until_weeks",
+       config.server.validation.quorum2_until / util::kSecondsPerWeek);
+  w.kv("spot_check_fraction", config.server.validation.spot_check_fraction);
+  w.kv("trust_threshold", config.server.adaptive_trust.trust_threshold);
+  w.kv("spot_check_every", static_cast<std::uint64_t>(
+                               config.server.adaptive_trust.spot_check_every));
+  w.kv("faults_enabled", config.faults.enabled());
+  w.kv("saboteur_fraction", config.faults.saboteur_fraction);
+  w.end_object();
+
+  w.kv("replicas", static_cast<std::uint64_t>(result.replicas));
+
+  w.key("metrics").begin_array();
+  for (const auto& m : result.metrics) {
+    w.begin_object();
+    w.kv("name", m.name);
+    w.kv("mean", m.mean);
+    w.kv("stddev", m.stddev);
+    w.kv("ci95", m.ci95);
+    w.kv("min", m.min);
+    w.kv("max", m.max);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("runs").begin_array();
+  for (const auto& r : result.reports) {
+    const auto& v = r.validation;
+    w.begin_object();
+    w.kv("completed", r.completed);
+    w.kv("completion_weeks", r.completion_weeks);
+    w.kv("redundancy_factor", r.redundancy_factor);
+    w.kv("useful_fraction", r.useful_fraction);
+    w.key("validation").begin_object();
+    w.kv("policy", v.policy.name);
+    w.kv("spot_check_rate", v.policy.spot_check_rate());
+    w.kv("quorum2_rate", v.policy.quorum2_rate());
+    w.kv("devices_tracked", v.policy.devices_tracked);
+    w.kv("devices_trusted", v.policy.devices_trusted);
+    w.kv("escalations", v.policy.counters.escalations);
+    w.kv("corruption_injected", v.corruption_injected);
+    w.kv("corruption_assimilated", v.corruption_assimilated);
+    w.end_object();
     w.end_object();
   }
   w.end_array();

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/campaign.hpp"
+#include "core/replication.hpp"
 
 namespace hcmd::core {
 
@@ -26,5 +27,12 @@ namespace hcmd::core {
 std::string run_report_json(const CampaignConfig& config,
                             const CampaignReport& report,
                             const obs::Tracer* tracer = nullptr);
+
+/// Serialises a Monte-Carlo replication (schema "hcmd-replication/1"):
+/// the shared config knobs, the mean +- ci95 metric table, and a compact
+/// per-replica row (completion, redundancy, validation tallies, leakage) —
+/// what `tools/policy_matrix.py` reads per matrix cell.
+std::string replication_report_json(const CampaignConfig& config,
+                                    const ReplicationResult& result);
 
 }  // namespace hcmd::core

@@ -69,13 +69,22 @@ constexpr Preset kPresets[] = {
      "# outage = <begin_hours> <end_hours>\n"
      "outage = 114 182\n"},
     {"saboteur-1pct",
-     "# A hostile volunteer population: 1% of returned results are\n"
-     "# corrupted in flight (quorum validation must catch the mismatch and\n"
-     "# issue extra copies), 0.2% are silently lost (deadline timeout ->\n"
-     "# reissue), and 5% of devices crunch 4x slower than their spec.\n"
-     "corruption_rate = 0.01\n"
+     "# A hostile volunteer population: 1% of devices are saboteurs that\n"
+     "# corrupt every result they return (quorum validation must catch the\n"
+     "# mismatch and issue extra copies; trust-based validation must keep\n"
+     "# them at full quorum). 0.2% of results are silently lost (deadline\n"
+     "# timeout -> reissue), and 5% of devices crunch 4x slower than their\n"
+     "# spec.\n"
+     "saboteur_fraction = 0.01\n"
+     "saboteur_corruption_rate = 1\n"
      "loss_rate = 0.002\n"
      "straggler_fraction = 0.05\n"
+     "straggler_slowdown = 4\n"},
+    {"stragglers",
+     "# A slow-tail fleet with no hostility: 20% of devices crunch 4x\n"
+     "# slower than their spec, stretching workunit turnaround and forcing\n"
+     "# deadline churn, but every returned result is honest.\n"
+     "straggler_fraction = 0.2\n"
      "straggler_slowdown = 4\n"},
 };
 
@@ -90,6 +99,7 @@ const Preset* find_preset(std::string_view name) {
 bool FaultPlan::enabled() const {
   return !outages.empty() || corruption_rate > 0.0 || loss_rate > 0.0 ||
          (straggler_fraction > 0.0 && straggler_slowdown != 1.0) ||
+         (saboteur_fraction > 0.0 && saboteur_corruption_rate > 0.0) ||
          !churn_spikes.empty();
 }
 
@@ -102,6 +112,8 @@ void FaultPlan::validate() const {
   check_rate(corruption_rate, "corruption_rate");
   check_rate(loss_rate, "loss_rate");
   check_rate(straggler_fraction, "straggler_fraction");
+  check_rate(saboteur_fraction, "saboteur_fraction");
+  check_rate(saboteur_corruption_rate, "saboteur_corruption_rate");
   if (!(straggler_slowdown >= 1.0))
     throw ConfigError("fault plan: straggler_slowdown must be >= 1");
   for (const OutageWindow& w : outages) {
@@ -156,6 +168,12 @@ FaultPlan parse_fault_plan(std::string_view text) {
     } else if (key == "straggler_slowdown") {
       expect_fields(fields, 1, key, line_no);
       plan.straggler_slowdown = fields[0];
+    } else if (key == "saboteur_fraction") {
+      expect_fields(fields, 1, key, line_no);
+      plan.saboteur_fraction = fields[0];
+    } else if (key == "saboteur_corruption_rate") {
+      expect_fields(fields, 1, key, line_no);
+      plan.saboteur_corruption_rate = fields[0];
     } else if (key == "backoff_initial_minutes") {
       expect_fields(fields, 1, key, line_no);
       plan.backoff_initial_seconds = fields[0] * 60.0;

@@ -16,6 +16,8 @@ FaultSchedule::FaultSchedule(FaultPlan plan, util::Rng rng)
   // construction rather than from the live stream.
   util::Rng salt_rng = rng_.fork("straggler-salt");
   straggler_salt_ = salt_rng.next_u64();
+  util::Rng saboteur_rng = rng_.fork("saboteur-salt");
+  saboteur_salt_ = saboteur_rng.next_u64();
   util::Rng tag_rng = rng_.fork("corruption-tags");
   next_corruption_tag_ = tag_rng.next_u64() | 1u;  // never zero
 }
@@ -34,6 +36,9 @@ void FaultSchedule::set_instruments(obs::Tracer* tracer,
   ids_.lost = registry_->intern_counter("fault.lost_results");
   ids_.churn_killed = registry_->intern_counter("fault.churn_killed");
   ids_.stragglers = registry_->intern_counter("fault.straggler_devices");
+  ids_.saboteurs = registry_->intern_counter("fault.saboteur_devices");
+  ids_.saboteur_corrupted =
+      registry_->intern_counter("fault.saboteur_corrupted");
 }
 
 bool FaultSchedule::server_down(double now) const {
@@ -137,6 +142,28 @@ void FaultSchedule::note_straggler(std::uint32_t device_id) {
   ++counters_.straggler_devices;
   metric(ids_.stragglers);
   trace(obs::TraceEv::kFltStraggler, 0.0, device_id);
+}
+
+bool FaultSchedule::is_saboteur(std::uint32_t device_id) const {
+  if (plan_.saboteur_fraction <= 0.0) return false;
+  util::SplitMix64 h(saboteur_salt_ ^
+                     (0x5851f42d4c957f2dULL * (device_id + 1)));
+  const double u = static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+  return u < plan_.saboteur_fraction;
+}
+
+void FaultSchedule::note_saboteur(std::uint32_t device_id) {
+  ++counters_.saboteur_devices;
+  metric(ids_.saboteurs);
+  trace(obs::TraceEv::kFltSaboteur, 0.0, device_id);
+}
+
+void FaultSchedule::note_saboteur_corrupt(double now, std::uint32_t device_id,
+                                          std::uint64_t result_id) {
+  ++counters_.saboteur_corrupted_results;
+  metric(ids_.saboteur_corrupted);
+  trace(obs::TraceEv::kFltSaboteurCorrupt, now,
+        static_cast<std::uint32_t>(result_id), device_id);
 }
 
 void FaultSchedule::note_outage_boundary(double now, bool begin,

@@ -37,6 +37,8 @@ struct FaultCounters {
   std::uint64_t churn_spikes = 0;
   std::uint64_t churn_killed = 0;
   std::uint64_t straggler_devices = 0;
+  std::uint64_t saboteur_devices = 0;
+  std::uint64_t saboteur_corrupted_results = 0;
 
   /// Field-wise accumulation: the sharded engine keeps one FaultSchedule
   /// instance per shard (plus one server-side) and sums their tallies for
@@ -51,6 +53,8 @@ struct FaultCounters {
     churn_spikes += o.churn_spikes;
     churn_killed += o.churn_killed;
     straggler_devices += o.straggler_devices;
+    saboteur_devices += o.saboteur_devices;
+    saboteur_corrupted_results += o.saboteur_corrupted_results;
     return *this;
   }
 };
@@ -105,6 +109,12 @@ class FaultSchedule {
   bool draw_churn_death(double fraction, util::Rng& rng) const {
     return rng.bernoulli(fraction);
   }
+  /// Per-result corruption draw for a saboteur device. Callers must gate on
+  /// `is_saboteur` first so honest devices make no extra draws and inert
+  /// plans stay bit-exact.
+  bool draw_saboteur_corruption(util::Rng& rng) const {
+    return rng.bernoulli(plan_.saboteur_corruption_rate);
+  }
 
   // --- straggler classification (event-stream independent) ----------------
   /// Deterministic per-device membership: hash(seed, device) < fraction.
@@ -113,6 +123,11 @@ class FaultSchedule {
   double slowdown(std::uint32_t device_id) const {
     return is_straggler(device_id) ? plan_.straggler_slowdown : 1.0;
   }
+
+  // --- saboteur classification (event-stream independent) -----------------
+  /// Deterministic per-device membership, salted independently from the
+  /// straggler hash so the two populations are uncorrelated.
+  bool is_saboteur(std::uint32_t device_id) const;
 
   // --- fault notifications (counter + metric + trace) ---------------------
   void note_outage_denied(double now, std::uint32_t device_id);
@@ -126,6 +141,9 @@ class FaultSchedule {
   void note_churn_spike(double now, std::uint32_t killed,
                         std::uint32_t alive_before);
   void note_straggler(std::uint32_t device_id);
+  void note_saboteur(std::uint32_t device_id);
+  void note_saboteur_corrupt(double now, std::uint32_t device_id,
+                             std::uint64_t result_id);
   void note_outage_boundary(double now, bool begin, std::uint32_t window);
 
  private:
@@ -142,6 +160,7 @@ class FaultSchedule {
   util::Rng rng_;
   bool active_ = false;
   std::uint64_t straggler_salt_ = 0;
+  std::uint64_t saboteur_salt_ = 0;
   std::uint64_t next_corruption_tag_ = 0;
   FaultCounters counters_;
 
@@ -156,6 +175,8 @@ class FaultSchedule {
     obs::MetricId lost{};
     obs::MetricId churn_killed{};
     obs::MetricId stragglers{};
+    obs::MetricId saboteurs{};
+    obs::MetricId saboteur_corrupted{};
   } ids_;
 };
 

@@ -44,6 +44,8 @@ const char* trace_ev_name(TraceEv ev) {
     case TraceEv::kFltLoss: return "fault_loss";
     case TraceEv::kFltChurnSpike: return "fault_churn_spike";
     case TraceEv::kFltStraggler: return "fault_straggler";
+    case TraceEv::kFltSaboteur: return "fault_saboteur";
+    case TraceEv::kFltSaboteurCorrupt: return "fault_saboteur_corrupt";
     case TraceEv::kRpcAdmit: return "rpc_admit";
     case TraceEv::kRpcDecide: return "rpc_decide";
     case TraceEv::kRpcWrite: return "rpc_write";

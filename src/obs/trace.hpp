@@ -61,6 +61,8 @@ enum class TraceEv : std::uint8_t {
   kFltLoss,              ///< id = result, arg = device
   kFltChurnSpike,        ///< id = devices killed, arg = alive before
   kFltStraggler,         ///< id = device classified as straggler
+  kFltSaboteur,          ///< id = device classified as saboteur
+  kFltSaboteurCorrupt,   ///< id = result, arg = saboteur device
   kRpcAdmit,   ///< id = device, arg = conn token low bits, extra = verb
   kRpcDecide,  ///< id = device, arg = queue-wait µs, extra = verb
   kRpcWrite,   ///< id = device, arg = write µs, extra = verb

@@ -285,6 +285,7 @@ void encode(const Status& m, std::vector<std::uint8_t>& out) {
   w.u64(m.rpc_duplicate_reports);
   w.u64(m.rpc_status);
   w.u64(m.rpc_errors);
+  w.u8(m.policy);
   w.span(m.span);
   w.finish();
 }
@@ -458,6 +459,7 @@ Status decode_status(const Frame& f) {
   m.rpc_duplicate_reports = r.u64();
   m.rpc_status = r.u64();
   m.rpc_errors = r.u64();
+  m.policy = r.u8();
   m.span = r.tail_span();
   r.done();
   return m;

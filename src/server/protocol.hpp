@@ -212,6 +212,8 @@ struct Status {
   std::uint64_t rpc_duplicate_reports = 0;
   std::uint64_t rpc_status = 0;
   std::uint64_t rpc_errors = 0;
+  /// server::PolicyKind of the validation policy the server runs.
+  std::uint8_t policy = 0;
   std::optional<SpanBlock> span;
 };
 

@@ -16,6 +16,8 @@ ProjectServer::ProjectServer(std::vector<packaging::Workunit> catalog,
   if (config_.validation.spot_check_fraction < 0.0 ||
       config_.validation.spot_check_fraction > 1.0)
     throw ConfigError("ProjectServer: spot_check_fraction outside [0, 1]");
+  policy_ = make_validation_policy(config_.policy, config_.validation,
+                                   config_.adaptive_trust, rng_);
 }
 
 void ProjectServer::set_instruments(obs::Tracer* tracer,
@@ -110,25 +112,32 @@ std::optional<Assignment> ProjectServer::request_work(std::uint32_t device_id,
   if (!found) {
     wu_index = static_cast<std::uint32_t>(next_unsent_++);
     WorkunitRecord& rec = records_[wu_index];
-    // Decide the redundancy regime at first issue.
-    if (now < config_.validation.quorum2_until) {
-      rec.quorum_needed = 2;
-      rec.target_issues = 2;
-    } else if (config_.validation.adaptive && !device_trusted(device_id)) {
-      // Adaptive replication: an unproven device's result must survive a
-      // quorum comparison.
-      rec.quorum_needed = 2;
-      rec.target_issues = 2;
-    } else if (rng_.bernoulli(config_.validation.spot_check_fraction)) {
-      rec.quorum_needed = 1;
-      rec.target_issues = 2;
-    } else {
-      rec.quorum_needed = 1;
-      rec.target_issues = 1;
-    }
+    // The policy decides the redundancy regime at first issue (the fixed
+    // policy draws its spot-check Bernoulli from rng_ here, in the same
+    // branch order the pre-policy code used).
+    const IssueDecision d = policy_->on_first_issue(device_id, now, rng_);
+    rec.quorum_needed = d.quorum_needed;
+    rec.target_issues = d.target_issues;
     if (rec.target_issues > 1) {
       extra_copy_queue_.push_back(wu_index);
       rec.queue_flags |= kInExtraCopyQueue;
+    }
+  } else {
+    // A later copy (re-issue / extra initial copy / end-game duplicate):
+    // let the policy re-evaluate the quorum for the receiving device. The
+    // fixed policy never changes it; the adaptive policy escalates to
+    // quorum-2 when the device is untrusted, so an unproven (or hostile)
+    // device can never be the sole validator of a workunit. When the
+    // escalated workunit has no other live or queued copy, recruit a
+    // quorum partner via the re-issue queue.
+    WorkunitRecord& rec = records_[wu_index];
+    const std::uint8_t quorum =
+        policy_->escalate_quorum(device_id, now, rec.quorum_needed);
+    if (quorum > rec.quorum_needed) {
+      rec.quorum_needed = quorum;
+      if (rec.target_issues < quorum) rec.target_issues = quorum;
+      if (rec.outstanding == 0 && rec.reissues_queued == 0)
+        push_reissue(wu_index);
     }
   }
 
@@ -197,15 +206,6 @@ std::uint32_t ProjectServer::workunit_outstanding(std::uint32_t index) const {
   return records_[index].outstanding;
 }
 
-bool ProjectServer::device_trusted(std::uint32_t device_id) const {
-  if (device_id >= device_history_.size()) return false;
-  const DeviceHistory& h = device_history_[device_id];
-  if (h.received < config_.validation.adaptive_min_samples) return false;
-  return static_cast<double>(h.bad) <=
-         config_.validation.adaptive_max_bad_fraction *
-             static_cast<double>(h.received);
-}
-
 void ProjectServer::assimilate(std::uint32_t wu_index) {
   WorkunitRecord& rec = records_[wu_index];
   HCMD_ASSERT(rec.state != WorkunitState::kDone);
@@ -250,12 +250,11 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
   };
   ++counters_.results_received;
   counters_.reported_runtime_seconds += report.reported_runtime;
-  ++device_slot(inst.device_id).received;
 
   if (report.computation_error) {
     inst.state = ResultState::kInvalid;
     ++counters_.results_invalid;
-    ++device_slot(inst.device_id).bad;
+    policy_->on_result(inst.device_id, now, ResultEvent::kComputationError);
     if (rec.state != WorkunitState::kDone)
       push_reissue(inst.workunit_index);
     trace_return();
@@ -270,8 +269,18 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     // fact.
     inst.state = ResultState::kRedundant;
     ++counters_.results_redundant;
-    if (inst.silent_error != rec.done_corrupt())
-      ++counters_.late_mismatches;
+    const bool mismatch = inst.silent_error != rec.done_corrupt();
+    if (mismatch) ++counters_.late_mismatches;
+    policy_->on_result(inst.device_id, now,
+                       mismatch ? ResultEvent::kLateMismatch
+                                : ResultEvent::kLateAgreement);
+    // The canonical device answers for the assimilated result: a spot-check
+    // agreement confirms it, a disagreement implicates it too (one of the
+    // two is wrong and a real validator cannot tell which).
+    if (rec.pending_result != kNoPending)
+      policy_->on_result(results_[rec.pending_result].device_id, now,
+                         mismatch ? ResultEvent::kCanonicalRefuted
+                                  : ResultEvent::kCanonicalConfirmed);
     trace_return();
     return inst.state;
   }
@@ -284,7 +293,12 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
       rec.set_done_corrupt();
       ++counters_.corrupt_assimilated;
     }
+    policy_->on_result(inst.device_id, now,
+                       ResultEvent::kAssimilatedUnverified);
     assimilate(inst.workunit_index);
+    // Remember the canonical result so late spot-check copies can vouch
+    // for (or against) its device.
+    rec.pending_result = static_cast<std::uint32_t>(inst.result_id);
     trace_return();
     return inst.state;
   }
@@ -295,6 +309,7 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     rec.pending_result = static_cast<std::uint32_t>(inst.result_id);
     inst.state = ResultState::kPendingValidation;
     ++counters_.results_pending;
+    policy_->on_result(inst.device_id, now, ResultEvent::kPendingQuorum);
     trace_return();
     return inst.state;
   }
@@ -316,7 +331,10 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
       rec.set_done_corrupt();
       ++counters_.corrupt_assimilated;
     }
+    policy_->on_result(inst.device_id, now, ResultEvent::kQuorumVerified);
+    policy_->on_result(partner.device_id, now, ResultEvent::kPartnerVerified);
     assimilate(inst.workunit_index);
+    rec.pending_result = static_cast<std::uint32_t>(inst.result_id);
   } else {
     // Disagreement: discard both, penalise both devices, re-issue twice to
     // rebuild the quorum.
@@ -324,8 +342,8 @@ ResultState ProjectServer::report_result(std::uint64_t result_id, double now,
     inst.state = ResultState::kInvalid;
     counters_.results_invalid += 2;
     ++counters_.quorum_mismatches;
-    ++device_slot(inst.device_id).bad;
-    ++device_slot(partner.device_id).bad;
+    policy_->on_result(inst.device_id, now, ResultEvent::kQuorumMismatch);
+    policy_->on_result(partner.device_id, now, ResultEvent::kPartnerMismatch);
     // Two copies on purpose: the quorum must be rebuilt from scratch, so
     // the re-issue queue legitimately holds this workunit twice.
     push_reissue(inst.workunit_index);

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -30,34 +31,19 @@
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "packaging/workunit.hpp"
+#include "server/validation_policy.hpp"
 #include "util/chunked_vector.hpp"
 #include "util/rng.hpp"
 
 namespace hcmd::server {
 
-/// Validation regimes (Section 5.1: the redundancy factor "was higher at
-/// the beginning, because the results were compared to each other to be
-/// validated, but later we provided a method to validate the results by
-/// checking the values returned in the result file").
-struct ValidationPolicy {
-  /// Campaign time until which every workunit needs a quorum of 2 matching
-  /// results.
-  double quorum2_until = 11.0 * 7.0 * 86400.0;
-  /// After that, fraction of workunits still double-issued as a spot check.
-  double spot_check_fraction = 0.27;
-
-  /// BOINC-style adaptive replication: results from devices without an
-  /// established clean history are validated by a quorum of 2 instead of
-  /// the range check alone. Off by default (the Phase I reproduction).
-  bool adaptive = false;
-  /// Results a device must return before it can be trusted.
-  std::uint32_t adaptive_min_samples = 5;
-  /// Maximum bad-result fraction for a device to count as trusted.
-  double adaptive_max_bad_fraction = 0.05;
-};
-
 struct ServerConfig {
-  ValidationPolicy validation;
+  /// Knobs of the fixed (paper) regime; see validation_policy.hpp.
+  ValidationConfig validation;
+  /// Which validation policy runs (fixed quorum by default — the paper's
+  /// reproduction; the adaptive trust policy reads `adaptive_trust`).
+  PolicyKind policy = PolicyKind::kFixedQuorum;
+  AdaptiveTrustConfig adaptive_trust;
   /// Result deadline after assignment (seconds). WCG-era deadlines were on
   /// the order of a week and a half.
   double deadline = 10.0 * 86400.0;
@@ -245,6 +231,10 @@ class ProjectServer {
   }
   std::size_t endgame_queue_size() const { return endgame_queue_.size(); }
 
+  /// The validation policy driving redundancy decisions (reports, tests).
+  const ValidationPolicy& policy() const { return *policy_; }
+  ValidationPolicy& policy() { return *policy_; }
+
   std::vector<std::uint64_t> completed_positions_per_receptor(
       std::uint32_t receptor_count) const;
 
@@ -277,8 +267,10 @@ class ProjectServer {
     std::uint16_t outstanding = 0;     ///< instances currently on devices
     std::uint16_t reissues_queued = 0; ///< entries in the re-issue queue
     std::uint32_t issues = 0;          ///< copies sent so far (full count)
-    /// Quorum-2 bookkeeping: the clean-looking result waiting for its
-    /// partner (kNoPending when none).
+    /// Dual-purpose result slot (kNoPending when empty). While the workunit
+    /// is in progress under quorum-2: the clean-looking result waiting for
+    /// its partner. Once assimilated: the canonical result, so late copies
+    /// can credit or penalise the device whose result the project kept.
     std::uint32_t pending_result = kNoPending;
 
     bool done_corrupt() const { return queue_flags & kDoneCorrupt; }
@@ -286,13 +278,6 @@ class ProjectServer {
   };
   static constexpr std::uint32_t kNoPending = 0xFFFFFFFFu;
   static_assert(sizeof(WorkunitRecord) == 16);
-
-  /// Per-device history for adaptive replication.
-  struct DeviceHistory {
-    std::uint32_t received = 0;
-    std::uint32_t bad = 0;  ///< invalid or quorum-mismatched
-  };
-  bool device_trusted(std::uint32_t device_id) const;
 
   std::uint64_t issue(std::uint32_t wu_index, std::uint32_t device_id,
                       double now);
@@ -311,14 +296,11 @@ class ProjectServer {
   /// records only when it drains.
   bool pick_endgame(std::uint32_t& wu_index);
 
-  /// Per-device history, dense by device id (campaign drivers issue ids
-  /// from 0); grown on first contact with a device.
-  std::vector<DeviceHistory> device_history_;
-  DeviceHistory& device_slot(std::uint32_t device_id) {
-    if (device_id >= device_history_.size())
-      device_history_.resize(device_id + 1);
-    return device_history_[device_id];
-  }
+  /// The pluggable redundancy/validation decision maker (never null after
+  /// construction). Decisions and reputation updates all happen inside
+  /// server calls, so policy state follows the same merge-order determinism
+  /// as the record store.
+  std::unique_ptr<ValidationPolicy> policy_;
   void push_reissue(std::uint32_t wu_index) {
     ++records_[wu_index].reissues_queued;
     reissue_queue_.push_back(wu_index);

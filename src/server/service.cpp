@@ -360,6 +360,7 @@ void GridService::apply(const WireRequest& m, std::vector<WireResponse>& out) {
       s.rpc_duplicate_reports = registry_.total(ctr_duplicate_reports_);
       s.rpc_status = registry_.total(ctr_status_);
       s.rpc_errors = registry_.total(ctr_errors_);
+      s.policy = static_cast<std::uint8_t>(config_.server.policy);
       send(m, out, s);
       return;
     }

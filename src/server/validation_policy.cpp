@@ -1,0 +1,429 @@
+#include "server/validation_policy.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hcmd::server {
+namespace {
+
+constexpr double kSecondsPerWeek = 7.0 * 86400.0;
+constexpr double kSecondsPerDay = 86400.0;
+constexpr std::uint32_t kNoPhase = 0xFFFFFFFFu;
+
+}  // namespace
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFixedQuorum: return "fixed";
+    case PolicyKind::kAdaptiveTrust: return "adaptive";
+  }
+  return "unknown";
+}
+
+// --- FixedQuorumPolicy ------------------------------------------------------
+
+FixedQuorumPolicy::FixedQuorumPolicy(ValidationConfig config)
+    : config_(config) {
+  if (config_.spot_check_fraction < 0.0 || config_.spot_check_fraction > 1.0)
+    throw ConfigError("validation policy: spot_check_fraction outside [0, 1]");
+}
+
+IssueDecision FixedQuorumPolicy::on_first_issue(std::uint32_t device_id,
+                                                double now, util::Rng& rng) {
+  ++counters_.decisions;
+  // The branch order (and therefore the Bernoulli draw position in the
+  // server's stream) is exactly the pre-policy inline code: campaign goldens
+  // pin it.
+  if (now < config_.quorum2_until) {
+    ++counters_.quorum2_decisions;
+    return {2, 2};
+  }
+  if (config_.adaptive && !device_trusted(device_id, now)) {
+    // Legacy adaptive replication: an unproven device's result must survive
+    // a quorum comparison.
+    ++counters_.quorum2_decisions;
+    return {2, 2};
+  }
+  if (rng.bernoulli(config_.spot_check_fraction)) {
+    ++counters_.spot_checks;
+    return {1, 2};
+  }
+  ++counters_.solo_issues;
+  return {1, 1};
+}
+
+void FixedQuorumPolicy::on_result(std::uint32_t device_id, double now,
+                                  ResultEvent event) {
+  (void)now;
+  switch (event) {
+    case ResultEvent::kComputationError:
+    case ResultEvent::kQuorumMismatch: {
+      DeviceHistory& h = slot(device_id);
+      ++h.received;
+      ++h.bad;
+      break;
+    }
+    case ResultEvent::kPendingQuorum:
+    case ResultEvent::kAssimilatedUnverified:
+    case ResultEvent::kQuorumVerified:
+    case ResultEvent::kLateAgreement:
+    case ResultEvent::kLateMismatch:
+      ++slot(device_id).received;
+      break;
+    case ResultEvent::kPartnerMismatch:
+      // The pending partner of a failed comparison: penalised without a
+      // second received count (its return was already counted).
+      ++slot(device_id).bad;
+      break;
+    case ResultEvent::kPartnerVerified:
+    case ResultEvent::kCanonicalConfirmed:
+    case ResultEvent::kCanonicalRefuted:
+      // The legacy history never reacted to these.
+      break;
+  }
+}
+
+bool FixedQuorumPolicy::device_trusted(std::uint32_t device_id,
+                                       double /*now*/) const {
+  if (device_id >= history_.size()) return false;
+  const DeviceHistory& h = history_[device_id];
+  if (h.received < config_.adaptive_min_samples) return false;
+  return static_cast<double>(h.bad) <=
+         config_.adaptive_max_bad_fraction * static_cast<double>(h.received);
+}
+
+PolicySummary FixedQuorumPolicy::summary() const {
+  PolicySummary s;
+  s.name = name();
+  s.counters = counters_;
+  for (std::uint32_t d = 0; d < history_.size(); ++d) {
+    if (history_[d].received == 0) continue;
+    ++s.devices_tracked;
+    if (device_trusted(d, 0.0)) ++s.devices_trusted;
+  }
+  return s;
+}
+
+// --- AdaptiveTrustPolicy ----------------------------------------------------
+
+AdaptiveTrustPolicy::AdaptiveTrustPolicy(AdaptiveTrustConfig config,
+                                         std::uint64_t salt)
+    : config_(config), salt_(salt) {
+  if (!(config_.trust_gain > 0.0 && config_.trust_gain <= 1.0))
+    throw ConfigError("adaptive trust: trust_gain must be in (0, 1]");
+  if (!(config_.trust_threshold >= 0.0 && config_.trust_threshold <= 1.0))
+    throw ConfigError("adaptive trust: trust_threshold must be in [0, 1]");
+  if (!(config_.half_life_days > 0.0))
+    throw ConfigError("adaptive trust: half_life_days must be > 0");
+}
+
+AdaptiveTrustPolicy::Reputation& AdaptiveTrustPolicy::slot(
+    std::uint32_t device_id) {
+  if (device_id >= ledger_.size()) ledger_.resize(device_id + 1);
+  Reputation& r = ledger_[device_id];
+  if (r.spot_phase == kNoPhase) {
+    // Hashed phase: devices spread over the 1-in-K cycle instead of all
+    // spot-checking on the same decision ordinal. Same salt-fork discipline
+    // as the fault schedule's straggler membership.
+    util::SplitMix64 h(salt_ ^ (0x9e3779b97f4a7c15ULL * (device_id + 1)));
+    r.spot_phase =
+        config_.spot_check_every > 0
+            ? static_cast<std::uint32_t>(h.next() % config_.spot_check_every)
+            : 0;
+  }
+  return r;
+}
+
+double AdaptiveTrustPolicy::decayed(const Reputation& r, double now) const {
+  if (r.score <= 0.0) return 0.0;
+  const double dt = now - r.last_update;
+  if (dt <= 0.0) return r.score;
+  return r.score * std::exp2(-dt / (config_.half_life_days * kSecondsPerDay));
+}
+
+void AdaptiveTrustPolicy::credit(Reputation& r, double now) {
+  const double before = decayed(r, now);
+  const double after = before + config_.trust_gain * (1.0 - before);
+  if (before < config_.trust_threshold && after >= config_.trust_threshold)
+    ++counters_.trust_promotions;
+  r.score = after;
+  r.last_update = now;
+}
+
+void AdaptiveTrustPolicy::penalise(Reputation& r, double now) {
+  ++r.bad;
+  if (decayed(r, now) >= config_.trust_threshold) ++counters_.trust_demotions;
+  // A hard reset, not a decrement: one mismatch sends the device back to
+  // quorum-2 until it re-earns the threshold from verified outcomes.
+  r.score = 0.0;
+  r.last_update = now;
+}
+
+IssueDecision AdaptiveTrustPolicy::on_first_issue(std::uint32_t device_id,
+                                                  double now,
+                                                  util::Rng& /*rng*/) {
+  ++counters_.decisions;
+  last_event_time_ = std::max(last_event_time_, now);
+  Reputation& r = slot(device_id);
+  if (!trusted(r, now)) {
+    ++counters_.quorum2_decisions;
+    return {2, 2};
+  }
+  if (config_.spot_check_every > 0 &&
+      r.spot_counter++ % config_.spot_check_every == r.spot_phase) {
+    ++counters_.spot_checks;
+    return {1, 2};
+  }
+  ++counters_.solo_issues;
+  return {1, 1};
+}
+
+std::uint8_t AdaptiveTrustPolicy::escalate_quorum(std::uint32_t device_id,
+                                                  double now,
+                                                  std::uint8_t current) {
+  if (current >= 2) return current;
+  last_event_time_ = std::max(last_event_time_, now);
+  if (trusted(slot(device_id), now)) return current;
+  ++counters_.escalations;
+  return 2;
+}
+
+void AdaptiveTrustPolicy::on_result(std::uint32_t device_id, double now,
+                                    ResultEvent event) {
+  last_event_time_ = std::max(last_event_time_, now);
+  Reputation& r = slot(device_id);
+  switch (event) {
+    case ResultEvent::kPendingQuorum:
+    case ResultEvent::kAssimilatedUnverified:
+      // Clean-looking but unverified: no credibility until a comparison
+      // confirms it (a saboteur's output also looks clean at this point).
+      ++r.results;
+      break;
+    case ResultEvent::kQuorumVerified:
+    case ResultEvent::kLateAgreement:
+      ++r.results;
+      credit(r, now);
+      break;
+    case ResultEvent::kPartnerVerified:
+    case ResultEvent::kCanonicalConfirmed:
+      credit(r, now);
+      break;
+    case ResultEvent::kComputationError:
+    case ResultEvent::kQuorumMismatch:
+    case ResultEvent::kLateMismatch:
+      ++r.results;
+      penalise(r, now);
+      break;
+    case ResultEvent::kPartnerMismatch:
+    case ResultEvent::kCanonicalRefuted:
+      penalise(r, now);
+      break;
+  }
+}
+
+bool AdaptiveTrustPolicy::device_trusted(std::uint32_t device_id,
+                                         double now) const {
+  if (device_id >= ledger_.size()) return false;
+  return decayed(ledger_[device_id], now) >= config_.trust_threshold;
+}
+
+double AdaptiveTrustPolicy::score(std::uint32_t device_id, double now) const {
+  if (device_id >= ledger_.size()) return 0.0;
+  return decayed(ledger_[device_id], now);
+}
+
+PolicySummary AdaptiveTrustPolicy::summary() const {
+  PolicySummary s;
+  s.name = name();
+  s.counters = counters_;
+  double total = 0.0;
+  for (const Reputation& r : ledger_) {
+    if (r.results == 0 && r.score <= 0.0) continue;
+    ++s.devices_tracked;
+    const double sc = decayed(r, last_event_time_);
+    total += sc;
+    if (sc >= config_.trust_threshold) ++s.devices_trusted;
+  }
+  if (s.devices_tracked > 0)
+    s.mean_score = total / static_cast<double>(s.devices_tracked);
+  return s;
+}
+
+// --- factory ----------------------------------------------------------------
+
+std::unique_ptr<ValidationPolicy> make_validation_policy(
+    PolicyKind kind, const ValidationConfig& validation,
+    const AdaptiveTrustConfig& adaptive_trust, const util::Rng& rng) {
+  switch (kind) {
+    case PolicyKind::kFixedQuorum:
+      return std::make_unique<FixedQuorumPolicy>(validation);
+    case PolicyKind::kAdaptiveTrust: {
+      util::Rng salt_rng = rng.fork("policy");
+      return std::make_unique<AdaptiveTrustPolicy>(adaptive_trust,
+                                                   salt_rng.next_u64());
+    }
+  }
+  throw ConfigError("unknown validation policy kind");
+}
+
+// --- specs: presets and key = value files -----------------------------------
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+double parse_number(std::string_view token, int line_no) {
+  try {
+    std::size_t used = 0;
+    const std::string s(token);
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("policy spec line " + std::to_string(line_no) +
+                     ": expected a number, got '" + std::string(token) + "'");
+  }
+}
+
+struct Preset {
+  const char* name;
+  const char* text;
+};
+
+// Shipped presets; examples/policies/<name>.policy carries the same text so
+// the file format and the compiled-in specs cannot drift silently (a unit
+// test diffs them).
+constexpr Preset kPresets[] = {
+    {"adaptive",
+     "# Reputation-ledger replication: devices earn credibility from\n"
+     "# verified outcomes (gain 0.5, trusted at 0.3 -- one clean quorum\n"
+     "# round), lose it all on any mismatch, and decay with a 180-day\n"
+     "# half-life. Trusted devices get quorum-1 work with a deterministic\n"
+     "# 1-in-32 spot check; untrusted devices (including every saboteur)\n"
+     "# stay at quorum-2.\n"
+     "policy = adaptive\n"
+     "trust_gain = 0.5\n"
+     "trust_threshold = 0.3\n"
+     "trust_half_life_days = 180\n"
+     "spot_check_every = 32\n"},
+    {"fixed",
+     "# The paper's Phase I regime: quorum-2 validation for the first 11\n"
+     "# weeks, then the range check alone with 27% of workunits still\n"
+     "# double-issued as spot checks (Section 5.1; redundancy factor 1.37).\n"
+     "policy = fixed\n"
+     "quorum2_weeks = 11\n"
+     "spot_check_fraction = 0.27\n"},
+    {"fixed-q2",
+     "# Quorum-2 everywhere: every workunit is double-issued and validated\n"
+     "# by pairwise comparison for the whole campaign. The zero-leakage\n"
+     "# baseline the policy matrix scores adaptive replication against\n"
+     "# (redundancy ~2x).\n"
+     "policy = fixed\n"
+     "quorum2_weeks = 1000000\n"
+     "spot_check_fraction = 0\n"},
+};
+
+const Preset* find_preset(std::string_view name) {
+  for (const Preset& p : kPresets)
+    if (name == p.name) return &p;
+  return nullptr;
+}
+
+}  // namespace
+
+PolicySpec parse_policy_spec(std::string_view text) {
+  PolicySpec spec;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv = line;
+    if (const auto hash = sv.find('#'); hash != std::string_view::npos)
+      sv = sv.substr(0, hash);
+    sv = trim(sv);
+    if (sv.empty()) continue;
+    const auto eq = sv.find('=');
+    if (eq == std::string_view::npos)
+      throw ParseError("policy spec line " + std::to_string(line_no) +
+                       ": expected 'key = value', got '" + std::string(sv) +
+                       "'");
+    const std::string_view key = trim(sv.substr(0, eq));
+    const std::string_view value = trim(sv.substr(eq + 1));
+    if (key == "policy") {
+      if (value == "fixed") spec.kind = PolicyKind::kFixedQuorum;
+      else if (value == "adaptive") spec.kind = PolicyKind::kAdaptiveTrust;
+      else
+        throw ParseError("policy spec line " + std::to_string(line_no) +
+                         ": unknown policy '" + std::string(value) +
+                         "' (fixed | adaptive)");
+    } else if (key == "quorum2_weeks") {
+      spec.validation.quorum2_until =
+          parse_number(value, line_no) * kSecondsPerWeek;
+    } else if (key == "spot_check_fraction") {
+      spec.validation.spot_check_fraction = parse_number(value, line_no);
+    } else if (key == "trust_gain") {
+      spec.adaptive_trust.trust_gain = parse_number(value, line_no);
+    } else if (key == "trust_threshold") {
+      spec.adaptive_trust.trust_threshold = parse_number(value, line_no);
+    } else if (key == "trust_half_life_days") {
+      spec.adaptive_trust.half_life_days = parse_number(value, line_no);
+    } else if (key == "spot_check_every") {
+      const double v = parse_number(value, line_no);
+      if (!(v >= 0.0) || v != std::floor(v))
+        throw ParseError("policy spec line " + std::to_string(line_no) +
+                         ": spot_check_every must be a non-negative integer");
+      spec.adaptive_trust.spot_check_every = static_cast<std::uint32_t>(v);
+    } else {
+      throw ParseError("policy spec line " + std::to_string(line_no) +
+                       ": unknown key '" + std::string(key) + "'");
+    }
+  }
+  return spec;
+}
+
+PolicySpec load_policy_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open policy spec file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_policy_spec(text.str());
+}
+
+const std::vector<std::string>& policy_preset_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const Preset& p : kPresets) out.emplace_back(p.name);
+    std::sort(out.begin(), out.end());
+    return out;
+  }();
+  return names;
+}
+
+bool is_policy_preset(std::string_view name) {
+  return find_preset(name) != nullptr;
+}
+
+PolicySpec policy_preset(std::string_view name) {
+  return parse_policy_spec(policy_preset_text(name));
+}
+
+std::string_view policy_preset_text(std::string_view name) {
+  const Preset* p = find_preset(name);
+  if (p == nullptr)
+    throw ConfigError("unknown policy preset: " + std::string(name));
+  return p->text;
+}
+
+}  // namespace hcmd::server

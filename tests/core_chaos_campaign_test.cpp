@@ -67,6 +67,38 @@ TEST(ChaosCampaign, CompletesCleanlyUnderCompoundFaults) {
   EXPECT_EQ(report.faults.plan.outages.size(), 1u);
 }
 
+TEST(ChaosCampaign, AdaptivePolicyStopsSaboteurFleet) {
+  // The adversarial acceptance case: a fleet where 1% of devices corrupt
+  // every result they return, validated by the adaptive reputation ledger
+  // (saboteurs never earn a verified outcome, so they never leave quorum-2
+  // and can never be the sole validator). The campaign must finish with
+  // zero corrupt results assimilated — at a redundancy nowhere near the
+  // quorum-2-everywhere ~2x it would otherwise take.
+  CampaignConfig config;
+  config.scale = 0.01;
+  config.faults = faults::fault_preset("saboteur-1pct");
+  config.server.policy = server::PolicyKind::kAdaptiveTrust;
+  const CampaignReport report = run_campaign(config);
+
+  EXPECT_TRUE(report.completed);
+  const auto& f = report.faults.counters;
+  EXPECT_GT(f.saboteur_devices, 0u);
+  EXPECT_GT(f.saboteur_corrupted_results, 0u);
+  EXPECT_GT(report.validation.corruption_injected, 0u);
+  EXPECT_EQ(report.validation.corruption_assimilated, 0u);
+  EXPECT_EQ(report.counters.corrupt_assimilated, 0u);
+
+  // The ledger did its job the cheap way: most decisions were quorum-1,
+  // mismatching devices were escalated, and the redundancy stayed under
+  // the 1.2x acceptance bound.
+  EXPECT_EQ(report.validation.policy.name, "adaptive");
+  EXPECT_GT(report.validation.policy.counters.solo_issues,
+            report.validation.policy.counters.quorum2_decisions);
+  EXPECT_GT(report.validation.policy.counters.escalations, 0u);
+  EXPECT_GT(report.counters.quorum_mismatches, 0u);
+  EXPECT_LT(report.redundancy_factor, 1.25);
+}
+
 TEST(ChaosCampaign, ReplaysBitIdentically) {
   const CampaignReport a = run_campaign(chaos_config());
   const CampaignReport b = run_campaign(chaos_config());

@@ -98,6 +98,29 @@ void expect_reports_identical(const CampaignReport& a,
   EXPECT_EQ(a.faults.counters.straggler_devices,
             b.faults.counters.straggler_devices);
 
+  // Validation-policy state mutates only inside merge-ordered server calls,
+  // so every decision tally — and the reputation ledger behind them — must
+  // be partition-invariant too.
+  EXPECT_EQ(a.validation.policy.name, b.validation.policy.name);
+  const auto& pa = a.validation.policy.counters;
+  const auto& pb = b.validation.policy.counters;
+  EXPECT_EQ(pa.decisions, pb.decisions);
+  EXPECT_EQ(pa.quorum2_decisions, pb.quorum2_decisions);
+  EXPECT_EQ(pa.spot_checks, pb.spot_checks);
+  EXPECT_EQ(pa.solo_issues, pb.solo_issues);
+  EXPECT_EQ(pa.escalations, pb.escalations);
+  EXPECT_EQ(pa.trust_promotions, pb.trust_promotions);
+  EXPECT_EQ(pa.trust_demotions, pb.trust_demotions);
+  EXPECT_EQ(a.validation.policy.devices_tracked,
+            b.validation.policy.devices_tracked);
+  EXPECT_EQ(a.validation.policy.devices_trusted,
+            b.validation.policy.devices_trusted);
+  EXPECT_EQ(a.validation.policy.mean_score,
+            b.validation.policy.mean_score);  // bitwise, no NEAR
+  EXPECT_EQ(a.validation.corruption_injected, b.validation.corruption_injected);
+  EXPECT_EQ(a.validation.corruption_assimilated,
+            b.validation.corruption_assimilated);
+
   // Registry counters are striped atomics: exact in any interleaving, and
   // interned in a deterministic order on the main thread.
   ASSERT_EQ(a.telemetry_counters.size(), b.telemetry_counters.size());
@@ -125,17 +148,40 @@ TEST(ShardDeterminism, BitIdenticalAcrossShardCounts) {
 }
 
 TEST(ShardDeterminism, BitIdenticalUnderFaultInjection) {
-  // The saboteur preset exercises every fault family drawn from per-device
-  // streams (corruption, loss, stragglers): the fault layer must also be
-  // partition-invariant.
+  // The saboteur preset plus an in-flight corruption rate exercises every
+  // fault family drawn from per-device streams (corruption, saboteurs,
+  // loss, stragglers): the fault layer must also be partition-invariant.
   CampaignConfig seq = base_config();
   seq.faults = faults::fault_preset("saboteur-1pct");
+  seq.faults.corruption_rate = 0.01;
   CampaignConfig par = seq;
   par.shards = 4;
   const CampaignReport a = run_campaign(seq);
   const CampaignReport b = run_campaign(par);
   EXPECT_TRUE(a.faults.enabled);
   EXPECT_GT(a.faults.counters.corrupted_results, 0u);
+  EXPECT_GT(a.faults.counters.saboteur_devices, 0u);
+  EXPECT_GT(a.faults.counters.saboteur_corrupted_results, 0u);
+  expect_reports_identical(a, b);
+}
+
+TEST(ShardDeterminism, AdaptivePolicyBitIdenticalAcrossShards) {
+  // The reputation ledger is the newest piece of merge-ordered server
+  // state: an adaptive-policy campaign over a saboteur-carrying fleet must
+  // reproduce the K = 1 report — including every trust promotion, spot
+  // check and escalation — at K = 4.
+  CampaignConfig seq = base_config();
+  seq.server.policy = server::PolicyKind::kAdaptiveTrust;
+  seq.faults = faults::fault_preset("saboteur-1pct");
+  CampaignConfig par = seq;
+  par.shards = 4;
+  const CampaignReport a = run_campaign(seq);
+  const CampaignReport b = run_campaign(par);
+  EXPECT_EQ(a.validation.policy.name, "adaptive");
+  EXPECT_GT(a.validation.policy.counters.spot_checks, 0u);
+  EXPECT_GT(a.validation.policy.counters.escalations, 0u);
+  EXPECT_GT(a.validation.corruption_injected, 0u);
+  EXPECT_EQ(a.validation.corruption_assimilated, 0u);
   expect_reports_identical(a, b);
 }
 

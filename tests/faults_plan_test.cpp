@@ -64,6 +64,8 @@ TEST(FaultPlan, ParserReadsEveryKey) {
       "loss_rate = 0.125\n"
       "straggler_fraction = 0.5\n"
       "straggler_slowdown = 3\n"
+      "saboteur_fraction = 0.01\n"
+      "saboteur_corruption_rate = 0.875\n"
       "churn_spike = 100 0.75\n"
       "backoff_initial_minutes = 10\n"
       "backoff_cap_hours = 2\n"
@@ -78,6 +80,8 @@ TEST(FaultPlan, ParserReadsEveryKey) {
   EXPECT_DOUBLE_EQ(p.loss_rate, 0.125);
   EXPECT_DOUBLE_EQ(p.straggler_fraction, 0.5);
   EXPECT_DOUBLE_EQ(p.straggler_slowdown, 3.0);
+  EXPECT_DOUBLE_EQ(p.saboteur_fraction, 0.01);
+  EXPECT_DOUBLE_EQ(p.saboteur_corruption_rate, 0.875);
   ASSERT_EQ(p.churn_spikes.size(), 1u);
   EXPECT_DOUBLE_EQ(p.churn_spikes[0].time_seconds, 100.0 * kHour);
   EXPECT_DOUBLE_EQ(p.churn_spikes[0].death_fraction, 0.75);

@@ -1,0 +1,275 @@
+// The pluggable validation-policy layer: the reputation ledger's score
+// dynamics (credit, hard reset, half-life decay), deterministic spot
+// checks, quorum escalation for untrusted devices, the policy spec parser,
+// and the preset-vs-shipped-file lockstep.
+#include "server/validation_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "server/server.hpp"
+#include "util/duration.hpp"
+#include "util/error.hpp"
+
+namespace hcmd::server {
+namespace {
+
+using util::kSecondsPerDay;
+
+AdaptiveTrustConfig ledger_config() {
+  AdaptiveTrustConfig cfg;
+  cfg.trust_gain = 0.5;
+  cfg.trust_threshold = 0.3;
+  cfg.half_life_days = 180.0;
+  cfg.spot_check_every = 4;
+  return cfg;
+}
+
+TEST(ReputationLedger, CreditIsSaturatingAndPromotesOnce) {
+  AdaptiveTrustPolicy p(ledger_config(), /*salt=*/1);
+  EXPECT_FALSE(p.device_trusted(7, 0.0));
+  p.on_result(7, 0.0, ResultEvent::kQuorumVerified);
+  // s <- 0 + 0.5 * (1 - 0): one clean quorum round crosses the threshold.
+  EXPECT_DOUBLE_EQ(p.score(7, 0.0), 0.5);
+  EXPECT_TRUE(p.device_trusted(7, 0.0));
+  EXPECT_EQ(p.counters().trust_promotions, 1u);
+  // Saturating towards 1: 0.5 -> 0.75 -> 0.875, no second promotion.
+  p.on_result(7, 0.0, ResultEvent::kPartnerVerified);
+  p.on_result(7, 0.0, ResultEvent::kCanonicalConfirmed);
+  EXPECT_DOUBLE_EQ(p.score(7, 0.0), 0.875);
+  EXPECT_EQ(p.counters().trust_promotions, 1u);
+}
+
+TEST(ReputationLedger, ScoreDecaysWithConfiguredHalfLife) {
+  AdaptiveTrustPolicy p(ledger_config(), /*salt=*/1);
+  p.on_result(3, 0.0, ResultEvent::kQuorumVerified);  // score 0.5 at t=0
+  const double half_life = 180.0 * kSecondsPerDay;
+  EXPECT_DOUBLE_EQ(p.score(3, half_life), 0.25);
+  EXPECT_DOUBLE_EQ(p.score(3, 2.0 * half_life), 0.125);
+  // Trust expires when the decayed score crosses the 0.3 threshold:
+  // 0.5 * 2^(-t/hl) = 0.3 at t = hl * log2(5/3) ~ 132.7 days.
+  const double expiry = half_life * std::log2(0.5 / 0.3);
+  EXPECT_TRUE(p.device_trusted(3, expiry - 60.0));
+  EXPECT_FALSE(p.device_trusted(3, expiry + 60.0));
+}
+
+TEST(ReputationLedger, SingleMismatchResetsToUntrusted) {
+  AdaptiveTrustPolicy p(ledger_config(), /*salt=*/1);
+  // Build a device up to a strong score...
+  for (int i = 0; i < 4; ++i)
+    p.on_result(5, 0.0, ResultEvent::kQuorumVerified);
+  EXPECT_GT(p.score(5, 0.0), 0.9);
+  // ...one contradiction wipes it: hard reset, not a decrement.
+  p.on_result(5, 1.0, ResultEvent::kQuorumMismatch);
+  EXPECT_DOUBLE_EQ(p.score(5, 1.0), 0.0);
+  EXPECT_FALSE(p.device_trusted(5, 1.0));
+  EXPECT_EQ(p.counters().trust_demotions, 1u);
+  // Partner-side contradictions penalise just the same.
+  p.on_result(5, 2.0, ResultEvent::kQuorumVerified);
+  EXPECT_TRUE(p.device_trusted(5, 2.0));
+  p.on_result(5, 3.0, ResultEvent::kPartnerMismatch);
+  EXPECT_FALSE(p.device_trusted(5, 3.0));
+}
+
+TEST(ReputationLedger, UnverifiedResultsEarnNoCredibility) {
+  AdaptiveTrustPolicy p(ledger_config(), /*salt=*/1);
+  // A saboteur's output looks clean until compared: range-check acceptance
+  // and pending-quorum returns must not move the score.
+  p.on_result(9, 0.0, ResultEvent::kAssimilatedUnverified);
+  p.on_result(9, 0.0, ResultEvent::kPendingQuorum);
+  EXPECT_DOUBLE_EQ(p.score(9, 0.0), 0.0);
+  EXPECT_FALSE(p.device_trusted(9, 0.0));
+}
+
+TEST(ReputationLedger, SpotChecksAreDeterministicAcrossReplays) {
+  // Same salt -> the same device produces the same 1-in-K spot-check
+  // pattern on replay, decision for decision.
+  util::Rng rng(99);
+  for (std::uint32_t device : {0u, 11u, 200u}) {
+    AdaptiveTrustPolicy a(ledger_config(), /*salt=*/0xfeed);
+    AdaptiveTrustPolicy b(ledger_config(), /*salt=*/0xfeed);
+    a.on_result(device, 0.0, ResultEvent::kQuorumVerified);
+    b.on_result(device, 0.0, ResultEvent::kQuorumVerified);
+    std::uint32_t spot_a = 0;
+    std::uint32_t spot_b = 0;
+    for (int i = 0; i < 32; ++i) {
+      const IssueDecision da = a.on_first_issue(device, 1.0, rng);
+      const IssueDecision db = b.on_first_issue(device, 1.0, rng);
+      EXPECT_EQ(da.quorum_needed, db.quorum_needed);
+      EXPECT_EQ(da.target_issues, db.target_issues);
+      spot_a += (da.quorum_needed == 1 && da.target_issues == 2) ? 1u : 0u;
+      spot_b += (db.quorum_needed == 1 && db.target_issues == 2) ? 1u : 0u;
+    }
+    // Exactly 1 in K of a trusted device's decisions are spot checks.
+    EXPECT_EQ(spot_a, 32u / ledger_config().spot_check_every);
+    EXPECT_EQ(spot_a, spot_b);
+  }
+}
+
+TEST(ReputationLedger, EscalatesQuorumOnlyForUntrustedDevices) {
+  AdaptiveTrustPolicy p(ledger_config(), /*salt=*/1);
+  p.on_result(1, 0.0, ResultEvent::kQuorumVerified);  // device 1 trusted
+  // A re-issued / extra / end-game copy handed to an untrusted device
+  // escalates the workunit to quorum-2; a trusted device leaves it alone.
+  EXPECT_EQ(p.escalate_quorum(1, 1.0, 1), 1);
+  EXPECT_EQ(p.escalate_quorum(2, 1.0, 1), 2);
+  EXPECT_EQ(p.counters().escalations, 1u);
+  // Already at quorum-2: nothing to do either way.
+  EXPECT_EQ(p.escalate_quorum(2, 1.0, 2), 2);
+  EXPECT_EQ(p.counters().escalations, 1u);
+}
+
+TEST(ReputationLedger, AdaptivePolicyNeverDrawsFromServerStream) {
+  // The determinism contract: adding the adaptive policy to a run must not
+  // perturb the server's RNG stream (its spot checks are counter-hashed,
+  // not drawn). Replaying identical calls against two policies around the
+  // same Rng must leave the stream untouched.
+  util::Rng rng(7);
+  util::Rng untouched(7);
+  AdaptiveTrustPolicy p(ledger_config(), /*salt=*/42);
+  p.on_result(0, 0.0, ResultEvent::kQuorumVerified);
+  for (int i = 0; i < 16; ++i) p.on_first_issue(0, 1.0, rng);
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+// --- server-level behaviour -------------------------------------------------
+
+std::vector<packaging::Workunit> make_catalog(std::size_t n) {
+  std::vector<packaging::Workunit> catalog;
+  for (std::size_t i = 0; i < n; ++i) {
+    packaging::Workunit wu;
+    wu.id = i;
+    wu.receptor = 0;
+    wu.ligand = 0;
+    wu.isep_begin = 0;
+    wu.isep_end = 10;
+    wu.reference_seconds = 3600.0;
+    catalog.push_back(wu);
+  }
+  return catalog;
+}
+
+ResultReport clean() {
+  ResultReport r;
+  r.reported_runtime = 100.0;
+  r.reference_seconds = 3600.0;
+  return r;
+}
+
+ServerConfig adaptive_config() {
+  ServerConfig cfg;
+  cfg.policy = PolicyKind::kAdaptiveTrust;
+  cfg.adaptive_trust.spot_check_every = 0;  // no spot noise in assertions
+  cfg.endgame_max_outstanding = 0;
+  return cfg;
+}
+
+TEST(AdaptivePolicyServer, UntrustedStartAtQuorum2ThenDropToSolo) {
+  ProjectServer server(make_catalog(2), adaptive_config());
+  // Two unknown devices: the first workunit goes out quorum-2.
+  const auto a1 = server.request_work(1, 0.0);
+  const auto a2 = server.request_work(2, 0.0);
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_EQ(a1->workunit.id, a2->workunit.id);
+  // Both clean, quorum agrees: both devices now carry a verified outcome.
+  EXPECT_EQ(server.report_result(a1->result_id, 10.0, clean()),
+            ResultState::kPendingValidation);
+  EXPECT_EQ(server.report_result(a2->result_id, 11.0, clean()),
+            ResultState::kValid);
+  EXPECT_TRUE(server.policy().device_trusted(1, 11.0));
+  EXPECT_TRUE(server.policy().device_trusted(2, 11.0));
+  // The next workunit to a trusted device is a solo issue: the second
+  // device asking gets nothing (no copy to hand out).
+  const auto b1 = server.request_work(1, 12.0);
+  ASSERT_TRUE(b1);
+  EXPECT_FALSE(server.request_work(2, 12.0));
+  EXPECT_EQ(server.report_result(b1->result_id, 20.0, clean()),
+            ResultState::kValid);
+  EXPECT_TRUE(server.complete());
+  EXPECT_EQ(server.policy().counters().quorum2_decisions, 1u);
+  EXPECT_EQ(server.policy().counters().solo_issues, 1u);
+}
+
+// --- specs, presets and the shipped example files ---------------------------
+
+TEST(PolicySpec, ParserReadsEveryKey) {
+  const PolicySpec s = parse_policy_spec(
+      "# comment\n"
+      "policy = adaptive\n"
+      "quorum2_weeks = 11\n"
+      "spot_check_fraction = 0.27\n"
+      "trust_gain = 0.25   # trailing comment\n"
+      "trust_threshold = 0.6\n"
+      "trust_half_life_days = 90\n"
+      "spot_check_every = 12\n"
+      "\n");
+  EXPECT_EQ(s.kind, PolicyKind::kAdaptiveTrust);
+  EXPECT_DOUBLE_EQ(s.validation.quorum2_until, 11.0 * 7.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(s.validation.spot_check_fraction, 0.27);
+  EXPECT_DOUBLE_EQ(s.adaptive_trust.trust_gain, 0.25);
+  EXPECT_DOUBLE_EQ(s.adaptive_trust.trust_threshold, 0.6);
+  EXPECT_DOUBLE_EQ(s.adaptive_trust.half_life_days, 90.0);
+  EXPECT_EQ(s.adaptive_trust.spot_check_every, 12u);
+}
+
+TEST(PolicySpec, ParserRejectsGarbage) {
+  EXPECT_THROW(parse_policy_spec("policy = frobnicate\n"), ParseError);
+  EXPECT_THROW(parse_policy_spec("frobnicate = 1\n"), ParseError);
+  EXPECT_THROW(parse_policy_spec("trust_gain = banana\n"), ParseError);
+  EXPECT_THROW(parse_policy_spec("no equals sign here\n"), ParseError);
+}
+
+TEST(PolicySpec, PresetsResolveAndUnknownThrows) {
+  for (const std::string& name : policy_preset_names()) {
+    EXPECT_TRUE(is_policy_preset(name));
+    // Each preset text parses back to the same spec the preset returns.
+    const PolicySpec from_text = parse_policy_spec(policy_preset_text(name));
+    const PolicySpec direct = policy_preset(name);
+    EXPECT_EQ(from_text.kind, direct.kind) << name;
+    EXPECT_DOUBLE_EQ(from_text.validation.quorum2_until,
+                     direct.validation.quorum2_until)
+        << name;
+    EXPECT_DOUBLE_EQ(from_text.adaptive_trust.trust_threshold,
+                     direct.adaptive_trust.trust_threshold)
+        << name;
+    EXPECT_EQ(from_text.adaptive_trust.spot_check_every,
+              direct.adaptive_trust.spot_check_every)
+        << name;
+  }
+  EXPECT_FALSE(is_policy_preset("no-such-policy"));
+  EXPECT_THROW(policy_preset("no-such-policy"), ConfigError);
+  EXPECT_THROW(policy_preset_text("no-such-policy"), ConfigError);
+}
+
+TEST(PolicySpec, AdaptivePresetMatchesDocumentedDefaults) {
+  // The preset ships the tuned defaults; AdaptiveTrustConfig{} must agree
+  // so `--policy adaptive` and a default-constructed config cannot diverge.
+  const PolicySpec s = policy_preset("adaptive");
+  const AdaptiveTrustConfig defaults;
+  EXPECT_DOUBLE_EQ(s.adaptive_trust.trust_gain, defaults.trust_gain);
+  EXPECT_DOUBLE_EQ(s.adaptive_trust.trust_threshold,
+                   defaults.trust_threshold);
+  EXPECT_DOUBLE_EQ(s.adaptive_trust.half_life_days, defaults.half_life_days);
+  EXPECT_EQ(s.adaptive_trust.spot_check_every, defaults.spot_check_every);
+}
+
+// The compiled-in presets and the shipped policy files must stay in
+// lockstep, byte for byte — otherwise `--policy adaptive` and
+// `--policy examples/policies/adaptive.policy` could silently diverge.
+TEST(PolicySpec, PresetTextMatchesShippedExampleFiles) {
+  for (const std::string& name : policy_preset_names()) {
+    const std::string path = std::string(HCMD_SOURCE_DIR) +
+                             "/examples/policies/" + name + ".policy";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing example policy file: " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    EXPECT_EQ(text.str(), policy_preset_text(name)) << path;
+  }
+}
+
+}  // namespace
+}  // namespace hcmd::server

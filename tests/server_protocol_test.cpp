@@ -343,6 +343,7 @@ TEST(Protocol, StatusExtendedFieldsRoundTrip) {
   m.rpc_duplicate_reports = 5;
   m.rpc_status = 6;
   m.rpc_errors = 7;
+  m.policy = 1;  // server runs the adaptive validation policy
   m.span = proto::SpanBlock{0.5, 0.5, 1.0, 1.5};
   std::vector<std::uint8_t> buf;
   proto::encode(m, buf);
@@ -355,6 +356,7 @@ TEST(Protocol, StatusExtendedFieldsRoundTrip) {
   EXPECT_EQ(d.rpc_duplicate_reports, 5u);
   EXPECT_EQ(d.rpc_status, 6u);
   EXPECT_EQ(d.rpc_errors, 7u);
+  EXPECT_EQ(d.policy, 1);
   ASSERT_TRUE(d.span.has_value());
   EXPECT_EQ(d.span->t_dequeue, 1.0);
 }

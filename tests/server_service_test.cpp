@@ -362,7 +362,10 @@ TEST(GridService, SpanSamplingThinsStatisticsButNotTheExactLanes) {
   for (std::uint64_t s = 1; s <= 8; ++s) {
     WireRequest m = request_work(0, s, 5.0 + static_cast<double>(s));
     m.flags = proto::kFlagWantSpan;
-    const proto::Frame f = sole_frame(svc.handle(m));
+    // The frame is a view into the response bytes: keep the response alive
+    // across the decode.
+    const WireResponse r = svc.handle(m);
+    const proto::Frame f = sole_frame(r);
     // Exact lane: the echo answers every flagged request, sampled or not.
     EXPECT_TRUE(proto::decode_assignment(f).span.has_value());
   }

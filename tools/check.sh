@@ -40,10 +40,17 @@ if [[ -x "$bench" ]]; then
   # exceed ARG_MAX and the kernel would kill the python3 exec with E2BIG.
   overhead_json="$(mktemp)"
   trap 'rm -f "$overhead_json"' EXIT
-  "$bench" \
-    --benchmark_filter='^BM_CampaignWeek$|^BM_CampaignWeekTelemetry$' \
-    --benchmark_format=json >"$overhead_json" 2>/dev/null
-  python3 - "$overhead_json" <<'PY'
+  # Check both stages explicitly: `set -e` is silent about WHAT failed (and
+  # is off entirely if someone sources this script), so a crashed bench or
+  # a failed ratio check must name itself and exit non-zero on its own.
+  if ! "$bench" \
+      --benchmark_filter='^BM_CampaignWeek$|^BM_CampaignWeekTelemetry$' \
+      --benchmark_format=json >"$overhead_json" 2>/dev/null; then
+    echo "overhead smoke: bench_kernels exited non-zero" >&2
+    exit 1
+  fi
+  smoke_status=0
+  python3 - "$overhead_json" <<'PY' || smoke_status=$?
 import json, sys
 with open(sys.argv[1]) as f:
     rows = {b["name"]: b["real_time"]
@@ -56,6 +63,10 @@ print(f"BM_CampaignWeek {base/1e6:.2f} ms | telemetry {traced/1e6:.2f} ms "
 if ratio > 1.5:
     sys.exit(f"telemetry overhead ratio {ratio:.3f} exceeds 1.5x gate")
 PY
+  if [[ "$smoke_status" -ne 0 ]]; then
+    echo "overhead smoke: ratio check failed" >&2
+    exit "$smoke_status"
+  fi
 else
   echo "bench_kernels not built; skipping overhead smoke"
 fi

@@ -18,6 +18,10 @@
 //   --progress            print a live weekly progress ticker
 //   --faults <name|file>  inject a fault plan: a compiled-in preset name or
 //                         a plan file (see examples/faults/)
+//   --policy <name|file>  select the validation policy: a compiled-in preset
+//                         name or a spec file (see examples/policies/)
+//   --replicas <n>        run n independent seeds (Monte-Carlo replication)
+//                         and report mean +- ci95 per headline metric
 //   --quorum2-weeks <w>   override how long quorum-2 validation runs
 //   --max-weeks <w>       override the simulation's hard stop
 #include <cerrno>
@@ -41,6 +45,7 @@
 #include "server/net.hpp"
 #include "server/service.hpp"
 #include "core/phase2.hpp"
+#include "core/replication.hpp"
 #include "core/run_report.hpp"
 #include "obs/trace.hpp"
 #include "dedicated/calibration.hpp"
@@ -127,9 +132,11 @@ struct RunOptions {
   std::string trace_path;        ///< Chrome trace_event JSON
   std::string trace_jsonl_path;  ///< one event per line
   std::string faults_spec;       ///< preset name or plan-file path
+  std::string policy_spec;       ///< preset name or spec-file path
   double quorum2_weeks = -1.0;   ///< < 0: keep the scenario default
   double max_weeks = -1.0;       ///< < 0: keep the scenario default
   long shards = -1;              ///< < 0: keep the scenario default
+  long replicas = 0;             ///< > 0: Monte-Carlo replication run
   bool progress = false;
 
   /// Applies the config-overriding flags (chaos runs extend quorum-2 over
@@ -167,6 +174,33 @@ bool resolve_faults(const std::string& spec, faults::FaultPlan& out) {
   }
 }
 
+/// Resolves `--policy <spec>` onto the server config — preset names win
+/// over file paths, like `--faults`. The spec replaces the whole validation
+/// configuration, so it runs before the single-knob overrides
+/// (`--quorum2-weeks` still wins over a spec file).
+bool resolve_policy(const std::string& spec, server::ServerConfig& out) {
+  server::PolicySpec parsed;
+  if (server::is_policy_preset(spec)) {
+    parsed = server::policy_preset(spec);
+  } else {
+    try {
+      parsed = server::load_policy_spec(spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hcmdgrid: --policy %s: %s\n", spec.c_str(),
+                   e.what());
+      std::fprintf(stderr, "known presets:");
+      for (const std::string& name : server::policy_preset_names())
+        std::fprintf(stderr, " %s", name.c_str());
+      std::fprintf(stderr, "\n");
+      return false;
+    }
+  }
+  out.policy = parsed.kind;
+  out.validation = parsed.validation;
+  out.adaptive_trust = parsed.adaptive_trust;
+  return true;
+}
+
 /// Splits `argv[start..)` into positional arguments and RunOptions flags.
 /// Returns false on a flag missing its value.
 bool parse_run_args(int argc, char** argv, int start, RunOptions& opts,
@@ -176,7 +210,7 @@ bool parse_run_args(int argc, char** argv, int start, RunOptions& opts,
     if (a == "--progress") {
       opts.progress = true;
     } else if (a == "--report" || a == "--trace" || a == "--trace-jsonl" ||
-               a == "--faults") {
+               a == "--faults" || a == "--policy") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "hcmdgrid: %s needs a file argument\n",
                      argv[i]);
@@ -186,15 +220,17 @@ bool parse_run_args(int argc, char** argv, int start, RunOptions& opts,
       if (a == "--report") opts.report_path = v;
       else if (a == "--trace") opts.trace_path = v;
       else if (a == "--faults") opts.faults_spec = v;
+      else if (a == "--policy") opts.policy_spec = v;
       else opts.trace_jsonl_path = v;
     } else if (a == "--quorum2-weeks" || a == "--max-weeks" ||
-               a == "--shards") {
+               a == "--shards" || a == "--replicas") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "hcmdgrid: %s needs a number argument\n",
                      argv[i]);
         return false;
       }
       if (a == "--shards") opts.shards = std::atol(argv[++i]);
+      else if (a == "--replicas") opts.replicas = std::atol(argv[++i]);
       else {
         const double v = std::atof(argv[++i]);
         if (a == "--quorum2-weeks") opts.quorum2_weeks = v;
@@ -225,9 +261,37 @@ int write_file(const std::string& path, const std::string& contents) {
   return ok ? 0 : 1;
 }
 
+/// Monte-Carlo replication path: R independent seeds, a mean +- ci95 table,
+/// and (with --report) the replication JSON the policy matrix consumes.
+int run_replicated(const core::CampaignConfig& config,
+                   const RunOptions& opts) {
+  const core::ReplicationResult result = core::replicate_campaign(
+      config, static_cast<std::size_t>(opts.replicas));
+  std::printf("replicas: %zu (policy %s)\n", result.replicas,
+              server::policy_kind_name(config.server.policy));
+  for (const auto& m : result.metrics)
+    std::printf("  %-24s %10.3f +- %.3f  [%.3f, %.3f]\n", m.name.c_str(),
+                m.mean, m.ci95, m.min, m.max);
+  std::uint64_t injected = 0;
+  std::uint64_t assimilated = 0;
+  for (const auto& r : result.reports) {
+    injected += r.validation.corruption_injected;
+    assimilated += r.validation.corruption_assimilated;
+  }
+  std::printf("corruption: %llu injected, %llu assimilated across all "
+              "replicas\n",
+              static_cast<unsigned long long>(injected),
+              static_cast<unsigned long long>(assimilated));
+  if (!opts.report_path.empty())
+    return write_file(opts.report_path,
+                      core::replication_report_json(config, result));
+  return 0;
+}
+
 /// Runs a campaign with the requested observation attached and writes the
 /// report/trace files.
 int run_observed(const core::CampaignConfig& config, const RunOptions& opts) {
+  if (opts.replicas > 0) return run_replicated(config, opts);
   std::optional<obs::Tracer> tracer;
   if (!opts.trace_path.empty() || !opts.trace_jsonl_path.empty() ||
       !opts.report_path.empty())
@@ -273,6 +337,9 @@ int cmd_campaign(int denom, double hours, const RunOptions& opts) {
   if (!opts.faults_spec.empty() &&
       !resolve_faults(opts.faults_spec, config.faults))
     return 2;
+  if (!opts.policy_spec.empty() &&
+      !resolve_policy(opts.policy_spec, config.server))
+    return 2;
   opts.apply_overrides(config);
   return run_observed(config, opts);
 }
@@ -288,6 +355,9 @@ int cmd_phase2(double grid_vftp, int denom, const RunOptions& opts) {
   core::CampaignConfig config = core::make_phase2_config(scenario);
   if (!opts.faults_spec.empty() &&
       !resolve_faults(opts.faults_spec, config.faults))
+    return 2;
+  if (!opts.policy_spec.empty() &&
+      !resolve_policy(opts.policy_spec, config.server))
     return 2;
   opts.apply_overrides(config);
   return run_observed(config, opts);
@@ -395,6 +465,8 @@ void serve_usage() {
       "  --target-hours <h>   per-workunit reference cost (default 4)\n"
       "  --faults <name|file> fault plan; outage windows refuse work over "
       "the wire\n"
+      "  --policy <name|file> validation policy (fixed, fixed-q2, adaptive, "
+      "or a spec file)\n"
       "  --seed <n>           validation/spot-check RNG seed\n"
       "  --metrics-port <n>   plain-HTTP metrics listener (GET /metrics, "
       "/metrics.json); 0 picks an ephemeral port (default off)\n"
@@ -475,6 +547,7 @@ int cmd_serve(int argc, char** argv) {
   long workunits = 100000;
   double target_hours = 4.0;
   std::string faults_spec;
+  std::string policy_spec;
 
   for (int i = 2; i < argc; ++i) {
     const std::string_view a = argv[i];
@@ -508,6 +581,8 @@ int cmd_serve(int argc, char** argv) {
           serve_usage);
     } else if (a == "--faults") {
       faults_spec = flag_value(argc, argv, i, serve_usage);
+    } else if (a == "--policy") {
+      policy_spec = flag_value(argc, argv, i, serve_usage);
     } else if (a == "--seed") {
       config.seed = static_cast<std::uint64_t>(
           parse_long_flag("--seed", flag_value(argc, argv, i, serve_usage), 0,
@@ -534,6 +609,10 @@ int cmd_serve(int argc, char** argv) {
     }
   }
   if (!faults_spec.empty() && !resolve_faults(faults_spec, config.faults))
+    return 2;
+  // A spec replaces the validation config, including the serve-mode
+  // quorum-off defaults set above.
+  if (!policy_spec.empty() && !resolve_policy(policy_spec, config.server))
     return 2;
 
   server::GridServer grid(
@@ -707,7 +786,10 @@ int usage() {
                "  --trace-jsonl <file>  trace as JSON lines\n"
                "  --progress            weekly progress ticker\n"
                "  --faults <name|file>  fault-plan preset or file "
-               "(presets: outage-weekend, saboteur-1pct)\n"
+               "(presets: outage-weekend, saboteur-1pct, stragglers)\n"
+               "  --policy <name|file>  validation-policy preset or spec file "
+               "(presets: fixed, fixed-q2, adaptive)\n"
+               "  --replicas <n>        Monte-Carlo replication over n seeds\n"
                "  --quorum2-weeks <w>   quorum-2 validation until week w\n"
                "  --max-weeks <w>       hard stop for the simulation\n"
                "  --shards <n>          fleet partitions (parallel engine; "

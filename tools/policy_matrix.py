@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validation-policy sweep: the throughput-vs-leakage frontier.
+
+Runs a {policy} x {fault plan} matrix of replicated small-scale campaigns
+through `hcmdgrid campaign --replicas`, collects each cell's replication
+report, and emits one frontier JSON summarising redundancy factor,
+completion time and corruption leakage per cell. The headline the sweep
+exists to demonstrate: the adaptive reputation-ledger policy cuts the
+paper's ~1.37x redundancy toward ~1.1x while still assimilating zero
+corrupt results under a 1% saboteur fleet — quorum-2-everywhere buys the
+same zero leakage at ~2x redundancy.
+
+Usage:
+  tools/policy_matrix.py [--hcmdgrid build/tools/hcmdgrid]
+                         [--out policy_matrix.json] [--cells-dir DIR]
+                         [--denominator 100] [--hours 4] [--replicas 3]
+                         [--policies fixed,fixed-q2,adaptive]
+                         [--faults none,saboteur-1pct,outage-weekend,stragglers]
+
+Each cell writes its raw replication report to <cells-dir>/ (kept for the
+CI artifact) and is immediately re-validated with
+`validate_report.py --policy` using per-cell bounds:
+
+  - every quorum-2 cell (fixed inside its quorum-2 window, fixed-q2
+    always, adaptive for untrusted devices) must leak nothing under
+    saboteur-1pct: the leakage budget is 0 for fixed-q2 and adaptive;
+  - the paper's fixed regime drops to range-check-only after week 11, so
+    its saboteur cell is allowed (expected, even) to leak — the frontier
+    records the leakage instead of gating on it;
+  - redundancy must sit inside the per-policy band: adaptive <= 1.2x,
+    fixed ~1.37x band [1.2, 1.6], fixed-q2 band [1.8, 2.6].
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+# Per-policy redundancy bands and leakage budgets (fraction of injected
+# corrupt results that may be assimilated). `None` for leakage means the
+# cell is recorded but not gated — the paper's fixed regime is the known
+# leaky point on the frontier once its quorum-2 window closes.
+POLICY_BOUNDS = {
+    "fixed": {"min_red": 1.15, "max_red": 1.6, "leak_budget": None},
+    "fixed-q2": {"min_red": 1.8, "max_red": 2.6, "leak_budget": 0.0},
+    "adaptive": {"min_red": 1.0, "max_red": 1.2, "leak_budget": 0.0},
+}
+
+DEFAULT_POLICIES = ("fixed", "fixed-q2", "adaptive")
+DEFAULT_FAULTS = ("none", "saboteur-1pct", "outage-weekend", "stragglers")
+
+
+def run_cell(opts, policy, faults, cell_path):
+    cmd = [opts.hcmdgrid, "campaign", str(opts.denominator),
+           str(opts.hours), "--policy", policy,
+           "--replicas", str(opts.replicas), "--report", cell_path]
+    if faults != "none":
+        cmd += ["--faults", faults]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.exit(f"policy_matrix: cell {policy} x {faults} failed "
+                 f"(exit {proc.returncode}):\n{proc.stderr}")
+    with open(cell_path) as f:
+        return json.load(f)
+
+
+def validate_cell(opts, policy, faults, cell_path):
+    bounds = POLICY_BOUNDS[policy]
+    cmd = [sys.executable, os.path.join(HERE, "validate_report.py"),
+           cell_path, "--policy",
+           f"--expect={'fixed' if policy.startswith('fixed') else policy}",
+           f"--min-redundancy={bounds['min_red']}",
+           f"--max-redundancy={bounds['max_red']}"]
+    if bounds["leak_budget"] is not None:
+        cmd.append(f"--leakage-budget={bounds['leak_budget']}")
+    else:
+        # Not gated: any leakage fraction up to 1.0 passes validation and
+        # is reported in the frontier instead.
+        cmd.append("--leakage-budget=1.0")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.exit(f"policy_matrix: cell {policy} x {faults} failed "
+                 f"validation:\n{proc.stdout}{proc.stderr}")
+    return proc.stdout.strip()
+
+
+def summarise_cell(doc):
+    runs = doc["runs"]
+    reds = [r["redundancy_factor"] for r in runs]
+    weeks = [r["completion_weeks"] for r in runs]
+    injected = sum(r["validation"]["corruption_injected"] for r in runs)
+    leaked = sum(r["validation"]["corruption_assimilated"] for r in runs)
+    return {
+        "replicas": len(runs),
+        "redundancy_mean": sum(reds) / len(reds),
+        "redundancy_max": max(reds),
+        "completion_weeks_mean": sum(weeks) / len(weeks),
+        "spot_check_rate_mean": sum(
+            r["validation"]["spot_check_rate"] for r in runs) / len(runs),
+        "quorum2_rate_mean": sum(
+            r["validation"]["quorum2_rate"] for r in runs) / len(runs),
+        "escalations": sum(r["validation"]["escalations"] for r in runs),
+        "corruption_injected": injected,
+        "corruption_assimilated": leaked,
+        "leakage_fraction": leaked / injected if injected else 0.0,
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--hcmdgrid", default="build/tools/hcmdgrid")
+    ap.add_argument("--out", default="policy_matrix.json")
+    ap.add_argument("--cells-dir", default="policy_cells")
+    ap.add_argument("--denominator", type=int, default=100)
+    ap.add_argument("--hours", type=int, default=4)
+    ap.add_argument("--replicas", type=int, default=3)
+    ap.add_argument("--policies", default=",".join(DEFAULT_POLICIES))
+    ap.add_argument("--faults", default=",".join(DEFAULT_FAULTS))
+    opts = ap.parse_args()
+
+    policies = [p for p in opts.policies.split(",") if p]
+    fault_plans = [f for f in opts.faults.split(",") if f]
+    for p in policies:
+        if p not in POLICY_BOUNDS:
+            sys.exit(f"policy_matrix: no bounds defined for policy {p!r}")
+    os.makedirs(opts.cells_dir, exist_ok=True)
+
+    cells = []
+    for policy in policies:
+        for faults in fault_plans:
+            name = f"{policy}__{faults}"
+            cell_path = os.path.join(opts.cells_dir, f"{name}.json")
+            print(f"[{name}] running {opts.replicas} replicas ...",
+                  flush=True)
+            doc = run_cell(opts, policy, faults, cell_path)
+            verdict = validate_cell(opts, policy, faults, cell_path)
+            summary = summarise_cell(doc)
+            print(f"[{name}] {verdict}", flush=True)
+            cells.append({"policy": policy, "faults": faults,
+                          "report": os.path.basename(cell_path),
+                          **summary})
+
+    # The frontier: one point per policy on the saboteur plan (the
+    # adversarial cell) — redundancy buys leakage suppression.
+    frontier = [
+        {"policy": c["policy"],
+         "redundancy_mean": c["redundancy_mean"],
+         "leakage_fraction": c["leakage_fraction"],
+         "completion_weeks_mean": c["completion_weeks_mean"]}
+        for c in cells if c["faults"] == "saboteur-1pct"
+    ]
+
+    out = {
+        "schema": "hcmd-policy-matrix/1",
+        "config": {"denominator": opts.denominator, "hours": opts.hours,
+                   "replicas": opts.replicas, "policies": policies,
+                   "fault_plans": fault_plans},
+        "cells": cells,
+        "frontier": frontier,
+    }
+    with open(opts.out, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+
+    print(f"\n{'policy':<10} {'faults':<16} {'redundancy':>10} "
+          f"{'weeks':>6} {'leakage':>8}")
+    for c in cells:
+        print(f"{c['policy']:<10} {c['faults']:<16} "
+              f"{c['redundancy_mean']:>10.4f} "
+              f"{c['completion_weeks_mean']:>6.1f} "
+              f"{c['leakage_fraction']:>8.4f}")
+    print(f"\npolicy matrix ok: {len(cells)} cells -> {opts.out}")
+
+
+if __name__ == "__main__":
+    main()

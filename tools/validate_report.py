@@ -12,10 +12,20 @@ Usage:
   tools/validate_report.py loadgen.json --serve
   tools/validate_report.py metrics.txt --metrics
   tools/validate_report.py flight.jsonl --flight
+  tools/validate_report.py cell.json --policy [--expect=NAME]
+      [--max-redundancy=X] [--min-redundancy=X] [--leakage-budget=F]
 
 --chaos additionally asserts the run injected faults and still finished
 clean: faults.enabled, non-empty fault counters, outcome.completed and
 zero corrupt results assimilated.
+
+--policy validates one policy-matrix cell (a `hcmdgrid --replicas`
+replication report, schema hcmd-replication/1): every replica completed
+and carries a validation block echoing the configured policy, the
+redundancy factor of every replica sits inside
+[--min-redundancy, --max-redundancy], and the leakage fraction
+(corrupt results assimilated / injected, summed over replicas) does not
+exceed --leakage-budget (default 0: any assimilated corruption fails).
 
 --serve validates a `hcmdgrid loadgen --out` summary instead of a campaign
 report: traffic actually flowed (requests, replies, req/s all positive),
@@ -173,6 +183,51 @@ def validate_metrics(path):
           f"{int(requests)} RPCs served at scrape time")
 
 
+def validate_policy(path, expect, min_red, max_red, leak_budget):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "hcmd-replication/1":
+        fail(f"--policy: {path} is not a replication report "
+             f"(schema={doc.get('schema')!r})")
+    for key in ("config", "replicas", "metrics", "runs"):
+        if key not in doc:
+            fail(f"--policy: {path} missing {key!r}")
+    config = doc["config"]
+    runs = doc["runs"]
+    if not runs or doc["replicas"] != len(runs):
+        fail(f"--policy: replicas ({doc['replicas']}) != runs recorded "
+             f"({len(runs)})")
+    policy = config.get("policy")
+    if expect is not None and policy != expect:
+        fail(f"--policy: expected policy {expect!r}, report ran {policy!r}")
+    if not doc["metrics"]:
+        fail("--policy: metric table is empty")
+    for i, run in enumerate(runs):
+        if not run["completed"]:
+            fail(f"--policy: replica {i} did not complete its campaign")
+        v = run.get("validation")
+        if v is None:
+            fail(f"--policy: replica {i} has no validation block")
+        if v["policy"] != policy:
+            fail(f"--policy: replica {i} validation block reports "
+                 f"{v['policy']!r}, config says {policy!r}")
+    reds = [run["redundancy_factor"] for run in runs]
+    if min(reds) < min_red:
+        fail(f"--policy: redundancy {min(reds):.4f} below the floor "
+             f"{min_red} — the report is not counting real work")
+    if max(reds) > max_red:
+        fail(f"--policy: redundancy {max(reds):.4f} exceeds the bound "
+             f"{max_red}")
+    injected = sum(run["validation"]["corruption_injected"] for run in runs)
+    leaked = sum(run["validation"]["corruption_assimilated"] for run in runs)
+    leak_frac = leaked / injected if injected else 0.0
+    if leaked and leak_frac > leak_budget:
+        fail(f"--policy: {leaked}/{injected} corrupt results assimilated "
+             f"(leakage {leak_frac:.4f} > budget {leak_budget})")
+    print(f"policy cell ok: {policy} x {len(runs)} replicas, redundancy "
+          f"[{min(reds):.4f}, {max(reds):.4f}], leakage {leaked}/{injected}")
+
+
 def validate_flight(path):
     rpc_events = 0
     total = 0
@@ -199,16 +254,29 @@ def validate_flight(path):
 
 
 def main():
-    flags = ("--chaos", "--serve", "--metrics", "--flight")
-    argv = [a for a in sys.argv[1:] if a not in flags]
+    flags = ("--chaos", "--serve", "--metrics", "--flight", "--policy")
+    kv_flags = ("--expect=", "--max-redundancy=", "--min-redundancy=",
+                "--leakage-budget=")
+    argv = [a for a in sys.argv[1:]
+            if a not in flags and not a.startswith(kv_flags)]
     chaos = "--chaos" in sys.argv[1:]
     serve = "--serve" in sys.argv[1:]
     metrics = "--metrics" in sys.argv[1:]
     flight = "--flight" in sys.argv[1:]
+    policy = "--policy" in sys.argv[1:]
     if not argv:
         fail("usage: validate_report.py report.json [trace.json] "
              "[--chaos] | loadgen.json --serve | metrics.txt --metrics "
-             "| flight.jsonl --flight")
+             "| flight.jsonl --flight | cell.json --policy")
+    if policy:
+        kv = dict(a[2:].split("=", 1) for a in sys.argv[1:]
+                  if a.startswith(kv_flags))
+        validate_policy(argv[0],
+                        expect=kv.get("expect"),
+                        min_red=float(kv.get("min-redundancy", 1.0)),
+                        max_red=float(kv.get("max-redundancy", 2.6)),
+                        leak_budget=float(kv.get("leakage-budget", 0.0)))
+        return
     if serve:
         validate_serve(argv[0])
         return
